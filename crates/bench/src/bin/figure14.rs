@@ -1,0 +1,33 @@
+//! Regenerates Figure 14: effectiveness of distance prefetching (DP) for
+//! MPGraph under injected inference latency, for the uncompressed and the
+//! compressed models, against the BO reference.
+//!
+//! Usage: `cargo run --release -p mpgraph-bench --bin figure14 [--quick]`
+
+use mpgraph_bench::report::{dump_json, print_table};
+use mpgraph_bench::runners::prefetching::run_figure14;
+use mpgraph_bench::ExpScale;
+
+fn main() {
+    let scale = ExpScale::from_args();
+    let rows = run_figure14(&scale);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.config.clone(),
+                r.latency_cycles.to_string(),
+                if r.distance_prefetching { "DP" } else { "-" }.into(),
+                format!("{:+.2}%", r.ipc_improvement_pct),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 14: distance prefetching under inference latency (GPOP PR)",
+        &["Config", "Latency (cyc)", "DP", "IPC Impv"],
+        &table,
+    );
+    if let Ok(p) = dump_json("figure14", &rows) {
+        println!("\nwrote {}", p.display());
+    }
+}

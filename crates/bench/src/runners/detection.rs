@@ -1,0 +1,248 @@
+//! Table 4 and Figure 9: phase-transition detection quality.
+
+use crate::scale::ExpScale;
+use crate::workload::{build_workload, carrier};
+use mpgraph_frameworks::{App, Framework};
+use mpgraph_phase::{
+    build_training_set, detection_lag, evaluate_transitions, ks_statistic, DecisionTree,
+    DtDetector, Kswin, KswinConfig, SoftDtDetector, SoftKswin, TransitionDetector,
+};
+use serde::Serialize;
+
+/// One Table 4 row.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table4Row {
+    pub framework: String,
+    /// "U" (unsupervised) or "S" (supervised), as in the table.
+    pub train_mode: &'static str,
+    pub detector: String,
+    pub precision: f64,
+    pub recall: f64,
+    pub f1: f64,
+}
+
+/// Ground-truth transitions and PC stream of an evaluation trace.
+struct DetectionTask {
+    pcs: Vec<u64>,
+    truths: Vec<usize>,
+    num_phases: usize,
+    /// Training slice for the supervised detectors.
+    train_pcs: Vec<u64>,
+    train_phases: Vec<u8>,
+}
+
+fn build_task(framework: Framework, scale: &ExpScale) -> DetectionTask {
+    // The paper evaluates detection on the frameworks' traces; PR gives the
+    // steadiest per-phase behaviour, so use it as the carrier app.
+    let w = build_workload(framework, App::Pr, carrier(scale), scale);
+    // Detectors run inside the prefetcher, observing the LLC stream.
+    let pcs: Vec<u64> = w.test_llc.iter().map(|r| r.pc).collect();
+    let phases: Vec<u8> = w.test_llc.iter().map(|r| r.phase).collect();
+    let mut truths = Vec::new();
+    for i in 1..phases.len() {
+        if phases[i] != phases[i - 1] {
+            truths.push(i);
+        }
+    }
+    let _ = phases;
+    DetectionTask {
+        pcs,
+        truths,
+        num_phases: w.num_phases,
+        train_pcs: w.train_llc.iter().map(|r| r.pc).collect(),
+        train_phases: w.train_llc.iter().map(|r| r.phase).collect(),
+    }
+}
+
+/// Tolerance: soft detectors legitimately lag by up to their confirmation
+/// window; allow half a phase of slack (phases span thousands of accesses).
+fn tolerances(task: &DetectionTask) -> (usize, usize) {
+    let min_gap = task
+        .truths
+        .windows(2)
+        .map(|w| w[1] - w[0])
+        .min()
+        .unwrap_or(1000)
+        .max(64);
+    (16, min_gap / 2)
+}
+
+fn run_detector(
+    det: &mut dyn TransitionDetector,
+    task: &DetectionTask,
+) -> (f64, f64, f64) {
+    let detections: Vec<usize> = task
+        .pcs
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &pc)| det.update(pc).then_some(i))
+        .collect();
+    let (pre, post) = tolerances(task);
+    let prf = evaluate_transitions(&detections, &task.truths, pre, post);
+    (prf.precision, prf.recall, prf.f1)
+}
+
+/// Regenerates Table 4 for all three frameworks × four detectors.
+pub fn run_table4(scale: &ExpScale) -> Vec<Table4Row> {
+    let mut rows = Vec::new();
+    for fw in Framework::ALL {
+        let task = build_task(fw, scale);
+        // --- Unsupervised.
+        let kcfg = KswinConfig::default();
+        let mut kswin = Kswin::new(kcfg);
+        let (p, r, f1) = run_detector(&mut kswin, &task);
+        rows.push(Table4Row {
+            framework: fw.name().into(),
+            train_mode: "U",
+            detector: "KSWIN".into(),
+            precision: p,
+            recall: r,
+            f1,
+        });
+        let mut soft = SoftKswin::new(kcfg);
+        let (p, r, f1) = run_detector(&mut soft, &task);
+        rows.push(Table4Row {
+            framework: fw.name().into(),
+            train_mode: "U",
+            detector: "Soft-KSWIN".into(),
+            precision: p,
+            recall: r,
+            f1,
+        });
+        // --- Supervised: tree trained offline on the labelled first
+        // iteration.
+        let window = 8;
+        let (xs, ys) = build_training_set(&task.train_pcs, &task.train_phases, window, 7);
+        let tree = DecisionTree::fit(&xs, &ys, task.num_phases, 8);
+        let mut dt = DtDetector::new(tree.clone(), window);
+        let (p, r, f1) = run_detector(&mut dt, &task);
+        rows.push(Table4Row {
+            framework: fw.name().into(),
+            train_mode: "S",
+            detector: "DT".into(),
+            precision: p,
+            recall: r,
+            f1,
+        });
+        let mut soft_dt = SoftDtDetector::new(tree, window, 64);
+        let (p, r, f1) = run_detector(&mut soft_dt, &task);
+        rows.push(Table4Row {
+            framework: fw.name().into(),
+            train_mode: "S",
+            detector: "Soft-DT".into(),
+            precision: p,
+            recall: r,
+            f1,
+        });
+    }
+    rows
+}
+
+/// Figure 9 case study: the K-S statistic timeline with KSWIN and
+/// Soft-KSWIN detections on a GPOP PageRank PC stream.
+#[derive(Debug, Clone, Serialize)]
+pub struct Figure9Data {
+    /// (index, K-S statistic) samples along the stream.
+    pub ks_series: Vec<(usize, f64)>,
+    pub threshold: f64,
+    pub true_transitions: Vec<usize>,
+    pub kswin_detections: Vec<usize>,
+    pub soft_detections: Vec<usize>,
+    pub kswin_false_positives: usize,
+    pub soft_false_positives: usize,
+    pub soft_mean_lag: f64,
+}
+
+pub fn run_figure9(scale: &ExpScale) -> Figure9Data {
+    let task = build_task(Framework::Gpop, scale);
+    let cfg = KswinConfig::default();
+    // K-S statistic timeline (sampled every 16 accesses on a sliding pair
+    // of windows, for the figure's top panel).
+    let mut ks_series = Vec::new();
+    let w = cfg.window;
+    let r = cfg.recent;
+    let mut i = w;
+    while i < task.pcs.len() {
+        let hist: Vec<f64> = task.pcs[i - w..i - r].iter().map(|&p| p as f64).collect();
+        let recent: Vec<f64> = task.pcs[i - r..i].iter().map(|&p| p as f64).collect();
+        ks_series.push((i, ks_statistic(&hist, &recent)));
+        i += 16;
+    }
+    let mut kswin = Kswin::new(cfg);
+    let kswin_detections: Vec<usize> = task
+        .pcs
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &pc)| kswin.update(pc).then_some(i))
+        .collect();
+    let mut soft = SoftKswin::new(cfg);
+    let soft_detections: Vec<usize> = task
+        .pcs
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &pc)| soft.update(pc).then_some(i))
+        .collect();
+    let (pre, post) = tolerances(&task);
+    let hard = evaluate_transitions(&kswin_detections, &task.truths, pre, post);
+    let softp = evaluate_transitions(&soft_detections, &task.truths, pre, post);
+    let kswin_fp =
+        kswin_detections.len() - (hard.recall * task.truths.len() as f64).round() as usize;
+    let soft_fp =
+        soft_detections.len() - (softp.recall * task.truths.len() as f64).round() as usize;
+    let (soft_mean_lag, _) = detection_lag(&soft_detections, &task.truths, post);
+    Figure9Data {
+        ks_series,
+        threshold: mpgraph_phase::ks_threshold(cfg.alpha, cfg.recent, cfg.recent),
+        true_transitions: task.truths.clone(),
+        kswin_detections,
+        soft_detections,
+        kswin_false_positives: kswin_fp,
+        soft_false_positives: soft_fp,
+        soft_mean_lag,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_shape_and_recall() {
+        let rows = run_table4(&ExpScale::quick());
+        assert_eq!(rows.len(), 12); // 3 frameworks × 4 detectors
+        for row in &rows {
+            assert!((0.0..=1.0).contains(&row.precision), "{row:?}");
+            assert!((0.0..=1.0).contains(&row.recall), "{row:?}");
+        }
+        // The paper's headline: soft variants have strictly better
+        // precision than their hard counterparts on average.
+        let avg = |name: &str| -> f64 {
+            let v: Vec<f64> = rows
+                .iter()
+                .filter(|r| r.detector == name)
+                .map(|r| r.precision)
+                .collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        assert!(
+            avg("Soft-KSWIN") >= avg("KSWIN"),
+            "soft-kswin {} < kswin {}",
+            avg("Soft-KSWIN"),
+            avg("KSWIN")
+        );
+        assert!(
+            avg("Soft-DT") >= avg("DT"),
+            "soft-dt {} < dt {}",
+            avg("Soft-DT"),
+            avg("DT")
+        );
+    }
+
+    #[test]
+    fn figure9_series_nonempty() {
+        let data = run_figure9(&ExpScale::quick());
+        assert!(!data.ks_series.is_empty());
+        assert!(data.threshold > 0.0);
+        assert!(!data.true_transitions.is_empty());
+    }
+}

@@ -1,0 +1,9 @@
+//! Experiment runners, one module per evaluation area: `detection`
+//! (Table 4, Figure 9), `prediction` (Tables 6-7, modality ablation),
+//! `prefetching` (Figures 10-14, Table 8, degree ablation), and
+//! `motivation` (Figures 2-3).
+
+pub mod detection;
+pub mod motivation;
+pub mod prediction;
+pub mod prefetching;

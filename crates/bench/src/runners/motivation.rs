@@ -1,0 +1,247 @@
+//! Figures 2 and 3: the motivation studies — PCA of memory-access and PC
+//! windows colored by phase (Figure 2), and the page-jump scatter of the
+//! GPOP Scatter/Gather phases (Figure 3).
+
+use crate::scale::ExpScale;
+use crate::workload::{build_workload, carrier};
+use mpgraph_frameworks::{App, Framework, MemRecord};
+use mpgraph_ml::tensor::Matrix;
+use mpgraph_ml::Pca;
+use serde::Serialize;
+
+/// One projected point with its ground-truth phase.
+#[derive(Debug, Clone, Serialize)]
+pub struct PcaPoint {
+    pub components: Vec<f32>,
+    pub phase: u8,
+}
+
+/// Figure 2 data: top-3 PCA projections of sliding windows of (a) memory
+/// block addresses and (b) PCs, labelled by phase.
+#[derive(Debug, Clone, Serialize)]
+pub struct Figure2Data {
+    pub access_points: Vec<PcaPoint>,
+    pub pc_points: Vec<PcaPoint>,
+    /// Separation score: between-phase centroid distance over mean
+    /// within-phase spread, for the PC projection (>1 ⇒ phases separable,
+    /// the paper's Figure 2b claim).
+    pub pc_separation: f64,
+    pub access_separation: f64,
+}
+
+/// Builds feature windows: each sample is `window` consecutive normalized
+/// values; the label is the phase at the window's end.
+fn windows(values: &[f64], phases: &[u8], window: usize, stride: usize) -> (Matrix, Vec<u8>) {
+    let mut rows = Vec::new();
+    let mut labels = Vec::new();
+    let mut i = window;
+    while i < values.len() {
+        rows.push(&values[i - window..i]);
+        labels.push(phases[i - 1]);
+        i += stride;
+    }
+    let mut m = Matrix::zeros(rows.len(), window);
+    // Normalize each feature column to zero mean / unit-ish scale to keep
+    // PCA numerically sane on large raw addresses.
+    let flat: Vec<f64> = rows.iter().flat_map(|r| r.iter().copied()).collect();
+    let mean = flat.iter().sum::<f64>() / flat.len().max(1) as f64;
+    let std = (flat.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+        / flat.len().max(1) as f64)
+        .sqrt()
+        .max(1e-9);
+    for (r, row) in rows.iter().enumerate() {
+        for (c, &v) in row.iter().enumerate() {
+            m.data[r * window + c] = ((v - mean) / std) as f32;
+        }
+    }
+    (m, labels)
+}
+
+fn separation(points: &[PcaPoint]) -> f64 {
+    let phases: std::collections::BTreeSet<u8> = points.iter().map(|p| p.phase).collect();
+    if phases.len() < 2 {
+        return 0.0;
+    }
+    let dim = points[0].components.len();
+    let centroid = |ph: u8| -> Vec<f64> {
+        let sel: Vec<&PcaPoint> = points.iter().filter(|p| p.phase == ph).collect();
+        (0..dim)
+            .map(|c| {
+                sel.iter().map(|p| p.components[c] as f64).sum::<f64>() / sel.len().max(1) as f64
+            })
+            .collect()
+    };
+    let spread = |ph: u8, cen: &[f64]| -> f64 {
+        let sel: Vec<&PcaPoint> = points.iter().filter(|p| p.phase == ph).collect();
+        let s: f64 = sel
+            .iter()
+            .map(|p| {
+                p.components
+                    .iter()
+                    .zip(cen.iter())
+                    .map(|(&a, &b)| (a as f64 - b).powi(2))
+                    .sum::<f64>()
+                    .sqrt()
+            })
+            .sum();
+        s / sel.len().max(1) as f64
+    };
+    let phases: Vec<u8> = phases.into_iter().collect();
+    let mut min_between = f64::INFINITY;
+    let mut mean_spread = 0.0;
+    for (i, &a) in phases.iter().enumerate() {
+        let ca = centroid(a);
+        mean_spread += spread(a, &ca);
+        for &b in phases.iter().skip(i + 1) {
+            let cb = centroid(b);
+            let d: f64 = ca
+                .iter()
+                .zip(cb.iter())
+                .map(|(&x, &y)| (x - y).powi(2))
+                .sum::<f64>()
+                .sqrt();
+            min_between = min_between.min(d);
+        }
+    }
+    mean_spread /= phases.len() as f64;
+    min_between / mean_spread.max(1e-9)
+}
+
+/// Regenerates Figure 2 from GPOP CC + PR traces. Windows are drawn from
+/// phase-filtered contiguous streams so both phases contribute points even
+/// when a single phase spans the head of the trace.
+pub fn run_figure2(scale: &ExpScale) -> Figure2Data {
+    let mut records: Vec<MemRecord> = Vec::new();
+    for app in [App::Cc, App::Pr] {
+        let w = build_workload(Framework::Gpop, app, carrier(scale), scale);
+        let num_phases = w.num_phases as u8;
+        for phase in 0..num_phases {
+            records.extend(
+                w.test_llc
+                    .iter()
+                    .filter(|r| r.phase == phase)
+                    .take(10_000)
+                    .copied(),
+            );
+        }
+    }
+    let phases: Vec<u8> = records.iter().map(|r| r.phase).collect();
+    let blocks: Vec<f64> = records.iter().map(|r| r.block() as f64).collect();
+    let pcs: Vec<f64> = records.iter().map(|r| r.pc as f64).collect();
+    let window = 16;
+    let stride = 64;
+    let project = |vals: &[f64]| -> Vec<PcaPoint> {
+        let (m, labels) = windows(vals, &phases, window, stride);
+        let pca = Pca::fit(&m, 3);
+        let proj = pca.transform(&m);
+        labels
+            .iter()
+            .enumerate()
+            .map(|(i, &ph)| PcaPoint {
+                components: proj.row(i).to_vec(),
+                phase: ph,
+            })
+            .collect()
+    };
+    let access_points = project(&blocks);
+    let pc_points = project(&pcs);
+    let pc_separation = separation(&pc_points);
+    let access_separation = separation(&access_points);
+    Figure2Data {
+        access_points,
+        pc_points,
+        pc_separation,
+        access_separation,
+    }
+}
+
+/// Figure 3 data: the page sequence of the first GPOP Scatter and Gather
+/// phases, plus jump statistics.
+#[derive(Debug, Clone, Serialize)]
+pub struct Figure3Data {
+    pub scatter_pages: Vec<u64>,
+    pub gather_pages: Vec<u64>,
+    pub scatter_wide_jump_ratio: f64,
+    pub gather_wide_jump_ratio: f64,
+    pub scatter_distinct_pages: usize,
+    pub gather_distinct_pages: usize,
+}
+
+fn jump_stats(pages: &[u64]) -> (f64, usize) {
+    if pages.len() < 2 {
+        return (0.0, pages.len());
+    }
+    let wide = pages
+        .windows(2)
+        .filter(|w| (w[1] as i64 - w[0] as i64).unsigned_abs() > 4)
+        .count();
+    let distinct: std::collections::HashSet<u64> = pages.iter().copied().collect();
+    (wide as f64 / (pages.len() - 1) as f64, distinct.len())
+}
+
+pub fn run_figure3(scale: &ExpScale) -> Figure3Data {
+    let w = build_workload(Framework::Gpop, App::Pr, carrier(scale), scale);
+    let scatter_pages: Vec<u64> = w
+        .test_llc
+        .iter()
+        .filter(|r| r.phase == 0)
+        .take(5000)
+        .map(|r| r.page())
+        .collect();
+    let gather_pages: Vec<u64> = w
+        .test_llc
+        .iter()
+        .filter(|r| r.phase == 1)
+        .take(5000)
+        .map(|r| r.page())
+        .collect();
+    let (sr, sd) = jump_stats(&scatter_pages);
+    let (gr, gd) = jump_stats(&gather_pages);
+    Figure3Data {
+        scatter_pages,
+        gather_pages,
+        scatter_wide_jump_ratio: sr,
+        gather_wide_jump_ratio: gr,
+        scatter_distinct_pages: sd,
+        gather_distinct_pages: gd,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_pc_windows_separate_phases() {
+        let data = run_figure2(&ExpScale::quick());
+        assert!(!data.pc_points.is_empty());
+        assert!(!data.access_points.is_empty());
+        // Figure 2b's claim: PCs cluster by phase far better than raw
+        // accesses do (runtime-code impulses keep either from being
+        // perfectly clean, exactly as in the paper's scatter plots).
+        assert!(
+            data.pc_separation > 0.3,
+            "pc separation {}",
+            data.pc_separation
+        );
+        assert!(
+            data.pc_separation > 2.0 * data.access_separation,
+            "pc {} vs access {}",
+            data.pc_separation,
+            data.access_separation
+        );
+    }
+
+    #[test]
+    fn figure3_shows_wide_jumps() {
+        let data = run_figure3(&ExpScale::quick());
+        assert!(!data.scatter_pages.is_empty());
+        assert!(!data.gather_pages.is_empty());
+        assert!(
+            data.scatter_wide_jump_ratio > 0.05,
+            "scatter jumps {}",
+            data.scatter_wide_jump_ratio
+        );
+        assert!(data.scatter_distinct_pages > 10);
+    }
+}

@@ -1,0 +1,247 @@
+//! Tables 6 and 7: spatial delta prediction F1 and temporal page
+//! prediction accuracy@10 for the five model variants over the twelve
+//! (framework, application) cells.
+
+use crate::scale::ExpScale;
+use crate::workload::{all_cells, build_workload, carrier, Workload};
+use mpgraph_core::{
+    AmmaConfig, DeltaPredictor, DeltaPredictorConfig, PageHead, PagePredictor,
+    PagePredictorConfig, Variant,
+};
+use rayon::prelude::*;
+use serde::Serialize;
+
+/// One cell of Table 6 or 7.
+#[derive(Debug, Clone, Serialize)]
+pub struct PredictionCell {
+    pub framework: String,
+    pub app: String,
+    pub variant: String,
+    pub metric: f64,
+}
+
+/// Default model dimensions for the prediction sweeps (DESIGN.md §5 scale;
+/// half of Table 5's widths).
+pub fn sweep_amma() -> AmmaConfig {
+    AmmaConfig::default()
+}
+
+fn delta_cfg() -> DeltaPredictorConfig {
+    DeltaPredictorConfig {
+        amma: sweep_amma(),
+        ..DeltaPredictorConfig::default()
+    }
+}
+
+fn page_cfg() -> PagePredictorConfig {
+    PagePredictorConfig {
+        amma: sweep_amma(),
+        page_vocab: 1024,
+        embed_dim: 16,
+        head: PageHead::Softmax,
+    }
+}
+
+/// Training budget for the prediction tables: the variant comparison needs
+/// enough optimization for the architectures to separate from the
+/// base-rate solution (underfit models all collapse onto the dominant
+/// labels and tie).
+fn table_train(scale: &ExpScale) -> mpgraph_prefetchers::TrainCfg {
+    mpgraph_prefetchers::TrainCfg {
+        max_samples: scale.train.max_samples * 2,
+        epochs: scale.train.epochs.max(3),
+        ..scale.train
+    }
+}
+
+/// Table 6: F1 of delta prediction, every variant × cell.
+pub fn run_table6(scale: &ExpScale) -> Vec<PredictionCell> {
+    let cells = all_cells();
+    cells
+        .par_iter()
+        .flat_map(|&(fw, app)| {
+            let w = build_workload(fw, app, carrier(scale), scale);
+            Variant::ALL
+                .par_iter()
+                .map(move |&variant| {
+                    let model = DeltaPredictor::train(
+                        &w.train_llc,
+                        w.num_phases,
+                        variant,
+                        delta_cfg(),
+                        &table_train(scale),
+                    );
+                    let prf = model.evaluate_f1(&w.test_llc, &scale.train, scale.eval_samples);
+                    PredictionCell {
+                        framework: fw.name().into(),
+                        app: app.name().into(),
+                        variant: variant.name().into(),
+                        metric: prf.f1,
+                    }
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+/// Table 7: accuracy@10 of page prediction, every variant × cell.
+pub fn run_table7(scale: &ExpScale) -> Vec<PredictionCell> {
+    let cells = all_cells();
+    cells
+        .par_iter()
+        .flat_map(|&(fw, app)| {
+            let w = build_workload(fw, app, carrier(scale), scale);
+            Variant::ALL
+                .par_iter()
+                .map(move |&variant| {
+                    let model = PagePredictor::train(
+                        &w.train_llc,
+                        w.num_phases,
+                        variant,
+                        page_cfg(),
+                        &table_train(scale),
+                    );
+                    let acc =
+                        model.evaluate_accuracy_at(&w.test_llc, &scale.train, 10, scale.eval_samples);
+                    PredictionCell {
+                        framework: fw.name().into(),
+                        app: app.name().into(),
+                        variant: variant.name().into(),
+                        metric: acc,
+                    }
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+/// Modality ablation (DESIGN.md extras): AMMA with both modalities vs the
+/// address-only and PC-only variants, delta-prediction F1 on GPOP PR.
+#[derive(Debug, Clone, Serialize)]
+pub struct ModalityAblation {
+    pub setting: String,
+    pub f1: f64,
+}
+
+pub fn run_modality_ablation(scale: &ExpScale) -> Vec<ModalityAblation> {
+    use mpgraph_frameworks::{App, Framework};
+    let w = build_workload(Framework::Gpop, App::Pr, carrier(scale), scale);
+    let settings: Vec<(&str, Box<dyn Fn(&mut Vec<mpgraph_frameworks::MemRecord>) + Sync>)> = vec![
+        ("addr+pc", Box::new(|_recs: &mut Vec<_>| {})),
+        (
+            "addr-only",
+            Box::new(|recs: &mut Vec<mpgraph_frameworks::MemRecord>| {
+                for r in recs.iter_mut() {
+                    r.pc = 0; // collapse the PC modality
+                }
+            }),
+        ),
+        (
+            "pc-only",
+            Box::new(|recs: &mut Vec<mpgraph_frameworks::MemRecord>| {
+                // Collapse address information down to the page-offset only
+                // pattern carrier (the model keeps PCs intact).
+                for r in recs.iter_mut() {
+                    r.vaddr &= 0xFFF;
+                }
+            }),
+        ),
+    ];
+    settings
+        .into_iter()
+        .map(|(name, mutate)| {
+            let mut train = w.train_llc.clone();
+            let mut test = w.test_llc.clone();
+            mutate(&mut train);
+            // The label stream must stay intact: only inputs are ablated
+            // for addr+pc/addr-only; pc-only also degrades labels, which is
+            // the point (address info unavailable).
+            if name == "pc-only" {
+                mutate(&mut test);
+            } else if name == "addr-only" {
+                for r in test.iter_mut() {
+                    r.pc = 0;
+                }
+            }
+            let model = DeltaPredictor::train(
+                &train,
+                w.num_phases,
+                Variant::AmmaPs,
+                delta_cfg(),
+                &scale.train,
+            );
+            let prf = model.evaluate_f1(&test, &scale.train, scale.eval_samples);
+            ModalityAblation {
+                setting: name.into(),
+                f1: prf.f1,
+            }
+        })
+        .collect()
+}
+
+/// Averages cells by variant (for summary assertions and EXPERIMENTS.md).
+pub fn variant_means(cells: &[PredictionCell]) -> Vec<(String, f64)> {
+    Variant::ALL
+        .iter()
+        .map(|v| {
+            let vals: Vec<f64> = cells
+                .iter()
+                .filter(|c| c.variant == v.name())
+                .map(|c| c.metric)
+                .collect();
+            (
+                v.name().to_string(),
+                vals.iter().sum::<f64>() / vals.len().max(1) as f64,
+            )
+        })
+        .collect()
+}
+
+/// Convenience: run one cell only (used by tests and the quickstart docs).
+pub fn run_one_cell_table6(
+    fw: mpgraph_frameworks::Framework,
+    app: mpgraph_frameworks::App,
+    variant: Variant,
+    scale: &ExpScale,
+) -> (Workload, f64) {
+    let w = build_workload(fw, app, carrier(scale), scale);
+    let model =
+        DeltaPredictor::train(&w.train_llc, w.num_phases, variant, delta_cfg(), &scale.train);
+    let prf = model.evaluate_f1(&w.test_llc, &scale.train, scale.eval_samples);
+    (w, prf.f1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpgraph_frameworks::{App, Framework};
+
+    #[test]
+    fn one_cell_runs_and_is_bounded() {
+        let scale = ExpScale::quick();
+        let (_, f1) = run_one_cell_table6(Framework::Gpop, App::Pr, Variant::Amma, &scale);
+        assert!((0.0..=1.0).contains(&f1));
+    }
+
+    #[test]
+    fn variant_means_cover_all_variants() {
+        let cells = vec![
+            PredictionCell {
+                framework: "GPOP".into(),
+                app: "PR".into(),
+                variant: "AMMA".into(),
+                metric: 0.5,
+            },
+            PredictionCell {
+                framework: "GPOP".into(),
+                app: "CC".into(),
+                variant: "AMMA".into(),
+                metric: 0.7,
+            },
+        ];
+        let means = variant_means(&cells);
+        assert_eq!(means.len(), 5);
+        let amma = means.iter().find(|(n, _)| n == "AMMA").unwrap();
+        assert!((amma.1 - 0.6).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,469 @@
+//! Figures 10-12 (prefetch accuracy / coverage / IPC improvement), Table 8
+//! (computational complexity), Figure 13 (knowledge-distillation sweep) and
+//! Figure 14 (distance prefetching under inference latency).
+
+use crate::scale::ExpScale;
+use crate::workload::{all_cells, build_workload, carrier, Workload};
+use mpgraph_core::complexity::{baseline_complexity, mpgraph_complexity, CriticalPath};
+use mpgraph_core::{
+    amma_latency, build_detector, compress, train_mpgraph, AmmaConfig, DeltaPredictor,
+    DistillCfg, MpGraphConfig, MpGraphPrefetcher, PageHead, PagePredictor,
+};
+use mpgraph_prefetchers::{
+    BestOffset, BoConfig, DeltaLstm, DeltaLstmConfig, Isb, IsbConfig, TransFetch,
+    TransFetchConfig, Voyager, VoyagerConfig,
+};
+use mpgraph_sim::{simulate, NullPrefetcher, SimConfig, SimResult};
+use rayon::prelude::*;
+use serde::Serialize;
+
+/// Simulator configuration for the scaled datasets: Table 3 latencies with
+/// a 64× smaller cache hierarchy, preserving "fits in DRAM, not in LLC" —
+/// and crucially "vertex-value arrays overflow the LLC" — for the 64×
+/// smaller graphs (DESIGN.md §5).
+pub fn sim_config() -> SimConfig {
+    SimConfig {
+        l1_size: 2 * 1024,
+        l2_size: 8 * 1024,
+        llc_size: 32 * 1024,
+        // Bandwidth-per-instruction compensation for the memory-op-dense
+        // traces (see `mpgraph::scaled_sim_config`).
+        dram: mpgraph_sim::DramConfig {
+            bus_cycles: 8,
+            ..mpgraph_sim::DramConfig::default()
+        },
+        ..SimConfig::default()
+    }
+}
+
+/// One (workload, prefetcher) measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct PrefetchRow {
+    pub framework: String,
+    pub app: String,
+    pub dataset: String,
+    pub prefetcher: String,
+    pub accuracy: f64,
+    pub coverage: f64,
+    pub ipc: f64,
+    pub ipc_improvement_pct: f64,
+}
+
+fn row(w: &Workload, r: &SimResult, base: &SimResult) -> PrefetchRow {
+    PrefetchRow {
+        framework: w.framework.name().into(),
+        app: w.app.name().into(),
+        dataset: w.dataset.name().into(),
+        prefetcher: r.prefetcher.clone(),
+        accuracy: r.accuracy(),
+        coverage: r.coverage(),
+        ipc: r.ipc(),
+        ipc_improvement_pct: r.ipc_improvement(base),
+    }
+}
+
+/// MPGraph configuration used in the main comparison (AMMA-PS, CSTP with
+/// Ds = Dt = 2, Soft-DT detector).
+pub fn mpgraph_cfg() -> MpGraphConfig {
+    MpGraphConfig::default()
+}
+
+/// Runs every prefetcher of §5.4.1 on one workload cell.
+pub fn run_cell(w: &Workload, scale: &ExpScale) -> Vec<PrefetchRow> {
+    let cfg = sim_config();
+    let base = simulate(&w.test, &mut NullPrefetcher, &cfg);
+    let mut rows = Vec::new();
+
+    let mut bo = BestOffset::new(BoConfig::default());
+    rows.push(row(w, &simulate(&w.test, &mut bo, &cfg), &base));
+
+    let mut isb = Isb::new(IsbConfig::default());
+    rows.push(row(w, &simulate(&w.test, &mut isb, &cfg), &base));
+
+    // ML prefetchers train on the LLC-level trace — the stream they will
+    // actually observe online (Figure 6).
+    let mut dl = DeltaLstm::train(&w.train_llc, DeltaLstmConfig::default(), &scale.train);
+    rows.push(row(w, &simulate(&w.test, &mut dl, &cfg), &base));
+
+    let mut voy = Voyager::train(&w.train_llc, VoyagerConfig::default(), &scale.train);
+    rows.push(row(w, &simulate(&w.test, &mut voy, &cfg), &base));
+
+    let mut tf = TransFetch::train(&w.train_llc, TransFetchConfig::default(), &scale.train);
+    rows.push(row(w, &simulate(&w.test, &mut tf, &cfg), &base));
+
+    let mut mp = train_mpgraph(&w.train_llc, w.num_phases, mpgraph_cfg(), &scale.train);
+    rows.push(row(w, &simulate(&w.test, &mut mp, &cfg), &base));
+
+    rows
+}
+
+/// Figures 10-12: the full (framework, app) × dataset × prefetcher sweep.
+pub fn run_figures_10_to_12(scale: &ExpScale) -> Vec<PrefetchRow> {
+    let mut tasks = Vec::new();
+    for (fw, app) in all_cells() {
+        for &ds in &scale.datasets {
+            tasks.push((fw, app, ds));
+        }
+    }
+    tasks
+        .par_iter()
+        .flat_map(|&(fw, app, ds)| {
+            let w = build_workload(fw, app, ds, scale);
+            run_cell(&w, scale)
+        })
+        .collect()
+}
+
+/// Per-prefetcher averages (the bars of Figures 10/11).
+pub fn prefetcher_means(rows: &[PrefetchRow]) -> Vec<(String, f64, f64, f64)> {
+    let names = ["BO", "ISB", "Delta-LSTM", "Voyager", "TransFetch", "MPGraph"];
+    names
+        .iter()
+        .map(|&n| {
+            let sel: Vec<&PrefetchRow> = rows.iter().filter(|r| r.prefetcher == n).collect();
+            let len = sel.len().max(1) as f64;
+            (
+                n.to_string(),
+                sel.iter().map(|r| r.accuracy).sum::<f64>() / len,
+                sel.iter().map(|r| r.coverage).sum::<f64>() / len,
+                sel.iter().map(|r| r.ipc_improvement_pct).sum::<f64>() / len,
+            )
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Table 8
+// ---------------------------------------------------------------------------
+
+/// One Table 8 row with measured IPC improvement attached.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table8Row {
+    pub model: String,
+    pub params_k: f64,
+    pub ops_m: f64,
+    pub critical_path: String,
+    pub ipc_improvement_pct: f64,
+}
+
+/// Regenerates Table 8 on a GPOP/PR workload: parameter and OPs accounting
+/// for the trained models plus the measured IPC improvement of each.
+pub fn run_table8(scale: &ExpScale) -> Vec<Table8Row> {
+    use mpgraph_frameworks::{App, Framework};
+    let w = build_workload(Framework::Gpop, App::Pr, carrier(scale), scale);
+    let cfg = sim_config();
+    let base = simulate(&w.test, &mut NullPrefetcher, &cfg);
+    let seq = scale.train.history;
+    let mut rows = Vec::new();
+
+    let mut dl = DeltaLstm::train(&w.train_llc, DeltaLstmConfig::default(), &scale.train);
+    let r = simulate(&w.test, &mut dl, &cfg);
+    let c = baseline_complexity(
+        "Delta-LSTM",
+        dl.num_params(),
+        seq,
+        CriticalPath::SequenceTimesLayers,
+    );
+    rows.push(Table8Row {
+        params_k: c.params_k(),
+        ops_m: c.ops_m(),
+        model: c.model,
+        critical_path: c.critical_path.notation().into(),
+        ipc_improvement_pct: r.ipc_improvement(&base),
+    });
+
+    let mut voy = Voyager::train(&w.train_llc, VoyagerConfig::default(), &scale.train);
+    let r = simulate(&w.test, &mut voy, &cfg);
+    let c = baseline_complexity(
+        "Voyager",
+        voy.num_params(),
+        seq,
+        CriticalPath::SequenceTimesLayers,
+    );
+    rows.push(Table8Row {
+        params_k: c.params_k(),
+        ops_m: c.ops_m(),
+        model: c.model,
+        critical_path: c.critical_path.notation().into(),
+        ipc_improvement_pct: r.ipc_improvement(&base),
+    });
+
+    let mut tf = TransFetch::train(&w.train_llc, TransFetchConfig::default(), &scale.train);
+    let r = simulate(&w.test, &mut tf, &cfg);
+    let c = baseline_complexity("TransFetch", tf.num_params(), seq, CriticalPath::Layers);
+    rows.push(Table8Row {
+        params_k: c.params_k(),
+        ops_m: c.ops_m(),
+        model: c.model,
+        critical_path: c.critical_path.notation().into(),
+        ipc_improvement_pct: r.ipc_improvement(&base),
+    });
+
+    // MPGraph, full and compressed.
+    let mut mp = train_mpgraph(&w.train_llc, w.num_phases, mpgraph_cfg(), &scale.train);
+    let r = simulate(&w.test, &mut mp, &cfg);
+    let c = mpgraph_complexity("MPGraph", &mut mp.delta, &mut mp.page, seq);
+    rows.push(Table8Row {
+        params_k: c.params_k(),
+        ops_m: c.ops_m(),
+        model: c.model,
+        critical_path: c.critical_path.notation().into(),
+        ipc_improvement_pct: r.ipc_improvement(&base),
+    });
+
+    let (mut cmp, _factor) = compressed_mpgraph(&w, scale, AmmaConfig::student(8), true);
+    let r = simulate(&w.test, &mut cmp, &cfg);
+    let c = mpgraph_complexity("MPGraph (compressed)", &mut cmp.delta, &mut cmp.page, seq);
+    rows.push(Table8Row {
+        params_k: c.params_k(),
+        ops_m: c.ops_m(),
+        model: c.model,
+        critical_path: c.critical_path.notation().into(),
+        ipc_improvement_pct: r.ipc_improvement(&base),
+    });
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Figure 13: knowledge-distillation compression sweep
+// ---------------------------------------------------------------------------
+
+/// Builds a compressed MPGraph: AMMA-PS teachers distilled into students at
+/// `student_cfg` dimensions (optionally folded into a single student), with
+/// int8 quantization. Returns the prefetcher and the compression factor.
+pub fn compressed_mpgraph(
+    w: &Workload,
+    scale: &ExpScale,
+    student_cfg: AmmaConfig,
+    single_student: bool,
+) -> (MpGraphPrefetcher, f64) {
+    let cfg = mpgraph_cfg();
+    let mut teacher_delta = DeltaPredictor::train(
+        &w.train_llc,
+        w.num_phases,
+        cfg.variant,
+        cfg.delta,
+        &scale.train,
+    );
+    let mut teacher_page =
+        PagePredictor::train(&w.train_llc, w.num_phases, cfg.variant, cfg.page, &scale.train);
+    // Binary-encode the student's page head on top of KD (§6.1 stacks all
+    // three compressions).
+    let dc = DistillCfg {
+        student_amma: student_cfg,
+        temperature: 3.0,
+        single_student,
+        student_head: Some(PageHead::BinaryEncoded),
+    };
+    let mut sd = compress::distill_delta(&teacher_delta, &w.train_llc, &dc, &scale.train);
+    let mut sp = compress::distill_page(&teacher_page, &w.train_llc, &dc, &scale.train);
+    compress::quantize_delta(&mut sd);
+    compress::quantize_page(&mut sp);
+    let teacher_params = teacher_delta.num_params() + teacher_page.num_params();
+    let student_params = sd.num_params() + sp.num_params();
+    // int8 counts 4× per-parameter storage compression on top.
+    let factor = 4.0 * teacher_params as f64 / student_params.max(1) as f64;
+    let detector = build_detector(&w.train_llc, w.num_phases, cfg.detector);
+    let mut pcfg = cfg;
+    pcfg.latency = amma_latency(&student_cfg).total;
+    let pf = MpGraphPrefetcher::from_parts(
+        sd,
+        sp,
+        detector,
+        pcfg,
+        w.num_phases,
+        scale.train.history,
+    );
+    (pf, factor)
+}
+
+/// One Figure 13 point.
+#[derive(Debug, Clone, Serialize)]
+pub struct Figure13Row {
+    pub config: String,
+    pub compression_factor: f64,
+    pub accuracy: f64,
+    pub coverage: f64,
+    pub ipc_improvement_pct: f64,
+}
+
+/// Figure 13: IPC/accuracy/coverage versus compression factor, with BO as
+/// the uncompressed non-ML reference.
+pub fn run_figure13(scale: &ExpScale) -> Vec<Figure13Row> {
+    use mpgraph_frameworks::{App, Framework};
+    let w = build_workload(Framework::Gpop, App::Pr, carrier(scale), scale);
+    let cfg = sim_config();
+    let base = simulate(&w.test, &mut NullPrefetcher, &cfg);
+    let mut rows = Vec::new();
+
+    let mut bo = BestOffset::new(BoConfig::default());
+    let r = simulate(&w.test, &mut bo, &cfg);
+    rows.push(Figure13Row {
+        config: "BO".into(),
+        compression_factor: 1.0,
+        accuracy: r.accuracy(),
+        coverage: r.coverage(),
+        ipc_improvement_pct: r.ipc_improvement(&base),
+    });
+
+    let mut teacher = train_mpgraph(&w.train_llc, w.num_phases, mpgraph_cfg(), &scale.train);
+    let r = simulate(&w.test, &mut teacher, &cfg);
+    rows.push(Figure13Row {
+        config: "MPGraph (teacher)".into(),
+        compression_factor: 1.0,
+        accuracy: r.accuracy(),
+        coverage: r.coverage(),
+        ipc_improvement_pct: r.ipc_improvement(&base),
+    });
+
+    for (label, attn_dim, single) in [
+        ("KD student d/2", 16usize, false),
+        ("KD student d/4", 8, false),
+        ("KD student d/8 + fold", 4, true),
+    ] {
+        let (mut pf, factor) = compressed_mpgraph(&w, scale, AmmaConfig::student(attn_dim), single);
+        // Figure 13 isolates storage compression; latency is swept in
+        // Figure 14.
+        let mut pcfg = pf.cfg;
+        pcfg.latency = 0;
+        pf.cfg = pcfg;
+        let r = simulate(&w.test, &mut pf, &cfg);
+        rows.push(Figure13Row {
+            config: label.into(),
+            compression_factor: factor,
+            accuracy: r.accuracy(),
+            coverage: r.coverage(),
+            ipc_improvement_pct: r.ipc_improvement(&base),
+        });
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------------
+// Figure 14: distance prefetching under inference latency
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Serialize)]
+pub struct Figure14Row {
+    pub config: String,
+    pub latency_cycles: u64,
+    pub distance_prefetching: bool,
+    pub ipc_improvement_pct: f64,
+}
+
+/// Figure 14: inject {0, 100, 200, 400} cycles of model latency, with and
+/// without distance prefetching, for the uncompressed and compressed
+/// models; BO (latency 0) is the reference line.
+pub fn run_figure14(scale: &ExpScale) -> Vec<Figure14Row> {
+    use mpgraph_frameworks::{App, Framework};
+    let w = build_workload(Framework::Gpop, App::Pr, carrier(scale), scale);
+    let cfg = sim_config();
+    let base = simulate(&w.test, &mut NullPrefetcher, &cfg);
+    let mut rows = Vec::new();
+
+    let mut bo = BestOffset::new(BoConfig::default());
+    let r = simulate(&w.test, &mut bo, &cfg);
+    rows.push(Figure14Row {
+        config: "BO".into(),
+        latency_cycles: 0,
+        distance_prefetching: false,
+        ipc_improvement_pct: r.ipc_improvement(&base),
+    });
+
+    for (config, compressed) in [("MPGraph", false), ("MPGraph 87x", true)] {
+        // Train once per configuration; only the injected latency and the
+        // distance-prefetching knob change between sweep points (the online
+        // state re-warms within the first few thousand accesses).
+        let mut pf = if compressed {
+            compressed_mpgraph(&w, scale, AmmaConfig::student(8), true).0
+        } else {
+            train_mpgraph(&w.train_llc, w.num_phases, mpgraph_cfg(), &scale.train)
+        };
+        for latency in [0u64, 100, 200, 400] {
+            for dp in [false, true] {
+                let mut pcfg = pf.cfg;
+                pcfg.latency = latency;
+                pf.cfg = pcfg;
+                pf.dp_distance = if dp { 1 } else { 0 };
+                let r = simulate(&w.test, &mut pf, &cfg);
+                rows.push(Figure14Row {
+                    config: config.into(),
+                    latency_cycles: latency,
+                    distance_prefetching: dp,
+                    ipc_improvement_pct: r.ipc_improvement(&base),
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// CSTP degree ablation (DESIGN.md extras): sweep (Ds, Dt).
+#[derive(Debug, Clone, Serialize)]
+pub struct DegreeAblationRow {
+    pub spatial_degree: usize,
+    pub temporal_degree: usize,
+    pub max_degree: usize,
+    pub accuracy: f64,
+    pub coverage: f64,
+    pub ipc_improvement_pct: f64,
+}
+
+pub fn run_degree_ablation(scale: &ExpScale) -> Vec<DegreeAblationRow> {
+    use mpgraph_core::CstpConfig;
+    use mpgraph_frameworks::{App, Framework};
+    let w = build_workload(Framework::Gpop, App::Pr, carrier(scale), scale);
+    let cfg = sim_config();
+    let base = simulate(&w.test, &mut NullPrefetcher, &cfg);
+    let mut rows = Vec::new();
+    for (ds, dt) in [(1usize, 0usize), (2, 0), (2, 1), (2, 2), (4, 2), (2, 4)] {
+        let mut mcfg = mpgraph_cfg();
+        mcfg.cstp = CstpConfig {
+            spatial_degree: ds,
+            temporal_degree: dt,
+        };
+        let mut pf = train_mpgraph(&w.train_llc, w.num_phases, mcfg, &scale.train);
+        let r = simulate(&w.test, &mut pf, &cfg);
+        rows.push(DegreeAblationRow {
+            spatial_degree: ds,
+            temporal_degree: dt,
+            max_degree: mcfg.cstp.max_degree(),
+            accuracy: r.accuracy(),
+            coverage: r.coverage(),
+            ipc_improvement_pct: r.ipc_improvement(&base),
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpgraph_frameworks::{App, Framework};
+
+    #[test]
+    fn one_cell_produces_six_rows() {
+        let scale = ExpScale::quick();
+        let w = build_workload(Framework::Gpop, App::Pr, carrier(&scale), &scale);
+        let rows = run_cell(&w, &scale);
+        assert_eq!(rows.len(), 6);
+        let names: Vec<&str> = rows.iter().map(|r| r.prefetcher.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["BO", "ISB", "Delta-LSTM", "Voyager", "TransFetch", "MPGraph"]
+        );
+        for r in &rows {
+            assert!((0.0..=1.0).contains(&r.accuracy), "{r:?}");
+            assert!((0.0..=1.0).contains(&r.coverage), "{r:?}");
+            assert!(r.ipc > 0.0);
+        }
+    }
+
+    #[test]
+    fn compressed_mpgraph_reports_large_factor() {
+        let scale = ExpScale::quick();
+        let w = build_workload(Framework::Gpop, App::Pr, carrier(&scale), &scale);
+        let (_pf, factor) = compressed_mpgraph(&w, &scale, AmmaConfig::student(4), true);
+        assert!(factor > 10.0, "factor {factor}");
+    }
+}

@@ -1,0 +1,148 @@
+//! Workload construction shared by every experiment: build the synthetic
+//! dataset, trace the (framework, application) pair over it, and split the
+//! trace into the training iteration and the evaluation stream exactly as
+//! the paper's workflow prescribes (Figure 6: train on the first iteration,
+//! test on the following ten).
+
+use crate::scale::ExpScale;
+use mpgraph_frameworks::{generate_trace, App, Framework, MemRecord, Trace, TraceConfig};
+use mpgraph_graph::{standin, Csr, Dataset};
+use mpgraph_sim::llc_filter_indexed;
+
+/// A traced workload with its train/test split.
+#[derive(Debug)]
+pub struct Workload {
+    pub framework: Framework,
+    pub app: App,
+    pub dataset: Dataset,
+    pub num_phases: usize,
+    /// Raw records of the first iteration.
+    pub train: Vec<MemRecord>,
+    /// Raw records of the remaining iterations (simulator input).
+    pub test: Vec<MemRecord>,
+    /// LLC-level view of `train` — what the prefetcher's models see, and
+    /// therefore what they train on (Figure 6's extracted LLC trace).
+    pub train_llc: Vec<MemRecord>,
+    /// LLC-level view of `test` (prediction-metric input, Tables 6/7).
+    pub test_llc: Vec<MemRecord>,
+}
+
+impl Workload {
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/{}",
+            self.framework.name(),
+            self.app.name(),
+            self.dataset.name()
+        )
+    }
+}
+
+/// Splits a trace at the end of its first iteration.
+pub fn split_trace(trace: &Trace, eval_cap: usize) -> (Vec<MemRecord>, Vec<MemRecord>) {
+    let split = trace
+        .iteration_starts
+        .get(1)
+        .copied()
+        .unwrap_or(trace.records.len() / 2);
+    let train = trace.records[..split].to_vec();
+    let test_all = &trace.records[split..];
+    let test = test_all[..test_all.len().min(eval_cap)].to_vec();
+    (train, test)
+}
+
+/// Builds the graph for `dataset` at the experiment scale.
+pub fn build_graph(dataset: Dataset, scale: &ExpScale) -> Csr {
+    standin(dataset, scale.graph_div, 0xC0DE ^ dataset.name().len() as u64)
+}
+
+/// Traces one (framework, app, dataset) cell and splits it.
+pub fn build_workload(
+    framework: Framework,
+    app: App,
+    dataset: Dataset,
+    scale: &ExpScale,
+) -> Workload {
+    let g = build_graph(dataset, scale);
+    let cfg = TraceConfig {
+        iterations: scale.iterations,
+        record_limit: scale.record_limit,
+        ..TraceConfig::default()
+    };
+    let out = generate_trace(framework, app, &g, &cfg);
+    let (train, test) = split_trace(&out.trace, scale.eval_records);
+    // LLC-filter the whole trace in one pass (cache state is continuous
+    // across the split), then cut at the same boundary.
+    let sim_cfg = crate::runners::prefetching::sim_config();
+    let split = out
+        .trace
+        .iteration_starts
+        .get(1)
+        .copied()
+        .unwrap_or(out.trace.records.len() / 2);
+    let test_end = split + test.len();
+    let filtered = llc_filter_indexed(&out.trace.records[..test_end], &sim_cfg);
+    let mut train_llc = Vec::new();
+    let mut test_llc = Vec::new();
+    for (idx, r) in filtered {
+        if idx < split {
+            train_llc.push(r);
+        } else {
+            test_llc.push(r);
+        }
+    }
+    Workload {
+        framework,
+        app,
+        dataset,
+        num_phases: framework.num_phases() as usize,
+        train,
+        test,
+        train_llc,
+        test_llc,
+    }
+}
+
+/// The carrier dataset for single-workload experiments: the first dataset
+/// the scale configures (sparse by default, so a full iteration — with its
+/// phase transitions and dependent gather loads — fits the eval window).
+pub fn carrier(scale: &ExpScale) -> Dataset {
+    scale.datasets.first().copied().unwrap_or(Dataset::Rmat)
+}
+
+/// All 12 (framework, app) cells of Tables 6/7 and Figures 10-12.
+pub fn all_cells() -> Vec<(Framework, App)> {
+    Framework::ALL
+        .iter()
+        .flat_map(|fw| fw.apps().iter().map(move |&app| (*fw, app)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_cells_exactly() {
+        let cells = all_cells();
+        assert_eq!(cells.len(), 12);
+        assert!(cells.contains(&(Framework::PowerGraph, App::Tc)));
+        assert!(!cells.contains(&(Framework::Gpop, App::Tc)));
+    }
+
+    #[test]
+    fn workload_split_respects_iteration_boundary() {
+        let scale = ExpScale::quick();
+        let w = build_workload(Framework::Gpop, App::Pr, Dataset::Rmat, &scale);
+        assert!(!w.train.is_empty());
+        assert!(!w.test.is_empty());
+        assert!(w.test.len() <= scale.eval_records);
+        assert_eq!(w.num_phases, 2);
+        // The training slice is exactly one iteration: its phase sequence
+        // starts at phase 0 and covers both phases.
+        assert_eq!(w.train[0].phase, 0);
+        let phases: std::collections::HashSet<u8> = w.train.iter().map(|r| r.phase).collect();
+        assert_eq!(phases.len(), 2);
+        assert!(!w.label().is_empty());
+    }
+}

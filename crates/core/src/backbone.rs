@@ -1,0 +1,287 @@
+//! Unified sequence-model backbone used by the Table 6/7 comparisons: the
+//! same predictor heads can run on an LSTM (the Hashemi-style baseline row),
+//! a vanilla attention stack (the TransFetch-style row), or AMMA — so the
+//! only difference measured is exactly what the paper varies.
+
+use crate::amma::{Amma, AmmaConfig, ModalInput};
+use mpgraph_ml::layers::{Linear, Module, Param};
+use mpgraph_ml::lstm::Lstm;
+use mpgraph_ml::tensor::Matrix;
+use mpgraph_ml::transformer::TransformerLayer;
+use rand_chacha::ChaCha8Rng;
+
+/// Which sequence model extracts features.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackboneKind {
+    /// Concatenated-modality LSTM (Tables 6-7 "LSTM" row; hidden = fusion
+    /// dim for parameter parity).
+    Lstm,
+    /// Vanilla Transformer over concatenated modalities with the PC as
+    /// plain side features (Tables 6-7 "Attention" row; 2 layers).
+    Attention,
+    /// The paper's multi-modality attention fusion network.
+    Amma,
+}
+
+impl BackboneKind {
+    pub fn name(&self) -> &'static str {
+        match self {
+            BackboneKind::Lstm => "LSTM",
+            BackboneKind::Attention => "Attention",
+            BackboneKind::Amma => "AMMA",
+        }
+    }
+}
+
+/// A backbone instance. All variants map a [`ModalInput`] (addr features
+/// `[T, Fa]`, pc features `[T, Fp]`) to a pooled `[1, out_dim]` vector.
+#[derive(Debug, Clone)]
+pub enum Backbone {
+    Lstm {
+        lstm: Lstm,
+        cache_rows: usize,
+        pc_feats: usize,
+    },
+    Attention {
+        proj: Linear,
+        layers: Vec<TransformerLayer>,
+        dim: usize,
+        cache_rows: usize,
+        pc_feats: usize,
+    },
+    Amma(Amma),
+}
+
+impl Backbone {
+    pub fn new(
+        kind: BackboneKind,
+        addr_feats: usize,
+        pc_feats: usize,
+        cfg: AmmaConfig,
+        rng: &mut ChaCha8Rng,
+    ) -> Self {
+        match kind {
+            BackboneKind::Lstm => Backbone::Lstm {
+                lstm: Lstm::new(addr_feats + pc_feats, cfg.fusion_dim, rng),
+                cache_rows: 0,
+                pc_feats,
+            },
+            BackboneKind::Attention => Backbone::Attention {
+                proj: Linear::new(addr_feats + pc_feats, cfg.fusion_dim, rng),
+                layers: (0..2)
+                    .map(|_| TransformerLayer::new(cfg.fusion_dim, cfg.heads, rng))
+                    .collect(),
+                dim: cfg.fusion_dim,
+                cache_rows: 0,
+                pc_feats,
+            },
+            BackboneKind::Amma => Backbone::Amma(Amma::new(addr_feats, pc_feats, cfg, rng)),
+        }
+    }
+
+    /// Enables phase-informed mode (only meaningful for AMMA).
+    pub fn with_phase_embedding(self, num_phases: usize, rng: &mut ChaCha8Rng) -> Self {
+        match self {
+            Backbone::Amma(a) => Backbone::Amma(a.with_phase_embedding(num_phases, rng)),
+            other => other,
+        }
+    }
+
+    pub fn out_dim(&self) -> usize {
+        match self {
+            Backbone::Lstm { lstm, .. } => lstm.hidden_dim(),
+            Backbone::Attention { dim, .. } => *dim,
+            Backbone::Amma(a) => a.out_dim(),
+        }
+    }
+
+    fn concat(x: &ModalInput) -> Matrix {
+        let rows = x.addr.rows;
+        let mut out = Matrix::zeros(rows, x.addr.cols + x.pc.cols);
+        for r in 0..rows {
+            out.row_mut(r)[..x.addr.cols].copy_from_slice(x.addr.row(r));
+            out.row_mut(r)[x.addr.cols..].copy_from_slice(x.pc.row(r));
+        }
+        out
+    }
+
+    pub fn forward(&mut self, x: &ModalInput, phase: usize) -> Matrix {
+        match self {
+            Backbone::Lstm { lstm, cache_rows, .. } => {
+                *cache_rows = x.addr.rows;
+                let h = lstm.forward(&Self::concat(x));
+                Matrix::from_vec(1, h.cols, h.row(h.rows - 1).to_vec())
+            }
+            Backbone::Attention {
+                proj,
+                layers,
+                cache_rows,
+                ..
+            } => {
+                *cache_rows = x.addr.rows;
+                let mut h = proj.forward(&Self::concat(x));
+                h.add_assign(&mpgraph_ml::tensor::positional_encoding(h.rows, h.cols));
+                for l in layers.iter_mut() {
+                    h = l.forward(&h);
+                }
+                Matrix::from_vec(1, h.cols, h.row(h.rows - 1).to_vec())
+            }
+            Backbone::Amma(a) => a.forward(x, phase),
+        }
+    }
+
+    pub fn infer(&self, x: &ModalInput, phase: usize) -> Matrix {
+        match self {
+            Backbone::Lstm { lstm, .. } => {
+                let h = lstm.infer(&Self::concat(x));
+                Matrix::from_vec(1, h.cols, h.row(h.rows - 1).to_vec())
+            }
+            Backbone::Attention { proj, layers, .. } => {
+                let mut h = proj.infer(&Self::concat(x));
+                h.add_assign(&mpgraph_ml::tensor::positional_encoding(h.rows, h.cols));
+                for l in layers {
+                    h = l.infer(&h);
+                }
+                Matrix::from_vec(1, h.cols, h.row(h.rows - 1).to_vec())
+            }
+            Backbone::Amma(a) => a.infer(x, phase),
+        }
+    }
+
+    /// Backward pass; returns gradients w.r.t. the modality inputs
+    /// `(d_addr, d_pc)` so upstream embeddings can train.
+    pub fn backward(&mut self, d_out: &Matrix) -> (Matrix, Matrix) {
+        match self {
+            Backbone::Lstm {
+                lstm,
+                cache_rows,
+                pc_feats,
+            } => {
+                let rows = *cache_rows;
+                let mut dh = Matrix::zeros(rows, d_out.cols);
+                dh.row_mut(rows - 1).copy_from_slice(d_out.row(0));
+                let dx = lstm.backward(&dh);
+                Self::split_concat(&dx, *pc_feats)
+            }
+            Backbone::Attention {
+                proj,
+                layers,
+                cache_rows,
+                dim,
+                pc_feats,
+            } => {
+                let rows = *cache_rows;
+                let mut dh = Matrix::zeros(rows, *dim);
+                dh.row_mut(rows - 1).copy_from_slice(d_out.row(0));
+                for l in layers.iter_mut().rev() {
+                    dh = l.backward(&dh);
+                }
+                let dx = proj.backward(&dh);
+                Self::split_concat(&dx, *pc_feats)
+            }
+            Backbone::Amma(a) => a.backward(d_out),
+        }
+    }
+
+    /// Splits a concatenated-input gradient back into (addr, pc) parts;
+    /// the pc modality occupies the trailing `pc_cols` columns.
+    fn split_concat(dx: &Matrix, pc_cols: usize) -> (Matrix, Matrix) {
+        let a_cols = dx.cols - pc_cols;
+        let mut da = Matrix::zeros(dx.rows, a_cols);
+        let mut dp = Matrix::zeros(dx.rows, pc_cols);
+        for r in 0..dx.rows {
+            da.row_mut(r).copy_from_slice(&dx.row(r)[..a_cols]);
+            dp.row_mut(r).copy_from_slice(&dx.row(r)[a_cols..]);
+        }
+        (da, dp)
+    }
+}
+
+impl Module for Backbone {
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        match self {
+            Backbone::Lstm { lstm, .. } => lstm.for_each_param(f),
+            Backbone::Attention { proj, layers, .. } => {
+                proj.for_each_param(f);
+                for l in layers {
+                    l.for_each_param(f);
+                }
+            }
+            Backbone::Amma(a) => a.for_each_param(f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpgraph_ml::tensor::rng;
+
+    fn tiny_cfg() -> AmmaConfig {
+        AmmaConfig {
+            history: 4,
+            attn_dim: 8,
+            fusion_dim: 16,
+            layers: 1,
+            heads: 2,
+        }
+    }
+
+    fn input(seed: u64) -> ModalInput {
+        let mut r = rng(seed);
+        ModalInput {
+            addr: Matrix::xavier(4, 3, &mut r),
+            pc: Matrix::xavier(4, 1, &mut r),
+        }
+    }
+
+    #[test]
+    fn all_kinds_produce_same_shape() {
+        let mut r = rng(1);
+        for kind in [BackboneKind::Lstm, BackboneKind::Attention, BackboneKind::Amma] {
+            let mut b = Backbone::new(kind, 3, 1, tiny_cfg(), &mut r);
+            let y = b.forward(&input(2), 0);
+            assert_eq!((y.rows, y.cols), (1, 16), "{}", kind.name());
+            assert_eq!(b.out_dim(), 16);
+            let y2 = b.infer(&input(2), 0);
+            for (a, c) in y.data.iter().zip(y2.data.iter()) {
+                assert!((a - c).abs() < 1e-6, "{}", kind.name());
+            }
+        }
+    }
+
+    #[test]
+    fn backward_accumulates_gradients_everywhere() {
+        let mut r = rng(3);
+        for kind in [BackboneKind::Lstm, BackboneKind::Attention, BackboneKind::Amma] {
+            let mut b = Backbone::new(kind, 3, 1, tiny_cfg(), &mut r);
+            let _ = b.forward(&input(4), 0);
+            let mut d = Matrix::zeros(1, 16);
+            d.data.fill(1.0);
+            b.backward(&d);
+            let mut total = 0.0f32;
+            b.for_each_param(&mut |p| total += p.g.norm());
+            assert!(total > 0.0, "{} has zero gradients", kind.name());
+        }
+    }
+
+    #[test]
+    fn phase_embedding_only_affects_amma() {
+        let mut r = rng(5);
+        let b = Backbone::new(BackboneKind::Lstm, 3, 1, tiny_cfg(), &mut r)
+            .with_phase_embedding(2, &mut r);
+        // LSTM backbone ignores the request (stays phase-blind).
+        let x = input(6);
+        assert_eq!(b.infer(&x, 0), b.infer(&x, 1));
+        let a = Backbone::new(BackboneKind::Amma, 3, 1, tiny_cfg(), &mut r)
+            .with_phase_embedding(2, &mut r);
+        assert_ne!(a.infer(&x, 0), a.infer(&x, 1));
+    }
+
+    #[test]
+    fn kind_names_match_tables() {
+        assert_eq!(BackboneKind::Lstm.name(), "LSTM");
+        assert_eq!(BackboneKind::Attention.name(), "Attention");
+        assert_eq!(BackboneKind::Amma.name(), "AMMA");
+    }
+}

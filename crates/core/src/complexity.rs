@@ -1,0 +1,166 @@
+//! Computational-complexity accounting for Table 8: parameter counts,
+//! inference operation counts, and critical-path class for MPGraph and the
+//! ML baselines.
+
+use crate::delta_predictor::DeltaPredictor;
+use crate::page_predictor::PagePredictor;
+
+/// Critical-path class of a model's inference (Table 8's third column):
+/// attention stacks are `O(l)` in the layer count; recurrent models are
+/// `O(n·l)` in sequence length × layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CriticalPath {
+    Layers,
+    SequenceTimesLayers,
+}
+
+impl CriticalPath {
+    pub fn notation(&self) -> &'static str {
+        match self {
+            CriticalPath::Layers => "O(l)",
+            CriticalPath::SequenceTimesLayers => "O(nl)",
+        }
+    }
+}
+
+/// One Table 8 row.
+#[derive(Debug, Clone)]
+pub struct ComplexityRow {
+    pub model: String,
+    /// Trainable parameters (thousands in the paper's table).
+    pub params: usize,
+    /// Estimated multiply-accumulate operations per inference.
+    pub ops: usize,
+    pub critical_path: CriticalPath,
+}
+
+impl ComplexityRow {
+    pub fn params_k(&self) -> f64 {
+        self.params as f64 / 1e3
+    }
+    pub fn ops_m(&self) -> f64 {
+        self.ops as f64 / 1e6
+    }
+}
+
+/// Operation estimate for a dense model: every parameter participates in
+/// one multiply-accumulate per *position*; attention models process the
+/// whole T-length sequence, so weight reuse across positions multiplies
+/// the count.
+pub fn ops_estimate(params: usize, seq_len: usize) -> usize {
+    2 * params * seq_len
+}
+
+/// Builds the MPGraph row(s) of Table 8 from trained predictors.
+pub fn mpgraph_complexity(
+    name: &str,
+    delta: &mut DeltaPredictor,
+    page: &mut PagePredictor,
+    seq_len: usize,
+) -> ComplexityRow {
+    let params = delta.num_params() + page.num_params();
+    ComplexityRow {
+        model: name.to_string(),
+        params,
+        ops: ops_estimate(params, seq_len),
+        critical_path: CriticalPath::Layers,
+    }
+}
+
+/// Generic row for an external model (the baselines report their own
+/// parameter counts).
+pub fn baseline_complexity(
+    name: &str,
+    params: usize,
+    seq_len: usize,
+    critical_path: CriticalPath,
+) -> ComplexityRow {
+    ComplexityRow {
+        model: name.to_string(),
+        params,
+        ops: ops_estimate(params, seq_len),
+        critical_path,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::amma::AmmaConfig;
+    use crate::delta_predictor::DeltaPredictorConfig;
+    use crate::page_predictor::{PageHead, PagePredictorConfig};
+    use crate::variants::Variant;
+    use mpgraph_frameworks::MemRecord;
+    use mpgraph_prefetchers::TrainCfg;
+
+    #[test]
+    fn notation_matches_table8() {
+        assert_eq!(CriticalPath::Layers.notation(), "O(l)");
+        assert_eq!(CriticalPath::SequenceTimesLayers.notation(), "O(nl)");
+    }
+
+    #[test]
+    fn ops_scale_with_sequence() {
+        assert_eq!(ops_estimate(100, 9), 1800);
+        assert!(ops_estimate(100, 18) > ops_estimate(100, 9));
+    }
+
+    #[test]
+    fn mpgraph_row_reports_combined_params() {
+        let records: Vec<MemRecord> = (0..200)
+            .map(|i| MemRecord {
+                pc: 0x400000,
+                vaddr: 0x100000 + i * 64,
+                core: 0,
+                is_write: false,
+                phase: 0,
+                gap: 1, dep: false,
+            })
+            .collect();
+        let amma = AmmaConfig {
+            history: 4,
+            attn_dim: 8,
+            fusion_dim: 16,
+            layers: 1,
+            heads: 2,
+        };
+        let tc = TrainCfg {
+            history: 4,
+            max_samples: 20,
+            epochs: 1,
+            lr: 1e-3,
+            seed: 1,
+        };
+        let mut d = DeltaPredictor::train(
+            &records,
+            1,
+            Variant::Amma,
+            DeltaPredictorConfig {
+                amma,
+                segments: 4,
+                delta_range: 7,
+                look_forward: 4,
+                threshold: 0.5,
+            },
+            &tc,
+        );
+        let mut p = PagePredictor::train(
+            &records,
+            1,
+            Variant::Amma,
+            PagePredictorConfig {
+                amma,
+                page_vocab: 32,
+                embed_dim: 4,
+                head: PageHead::Softmax,
+            },
+            &tc,
+        );
+        let row = mpgraph_complexity("MPGraph", &mut d, &mut p, 4);
+        assert_eq!(row.params, d.num_params() + p.num_params());
+        assert_eq!(row.ops, 2 * row.params * 4);
+        assert_eq!(row.critical_path, CriticalPath::Layers);
+        assert!(row.params_k() > 0.0);
+        assert!(row.ops_m() > 0.0);
+    }
+}

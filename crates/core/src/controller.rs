@@ -1,0 +1,143 @@
+//! Prefetching controller (§4.4.1): on a detected phase transition it
+//! activates all N phase-specific predictors in parallel, monitors their
+//! delta-prediction hit rates over a short probe window, and switches to
+//! the best performing one.
+
+/// Probe bookkeeping for one phase model.
+#[derive(Debug, Clone, Default)]
+struct PhaseScore {
+    hits: usize,
+    /// Blocks the model predicted on the previous access (checked against
+    /// the next demanded block).
+    last_preds: Vec<u64>,
+}
+
+/// The phase-selection controller.
+#[derive(Debug, Clone)]
+pub struct Controller {
+    num_phases: usize,
+    current: usize,
+    probe_window: usize,
+    remaining: usize,
+    scores: Vec<PhaseScore>,
+    /// Total transitions acted on (introspection).
+    pub transitions_handled: usize,
+}
+
+impl Controller {
+    pub fn new(num_phases: usize, probe_window: usize) -> Self {
+        Controller {
+            num_phases: num_phases.max(1),
+            current: 0,
+            probe_window: probe_window.max(1),
+            remaining: 0,
+            scores: vec![PhaseScore::default(); num_phases.max(1)],
+            transitions_handled: 0,
+        }
+    }
+
+    /// Currently selected phase model.
+    pub fn current_phase(&self) -> usize {
+        self.current
+    }
+
+    /// Whether the controller is inside a probe window (all models active).
+    pub fn probing(&self) -> bool {
+        self.remaining > 0
+    }
+
+    /// Signal from the transition detector.
+    pub fn on_transition(&mut self) {
+        self.transitions_handled += 1;
+        self.remaining = self.probe_window;
+        for s in self.scores.iter_mut() {
+            s.hits = 0;
+            s.last_preds.clear();
+        }
+    }
+
+    /// During a probe, feeds the demanded block plus each phase model's
+    /// fresh predictions; outside a probe this is a no-op. Returns the
+    /// selected phase when the probe window completes.
+    pub fn observe(&mut self, demanded_block: u64, per_phase_preds: &[Vec<u64>]) -> Option<usize> {
+        if self.remaining == 0 {
+            return None;
+        }
+        assert_eq!(per_phase_preds.len(), self.num_phases);
+        for (s, preds) in self.scores.iter_mut().zip(per_phase_preds.iter()) {
+            if s.last_preds.contains(&demanded_block) {
+                s.hits += 1;
+            }
+            s.last_preds = preds.clone();
+        }
+        self.remaining -= 1;
+        if self.remaining == 0 {
+            let best = self
+                .scores
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, s)| s.hits)
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            self.current = best;
+            Some(best)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selects_the_phase_whose_predictions_hit()
+    {
+        let mut c = Controller::new(2, 4);
+        assert_eq!(c.current_phase(), 0);
+        c.on_transition();
+        assert!(c.probing());
+        // Phase-1 model always predicts the block that arrives next
+        // (blocks 100, 101, 102, ...); phase-0 predicts junk.
+        let mut selected = None;
+        for i in 0..4u64 {
+            let preds = vec![vec![5_000 + i], vec![100 + i + 1]];
+            selected = c.observe(100 + i, &preds);
+        }
+        assert_eq!(selected, Some(1));
+        assert_eq!(c.current_phase(), 1);
+        assert!(!c.probing());
+        assert_eq!(c.transitions_handled, 1);
+    }
+
+    #[test]
+    fn observe_outside_probe_is_noop() {
+        let mut c = Controller::new(2, 4);
+        assert_eq!(c.observe(1, &[vec![], vec![]]), None);
+        assert_eq!(c.current_phase(), 0);
+    }
+
+    #[test]
+    fn retransition_restarts_probe() {
+        let mut c = Controller::new(2, 2);
+        c.on_transition();
+        let _ = c.observe(1, &[vec![2], vec![]]);
+        c.on_transition(); // restart mid-probe
+        assert!(c.probing());
+        let _ = c.observe(2, &[vec![3], vec![]]);
+        let sel = c.observe(3, &[vec![4], vec![]]);
+        // Phase 0 predicted 3 before 3 arrived → it wins.
+        assert_eq!(sel, Some(0));
+        assert_eq!(c.transitions_handled, 2);
+    }
+
+    #[test]
+    fn single_phase_is_trivial() {
+        let mut c = Controller::new(1, 2);
+        c.on_transition();
+        let _ = c.observe(1, &[vec![]]);
+        let sel = c.observe(2, &[vec![]]);
+        assert_eq!(sel, Some(0));
+    }
+}

@@ -1,0 +1,183 @@
+//! Chain Spatio-Temporal Prefetching (§4.4.2, Figure 8): the spatial delta
+//! predictor and temporal page predictor run in parallel; a Page Base
+//! Offset Table (PBOT) records the latest offset and PC seen on each page,
+//! letting the predicted page seed further spatial inference — a chain that
+//! continues until the temporal degree is exhausted or the PBOT misses.
+//!
+//! With spatial degree `Ds` and temporal degree `Dt`, the total prefetch
+//! degree ranges over `Ds + 1 ≤ Dp ≤ Ds(Dt + 1)` (Eq. 11).
+
+use crate::delta_predictor::DeltaPredictor;
+use crate::page_predictor::PagePredictor;
+use std::collections::HashMap;
+
+/// Page Base Offset Table: page → (latest block offset, latest PC).
+/// Bounded FIFO-ish: on overflow the table is halved by dropping the
+/// stalest insertions (a hardware table would be set-indexed; the effect —
+/// finite reach — is the same).
+#[derive(Debug, Clone)]
+pub struct Pbot {
+    map: HashMap<u64, (u64, u64, u64)>, // page -> (offset, pc, stamp)
+    capacity: usize,
+    clock: u64,
+}
+
+impl Pbot {
+    pub fn new(capacity: usize) -> Self {
+        Pbot {
+            map: HashMap::with_capacity(capacity),
+            capacity: capacity.max(1),
+            clock: 0,
+        }
+    }
+
+    /// Records the latest (offset, pc) for `page`.
+    pub fn update(&mut self, page: u64, offset: u64, pc: u64) {
+        self.clock += 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&page) {
+            // Evict the oldest half to amortize the scan.
+            let mut stamps: Vec<u64> = self.map.values().map(|&(_, _, s)| s).collect();
+            stamps.sort_unstable();
+            let cutoff = stamps[stamps.len() / 2];
+            self.map.retain(|_, &mut (_, _, s)| s > cutoff);
+        }
+        self.map.insert(page, (offset, pc, self.clock));
+    }
+
+    /// Latest (offset, pc) recorded for `page`.
+    pub fn get(&self, page: u64) -> Option<(u64, u64)> {
+        self.map.get(&page).map(|&(o, p, _)| (o, p))
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// CSTP degrees (paper: Ds = 2, Dt = 2, total degree 6).
+#[derive(Debug, Clone, Copy)]
+pub struct CstpConfig {
+    pub spatial_degree: usize,
+    pub temporal_degree: usize,
+}
+
+impl Default for CstpConfig {
+    fn default() -> Self {
+        CstpConfig {
+            spatial_degree: 2,
+            temporal_degree: 2,
+        }
+    }
+}
+
+impl CstpConfig {
+    /// Eq. 11 upper bound on the total prefetch degree.
+    pub fn max_degree(&self) -> usize {
+        self.spatial_degree * (self.temporal_degree + 1)
+    }
+}
+
+/// Generates one CSTP prefetch batch.
+///
+/// * `block_hist` — the last T (block, pc) pairs, most recent last;
+/// * `page_hist` — the last T (page token, pc) pairs;
+/// * `phase` — the controller's selected phase (chooses the PS models).
+pub fn chain_prefetch(
+    delta: &DeltaPredictor,
+    page: &PagePredictor,
+    pbot: &Pbot,
+    block_hist: &[(u64, u64)],
+    page_hist: &[(usize, u64)],
+    phase: usize,
+    cfg: &CstpConfig,
+) -> Vec<u64> {
+    let mut out = Vec::with_capacity(cfg.max_degree());
+    let &(cur_block, _) = block_hist.last().expect("non-empty history");
+
+    // --- Spatial at the current access: Ds deltas.
+    for d in delta.predict_deltas(block_hist, phase, cfg.spatial_degree) {
+        let t = cur_block as i64 + d;
+        if t >= 0 {
+            out.push(t as u64);
+        }
+    }
+
+    // --- Temporal chain.
+    let mut ph: Vec<(usize, u64)> = page_hist.to_vec();
+    let mut bh: Vec<(u64, u64)> = block_hist.to_vec();
+    for _step in 0..cfg.temporal_degree {
+        // Predict the next page (skip the OOV token).
+        let Some(&next_page) = page.predict_pages(&ph, phase, 1).first() else {
+            break;
+        };
+        // PBOT lookup: chain ends when the page base offset is missing.
+        let Some((offset, pbot_pc)) = pbot.get(next_page) else {
+            break;
+        };
+        let base = (next_page << 6) | (offset & 63);
+        out.push(base);
+        // Further spatial inference from the chained base: shift the block
+        // history as if the base had just been accessed.
+        bh.remove(0);
+        bh.push((base, pbot_pc));
+        for d in delta
+            .predict_deltas(&bh, phase, cfg.spatial_degree.saturating_sub(1))
+        {
+            let t = base as i64 + d;
+            if t >= 0 {
+                out.push(t as u64);
+            }
+        }
+        // Extend the page history with the predicted page for the next
+        // temporal step.
+        let tok = page.vocab.token_of(next_page);
+        ph.remove(0);
+        ph.push((tok, pbot_pc));
+    }
+    out.truncate(cfg.max_degree());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pbot_tracks_latest_offset() {
+        let mut p = Pbot::new(16);
+        assert!(p.is_empty());
+        p.update(10, 5, 100);
+        p.update(10, 9, 104);
+        assert_eq!(p.get(10), Some((9, 104)));
+        assert_eq!(p.get(11), None);
+    }
+
+    #[test]
+    fn pbot_bounds_capacity() {
+        let mut p = Pbot::new(8);
+        for page in 0..100u64 {
+            p.update(page, 0, 0);
+        }
+        assert!(p.len() <= 8);
+        // Most recent pages survive.
+        assert!(p.get(99).is_some());
+    }
+
+    #[test]
+    fn max_degree_matches_eq11() {
+        let cfg = CstpConfig {
+            spatial_degree: 2,
+            temporal_degree: 2,
+        };
+        assert_eq!(cfg.max_degree(), 6);
+        let wide = CstpConfig {
+            spatial_degree: 4,
+            temporal_degree: 3,
+        };
+        assert_eq!(wide.max_degree(), 16);
+    }
+}

@@ -1,0 +1,392 @@
+//! Spatial delta predictor (§4.3.3, Figure 7a): segmented block-address
+//! and hashed-PC modalities → backbone (AMMA by default) → MLP head with
+//! sigmoid, trained as multi-label classification over the bitmap of
+//! future block deltas within one page (BCE loss).
+
+use crate::amma::{AmmaConfig, ModalInput};
+use crate::backbone::Backbone;
+use crate::variants::Variant;
+use mpgraph_frameworks::MemRecord;
+use mpgraph_ml::layers::{Linear, Module, Sigmoid};
+use mpgraph_ml::loss::bce_with_logits;
+use mpgraph_ml::metrics::{multilabel_f1, top_k_indices, Prf};
+use mpgraph_ml::optim::Adam;
+use mpgraph_ml::tensor::{rng, Matrix};
+use mpgraph_prefetchers::mlcommon::{pc_feature, segment_block};
+use mpgraph_prefetchers::TrainCfg;
+
+/// Bidirectional delta↔label mapping over `[-range, +range] \ {0}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaRange {
+    pub range: i64,
+}
+
+impl DeltaRange {
+    pub fn num_labels(&self) -> usize {
+        2 * self.range as usize
+    }
+
+    pub fn label_of(&self, delta: i64) -> Option<usize> {
+        if delta == 0 || delta.abs() > self.range {
+            return None;
+        }
+        Some(if delta > 0 {
+            (self.range + delta - 1) as usize
+        } else {
+            (self.range + delta) as usize
+        })
+    }
+
+    pub fn delta_of(&self, label: usize) -> i64 {
+        let l = label as i64;
+        if l >= self.range {
+            l - self.range + 1
+        } else {
+            l - self.range
+        }
+    }
+}
+
+/// Delta-predictor hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DeltaPredictorConfig {
+    pub amma: AmmaConfig,
+    /// 4-bit address segments per block address.
+    pub segments: usize,
+    /// Spatial range: one page = ±63 blocks.
+    pub delta_range: i64,
+    /// Future accesses scanned for labels (Table 5: F = 256; scaled).
+    pub look_forward: usize,
+    /// Sigmoid threshold for emitting a positive label.
+    pub threshold: f32,
+}
+
+impl Default for DeltaPredictorConfig {
+    fn default() -> Self {
+        DeltaPredictorConfig {
+            amma: AmmaConfig::default(),
+            segments: 9,
+            delta_range: 63,
+            // Table 5 uses F = 256; 96 at our ~3× shorter per-iteration
+            // LLC streams preserves the look-ahead horizon that makes the
+            // predicted deltas timely.
+            look_forward: 96,
+            threshold: 0.5,
+        }
+    }
+}
+
+/// The spatial delta predictor, in any of the five Table 6 variants.
+pub struct DeltaPredictor {
+    pub variant: Variant,
+    pub cfg: DeltaPredictorConfig,
+    /// One (backbone, head) per phase for AMMA-PS, otherwise length 1.
+    pub(crate) models: Vec<(Backbone, Linear)>,
+    pub(crate) num_phases: usize,
+    pub final_loss: f32,
+}
+
+impl DeltaPredictor {
+    fn encode(cfg: &DeltaPredictorConfig, hist: &[(u64, u64)]) -> ModalInput {
+        let mut addr = Matrix::zeros(hist.len(), cfg.segments);
+        let mut pc = Matrix::zeros(hist.len(), 1);
+        for (i, &(block, pcv)) in hist.iter().enumerate() {
+            addr.row_mut(i)
+                .copy_from_slice(&segment_block(block, cfg.segments));
+            pc.data[i] = pc_feature(pcv);
+        }
+        ModalInput { addr, pc }
+    }
+
+    /// Builds the label bitmap for the access at `pos` (deltas of the next
+    /// `look_forward` accesses relative to `records[pos]`'s block).
+    fn label_bitmap(cfg: &DeltaPredictorConfig, records: &[MemRecord], pos: usize) -> Matrix {
+        let dr = DeltaRange {
+            range: cfg.delta_range,
+        };
+        let cur = records[pos].block() as i64;
+        let mut target = Matrix::zeros(1, dr.num_labels());
+        for fut in records.iter().skip(pos + 1).take(cfg.look_forward) {
+            if let Some(l) = dr.label_of(fut.block() as i64 - cur) {
+                target.data[l] = 1.0;
+            }
+        }
+        target
+    }
+
+    /// Trains the predictor on `records` (one framework iteration, with
+    /// ground-truth phase labels available offline per Figure 6).
+    pub fn train(
+        records: &[MemRecord],
+        num_phases: usize,
+        variant: Variant,
+        cfg: DeltaPredictorConfig,
+        tc: &TrainCfg,
+    ) -> Self {
+        let dr = DeltaRange {
+            range: cfg.delta_range,
+        };
+        let model_count = if variant.is_phase_specific() {
+            num_phases
+        } else {
+            1
+        };
+        let mut r = rng(tc.seed ^ 0xDE17A);
+        let mut models: Vec<(Backbone, Linear)> = (0..model_count)
+            .map(|_| {
+                let mut b = Backbone::new(
+                    variant.backbone_kind(),
+                    cfg.segments,
+                    1,
+                    cfg.amma,
+                    &mut r,
+                );
+                if variant.is_phase_informed() {
+                    b = b.with_phase_embedding(num_phases, &mut r);
+                }
+                let head = Linear::new(b.out_dim(), dr.num_labels(), &mut r);
+                (b, head)
+            })
+            .collect();
+        let mut opts: Vec<Adam> = (0..model_count).map(|_| Adam::new(tc.lr)).collect();
+
+        let t = tc.history;
+        let usable = records.len().saturating_sub(t + cfg.look_forward);
+        let stride = (usable / tc.max_samples.max(1)).max(1);
+        let mut final_loss = 0.0f32;
+        for _ in 0..tc.epochs {
+            let mut i = 0usize;
+            let mut count = 0usize;
+            let mut loss_sum = 0.0f32;
+            while i + t + cfg.look_forward < records.len() && count < tc.max_samples {
+                let pos = i + t - 1;
+                let phase = records[pos].phase as usize % num_phases.max(1);
+                let midx = if variant.is_phase_specific() { phase } else { 0 };
+                let hist: Vec<(u64, u64)> = records[i..i + t]
+                    .iter()
+                    .map(|rec| (rec.block(), rec.pc))
+                    .collect();
+                let x = Self::encode(&cfg, &hist);
+                let target = Self::label_bitmap(&cfg, records, pos);
+                let (backbone, head) = &mut models[midx];
+                let pooled = backbone.forward(&x, phase);
+                let logits = head.forward(&pooled);
+                let (loss, dl) = bce_with_logits(&logits, &target);
+                loss_sum += loss;
+                let dp = head.backward(&dl);
+                backbone.backward(&dp);
+                opts[midx].step(backbone);
+                opts[midx].step(head);
+                i += stride;
+                count += 1;
+            }
+            final_loss = if count > 0 {
+                loss_sum / count as f32
+            } else {
+                f32::NAN
+            };
+        }
+        DeltaPredictor {
+            variant,
+            cfg,
+            models,
+            num_phases: num_phases.max(1),
+            final_loss,
+        }
+    }
+
+    fn model_for(&self, phase: usize) -> &(Backbone, Linear) {
+        if self.variant.is_phase_specific() {
+            &self.models[phase % self.models.len()]
+        } else {
+            &self.models[0]
+        }
+    }
+
+    /// Sigmoid probabilities over the delta bitmap.
+    pub fn predict_scores(&self, hist: &[(u64, u64)], phase: usize) -> Vec<f32> {
+        Sigmoid::infer(&self.predict_logits(hist, phase)).data
+    }
+
+    /// Raw head logits (pre-sigmoid) — the knowledge-distillation target.
+    pub fn predict_logits(&self, hist: &[(u64, u64)], phase: usize) -> Matrix {
+        let (backbone, head) = self.model_for(phase);
+        let x = Self::encode(&self.cfg, hist);
+        let pooled = backbone.infer(&x, phase);
+        head.infer(&pooled)
+    }
+
+    /// Crate-internal: encode a history window (shared with distillation).
+    pub(crate) fn encode_hist(cfg: &DeltaPredictorConfig, hist: &[(u64, u64)]) -> ModalInput {
+        Self::encode(cfg, hist)
+    }
+
+
+    /// Top-`k` predicted deltas above the confidence threshold.
+    pub fn predict_deltas(&self, hist: &[(u64, u64)], phase: usize, k: usize) -> Vec<i64> {
+        let dr = DeltaRange {
+            range: self.cfg.delta_range,
+        };
+        let scores = self.predict_scores(hist, phase);
+        top_k_indices(&scores, k)
+            .into_iter()
+            .filter(|&i| scores[i] >= self.cfg.threshold)
+            .map(|i| dr.delta_of(i))
+            .collect()
+    }
+
+    /// Table 6 metric: micro-F1 of the thresholded bitmap against the
+    /// ground-truth future-delta bitmap over a test trace.
+    pub fn evaluate_f1(&self, records: &[MemRecord], tc: &TrainCfg, max_samples: usize) -> Prf {
+        let t = tc.history;
+        let usable = records.len().saturating_sub(t + self.cfg.look_forward);
+        let stride = (usable / max_samples.max(1)).max(1);
+        let mut preds = Vec::new();
+        let mut targs = Vec::new();
+        let mut i = 0usize;
+        while i + t + self.cfg.look_forward < records.len() && preds.len() < max_samples {
+            let pos = i + t - 1;
+            let phase = records[pos].phase as usize % self.num_phases;
+            let hist: Vec<(u64, u64)> = records[i..i + t]
+                .iter()
+                .map(|rec| (rec.block(), rec.pc))
+                .collect();
+            let scores = self.predict_scores(&hist, phase);
+            let target = Self::label_bitmap(&self.cfg, records, pos);
+            preds.push(scores.iter().map(|&s| s >= self.cfg.threshold).collect());
+            targs.push(target.data.iter().map(|&v| v > 0.5).collect());
+            i += stride;
+        }
+        multilabel_f1(&preds, &targs)
+    }
+
+    /// Total trainable parameters across all phase models (Table 8).
+    pub fn num_params(&mut self) -> usize {
+        self.models
+            .iter_mut()
+            .map(|(b, h)| b.num_params() + h.num_params())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(vaddr: u64, pc: u64, phase: u8) -> MemRecord {
+        MemRecord {
+            pc,
+            vaddr,
+            core: 0,
+            is_write: false,
+            phase,
+            gap: 1, dep: false,
+        }
+    }
+
+    /// Two-phase trace: phase 0 strides +1 block, phase 1 strides +4.
+    fn two_phase_trace(n_per_phase: usize, reps: usize) -> Vec<MemRecord> {
+        let mut v = Vec::new();
+        for _rep in 0..reps {
+            let mut a0 = 1u64 << 22;
+            for _ in 0..n_per_phase {
+                v.push(rec(a0, 0x400000, 0));
+                a0 += 64;
+            }
+            let mut a1 = 1u64 << 26;
+            for _ in 0..n_per_phase {
+                v.push(rec(a1, 0x401000, 1));
+                a1 += 4 * 64;
+            }
+        }
+        v
+    }
+
+    fn quick_cfg() -> (DeltaPredictorConfig, TrainCfg) {
+        (
+            DeltaPredictorConfig {
+                amma: AmmaConfig {
+                    history: 5,
+                    attn_dim: 8,
+                    fusion_dim: 16,
+                    layers: 1,
+                    heads: 2,
+                },
+                segments: 6,
+                delta_range: 15,
+                look_forward: 6,
+                threshold: 0.5,
+            },
+            TrainCfg {
+                history: 5,
+                max_samples: 250,
+                epochs: 4,
+                lr: 4e-3,
+                seed: 11,
+            },
+        )
+    }
+
+    #[test]
+    fn delta_range_bijection() {
+        let dr = DeltaRange { range: 63 };
+        assert_eq!(dr.num_labels(), 126);
+        for d in (-63i64..=63).filter(|&d| d != 0) {
+            assert_eq!(dr.delta_of(dr.label_of(d).unwrap()), d);
+        }
+        assert_eq!(dr.label_of(0), None);
+        assert_eq!(dr.label_of(64), None);
+        assert_eq!(dr.label_of(-64), None);
+    }
+
+    #[test]
+    fn amma_ps_learns_both_phases() {
+        let trace = two_phase_trace(120, 3);
+        let (cfg, tc) = quick_cfg();
+        let model = DeltaPredictor::train(&trace, 2, Variant::AmmaPs, cfg, &tc);
+        assert!(model.final_loss < 0.4, "loss {}", model.final_loss);
+        let f1 = model.evaluate_f1(&trace, &tc, 200);
+        assert!(f1.f1 > 0.5, "f1 {:?}", f1);
+        // Phase 0 history → deltas dominated by +1..+look_forward pattern.
+        let hist: Vec<(u64, u64)> = (0..5).map(|i| ((1 << 16) + i, 0x400000)).collect();
+        let deltas = model.predict_deltas(&hist, 0, 3);
+        assert!(deltas.contains(&1), "phase-0 deltas {deltas:?}");
+        // Phase 1 history → stride 4.
+        let hist1: Vec<(u64, u64)> = (0..5).map(|i| ((1 << 18) + 4 * i, 0x401000)).collect();
+        let deltas1 = model.predict_deltas(&hist1, 1, 3);
+        assert!(deltas1.contains(&4), "phase-1 deltas {deltas1:?}");
+    }
+
+    #[test]
+    fn all_variants_train_and_evaluate() {
+        let trace = two_phase_trace(80, 2);
+        let (cfg, tc) = quick_cfg();
+        let tc = TrainCfg {
+            max_samples: 120,
+            epochs: 2,
+            ..tc
+        };
+        for v in Variant::ALL {
+            let model = DeltaPredictor::train(&trace, 2, v, cfg, &tc);
+            assert!(model.final_loss.is_finite(), "{}", v.name());
+            let f1 = model.evaluate_f1(&trace, &tc, 60);
+            assert!(f1.f1 >= 0.0 && f1.f1 <= 1.0, "{}", v.name());
+        }
+    }
+
+    #[test]
+    fn phase_specific_has_n_models() {
+        let trace = two_phase_trace(60, 2);
+        let (cfg, tc) = quick_cfg();
+        let tc = TrainCfg {
+            max_samples: 50,
+            epochs: 1,
+            ..tc
+        };
+        let mut ps = DeltaPredictor::train(&trace, 2, Variant::AmmaPs, cfg, &tc);
+        let mut single = DeltaPredictor::train(&trace, 2, Variant::Amma, cfg, &tc);
+        assert_eq!(ps.models.len(), 2);
+        assert_eq!(single.models.len(), 1);
+        assert_eq!(ps.num_params(), 2 * single.num_params());
+    }
+}

@@ -1,0 +1,130 @@
+//! Inference-latency model (§6.2, Eq. 12): critical-path cycle estimate of
+//! a fully parallel AMMA implementation, where a D-wide matrix multiply
+//! costs `Tmm = 1 + log2(D)` cycles (a multiplier array plus a log-depth
+//! adder tree) and activation functions cost `Tav = 1` via look-up tables.
+
+use crate::amma::AmmaConfig;
+
+/// `Tmm(D) = 1 + ⌈log2 D⌉`.
+pub fn t_mm(dim: usize) -> u64 {
+    1 + (usize::BITS - dim.max(1).leading_zeros()) as u64
+        - u64::from(dim.is_power_of_two())
+}
+
+/// Activation via LUT.
+pub const T_AV: u64 = 1;
+
+/// Per-component and total latency of one AMMA inference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyBreakdown {
+    pub embed: u64,
+    pub attention: u64,
+    pub fusion: u64,
+    pub transformer: u64,
+    pub hash: u64,
+    pub head: u64,
+    pub output_act: u64,
+    pub total: u64,
+}
+
+/// Evaluates Eq. 12 for an AMMA configuration:
+/// `T = Temb + Tatt + Tfusion + L·Ttrans + Thash + Thead + Tav`.
+pub fn amma_latency(cfg: &AmmaConfig) -> LatencyBreakdown {
+    let a = cfg.attn_dim;
+    let f = cfg.fusion_dim;
+    // Embedding: one matmul + activation, at the per-modality width.
+    let embed = t_mm(a) + T_AV;
+    // Self-attention: 4 matmuls (Q, K, V projections + AV product) and 3
+    // activations (scale, softmax exp, softmax normalize) at width a.
+    let attention = 4 * t_mm(a) + 3 * T_AV;
+    // Fusion: an attention at the fused width + 1 matmul + 4 activations.
+    let fusion = (4 * t_mm(f) + 3 * T_AV) + t_mm(f) + 4 * T_AV;
+    // Transformer layer: same critical path as the fusion layer.
+    let transformer = fusion;
+    // Input hashing/segmentation/tokenization as LUTs.
+    let hash = 1;
+    // Output head: one matmul at the fused width.
+    let head = t_mm(f);
+    let output_act = T_AV;
+    let total = embed
+        + attention
+        + fusion
+        + cfg.layers as u64 * transformer
+        + hash
+        + head
+        + output_act;
+    LatencyBreakdown {
+        embed,
+        attention,
+        fusion,
+        transformer,
+        hash,
+        head,
+        output_act,
+        total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t_mm_log_depth() {
+        assert_eq!(t_mm(1), 1);
+        assert_eq!(t_mm(2), 2);
+        assert_eq!(t_mm(8), 4);
+        assert_eq!(t_mm(128), 8); // 1 + log2(128)
+        assert_eq!(t_mm(100), 8); // rounds the tree depth up
+    }
+
+    #[test]
+    fn paper_scale_latency_is_on_the_order_of_100_cycles() {
+        // Table 5 model (D = 128): the paper estimates T ≈ 123; our
+        // component accounting lands in the same regime.
+        let lat = amma_latency(&AmmaConfig::paper());
+        assert!(
+            (100..=170).contains(&lat.total),
+            "paper-config latency {}",
+            lat.total
+        );
+    }
+
+    #[test]
+    fn compressed_model_is_meaningfully_faster() {
+        // D = 8 student: paper estimates T ≈ 79.
+        let small = amma_latency(&AmmaConfig::student(4));
+        let big = amma_latency(&AmmaConfig::paper());
+        assert!(small.total < big.total);
+        assert!(
+            (50..=100).contains(&small.total),
+            "student latency {}",
+            small.total
+        );
+    }
+
+    #[test]
+    fn latency_grows_with_layers() {
+        let mut cfg = AmmaConfig::paper();
+        let one = amma_latency(&cfg).total;
+        cfg.layers = 3;
+        let three = amma_latency(&cfg).total;
+        assert_eq!(three - one, 2 * amma_latency(&cfg).transformer);
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let cfg = AmmaConfig::default();
+        let l = amma_latency(&cfg);
+        assert_eq!(
+            l.total,
+            l.embed
+                + l.attention
+                + l.fusion
+                + cfg.layers as u64 * l.transformer
+                + l.hash
+                + l.head
+                + l.output_act
+        );
+    }
+}

@@ -1,0 +1,480 @@
+//! Temporal page predictor (§4.3.4, Figure 7b): tokenized page sequence and
+//! hashed-PC modalities → backbone → MLP head with softmax over the page
+//! vocabulary, trained with categorical cross-entropy on the next future
+//! page. Also hosts the binary-encoded compressed output head of §6.1.
+//!
+//! Histories are *per core* (the LLC knows the requesting CPU): a core's
+//! own page stream carries the iterative temporal structure the predictor
+//! exploits, while the globally interleaved stream's next-page distribution
+//! is close to uniform across the four cores' positions.
+
+use crate::amma::{AmmaConfig, ModalInput};
+use crate::backbone::Backbone;
+use crate::variants::Variant;
+use mpgraph_frameworks::MemRecord;
+use mpgraph_ml::layers::{Embedding, Linear, Module, Sigmoid};
+use mpgraph_ml::loss::{bce_with_logits, softmax_cross_entropy};
+use mpgraph_ml::metrics::top_k_indices;
+use mpgraph_ml::optim::Adam;
+use mpgraph_ml::tensor::{rng, Matrix};
+use mpgraph_prefetchers::mlcommon::{pc_feature, PageVocab};
+use mpgraph_prefetchers::TrainCfg;
+
+/// Output head style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageHead {
+    /// Softmax over the full vocabulary (the uncompressed design).
+    Softmax,
+    /// Binary encoding (§6.1): class ids predicted as `ceil(log2 vocab)`
+    /// independent bits, shrinking the head from `dim × vocab` to
+    /// `dim × log2(vocab)`.
+    BinaryEncoded,
+}
+
+/// Page-predictor hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct PagePredictorConfig {
+    pub amma: AmmaConfig,
+    /// Page vocabulary capacity (paper discusses 2^16; scaled default).
+    pub page_vocab: usize,
+    /// Page-token embedding width (the address modality's feature size).
+    pub embed_dim: usize,
+    pub head: PageHead,
+}
+
+impl Default for PagePredictorConfig {
+    fn default() -> Self {
+        PagePredictorConfig {
+            amma: AmmaConfig::default(),
+            page_vocab: 1024,
+            embed_dim: 16,
+            head: PageHead::Softmax,
+        }
+    }
+}
+
+pub(crate) struct PageModel {
+    pub(crate) embed: Embedding,
+    pub(crate) backbone: Backbone,
+    /// Softmax head: projection to the embedding space — logits come from
+    /// the dot product with the (tied) embedding table, which makes the
+    /// pointer-like "one of the recently seen pages" prediction that page
+    /// streams demand easy to express. BinaryEncoded head: a plain linear
+    /// layer to `log2(vocab)` bits.
+    pub(crate) head: Linear,
+    pub(crate) tied: bool,
+}
+
+/// The temporal page predictor, in any of the five Table 7 variants.
+pub struct PagePredictor {
+    pub variant: Variant,
+    pub cfg: PagePredictorConfig,
+    pub vocab: PageVocab,
+    pub(crate) models: Vec<PageModel>,
+    pub(crate) num_phases: usize,
+    /// Bits used by the binary-encoded head.
+    bits: usize,
+    pub final_loss: f32,
+}
+
+impl PagePredictor {
+    fn encode(
+        cfg: &PagePredictorConfig,
+        embed: &Embedding,
+        hist: &[(usize, u64)],
+        train: bool,
+        embed_mut: Option<&mut Embedding>,
+    ) -> ModalInput {
+        let tokens: Vec<usize> = hist.iter().map(|&(t, _)| t).collect();
+        let addr = if train {
+            embed_mut.expect("train requires mutable embedding").forward(&tokens)
+        } else {
+            embed.infer(&tokens)
+        };
+        let mut pc = Matrix::zeros(hist.len(), 1);
+        for (i, &(_, pcv)) in hist.iter().enumerate() {
+            pc.data[i] = pc_feature(pcv);
+        }
+        let _ = cfg;
+        ModalInput { addr, pc }
+    }
+
+    /// Binary target for token `t` with `bits` bits (LSB first).
+    fn binary_target(token: usize, bits: usize) -> Matrix {
+        let mut m = Matrix::zeros(1, bits);
+        for b in 0..bits {
+            m.data[b] = ((token >> b) & 1) as f32;
+        }
+        m
+    }
+
+    /// Decodes thresholded bit probabilities back to a token id, clamped to
+    /// the vocabulary.
+    fn decode_bits(probs: &[f32], vocab_len: usize) -> usize {
+        let mut token = 0usize;
+        for (b, &p) in probs.iter().enumerate() {
+            if p >= 0.5 {
+                token |= 1 << b;
+            }
+        }
+        token.min(vocab_len.saturating_sub(1))
+    }
+
+    pub fn train(
+        records: &[MemRecord],
+        num_phases: usize,
+        variant: Variant,
+        cfg: PagePredictorConfig,
+        tc: &TrainCfg,
+    ) -> Self {
+        let vocab = PageVocab::build(records, cfg.page_vocab);
+        let bits = (usize::BITS - (cfg.page_vocab - 1).leading_zeros()) as usize;
+        let out_dim = match cfg.head {
+            PageHead::Softmax => cfg.page_vocab,
+            PageHead::BinaryEncoded => bits,
+        };
+        let model_count = if variant.is_phase_specific() {
+            num_phases
+        } else {
+            1
+        };
+        let mut r = rng(tc.seed ^ 0x9A6E);
+        let mut models: Vec<PageModel> = (0..model_count)
+            .map(|_| {
+                let embed = Embedding::new(cfg.page_vocab, cfg.embed_dim, &mut r);
+                let mut backbone =
+                    Backbone::new(variant.backbone_kind(), cfg.embed_dim, 1, cfg.amma, &mut r);
+                if variant.is_phase_informed() {
+                    backbone = backbone.with_phase_embedding(num_phases, &mut r);
+                }
+                let tied = cfg.head == PageHead::Softmax;
+                let head = if tied {
+                    // Project to the embedding space for the tied product.
+                    Linear::new(backbone.out_dim(), cfg.embed_dim, &mut r)
+                } else {
+                    Linear::new(backbone.out_dim(), out_dim, &mut r)
+                };
+                PageModel {
+                    embed,
+                    backbone,
+                    head,
+                    tied,
+                }
+            })
+            .collect();
+        let mut opts: Vec<Adam> = (0..model_count).map(|_| Adam::new(tc.lr)).collect();
+
+        // Per-core token/pc/phase subsequences (see module docs).
+        let mut per_core: Vec<Vec<(usize, u64, u8)>> = vec![Vec::new(); 8];
+        for rec in records {
+            per_core[(rec.core as usize) % 8].push((
+                vocab.token_of(rec.page()),
+                rec.pc,
+                rec.phase,
+            ));
+        }
+        let t = tc.history;
+        let seqs: Vec<Vec<(usize, u64, u8)>> = per_core
+            .into_iter()
+            .filter(|s| s.len() > t + 1)
+            .collect();
+        let total: usize = seqs.iter().map(|s| s.len()).sum();
+        let usable = total.saturating_sub((t + 1) * seqs.len().max(1));
+        let stride = (usable / tc.max_samples.max(1)).max(1);
+        let mut final_loss = 0.0f32;
+        for _ in 0..tc.epochs {
+            let mut count = 0usize;
+            let mut loss_sum = 0.0f32;
+            let mut cursors: Vec<usize> = vec![0; seqs.len()];
+            let mut which = 0usize;
+            while count < tc.max_samples && !seqs.is_empty() {
+                let sidx = which % seqs.len();
+                which += 1;
+                let seq = &seqs[sidx];
+                let i = cursors[sidx];
+                if i + t >= seq.len() {
+                    if cursors
+                        .iter()
+                        .zip(seqs.iter())
+                        .all(|(c, s)| c + t >= s.len())
+                    {
+                        break;
+                    }
+                    continue;
+                }
+                cursors[sidx] += stride;
+                let phase = seq[i + t - 1].2 as usize % num_phases.max(1);
+                let midx = if variant.is_phase_specific() { phase } else { 0 };
+                let target_tok = seq[i + t].0;
+                let hist: Vec<(usize, u64)> =
+                    seq[i..i + t].iter().map(|&(tok, pc, _)| (tok, pc)).collect();
+                let m = &mut models[midx];
+                let tokens: Vec<usize> = hist.iter().map(|&(tk, _)| tk).collect();
+                let addr = m.embed.forward(&tokens);
+                let mut pc = Matrix::zeros(hist.len(), 1);
+                for (j, &(_, pcv)) in hist.iter().enumerate() {
+                    pc.data[j] = pc_feature(pcv);
+                }
+                let x = ModalInput { addr, pc };
+                let pooled = m.backbone.forward(&x, phase);
+                let (loss, dp) = if m.tied {
+                    // logits = proj(pooled) · E^T (tied with the embedding).
+                    let z = m.head.forward(&pooled); // [1, e]
+                    let logits = z.matmul_bt(&m.embed.table.w); // [1, vocab]
+                    let (loss, dl) = softmax_cross_entropy(&logits, &[target_tok]);
+                    // d_z = dl · E ; dE[v] += dl[v] · z.
+                    let d_z = dl.matmul(&m.embed.table.w);
+                    let e_dim = m.embed.table.w.cols;
+                    for v in 0..m.embed.table.w.rows {
+                        let g = dl.data[v];
+                        if g != 0.0 {
+                            let row = &mut m.embed.table.g.data[v * e_dim..(v + 1) * e_dim];
+                            for (gv, &zv) in row.iter_mut().zip(z.data.iter()) {
+                                *gv += g * zv;
+                            }
+                        }
+                    }
+                    (loss, m.head.backward(&d_z))
+                } else {
+                    let logits = m.head.forward(&pooled);
+                    let (loss, dl) =
+                        bce_with_logits(&logits, &Self::binary_target(target_tok, bits));
+                    (loss, m.head.backward(&dl))
+                };
+                loss_sum += loss;
+                let (d_addr, _d_pc) = m.backbone.backward(&dp);
+                m.embed.backward(&d_addr);
+                opts[midx].step(&mut m.embed);
+                opts[midx].step(&mut m.backbone);
+                opts[midx].step(&mut m.head);
+                count += 1;
+            }
+            final_loss = if count > 0 {
+                loss_sum / count as f32
+            } else {
+                f32::NAN
+            };
+        }
+        PagePredictor {
+            variant,
+            cfg,
+            vocab,
+            models,
+            num_phases: num_phases.max(1),
+            bits,
+            final_loss,
+        }
+    }
+
+    fn model_for(&self, phase: usize) -> &PageModel {
+        if self.variant.is_phase_specific() {
+            &self.models[phase % self.models.len()]
+        } else {
+            &self.models[0]
+        }
+    }
+
+    /// Raw head logits (pre-softmax / pre-sigmoid) — the KD target.
+    pub fn predict_logits(&self, hist: &[(usize, u64)], phase: usize) -> Matrix {
+        let m = self.model_for(phase);
+        let x = Self::encode(&self.cfg, &m.embed, hist, false, None);
+        let pooled = m.backbone.infer(&x, phase);
+        if m.tied {
+            m.head.infer(&pooled).matmul_bt(&m.embed.table.w)
+        } else {
+            m.head.infer(&pooled)
+        }
+    }
+
+    /// Top-`k` predicted page tokens for a (token, pc) history.
+    pub fn predict_tokens(&self, hist: &[(usize, u64)], phase: usize, k: usize) -> Vec<usize> {
+        let logits = self.predict_logits(hist, phase);
+        match self.cfg.head {
+            PageHead::Softmax => top_k_indices(logits.row(0), k),
+            PageHead::BinaryEncoded => {
+                let probs = Sigmoid::infer(&logits);
+                vec![Self::decode_bits(probs.row(0), self.vocab.len())]
+            }
+        }
+    }
+
+    /// Top predicted *page numbers* (tokens resolved through the vocab).
+    pub fn predict_pages(&self, hist: &[(usize, u64)], phase: usize, k: usize) -> Vec<u64> {
+        self.predict_tokens(hist, phase, k + 1)
+            .into_iter()
+            .filter_map(|t| self.vocab.page_of(t))
+            .take(k)
+            .collect()
+    }
+
+    /// Table 7 metric: accuracy@`k` — the top-1 predicted page counts as
+    /// correct if it occurs within the core's next `k` accesses (histories
+    /// and windows follow the per-core streams the predictor models).
+    pub fn evaluate_accuracy_at(
+        &self,
+        records: &[MemRecord],
+        tc: &TrainCfg,
+        k: usize,
+        max_samples: usize,
+    ) -> f64 {
+        let t = tc.history;
+        let mut per_core: Vec<Vec<&MemRecord>> = vec![Vec::new(); 8];
+        for rec in records {
+            per_core[(rec.core as usize) % 8].push(rec);
+        }
+        let total_len: usize = per_core.iter().map(|s| s.len()).sum();
+        let stride = (total_len.saturating_sub(t + k) / max_samples.max(1)).max(1);
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for seq in per_core.iter().filter(|s| s.len() > t + k) {
+            let mut i = 0usize;
+            while i + t + k < seq.len() && total < max_samples {
+                let phase = seq[i + t - 1].phase as usize % self.num_phases;
+                let hist: Vec<(usize, u64)> = seq[i..i + t]
+                    .iter()
+                    .map(|rec| (self.vocab.token_of(rec.page()), rec.pc))
+                    .collect();
+                let preds = self.predict_pages(&hist, phase, 1);
+                if let Some(&p) = preds.first() {
+                    if seq[i + t..i + t + k].iter().any(|r| r.page() == p) {
+                        hits += 1;
+                    }
+                }
+                total += 1;
+                i += stride;
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+
+    /// Number of bits in the binary-encoded head (16 for a 2^16 vocab).
+    pub fn encoded_bits(&self) -> usize {
+        self.bits
+    }
+
+    pub fn num_params(&mut self) -> usize {
+        self.models
+            .iter_mut()
+            .map(|m| m.embed.num_params() + m.backbone.num_params() + m.head.num_params())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(page: u64, pc: u64, phase: u8) -> MemRecord {
+        MemRecord {
+            pc,
+            vaddr: page * 4096,
+            core: 0,
+            is_write: false,
+            phase,
+            gap: 1, dep: false,
+        }
+    }
+
+    /// Phase 0 cycles pages 10→11→12; phase 1 cycles 50→60→70→80.
+    fn two_phase_trace(reps: usize) -> Vec<MemRecord> {
+        let mut v = Vec::new();
+        for _ in 0..reps {
+            for _ in 0..30 {
+                for p in [10u64, 11, 12] {
+                    v.push(rec(p, 0x400000, 0));
+                }
+            }
+            for _ in 0..30 {
+                for p in [50u64, 60, 70, 80] {
+                    v.push(rec(p, 0x401000, 1));
+                }
+            }
+        }
+        v
+    }
+
+    fn quick_cfg() -> (PagePredictorConfig, TrainCfg) {
+        (
+            PagePredictorConfig {
+                amma: AmmaConfig {
+                    history: 5,
+                    attn_dim: 8,
+                    fusion_dim: 16,
+                    layers: 1,
+                    heads: 2,
+                },
+                page_vocab: 64,
+                embed_dim: 8,
+                head: PageHead::Softmax,
+            },
+            TrainCfg {
+                history: 5,
+                max_samples: 300,
+                epochs: 4,
+                lr: 4e-3,
+                seed: 21,
+            },
+        )
+    }
+
+    #[test]
+    fn binary_target_and_decode_roundtrip() {
+        for token in [0usize, 1, 5, 13, 63] {
+            let t = PagePredictor::binary_target(token, 6);
+            let back = PagePredictor::decode_bits(&t.data, 64);
+            assert_eq!(back, token);
+        }
+    }
+
+    #[test]
+    fn amma_ps_learns_cyclic_pages_per_phase() {
+        let trace = two_phase_trace(3);
+        let (cfg, tc) = quick_cfg();
+        let model = PagePredictor::train(&trace, 2, Variant::AmmaPs, cfg, &tc);
+        assert!(model.final_loss < 1.0, "loss {}", model.final_loss);
+        let acc = model.evaluate_accuracy_at(&trace, &tc, 10, 200);
+        assert!(acc > 0.8, "accuracy@10 {acc}");
+        // Phase-0 history ending at page 12 → next page 10.
+        let hist: Vec<(usize, u64)> = [11u64, 12, 10, 11, 12]
+            .iter()
+            .map(|&p| (model.vocab.token_of(p), 0x400000))
+            .collect();
+        let pages = model.predict_pages(&hist, 0, 1);
+        assert_eq!(pages, vec![10]);
+    }
+
+    #[test]
+    fn binary_encoded_head_shrinks_and_still_learns() {
+        let trace = two_phase_trace(3);
+        let (mut cfg, tc) = quick_cfg();
+        cfg.head = PageHead::BinaryEncoded;
+        let mut bin = PagePredictor::train(&trace, 2, Variant::Amma, cfg, &tc);
+        cfg.head = PageHead::Softmax;
+        let mut soft = PagePredictor::train(&trace, 2, Variant::Amma, cfg, &tc);
+        assert_eq!(bin.encoded_bits(), 6); // log2(64)
+        assert!(bin.num_params() < soft.num_params());
+        let acc = bin.evaluate_accuracy_at(&trace, &tc, 10, 150);
+        assert!(acc > 0.3, "binary-encoded accuracy {acc}");
+    }
+
+    #[test]
+    fn all_variants_train() {
+        let trace = two_phase_trace(2);
+        let (cfg, tc) = quick_cfg();
+        let tc = TrainCfg {
+            max_samples: 100,
+            epochs: 2,
+            ..tc
+        };
+        for v in Variant::ALL {
+            let model = PagePredictor::train(&trace, 2, v, cfg, &tc);
+            assert!(model.final_loss.is_finite(), "{}", v.name());
+            let acc = model.evaluate_accuracy_at(&trace, &tc, 10, 50);
+            assert!((0.0..=1.0).contains(&acc), "{}", v.name());
+        }
+    }
+}

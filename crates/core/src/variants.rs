@@ -1,0 +1,76 @@
+//! The five model variants compared in Tables 6 and 7: LSTM, vanilla
+//! Attention, AMMA, AMMA-PI (phase-informed) and AMMA-PS (phase-specific).
+
+use crate::backbone::BackboneKind;
+
+/// A row of Tables 6/7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    Lstm,
+    Attention,
+    Amma,
+    /// Phase-Informed: phase id embedded as side information after fusion.
+    AmmaPi,
+    /// Phase-Specific: one independent AMMA per phase (the full MPGraph
+    /// configuration).
+    AmmaPs,
+}
+
+impl Variant {
+    pub const ALL: [Variant; 5] = [
+        Variant::Lstm,
+        Variant::Attention,
+        Variant::Amma,
+        Variant::AmmaPi,
+        Variant::AmmaPs,
+    ];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Variant::Lstm => "LSTM",
+            Variant::Attention => "Attention",
+            Variant::Amma => "AMMA",
+            Variant::AmmaPi => "AMMA-PI",
+            Variant::AmmaPs => "AMMA-PS",
+        }
+    }
+
+    pub fn backbone_kind(&self) -> BackboneKind {
+        match self {
+            Variant::Lstm => BackboneKind::Lstm,
+            Variant::Attention => BackboneKind::Attention,
+            Variant::Amma | Variant::AmmaPi | Variant::AmmaPs => BackboneKind::Amma,
+        }
+    }
+
+    /// One model per phase?
+    pub fn is_phase_specific(&self) -> bool {
+        matches!(self, Variant::AmmaPs)
+    }
+
+    /// Phase embedding as side input?
+    pub fn is_phase_informed(&self) -> bool {
+        matches!(self, Variant::AmmaPi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_table_rows() {
+        let names: Vec<&str> = Variant::ALL.iter().map(|v| v.name()).collect();
+        assert_eq!(names, vec!["LSTM", "Attention", "AMMA", "AMMA-PI", "AMMA-PS"]);
+    }
+
+    #[test]
+    fn phase_flags() {
+        assert!(Variant::AmmaPs.is_phase_specific());
+        assert!(!Variant::AmmaPs.is_phase_informed());
+        assert!(Variant::AmmaPi.is_phase_informed());
+        assert!(!Variant::Amma.is_phase_specific());
+        assert_eq!(Variant::Lstm.backbone_kind(), BackboneKind::Lstm);
+        assert_eq!(Variant::AmmaPi.backbone_kind(), BackboneKind::Amma);
+    }
+}

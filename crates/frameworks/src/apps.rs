@@ -1,0 +1,430 @@
+//! The five benchmark applications of Table 1 (BFS, CC, PR, SSSP, TC),
+//! expressed as *vertex programs* so that each of the three framework
+//! paradigms can execute them, plus straightforward reference
+//! implementations used by the test suite to check that the instrumented
+//! frameworks compute correct results.
+
+use mpgraph_graph::{Csr, VertexId};
+use std::collections::VecDeque;
+
+/// Application identifiers, named as in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum App {
+    Bfs,
+    Cc,
+    Pr,
+    Sssp,
+    /// Triangle counting: only PowerGraph runs it (Table 1), via a dedicated
+    /// gather that intersects adjacency lists.
+    Tc,
+}
+
+impl App {
+    pub fn name(&self) -> &'static str {
+        match self {
+            App::Bfs => "BFS",
+            App::Cc => "CC",
+            App::Pr => "PR",
+            App::Sssp => "SSSP",
+            App::Tc => "TC",
+        }
+    }
+}
+
+/// Value used to mean "unreached" for BFS/SSSP.
+pub const INF: f32 = f32::INFINITY;
+
+/// A Scatter-Gather / GAS vertex program over `f32` vertex values.
+///
+/// Semantics per iteration:
+/// 1. every *active* vertex `u` sends `scatter_value(value[u], deg(u), w)`
+///    along each out-edge `(u, v, w)`;
+/// 2. each destination folds received messages with `accumulate`, starting
+///    from `identity()`;
+/// 3. `apply(old, acc, received_any)` produces the new value; a vertex whose
+///    value changed becomes active for the next iteration.
+pub trait VertexProgram {
+    /// Initial vertex values (and implicitly the initial active set: every
+    /// vertex with a finite value for traversal apps, everyone for PR/CC).
+    fn init(&self, n: usize) -> Vec<f32>;
+
+    /// Initially active vertices.
+    fn initial_active(&self, n: usize) -> Vec<bool>;
+
+    /// Message along an out-edge; `None` means the vertex sends nothing
+    /// (e.g. unreached BFS vertex).
+    fn scatter_value(&self, val: f32, out_degree: usize, weight: f32) -> Option<f32>;
+
+    /// Identity element of `accumulate`.
+    fn identity(&self) -> f32;
+
+    /// Commutative, associative fold of incoming messages.
+    fn accumulate(&self, acc: f32, msg: f32) -> f32;
+
+    /// New vertex value from the old value and the accumulator.
+    /// `received_any` distinguishes "no messages" from "identity message".
+    fn apply(&self, old: f32, acc: f32, received_any: bool) -> f32;
+
+    /// Whether every vertex scatters every iteration regardless of change
+    /// (PageRank-style stationary iteration) or only changed vertices do
+    /// (frontier-style traversal).
+    fn always_active(&self) -> bool {
+        false
+    }
+}
+
+/// PageRank with damping 0.85 (the frameworks' built-in default).
+#[derive(Debug, Clone, Copy)]
+pub struct PageRank {
+    pub n: usize,
+}
+
+impl VertexProgram for PageRank {
+    fn init(&self, n: usize) -> Vec<f32> {
+        vec![1.0 / n.max(1) as f32; n]
+    }
+    fn initial_active(&self, n: usize) -> Vec<bool> {
+        vec![true; n]
+    }
+    fn scatter_value(&self, val: f32, out_degree: usize, _w: f32) -> Option<f32> {
+        (out_degree > 0).then(|| val / out_degree as f32)
+    }
+    fn identity(&self) -> f32 {
+        0.0
+    }
+    fn accumulate(&self, acc: f32, msg: f32) -> f32 {
+        acc + msg
+    }
+    fn apply(&self, _old: f32, acc: f32, _received_any: bool) -> f32 {
+        0.15 / self.n.max(1) as f32 + 0.85 * acc
+    }
+    fn always_active(&self) -> bool {
+        true
+    }
+}
+
+/// Breadth-first search from `source` computing hop counts.
+#[derive(Debug, Clone, Copy)]
+pub struct Bfs {
+    pub source: VertexId,
+}
+
+impl VertexProgram for Bfs {
+    fn init(&self, n: usize) -> Vec<f32> {
+        let mut v = vec![INF; n];
+        if (self.source as usize) < n {
+            v[self.source as usize] = 0.0;
+        }
+        v
+    }
+    fn initial_active(&self, n: usize) -> Vec<bool> {
+        let mut a = vec![false; n];
+        if (self.source as usize) < n {
+            a[self.source as usize] = true;
+        }
+        a
+    }
+    fn scatter_value(&self, val: f32, _deg: usize, _w: f32) -> Option<f32> {
+        val.is_finite().then_some(val + 1.0)
+    }
+    fn identity(&self) -> f32 {
+        INF
+    }
+    fn accumulate(&self, acc: f32, msg: f32) -> f32 {
+        acc.min(msg)
+    }
+    fn apply(&self, old: f32, acc: f32, _received_any: bool) -> f32 {
+        old.min(acc)
+    }
+}
+
+/// Connected components by label propagation (on the directed graph viewed
+/// as undirected via the framework's symmetrized input).
+#[derive(Debug, Clone, Copy)]
+pub struct ConnectedComponents;
+
+impl VertexProgram for ConnectedComponents {
+    fn init(&self, n: usize) -> Vec<f32> {
+        (0..n).map(|i| i as f32).collect()
+    }
+    fn initial_active(&self, n: usize) -> Vec<bool> {
+        vec![true; n]
+    }
+    fn scatter_value(&self, val: f32, _deg: usize, _w: f32) -> Option<f32> {
+        Some(val)
+    }
+    fn identity(&self) -> f32 {
+        INF
+    }
+    fn accumulate(&self, acc: f32, msg: f32) -> f32 {
+        acc.min(msg)
+    }
+    fn apply(&self, old: f32, acc: f32, _received_any: bool) -> f32 {
+        old.min(acc)
+    }
+}
+
+/// Single-source shortest paths (Bellman-Ford style relaxation).
+#[derive(Debug, Clone, Copy)]
+pub struct Sssp {
+    pub source: VertexId,
+}
+
+impl VertexProgram for Sssp {
+    fn init(&self, n: usize) -> Vec<f32> {
+        let mut v = vec![INF; n];
+        if (self.source as usize) < n {
+            v[self.source as usize] = 0.0;
+        }
+        v
+    }
+    fn initial_active(&self, n: usize) -> Vec<bool> {
+        let mut a = vec![false; n];
+        if (self.source as usize) < n {
+            a[self.source as usize] = true;
+        }
+        a
+    }
+    fn scatter_value(&self, val: f32, _deg: usize, w: f32) -> Option<f32> {
+        val.is_finite().then_some(val + w)
+    }
+    fn identity(&self) -> f32 {
+        INF
+    }
+    fn accumulate(&self, acc: f32, msg: f32) -> f32 {
+        acc.min(msg)
+    }
+    fn apply(&self, old: f32, acc: f32, _received_any: bool) -> f32 {
+        old.min(acc)
+    }
+}
+
+/// Builds the vertex program for `app` (TC has no vertex-program form).
+pub fn program_for(app: App, g: &Csr, source: VertexId) -> Box<dyn VertexProgram> {
+    match app {
+        App::Pr => Box::new(PageRank {
+            n: g.num_vertices(),
+        }),
+        App::Bfs => Box::new(Bfs { source }),
+        App::Cc => Box::new(ConnectedComponents),
+        App::Sssp => Box::new(Sssp { source }),
+        App::Tc => panic!("TC is not a vertex program; PowerGraph special-cases it"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reference implementations (test oracles)
+// ---------------------------------------------------------------------------
+
+/// Reference BFS hop counts via queue traversal.
+pub fn ref_bfs(g: &Csr, source: VertexId) -> Vec<f32> {
+    let n = g.num_vertices();
+    let mut dist = vec![INF; n];
+    if (source as usize) >= n {
+        return dist;
+    }
+    dist[source as usize] = 0.0;
+    let mut q = VecDeque::new();
+    q.push_back(source);
+    while let Some(v) = q.pop_front() {
+        for &u in g.neighbors(v) {
+            if dist[u as usize].is_infinite() {
+                dist[u as usize] = dist[v as usize] + 1.0;
+                q.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// Reference connected-component labels (min vertex id per component) on the
+/// symmetrized graph, via union-find.
+pub fn ref_cc(g: &Csr) -> Vec<f32> {
+    let n = g.num_vertices();
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            parent[x as usize] = parent[parent[x as usize] as usize];
+            x = parent[x as usize];
+        }
+        x
+    }
+    for v in 0..n as VertexId {
+        for &u in g.neighbors(v) {
+            let (a, b) = (find(&mut parent, v), find(&mut parent, u));
+            if a != b {
+                parent[a.max(b) as usize] = a.min(b);
+            }
+        }
+    }
+    (0..n as u32)
+        .map(|v| find(&mut parent, v) as f32)
+        .collect()
+}
+
+/// Reference SSSP distances via Dijkstra (weights must be non-negative).
+pub fn ref_sssp(g: &Csr, source: VertexId) -> Vec<f32> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let n = g.num_vertices();
+    let mut dist = vec![INF; n];
+    if (source as usize) >= n {
+        return dist;
+    }
+    dist[source as usize] = 0.0;
+    // Order f32 distances through their bit pattern (all non-negative here).
+    let mut heap: BinaryHeap<Reverse<(u32, VertexId)>> = BinaryHeap::new();
+    heap.push(Reverse((0, source)));
+    while let Some(Reverse((dbits, v))) = heap.pop() {
+        let d = f32::from_bits(dbits);
+        if d > dist[v as usize] {
+            continue;
+        }
+        for (u, w) in g.neighbors_weighted(v) {
+            let nd = d + w;
+            if nd < dist[u as usize] {
+                dist[u as usize] = nd;
+                heap.push(Reverse((nd.to_bits(), u)));
+            }
+        }
+    }
+    dist
+}
+
+/// Reference PageRank: dense power iteration, `iters` rounds.
+pub fn ref_pagerank(g: &Csr, iters: usize) -> Vec<f32> {
+    let n = g.num_vertices();
+    let mut rank = vec![1.0 / n.max(1) as f32; n];
+    for _ in 0..iters {
+        let mut next = vec![0.15 / n.max(1) as f32; n];
+        for v in 0..n as VertexId {
+            let deg = g.degree(v);
+            if deg == 0 {
+                continue;
+            }
+            let share = 0.85 * rank[v as usize] / deg as f32;
+            for &u in g.neighbors(v) {
+                next[u as usize] += share;
+            }
+        }
+        rank = next;
+    }
+    rank
+}
+
+/// Reference triangle count on the symmetrized graph via sorted-list
+/// intersection, counting each triangle once.
+pub fn ref_triangles(g: &Csr) -> u64 {
+    let u = g.symmetrize();
+    let n = u.num_vertices();
+    let mut count = 0u64;
+    for v in 0..n as VertexId {
+        for &w in u.neighbors(v) {
+            if w <= v {
+                continue;
+            }
+            // Count common neighbors x with x > w to orient each triangle.
+            let (mut i, mut j) = (0usize, 0usize);
+            let a = u.neighbors(v);
+            let b = u.neighbors(w);
+            while i < a.len() && j < b.len() {
+                match a[i].cmp(&b[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        if a[i] > w {
+                            count += 1;
+                        }
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpgraph_graph::{rmat, RmatConfig};
+
+    fn path_graph() -> Csr {
+        // 0 -1-> 1 -1-> 2 -1-> 3, plus shortcut 0 -5-> 3
+        Csr::from_weighted_edges(
+            4,
+            &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 3, 5.0)],
+        )
+    }
+
+    #[test]
+    fn ref_bfs_levels() {
+        let g = path_graph();
+        assert_eq!(ref_bfs(&g, 0), vec![0.0, 1.0, 2.0, 1.0]);
+        assert_eq!(ref_bfs(&g, 3), vec![INF, INF, INF, 0.0]);
+    }
+
+    #[test]
+    fn ref_sssp_prefers_cheap_path() {
+        let g = path_graph();
+        assert_eq!(ref_sssp(&g, 0), vec![0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn ref_cc_two_components() {
+        let g = Csr::from_edges(5, &[(0, 1), (1, 2), (3, 4)]);
+        let sym = g.symmetrize();
+        assert_eq!(ref_cc(&sym), vec![0.0, 0.0, 0.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn ref_pagerank_sums_to_one_ish() {
+        let g = rmat(RmatConfig::new(8, 2000, 5));
+        let pr = ref_pagerank(&g, 20);
+        let total: f32 = pr.iter().sum();
+        // Dangling vertices leak mass; total stays in (0.15, 1].
+        assert!(total > 0.15 && total <= 1.0 + 1e-3, "total {total}");
+        assert!(pr.iter().all(|&r| r > 0.0));
+    }
+
+    #[test]
+    fn ref_triangles_on_known_graphs() {
+        // Triangle 0-1-2 plus pendant 3.
+        let g = Csr::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        assert_eq!(ref_triangles(&g), 1);
+        // K4 has 4 triangles.
+        let mut edges = vec![];
+        for a in 0..4u32 {
+            for b in 0..4u32 {
+                if a != b {
+                    edges.push((a, b));
+                }
+            }
+        }
+        let k4 = Csr::from_edges(4, &edges);
+        assert_eq!(ref_triangles(&k4), 4);
+    }
+
+    #[test]
+    fn program_traits_are_consistent() {
+        let g = path_graph();
+        let pr = program_for(App::Pr, &g, 0);
+        assert!(pr.always_active());
+        assert_eq!(pr.accumulate(1.0, 2.0), 3.0);
+        let bfs = program_for(App::Bfs, &g, 0);
+        assert!(!bfs.always_active());
+        assert_eq!(bfs.scatter_value(INF, 1, 1.0), None);
+        assert_eq!(bfs.scatter_value(2.0, 1, 1.0), Some(3.0));
+        let init = bfs.init(4);
+        assert_eq!(init[0], 0.0);
+        assert!(init[1].is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "TC")]
+    fn tc_is_not_a_vertex_program() {
+        let g = path_graph();
+        let _ = program_for(App::Tc, &g, 0);
+    }
+}

@@ -1,0 +1,257 @@
+//! Trace persistence: a compact binary format (24 bytes/record, ~4× denser
+//! than JSON) plus JSON via serde for interoperability. Lets expensive
+//! trace generation be done once and shared across experiment runs — the
+//! role ChampSim's `.trace.xz` files play in the paper's workflow.
+
+use crate::trace::{MemRecord, Trace};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Magic bytes + format version for the binary container.
+const MAGIC: &[u8; 8] = b"MPGTRC01";
+
+/// Errors from the trace container format.
+#[derive(Debug)]
+pub enum TraceIoError {
+    Io(std::io::Error),
+    BadMagic,
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "io error: {e}"),
+            TraceIoError::BadMagic => write!(f, "not an mpgraph trace file"),
+            TraceIoError::Corrupt(what) => write!(f, "corrupt trace file: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+fn write_u64<W: Write>(w: &mut W, v: u64) -> std::io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, TraceIoError> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+/// Writes a trace in the binary container format.
+pub fn write_binary<W: Write>(trace: &Trace, w: &mut W) -> Result<(), TraceIoError> {
+    w.write_all(MAGIC)?;
+    w.write_all(&[trace.num_phases])?;
+    write_u64(w, trace.records.len() as u64)?;
+    write_u64(w, trace.transitions.len() as u64)?;
+    write_u64(w, trace.iteration_starts.len() as u64)?;
+    for &t in &trace.transitions {
+        write_u64(w, t as u64)?;
+    }
+    for &t in &trace.iteration_starts {
+        write_u64(w, t as u64)?;
+    }
+    for r in &trace.records {
+        write_u64(w, r.pc)?;
+        write_u64(w, r.vaddr)?;
+        // Flags byte: bit0 write, bit1 dep; then core, phase, gap.
+        let flags = (r.is_write as u8) | ((r.dep as u8) << 1);
+        w.write_all(&[flags, r.core, r.phase, r.gap])?;
+        // 4 bytes padding keeps records 24-byte aligned for mmap use.
+        w.write_all(&[0u8; 4])?;
+    }
+    Ok(())
+}
+
+/// Reads a trace from the binary container format.
+pub fn read_binary<R: Read>(r: &mut R) -> Result<Trace, TraceIoError> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(TraceIoError::BadMagic);
+    }
+    let mut one = [0u8; 1];
+    r.read_exact(&mut one)?;
+    let num_phases = one[0];
+    let n_records = read_u64(r)? as usize;
+    let n_transitions = read_u64(r)? as usize;
+    let n_iters = read_u64(r)? as usize;
+    // Sanity bounds before allocating.
+    if n_records > 1 << 32 || n_transitions > n_records || n_iters > n_records + 1 {
+        return Err(TraceIoError::Corrupt("implausible section sizes"));
+    }
+    let mut transitions = Vec::with_capacity(n_transitions);
+    for _ in 0..n_transitions {
+        transitions.push(read_u64(r)? as usize);
+    }
+    let mut iteration_starts = Vec::with_capacity(n_iters);
+    for _ in 0..n_iters {
+        iteration_starts.push(read_u64(r)? as usize);
+    }
+    let mut records = Vec::with_capacity(n_records);
+    for _ in 0..n_records {
+        let pc = read_u64(r)?;
+        let vaddr = read_u64(r)?;
+        let mut tail = [0u8; 8];
+        r.read_exact(&mut tail)?;
+        records.push(MemRecord {
+            pc,
+            vaddr,
+            is_write: tail[0] & 1 != 0,
+            dep: tail[0] & 2 != 0,
+            core: tail[1],
+            phase: tail[2],
+            gap: tail[3],
+        });
+    }
+    Ok(Trace {
+        records,
+        num_phases,
+        transitions,
+        iteration_starts,
+    })
+}
+
+/// Saves a trace to `path` (binary container).
+pub fn save<P: AsRef<Path>>(trace: &Trace, path: P) -> Result<(), TraceIoError> {
+    let f = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(f);
+    write_binary(trace, &mut w)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Loads a trace from `path` (binary container).
+pub fn load<P: AsRef<Path>>(path: P) -> Result<Trace, TraceIoError> {
+    let f = std::fs::File::open(path)?;
+    read_binary(&mut BufReader::new(f))
+}
+
+/// Saves a trace as pretty JSON (interoperability / inspection).
+pub fn save_json<P: AsRef<Path>>(trace: &Trace, path: P) -> Result<(), TraceIoError> {
+    let json = serde_json::to_string(trace).expect("trace serializes");
+    std::fs::write(path, json)?;
+    Ok(())
+}
+
+/// Loads a trace from JSON.
+pub fn load_json<P: AsRef<Path>>(path: P) -> Result<Trace, TraceIoError> {
+    let text = std::fs::read_to_string(path)?;
+    serde_json::from_str(&text).map_err(|_| TraceIoError::Corrupt("json"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{generate_trace, Framework, TraceConfig};
+    use crate::App;
+    use mpgraph_graph::{rmat, RmatConfig};
+
+    fn sample_trace() -> Trace {
+        let g = rmat(RmatConfig::new(6, 400, 3));
+        generate_trace(
+            Framework::Gpop,
+            App::Pr,
+            &g,
+            &TraceConfig {
+                iterations: 2,
+                record_limit: 50_000,
+                ..TraceConfig::default()
+            },
+        )
+        .trace
+    }
+
+    #[test]
+    fn binary_roundtrip_is_lossless() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_binary(&t, &mut buf).unwrap();
+        let back = read_binary(&mut buf.as_slice()).unwrap();
+        assert_eq!(back.records, t.records);
+        assert_eq!(back.transitions, t.transitions);
+        assert_eq!(back.iteration_starts, t.iteration_starts);
+        assert_eq!(back.num_phases, t.num_phases);
+    }
+
+    #[test]
+    fn binary_is_compact() {
+        let t = sample_trace();
+        let mut bin = Vec::new();
+        write_binary(&t, &mut bin).unwrap();
+        let json = serde_json::to_string(&t).unwrap();
+        assert!(bin.len() * 3 < json.len(), "{} vs {}", bin.len(), json.len());
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        let garbage = b"NOTATRACE_AT_ALL____".to_vec();
+        match read_binary(&mut garbage.as_slice()) {
+            Err(TraceIoError::BadMagic) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_binary(&t, &mut buf).unwrap();
+        buf.truncate(buf.len() / 2);
+        assert!(read_binary(&mut buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_implausible_sizes() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.push(2);
+        buf.extend_from_slice(&u64::MAX.to_le_bytes()); // records
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        match read_binary(&mut buf.as_slice()) {
+            Err(TraceIoError::Corrupt(_)) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let t = sample_trace();
+        let dir = std::env::temp_dir().join("mpgraph_trace_io");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("t.mpgtrc");
+        save(&t, &p).unwrap();
+        let back = load(&p).unwrap();
+        assert_eq!(back.records.len(), t.records.len());
+        let pj = dir.join("t.json");
+        save_json(&t, &pj).unwrap();
+        let back_json = load_json(&pj).unwrap();
+        assert_eq!(back_json.records, t.records);
+        std::fs::remove_file(p).ok();
+        std::fs::remove_file(pj).ok();
+    }
+
+    #[test]
+    fn dep_and_write_flags_survive() {
+        let mut t = sample_trace();
+        // Force known flag combos on the first records.
+        t.records[0].dep = true;
+        t.records[0].is_write = false;
+        t.records[1].dep = true;
+        t.records[1].is_write = true;
+        let mut buf = Vec::new();
+        write_binary(&t, &mut buf).unwrap();
+        let back = read_binary(&mut buf.as_slice()).unwrap();
+        assert!(back.records[0].dep && !back.records[0].is_write);
+        assert!(back.records[1].dep && back.records[1].is_write);
+    }
+}

@@ -1,0 +1,34 @@
+//! # mpgraph-frameworks
+//!
+//! Instrumented graph-analytics frameworks that generate multi-core memory
+//! traces — the stand-in for the paper's Intel Pin instrumentation of GPOP,
+//! X-Stream, and PowerGraph (see DESIGN.md for the substitution rationale).
+//!
+//! Three framework models run the five benchmark applications of Table 1
+//! over any [`mpgraph_graph::Csr`], logging every modelled data-structure
+//! access as a [`trace::MemRecord`] with a synthetic per-code-site PC,
+//! ground-truth phase label, and core id. The resulting [`trace::Trace`]
+//! streams feed the simulator, the phase detectors, and the ML predictors.
+//!
+//! ```
+//! use mpgraph_frameworks::{generate_trace, App, Framework, TraceConfig};
+//! use mpgraph_graph::{rmat, RmatConfig};
+//!
+//! let g = rmat(RmatConfig::new(8, 2000, 42));
+//! let cfg = TraceConfig { iterations: 2, ..TraceConfig::default() };
+//! let out = generate_trace(Framework::Gpop, App::Pr, &g, &cfg);
+//! assert!(out.trace.records.len() > 1000);
+//! assert_eq!(out.trace.num_phases, 2); // Scatter, Gather
+//! ```
+
+pub mod apps;
+pub mod gpop;
+pub mod io;
+pub mod powergraph;
+pub mod runner;
+pub mod trace;
+pub mod xstream;
+
+pub use apps::App;
+pub use runner::{generate_trace, Framework, RunOutput, TraceConfig};
+pub use trace::{MemRecord, Trace, BLOCKS_PER_PAGE, BLOCK_SIZE, PAGE_SIZE};

@@ -1,0 +1,221 @@
+//! High-level entry point: pick a framework and an application, run the
+//! instrumented execution over a graph, and receive the interleaved
+//! multi-core memory trace plus the computed result.
+
+use crate::apps::{self, App};
+use crate::trace::{Trace, TraceBuilder};
+use crate::{gpop, powergraph, xstream};
+use mpgraph_graph::Csr;
+
+/// The three graph processing frameworks of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Framework {
+    Gpop,
+    XStream,
+    PowerGraph,
+}
+
+impl Framework {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Framework::Gpop => "GPOP",
+            Framework::XStream => "X-Stream",
+            Framework::PowerGraph => "PowerGraph",
+        }
+    }
+
+    /// Phases per iteration (Table 1's N column).
+    pub fn num_phases(&self) -> u8 {
+        match self {
+            Framework::Gpop => gpop::NUM_PHASES,
+            Framework::XStream => xstream::NUM_PHASES,
+            Framework::PowerGraph => powergraph::NUM_PHASES,
+        }
+    }
+
+    /// The applications the framework ships with (Table 1).
+    pub fn apps(&self) -> &'static [App] {
+        match self {
+            Framework::Gpop | Framework::XStream => &[App::Bfs, App::Cc, App::Pr, App::Sssp],
+            Framework::PowerGraph => &[App::Cc, App::Pr, App::Sssp, App::Tc],
+        }
+    }
+
+    pub const ALL: [Framework; 3] = [Framework::Gpop, Framework::XStream, Framework::PowerGraph];
+}
+
+/// Parameters of one trace-generation run.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceConfig {
+    /// Logical cores (the paper pins 4).
+    pub num_cores: usize,
+    /// Framework iterations to execute (paper: 1 training + 10 evaluation).
+    pub iterations: usize,
+    /// GPOP partition count.
+    pub gpop_partitions: usize,
+    /// Hard cap on recorded accesses.
+    pub record_limit: usize,
+    /// Source vertex for BFS/SSSP.
+    pub source: u32,
+    /// Interleaver seed.
+    pub seed: u64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            num_cores: 4,
+            iterations: 11,
+            gpop_partitions: 16,
+            record_limit: 2_000_000,
+            source: 0,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// Output of a run: the trace and the application's final vertex values.
+#[derive(Debug)]
+pub struct RunOutput {
+    pub trace: Trace,
+    pub values: Vec<f32>,
+}
+
+/// Runs `app` on `framework` over `graph` and returns the trace + result.
+///
+/// CC and TC operate on the symmetrized graph (as the real frameworks
+/// preprocess undirected inputs); the other apps use the graph as given.
+pub fn generate_trace(
+    framework: Framework,
+    app: App,
+    graph: &Csr,
+    cfg: &TraceConfig,
+) -> RunOutput {
+    assert!(
+        framework.apps().contains(&app),
+        "{} does not ship {} (Table 1)",
+        framework.name(),
+        app.name()
+    );
+    let needs_sym = matches!(app, App::Cc | App::Tc);
+    let sym;
+    let g: &Csr = if needs_sym {
+        sym = graph.symmetrize();
+        &sym
+    } else {
+        graph
+    };
+    let mut tb = TraceBuilder::new(
+        framework.num_phases(),
+        cfg.num_cores,
+        cfg.seed,
+        cfg.record_limit,
+    );
+    let values = match (framework, app) {
+        (Framework::PowerGraph, App::Tc) => powergraph::run_tc(g, cfg.iterations, &mut tb),
+        (Framework::Gpop, _) => {
+            let prog = apps::program_for(app, g, cfg.source);
+            gpop::run(g, prog.as_ref(), cfg.gpop_partitions, cfg.iterations, &mut tb)
+        }
+        (Framework::XStream, _) => {
+            let prog = apps::program_for(app, g, cfg.source);
+            xstream::run(g, prog.as_ref(), cfg.iterations, &mut tb)
+        }
+        (Framework::PowerGraph, _) => {
+            let prog = apps::program_for(app, g, cfg.source);
+            powergraph::run(g, prog.as_ref(), cfg.iterations, &mut tb)
+        }
+    };
+    RunOutput {
+        trace: tb.finish(),
+        values,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpgraph_graph::{rmat, RmatConfig};
+
+    #[test]
+    fn all_table1_combinations_run() {
+        let g = rmat(RmatConfig::new(6, 300, 2));
+        let cfg = TraceConfig {
+            iterations: 2,
+            record_limit: 200_000,
+            ..TraceConfig::default()
+        };
+        for fw in Framework::ALL {
+            for &app in fw.apps() {
+                let out = generate_trace(fw, app, &g, &cfg);
+                assert!(
+                    !out.trace.records.is_empty(),
+                    "{} {} produced empty trace",
+                    fw.name(),
+                    app.name()
+                );
+                assert_eq!(out.trace.num_phases, fw.num_phases());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not ship")]
+    fn gpop_tc_is_rejected() {
+        let g = rmat(RmatConfig::new(5, 100, 2));
+        generate_trace(Framework::Gpop, App::Tc, &g, &TraceConfig::default());
+    }
+
+    #[test]
+    fn record_limit_is_respected() {
+        let g = rmat(RmatConfig::new(8, 3000, 2));
+        let cfg = TraceConfig {
+            record_limit: 10_000,
+            ..TraceConfig::default()
+        };
+        let out = generate_trace(Framework::Gpop, App::Pr, &g, &cfg);
+        assert!(out.trace.records.len() <= 10_000);
+    }
+
+    #[test]
+    fn traces_are_deterministic() {
+        let g = rmat(RmatConfig::new(6, 400, 2));
+        let cfg = TraceConfig {
+            iterations: 2,
+            ..TraceConfig::default()
+        };
+        let a = generate_trace(Framework::XStream, App::Pr, &g, &cfg);
+        let b = generate_trace(Framework::XStream, App::Pr, &g, &cfg);
+        assert_eq!(a.trace.records, b.trace.records);
+    }
+
+    #[test]
+    fn page_jumps_are_wide_in_gpop_scatter() {
+        // Figure 3: GPOP shows frequent wide page jumps. Verify the scatter
+        // phase of PR on an R-MAT graph jumps across many distinct pages.
+        let g = rmat(RmatConfig::new(9, 4000, 2));
+        let cfg = TraceConfig {
+            iterations: 1,
+            ..TraceConfig::default()
+        };
+        let out = generate_trace(Framework::Gpop, App::Pr, &g, &cfg);
+        let pages: Vec<u64> = out
+            .trace
+            .records
+            .iter()
+            .filter(|r| r.phase == crate::gpop::PHASE_SCATTER)
+            .map(|r| r.page())
+            .collect();
+        let distinct: std::collections::HashSet<u64> = pages.iter().copied().collect();
+        assert!(distinct.len() > 20, "only {} pages", distinct.len());
+        let jumps = pages
+            .windows(2)
+            .filter(|w| (w[1] as i64 - w[0] as i64).unsigned_abs() > 4)
+            .count();
+        assert!(
+            jumps as f64 > 0.05 * pages.len() as f64,
+            "too few wide jumps: {jumps}/{}",
+            pages.len()
+        );
+    }
+}

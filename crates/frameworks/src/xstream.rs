@@ -1,0 +1,298 @@
+//! X-Stream-like edge-centric streaming framework (Roy, Mihailovic,
+//! Zwaenepoel, SOSP 2013), instrumented to emit a memory trace.
+//!
+//! X-Stream never builds per-vertex adjacency indexes; it *streams the edge
+//! list*. Each iteration:
+//!
+//! * **Scatter** — stream every edge `(src, dst, w)` sequentially, look up
+//!   `values[src]` (random access), and if `src` is active append an update
+//!   `(dst, msg)` to the per-core update buffer (sequential write);
+//! * **Gather** — stream the update buffers sequentially, fold each update
+//!   into `acc[dst]` (random access), then run the apply loop.
+//!
+//! The signature pattern is long sequential runs punctuated by random vertex
+//! lookups — different from GPOP's bin-partitioned locality, which is why
+//! the paper's per-framework models differ.
+
+use crate::apps::VertexProgram;
+use crate::trace::{AddressSpace, PcMap, TraceBuilder};
+use mpgraph_graph::{Csr, VertexId};
+
+const FRAMEWORK_ID: u8 = 1;
+
+pub const PHASE_SCATTER: u8 = 0;
+pub const PHASE_GATHER: u8 = 1;
+pub const NUM_PHASES: u8 = 2;
+/// Runtime code page (streaming-buffer management); see the GPOP module
+/// for why these impulse bursts exist.
+pub const RUNTIME_CODE: u8 = 14;
+/// Edges streamed between buffer-management bursts.
+const CHUNK: usize = 4096;
+
+mod site {
+    pub const SC_EDGE: u32 = 0;
+    pub const SC_ACTIVE: u32 = 1;
+    pub const SC_VALUE: u32 = 2;
+    pub const SC_UPD_WRITE: u32 = 3;
+    pub const GA_UPD_READ: u32 = 0;
+    pub const GA_ACC_READ: u32 = 1;
+    pub const GA_ACC_WRITE: u32 = 2;
+    pub const GA_APPLY_ACC: u32 = 3;
+    pub const GA_APPLY_VAL_R: u32 = 4;
+    pub const GA_APPLY_VAL_W: u32 = 5;
+    pub const GA_ACTIVE_W: u32 = 6;
+}
+
+/// Runs `prog` over `g` under the X-Stream model. Returns final values.
+pub fn run(
+    g: &Csr,
+    prog: &dyn VertexProgram,
+    iterations: usize,
+    tb: &mut TraceBuilder,
+) -> Vec<f32> {
+    let n = g.num_vertices();
+    let m = g.num_edges();
+    let num_cores = tb.num_cores();
+    let pcs = PcMap::new(FRAMEWORK_ID);
+
+    let mut space = AddressSpace::new();
+    let values_base = space.alloc("values", n, 4);
+    // X-Stream stores edges as (src, dst, weight) tuples, 12 bytes each.
+    let edges_base = space.alloc("edges", m, 12);
+    let acc_base = space.alloc("acc", n, 4);
+    let active_base = space.alloc("active", n, 1);
+    let runtime_base = space.alloc("runtime", num_cores * 64, 64);
+    // One update segment per core; capacity = worst case all edges.
+    let upd_base: Vec<u64> = (0..num_cores)
+        .map(|c| space.alloc(&format!("updates{c}"), m.max(1), 8))
+        .collect();
+
+    // Flatten edges once; this mirrors X-Stream's on-disk edge array.
+    let mut flat_edges: Vec<(VertexId, VertexId, f32)> = Vec::with_capacity(m);
+    for v in 0..n as VertexId {
+        for (u, w) in g.neighbors_weighted(v) {
+            flat_edges.push((v, u, w));
+        }
+    }
+    // Out-degree per vertex, needed by scatter_value (PR divides by degree).
+    let degree: Vec<usize> = (0..n as VertexId).map(|v| g.degree(v)).collect();
+
+    let mut values = prog.init(n);
+    let mut active = prog.initial_active(n);
+    let edges_per_core = m.div_ceil(num_cores.max(1));
+
+    for _iter in 0..iterations {
+        if tb.is_full() {
+            break;
+        }
+        if !prog.always_active() && !active.iter().any(|&a| a) {
+            values = prog.init(n);
+            active = prog.initial_active(n);
+        }
+        tb.begin_iteration();
+
+        // -------------------------- Scatter --------------------------
+        let mut updates: Vec<Vec<(VertexId, f32)>> = vec![Vec::new(); num_cores];
+        let mut rec = tb.phase(PHASE_SCATTER);
+        for core in 0..num_cores {
+            let lo = (core * edges_per_core).min(m);
+            let hi = ((core + 1) * edges_per_core).min(m);
+            for (i, &(src, dst, w)) in flat_edges[lo..hi].iter().enumerate() {
+                let e = lo + i;
+                if i % CHUNK == 0 {
+                    // Stream-buffer management burst at each chunk boundary.
+                    for j in 0..24u64 {
+                        rec.log(
+                            core,
+                            pcs.pc(RUNTIME_CODE, (j % 6) as u32),
+                            runtime_base + (core as u64 * 64 + j % 64) * 64,
+                            false,
+                        );
+                    }
+                }
+                rec.log(
+                    core,
+                    pcs.pc(PHASE_SCATTER, site::SC_EDGE),
+                    edges_base + e as u64 * 12,
+                    false,
+                );
+                // active[src]: src was just loaded from the edge tuple.
+                rec.log_dep(
+                    core,
+                    pcs.pc(PHASE_SCATTER, site::SC_ACTIVE),
+                    active_base + src as u64,
+                    false,
+                );
+                if !(active[src as usize] || prog.always_active()) {
+                    continue;
+                }
+                rec.log_dep(
+                    core,
+                    pcs.pc(PHASE_SCATTER, site::SC_VALUE),
+                    values_base + src as u64 * 4,
+                    false,
+                );
+                if let Some(msg) = prog.scatter_value(values[src as usize], degree[src as usize], w)
+                {
+                    rec.log(
+                        core,
+                        pcs.pc(PHASE_SCATTER, site::SC_UPD_WRITE),
+                        upd_base[core] + updates[core].len() as u64 * 8,
+                        true,
+                    );
+                    updates[core].push((dst, msg));
+                }
+            }
+        }
+        tb.commit_phase(rec);
+        if tb.is_full() {
+            break;
+        }
+
+        // -------------------------- Gather ---------------------------
+        let mut acc = vec![prog.identity(); n];
+        let mut got = vec![false; n];
+        let mut rec = tb.phase(PHASE_GATHER);
+        // Each core streams the buffer it produced (X-Stream's shuffle step
+        // is folded in: updates stay core-local in shared memory).
+        for core in 0..num_cores {
+            for (k, &(dst, msg)) in updates[core].iter().enumerate() {
+                rec.log(
+                    core,
+                    pcs.pc(PHASE_GATHER, site::GA_UPD_READ),
+                    upd_base[core] + k as u64 * 8,
+                    false,
+                );
+                // acc[dst]: dst was just loaded from the update entry.
+                rec.log_dep(
+                    core,
+                    pcs.pc(PHASE_GATHER, site::GA_ACC_READ),
+                    acc_base + dst as u64 * 4,
+                    false,
+                );
+                rec.log(
+                    core,
+                    pcs.pc(PHASE_GATHER, site::GA_ACC_WRITE),
+                    acc_base + dst as u64 * 4,
+                    true,
+                );
+                acc[dst as usize] = prog.accumulate(acc[dst as usize], msg);
+                got[dst as usize] = true;
+            }
+        }
+        // Apply loop, vertices split across cores.
+        let verts_per_core = n.div_ceil(num_cores.max(1));
+        for core in 0..num_cores {
+            let lo = (core * verts_per_core).min(n);
+            let hi = ((core + 1) * verts_per_core).min(n);
+            for v in lo..hi {
+                rec.log(
+                    core,
+                    pcs.pc(PHASE_GATHER, site::GA_APPLY_ACC),
+                    acc_base + v as u64 * 4,
+                    false,
+                );
+                rec.log(
+                    core,
+                    pcs.pc(PHASE_GATHER, site::GA_APPLY_VAL_R),
+                    values_base + v as u64 * 4,
+                    false,
+                );
+                let new = prog.apply(values[v], acc[v], got[v]);
+                let changed = new != values[v] && !(new.is_nan() && values[v].is_nan());
+                if changed || prog.always_active() {
+                    rec.log(
+                        core,
+                        pcs.pc(PHASE_GATHER, site::GA_APPLY_VAL_W),
+                        values_base + v as u64 * 4,
+                        true,
+                    );
+                }
+                rec.log(
+                    core,
+                    pcs.pc(PHASE_GATHER, site::GA_ACTIVE_W),
+                    active_base + v as u64,
+                    true,
+                );
+                values[v] = new;
+                active[v] = changed;
+            }
+        }
+        tb.commit_phase(rec);
+    }
+    values
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::{self, App};
+    use mpgraph_graph::{rmat, RmatConfig};
+
+    fn run_app(app: App, g: &Csr, iters: usize) -> (Vec<f32>, crate::trace::Trace) {
+        let prog = apps::program_for(app, g, 0);
+        let mut tb = TraceBuilder::new(NUM_PHASES, 4, 7, usize::MAX);
+        let vals = run(g, prog.as_ref(), iters, &mut tb);
+        (vals, tb.finish())
+    }
+
+    #[test]
+    fn xstream_bfs_matches_reference() {
+        let g = rmat(RmatConfig::new(7, 600, 3));
+        let (vals, _) = run_app(App::Bfs, &g, 40);
+        assert_eq!(vals, apps::ref_bfs(&g, 0));
+    }
+
+    #[test]
+    fn xstream_cc_matches_reference() {
+        let g = rmat(RmatConfig::new(6, 300, 4)).symmetrize();
+        let (vals, _) = run_app(App::Cc, &g, 60);
+        assert_eq!(vals, apps::ref_cc(&g));
+    }
+
+    #[test]
+    fn xstream_sssp_matches_reference() {
+        let g = rmat(RmatConfig::new(7, 600, 5));
+        let (vals, _) = run_app(App::Sssp, &g, 60);
+        assert_eq!(vals, apps::ref_sssp(&g, 0));
+    }
+
+    #[test]
+    fn xstream_pagerank_close_to_reference() {
+        let g = rmat(RmatConfig::new(6, 500, 6));
+        let (vals, _) = run_app(App::Pr, &g, 15);
+        let expect = apps::ref_pagerank(&g, 15);
+        for (a, b) in vals.iter().zip(expect.iter()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn edge_reads_are_sequential_per_core() {
+        let g = rmat(RmatConfig::new(6, 500, 7));
+        let (_, t) = run_app(App::Pr, &g, 1);
+        let pcs = PcMap::new(FRAMEWORK_ID);
+        let edge_pc = pcs.pc(PHASE_SCATTER, site::SC_EDGE);
+        for core in 0..4u8 {
+            let addrs: Vec<u64> = t
+                .records
+                .iter()
+                .filter(|r| r.pc == edge_pc && r.core == core)
+                .map(|r| r.vaddr)
+                .collect();
+            assert!(!addrs.is_empty());
+            assert!(
+                addrs.windows(2).all(|w| w[0] < w[1]),
+                "edge stream not sequential on core {core}"
+            );
+        }
+    }
+
+    #[test]
+    fn phases_alternate() {
+        let g = rmat(RmatConfig::new(6, 400, 8));
+        let (_, t) = run_app(App::Pr, &g, 4);
+        assert_eq!(t.transitions.len(), 7);
+        assert_eq!(t.num_iterations(), 4);
+    }
+}

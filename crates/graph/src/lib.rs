@@ -1,0 +1,26 @@
+//! # mpgraph-graph
+//!
+//! Graph substrate for the MPGraph reproduction: compressed sparse row (CSR)
+//! graphs, the R-MAT recursive generator used by the paper for its synthetic
+//! input, parameterized synthetic stand-ins for the six SNAP datasets of
+//! Table 2, and a plain-text edge-list format.
+//!
+//! The graph analytics frameworks in `mpgraph-frameworks` run real algorithms
+//! (BFS, CC, PR, SSSP, TC) over these graphs while recording every memory
+//! touch; the *structure* of the graph (degree distribution, locality of the
+//! vertex id space) is what shapes the memory access streams the prefetchers
+//! are trained and evaluated on.
+
+pub mod csr;
+pub mod edgelist;
+pub mod rmat;
+pub mod synthetic;
+
+pub use csr::{Csr, CsrBuilder, DegreeStats};
+pub use rmat::{rmat, RmatConfig};
+pub use synthetic::{chung_lu, road_network, standin, Dataset};
+
+/// Vertex identifier. 32 bits is ample for the scaled datasets (≤ 5M
+/// vertices) and halves the memory traffic of the edge arrays, matching how
+/// graph frameworks store ids in practice.
+pub type VertexId = u32;

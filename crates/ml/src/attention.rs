@@ -1,0 +1,332 @@
+//! Scaled dot-product attention (Eq. 7 of the paper) in single-head and
+//! multi-head (Eq. 9) forms, with full backward passes.
+
+use crate::layers::{Module, Param};
+use crate::tensor::Matrix;
+use rand_chacha::ChaCha8Rng;
+
+/// Single-head self-attention: `Y = softmax(Q K^T / sqrt(d)) V` with
+/// `Q = X Wq`, `K = X Wk`, `V = X Wv`. This is the "self-attention layer"
+/// AMMA applies to each input modality.
+#[derive(Debug, Clone)]
+pub struct SelfAttention {
+    pub wq: Param,
+    pub wk: Param,
+    pub wv: Param,
+    head_dim: usize,
+    cache: Option<AttnCache>,
+}
+
+#[derive(Debug, Clone)]
+struct AttnCache {
+    x: Matrix,
+    q: Matrix,
+    k: Matrix,
+    v: Matrix,
+    attn: Matrix, // post-softmax weights
+}
+
+impl SelfAttention {
+    pub fn new(in_dim: usize, head_dim: usize, rng: &mut ChaCha8Rng) -> Self {
+        SelfAttention {
+            wq: Param::xavier(in_dim, head_dim, rng),
+            wk: Param::xavier(in_dim, head_dim, rng),
+            wv: Param::xavier(in_dim, head_dim, rng),
+            head_dim,
+            cache: None,
+        }
+    }
+
+    pub fn out_dim(&self) -> usize {
+        self.head_dim
+    }
+
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let q = x.matmul(&self.wq.w);
+        let k = x.matmul(&self.wk.w);
+        let v = x.matmul(&self.wv.w);
+        let mut scores = q.matmul_bt(&k);
+        scores.scale(1.0 / (self.head_dim as f32).sqrt());
+        let attn = scores.softmax_rows();
+        let y = attn.matmul(&v);
+        self.cache = Some(AttnCache {
+            x: x.clone(),
+            q,
+            k,
+            v,
+            attn,
+        });
+        y
+    }
+
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        let q = x.matmul(&self.wq.w);
+        let k = x.matmul(&self.wk.w);
+        let v = x.matmul(&self.wv.w);
+        let mut scores = q.matmul_bt(&k);
+        scores.scale(1.0 / (self.head_dim as f32).sqrt());
+        scores.softmax_rows().matmul(&v)
+    }
+
+    pub fn backward(&mut self, dy: &Matrix) -> Matrix {
+        let c = self.cache.as_ref().expect("forward before backward");
+        let scale = 1.0 / (self.head_dim as f32).sqrt();
+        // Y = A V
+        let d_attn = dy.matmul_bt(&c.v);
+        let dv = c.attn.matmul_at(dy);
+        // A = softmax(S)
+        let mut ds = Matrix::softmax_rows_backward(&c.attn, &d_attn);
+        ds.scale(scale);
+        // S = Q K^T (scaled already folded into ds)
+        let dq = ds.matmul(&c.k);
+        let dk = ds.matmul_at(&c.q);
+        // Parameter grads.
+        self.wq.g.add_assign(&c.x.matmul_at(&dq));
+        self.wk.g.add_assign(&c.x.matmul_at(&dk));
+        self.wv.g.add_assign(&c.x.matmul_at(&dv));
+        // Input grad.
+        let mut dx = dq.matmul_bt(&self.wq.w);
+        dx.add_assign(&dk.matmul_bt(&self.wk.w));
+        dx.add_assign(&dv.matmul_bt(&self.wv.w));
+        dx
+    }
+}
+
+impl Module for SelfAttention {
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.wq);
+        f(&mut self.wk);
+        f(&mut self.wv);
+    }
+}
+
+/// Multi-head self-attention (Eq. 9): H parallel heads of dimension
+/// `dim / heads`, concatenated and projected by `Wo`.
+#[derive(Debug, Clone)]
+pub struct MultiHeadAttention {
+    pub heads: Vec<SelfAttention>,
+    pub wo: Param,
+    dim: usize,
+    cache_concat: Option<Matrix>,
+}
+
+impl MultiHeadAttention {
+    pub fn new(dim: usize, num_heads: usize, rng: &mut ChaCha8Rng) -> Self {
+        assert!(dim % num_heads == 0, "dim must divide by heads");
+        let head_dim = dim / num_heads;
+        MultiHeadAttention {
+            heads: (0..num_heads)
+                .map(|_| SelfAttention::new(dim, head_dim, rng))
+                .collect(),
+            wo: Param::xavier(dim, dim, rng),
+            dim,
+            cache_concat: None,
+        }
+    }
+
+    pub fn forward(&mut self, x: &Matrix) -> Matrix {
+        let concat = self.concat(x, true);
+        concat.matmul(&self.wo.w)
+    }
+
+    pub fn infer(&self, x: &Matrix) -> Matrix {
+        let s = x.rows;
+        let mut concat = Matrix::zeros(s, self.dim);
+        let head_dim = self.dim / self.heads.len();
+        for (h, head) in self.heads.iter().enumerate() {
+            let y = head.infer(x);
+            for r in 0..s {
+                concat.row_mut(r)[h * head_dim..(h + 1) * head_dim].copy_from_slice(y.row(r));
+            }
+        }
+        concat.matmul(&self.wo.w)
+    }
+
+    fn concat(&mut self, x: &Matrix, train: bool) -> Matrix {
+        let s = x.rows;
+        let head_dim = self.dim / self.heads.len();
+        let mut concat = Matrix::zeros(s, self.dim);
+        for h in 0..self.heads.len() {
+            let y = if train {
+                self.heads[h].forward(x)
+            } else {
+                self.heads[h].infer(x)
+            };
+            for r in 0..s {
+                concat.row_mut(r)[h * head_dim..(h + 1) * head_dim].copy_from_slice(y.row(r));
+            }
+        }
+        self.cache_concat = Some(concat.clone());
+        concat
+    }
+
+    pub fn backward(&mut self, dy: &Matrix) -> Matrix {
+        let concat = self.cache_concat.as_ref().expect("forward before backward");
+        self.wo.g.add_assign(&concat.matmul_at(dy));
+        let d_concat = dy.matmul_bt(&self.wo.w);
+        let head_dim = self.dim / self.heads.len();
+        let mut dx: Option<Matrix> = None;
+        for (h, head) in self.heads.iter_mut().enumerate() {
+            let mut d_head = Matrix::zeros(d_concat.rows, head_dim);
+            for r in 0..d_concat.rows {
+                d_head
+                    .row_mut(r)
+                    .copy_from_slice(&d_concat.row(r)[h * head_dim..(h + 1) * head_dim]);
+            }
+            let g = head.backward(&d_head);
+            match &mut dx {
+                None => dx = Some(g),
+                Some(acc) => acc.add_assign(&g),
+            }
+        }
+        dx.expect("at least one head")
+    }
+}
+
+impl Module for MultiHeadAttention {
+    fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for h in &mut self.heads {
+            h.for_each_param(f);
+        }
+        f(&mut self.wo);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::rng;
+
+    fn weighted_sum(y: &Matrix, w: &Matrix) -> f32 {
+        y.data.iter().zip(w.data.iter()).map(|(a, b)| a * b).sum()
+    }
+
+    #[test]
+    fn self_attention_shapes() {
+        let mut r = rng(1);
+        let mut a = SelfAttention::new(8, 4, &mut r);
+        let x = Matrix::xavier(5, 8, &mut r);
+        let y = a.forward(&x);
+        assert_eq!((y.rows, y.cols), (5, 4));
+        assert_eq!(a.out_dim(), 4);
+    }
+
+    #[test]
+    fn self_attention_rows_are_convex_combinations() {
+        // With Wv = identity-ish small test: attention output of row r is a
+        // convex combination of V rows, so it is bounded by V's extremes.
+        let mut r = rng(2);
+        let mut a = SelfAttention::new(4, 4, &mut r);
+        // Force Wv = I to check convexity directly on X-projected values.
+        a.wv.w = Matrix::from_vec(
+            4,
+            4,
+            (0..16)
+                .map(|i| if i % 5 == 0 { 1.0 } else { 0.0 })
+                .collect(),
+        );
+        let x = Matrix::xavier(6, 4, &mut r);
+        let y = a.forward(&x);
+        for c in 0..4 {
+            let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+            for row in 0..6 {
+                lo = lo.min(x.at(row, c));
+                hi = hi.max(x.at(row, c));
+            }
+            for row in 0..6 {
+                assert!(y.at(row, c) >= lo - 1e-5 && y.at(row, c) <= hi + 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn self_attention_input_gradient_matches_finite_difference() {
+        let mut r = rng(3);
+        let mut a = SelfAttention::new(4, 3, &mut r);
+        let x = Matrix::xavier(3, 4, &mut r);
+        let w = Matrix::xavier(3, 3, &mut r);
+        let _ = a.forward(&x);
+        let dx = a.backward(&w);
+        let eps = 1e-2f32;
+        for i in 0..x.data.len() {
+            let mut xp = x.clone();
+            xp.data[i] += eps;
+            let mut xm = x.clone();
+            xm.data[i] -= eps;
+            let num = (weighted_sum(&a.infer(&xp), &w) - weighted_sum(&a.infer(&xm), &w))
+                / (2.0 * eps);
+            assert!(
+                (num - dx.data[i]).abs() < 3e-2,
+                "idx {i}: {num} vs {}",
+                dx.data[i]
+            );
+        }
+    }
+
+    #[test]
+    fn self_attention_weight_gradient_matches_finite_difference() {
+        let mut r = rng(4);
+        let mut a = SelfAttention::new(3, 2, &mut r);
+        let x = Matrix::xavier(4, 3, &mut r);
+        let w = Matrix::xavier(4, 2, &mut r);
+        let _ = a.forward(&x);
+        let _ = a.backward(&w);
+        let eps = 1e-2f32;
+        for (pi, get) in [(0usize, 0usize), (1, 1), (2, 0)] {
+            let mut ap = a.clone();
+            let mut am = a.clone();
+            // Perturb wq[pi][get].
+            *ap.wq.w.at_mut(pi, get) += eps;
+            *am.wq.w.at_mut(pi, get) -= eps;
+            let num =
+                (weighted_sum(&ap.infer(&x), &w) - weighted_sum(&am.infer(&x), &w)) / (2.0 * eps);
+            let analytic = a.wq.g.at(pi, get);
+            assert!(
+                (num - analytic).abs() < 3e-2,
+                "wq[{pi}][{get}]: {num} vs {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_head_shapes_and_params() {
+        let mut r = rng(5);
+        let mut mha = MultiHeadAttention::new(8, 4, &mut r);
+        let x = Matrix::xavier(6, 8, &mut r);
+        let y = mha.forward(&x);
+        assert_eq!((y.rows, y.cols), (6, 8));
+        // 4 heads × 3 matrices × 8×2 + Wo 8×8.
+        assert_eq!(mha.num_params(), 4 * 3 * 16 + 64);
+    }
+
+    #[test]
+    fn multi_head_gradient_matches_finite_difference() {
+        let mut r = rng(6);
+        let mut mha = MultiHeadAttention::new(4, 2, &mut r);
+        let x = Matrix::xavier(3, 4, &mut r);
+        let w = Matrix::xavier(3, 4, &mut r);
+        let _ = mha.forward(&x);
+        let dx = mha.backward(&w);
+        let eps = 1e-2f32;
+        for i in [0usize, 3, 7, 11] {
+            let mut xp = x.clone();
+            xp.data[i] += eps;
+            let mut xm = x.clone();
+            xm.data[i] -= eps;
+            let num = (weighted_sum(&mha.infer(&xp), &w) - weighted_sum(&mha.infer(&xm), &w))
+                / (2.0 * eps);
+            assert!(
+                (num - dx.data[i]).abs() < 3e-2,
+                "idx {i}: {num} vs {}",
+                dx.data[i]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn multi_head_rejects_indivisible_dims() {
+        let mut r = rng(7);
+        let _ = MultiHeadAttention::new(6, 4, &mut r);
+    }
+}

@@ -1,0 +1,196 @@
+//! Loss functions with fused gradients: binary cross-entropy with logits
+//! (the spatial delta predictor's multi-label loss), softmax cross-entropy
+//! (the temporal page predictor's loss), and the temperature-scaled
+//! knowledge-distillation loss used for model compression (§6.1).
+
+use crate::tensor::Matrix;
+
+/// Multi-label BCE with logits, mean over all elements.
+/// Returns `(loss, dL/dlogits)` with the fused, numerically stable form
+/// `dL/dz = (sigmoid(z) - y) / N`.
+pub fn bce_with_logits(logits: &Matrix, targets: &Matrix) -> (f32, Matrix) {
+    assert_eq!(logits.rows, targets.rows);
+    assert_eq!(logits.cols, targets.cols);
+    let n = logits.data.len() as f32;
+    let mut grad = Matrix::zeros(logits.rows, logits.cols);
+    let mut loss = 0.0f32;
+    for i in 0..logits.data.len() {
+        let z = logits.data[i];
+        let y = targets.data[i];
+        // log(1 + e^-|z|) + max(z,0) - z*y, the stable BCE-with-logits form.
+        loss += z.max(0.0) - z * y + (1.0 + (-z.abs()).exp()).ln();
+        let s = 1.0 / (1.0 + (-z).exp());
+        grad.data[i] = (s - y) / n;
+    }
+    (loss / n, grad)
+}
+
+/// Softmax cross-entropy over rows against integer class targets.
+/// Returns `(mean loss, dL/dlogits)`.
+pub fn softmax_cross_entropy(logits: &Matrix, targets: &[usize]) -> (f32, Matrix) {
+    assert_eq!(logits.rows, targets.len());
+    let probs = logits.softmax_rows();
+    let n = logits.rows as f32;
+    let mut grad = probs.clone();
+    let mut loss = 0.0f32;
+    for (r, &t) in targets.iter().enumerate() {
+        assert!(t < logits.cols, "target {t} out of range");
+        loss -= probs.at(r, t).max(1e-12).ln();
+        *grad.at_mut(r, t) -= 1.0;
+    }
+    grad.scale(1.0 / n);
+    (loss / n, grad)
+}
+
+/// Knowledge-distillation loss (Hinton et al.): KL divergence between the
+/// teacher's and student's temperature-softened distributions, scaled by
+/// `T²` so gradient magnitudes are comparable across temperatures.
+/// `teacher_logits` are treated as constants. Returns `(loss, dL/dstudent)`.
+pub fn distillation_loss(
+    student_logits: &Matrix,
+    teacher_logits: &Matrix,
+    temperature: f32,
+) -> (f32, Matrix) {
+    assert_eq!(student_logits.rows, teacher_logits.rows);
+    assert_eq!(student_logits.cols, teacher_logits.cols);
+    let t = temperature;
+    let mut soft_teacher = teacher_logits.clone();
+    soft_teacher.scale(1.0 / t);
+    let p = soft_teacher.softmax_rows();
+    let mut soft_student = student_logits.clone();
+    soft_student.scale(1.0 / t);
+    let q = soft_student.softmax_rows();
+    let n = student_logits.rows as f32;
+    let mut loss = 0.0f32;
+    let mut grad = Matrix::zeros(q.rows, q.cols);
+    for r in 0..q.rows {
+        for c in 0..q.cols {
+            let pv = p.at(r, c).max(1e-12);
+            let qv = q.at(r, c).max(1e-12);
+            loss += pv * (pv.ln() - qv.ln());
+            // d/dz_s of T² · KL(p ‖ q(z_s/T)) = T (q - p); mean over rows.
+            grad.data[r * q.cols + c] = t * (qv - pv) / n;
+        }
+    }
+    (loss * t * t / n, grad)
+}
+
+/// Binary-vector distillation for the BCE (multi-label) head: student
+/// matches the teacher's per-label sigmoid probabilities.
+pub fn binary_distillation_loss(
+    student_logits: &Matrix,
+    teacher_logits: &Matrix,
+) -> (f32, Matrix) {
+    assert_eq!(student_logits.data.len(), teacher_logits.data.len());
+    let n = student_logits.data.len() as f32;
+    let mut grad = Matrix::zeros(student_logits.rows, student_logits.cols);
+    let mut loss = 0.0f32;
+    for i in 0..student_logits.data.len() {
+        let zs = student_logits.data[i];
+        let pt = 1.0 / (1.0 + (-teacher_logits.data[i]).exp());
+        loss += zs.max(0.0) - zs * pt + (1.0 + (-zs.abs()).exp()).ln();
+        let ps = 1.0 / (1.0 + (-zs).exp());
+        grad.data[i] = (ps - pt) / n;
+    }
+    (loss / n, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bce_is_minimal_at_perfect_confident_prediction() {
+        let targets = Matrix::from_vec(1, 3, vec![1.0, 0.0, 1.0]);
+        let good = Matrix::from_vec(1, 3, vec![10.0, -10.0, 10.0]);
+        let bad = Matrix::from_vec(1, 3, vec![-10.0, 10.0, -10.0]);
+        let (lg, _) = bce_with_logits(&good, &targets);
+        let (lb, _) = bce_with_logits(&bad, &targets);
+        assert!(lg < 1e-3);
+        assert!(lb > 5.0);
+    }
+
+    #[test]
+    fn bce_gradient_matches_finite_difference() {
+        let targets = Matrix::from_vec(1, 4, vec![1.0, 0.0, 1.0, 0.0]);
+        let z = Matrix::from_vec(1, 4, vec![0.5, -0.3, 1.2, 0.1]);
+        let (_, g) = bce_with_logits(&z, &targets);
+        let eps = 1e-3f32;
+        for i in 0..4 {
+            let mut zp = z.clone();
+            zp.data[i] += eps;
+            let mut zm = z.clone();
+            zm.data[i] -= eps;
+            let num = (bce_with_logits(&zp, &targets).0 - bce_with_logits(&zm, &targets).0)
+                / (2.0 * eps);
+            assert!((num - g.data[i]).abs() < 1e-3, "{num} vs {}", g.data[i]);
+        }
+    }
+
+    #[test]
+    fn ce_gradient_matches_finite_difference() {
+        let z = Matrix::from_vec(2, 3, vec![0.2, -0.5, 1.0, 0.9, 0.1, -1.1]);
+        let t = vec![2usize, 0];
+        let (_, g) = softmax_cross_entropy(&z, &t);
+        let eps = 1e-3f32;
+        for i in 0..6 {
+            let mut zp = z.clone();
+            zp.data[i] += eps;
+            let mut zm = z.clone();
+            zm.data[i] -= eps;
+            let num = (softmax_cross_entropy(&zp, &t).0 - softmax_cross_entropy(&zm, &t).0)
+                / (2.0 * eps);
+            assert!((num - g.data[i]).abs() < 1e-3, "{num} vs {}", g.data[i]);
+        }
+    }
+
+    #[test]
+    fn ce_loss_decreases_with_correct_confidence() {
+        let low = Matrix::from_vec(1, 3, vec![0.0, 0.0, 0.0]);
+        let high = Matrix::from_vec(1, 3, vec![5.0, 0.0, 0.0]);
+        let (l0, _) = softmax_cross_entropy(&low, &[0]);
+        let (l1, _) = softmax_cross_entropy(&high, &[0]);
+        assert!(l1 < l0);
+        assert!((l0 - (3.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn kd_loss_zero_when_student_equals_teacher() {
+        let t = Matrix::from_vec(1, 4, vec![1.0, -2.0, 0.5, 0.0]);
+        let (loss, grad) = distillation_loss(&t, &t, 2.0);
+        assert!(loss.abs() < 1e-6);
+        assert!(grad.norm() < 1e-6);
+    }
+
+    #[test]
+    fn kd_gradient_matches_finite_difference() {
+        let teacher = Matrix::from_vec(1, 3, vec![2.0, -1.0, 0.3]);
+        let student = Matrix::from_vec(1, 3, vec![0.1, 0.6, -0.4]);
+        let (_, g) = distillation_loss(&student, &teacher, 3.0);
+        let eps = 1e-3f32;
+        for i in 0..3 {
+            let mut sp = student.clone();
+            sp.data[i] += eps;
+            let mut sm = student.clone();
+            sm.data[i] -= eps;
+            let num = (distillation_loss(&sp, &teacher, 3.0).0
+                - distillation_loss(&sm, &teacher, 3.0).0)
+                / (2.0 * eps);
+            assert!((num - g.data[i]).abs() < 1e-3, "{num} vs {}", g.data[i]);
+        }
+    }
+
+    #[test]
+    fn binary_kd_pulls_student_toward_teacher() {
+        let teacher = Matrix::from_vec(1, 2, vec![4.0, -4.0]);
+        let student = Matrix::from_vec(1, 2, vec![0.0, 0.0]);
+        let (_, g) = binary_distillation_loss(&student, &teacher);
+        // Teacher says label 0 on, label 1 off: gradient pushes logits
+        // toward (+, -).
+        assert!(g.data[0] < 0.0); // decrease loss by increasing logit 0
+        assert!(g.data[1] > 0.0);
+        let (l_same, _) = binary_distillation_loss(&teacher, &teacher);
+        let (l_diff, _) = binary_distillation_loss(&student, &teacher);
+        assert!(l_same < l_diff);
+    }
+}

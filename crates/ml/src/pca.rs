@@ -1,0 +1,228 @@
+//! Principal Component Analysis via covariance eigendecomposition (cyclic
+//! Jacobi rotations). Used by the Figure 2 motivation harness: projecting
+//! windows of memory accesses / PCs onto their top three components shows
+//! the per-phase clustering the paper builds on.
+
+use crate::tensor::Matrix;
+
+/// Result of a PCA fit.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    /// Feature means subtracted before projection.
+    pub mean: Vec<f32>,
+    /// Principal axes, one per row, sorted by descending eigenvalue.
+    pub components: Matrix,
+    /// Variance explained by each component.
+    pub explained_variance: Vec<f32>,
+}
+
+impl Pca {
+    /// Fits `k` components to `data` ([n_samples, n_features]).
+    pub fn fit(data: &Matrix, k: usize) -> Pca {
+        let (n, d) = (data.rows, data.cols);
+        assert!(n > 1, "need at least two samples");
+        assert!(k <= d, "k > feature count");
+        let mut mean = vec![0.0f32; d];
+        for r in 0..n {
+            for (m, &v) in mean.iter_mut().zip(data.row(r).iter()) {
+                *m += v;
+            }
+        }
+        for m in mean.iter_mut() {
+            *m /= n as f32;
+        }
+        // Covariance (d × d), double precision accumulate for stability.
+        let mut cov = vec![0.0f64; d * d];
+        for r in 0..n {
+            let row = data.row(r);
+            for i in 0..d {
+                let xi = (row[i] - mean[i]) as f64;
+                for j in i..d {
+                    cov[i * d + j] += xi * (row[j] - mean[j]) as f64;
+                }
+            }
+        }
+        for i in 0..d {
+            for j in i..d {
+                let v = cov[i * d + j] / (n - 1) as f64;
+                cov[i * d + j] = v;
+                cov[j * d + i] = v;
+            }
+        }
+        let (eigvals, eigvecs) = jacobi_eigen(&mut cov, d);
+        // Sort by descending eigenvalue.
+        let mut order: Vec<usize> = (0..d).collect();
+        order.sort_by(|&a, &b| eigvals[b].partial_cmp(&eigvals[a]).unwrap());
+        let mut components = Matrix::zeros(k, d);
+        let mut explained = Vec::with_capacity(k);
+        for (out_r, &src) in order.iter().take(k).enumerate() {
+            for c in 0..d {
+                components.data[out_r * d + c] = eigvecs[c * d + src] as f32;
+            }
+            explained.push(eigvals[src].max(0.0) as f32);
+        }
+        Pca {
+            mean,
+            components,
+            explained_variance: explained,
+        }
+    }
+
+    /// Projects samples onto the fitted components → [n_samples, k].
+    pub fn transform(&self, data: &Matrix) -> Matrix {
+        let k = self.components.rows;
+        let d = self.components.cols;
+        assert_eq!(data.cols, d);
+        let mut out = Matrix::zeros(data.rows, k);
+        for r in 0..data.rows {
+            let row = data.row(r);
+            for c in 0..k {
+                let comp = self.components.row(c);
+                let mut acc = 0.0f32;
+                for i in 0..d {
+                    acc += (row[i] - self.mean[i]) * comp[i];
+                }
+                out.data[r * k + c] = acc;
+            }
+        }
+        out
+    }
+}
+
+/// Cyclic Jacobi eigendecomposition of a symmetric matrix (column-major
+/// eigenvectors). Returns (eigenvalues, eigenvectors).
+fn jacobi_eigen(a: &mut [f64], d: usize) -> (Vec<f64>, Vec<f64>) {
+    let mut v = vec![0.0f64; d * d];
+    for i in 0..d {
+        v[i * d + i] = 1.0;
+    }
+    for _sweep in 0..64 {
+        let mut off = 0.0f64;
+        for i in 0..d {
+            for j in (i + 1)..d {
+                off += a[i * d + j] * a[i * d + j];
+            }
+        }
+        if off < 1e-18 {
+            break;
+        }
+        for p in 0..d {
+            for q in (p + 1)..d {
+                let apq = a[p * d + q];
+                if apq.abs() < 1e-15 {
+                    continue;
+                }
+                let app = a[p * d + p];
+                let aqq = a[q * d + q];
+                let theta = 0.5 * (aqq - app) / apq;
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Rotate rows/cols p and q.
+                for k in 0..d {
+                    let akp = a[k * d + p];
+                    let akq = a[k * d + q];
+                    a[k * d + p] = c * akp - s * akq;
+                    a[k * d + q] = s * akp + c * akq;
+                }
+                for k in 0..d {
+                    let apk = a[p * d + k];
+                    let aqk = a[q * d + k];
+                    a[p * d + k] = c * apk - s * aqk;
+                    a[q * d + k] = s * apk + c * aqk;
+                }
+                for k in 0..d {
+                    let vkp = v[k * d + p];
+                    let vkq = v[k * d + q];
+                    v[k * d + p] = c * vkp - s * vkq;
+                    v[k * d + q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    let eig: Vec<f64> = (0..d).map(|i| a[i * d + i]).collect();
+    (eig, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::rng;
+    use rand::Rng;
+
+    #[test]
+    fn recovers_dominant_direction() {
+        // Points along y = 2x with small noise: first component ≈ (1,2)/√5.
+        let mut r = rng(1);
+        let mut data = Matrix::zeros(200, 2);
+        for i in 0..200 {
+            let t: f32 = r.gen_range(-1.0..1.0);
+            data.data[i * 2] = t + r.gen_range(-0.01..0.01);
+            data.data[i * 2 + 1] = 2.0 * t + r.gen_range(-0.01..0.01);
+        }
+        let pca = Pca::fit(&data, 2);
+        let c = pca.components.row(0);
+        let expect = [1.0 / 5.0f32.sqrt(), 2.0 / 5.0f32.sqrt()];
+        let dot = (c[0] * expect[0] + c[1] * expect[1]).abs();
+        assert!(dot > 0.999, "dot {dot}, component {c:?}");
+        assert!(pca.explained_variance[0] > 10.0 * pca.explained_variance[1]);
+    }
+
+    #[test]
+    fn transform_centers_data() {
+        let data = Matrix::from_vec(4, 2, vec![1., 1., 3., 3., 1., 3., 3., 1.]);
+        let pca = Pca::fit(&data, 2);
+        let t = pca.transform(&data);
+        // Projected means are ~0.
+        for c in 0..2 {
+            let mean: f32 = (0..4).map(|r| t.at(r, c)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let mut r = rng(2);
+        let data = Matrix::xavier(100, 5, &mut r);
+        let pca = Pca::fit(&data, 5);
+        for i in 0..5 {
+            for j in 0..5 {
+                let dot: f32 = pca
+                    .components
+                    .row(i)
+                    .iter()
+                    .zip(pca.components.row(j).iter())
+                    .map(|(a, b)| a * b)
+                    .sum();
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((dot - expect).abs() < 1e-4, "({i},{j}) dot {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn separated_clusters_stay_separated() {
+        // Two blobs far apart along feature 0: their projections on PC1
+        // must separate cleanly (the Figure 2 use case).
+        let mut r = rng(3);
+        let mut data = Matrix::zeros(100, 3);
+        for i in 0..100 {
+            let base = if i < 50 { 0.0 } else { 10.0 };
+            data.data[i * 3] = base + r.gen_range(-0.5..0.5);
+            data.data[i * 3 + 1] = r.gen_range(-0.5..0.5);
+            data.data[i * 3 + 2] = r.gen_range(-0.5..0.5);
+        }
+        let pca = Pca::fit(&data, 1);
+        let t = pca.transform(&data);
+        let a: f32 = (0..50).map(|i| t.data[i]).sum::<f32>() / 50.0;
+        let b: f32 = (50..100).map(|i| t.data[i]).sum::<f32>() / 50.0;
+        assert!((a - b).abs() > 5.0, "cluster means {a} {b}");
+    }
+
+    #[test]
+    #[should_panic(expected = "k > feature count")]
+    fn too_many_components_panics() {
+        let data = Matrix::zeros(10, 2);
+        let _ = Pca::fit(&data, 3);
+    }
+}

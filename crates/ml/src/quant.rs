@@ -1,0 +1,127 @@
+//! Int8 symmetric weight quantization (§6.1 "Quantization"): weights are
+//! stored as `i8` with a per-tensor scale, shrinking model storage 4× on top
+//! of the architectural compression, at a small accuracy cost that the
+//! paper (and our Figure 13 harness) measures.
+
+use crate::layers::{Module, Param};
+use crate::tensor::Matrix;
+
+/// A quantized tensor: `w ≈ q * scale` with `q ∈ [-127, 127]`.
+#[derive(Debug, Clone)]
+pub struct QuantizedTensor {
+    pub q: Vec<i8>,
+    pub scale: f32,
+    pub rows: usize,
+    pub cols: usize,
+}
+
+impl QuantizedTensor {
+    /// Quantizes symmetric per-tensor: scale = max|w| / 127.
+    pub fn quantize(w: &Matrix) -> Self {
+        let max = w.data.iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+        let scale = if max == 0.0 { 1.0 } else { max / 127.0 };
+        let q = w
+            .data
+            .iter()
+            .map(|&v| (v / scale).round().clamp(-127.0, 127.0) as i8)
+            .collect();
+        QuantizedTensor {
+            q,
+            scale,
+            rows: w.rows,
+            cols: w.cols,
+        }
+    }
+
+    /// Reconstructs the float tensor.
+    pub fn dequantize(&self) -> Matrix {
+        Matrix::from_vec(
+            self.rows,
+            self.cols,
+            self.q.iter().map(|&v| v as f32 * self.scale).collect(),
+        )
+    }
+
+    /// Storage in bytes (int8 payload + the f32 scale).
+    pub fn storage_bytes(&self) -> usize {
+        self.q.len() + 4
+    }
+
+    /// Worst-case absolute reconstruction error bound: scale / 2.
+    pub fn error_bound(&self) -> f32 {
+        self.scale * 0.5
+    }
+}
+
+/// Quantizes every parameter of a module in place (simulated quantization:
+/// the weights are replaced by their dequantized int8 values, so inference
+/// behaves exactly as int8 storage would). Returns total int8 storage bytes.
+pub fn quantize_module(module: &mut dyn Module) -> usize {
+    let mut bytes = 0usize;
+    module.for_each_param(&mut |p: &mut Param| {
+        let q = QuantizedTensor::quantize(&p.w);
+        bytes += q.storage_bytes();
+        p.w = q.dequantize();
+    });
+    bytes
+}
+
+/// Float storage bytes of a module (4 bytes per weight).
+pub fn float_storage_bytes(module: &mut dyn Module) -> usize {
+    module.num_params() * 4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Linear;
+    use crate::tensor::rng;
+
+    #[test]
+    fn roundtrip_error_bounded() {
+        let mut r = rng(1);
+        let w = Matrix::xavier(16, 16, &mut r);
+        let q = QuantizedTensor::quantize(&w);
+        let back = q.dequantize();
+        let bound = q.error_bound() + 1e-6;
+        for (a, b) in w.data.iter().zip(back.data.iter()) {
+            assert!((a - b).abs() <= bound, "{a} vs {b} (bound {bound})");
+        }
+    }
+
+    #[test]
+    fn zero_tensor_quantizes_cleanly() {
+        let w = Matrix::zeros(3, 3);
+        let q = QuantizedTensor::quantize(&w);
+        assert!(q.dequantize().data.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn extremes_map_to_127() {
+        let w = Matrix::from_vec(1, 2, vec![-2.0, 2.0]);
+        let q = QuantizedTensor::quantize(&w);
+        assert_eq!(q.q, vec![-127, 127]);
+    }
+
+    #[test]
+    fn quantize_module_shrinks_storage_4x() {
+        let mut r = rng(2);
+        let mut l = Linear::new(32, 32, &mut r);
+        let float_bytes = float_storage_bytes(&mut l);
+        let int_bytes = quantize_module(&mut l);
+        assert!(int_bytes * 3 < float_bytes, "{int_bytes} vs {float_bytes}");
+    }
+
+    #[test]
+    fn quantized_linear_output_stays_close() {
+        let mut r = rng(3);
+        let mut l = Linear::new(8, 8, &mut r);
+        let x = Matrix::xavier(4, 8, &mut r);
+        let before = l.infer(&x);
+        quantize_module(&mut l);
+        let after = l.infer(&x);
+        for (a, b) in before.data.iter().zip(after.data.iter()) {
+            assert!((a - b).abs() < 0.05, "{a} vs {b}");
+        }
+    }
+}

@@ -1,0 +1,372 @@
+//! Minimal dense 2-D tensor (row-major `f32` matrix) with the operations
+//! the neural-network layers need: matmul in the three orientations used by
+//! backprop, elementwise arithmetic, row-wise softmax, and random init.
+//!
+//! Model dimensions in the paper are tiny (Table 5: attention dim 64,
+//! Transformer dim 128, history T = 9), so a cache-friendly `ikj` matmul on
+//! contiguous rows is all the performance this workload needs.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Row-major matrix of `f32`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    pub rows: usize,
+    pub cols: usize,
+    pub data: Vec<f32>,
+}
+
+impl Matrix {
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Xavier-uniform initialization in ±sqrt(6/(fan_in+fan_out)).
+    pub fn xavier(rows: usize, cols: usize, rng: &mut ChaCha8Rng) -> Self {
+        let limit = (6.0 / (rows + cols) as f32).sqrt();
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-limit..limit))
+            .collect();
+        Matrix { rows, cols, data }
+    }
+
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    #[inline]
+    pub fn at_mut(&mut self, r: usize, c: usize) -> &mut f32 {
+        &mut self.data[r * self.cols + c]
+    }
+
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// `self @ other`: [m,k] × [k,n] → [m,n].
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul shape");
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let a_row = self.row(i);
+            let o_row = &mut out.data[i * n..(i + 1) * n];
+            for (kk, &a) in a_row.iter().enumerate().take(k) {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[kk * n..(kk + 1) * n];
+                for (o, &b) in o_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self @ other^T`: [m,k] × [n,k] → [m,n]. Used for `dX = dY @ W^T`.
+    pub fn matmul_bt(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_bt shape");
+        let (m, k, n) = (self.rows, self.cols, other.rows);
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let a_row = self.row(i);
+            for j in 0..n {
+                let b_row = other.row(j);
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += a_row[kk] * b_row[kk];
+                }
+                out.data[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// `self^T @ other`: [k,m] × [k,n] → [m,n]. Used for `dW = X^T @ dY`.
+    pub fn matmul_at(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "matmul_at shape");
+        let (k, m, n) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(m, n);
+        for kk in 0..k {
+            let a_row = self.row(kk);
+            let b_row = other.row(kk);
+            for (i, &a) in a_row.iter().enumerate().take(m) {
+                if a == 0.0 {
+                    continue;
+                }
+                let o_row = &mut out.data[i * n..(i + 1) * n];
+                for (o, &b) in o_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!(self.data.len(), other.data.len());
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += b;
+        }
+    }
+
+    pub fn scale(&mut self, s: f32) {
+        for a in self.data.iter_mut() {
+            *a *= s;
+        }
+    }
+
+    /// Adds `bias` (length `cols`) to every row.
+    pub fn add_bias(&mut self, bias: &[f32]) {
+        assert_eq!(bias.len(), self.cols);
+        for r in 0..self.rows {
+            for (a, b) in self.row_mut(r).iter_mut().zip(bias.iter()) {
+                *a += b;
+            }
+        }
+    }
+
+    /// Row-wise numerically-stable softmax.
+    pub fn softmax_rows(&self) -> Matrix {
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let row = out.row_mut(r);
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            if sum > 0.0 {
+                for v in row.iter_mut() {
+                    *v /= sum;
+                }
+            }
+        }
+        out
+    }
+
+    /// Backward through row-wise softmax: given `y = softmax(x)` and
+    /// `dL/dy`, returns `dL/dx = y ⊙ (dy - (dy·y) 1)` per row.
+    pub fn softmax_rows_backward(y: &Matrix, dy: &Matrix) -> Matrix {
+        assert_eq!(y.rows, dy.rows);
+        assert_eq!(y.cols, dy.cols);
+        let mut dx = Matrix::zeros(y.rows, y.cols);
+        for r in 0..y.rows {
+            let yr = y.row(r);
+            let dyr = dy.row(r);
+            let dot: f32 = yr.iter().zip(dyr.iter()).map(|(a, b)| a * b).sum();
+            for c in 0..y.cols {
+                dx.data[r * y.cols + c] = yr[c] * (dyr[c] - dot);
+            }
+        }
+        dx
+    }
+
+    /// Frobenius norm (tests / gradient clipping).
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Concatenates two matrices with equal `cols` along rows.
+    pub fn vcat(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.cols, b.cols);
+        let mut data = Vec::with_capacity((a.rows + b.rows) * a.cols);
+        data.extend_from_slice(&a.data);
+        data.extend_from_slice(&b.data);
+        Matrix::from_vec(a.rows + b.rows, a.cols, data)
+    }
+
+    /// Splits along rows at `r`, inverse of [`Matrix::vcat`].
+    pub fn vsplit(&self, r: usize) -> (Matrix, Matrix) {
+        assert!(r <= self.rows);
+        let top = Matrix::from_vec(r, self.cols, self.data[..r * self.cols].to_vec());
+        let bot = Matrix::from_vec(
+            self.rows - r,
+            self.cols,
+            self.data[r * self.cols..].to_vec(),
+        );
+        (top, bot)
+    }
+}
+
+/// Deterministic RNG used throughout model init.
+pub fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// Standard sinusoidal positional encoding `[rows, dim]` (Vaswani et al.):
+/// `PE[p, 2i] = sin(p / 10000^(2i/d))`, `PE[p, 2i+1] = cos(...)`. Being a
+/// constant addition, it needs no backward pass — gradients flow through
+/// unchanged. Sequence models built on pure attention are permutation-
+/// invariant without it and cannot represent order.
+pub fn positional_encoding(rows: usize, dim: usize) -> Matrix {
+    let mut m = Matrix::zeros(rows, dim);
+    for p in 0..rows {
+        for i in 0..dim {
+            let angle = p as f32 / 10000f32.powf((2 * (i / 2)) as f32 / dim as f32);
+            m.data[p * dim + i] = if i % 2 == 0 { angle.sin() } else { angle.cos() };
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Matrix::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data, vec![58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_bt_equals_explicit_transpose() {
+        let mut r = rng(1);
+        let a = Matrix::xavier(4, 5, &mut r);
+        let b = Matrix::xavier(3, 5, &mut r);
+        let direct = a.matmul_bt(&b);
+        let explicit = a.matmul(&b.transpose());
+        for (x, y) in direct.data.iter().zip(explicit.data.iter()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn matmul_at_equals_explicit_transpose() {
+        let mut r = rng(2);
+        let a = Matrix::xavier(5, 4, &mut r);
+        let b = Matrix::xavier(5, 3, &mut r);
+        let direct = a.matmul_at(&b);
+        let explicit = a.transpose().matmul(&b);
+        for (x, y) in direct.data.iter().zip(explicit.data.iter()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let m = Matrix::from_vec(2, 3, vec![1., 2., 3., -1., 0., 1.]);
+        let s = m.softmax_rows();
+        for r in 0..2 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+        // Larger logit → larger probability.
+        assert!(s.at(0, 2) > s.at(0, 1));
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = Matrix::from_vec(1, 3, vec![1., 2., 3.]).softmax_rows();
+        let b = Matrix::from_vec(1, 3, vec![101., 102., 103.]).softmax_rows();
+        for (x, y) in a.data.iter().zip(b.data.iter()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_backward_matches_finite_difference() {
+        let x = Matrix::from_vec(1, 4, vec![0.3, -0.7, 1.1, 0.05]);
+        let dy = Matrix::from_vec(1, 4, vec![0.2, -0.1, 0.4, 0.9]);
+        let y = x.softmax_rows();
+        let dx = Matrix::softmax_rows_backward(&y, &dy);
+        let eps = 1e-3f32;
+        for i in 0..4 {
+            let mut xp = x.clone();
+            xp.data[i] += eps;
+            let mut xm = x.clone();
+            xm.data[i] -= eps;
+            let f = |m: &Matrix| -> f32 {
+                m.softmax_rows()
+                    .data
+                    .iter()
+                    .zip(dy.data.iter())
+                    .map(|(a, b)| a * b)
+                    .sum()
+            };
+            let num = (f(&xp) - f(&xm)) / (2.0 * eps);
+            assert!(
+                (num - dx.data[i]).abs() < 1e-3,
+                "i={i}: {num} vs {}",
+                dx.data[i]
+            );
+        }
+    }
+
+    #[test]
+    fn vcat_vsplit_roundtrip() {
+        let a = Matrix::from_vec(2, 2, vec![1., 2., 3., 4.]);
+        let b = Matrix::from_vec(1, 2, vec![5., 6.]);
+        let c = Matrix::vcat(&a, &b);
+        assert_eq!(c.rows, 3);
+        let (x, y) = c.vsplit(2);
+        assert_eq!(x, a);
+        assert_eq!(y, b);
+    }
+
+    #[test]
+    fn transpose_twice_is_identity() {
+        let mut r = rng(3);
+        let a = Matrix::xavier(3, 7, &mut r);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn xavier_respects_limit() {
+        let mut r = rng(4);
+        let a = Matrix::xavier(10, 10, &mut r);
+        let limit = (6.0f32 / 20.0).sqrt();
+        assert!(a.data.iter().all(|v| v.abs() <= limit));
+        // Not all zero.
+        assert!(a.norm() > 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn add_bias_adds_rowwise() {
+        let mut a = Matrix::zeros(2, 3);
+        a.add_bias(&[1.0, 2.0, 3.0]);
+        assert_eq!(a.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(a.row(1), &[1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,27 @@
+//! Common interface of all phase-transition detectors: they observe the PC
+//! stream one access at a time and report transition events online.
+
+/// An online phase-transition detector over the PC stream.
+pub trait TransitionDetector {
+    /// Detector name as it appears in Table 4.
+    fn name(&self) -> &'static str;
+
+    /// Feeds one PC; returns `true` when a phase transition is declared at
+    /// this point in the stream.
+    fn update(&mut self, pc: u64) -> bool;
+
+    /// Clears all internal state.
+    fn reset(&mut self);
+
+    /// Runs the detector over a whole stream, returning the indices at
+    /// which transitions were declared.
+    fn detect_all(&mut self, pcs: &[u64]) -> Vec<usize>
+    where
+        Self: Sized,
+    {
+        pcs.iter()
+            .enumerate()
+            .filter_map(|(i, &pc)| self.update(pc).then_some(i))
+            .collect()
+    }
+}

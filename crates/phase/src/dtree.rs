@@ -1,0 +1,469 @@
+//! CART decision-tree classifier (Gini impurity) plus the two supervised
+//! phase-transition detectors of §4.2.2: plain DT (transition whenever two
+//! consecutive phase predictions differ) and Soft-DT (a result queue whose
+//! head-half and tail-half modes must disagree).
+
+use crate::detector::TransitionDetector;
+use std::collections::VecDeque;
+
+/// A trained CART classifier over dense `f32` feature vectors.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    pub num_classes: usize,
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        class: u8,
+    },
+    Split {
+        feature: usize,
+        threshold: f32,
+        left: usize,
+        right: usize,
+    },
+}
+
+fn gini(counts: &[usize]) -> f64 {
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let mut g = 1.0;
+    for &c in counts {
+        let p = c as f64 / total as f64;
+        g -= p * p;
+    }
+    g
+}
+
+impl DecisionTree {
+    /// Fits a tree of at most `max_depth` levels. `labels` are class ids in
+    /// `0..num_classes`.
+    pub fn fit(
+        features: &[Vec<f32>],
+        labels: &[u8],
+        num_classes: usize,
+        max_depth: usize,
+    ) -> DecisionTree {
+        assert_eq!(features.len(), labels.len());
+        assert!(!features.is_empty(), "empty training set");
+        let mut tree = DecisionTree {
+            nodes: Vec::new(),
+            num_classes,
+        };
+        let idx: Vec<usize> = (0..features.len()).collect();
+        tree.build(features, labels, &idx, max_depth);
+        tree
+    }
+
+    fn majority(&self, labels: &[u8], idx: &[usize]) -> u8 {
+        let mut counts = vec![0usize; self.num_classes];
+        for &i in idx {
+            counts[labels[i] as usize] += 1;
+        }
+        counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .map(|(k, _)| k as u8)
+            .unwrap_or(0)
+    }
+
+    fn build(
+        &mut self,
+        features: &[Vec<f32>],
+        labels: &[u8],
+        idx: &[usize],
+        depth: usize,
+    ) -> usize {
+        let mut counts = vec![0usize; self.num_classes];
+        for &i in idx {
+            counts[labels[i] as usize] += 1;
+        }
+        let node_gini = gini(&counts);
+        if depth == 0 || node_gini == 0.0 || idx.len() < 4 {
+            let class = self.majority(labels, idx);
+            self.nodes.push(Node::Leaf { class });
+            return self.nodes.len() - 1;
+        }
+        // Best split search: for each feature, candidate thresholds at the
+        // midpoints between consecutive distinct sorted values (subsampled
+        // to at most 32 candidates to bound fit time).
+        let num_features = features[idx[0]].len();
+        let mut best: Option<(usize, f32, f64)> = None;
+        for f in 0..num_features {
+            let mut vals: Vec<f32> = idx.iter().map(|&i| features[i][f]).collect();
+            vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            vals.dedup();
+            if vals.len() < 2 {
+                continue;
+            }
+            let step = (vals.len() / 32).max(1);
+            for w in vals.windows(2).step_by(step) {
+                let thr = 0.5 * (w[0] + w[1]);
+                let mut lc = vec![0usize; self.num_classes];
+                let mut rc = vec![0usize; self.num_classes];
+                for &i in idx {
+                    if features[i][f] <= thr {
+                        lc[labels[i] as usize] += 1;
+                    } else {
+                        rc[labels[i] as usize] += 1;
+                    }
+                }
+                let ln: usize = lc.iter().sum();
+                let rn: usize = rc.iter().sum();
+                if ln == 0 || rn == 0 {
+                    continue;
+                }
+                let weighted = (ln as f64 * gini(&lc) + rn as f64 * gini(&rc)) / idx.len() as f64;
+                if best.map_or(true, |(_, _, g)| weighted < g) {
+                    best = Some((f, thr, weighted));
+                }
+            }
+        }
+        let Some((f, thr, g)) = best else {
+            let class = self.majority(labels, idx);
+            self.nodes.push(Node::Leaf { class });
+            return self.nodes.len() - 1;
+        };
+        if g >= node_gini {
+            let class = self.majority(labels, idx);
+            self.nodes.push(Node::Leaf { class });
+            return self.nodes.len() - 1;
+        }
+        let (li, ri): (Vec<usize>, Vec<usize>) =
+            idx.iter().partition(|&&i| features[i][f] <= thr);
+        // Reserve this node's slot, then build children.
+        let slot = self.nodes.len();
+        self.nodes.push(Node::Leaf { class: 0 }); // placeholder
+        let left = self.build(features, labels, &li, depth - 1);
+        let right = self.build(features, labels, &ri, depth - 1);
+        self.nodes[slot] = Node::Split {
+            feature: f,
+            threshold: thr,
+            left,
+            right,
+        };
+        slot
+    }
+
+    /// Predicts the class of one feature vector.
+    pub fn predict(&self, x: &[f32]) -> u8 {
+        // Root is the node pushed first for the full index set; with the
+        // slot-reservation scheme that is index 0.
+        let mut n = 0usize;
+        loop {
+            match &self.nodes[n] {
+                Node::Leaf { class } => return *class,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    n = if x[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes (size introspection for tests).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// Converts a window of raw PCs into the feature vector the detectors use:
+/// the low bits of each PC, as `f32` (exact below 2^24 — synthetic PCs fit).
+pub fn pc_features(window: &[u64]) -> Vec<f32> {
+    window.iter().map(|&pc| (pc & 0xFF_FFFF) as f32).collect()
+}
+
+/// Builds a training set for the phase classifier from a labelled PC trace:
+/// one sample per position, features from the trailing `window` PCs.
+pub fn build_training_set(
+    pcs: &[u64],
+    phases: &[u8],
+    window: usize,
+    stride: usize,
+) -> (Vec<Vec<f32>>, Vec<u8>) {
+    assert_eq!(pcs.len(), phases.len());
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    let mut i = window;
+    while i < pcs.len() {
+        xs.push(pc_features(&pcs[i - window..i]));
+        ys.push(phases[i]);
+        i += stride.max(1);
+    }
+    (xs, ys)
+}
+
+/// Plain DT detector: predicts the phase each sample; any change between
+/// consecutive predictions is reported immediately ("hard" detection).
+pub struct DtDetector {
+    tree: DecisionTree,
+    window: usize,
+    buf: VecDeque<u64>,
+    last_pred: Option<u8>,
+}
+
+impl DtDetector {
+    pub fn new(tree: DecisionTree, window: usize) -> Self {
+        DtDetector {
+            tree,
+            window,
+            buf: VecDeque::new(),
+            last_pred: None,
+        }
+    }
+}
+
+impl TransitionDetector for DtDetector {
+    fn name(&self) -> &'static str {
+        "DT"
+    }
+
+    fn update(&mut self, pc: u64) -> bool {
+        self.buf.push_back(pc);
+        if self.buf.len() > self.window {
+            self.buf.pop_front();
+        }
+        if self.buf.len() < self.window {
+            return false;
+        }
+        let feats = pc_features(&self.buf.iter().copied().collect::<Vec<_>>());
+        let pred = self.tree.predict(&feats);
+        let transition = self.last_pred.is_some_and(|p| p != pred);
+        self.last_pred = Some(pred);
+        transition
+    }
+
+    fn reset(&mut self) {
+        self.buf.clear();
+        self.last_pred = None;
+    }
+}
+
+/// Soft-DT detector: stores recent phase predictions in a result queue `Q`
+/// and declares a transition only when the mode of the queue's head half
+/// differs from the mode of its tail half (edge-triggered, so a sustained
+/// disagreement reports once).
+pub struct SoftDtDetector {
+    tree: DecisionTree,
+    window: usize,
+    queue_len: usize,
+    buf: VecDeque<u64>,
+    queue: VecDeque<u8>,
+    was_differing: bool,
+}
+
+impl SoftDtDetector {
+    pub fn new(tree: DecisionTree, window: usize, queue_len: usize) -> Self {
+        assert!(queue_len >= 2);
+        SoftDtDetector {
+            tree,
+            window,
+            queue_len,
+            buf: VecDeque::new(),
+            queue: VecDeque::new(),
+            was_differing: false,
+        }
+    }
+
+    fn mode(vals: impl Iterator<Item = u8>, num_classes: usize) -> u8 {
+        let mut counts = vec![0usize; num_classes];
+        for v in vals {
+            counts[v as usize] += 1;
+        }
+        counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .map(|(k, _)| k as u8)
+            .unwrap_or(0)
+    }
+}
+
+impl TransitionDetector for SoftDtDetector {
+    fn name(&self) -> &'static str {
+        "Soft-DT"
+    }
+
+    fn update(&mut self, pc: u64) -> bool {
+        self.buf.push_back(pc);
+        if self.buf.len() > self.window {
+            self.buf.pop_front();
+        }
+        if self.buf.len() < self.window {
+            return false;
+        }
+        let feats = pc_features(&self.buf.iter().copied().collect::<Vec<_>>());
+        let pred = self.tree.predict(&feats);
+        self.queue.push_back(pred);
+        if self.queue.len() > self.queue_len {
+            self.queue.pop_front();
+        }
+        if self.queue.len() < self.queue_len {
+            return false;
+        }
+        let half = self.queue_len / 2;
+        let nc = self.tree.num_classes;
+        let head = Self::mode(self.queue.iter().take(half).copied(), nc);
+        let tail = Self::mode(self.queue.iter().skip(half).copied(), nc);
+        let differing = head != tail;
+        let transition = differing && !self.was_differing;
+        self.was_differing = differing;
+        transition
+    }
+
+    fn reset(&mut self) {
+        self.buf.clear();
+        self.queue.clear();
+        self.was_differing = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gini_pure_and_uniform() {
+        assert_eq!(gini(&[10, 0]), 0.0);
+        assert!((gini(&[5, 5]) - 0.5).abs() < 1e-12);
+        assert!((gini(&[0, 0]) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tree_learns_a_threshold() {
+        let xs: Vec<Vec<f32>> = (0..100).map(|i| vec![i as f32]).collect();
+        let ys: Vec<u8> = (0..100).map(|i| if i < 50 { 0 } else { 1 }).collect();
+        let t = DecisionTree::fit(&xs, &ys, 2, 4);
+        assert_eq!(t.predict(&[10.0]), 0);
+        assert_eq!(t.predict(&[80.0]), 1);
+    }
+
+    #[test]
+    fn tree_uses_both_features_when_needed() {
+        // Three-class problem: class depends on feature 0 first, then on
+        // feature 1 within the right half — requires depth 2.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..30 {
+            let a = i as f32 / 30.0;
+            xs.push(vec![a, 0.0]);
+            ys.push(if a < 0.5 { 0u8 } else { 1 });
+            xs.push(vec![a + 1.0, a]);
+            ys.push(if a < 0.5 { 1 } else { 2 });
+        }
+        let t = DecisionTree::fit(&xs, &ys, 3, 4);
+        assert_eq!(t.predict(&[0.1, 0.0]), 0);
+        assert_eq!(t.predict(&[1.1, 0.1]), 1);
+        assert_eq!(t.predict(&[1.9, 0.9]), 2);
+        assert!(t.num_nodes() >= 5, "tree too shallow: {}", t.num_nodes());
+    }
+
+    #[test]
+    fn depth_zero_gives_majority_leaf() {
+        let xs: Vec<Vec<f32>> = (0..10).map(|i| vec![i as f32]).collect();
+        let ys = vec![0, 0, 0, 0, 0, 0, 0, 1, 1, 1];
+        let t = DecisionTree::fit(&xs, &ys, 2, 0);
+        assert_eq!(t.num_nodes(), 1);
+        assert_eq!(t.predict(&[9.0]), 0);
+    }
+
+    fn phase_stream(len_per_phase: usize, phases: usize) -> (Vec<u64>, Vec<u8>) {
+        // Phase p PCs live around base p*0x1000, mimicking PcMap.
+        let mut pcs = Vec::new();
+        let mut labels = Vec::new();
+        for rep in 0..3 {
+            for p in 0..phases {
+                for i in 0..len_per_phase {
+                    pcs.push(0x40_0000 + (p as u64) * 0x1000 + ((i + rep) % 7) as u64 * 4);
+                    labels.push(p as u8);
+                }
+            }
+        }
+        (pcs, labels)
+    }
+
+    #[test]
+    fn dt_detector_finds_phase_changes() {
+        let (pcs, labels) = phase_stream(300, 2);
+        let (xs, ys) = build_training_set(&pcs, &labels, 8, 1);
+        let tree = DecisionTree::fit(&xs, &ys, 2, 6);
+        let mut det = DtDetector::new(tree, 8);
+        let hits: Vec<usize> = pcs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &pc)| det.update(pc).then_some(i))
+            .collect();
+        // 3 reps × 2 phases → 5 internal transitions; detector should fire
+        // near each (position ≈ 300, 600, ...).
+        assert!(hits.len() >= 5, "only {} hits", hits.len());
+        for target in [300usize, 600, 900, 1200, 1500] {
+            assert!(
+                hits.iter().any(|&h| h.abs_diff(target) <= 16),
+                "no hit near {target}: {hits:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn soft_dt_fires_once_per_transition() {
+        let (pcs, labels) = phase_stream(300, 2);
+        let (xs, ys) = build_training_set(&pcs, &labels, 8, 1);
+        let tree = DecisionTree::fit(&xs, &ys, 2, 6);
+        let mut det = SoftDtDetector::new(tree, 8, 32);
+        let hits: Vec<usize> = pcs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &pc)| det.update(pc).then_some(i))
+            .collect();
+        assert_eq!(hits.len(), 5, "hits {hits:?}");
+    }
+
+    #[test]
+    fn soft_dt_suppresses_impulse_misprediction() {
+        // A stream with one-sample PC impulses from the other phase's
+        // region: DT (hard) fires on them, Soft-DT must not.
+        let (pcs, labels) = phase_stream(300, 2);
+        let (xs, ys) = build_training_set(&pcs, &labels, 1, 1);
+        let tree = DecisionTree::fit(&xs, &ys, 2, 4);
+        let mut noisy = Vec::new();
+        for i in 0..600usize {
+            if i % 50 == 25 {
+                noisy.push(0x40_1000u64); // impulse from phase 1
+            } else {
+                noisy.push(0x40_0000 + (i % 7) as u64 * 4); // phase 0
+            }
+        }
+        let mut hard = DtDetector::new(tree.clone(), 1);
+        let mut soft = SoftDtDetector::new(tree, 1, 32);
+        let fp_hard = noisy.iter().filter(|&&pc| hard.update(pc)).count();
+        let fp_soft = noisy.iter().filter(|&&pc| soft.update(pc)).count();
+        assert!(fp_hard > 0, "hard DT did not fire at all");
+        assert_eq!(fp_soft, 0, "soft DT fired {fp_soft} times");
+    }
+
+    #[test]
+    fn reset_clears_detectors() {
+        let t = DecisionTree::fit(&[vec![0.0], vec![1.0]], &[0, 1], 2, 2);
+        let mut d = DtDetector::new(t.clone(), 4);
+        for _ in 0..10 {
+            d.update(0x40_0000);
+        }
+        d.reset();
+        assert!(d.buf.is_empty());
+        let mut s = SoftDtDetector::new(t, 4, 8);
+        for _ in 0..10 {
+            s.update(0x40_0000);
+        }
+        s.reset();
+        assert!(s.queue.is_empty());
+    }
+}

@@ -1,0 +1,126 @@
+//! Transition-detection evaluation (Table 4): matches detected transition
+//! indices against ground-truth transition indices with a tolerance window
+//! and computes precision / recall / F1.
+//!
+//! A detection matches a true transition if it falls in
+//! `[t - pre_tolerance, t + post_tolerance]`; each truth matches at most
+//! one detection and vice versa (greedy in stream order). Soft detectors
+//! legitimately lag by up to their confirmation window (Figure 9), so the
+//! post-tolerance is sized accordingly by the caller.
+
+/// Match-based precision/recall/F1 between detections and ground truth.
+pub fn evaluate_transitions(
+    detections: &[usize],
+    truths: &[usize],
+    pre_tolerance: usize,
+    post_tolerance: usize,
+) -> crate::Prf {
+    let mut truth_matched = vec![false; truths.len()];
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    for &d in detections {
+        let mut matched = false;
+        for (ti, &t) in truths.iter().enumerate() {
+            if truth_matched[ti] {
+                continue;
+            }
+            let lo = t.saturating_sub(pre_tolerance);
+            let hi = t + post_tolerance;
+            if d >= lo && d <= hi {
+                truth_matched[ti] = true;
+                matched = true;
+                break;
+            }
+        }
+        if matched {
+            tp += 1;
+        } else {
+            fp += 1;
+        }
+    }
+    let fn_ = truth_matched.iter().filter(|&&m| !m).count();
+    crate::Prf::from_counts(tp, fp, fn_)
+}
+
+/// Detection lag statistics: for each matched truth, how many samples after
+/// the true transition the detection fired (Figure 9's "small window of
+/// lag"). Returns (mean lag, max lag) over matched pairs.
+pub fn detection_lag(
+    detections: &[usize],
+    truths: &[usize],
+    post_tolerance: usize,
+) -> (f64, usize) {
+    let mut lags = Vec::new();
+    let mut used = vec![false; detections.len()];
+    for &t in truths {
+        for (di, &d) in detections.iter().enumerate() {
+            if used[di] {
+                continue;
+            }
+            if d >= t && d <= t + post_tolerance {
+                lags.push(d - t);
+                used[di] = true;
+                break;
+            }
+        }
+    }
+    if lags.is_empty() {
+        return (0.0, 0);
+    }
+    let mean = lags.iter().sum::<usize>() as f64 / lags.len() as f64;
+    (mean, *lags.iter().max().unwrap())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_detection() {
+        let p = evaluate_transitions(&[100, 200, 300], &[100, 200, 300], 0, 0);
+        assert_eq!(p.f1, 1.0);
+    }
+
+    #[test]
+    fn lagging_detection_within_tolerance_counts() {
+        let p = evaluate_transitions(&[130, 225], &[100, 200], 0, 50);
+        assert_eq!(p.recall, 1.0);
+        assert_eq!(p.precision, 1.0);
+    }
+
+    #[test]
+    fn false_positives_hurt_precision_only() {
+        let p = evaluate_transitions(&[100, 150, 160, 170], &[100], 5, 5);
+        assert_eq!(p.recall, 1.0);
+        assert!((p.precision - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missed_transition_hurts_recall() {
+        let p = evaluate_transitions(&[100], &[100, 500], 5, 5);
+        assert_eq!(p.precision, 1.0);
+        assert!((p.recall - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_detection_matches_one_truth_only() {
+        // One detection cannot satisfy two overlapping truths.
+        let p = evaluate_transitions(&[100], &[98, 102], 10, 10);
+        assert!((p.recall - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lag_statistics() {
+        let (mean, max) = detection_lag(&[110, 230], &[100, 200], 50);
+        assert!((mean - 20.0).abs() < 1e-12);
+        assert_eq!(max, 30);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let p = evaluate_transitions(&[], &[], 5, 5);
+        assert_eq!(p.f1, 0.0);
+        let (mean, max) = detection_lag(&[], &[1], 10);
+        assert_eq!((mean, max), (0.0, 0));
+    }
+}

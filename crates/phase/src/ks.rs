@@ -1,0 +1,97 @@
+//! Two-sample Kolmogorov–Smirnov statistic (Eq. 2): the supremum distance
+//! between the empirical CDFs of two samples.
+
+/// Computes `D = sup_x |F_A(x) - F_B(x)|` in O(n log n).
+pub fn ks_statistic(a: &[f64], b: &[f64]) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "empty sample");
+    let mut sa = a.to_vec();
+    let mut sb = b.to_vec();
+    sa.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    sb.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    let (na, nb) = (sa.len() as f64, sb.len() as f64);
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while i < sa.len() && j < sb.len() {
+        let x = sa[i].min(sb[j]);
+        while i < sa.len() && sa[i] <= x {
+            i += 1;
+        }
+        while j < sb.len() && sb[j] <= x {
+            j += 1;
+        }
+        d = d.max((i as f64 / na - j as f64 / nb).abs());
+    }
+    d
+}
+
+/// The rejection threshold of Eq. 5 for history size `h`, recent size `r`,
+/// and significance level `alpha`.
+pub fn ks_threshold(alpha: f64, h: usize, r: usize) -> f64 {
+    assert!(alpha > 0.0 && alpha < 1.0);
+    (-((alpha / 2.0).ln()) * (1.0 + r as f64 / h as f64) / (2.0 * r as f64)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_have_zero_distance() {
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(ks_statistic(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn disjoint_samples_have_distance_one() {
+        let a = vec![1.0, 2.0, 3.0];
+        let b = vec![10.0, 11.0, 12.0];
+        assert_eq!(ks_statistic(&a, &b), 1.0);
+        assert_eq!(ks_statistic(&b, &a), 1.0);
+    }
+
+    #[test]
+    fn statistic_is_in_unit_interval_and_symmetric() {
+        let a = vec![0.1, 0.5, 0.9, 0.2, 0.7];
+        let b = vec![0.3, 0.4, 0.6, 0.65];
+        let d1 = ks_statistic(&a, &b);
+        let d2 = ks_statistic(&b, &a);
+        assert!((d1 - d2).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&d1));
+    }
+
+    #[test]
+    fn hand_computed_example() {
+        // A = {1,2}, B = {1,3}. F_A jumps to .5 at 1, 1.0 at 2.
+        // F_B jumps to .5 at 1, 1.0 at 3. Max gap at x=2: |1.0 - 0.5| = 0.5.
+        let d = ks_statistic(&[1.0, 2.0], &[1.0, 3.0]);
+        assert!((d - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shifted_distributions_detected() {
+        let a: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();
+        let b: Vec<f64> = (0..100).map(|i| i as f64 / 100.0 + 0.5).collect();
+        assert!(ks_statistic(&a, &b) >= 0.5);
+    }
+
+    #[test]
+    fn threshold_matches_eq5_special_case() {
+        // h = r: threshold = sqrt(-ln(alpha/2)/r).
+        let alpha = 0.01;
+        let r = 30;
+        let t = ks_threshold(alpha, r, r);
+        let expect = (-(alpha / 2.0f64).ln() / r as f64).sqrt();
+        assert!((t - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threshold_decreases_with_more_samples() {
+        assert!(ks_threshold(0.01, 100, 100) < ks_threshold(0.01, 10, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_panics() {
+        let _ = ks_statistic(&[], &[1.0]);
+    }
+}

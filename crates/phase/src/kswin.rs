@@ -1,0 +1,282 @@
+//! KSWIN (Raab, Heusinger, Schleif 2020): concept-drift detection by a
+//! Kolmogorov–Smirnov test between a recent window and a uniformly sampled
+//! history window of a sliding stream window — the unsupervised baseline of
+//! Table 4, whose "hard" thresholding produces the false positives that
+//! Soft-KSWIN (Algorithm 2) eliminates.
+
+use crate::detector::TransitionDetector;
+use crate::ks::{ks_statistic, ks_threshold};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Configuration shared by KSWIN and Soft-KSWIN.
+#[derive(Debug, Clone, Copy)]
+pub struct KswinConfig {
+    /// Sliding window Ψ length.
+    pub window: usize,
+    /// Recent window R length (history H is sampled with the same size).
+    pub recent: usize,
+    /// Significance level α of the K-S test.
+    pub alpha: f64,
+    /// RNG seed for history sampling.
+    pub seed: u64,
+}
+
+impl Default for KswinConfig {
+    fn default() -> Self {
+        KswinConfig {
+            window: 300,
+            recent: 30,
+            alpha: 1e-4,
+            seed: 12345,
+        }
+    }
+}
+
+/// Plain KSWIN: reports a transition the instant `D > threshold`.
+#[derive(Debug, Clone)]
+pub struct Kswin {
+    cfg: KswinConfig,
+    psi: Vec<f64>,
+    threshold: f64,
+    rng: ChaCha8Rng,
+}
+
+impl Kswin {
+    pub fn new(cfg: KswinConfig) -> Self {
+        assert!(cfg.recent * 2 <= cfg.window, "window too small for recent");
+        Kswin {
+            threshold: ks_threshold(cfg.alpha, cfg.recent, cfg.recent),
+            psi: Vec::with_capacity(cfg.window),
+            rng: ChaCha8Rng::seed_from_u64(cfg.seed),
+            cfg,
+        }
+    }
+
+    /// Samples `recent` points uniformly from `psi[0 .. limit]`.
+    fn sample_history(psi: &[f64], limit: usize, r: usize, rng: &mut ChaCha8Rng) -> Vec<f64> {
+        (0..r).map(|_| psi[rng.gen_range(0..limit)]).collect()
+    }
+}
+
+impl TransitionDetector for Kswin {
+    fn name(&self) -> &'static str {
+        "KSWIN"
+    }
+
+    fn update(&mut self, pc: u64) -> bool {
+        let value = pc as f64;
+        if self.psi.len() < self.cfg.window {
+            self.psi.push(value);
+            return false;
+        }
+        self.psi.remove(0);
+        self.psi.push(value);
+        let r = self.cfg.recent;
+        let w = self.cfg.window;
+        let recent = &self.psi[w - r..];
+        let history = Self::sample_history(&self.psi, w - r, r, &mut self.rng);
+        let d = ks_statistic(&history, recent);
+        if d > self.threshold {
+            // Reference behaviour: keep only the recent window and restart.
+            self.psi = recent.to_vec();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn reset(&mut self) {
+        self.psi.clear();
+    }
+}
+
+/// Soft-KSWIN (Algorithm 2): after a raw detection, keep sampling history
+/// only from the unpolluted prefix (`Ψ[0 .. w-r-c]`), count how many of the
+/// next `r` samples also detect, and declare a transition only when the
+/// detection ratio exceeds `th_r` — suppressing impulse pattern shifts.
+#[derive(Debug, Clone)]
+pub struct SoftKswin {
+    cfg: KswinConfig,
+    /// Soft threshold on the detection ratio (paper default 0.5).
+    pub th_r: f64,
+    psi: Vec<f64>,
+    threshold: f64,
+    rng: ChaCha8Rng,
+    counter: usize,
+    detections: usize,
+}
+
+impl SoftKswin {
+    pub fn new(cfg: KswinConfig) -> Self {
+        assert!(cfg.recent * 2 <= cfg.window, "window too small for recent");
+        SoftKswin {
+            threshold: ks_threshold(cfg.alpha, cfg.recent, cfg.recent),
+            th_r: 0.5,
+            psi: Vec::with_capacity(cfg.window),
+            rng: ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x50F7),
+            cfg,
+            counter: 0,
+            detections: 0,
+        }
+    }
+}
+
+impl TransitionDetector for SoftKswin {
+    fn name(&self) -> &'static str {
+        "Soft-KSWIN"
+    }
+
+    fn update(&mut self, pc: u64) -> bool {
+        let value = pc as f64;
+        if self.psi.len() < self.cfg.window {
+            self.psi.push(value);
+            return false;
+        }
+        self.psi.remove(0);
+        self.psi.push(value);
+        let r = self.cfg.recent;
+        let w = self.cfg.window;
+        // Soft history: exclude the `counter` newest pre-recent samples,
+        // which may already belong to the new pattern (Eq. 6).
+        let limit = w.saturating_sub(r + self.counter).max(r);
+        let recent = &self.psi[w - r..];
+        let history = Kswin::sample_history(&self.psi, limit, r, &mut self.rng);
+        let d = ks_statistic(&history, recent);
+        let mut transition = false;
+        if d > self.threshold {
+            self.detections += 1;
+            if self.counter == 0 {
+                // First raw detection arms the soft counter.
+                self.counter = 1;
+            }
+        }
+        if self.counter > 0 {
+            self.counter += 1;
+            if self.counter >= r {
+                if self.detections as f64 / self.counter as f64 > self.th_r {
+                    transition = true;
+                    // Reset the model for future detections.
+                    self.psi = recent.to_vec();
+                }
+                self.counter = 0;
+                self.detections = 0;
+            }
+        }
+        transition
+    }
+
+    fn reset(&mut self) {
+        self.psi.clear();
+        self.counter = 0;
+        self.detections = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Stream with a sharp distribution change at `change_at`.
+    fn step_stream(n: usize, change_at: usize) -> Vec<u64> {
+        (0..n)
+            .map(|i| {
+                if i < change_at {
+                    1000 + (i % 13) as u64
+                } else {
+                    9000 + (i % 17) as u64
+                }
+            })
+            .collect()
+    }
+
+    /// Stream with single-sample impulses every `period` samples.
+    fn impulse_stream(n: usize, period: usize) -> Vec<u64> {
+        (0..n)
+            .map(|i| {
+                if i % period == 0 {
+                    50_000
+                } else {
+                    1000 + (i % 13) as u64
+                }
+            })
+            .collect()
+    }
+
+    fn run(det: &mut dyn TransitionDetector, stream: &[u64]) -> Vec<usize> {
+        stream
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &pc)| det.update(pc).then_some(i))
+            .collect()
+    }
+
+    #[test]
+    fn kswin_detects_a_real_transition() {
+        let stream = step_stream(1500, 800);
+        let mut k = Kswin::new(KswinConfig::default());
+        let hits = run(&mut k, &stream);
+        assert!(!hits.is_empty(), "no detection");
+        assert!(hits[0] >= 800 && hits[0] < 900, "first hit at {}", hits[0]);
+    }
+
+    #[test]
+    fn soft_kswin_detects_a_real_transition() {
+        let stream = step_stream(1500, 800);
+        let mut k = SoftKswin::new(KswinConfig::default());
+        let hits = run(&mut k, &stream);
+        assert!(!hits.is_empty(), "no detection");
+        // Soft detection incurs a lag of up to ~r samples (Figure 9).
+        assert!(hits[0] >= 800 && hits[0] < 950, "first hit at {}", hits[0]);
+    }
+
+    #[test]
+    fn soft_kswin_suppresses_impulses_better_than_kswin() {
+        // No true transition: every detection is a false positive.
+        let stream = impulse_stream(4000, 40);
+        let mut hard = Kswin::new(KswinConfig {
+            alpha: 0.01,
+            ..KswinConfig::default()
+        });
+        let mut soft = SoftKswin::new(KswinConfig {
+            alpha: 0.01,
+            ..KswinConfig::default()
+        });
+        let fp_hard = run(&mut hard, &stream).len();
+        let fp_soft = run(&mut soft, &stream).len();
+        assert!(
+            fp_soft <= fp_hard,
+            "soft {fp_soft} > hard {fp_hard} false positives"
+        );
+    }
+
+    #[test]
+    fn stable_stream_produces_no_detection() {
+        let stream: Vec<u64> = (0..3000).map(|i| 1000 + (i % 13) as u64).collect();
+        let mut k = Kswin::new(KswinConfig::default());
+        assert!(run(&mut k, &stream).is_empty());
+        let mut s = SoftKswin::new(KswinConfig::default());
+        assert!(run(&mut s, &stream).is_empty());
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut k = SoftKswin::new(KswinConfig::default());
+        for i in 0..500 {
+            k.update(1000 + i % 7);
+        }
+        k.reset();
+        assert!(k.psi.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "window too small")]
+    fn invalid_config_panics() {
+        let _ = Kswin::new(KswinConfig {
+            window: 40,
+            recent: 30,
+            ..KswinConfig::default()
+        });
+    }
+}

@@ -1,0 +1,73 @@
+//! # mpgraph-phase
+//!
+//! Phase-transition detection for graph analytics (§4.2 of the paper):
+//!
+//! * **Unsupervised** — [`Kswin`] (the KSWIN concept-drift baseline) and
+//!   [`SoftKswin`] (Algorithm 2's soft-detection variant, which samples its
+//!   history window from the unpolluted stream prefix and requires a
+//!   detection *ratio* before declaring a transition);
+//! * **Supervised** — a CART [`DecisionTree`] phase classifier with the
+//!   hard [`DtDetector`] and mode-comparing [`SoftDtDetector`] front ends;
+//! * **Evaluation** — tolerance-window matching of detections against
+//!   ground-truth transitions, producing Table 4's precision/recall/F1.
+//!
+//! All detectors consume only the PC stream, which clusters by phase
+//! (Figure 2b) — they never see the ground-truth labels online.
+
+pub mod detector;
+pub mod dtree;
+pub mod eval;
+pub mod ks;
+pub mod kswin;
+
+pub use detector::TransitionDetector;
+pub use dtree::{build_training_set, DecisionTree, DtDetector, SoftDtDetector};
+pub use eval::{detection_lag, evaluate_transitions};
+pub use ks::{ks_statistic, ks_threshold};
+pub use kswin::{Kswin, KswinConfig, SoftKswin};
+
+/// Precision / recall / F1 triple (same shape as `mpgraph-ml`'s metrics but
+/// defined locally to keep this crate dependency-free).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Prf {
+    pub precision: f64,
+    pub recall: f64,
+    pub f1: f64,
+}
+
+impl Prf {
+    pub fn from_counts(tp: usize, fp: usize, fn_: usize) -> Prf {
+        let precision = if tp + fp == 0 {
+            0.0
+        } else {
+            tp as f64 / (tp + fp) as f64
+        };
+        let recall = if tp + fn_ == 0 {
+            0.0
+        } else {
+            tp as f64 / (tp + fn_) as f64
+        };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        Prf {
+            precision,
+            recall,
+            f1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prf_counts() {
+        let p = Prf::from_counts(3, 1, 0);
+        assert_eq!(p.recall, 1.0);
+        assert!((p.precision - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,71 @@
+//! Property tests over the detectors and the evaluation machinery.
+
+use mpgraph_phase::{
+    evaluate_transitions, ks_statistic, ks_threshold, Kswin, KswinConfig, SoftKswin,
+    TransitionDetector,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn evaluation_counts_are_consistent(
+        detections in prop::collection::vec(0usize..10_000, 0..40),
+        truths in prop::collection::vec(0usize..10_000, 0..20),
+        pre in 0usize..64,
+        post in 0usize..512,
+    ) {
+        let mut d = detections.clone();
+        d.sort_unstable();
+        let mut t = truths.clone();
+        t.sort_unstable();
+        t.dedup();
+        let prf = evaluate_transitions(&d, &t, pre, post);
+        prop_assert!((0.0..=1.0).contains(&prf.precision));
+        prop_assert!((0.0..=1.0).contains(&prf.recall));
+        prop_assert!(prf.f1 <= 1.0);
+        // Perfect self-match when detections == truths.
+        if !t.is_empty() {
+            let perfect = evaluate_transitions(&t, &t, 0, 0);
+            prop_assert_eq!(perfect.f1, 1.0);
+        }
+    }
+
+    #[test]
+    fn widening_tolerance_never_lowers_recall(
+        truths in prop::collection::vec(100usize..5000, 1..10),
+        detections in prop::collection::vec(100usize..5000, 1..20),
+    ) {
+        let mut t = truths.clone();
+        t.sort_unstable();
+        t.dedup();
+        let narrow = evaluate_transitions(&detections, &t, 4, 16);
+        let wide = evaluate_transitions(&detections, &t, 16, 256);
+        prop_assert!(wide.recall >= narrow.recall - 1e-12);
+    }
+
+    #[test]
+    fn ks_threshold_is_monotone_in_alpha(r in 5usize..200) {
+        // Smaller alpha (stricter test) → higher threshold.
+        prop_assert!(ks_threshold(1e-6, r, r) > ks_threshold(1e-2, r, r));
+    }
+
+    #[test]
+    fn detectors_never_fire_during_warmup(seed in 0u64..200) {
+        // Fewer samples than the sliding window: never a detection.
+        let cfg = KswinConfig { seed, ..KswinConfig::default() };
+        let mut hard = Kswin::new(cfg);
+        let mut soft = SoftKswin::new(cfg);
+        for i in 0..cfg.window as u64 - 1 {
+            prop_assert!(!hard.update(1000 + i % 7));
+            prop_assert!(!soft.update(1000 + i % 7));
+        }
+    }
+
+    #[test]
+    fn ks_statistic_detects_disjoint_supports(
+        a in prop::collection::vec(0.0f64..1.0, 5..40),
+        b in prop::collection::vec(10.0f64..11.0, 5..40),
+    ) {
+        prop_assert_eq!(ks_statistic(&a, &b), 1.0);
+    }
+}

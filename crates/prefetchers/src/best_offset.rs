@@ -1,0 +1,245 @@
+//! Best-Offset prefetcher (Michaud, HPCA 2016) — the strongest rule-based
+//! baseline in the paper's evaluation ("the best performing non-ML
+//! prefetcher", §6.1).
+//!
+//! BO maintains a list of candidate offsets and scores them in rounds: an
+//! offset `O` gains a point whenever the line `X - O` was recently requested
+//! (it would have prefetched `X` in time). At the end of a learning phase,
+//! the best-scoring offset becomes the prefetch offset for the next phase.
+
+use mpgraph_sim::{LlcAccess, Prefetcher};
+
+/// Candidate offsets: positive integers ≤ 64 of the form 2^i·3^j·5^k, as in
+/// the original design (restricted to one page = 64 blocks).
+fn default_offsets() -> Vec<i64> {
+    let mut v: Vec<i64> = (1..=64i64)
+        .filter(|&n| {
+            let mut m = n;
+            for p in [2, 3, 5] {
+                while m % p == 0 {
+                    m /= p;
+                }
+            }
+            m == 1
+        })
+        .collect();
+    // Negative directions too: graph apps walk arrays both ways.
+    let neg: Vec<i64> = v.iter().map(|&o| -o).collect();
+    v.extend(neg);
+    v
+}
+
+/// Configuration of the Best-Offset prefetcher.
+#[derive(Debug, Clone)]
+pub struct BoConfig {
+    /// Score that immediately ends a learning phase.
+    pub score_max: u32,
+    /// Max rounds per learning phase.
+    pub round_max: u32,
+    /// Minimum winning score to enable prefetching at all.
+    pub bad_score: u32,
+    /// Recent-requests table size (direct-mapped).
+    pub rr_size: usize,
+    /// Prefetch degree: lines at offsets k·D for k = 1..=degree.
+    pub degree: usize,
+}
+
+impl Default for BoConfig {
+    fn default() -> Self {
+        BoConfig {
+            score_max: 31,
+            round_max: 100,
+            bad_score: 1,
+            rr_size: 256,
+            degree: 6,
+        }
+    }
+}
+
+/// Best-Offset prefetcher state.
+pub struct BestOffset {
+    cfg: BoConfig,
+    offsets: Vec<i64>,
+    scores: Vec<u32>,
+    /// Index of the offset being tested next.
+    test_idx: usize,
+    round: u32,
+    /// Current prefetch offset (0 = prefetching off).
+    best: i64,
+    /// Recent request hashes (direct-mapped tag store).
+    rr: Vec<u64>,
+}
+
+impl BestOffset {
+    pub fn new(cfg: BoConfig) -> Self {
+        let offsets = default_offsets();
+        BestOffset {
+            scores: vec![0; offsets.len()],
+            offsets,
+            test_idx: 0,
+            round: 0,
+            best: 1,
+            rr: vec![u64::MAX; cfg.rr_size],
+            cfg,
+        }
+    }
+
+    fn rr_insert(&mut self, block: u64) {
+        let idx = (block as usize) & (self.cfg.rr_size - 1);
+        self.rr[idx] = block;
+    }
+
+    fn rr_contains(&self, block: u64) -> bool {
+        let idx = (block as usize) & (self.cfg.rr_size - 1);
+        self.rr[idx] == block
+    }
+
+    fn end_learning_phase(&mut self) {
+        let (best_idx, &best_score) = self
+            .scores
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &s)| s)
+            .expect("non-empty offsets");
+        self.best = if best_score >= self.cfg.bad_score {
+            self.offsets[best_idx]
+        } else {
+            0
+        };
+        self.scores.fill(0);
+        self.round = 0;
+        self.test_idx = 0;
+    }
+
+    /// The offset currently used for prefetching (test introspection).
+    pub fn current_offset(&self) -> i64 {
+        self.best
+    }
+}
+
+impl Prefetcher for BestOffset {
+    fn name(&self) -> String {
+        "BO".into()
+    }
+
+    fn on_access(&mut self, a: &LlcAccess, out: &mut Vec<u64>) {
+        // Learning: test one candidate offset per eligible access.
+        if !a.hit || a.is_write {
+            let o = self.offsets[self.test_idx];
+            let base = a.block as i64 - o;
+            if base >= 0 && self.rr_contains(base as u64) {
+                self.scores[self.test_idx] += 1;
+                if self.scores[self.test_idx] >= self.cfg.score_max {
+                    self.end_learning_phase();
+                }
+            }
+            if !self.scores.is_empty() {
+                self.test_idx += 1;
+                if self.test_idx == self.offsets.len() {
+                    self.test_idx = 0;
+                    self.round += 1;
+                    if self.round >= self.cfg.round_max {
+                        self.end_learning_phase();
+                    }
+                }
+            }
+            self.rr_insert(a.block);
+        }
+        // Prefetch: same-page lines at multiples of the best offset.
+        if self.best != 0 {
+            let page = a.block >> 6;
+            for k in 1..=self.cfg.degree as i64 {
+                let target = a.block as i64 + k * self.best;
+                if target >= 0 && (target as u64) >> 6 == page {
+                    out.push(target as u64);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn access(block: u64, hit: bool) -> LlcAccess {
+        LlcAccess {
+            pc: 0x400000,
+            block,
+            core: 0,
+            is_write: false,
+            hit,
+            cycle: 0,
+        }
+    }
+
+    #[test]
+    fn offset_list_is_michaud_style() {
+        let o = default_offsets();
+        assert!(o.contains(&1) && o.contains(&2) && o.contains(&30) && o.contains(&-4));
+        assert!(!o.contains(&7)); // 7 has a prime factor > 5
+        assert!(!o.contains(&0));
+    }
+
+    #[test]
+    fn learns_a_stride_of_4() {
+        let mut bo = BestOffset::new(BoConfig::default());
+        let mut out = Vec::new();
+        // Stride-4 miss stream inside a large region.
+        for i in 0..4000u64 {
+            out.clear();
+            bo.on_access(&access(1_000_000 + i * 4, false), &mut out);
+        }
+        assert_eq!(bo.current_offset(), 4, "learned {}", bo.current_offset());
+        // Prefetches are multiples of 4 ahead within the page.
+        out.clear();
+        let base = 2_000_000 & !63; // page-aligned block
+        bo.on_access(&access(base, false), &mut out);
+        assert!(out.contains(&(base + 4)));
+        assert!(out.contains(&(base + 8)));
+        assert!(out.iter().all(|&b| b >> 6 == base >> 6));
+    }
+
+    #[test]
+    fn random_stream_disables_prefetching_or_scores_low() {
+        let mut bo = BestOffset::new(BoConfig {
+            round_max: 20,
+            ..BoConfig::default()
+        });
+        let mut out = Vec::new();
+        let mut x = 0x12345678u64;
+        for _ in 0..4000 {
+            // xorshift random block addresses: no consistent offset.
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            out.clear();
+            bo.on_access(&access(x % (1 << 30), false), &mut out);
+        }
+        // After enough random rounds the chosen offset's score was ~0; BO
+        // either turned itself off or kept a low-value offset. Either way
+        // prefetch volume on a random stream stays small per access.
+        assert!(out.len() <= BoConfig::default().degree);
+    }
+
+    #[test]
+    fn prefetches_stay_in_page() {
+        let mut bo = BestOffset::new(BoConfig::default());
+        bo.best = 32;
+        let mut out = Vec::new();
+        // Access near the end of a page: k·32 quickly leaves the page.
+        let block = (5 << 6) + 60;
+        bo.on_access(&access(block, false), &mut out);
+        assert!(out.iter().all(|&b| b >> 6 == 5));
+        assert!(out.len() <= 1);
+    }
+
+    #[test]
+    fn hits_do_not_train() {
+        let mut bo = BestOffset::new(BoConfig::default());
+        let before = bo.scores.clone();
+        let mut out = Vec::new();
+        bo.on_access(&access(100, true), &mut out);
+        assert_eq!(bo.scores, before);
+    }
+}

@@ -1,0 +1,28 @@
+//! # mpgraph-prefetchers
+//!
+//! The paper's baseline prefetchers (§5.4.1), all implementing
+//! [`mpgraph_sim::Prefetcher`]:
+//!
+//! * rule-based — [`BestOffset`] (BO, Michaud 2016) and [`Isb`] (Irregular
+//!   Stream Buffer, Jain & Lin 2013), plus [`NextLine`]/[`Stride`] sanity
+//!   floors;
+//! * ML-based — [`DeltaLstm`] (Hashemi et al. 2018), [`Voyager`] (Shi et
+//!   al. 2021), and [`TransFetch`] (Zhang et al. 2022), each trained
+//!   offline on the first trace iteration and deployed online, exactly as
+//!   the paper's workflow (Figure 6) prescribes.
+
+pub mod best_offset;
+pub mod delta_lstm;
+pub mod isb;
+pub mod mlcommon;
+pub mod simple;
+pub mod transfetch;
+pub mod voyager;
+
+pub use best_offset::{BestOffset, BoConfig};
+pub use delta_lstm::{DeltaLstm, DeltaLstmConfig, TrainCfg};
+pub use isb::{Isb, IsbConfig};
+pub use mlcommon::{DeltaVocab, History, PageVocab};
+pub use simple::{NextLine, Stride};
+pub use transfetch::{TransFetch, TransFetchConfig};
+pub use voyager::{Voyager, VoyagerConfig};

@@ -1,0 +1,247 @@
+//! Shared plumbing for the ML-based prefetchers: delta and page
+//! vocabularies built from the training trace, sliding history windows, and
+//! feature encoders reused by Delta-LSTM, Voyager, TransFetch, and MPGraph.
+
+use mpgraph_frameworks::MemRecord;
+use std::collections::HashMap;
+
+/// Maps block-address deltas to dense class ids. Class 0 is the
+/// out-of-vocabulary bucket; the rest are the most frequent training deltas.
+#[derive(Debug, Clone)]
+pub struct DeltaVocab {
+    to_class: HashMap<i64, usize>,
+    classes: Vec<i64>,
+}
+
+impl DeltaVocab {
+    /// Builds a vocabulary from the block-delta stream of `records`,
+    /// keeping the `max_classes - 1` most frequent deltas.
+    pub fn build(records: &[MemRecord], max_classes: usize) -> Self {
+        assert!(max_classes >= 2);
+        let mut freq: HashMap<i64, u64> = HashMap::new();
+        for w in records.windows(2) {
+            let d = w[1].block() as i64 - w[0].block() as i64;
+            *freq.entry(d).or_insert(0) += 1;
+        }
+        let mut by_freq: Vec<(i64, u64)> = freq.into_iter().collect();
+        by_freq.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mut classes = vec![i64::MIN]; // class 0 = OOV sentinel
+        let mut to_class = HashMap::new();
+        for (d, _) in by_freq.into_iter().take(max_classes - 1) {
+            to_class.insert(d, classes.len());
+            classes.push(d);
+        }
+        DeltaVocab { to_class, classes }
+    }
+
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// Delta → class (0 when unseen).
+    pub fn class_of(&self, delta: i64) -> usize {
+        self.to_class.get(&delta).copied().unwrap_or(0)
+    }
+
+    /// Class → delta (`None` for the OOV class).
+    pub fn delta_of(&self, class: usize) -> Option<i64> {
+        (class != 0).then(|| self.classes[class])
+    }
+}
+
+/// Maps page numbers to dense tokens. Token 0 is OOV.
+#[derive(Debug, Clone)]
+pub struct PageVocab {
+    to_token: HashMap<u64, usize>,
+    pages: Vec<u64>,
+    max_tokens: usize,
+}
+
+impl PageVocab {
+    pub fn build(records: &[MemRecord], max_tokens: usize) -> Self {
+        assert!(max_tokens >= 2);
+        let mut freq: HashMap<u64, u64> = HashMap::new();
+        for r in records {
+            *freq.entry(r.page()).or_insert(0) += 1;
+        }
+        let mut by_freq: Vec<(u64, u64)> = freq.into_iter().collect();
+        by_freq.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mut pages = vec![u64::MAX];
+        let mut to_token = HashMap::new();
+        for (p, _) in by_freq.into_iter().take(max_tokens - 1) {
+            to_token.insert(p, pages.len());
+            pages.push(p);
+        }
+        PageVocab {
+            to_token,
+            pages,
+            max_tokens,
+        }
+    }
+
+    /// Number of tokens actually allocated (≤ max_tokens).
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Capacity the embedding tables must size for.
+    pub fn capacity(&self) -> usize {
+        self.max_tokens
+    }
+
+    pub fn token_of(&self, page: u64) -> usize {
+        self.to_token.get(&page).copied().unwrap_or(0)
+    }
+
+    pub fn page_of(&self, token: usize) -> Option<u64> {
+        (token != 0 && token < self.pages.len()).then(|| self.pages[token])
+    }
+}
+
+/// Normalizes a PC to a small f32 feature by hashing, as the paper's input
+/// preprocessing does ("the PC is hashed and normalized").
+#[inline]
+pub fn pc_feature(pc: u64) -> f32 {
+    // Fibonacci hashing, top 16 bits, scaled to [0, 1).
+    let h = pc.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 48;
+    h as f32 / 65536.0
+}
+
+/// Splits a block address into `n` 4-bit segments (least-significant
+/// first), each scaled to [0, 1) — TransFetch's "fine-grained address
+/// segmentation" input.
+pub fn segment_block(block: u64, n: usize) -> Vec<f32> {
+    (0..n)
+        .map(|i| ((block >> (4 * i)) & 0xF) as f32 / 16.0)
+        .collect()
+}
+
+/// Fixed-size history ring of the last `cap` items.
+#[derive(Debug, Clone)]
+pub struct History<T: Copy> {
+    buf: Vec<T>,
+    cap: usize,
+}
+
+impl<T: Copy> History<T> {
+    pub fn new(cap: usize) -> Self {
+        History {
+            buf: Vec::with_capacity(cap),
+            cap,
+        }
+    }
+
+    pub fn push(&mut self, v: T) {
+        if self.buf.len() == self.cap {
+            self.buf.remove(0);
+        }
+        self.buf.push(v);
+    }
+
+    pub fn is_full(&self) -> bool {
+        self.buf.len() == self.cap
+    }
+
+    pub fn items(&self) -> &[T] {
+        &self.buf
+    }
+
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(vaddr: u64) -> MemRecord {
+        MemRecord {
+            pc: 0x400000,
+            vaddr,
+            core: 0,
+            is_write: false,
+            phase: 0,
+            gap: 1, dep: false,
+        }
+    }
+
+    #[test]
+    fn delta_vocab_ranks_by_frequency() {
+        // Deltas: +1 × 6, +2 × 3, -5 × 1 (in blocks of 64 bytes).
+        let mut records = vec![rec(0)];
+        let mut addr = 0u64;
+        for d in [1i64, 1, 1, 2, 1, 2, 1, 2, 1, -5] {
+            addr = (addr as i64 + d * 64) as u64;
+            records.push(rec(addr));
+        }
+        let v = DeltaVocab::build(&records, 3);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.class_of(1), 1); // most frequent
+        assert_eq!(v.class_of(2), 2);
+        assert_eq!(v.class_of(-5), 0); // dropped → OOV
+        assert_eq!(v.delta_of(1), Some(1));
+        assert_eq!(v.delta_of(0), None);
+    }
+
+    #[test]
+    fn page_vocab_roundtrip() {
+        let records: Vec<MemRecord> = (0..100).map(|i| rec((i % 5) * 4096)).collect();
+        let v = PageVocab::build(&records, 16);
+        assert_eq!(v.len(), 6); // 5 pages + OOV
+        for p in 0..5u64 {
+            let t = v.token_of(p);
+            assert_eq!(v.page_of(t), Some(p));
+        }
+        assert_eq!(v.token_of(999), 0);
+    }
+
+    #[test]
+    fn page_vocab_caps_tokens() {
+        let records: Vec<MemRecord> = (0..100).map(|i| rec(i * 4096)).collect();
+        let v = PageVocab::build(&records, 8);
+        assert_eq!(v.len(), 8);
+        assert!(v.capacity() >= v.len());
+    }
+
+    #[test]
+    fn pc_feature_is_deterministic_and_bounded() {
+        let a = pc_feature(0x401234);
+        assert_eq!(a, pc_feature(0x401234));
+        assert!((0.0..1.0).contains(&a));
+        assert_ne!(pc_feature(0x401234), pc_feature(0x401238));
+    }
+
+    #[test]
+    fn segments_reconstruct_block() {
+        let block = 0xAB_CDEFu64;
+        let segs = segment_block(block, 6);
+        assert_eq!(segs.len(), 6);
+        let mut reconstructed = 0u64;
+        for (i, s) in segs.iter().enumerate() {
+            reconstructed |= ((s * 16.0).round() as u64) << (4 * i);
+        }
+        assert_eq!(reconstructed, block);
+    }
+
+    #[test]
+    fn history_ring_keeps_last_n() {
+        let mut h = History::new(3);
+        assert!(!h.is_full());
+        for i in 0..5 {
+            h.push(i);
+        }
+        assert!(h.is_full());
+        assert_eq!(h.items(), &[2, 3, 4]);
+        h.clear();
+        assert!(h.items().is_empty());
+    }
+}

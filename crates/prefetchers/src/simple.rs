@@ -1,0 +1,159 @@
+//! Sanity-check baselines: next-line and PC-localized stride prefetchers.
+//! Not part of the paper's comparison set, but invaluable for validating
+//! the simulator (any reasonable prefetcher must beat `none` on streaming
+//! phases) and as floor references in the ablation harness.
+
+use mpgraph_sim::{LlcAccess, Prefetcher};
+use std::collections::HashMap;
+
+/// Prefetches the next `degree` sequential lines.
+pub struct NextLine {
+    pub degree: usize,
+}
+
+impl NextLine {
+    pub fn new(degree: usize) -> Self {
+        NextLine { degree }
+    }
+}
+
+impl Prefetcher for NextLine {
+    fn name(&self) -> String {
+        "next-line".into()
+    }
+    fn on_access(&mut self, a: &LlcAccess, out: &mut Vec<u64>) {
+        out.extend((1..=self.degree as u64).map(|d| a.block + d));
+    }
+}
+
+/// Classic PC-localized stride prefetcher with 2-bit-confidence-style
+/// training: a PC's stride must repeat twice before prefetching starts.
+pub struct Stride {
+    pub degree: usize,
+    table: HashMap<u64, StrideEntry>,
+    capacity: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct StrideEntry {
+    last_block: u64,
+    stride: i64,
+    confidence: u8,
+}
+
+impl Stride {
+    pub fn new(degree: usize) -> Self {
+        Stride {
+            degree,
+            table: HashMap::new(),
+            capacity: 4096,
+        }
+    }
+}
+
+impl Prefetcher for Stride {
+    fn name(&self) -> String {
+        "stride".into()
+    }
+
+    fn on_access(&mut self, a: &LlcAccess, out: &mut Vec<u64>) {
+        if self.table.len() >= self.capacity && !self.table.contains_key(&a.pc) {
+            self.table.clear();
+        }
+        let e = self.table.entry(a.pc).or_insert(StrideEntry {
+            last_block: a.block,
+            stride: 0,
+            confidence: 0,
+        });
+        let observed = a.block as i64 - e.last_block as i64;
+        if observed != 0 {
+            if observed == e.stride {
+                e.confidence = (e.confidence + 1).min(3);
+            } else {
+                e.stride = observed;
+                e.confidence = 0;
+            }
+            e.last_block = a.block;
+        }
+        if e.confidence >= 2 && e.stride != 0 {
+            let stride = e.stride;
+            for k in 1..=self.degree as i64 {
+                let t = a.block as i64 + k * stride;
+                if t >= 0 {
+                    out.push(t as u64);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn access(pc: u64, block: u64) -> LlcAccess {
+        LlcAccess {
+            pc,
+            block,
+            core: 0,
+            is_write: false,
+            hit: false,
+            cycle: 0,
+        }
+    }
+
+    #[test]
+    fn next_line_prefetches_degree_lines() {
+        let mut p = NextLine::new(3);
+        let mut out = Vec::new();
+        p.on_access(&access(1, 100), &mut out);
+        assert_eq!(out, vec![101, 102, 103]);
+    }
+
+    #[test]
+    fn stride_needs_confidence() {
+        let mut p = Stride::new(2);
+        let mut out = Vec::new();
+        p.on_access(&access(1, 100), &mut out);
+        assert!(out.is_empty());
+        p.on_access(&access(1, 110), &mut out); // stride 10 observed
+        assert!(out.is_empty());
+        p.on_access(&access(1, 120), &mut out); // confirmed once
+        assert!(out.is_empty());
+        p.on_access(&access(1, 130), &mut out); // confidence reaches 2
+        assert_eq!(out, vec![140, 150]);
+    }
+
+    #[test]
+    fn stride_resets_on_pattern_change() {
+        let mut p = Stride::new(1);
+        let mut out = Vec::new();
+        for b in [100u64, 110, 120, 130] {
+            out.clear();
+            p.on_access(&access(1, b), &mut out);
+        }
+        assert!(!out.is_empty());
+        out.clear();
+        p.on_access(&access(1, 95), &mut out); // break the stride
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn strides_are_per_pc() {
+        let mut p = Stride::new(1);
+        let mut out = Vec::new();
+        // PC 1 strides by +2, PC 2 by -3; both must learn independently.
+        for i in 0..5i64 {
+            out.clear();
+            p.on_access(&access(1, (100 + i * 2) as u64), &mut out);
+            out.clear();
+            p.on_access(&access(2, (500 - i * 3) as u64), &mut out);
+        }
+        out.clear();
+        p.on_access(&access(1, 110), &mut out);
+        assert_eq!(out, vec![112]);
+        out.clear();
+        p.on_access(&access(2, 485), &mut out);
+        assert_eq!(out, vec![482]);
+    }
+}

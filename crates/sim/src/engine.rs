@@ -1,0 +1,517 @@
+//! Multi-core trace-replay engine: private L1D and L2 per core, shared LLC,
+//! shared DRAM, and a prefetcher hooked at the LLC — the ChampSim-class
+//! configuration of Table 3.
+//!
+//! Timing model: each core retires its own record stream. Non-memory
+//! instructions are charged to the 4-wide front end; loads that miss are
+//! tracked in a bounded outstanding-miss window (the 64-entry LSQ), so up to
+//! 64 misses overlap — the memory-level-parallelism approximation standard
+//! in trace-driven prefetcher studies. *Dependent* accesses (the `dep` flag
+//! the frameworks set on indirections like `values[edges[e]]`) cannot issue
+//! before their producing load completes, which serializes the indirection
+//! chains that make graph analytics latency-bound — exactly the gap
+//! prefetching closes. Stores drain through a store buffer and never stall
+//! retirement. IPC is instructions retired over the slowest core's final
+//! cycle.
+
+use crate::cache::{Cache, CacheStats, Lookup};
+use crate::dram::{Dram, DramConfig, DramStats};
+use crate::prefetch::{LlcAccess, Prefetcher};
+use mpgraph_frameworks::MemRecord;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Full simulator configuration (defaults reproduce Table 3).
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    pub num_cores: usize,
+    /// Front-end issue width (instructions/cycle).
+    pub issue_width: u64,
+    /// Maximum overlapped outstanding load misses per core (LSQ entries).
+    pub lsq_entries: usize,
+    pub l1_size: usize,
+    pub l1_assoc: usize,
+    pub l1_latency: u64,
+    pub l2_size: usize,
+    pub l2_assoc: usize,
+    pub l2_latency: u64,
+    pub llc_size: usize,
+    pub llc_assoc: usize,
+    pub llc_latency: u64,
+    pub dram: DramConfig,
+    /// Global cap on prefetches issued per LLC access (the paper sets the
+    /// *degree* of every prefetcher to 6 in §5.4).
+    pub max_prefetch_degree: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            num_cores: 4,
+            issue_width: 4,
+            lsq_entries: 64,
+            l1_size: 64 * 1024,
+            l1_assoc: 4,
+            l1_latency: 4,
+            l2_size: 512 * 1024,
+            l2_assoc: 8,
+            l2_latency: 10,
+            llc_size: 2 * 1024 * 1024,
+            llc_assoc: 16,
+            llc_latency: 20,
+            dram: DramConfig::default(),
+            max_prefetch_degree: 6,
+        }
+    }
+}
+
+/// Aggregated results of one simulation.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    pub prefetcher: String,
+    pub instructions: u64,
+    pub cycles: u64,
+    pub l1: CacheStats,
+    pub l2: CacheStats,
+    pub llc: CacheStats,
+    pub dram: DramStats,
+    /// Prefetches issued to memory (after dedup).
+    pub prefetches_issued: u64,
+    /// Prefetched lines that served a demand access (incl. late merges).
+    pub prefetches_useful: u64,
+    /// Demand accesses that merged with a still-in-flight prefetch.
+    pub late_prefetch_merges: u64,
+    /// LLC demand misses that went to DRAM (prefetch hits excluded).
+    pub llc_demand_misses: u64,
+}
+
+impl SimResult {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Prefetch accuracy: useful / issued (Srinivasan et al. taxonomy).
+    pub fn accuracy(&self) -> f64 {
+        if self.prefetches_issued == 0 {
+            0.0
+        } else {
+            self.prefetches_useful as f64 / self.prefetches_issued as f64
+        }
+    }
+
+    /// Prefetch coverage: useful / (useful + remaining demand misses).
+    pub fn coverage(&self) -> f64 {
+        let denom = self.prefetches_useful + self.llc_demand_misses;
+        if denom == 0 {
+            0.0
+        } else {
+            self.prefetches_useful as f64 / denom as f64
+        }
+    }
+
+    /// Percent IPC improvement over a baseline run (typically `Null`).
+    pub fn ipc_improvement(&self, baseline: &SimResult) -> f64 {
+        100.0 * (self.ipc() - baseline.ipc()) / baseline.ipc()
+    }
+}
+
+/// In-flight prefetch bookkeeping: block → cycle at which data arrives.
+#[derive(Debug, Default)]
+struct InflightPrefetches {
+    map: HashMap<u64, u64>,
+}
+
+impl InflightPrefetches {
+    fn insert(&mut self, block: u64, ready: u64) {
+        self.map.insert(block, ready);
+    }
+    fn contains(&self, block: u64) -> bool {
+        self.map.contains_key(&block)
+    }
+    /// If `block` is in flight, returns its ready cycle and retires the
+    /// entry (the line is in the LLC already; only timing remained).
+    fn take_ready(&mut self, block: u64) -> Option<u64> {
+        self.map.remove(&block)
+    }
+    /// Drops entries that completed long ago to bound the map.
+    fn sweep(&mut self, now: u64) {
+        if self.map.len() > 4096 {
+            self.map.retain(|_, &mut ready| ready + 10_000 > now);
+        }
+    }
+}
+
+struct CoreState {
+    cycle: u64,
+    /// Completion cycles of outstanding load misses (min-heap via Reverse).
+    outstanding: BinaryHeap<std::cmp::Reverse<u64>>,
+    /// Completion cycle of the most recent load (the producer a `dep`
+    /// access must wait for).
+    prev_load_done: u64,
+    l1: Cache,
+    l2: Cache,
+}
+
+/// Runs `trace` through the hierarchy with `prefetcher` at the LLC.
+pub fn simulate(
+    trace: &[MemRecord],
+    prefetcher: &mut dyn Prefetcher,
+    cfg: &SimConfig,
+) -> SimResult {
+    let mut cores: Vec<CoreState> = (0..cfg.num_cores)
+        .map(|_| CoreState {
+            cycle: 0,
+            outstanding: BinaryHeap::new(),
+            prev_load_done: 0,
+            l1: Cache::new(cfg.l1_size, cfg.l1_assoc),
+            l2: Cache::new(cfg.l2_size, cfg.l2_assoc),
+        })
+        .collect();
+    let mut llc = Cache::new(cfg.llc_size, cfg.llc_assoc);
+    let mut dram = Dram::new(cfg.dram);
+    let mut inflight = InflightPrefetches::default();
+    let mut instructions: u64 = 0;
+    let mut prefetches_issued: u64 = 0;
+    let mut prefetches_useful: u64 = 0;
+    let mut late_merges: u64 = 0;
+    let mut llc_demand_misses: u64 = 0;
+    let mut pf_candidates: Vec<u64> = Vec::with_capacity(16);
+
+    for r in trace {
+        let core_id = (r.core as usize).min(cfg.num_cores - 1);
+        let core = &mut cores[core_id];
+        let block = r.block();
+
+        // Front end: the gap instructions plus the memory instruction.
+        let insts = r.gap as u64 + 1;
+        instructions += insts;
+        core.cycle += insts.div_ceil(cfg.issue_width);
+
+        // Dependent access: its address comes from the previous load's
+        // data, so it cannot issue until that load completes.
+        if r.dep {
+            core.cycle = core.cycle.max(core.prev_load_done);
+        }
+
+        // Retire completed misses; stall when the LSQ window is full.
+        while let Some(&std::cmp::Reverse(done)) = core.outstanding.peek() {
+            if done <= core.cycle || core.outstanding.len() >= cfg.lsq_entries {
+                core.cycle = core.cycle.max(if core.outstanding.len() >= cfg.lsq_entries {
+                    done
+                } else {
+                    core.cycle
+                });
+                core.outstanding.pop();
+            } else {
+                break;
+            }
+        }
+
+        // ------------------------- L1 -------------------------
+        if core.l1.access(block, r.is_write) != Lookup::Miss {
+            if !r.is_write {
+                core.prev_load_done = core.cycle + cfg.l1_latency;
+            }
+            continue; // pipelined L1 hit: no retire stall
+        }
+        let mut t = core.cycle + cfg.l1_latency;
+
+        // ------------------------- L2 -------------------------
+        t += cfg.l2_latency;
+        if core.l2.access(block, false) != Lookup::Miss {
+            core.l1.insert(block, false, r.is_write);
+            if !r.is_write {
+                core.outstanding.push(std::cmp::Reverse(t));
+                core.prev_load_done = t;
+            }
+            continue;
+        }
+
+        // ------------------------- LLC ------------------------
+        t += cfg.llc_latency;
+        let lookup = llc.access(block, false);
+        let hit = lookup != Lookup::Miss;
+        let completion = match lookup {
+            Lookup::HitPrefetched => {
+                prefetches_useful += 1;
+                // If the prefetch is still in flight, the demand pays the
+                // residual latency (a *late* prefetch).
+                if let Some(ready) = inflight.take_ready(block) {
+                    if ready > t {
+                        late_merges += 1;
+                    }
+                    t.max(ready)
+                } else {
+                    t
+                }
+            }
+            Lookup::Hit => {
+                inflight.take_ready(block);
+                t
+            }
+            Lookup::Miss => {
+                llc_demand_misses += 1;
+                let done = dram.request(block, t);
+                llc.insert(block, false, false);
+                done
+            }
+        };
+        core.l2.insert(block, false, false);
+        core.l1.insert(block, false, r.is_write);
+        if !r.is_write {
+            core.outstanding.push(std::cmp::Reverse(completion));
+            core.prev_load_done = completion;
+        }
+
+        // --------------------- Prefetcher ---------------------
+        pf_candidates.clear();
+        let acc = LlcAccess {
+            pc: r.pc,
+            block,
+            core: r.core,
+            is_write: r.is_write,
+            hit,
+            cycle: core.cycle,
+        };
+        prefetcher.on_access(&acc, &mut pf_candidates);
+        let issue_at = t + prefetcher.latency();
+        let mut issued_now = 0usize;
+        for &pf_block in pf_candidates.iter() {
+            if issued_now >= cfg.max_prefetch_degree {
+                break;
+            }
+            if pf_block == block || llc.contains(pf_block) || inflight.contains(pf_block) {
+                continue;
+            }
+            let ready = dram.request(pf_block, issue_at);
+            llc.insert(pf_block, true, false);
+            inflight.insert(pf_block, ready);
+            prefetches_issued += 1;
+            issued_now += 1;
+        }
+        inflight.sweep(core.cycle);
+    }
+
+    // Drain: the run ends when the slowest core has retired everything.
+    let mut cycles = 0u64;
+    for core in &mut cores {
+        let mut last = core.cycle;
+        while let Some(std::cmp::Reverse(done)) = core.outstanding.pop() {
+            last = last.max(done);
+        }
+        cycles = cycles.max(last);
+    }
+
+    let (l1, l2) = cores.iter().fold(
+        (CacheStats::default(), CacheStats::default()),
+        |(mut a, mut b), c| {
+            a.hits += c.l1.stats.hits;
+            a.misses += c.l1.stats.misses;
+            b.hits += c.l2.stats.hits;
+            b.misses += c.l2.stats.misses;
+            (a, b)
+        },
+    );
+
+    SimResult {
+        prefetcher: prefetcher.name(),
+        instructions,
+        cycles: cycles.max(1),
+        l1,
+        l2,
+        llc: llc.stats,
+        dram: dram.stats,
+        prefetches_issued,
+        prefetches_useful,
+        late_prefetch_merges: late_merges,
+        llc_demand_misses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prefetch::NullPrefetcher;
+
+    fn record(pc: u64, vaddr: u64, core: u8) -> MemRecord {
+        MemRecord {
+            pc,
+            vaddr,
+            core,
+            is_write: false,
+            phase: 0,
+            gap: 3, dep: false,
+        }
+    }
+
+    /// A trivially clairvoyant next-line prefetcher for engine testing.
+    struct NextLine;
+    impl Prefetcher for NextLine {
+        fn name(&self) -> String {
+            "next-line".into()
+        }
+        fn on_access(&mut self, a: &LlcAccess, out: &mut Vec<u64>) {
+            out.extend((1..=4).map(|d| a.block + d));
+        }
+    }
+
+    fn sequential_trace(n: usize) -> Vec<MemRecord> {
+        (0..n)
+            .map(|i| record(0x400000, 0x10_0000_0000 + i as u64 * 64, 0))
+            .collect()
+    }
+
+    #[test]
+    fn ipc_is_positive_and_bounded() {
+        let trace = sequential_trace(5000);
+        let r = simulate(&trace, &mut NullPrefetcher, &SimConfig::default());
+        let ipc = r.ipc();
+        // Single-core trace: bounded by the 4-wide front end.
+        assert!(ipc > 0.0 && ipc <= 4.0, "ipc {ipc}");
+        assert_eq!(r.instructions, trace.iter().map(|t| 1 + t.gap as u64).sum::<u64>());
+    }
+
+    #[test]
+    fn next_line_prefetcher_improves_sequential_ipc() {
+        let trace = sequential_trace(20_000);
+        let base = simulate(&trace, &mut NullPrefetcher, &SimConfig::default());
+        let pf = simulate(&trace, &mut NextLine, &SimConfig::default());
+        assert!(
+            pf.ipc() > base.ipc(),
+            "prefetch {} <= base {}",
+            pf.ipc(),
+            base.ipc()
+        );
+        assert!(pf.accuracy() > 0.8, "accuracy {}", pf.accuracy());
+        assert!(pf.coverage() > 0.5, "coverage {}", pf.coverage());
+        assert!(pf.ipc_improvement(&base) > 0.0);
+    }
+
+    #[test]
+    fn prefetches_deduplicate() {
+        // Same access repeated: prefetch candidates already in LLC are not
+        // reissued.
+        let trace: Vec<MemRecord> = (0..100).map(|_| record(1, 0x10_0000_0000, 0)).collect();
+        let r = simulate(&trace, &mut NextLine, &SimConfig::default());
+        assert!(r.prefetches_issued <= 4, "issued {}", r.prefetches_issued);
+    }
+
+    #[test]
+    fn cache_hierarchy_filters_accesses() {
+        let trace = sequential_trace(1000);
+        let r = simulate(&trace, &mut NullPrefetcher, &SimConfig::default());
+        // Every access touches L1; only L1 misses reach L2; only L2 misses
+        // reach the LLC.
+        assert_eq!(r.l1.accesses(), 1000);
+        assert_eq!(r.l2.accesses(), r.l1.misses);
+        assert_eq!(r.llc.accesses(), r.l2.misses);
+        assert!(r.llc.accesses() > 0);
+    }
+
+    #[test]
+    fn repeated_working_set_hits_in_cache() {
+        // Second pass over a small working set must hit.
+        let mut trace = sequential_trace(100);
+        trace.extend(sequential_trace(100));
+        let r = simulate(&trace, &mut NullPrefetcher, &SimConfig::default());
+        assert_eq!(r.llc.misses, 100);
+        assert!(r.l1.hits >= 100);
+    }
+
+    #[test]
+    fn multi_core_traces_use_private_l1s() {
+        // Two cores touching the same block each miss privately once.
+        let trace = vec![record(1, 0x10_0000_0000, 0), record(1, 0x10_0000_0000, 1)];
+        let r = simulate(&trace, &mut NullPrefetcher, &SimConfig::default());
+        assert_eq!(r.l1.misses, 2);
+        // But the second core hits in the shared LLC.
+        assert_eq!(r.llc.misses, 1);
+        assert_eq!(r.llc.hits, 1);
+    }
+
+    #[test]
+    fn prefetcher_latency_delays_benefit() {
+        struct SlowNextLine;
+        impl Prefetcher for SlowNextLine {
+            fn name(&self) -> String {
+                "slow".into()
+            }
+            fn on_access(&mut self, a: &LlcAccess, out: &mut Vec<u64>) {
+                out.push(a.block + 1);
+            }
+            fn latency(&self) -> u64 {
+                100_000 // absurd latency: prefetches always arrive late
+            }
+        }
+        let trace = sequential_trace(3000);
+        let fast = simulate(&trace, &mut NextLine, &SimConfig::default());
+        let slow = simulate(&trace, &mut SlowNextLine, &SimConfig::default());
+        assert!(
+            slow.ipc() < fast.ipc(),
+            "slow {} >= fast {}",
+            slow.ipc(),
+            fast.ipc()
+        );
+        assert!(slow.late_prefetch_merges > 0);
+    }
+
+    #[test]
+    fn dependent_loads_serialize_and_prefetching_rescues_them() {
+        // Alternating producer (sequential, cold) → dependent consumer
+        // (random, cold): with dep=true the consumer waits for the
+        // producer's DRAM fill, so IPC craters vs the same trace with
+        // dep=false; prefetching the producers restores most of it.
+        let make = |dep: bool| -> Vec<MemRecord> {
+            let mut v = Vec::new();
+            let mut x = 0x2345u64;
+            for i in 0..6000u64 {
+                v.push(record(1, 0x10_0000_0000 + i * 64, 0)); // producer
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let mut c = record(2, 0x20_0000_0000 + (x % 500_000) * 64, 0);
+                c.dep = dep;
+                v.push(c); // consumer
+            }
+            v
+        };
+        let cfg = SimConfig::default();
+        let independent = simulate(&make(false), &mut NullPrefetcher, &cfg);
+        let dependent = simulate(&make(true), &mut NullPrefetcher, &cfg);
+        assert!(
+            dependent.ipc() < 0.7 * independent.ipc(),
+            "dep {} vs indep {}",
+            dependent.ipc(),
+            independent.ipc()
+        );
+        // Prefetch the producers: consumers' wait shrinks to the LLC hit.
+        let with_pf = simulate(&make(true), &mut NextLine, &cfg);
+        assert!(
+            with_pf.ipc() > dependent.ipc(),
+            "prefetch {} vs dep {}",
+            with_pf.ipc(),
+            dependent.ipc()
+        );
+    }
+
+    #[test]
+    fn degree_cap_limits_issue() {
+        struct Flood;
+        impl Prefetcher for Flood {
+            fn name(&self) -> String {
+                "flood".into()
+            }
+            fn on_access(&mut self, a: &LlcAccess, out: &mut Vec<u64>) {
+                out.extend((1..=100).map(|d| a.block + d * 1000));
+            }
+        }
+        let trace = sequential_trace(10);
+        let cfg = SimConfig::default();
+        let r = simulate(&trace, &mut Flood, &cfg);
+        assert!(r.prefetches_issued <= 10 * cfg.max_prefetch_degree as u64);
+    }
+}

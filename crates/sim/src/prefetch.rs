@@ -1,0 +1,107 @@
+//! Prefetcher interface: the contract between the simulator's shared LLC
+//! and any prefetching policy (rule-based baselines, the ML baselines, or
+//! MPGraph itself).
+//!
+//! Matching the paper's setup (§3.2, Figure 1), the prefetcher observes the
+//! *demand accesses arriving at the shared LLC* — the interleaved stream of
+//! L2 misses from all cores, with their PCs — and emits block addresses to
+//! prefetch into the LLC.
+
+/// One demand access observed at the LLC.
+#[derive(Debug, Clone, Copy)]
+pub struct LlcAccess {
+    /// Program counter of the triggering instruction.
+    pub pc: u64,
+    /// Block address (byte address / 64).
+    pub block: u64,
+    /// Issuing core.
+    pub core: u8,
+    pub is_write: bool,
+    /// Whether the access hit in the LLC.
+    pub hit: bool,
+    /// Issuing core's cycle at lookup time.
+    pub cycle: u64,
+}
+
+impl LlcAccess {
+    /// Page number (4 KiB pages, 64 blocks each).
+    #[inline]
+    pub fn page(&self) -> u64 {
+        self.block >> 6
+    }
+    /// Block offset within the page, 0..64.
+    #[inline]
+    pub fn offset(&self) -> u64 {
+        self.block & 63
+    }
+}
+
+/// A prefetching policy. Implementations append candidate *block addresses*
+/// to `out`; the engine enforces the global degree cap, deduplicates against
+/// LLC contents and in-flight prefetches, and injects `latency()` cycles of
+/// inference delay before issue.
+pub trait Prefetcher {
+    /// Display name used in result tables.
+    fn name(&self) -> String;
+
+    /// Called on every LLC demand access.
+    fn on_access(&mut self, access: &LlcAccess, out: &mut Vec<u64>);
+
+    /// Model-inference latency in core cycles (0 for rule-based tables;
+    /// Eq. 12 estimates for the ML models). The engine delays the issue of
+    /// every returned prefetch by this amount.
+    fn latency(&self) -> u64 {
+        0
+    }
+}
+
+/// The no-op baseline: IPC with `Null` defines the denominator of "IPC
+/// improvement" in Figures 12-14.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullPrefetcher;
+
+impl Prefetcher for NullPrefetcher {
+    fn name(&self) -> String {
+        "none".into()
+    }
+    fn on_access(&mut self, _access: &LlcAccess, _out: &mut Vec<u64>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn llc_access_page_and_offset() {
+        let a = LlcAccess {
+            pc: 0,
+            block: (5 << 6) | 17,
+            core: 0,
+            is_write: false,
+            hit: false,
+            cycle: 0,
+        };
+        assert_eq!(a.page(), 5);
+        assert_eq!(a.offset(), 17);
+    }
+
+    #[test]
+    fn null_prefetcher_emits_nothing() {
+        let mut p = NullPrefetcher;
+        let mut out = Vec::new();
+        p.on_access(
+            &LlcAccess {
+                pc: 1,
+                block: 2,
+                core: 0,
+                is_write: false,
+                hit: false,
+                cycle: 3,
+            },
+            &mut out,
+        );
+        assert!(out.is_empty());
+        assert_eq!(p.latency(), 0);
+        assert_eq!(p.name(), "none");
+    }
+}

@@ -1,0 +1,98 @@
+//! Property and scenario tests for the simulator's timing model.
+
+use mpgraph_frameworks::MemRecord;
+use mpgraph_sim::{llc_filter, simulate, NullPrefetcher, SimConfig};
+use proptest::prelude::*;
+
+fn rec(vaddr: u64, core: u8, is_write: bool, gap: u8, dep: bool) -> MemRecord {
+    MemRecord {
+        pc: 0x400000,
+        vaddr,
+        core,
+        is_write,
+        phase: 0,
+        gap,
+        dep,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// IPC is bounded by cores × issue width, and cycles are monotone in
+    /// trace length (prefix property).
+    #[test]
+    fn ipc_bounds_and_cycle_monotonicity(
+        addrs in prop::collection::vec(0u64..1_000_000, 50..400),
+        split in 10usize..40,
+    ) {
+        let trace: Vec<MemRecord> = addrs
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| rec(a * 64, (i % 4) as u8, i % 7 == 0, (i % 6) as u8 + 1, false))
+            .collect();
+        let cfg = SimConfig::default();
+        let full = simulate(&trace, &mut NullPrefetcher, &cfg);
+        prop_assert!(full.ipc() <= (cfg.num_cores as f64) * cfg.issue_width as f64 + 1e-9);
+        let split = split.min(trace.len());
+        let prefix = simulate(&trace[..split], &mut NullPrefetcher, &cfg);
+        prop_assert!(full.cycles >= prefix.cycles);
+        prop_assert!(full.instructions > prefix.instructions);
+    }
+
+    /// Adding dep flags can only slow a trace down (or leave it equal).
+    #[test]
+    fn deps_never_speed_things_up(
+        addrs in prop::collection::vec(0u64..500_000, 50..300),
+    ) {
+        let mk = |dep: bool| -> Vec<MemRecord> {
+            addrs
+                .iter()
+                .enumerate()
+                .map(|(i, &a)| rec(a * 64, (i % 4) as u8, false, 2, dep && i % 2 == 1))
+                .collect()
+        };
+        let cfg = SimConfig::default();
+        let without = simulate(&mk(false), &mut NullPrefetcher, &cfg);
+        let with = simulate(&mk(true), &mut NullPrefetcher, &cfg);
+        prop_assert!(with.cycles >= without.cycles);
+    }
+
+    /// The LLC filter output is always a subsequence of the input.
+    #[test]
+    fn llc_filter_is_subsequence(
+        addrs in prop::collection::vec(0u64..100_000, 10..200),
+    ) {
+        let trace: Vec<MemRecord> = addrs
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| rec(a * 64, (i % 4) as u8, false, 1, false))
+            .collect();
+        let cfg = SimConfig::default();
+        let filtered = llc_filter(&trace, &cfg);
+        prop_assert!(filtered.len() <= trace.len());
+        // Subsequence check: each filtered record appears in order.
+        let mut it = trace.iter();
+        for f in &filtered {
+            prop_assert!(it.any(|r| r == f), "filtered record not in order");
+        }
+    }
+
+    /// Stores never stall retirement: a store-heavy trace is at least as
+    /// fast as the same trace as loads.
+    #[test]
+    fn stores_do_not_stall(
+        addrs in prop::collection::vec(0u64..2_000_000, 50..250),
+    ) {
+        let mk = |writes: bool| -> Vec<MemRecord> {
+            addrs
+                .iter()
+                .map(|&a| rec(a * 64, 0, writes, 2, false))
+                .collect()
+        };
+        let cfg = SimConfig::default();
+        let as_loads = simulate(&mk(false), &mut NullPrefetcher, &cfg);
+        let as_stores = simulate(&mk(true), &mut NullPrefetcher, &cfg);
+        prop_assert!(as_stores.cycles <= as_loads.cycles);
+    }
+}

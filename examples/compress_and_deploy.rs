@@ -1,0 +1,100 @@
+//! Practical-prefetcher walkthrough (§6): train the full AMMA-PS teacher
+//! stack, distill it into an 8× thinner single student, binary-encode the
+//! page head, int8-quantize everything, estimate the Eq. 12 inference
+//! latency for both, and compare end-to-end prefetching quality.
+//!
+//! Run: `cargo run --release --example compress_and_deploy`
+
+use mpgraph::core::{
+    amma_latency, build_detector, compress, train_mpgraph, AmmaConfig, DetectorChoice,
+    DistillCfg, MpGraphConfig, MpGraphPrefetcher, PageHead,
+};
+use mpgraph::frameworks::{generate_trace, App, Framework, TraceConfig};
+use mpgraph::graph::{rmat, RmatConfig};
+use mpgraph::prefetchers::TrainCfg;
+use mpgraph::sim::{llc_filter, simulate, NullPrefetcher};
+
+fn main() {
+    let graph = rmat(RmatConfig::new(13, 50_000, 9));
+    let out = generate_trace(
+        Framework::Gpop,
+        App::Pr,
+        &graph,
+        &TraceConfig {
+            iterations: 6,
+            record_limit: 1_200_000,
+            ..TraceConfig::default()
+        },
+    );
+    let split = out.trace.iteration_starts[1];
+    let (train_raw, test_all) = out.trace.records.split_at(split);
+    let test = &test_all[..test_all.len().min(330_000)];
+    let sim_cfg = mpgraph::scaled_sim_config();
+    let train = &llc_filter(train_raw, &sim_cfg);
+    let tc = TrainCfg::default();
+    let cfg = MpGraphConfig::default();
+
+    // --- Teacher (the Figure 10-12 configuration).
+    let mut teacher = train_mpgraph(train, 2, cfg, &tc);
+    let teacher_params = teacher.delta.num_params() + teacher.page.num_params();
+    let teacher_lat = amma_latency(&cfg.delta.amma).total;
+    println!(
+        "teacher: {} params, Eq.12 latency ≈ {} cycles",
+        teacher_params, teacher_lat
+    );
+
+    // --- Student: KD into a 4-wide AMMA, folded across phases, with the
+    // binary-encoded page head, then int8-quantized.
+    let dc = DistillCfg {
+        student_amma: AmmaConfig::student(8),
+        temperature: 3.0,
+        single_student: true,
+        student_head: Some(PageHead::BinaryEncoded),
+    };
+    let mut sd = compress::distill_delta(&teacher.delta, train, &dc, &tc);
+    let mut sp = compress::distill_page(&teacher.page, train, &dc, &tc);
+    let (df_bytes, di_bytes) = compress::quantize_delta(&mut sd);
+    let (pf_bytes, pi_bytes) = compress::quantize_page(&mut sp);
+    let student_params = sd.num_params() + sp.num_params();
+    let student_lat = amma_latency(&dc.student_amma).total;
+    println!(
+        "student: {} params ({:.0}x fewer, {:.0}x smaller storage with int8), latency ≈ {} cycles",
+        student_params,
+        teacher_params as f64 / student_params as f64,
+        (df_bytes + pf_bytes) as f64 / (di_bytes + pi_bytes) as f64
+            * teacher_params as f64
+            / student_params as f64,
+        student_lat
+    );
+
+    // --- Deploy both with their own modelled latencies.
+    let mut teacher_cfg = cfg;
+    teacher_cfg.latency = teacher_lat;
+    teacher.cfg = teacher_cfg;
+    let mut student_cfg = cfg;
+    student_cfg.latency = student_lat;
+    let detector = build_detector(train, 2, DetectorChoice::SoftDt);
+    let mut student =
+        MpGraphPrefetcher::from_parts(sd, sp, detector, student_cfg, 2, tc.history);
+    // Distance prefetching hides the remaining latency (§6.2, Figure 14).
+    student.dp_distance = 1;
+
+    let base = simulate(test, &mut NullPrefetcher, &sim_cfg);
+    let t = simulate(test, &mut teacher, &sim_cfg);
+    let s = simulate(test, &mut student, &sim_cfg);
+    println!("\n                       IPC impv  accuracy  coverage");
+    println!(
+        "teacher  (lat {:3}cyc)  {:+7.2}%   {:6.1}%   {:6.1}%",
+        teacher_lat,
+        t.ipc_improvement(&base),
+        100.0 * t.accuracy(),
+        100.0 * t.coverage()
+    );
+    println!(
+        "student  (lat {:3}cyc)  {:+7.2}%   {:6.1}%   {:6.1}%  (with distance prefetching)",
+        student_lat,
+        s.ipc_improvement(&base),
+        100.0 * s.accuracy(),
+        100.0 * s.coverage()
+    );
+}

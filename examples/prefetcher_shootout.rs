@@ -1,0 +1,73 @@
+//! Prefetcher shoot-out on an X-Stream SSSP workload: every baseline of
+//! §5.4.1 against MPGraph on one trace, the single-workload version of
+//! Figures 10-12.
+//!
+//! Run: `cargo run --release --example prefetcher_shootout`
+
+use mpgraph::core::{train_mpgraph, MpGraphConfig};
+use mpgraph::frameworks::{generate_trace, App, Framework, TraceConfig};
+use mpgraph::graph::{standin, Dataset};
+use mpgraph::prefetchers::{
+    BestOffset, BoConfig, DeltaLstm, DeltaLstmConfig, Isb, IsbConfig, NextLine, TrainCfg,
+    TransFetch, TransFetchConfig, Voyager, VoyagerConfig,
+};
+use mpgraph::sim::{llc_filter, simulate, NullPrefetcher, Prefetcher, SimResult};
+
+fn main() {
+    // The google web-graph stand-in at 1/256 scale.
+    let graph = standin(Dataset::Google, 256, 7);
+    let out = generate_trace(
+        Framework::XStream,
+        App::Sssp,
+        &graph,
+        &TraceConfig {
+            iterations: 8,
+            record_limit: 1_200_000,
+            ..TraceConfig::default()
+        },
+    );
+    let split = out.trace.iteration_starts.get(1).copied().unwrap_or(0);
+    let (train_raw, test_all) = out.trace.records.split_at(split);
+    let test = &test_all[..test_all.len().min(250_000)];
+    let sim_cfg = mpgraph::scaled_sim_config();
+    let train = &llc_filter(train_raw, &sim_cfg);
+    println!(
+        "X-Stream SSSP on google/256: {} train records, {} test records",
+        train.len(),
+        test.len()
+    );
+
+    let base = simulate(test, &mut NullPrefetcher, &sim_cfg);
+    println!("\nbaseline IPC (no prefetch): {:.3}\n", base.ipc());
+    println!(
+        "{:12} {:>9} {:>9} {:>9}",
+        "prefetcher", "accuracy", "coverage", "IPC impv"
+    );
+
+    let tc = TrainCfg::default();
+    let report = |r: &SimResult, base: &SimResult| {
+        println!(
+            "{:12} {:8.1}% {:8.1}% {:+8.2}%",
+            r.prefetcher,
+            100.0 * r.accuracy(),
+            100.0 * r.coverage(),
+            r.ipc_improvement(base)
+        );
+    };
+
+    let mut nl = NextLine::new(6);
+    report(&simulate(test, &mut nl, &sim_cfg), &base);
+    let mut bo = BestOffset::new(BoConfig::default());
+    report(&simulate(test, &mut bo, &sim_cfg), &base);
+    let mut isb = Isb::new(IsbConfig::default());
+    report(&simulate(test, &mut isb, &sim_cfg), &base);
+    let mut dl = DeltaLstm::train(train, DeltaLstmConfig::default(), &tc);
+    report(&simulate(test, &mut dl, &sim_cfg), &base);
+    let mut voy = Voyager::train(train, VoyagerConfig::default(), &tc);
+    report(&simulate(test, &mut voy, &sim_cfg), &base);
+    let mut tf = TransFetch::train(train, TransFetchConfig::default(), &tc);
+    report(&simulate(test, &mut tf, &sim_cfg), &base);
+    let mut mp = train_mpgraph(train, 2, MpGraphConfig::default(), &tc);
+    report(&simulate(test, &mut mp, &sim_cfg), &base);
+    let _ = mp.name();
+}

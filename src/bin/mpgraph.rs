@@ -1,0 +1,265 @@
+//! `mpgraph` — command-line driver for the reproduction pipeline.
+//!
+//! ```text
+//! mpgraph trace    --framework gpop --app pr --dataset rmat --div 64 \
+//!                  --iterations 6 --out pr.mpgtrc
+//! mpgraph info     pr.mpgtrc
+//! mpgraph simulate pr.mpgtrc --prefetcher bo
+//! mpgraph run      --framework gpop --app pr --dataset youtube --div 64
+//! ```
+//!
+//! `run` executes the full paper workflow on one workload: trace → LLC
+//! filter → train MPGraph on iteration 0 → simulate the remaining
+//! iterations against the no-prefetch baseline and BO.
+
+use mpgraph::core::{train_mpgraph, MpGraphConfig};
+use mpgraph::frameworks::{generate_trace, io, App, Framework, Trace, TraceConfig};
+use mpgraph::graph::{standin, Dataset};
+use mpgraph::prefetchers::{
+    BestOffset, BoConfig, Isb, IsbConfig, NextLine, Stride, TrainCfg,
+};
+use mpgraph::sim::{llc_filter, simulate, NullPrefetcher, Prefetcher, SimResult};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mpgraph <command> [args]\n\
+         commands:\n  \
+         trace    --framework <gpop|xstream|powergraph> --app <bfs|cc|pr|sssp|tc>\n           \
+         --dataset <name> [--div N] [--iterations N] [--limit N] --out FILE\n  \
+         info     FILE\n  \
+         simulate FILE [--prefetcher none|next-line|stride|bo|isb] [--scaled]\n  \
+         run      --framework F --app A --dataset D [--div N] [--iterations N]"
+    );
+    std::process::exit(2);
+}
+
+/// Minimal flag parser: `--key value` pairs plus positional args.
+struct Args {
+    positional: Vec<String>,
+    flags: std::collections::HashMap<String, String>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Args {
+        let mut positional = Vec::new();
+        let mut flags = std::collections::HashMap::new();
+        let mut i = 0;
+        while i < raw.len() {
+            if let Some(key) = raw[i].strip_prefix("--") {
+                if i + 1 < raw.len() && !raw[i + 1].starts_with("--") {
+                    flags.insert(key.to_string(), raw[i + 1].clone());
+                    i += 2;
+                } else {
+                    flags.insert(key.to_string(), "true".to_string());
+                    i += 1;
+                }
+            } else {
+                positional.push(raw[i].clone());
+                i += 1;
+            }
+        }
+        Args { positional, flags }
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(|s| s.as_str())
+    }
+
+    fn get_usize(&self, key: &str, default: usize) -> usize {
+        self.get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| die(&format!("--{key} must be a number"))))
+            .unwrap_or(default)
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}
+
+fn parse_framework(s: &str) -> Framework {
+    match s.to_lowercase().as_str() {
+        "gpop" => Framework::Gpop,
+        "xstream" | "x-stream" => Framework::XStream,
+        "powergraph" => Framework::PowerGraph,
+        other => die(&format!("unknown framework {other:?}")),
+    }
+}
+
+fn parse_app(s: &str) -> App {
+    match s.to_lowercase().as_str() {
+        "bfs" => App::Bfs,
+        "cc" => App::Cc,
+        "pr" | "pagerank" => App::Pr,
+        "sssp" => App::Sssp,
+        "tc" => App::Tc,
+        other => die(&format!("unknown app {other:?}")),
+    }
+}
+
+fn parse_dataset(s: &str) -> Dataset {
+    Dataset::ALL
+        .into_iter()
+        .find(|d| d.name().eq_ignore_ascii_case(s))
+        .unwrap_or_else(|| die(&format!("unknown dataset {s:?} (try: amazon google roadCA soclj wiki youtube rmat)")))
+}
+
+fn build_trace(args: &Args) -> Trace {
+    let fw = parse_framework(args.get("framework").unwrap_or_else(|| usage()));
+    let app = parse_app(args.get("app").unwrap_or_else(|| usage()));
+    if !fw.apps().contains(&app) {
+        die(&format!(
+            "{} does not ship {} (Table 1); available: {}",
+            fw.name(),
+            app.name(),
+            fw.apps()
+                .iter()
+                .map(|a| a.name().to_lowercase())
+                .collect::<Vec<_>>()
+                .join(" ")
+        ));
+    }
+    let ds = parse_dataset(args.get("dataset").unwrap_or("rmat"));
+    let div = args.get_usize("div", 64);
+    let iterations = args.get_usize("iterations", 6);
+    let limit = args.get_usize("limit", 2_000_000);
+    let g = standin(ds, div, 0xC11);
+    eprintln!(
+        "tracing {} {} on {}/{} ({} vertices, {} edges)...",
+        fw.name(),
+        app.name(),
+        ds.name(),
+        div,
+        g.num_vertices(),
+        g.num_edges()
+    );
+    generate_trace(
+        fw,
+        app,
+        &g,
+        &TraceConfig {
+            iterations,
+            record_limit: limit,
+            ..TraceConfig::default()
+        },
+    )
+    .trace
+}
+
+fn report(label: &str, r: &SimResult, base: Option<&SimResult>) {
+    let impv = base
+        .map(|b| format!("{:+8.2}%", r.ipc_improvement(b)))
+        .unwrap_or_else(|| "       -".into());
+    println!(
+        "{label:12} ipc {:6.3}  acc {:6.1}%  cov {:6.1}%  impv {impv}",
+        r.ipc(),
+        100.0 * r.accuracy(),
+        100.0 * r.coverage()
+    );
+}
+
+fn cmd_trace(args: &Args) {
+    let out = args.get("out").unwrap_or_else(|| usage());
+    let trace = build_trace(args);
+    io::save(&trace, out).unwrap_or_else(|e| die(&e.to_string()));
+    println!(
+        "wrote {} ({} records, {} phases, {} transitions)",
+        out,
+        trace.records.len(),
+        trace.num_phases,
+        trace.transitions.len()
+    );
+}
+
+fn cmd_info(args: &Args) {
+    let path = args.positional.first().unwrap_or_else(|| usage());
+    let t = io::load(path).unwrap_or_else(|e| die(&e.to_string()));
+    println!("records:     {}", t.records.len());
+    println!("phases/iter: {}", t.num_phases);
+    println!("iterations:  {}", t.num_iterations());
+    println!("transitions: {}", t.transitions.len());
+    println!("instructions:{}", t.instruction_count());
+    let pages: std::collections::HashSet<u64> = t.records.iter().map(|r| r.page()).collect();
+    println!("pages:       {}", pages.len());
+    let writes = t.records.iter().filter(|r| r.is_write).count();
+    println!(
+        "writes:      {} ({:.1}%)",
+        writes,
+        100.0 * writes as f64 / t.records.len().max(1) as f64
+    );
+    let deps = t.records.iter().filter(|r| r.dep).count();
+    println!(
+        "dep loads:   {} ({:.1}%)",
+        deps,
+        100.0 * deps as f64 / t.records.len().max(1) as f64
+    );
+}
+
+fn cmd_simulate(args: &Args) {
+    let path = args.positional.first().unwrap_or_else(|| usage());
+    let t = io::load(path).unwrap_or_else(|e| die(&e.to_string()));
+    let cfg = if args.get("scaled").is_some() {
+        mpgraph::scaled_sim_config()
+    } else {
+        mpgraph::sim::SimConfig::default()
+    };
+    let base = simulate(&t.records, &mut NullPrefetcher, &cfg);
+    report("none", &base, None);
+    let which = args.get("prefetcher").unwrap_or("bo");
+    let mut pf: Box<dyn Prefetcher> = match which {
+        "none" => return,
+        "next-line" => Box::new(NextLine::new(6)),
+        "stride" => Box::new(Stride::new(6)),
+        "bo" => Box::new(BestOffset::new(BoConfig::default())),
+        "isb" => Box::new(Isb::new(IsbConfig::default())),
+        other => die(&format!("unknown prefetcher {other:?}")),
+    };
+    let r = simulate(&t.records, pf.as_mut(), &cfg);
+    report(&r.prefetcher.clone(), &r, Some(&base));
+}
+
+fn cmd_run(args: &Args) {
+    let trace = build_trace(args);
+    let cfg = mpgraph::scaled_sim_config();
+    let split = trace
+        .iteration_starts
+        .get(1)
+        .copied()
+        .unwrap_or(trace.records.len() / 2);
+    let (train_raw, test) = trace.records.split_at(split);
+    let test = &test[..test.len().min(450_000)];
+    let train_llc = llc_filter(train_raw, &cfg);
+    eprintln!(
+        "training MPGraph on {} LLC records; evaluating on {} raw records",
+        train_llc.len(),
+        test.len()
+    );
+    let base = simulate(test, &mut NullPrefetcher, &cfg);
+    report("none", &base, None);
+    let mut bo = BestOffset::new(BoConfig::default());
+    let r = simulate(test, &mut bo, &cfg);
+    report("BO", &r, Some(&base));
+    let mut mp = train_mpgraph(
+        &train_llc,
+        trace.num_phases as usize,
+        MpGraphConfig::default(),
+        &TrainCfg::default(),
+    );
+    let r = simulate(test, &mut mp, &cfg);
+    report("MPGraph", &r, Some(&base));
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() {
+        usage();
+    }
+    let args = Args::parse(&raw[1..]);
+    match raw[0].as_str() {
+        "trace" => cmd_trace(&args),
+        "info" => cmd_info(&args),
+        "simulate" => cmd_simulate(&args),
+        "run" => cmd_run(&args),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,78 @@
+//! # mpgraph
+//!
+//! Facade crate for the MPGraph reproduction — *"Phases, Modalities,
+//! Spatial and Temporal Locality: Domain Specific ML Prefetcher for
+//! Accelerating Graph Analytics"* (Zhang, Kannan, Prasanna — SC '23).
+//!
+//! Re-exports the workspace crates:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`graph`] | CSR graphs, R-MAT, synthetic SNAP stand-ins |
+//! | [`frameworks`] | instrumented GPOP / X-Stream / PowerGraph + BFS/CC/PR/SSSP/TC |
+//! | [`sim`] | ChampSim-class 4-core cache/DRAM simulator (Table 3) |
+//! | [`ml`] | from-scratch NN substrate (attention, LSTM, Adam, KD, int8) |
+//! | [`phase`] | KSWIN / Soft-KSWIN / DT / Soft-DT transition detectors |
+//! | [`prefetchers`] | BO, ISB, Delta-LSTM, Voyager, TransFetch baselines |
+//! | [`core`] | AMMA, the two predictors, CSTP, the MPGraph prefetcher |
+//!
+//! ```
+//! use mpgraph::graph::{rmat, RmatConfig};
+//! use mpgraph::frameworks::{generate_trace, App, Framework, TraceConfig};
+//! use mpgraph::sim::{simulate, NullPrefetcher, SimConfig};
+//!
+//! let g = rmat(RmatConfig::new(8, 2000, 7));
+//! let out = generate_trace(
+//!     Framework::Gpop,
+//!     App::Pr,
+//!     &g,
+//!     &TraceConfig { iterations: 2, ..TraceConfig::default() },
+//! );
+//! let result = simulate(&out.trace.records, &mut NullPrefetcher, &SimConfig::default());
+//! assert!(result.ipc() > 0.0);
+//! ```
+
+pub use mpgraph_core as core;
+pub use mpgraph_frameworks as frameworks;
+pub use mpgraph_graph as graph;
+pub use mpgraph_ml as ml;
+pub use mpgraph_phase as phase;
+pub use mpgraph_prefetchers as prefetchers;
+pub use mpgraph_sim as sim;
+
+/// A [`sim::SimConfig`] whose cache hierarchy is scaled down 64× (L1 2 KiB,
+/// L2 8 KiB, LLC 32 KiB) to preserve the paper's key invariant — *the
+/// graphs fit in DRAM but not in the LLC, and in particular the per-vertex
+/// value arrays that drive the irregular dependent accesses overflow it* —
+/// for the 64× reduced synthetic datasets this reproduction evaluates on
+/// (DESIGN.md §5). Latencies and core parameters stay at Table 3 values.
+/// The DRAM bus occupancy is also rescaled (32 → 8 cycles per line):
+/// our traces log only data-memory instructions with short gaps, ~4× denser
+/// in memory operations than the instruction streams Table 3's 8 GB/s was
+/// budgeted for, so preserving the paper's bandwidth-per-instruction ratio
+/// requires the same 4× scaling.
+pub fn scaled_sim_config() -> sim::SimConfig {
+    sim::SimConfig {
+        l1_size: 2 * 1024,
+        l2_size: 8 * 1024,
+        llc_size: 32 * 1024,
+        dram: sim::DramConfig {
+            bus_cycles: 8,
+            ..sim::DramConfig::default()
+        },
+        ..sim::SimConfig::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scaled_config_keeps_table3_latencies() {
+        let cfg = super::scaled_sim_config();
+        assert_eq!(cfg.l1_latency, 4);
+        assert_eq!(cfg.l2_latency, 10);
+        assert_eq!(cfg.llc_latency, 20);
+        assert_eq!(cfg.llc_size, 32 * 1024);
+        assert_eq!(cfg.num_cores, 4);
+    }
+}

@@ -1,0 +1,202 @@
+//! End-to-end integration: graph → framework trace → model training →
+//! simulated prefetching, across crate boundaries, at a scale that keeps
+//! the whole file under a minute.
+
+use mpgraph::core::{train_mpgraph, AmmaConfig, CstpConfig, DeltaPredictorConfig, DetectorChoice, MpGraphConfig, PagePredictorConfig, Variant};
+use mpgraph::frameworks::{generate_trace, App, Framework, TraceConfig};
+use mpgraph::graph::{rmat, standin, Dataset, RmatConfig};
+use mpgraph::prefetchers::{BestOffset, BoConfig, NextLine, TrainCfg};
+use mpgraph::sim::{simulate, NullPrefetcher, SimConfig};
+
+fn tiny_amma() -> AmmaConfig {
+    AmmaConfig {
+        history: 6,
+        attn_dim: 8,
+        fusion_dim: 16,
+        layers: 1,
+        heads: 2,
+    }
+}
+
+fn tiny_mpgraph_cfg() -> MpGraphConfig {
+    MpGraphConfig {
+        delta: DeltaPredictorConfig {
+            amma: tiny_amma(),
+            segments: 6,
+            delta_range: 31,
+            look_forward: 16,
+            threshold: 0.4,
+        },
+        page: PagePredictorConfig {
+            amma: tiny_amma(),
+            page_vocab: 512,
+            embed_dim: 8,
+            head: mpgraph::core::PageHead::Softmax,
+        },
+        cstp: CstpConfig::default(),
+        detector: DetectorChoice::SoftDt,
+        variant: Variant::AmmaPs,
+        probe_window: 24,
+        pbot_capacity: 1024,
+        latency: 0,
+    }
+}
+
+fn tiny_tc() -> TrainCfg {
+    TrainCfg {
+        history: 6,
+        max_samples: 600,
+        epochs: 2,
+        lr: 3e-3,
+        seed: 99,
+    }
+}
+
+fn scaled_sim() -> SimConfig {
+    mpgraph::scaled_sim_config()
+}
+
+/// Traces GPOP PR over an R-MAT graph. Returns (LLC-level training stream,
+/// raw test stream) per the Figure 6 workflow.
+fn gpop_pr_trace() -> (Vec<mpgraph::frameworks::MemRecord>, Vec<mpgraph::frameworks::MemRecord>) {
+    // 8K vertices: the 32 KiB value/acc arrays overflow the scaled LLC.
+    let g = rmat(RmatConfig::new(13, 24_000, 5));
+    let out = generate_trace(
+        Framework::Gpop,
+        App::Pr,
+        &g,
+        &TraceConfig {
+            iterations: 4,
+            record_limit: 600_000,
+            ..TraceConfig::default()
+        },
+    );
+    let split = out.trace.iteration_starts[1];
+    let (a, b) = out.trace.records.split_at(split);
+    let train_llc = mpgraph::sim::llc_filter(a, &scaled_sim());
+    (train_llc, b[..b.len().min(200_000)].to_vec())
+}
+
+#[test]
+fn mpgraph_full_pipeline_beats_no_prefetching() {
+    let (train, test) = gpop_pr_trace();
+    let mut mp = train_mpgraph(&train, 2, tiny_mpgraph_cfg(), &tiny_tc());
+    let cfg = scaled_sim();
+    let base = simulate(&test, &mut NullPrefetcher, &cfg);
+    let with = simulate(&test, &mut mp, &cfg);
+    assert!(
+        with.ipc() > base.ipc(),
+        "MPGraph IPC {} <= baseline {}",
+        with.ipc(),
+        base.ipc()
+    );
+    assert!(with.prefetches_issued > 0);
+    assert!(with.accuracy() > 0.2, "accuracy {}", with.accuracy());
+}
+
+#[test]
+fn mpgraph_beats_next_line_on_irregular_workload() {
+    let (train, test) = gpop_pr_trace();
+    let cfg = scaled_sim();
+    let base = simulate(&test, &mut NullPrefetcher, &cfg);
+    let mut nl = NextLine::new(6);
+    let nl_res = simulate(&test, &mut nl, &cfg);
+    let mut mp = train_mpgraph(&train, 2, tiny_mpgraph_cfg(), &tiny_tc());
+    let mp_res = simulate(&test, &mut mp, &cfg);
+    // The graph workload mixes sequential bins with irregular value
+    // accesses; MPGraph's accuracy must beat blind next-line.
+    assert!(
+        mp_res.accuracy() > nl_res.accuracy(),
+        "MPGraph acc {} <= next-line acc {}",
+        mp_res.accuracy(),
+        nl_res.accuracy()
+    );
+    assert!(mp_res.ipc_improvement(&base).is_finite());
+}
+
+#[test]
+fn bo_improves_streaming_xstream_workload() {
+    // X-Stream's scatter streams the edge array: BO must find a positive
+    // offset and deliver real IPC gains — the sanity anchor for Figure 12.
+    let g = standin(Dataset::Google, 512, 2);
+    let out = generate_trace(
+        Framework::XStream,
+        App::Pr,
+        &g,
+        &TraceConfig {
+            iterations: 3,
+            record_limit: 400_000,
+            ..TraceConfig::default()
+        },
+    );
+    let split = out.trace.iteration_starts[1];
+    let test = &out.trace.records[split..];
+    let test = &test[..test.len().min(60_000)];
+    let cfg = scaled_sim();
+    let base = simulate(test, &mut NullPrefetcher, &cfg);
+    let mut bo = BestOffset::new(BoConfig::default());
+    let bo_res = simulate(test, &mut bo, &cfg);
+    assert!(
+        bo_res.ipc_improvement(&base) > 0.0,
+        "BO improvement {}",
+        bo_res.ipc_improvement(&base)
+    );
+}
+
+#[test]
+fn all_frameworks_produce_simulatable_traces() {
+    let g = rmat(RmatConfig::new(8, 4000, 6));
+    let cfg = scaled_sim();
+    for fw in Framework::ALL {
+        for &app in fw.apps() {
+            let out = generate_trace(
+                fw,
+                app,
+                &g,
+                &TraceConfig {
+                    iterations: 2,
+                    record_limit: 120_000,
+                    ..TraceConfig::default()
+                },
+            );
+            let r = simulate(&out.trace.records, &mut NullPrefetcher, &cfg);
+            // 4 cores × 4-wide front end bounds aggregate IPC at 16.
+            assert!(
+                r.ipc() > 0.0 && r.ipc() <= 16.0,
+                "{} {} ipc {}",
+                fw.name(),
+                app.name(),
+                r.ipc()
+            );
+            assert!(r.llc.accesses() > 0, "{} {}", fw.name(), app.name());
+        }
+    }
+}
+
+#[test]
+fn detector_finds_transitions_in_real_trace() {
+    use mpgraph::phase::evaluate_transitions;
+    let (train, test_raw) = gpop_pr_trace();
+    let det = mpgraph::core::build_detector(&train, 2, DetectorChoice::SoftDt);
+    let mut det = det;
+    let test = mpgraph::sim::llc_filter(&test_raw, &scaled_sim());
+    let pcs: Vec<u64> = test.iter().map(|r| r.pc).collect();
+    let phases: Vec<u8> = test.iter().map(|r| r.phase).collect();
+    let truths: Vec<usize> = (1..phases.len())
+        .filter(|&i| phases[i] != phases[i - 1])
+        .collect();
+    assert!(!truths.is_empty());
+    let detections: Vec<usize> = pcs
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &pc)| det.update(pc).then_some(i))
+        .collect();
+    let min_gap = truths
+        .windows(2)
+        .map(|w| w[1] - w[0])
+        .min()
+        .unwrap_or(1000);
+    let prf = evaluate_transitions(&detections, &truths, 16, min_gap / 2);
+    assert!(prf.recall > 0.7, "recall {}", prf.recall);
+    assert!(prf.precision > 0.5, "precision {}", prf.precision);
+}

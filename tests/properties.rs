@@ -1,0 +1,143 @@
+//! Cross-crate property-based tests (proptest): invariants that must hold
+//! for arbitrary inputs, spanning graph construction, the simulator, the
+//! phase detectors, and the CSTP machinery.
+
+use mpgraph::core::{CstpConfig, DeltaRange, Pbot};
+use mpgraph::frameworks::MemRecord;
+use mpgraph::graph::{Csr, VertexId};
+use mpgraph::ml::tensor::Matrix;
+use mpgraph::phase::ks_statistic;
+use mpgraph::sim::{Cache, Lookup};
+use proptest::prelude::*;
+
+proptest! {
+    /// CSR round-trip: every edge inserted appears exactly once.
+    #[test]
+    fn csr_preserves_edge_multiset(
+        edges in prop::collection::vec((0u32..64, 0u32..64), 0..200)
+    ) {
+        let g = Csr::from_edges(64, &edges);
+        prop_assert_eq!(g.num_edges(), edges.len());
+        let mut expect = edges.clone();
+        expect.sort_unstable();
+        let mut actual: Vec<(VertexId, VertexId)> = (0..64u32)
+            .flat_map(|v| g.neighbors(v).iter().map(move |&d| (v, d)))
+            .collect();
+        actual.sort_unstable();
+        prop_assert_eq!(actual, expect);
+    }
+
+    /// Degree sums always equal the edge count.
+    #[test]
+    fn csr_degree_sum_is_edge_count(
+        edges in prop::collection::vec((0u32..32, 0u32..32), 0..100)
+    ) {
+        let g = Csr::from_edges(32, &edges);
+        let sum: usize = (0..32u32).map(|v| g.degree(v)).sum();
+        prop_assert_eq!(sum, edges.len());
+    }
+
+    /// Cache occupancy never exceeds capacity, and a just-inserted block is
+    /// always resident.
+    #[test]
+    fn cache_capacity_invariant(blocks in prop::collection::vec(0u64..10_000, 1..300)) {
+        let mut c = Cache::new(4096, 4); // 16 sets × 4 ways
+        for &b in &blocks {
+            if c.access(b, false) == Lookup::Miss {
+                c.insert(b, false, false);
+            }
+            prop_assert!(c.contains(b));
+            prop_assert!(c.occupancy() <= 64);
+        }
+        // Stats are consistent.
+        prop_assert_eq!(c.stats.accesses(), blocks.len() as u64);
+    }
+
+    /// The K-S statistic is a pseudo-metric: bounded, symmetric, and zero
+    /// on identical samples.
+    #[test]
+    fn ks_statistic_properties(
+        a in prop::collection::vec(-1e6f64..1e6, 1..80),
+        b in prop::collection::vec(-1e6f64..1e6, 1..80)
+    ) {
+        let d_ab = ks_statistic(&a, &b);
+        let d_ba = ks_statistic(&b, &a);
+        prop_assert!((0.0..=1.0).contains(&d_ab));
+        prop_assert!((d_ab - d_ba).abs() < 1e-12);
+        prop_assert!(ks_statistic(&a, &a) == 0.0);
+    }
+
+    /// Delta-range label mapping is a bijection on its domain.
+    #[test]
+    fn delta_label_bijection(range in 1i64..100, delta in -100i64..100) {
+        let dr = DeltaRange { range };
+        match dr.label_of(delta) {
+            Some(l) => {
+                prop_assert!(l < dr.num_labels());
+                prop_assert_eq!(dr.delta_of(l), delta);
+            }
+            None => prop_assert!(delta == 0 || delta.abs() > range),
+        }
+    }
+
+    /// PBOT always returns the most recent (offset, pc) per page and never
+    /// exceeds its capacity.
+    #[test]
+    fn pbot_latest_wins(updates in prop::collection::vec((0u64..50, 0u64..64, 0u64..1000), 1..300)) {
+        let mut pbot = Pbot::new(32);
+        let mut last = std::collections::HashMap::new();
+        for &(page, offset, pc) in &updates {
+            pbot.update(page, offset, pc);
+            last.insert(page, (offset, pc));
+            prop_assert!(pbot.len() <= 32);
+        }
+        // The most recently updated page is always retrievable and exact.
+        let (page, ..) = updates[updates.len() - 1];
+        prop_assert_eq!(pbot.get(page), last.get(&page).copied());
+    }
+
+    /// Eq. 11: the CSTP max degree formula.
+    #[test]
+    fn cstp_degree_bound(ds in 1usize..8, dt in 0usize..8) {
+        let cfg = CstpConfig { spatial_degree: ds, temporal_degree: dt };
+        prop_assert_eq!(cfg.max_degree(), ds * (dt + 1));
+    }
+
+    /// Matrix softmax rows always sum to 1 and are within (0, 1].
+    #[test]
+    fn softmax_rows_are_distributions(
+        vals in prop::collection::vec(-20f32..20.0, 4..40)
+    ) {
+        let cols = 4;
+        let rows = vals.len() / cols;
+        let m = Matrix::from_vec(rows, cols, vals[..rows * cols].to_vec());
+        let s = m.softmax_rows();
+        for r in 0..rows {
+            let sum: f32 = s.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-5);
+            prop_assert!(s.row(r).iter().all(|&v| v > 0.0 && v <= 1.0));
+        }
+    }
+
+    /// MemRecord address decomposition: block/page/offset are consistent.
+    #[test]
+    fn record_decomposition(vaddr in 0u64..u64::MAX / 2) {
+        let r = MemRecord { pc: 0, vaddr, core: 0, is_write: false, phase: 0, gap: 1, dep: false };
+        prop_assert_eq!(r.block() / 64, r.page());
+        prop_assert_eq!(r.block() % 64, r.page_offset());
+        prop_assert!(r.page_offset() < 64);
+    }
+
+    /// Quantization round-trip error stays within the analytic bound.
+    #[test]
+    fn quantization_error_bound(vals in prop::collection::vec(-100f32..100.0, 1..64)) {
+        use mpgraph::ml::QuantizedTensor;
+        let m = Matrix::from_vec(1, vals.len(), vals.clone());
+        let q = QuantizedTensor::quantize(&m);
+        let back = q.dequantize();
+        let bound = q.error_bound() + 1e-5;
+        for (a, b) in vals.iter().zip(back.data.iter()) {
+            prop_assert!((a - b).abs() <= bound, "{} vs {} bound {}", a, b, bound);
+        }
+    }
+}
