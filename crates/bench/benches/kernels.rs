@@ -13,7 +13,9 @@ use mpgraph_ml::tensor::{rng, Matrix};
 use mpgraph_ml::SelfAttention;
 use mpgraph_phase::{Kswin, KswinConfig, SoftKswin, TransitionDetector};
 use mpgraph_prefetchers::{BestOffset, BoConfig};
-use mpgraph_sim::{simulate, Cache, Dram, DramConfig, LlcAccess, NullPrefetcher, Prefetcher, SimConfig};
+use mpgraph_sim::{
+    simulate, Cache, Dram, DramConfig, LlcAccess, NullPrefetcher, Prefetcher, SimConfig,
+};
 
 fn bench_cache(c: &mut Criterion) {
     let mut group = c.benchmark_group("cache");

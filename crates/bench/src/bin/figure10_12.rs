@@ -32,7 +32,16 @@ fn main() {
         .collect();
     print_table(
         "Figure 12 detail: per-workload prefetching results",
-        &["Framework", "App", "Dataset", "Prefetcher", "Acc", "Cov", "IPC", "IPC Impv"],
+        &[
+            "Framework",
+            "App",
+            "Dataset",
+            "Prefetcher",
+            "Acc",
+            "Cov",
+            "IPC",
+            "IPC Impv",
+        ],
         &table,
     );
 
@@ -40,9 +49,7 @@ fn main() {
     let means = prefetcher_means(&rows);
     let summary: Vec<Vec<String>> = means
         .iter()
-        .map(|(n, acc, cov, ipc)| {
-            vec![n.clone(), pct(*acc), pct(*cov), format!("{ipc:+.2}%")]
-        })
+        .map(|(n, acc, cov, ipc)| vec![n.clone(), pct(*acc), pct(*cov), format!("{ipc:+.2}%")])
         .collect();
     print_table(
         "Figures 10/11/12 summary: means over all workloads",

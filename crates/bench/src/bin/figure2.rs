@@ -39,7 +39,10 @@ fn main() {
     );
     println!("\nSeparation (between-centroid distance / within-phase spread):");
     println!("  accesses: {:.2}", data.access_separation);
-    println!("  PCs:      {:.2}  (>1 ⇒ phases separable, the paper's claim)", data.pc_separation);
+    println!(
+        "  PCs:      {:.2}  (>1 ⇒ phases separable, the paper's claim)",
+        data.pc_separation
+    );
     if let Ok(p) = dump_json("figure2", &data) {
         println!("\nwrote {}", p.display());
     }

@@ -13,7 +13,12 @@ fn main() {
     let data = run_figure3(&scale);
     print_table(
         "Figure 3: page-jump statistics (GPOP PR)",
-        &["Phase", "Accesses", "Distinct pages", "Wide jumps (>4 pages)"],
+        &[
+            "Phase",
+            "Accesses",
+            "Distinct pages",
+            "Wide jumps (>4 pages)",
+        ],
         &[
             vec![
                 "Scatter".into(),

@@ -28,11 +28,7 @@ fn main() {
     // ASCII sketch of the K-S statistic around the first true transition.
     if let Some(&t0) = data.true_transitions.first() {
         println!("\nK-S statistic near the first transition (index {t0}):");
-        for &(i, d) in data
-            .ks_series
-            .iter()
-            .filter(|(i, _)| i.abs_diff(t0) < 600)
-        {
+        for &(i, d) in data.ks_series.iter().filter(|(i, _)| i.abs_diff(t0) < 600) {
             let bars = (d * 40.0) as usize;
             let marker = if d > data.threshold { '*' } else { ' ' };
             println!("  {i:7} |{}{marker}", "#".repeat(bars));

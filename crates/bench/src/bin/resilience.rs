@@ -1,0 +1,48 @@
+//! Degradation demo: MPGraph with and without the DegradationGuard under
+//! injected inference stalls, against the pure Best-Offset ceiling, plus
+//! the aggregated pipeline HealthReport.
+//!
+//! Usage: `cargo run --release -p mpgraph-bench --bin resilience [--quick]`
+
+use mpgraph_bench::report::{dump_json, print_table};
+use mpgraph_bench::runners::resilience::run_resilience;
+use mpgraph_bench::ExpScale;
+
+fn main() {
+    let scale = ExpScale::from_args();
+    let rep = run_resilience(&scale);
+    let table: Vec<Vec<String>> = rep
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.config.clone(),
+                if r.stalled { "80% stalls" } else { "clean" }.into(),
+                format!("{:.3}", r.accuracy),
+                format!("{:.3}", r.coverage),
+                format!("{:.3}", r.ipc),
+                format!("{:+.2}%", r.ipc_improvement_pct),
+            ]
+        })
+        .collect();
+    print_table(
+        "Resilience: graceful degradation under inference stalls (GPOP PR)",
+        &[
+            "Config", "Faults", "Accuracy", "Coverage", "IPC", "IPC Impv",
+        ],
+        &table,
+    );
+    println!(
+        "\n{} inference stalls injected; guard tripped: {}",
+        rep.inference_stalls_injected, rep.guard_tripped
+    );
+    let health: Vec<Vec<String>> = rep
+        .health
+        .iter()
+        .map(|h| vec![h.component.clone(), h.status.clone(), h.detail.clone()])
+        .collect();
+    print_table("Health report", &["Component", "Status", "Detail"], &health);
+    if let Ok(p) = dump_json("resilience", &rep) {
+        println!("\nwrote {}", p.display());
+    }
+}

@@ -32,7 +32,11 @@ fn main() {
     let mut headers: Vec<String> = vec!["Model".into()];
     headers.extend(keys.iter().map(|(fw, app)| format!("{fw}/{app}")));
     let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-    print_table("Table 6: F1-Score of Spatial Delta Prediction", &header_refs, &table);
+    print_table(
+        "Table 6: F1-Score of Spatial Delta Prediction",
+        &header_refs,
+        &table,
+    );
     println!("\nPer-variant means:");
     for (name, mean) in variant_means(&cells) {
         println!("  {name:10} {mean:.4}");

@@ -24,7 +24,13 @@ fn main() {
         .collect();
     print_table(
         "Table 8: Computational Complexity",
-        &["Model", "Param (K)", "OPs (M)", "Critical Path", "IPC Impv (%)"],
+        &[
+            "Model",
+            "Param (K)",
+            "OPs (M)",
+            "Critical Path",
+            "IPC Impv (%)",
+        ],
         &table,
     );
     if let Ok(p) = dump_json("table8", &rows) {

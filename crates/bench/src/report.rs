@@ -34,12 +34,12 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
 /// Writes `value` as pretty JSON to `results/<name>.json` (relative to the
 /// workspace root if present, else the current directory).
 pub fn dump_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<PathBuf> {
-    let dir = if std::path::Path::new("results").exists() || std::fs::create_dir_all("results").is_ok()
-    {
-        PathBuf::from("results")
-    } else {
-        PathBuf::from(".")
-    };
+    let dir =
+        if std::path::Path::new("results").exists() || std::fs::create_dir_all("results").is_ok() {
+            PathBuf::from("results")
+        } else {
+            PathBuf::from(".")
+        };
     let path = dir.join(format!("{name}.json"));
     let json = serde_json::to_string_pretty(value).expect("serializable");
     std::fs::write(&path, json)?;
@@ -83,7 +83,10 @@ mod tests {
         print_table(
             "t",
             &["a", "b"],
-            &[vec!["1".into()], vec!["22".into(), "333".into(), "x".into()]],
+            &[
+                vec!["1".into()],
+                vec!["22".into(), "333".into(), "x".into()],
+            ],
         );
     }
 }

@@ -67,10 +67,7 @@ fn tolerances(task: &DetectionTask) -> (usize, usize) {
     (16, min_gap / 2)
 }
 
-fn run_detector(
-    det: &mut dyn TransitionDetector,
-    task: &DetectionTask,
-) -> (f64, f64, f64) {
+fn run_detector(det: &mut dyn TransitionDetector, task: &DetectionTask) -> (f64, f64, f64) {
     let detections: Vec<usize> = task
         .pcs
         .iter()

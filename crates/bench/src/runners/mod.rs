@@ -7,3 +7,4 @@ pub mod detection;
 pub mod motivation;
 pub mod prediction;
 pub mod prefetching;
+pub mod resilience;

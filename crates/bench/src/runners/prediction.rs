@@ -5,8 +5,8 @@
 use crate::scale::ExpScale;
 use crate::workload::{all_cells, build_workload, carrier, Workload};
 use mpgraph_core::{
-    AmmaConfig, DeltaPredictor, DeltaPredictorConfig, PageHead, PagePredictor,
-    PagePredictorConfig, Variant,
+    AmmaConfig, DeltaPredictor, DeltaPredictorConfig, PageHead, PagePredictor, PagePredictorConfig,
+    Variant,
 };
 use rayon::prelude::*;
 use serde::Serialize;
@@ -101,8 +101,12 @@ pub fn run_table7(scale: &ExpScale) -> Vec<PredictionCell> {
                         page_cfg(),
                         &table_train(scale),
                     );
-                    let acc =
-                        model.evaluate_accuracy_at(&w.test_llc, &scale.train, 10, scale.eval_samples);
+                    let acc = model.evaluate_accuracy_at(
+                        &w.test_llc,
+                        &scale.train,
+                        10,
+                        scale.eval_samples,
+                    );
                     PredictionCell {
                         framework: fw.name().into(),
                         app: app.name().into(),
@@ -123,10 +127,12 @@ pub struct ModalityAblation {
     pub f1: f64,
 }
 
+type RecordMutator = Box<dyn Fn(&mut Vec<mpgraph_frameworks::MemRecord>) + Sync>;
+
 pub fn run_modality_ablation(scale: &ExpScale) -> Vec<ModalityAblation> {
     use mpgraph_frameworks::{App, Framework};
     let w = build_workload(Framework::Gpop, App::Pr, carrier(scale), scale);
-    let settings: Vec<(&str, Box<dyn Fn(&mut Vec<mpgraph_frameworks::MemRecord>) + Sync>)> = vec![
+    let settings: Vec<(&str, RecordMutator)> = vec![
         ("addr+pc", Box::new(|_recs: &mut Vec<_>| {})),
         (
             "addr-only",
@@ -205,8 +211,13 @@ pub fn run_one_cell_table6(
     scale: &ExpScale,
 ) -> (Workload, f64) {
     let w = build_workload(fw, app, carrier(scale), scale);
-    let model =
-        DeltaPredictor::train(&w.train_llc, w.num_phases, variant, delta_cfg(), &scale.train);
+    let model = DeltaPredictor::train(
+        &w.train_llc,
+        w.num_phases,
+        variant,
+        delta_cfg(),
+        &scale.train,
+    );
     let prf = model.evaluate_f1(&w.test_llc, &scale.train, scale.eval_samples);
     (w, prf.f1)
 }

@@ -6,12 +6,12 @@ use crate::scale::ExpScale;
 use crate::workload::{all_cells, build_workload, carrier, Workload};
 use mpgraph_core::complexity::{baseline_complexity, mpgraph_complexity, CriticalPath};
 use mpgraph_core::{
-    amma_latency, build_detector, compress, train_mpgraph, AmmaConfig, DeltaPredictor,
-    DistillCfg, MpGraphConfig, MpGraphPrefetcher, PageHead, PagePredictor,
+    amma_latency, build_detector, compress, train_mpgraph, AmmaConfig, DeltaPredictor, DistillCfg,
+    MpGraphConfig, MpGraphPrefetcher, PageHead, PagePredictor,
 };
 use mpgraph_prefetchers::{
-    BestOffset, BoConfig, DeltaLstm, DeltaLstmConfig, Isb, IsbConfig, TransFetch,
-    TransFetchConfig, Voyager, VoyagerConfig,
+    BestOffset, BoConfig, DeltaLstm, DeltaLstmConfig, Isb, IsbConfig, TransFetch, TransFetchConfig,
+    Voyager, VoyagerConfig,
 };
 use mpgraph_sim::{simulate, NullPrefetcher, SimConfig, SimResult};
 use rayon::prelude::*;
@@ -116,7 +116,14 @@ pub fn run_figures_10_to_12(scale: &ExpScale) -> Vec<PrefetchRow> {
 
 /// Per-prefetcher averages (the bars of Figures 10/11).
 pub fn prefetcher_means(rows: &[PrefetchRow]) -> Vec<(String, f64, f64, f64)> {
-    let names = ["BO", "ISB", "Delta-LSTM", "Voyager", "TransFetch", "MPGraph"];
+    let names = [
+        "BO",
+        "ISB",
+        "Delta-LSTM",
+        "Voyager",
+        "TransFetch",
+        "MPGraph",
+    ];
     names
         .iter()
         .map(|&n| {
@@ -245,8 +252,13 @@ pub fn compressed_mpgraph(
         cfg.delta,
         &scale.train,
     );
-    let mut teacher_page =
-        PagePredictor::train(&w.train_llc, w.num_phases, cfg.variant, cfg.page, &scale.train);
+    let mut teacher_page = PagePredictor::train(
+        &w.train_llc,
+        w.num_phases,
+        cfg.variant,
+        cfg.page,
+        &scale.train,
+    );
     // Binary-encode the student's page head on top of KD (§6.1 stacks all
     // three compressions).
     let dc = DistillCfg {
@@ -266,14 +278,8 @@ pub fn compressed_mpgraph(
     let detector = build_detector(&w.train_llc, w.num_phases, cfg.detector);
     let mut pcfg = cfg;
     pcfg.latency = amma_latency(&student_cfg).total;
-    let pf = MpGraphPrefetcher::from_parts(
-        sd,
-        sp,
-        detector,
-        pcfg,
-        w.num_phases,
-        scale.train.history,
-    );
+    let pf =
+        MpGraphPrefetcher::from_parts(sd, sp, detector, pcfg, w.num_phases, scale.train.history);
     (pf, factor)
 }
 
@@ -450,7 +456,14 @@ mod tests {
         let names: Vec<&str> = rows.iter().map(|r| r.prefetcher.as_str()).collect();
         assert_eq!(
             names,
-            vec!["BO", "ISB", "Delta-LSTM", "Voyager", "TransFetch", "MPGraph"]
+            vec![
+                "BO",
+                "ISB",
+                "Delta-LSTM",
+                "Voyager",
+                "TransFetch",
+                "MPGraph"
+            ]
         );
         for r in &rows {
             assert!((0.0..=1.0).contains(&r.accuracy), "{r:?}");

@@ -53,7 +53,11 @@ pub fn split_trace(trace: &Trace, eval_cap: usize) -> (Vec<MemRecord>, Vec<MemRe
 
 /// Builds the graph for `dataset` at the experiment scale.
 pub fn build_graph(dataset: Dataset, scale: &ExpScale) -> Csr {
-    standin(dataset, scale.graph_div, 0xC0DE ^ dataset.name().len() as u64)
+    standin(
+        dataset,
+        scale.graph_div,
+        0xC0DE ^ dataset.name().len() as u64,
+    )
 }
 
 /// Traces one (framework, app, dataset) cell and splits it.

@@ -373,7 +373,11 @@ mod tests {
             let rows = 5;
             let mut addr = Matrix::zeros(rows, 2);
             for t in 0..rows {
-                addr.data[t * 2] = if class == 0 { t as f32 / 5.0 } else { 1.0 - t as f32 / 5.0 };
+                addr.data[t * 2] = if class == 0 {
+                    t as f32 / 5.0
+                } else {
+                    1.0 - t as f32 / 5.0
+                };
                 addr.data[t * 2 + 1] = jitter;
             }
             ModalInput {
@@ -396,7 +400,11 @@ mod tests {
         for class in 0..2 {
             let x = make(class, 0.02);
             let logits = head.infer(&amma.infer(&x, 0));
-            let pred = if logits.data[0] > logits.data[1] { 0 } else { 1 };
+            let pred = if logits.data[0] > logits.data[1] {
+                0
+            } else {
+                1
+            };
             assert_eq!(pred, class, "misclassified pattern {class}");
         }
     }

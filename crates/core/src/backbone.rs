@@ -49,7 +49,7 @@ pub enum Backbone {
         cache_rows: usize,
         pc_feats: usize,
     },
-    Amma(Amma),
+    Amma(Box<Amma>),
 }
 
 impl Backbone {
@@ -75,14 +75,16 @@ impl Backbone {
                 cache_rows: 0,
                 pc_feats,
             },
-            BackboneKind::Amma => Backbone::Amma(Amma::new(addr_feats, pc_feats, cfg, rng)),
+            BackboneKind::Amma => {
+                Backbone::Amma(Box::new(Amma::new(addr_feats, pc_feats, cfg, rng)))
+            }
         }
     }
 
     /// Enables phase-informed mode (only meaningful for AMMA).
     pub fn with_phase_embedding(self, num_phases: usize, rng: &mut ChaCha8Rng) -> Self {
         match self {
-            Backbone::Amma(a) => Backbone::Amma(a.with_phase_embedding(num_phases, rng)),
+            Backbone::Amma(a) => Backbone::Amma(Box::new(a.with_phase_embedding(num_phases, rng))),
             other => other,
         }
     }
@@ -107,7 +109,9 @@ impl Backbone {
 
     pub fn forward(&mut self, x: &ModalInput, phase: usize) -> Matrix {
         match self {
-            Backbone::Lstm { lstm, cache_rows, .. } => {
+            Backbone::Lstm {
+                lstm, cache_rows, ..
+            } => {
                 *cache_rows = x.addr.rows;
                 let h = lstm.forward(&Self::concat(x));
                 Matrix::from_vec(1, h.cols, h.row(h.rows - 1).to_vec())
@@ -238,7 +242,11 @@ mod tests {
     #[test]
     fn all_kinds_produce_same_shape() {
         let mut r = rng(1);
-        for kind in [BackboneKind::Lstm, BackboneKind::Attention, BackboneKind::Amma] {
+        for kind in [
+            BackboneKind::Lstm,
+            BackboneKind::Attention,
+            BackboneKind::Amma,
+        ] {
             let mut b = Backbone::new(kind, 3, 1, tiny_cfg(), &mut r);
             let y = b.forward(&input(2), 0);
             assert_eq!((y.rows, y.cols), (1, 16), "{}", kind.name());
@@ -253,7 +261,11 @@ mod tests {
     #[test]
     fn backward_accumulates_gradients_everywhere() {
         let mut r = rng(3);
-        for kind in [BackboneKind::Lstm, BackboneKind::Attention, BackboneKind::Amma] {
+        for kind in [
+            BackboneKind::Lstm,
+            BackboneKind::Attention,
+            BackboneKind::Amma,
+        ] {
             let mut b = Backbone::new(kind, 3, 1, tiny_cfg(), &mut r);
             let _ = b.forward(&input(4), 0);
             let mut d = Matrix::zeros(1, 16);

@@ -10,6 +10,7 @@ use crate::delta_predictor::{DeltaPredictor, DeltaRange};
 use crate::page_predictor::{PageHead, PagePredictor};
 use crate::variants::Variant;
 use mpgraph_frameworks::MemRecord;
+use mpgraph_ml::guard::{GuardAction, TrainGuard};
 use mpgraph_ml::layers::{Linear, Module};
 use mpgraph_ml::loss::{binary_distillation_loss, distillation_loss};
 use mpgraph_ml::optim::Adam;
@@ -71,19 +72,26 @@ pub fn distill_delta(
         })
         .collect();
     let mut opts: Vec<Adam> = (0..model_count).map(|_| Adam::new(tc.lr)).collect();
+    let mut guards: Vec<TrainGuard> = (0..model_count)
+        .map(|_| TrainGuard::new(crate::prefetcher::TRAIN_CHECKPOINT_INTERVAL))
+        .collect();
 
     let t = tc.history;
     let usable = records.len().saturating_sub(t + cfg.look_forward);
     let stride = (usable / tc.max_samples.max(1)).max(1);
     let mut final_loss = 0.0f32;
-    for _ in 0..tc.epochs {
+    'epochs: for _ in 0..tc.epochs {
         let mut i = 0usize;
         let mut count = 0usize;
         let mut loss_sum = 0.0f32;
         while i + t + cfg.look_forward < records.len() && count < tc.max_samples {
             let pos = i + t - 1;
             let phase = records[pos].phase as usize % num_phases.max(1);
-            let midx = if dc.single_student { 0 } else { phase % model_count };
+            let midx = if dc.single_student {
+                0
+            } else {
+                phase % model_count
+            };
             let hist: Vec<(u64, u64)> = records[i..i + t]
                 .iter()
                 .map(|rec| (rec.block(), rec.pc))
@@ -95,13 +103,21 @@ pub fn distill_delta(
             let pooled = backbone.forward(&x, phase);
             let logits = head.forward(&pooled);
             let (loss, dl) = binary_distillation_loss(&logits, &teacher_logits);
-            loss_sum += loss;
             let dp = head.backward(&dl);
             backbone.backward(&dp);
             opts[midx].step(backbone);
             opts[midx].step(head);
             i += stride;
             count += 1;
+            match guards[midx].observe(
+                loss,
+                &mut [backbone as &mut dyn Module, head as &mut dyn Module],
+                &mut opts[midx].lr,
+            ) {
+                GuardAction::Continue => loss_sum += loss,
+                GuardAction::RolledBack { .. } => count -= 1,
+                GuardAction::Exhausted => break 'epochs,
+            }
         }
         final_loss = if count > 0 {
             loss_sum / count as f32
@@ -151,6 +167,9 @@ pub fn distill_page(
         },
     );
     let mut opts: Vec<Adam> = (0..model_count).map(|_| Adam::new(tc.lr)).collect();
+    let mut guards: Vec<TrainGuard> = (0..model_count)
+        .map(|_| TrainGuard::new(crate::prefetcher::TRAIN_CHECKPOINT_INTERVAL))
+        .collect();
     let seq: Vec<(usize, u64, u8)> = records
         .iter()
         .map(|rec| (student.vocab.token_of(rec.page()), rec.pc, rec.phase))
@@ -159,15 +178,21 @@ pub fn distill_page(
     let usable = seq.len().saturating_sub(t + 1);
     let stride = (usable / tc.max_samples.max(1)).max(1);
     let mut final_loss = 0.0f32;
-    for _ in 0..tc.epochs {
+    'epochs: for _ in 0..tc.epochs {
         let mut i = 0usize;
         let mut count = 0usize;
         let mut loss_sum = 0.0f32;
         while i + t < seq.len() && count < tc.max_samples {
             let phase = seq[i + t - 1].2 as usize % num_phases.max(1);
-            let midx = if dc.single_student { 0 } else { phase % model_count };
-            let hist: Vec<(usize, u64)> =
-                seq[i..i + t].iter().map(|&(tok, pc, _)| (tok, pc)).collect();
+            let midx = if dc.single_student {
+                0
+            } else {
+                phase % model_count
+            };
+            let hist: Vec<(usize, u64)> = seq[i..i + t]
+                .iter()
+                .map(|&(tok, pc, _)| (tok, pc))
+                .collect();
             // Teacher history uses the teacher's own vocabulary.
             let t_hist: Vec<(usize, u64)> = records[i..i + t]
                 .iter()
@@ -211,13 +236,25 @@ pub fn distill_page(
                 (loss, dl)
             };
             let _ = dl;
-            loss_sum += loss;
             let m = &mut student.models[midx];
             opts[midx].step(&mut m.embed);
             opts[midx].step(&mut m.backbone);
             opts[midx].step(&mut m.head);
             i += stride;
             count += 1;
+            match guards[midx].observe(
+                loss,
+                &mut [
+                    &mut m.embed as &mut dyn Module,
+                    &mut m.backbone as &mut dyn Module,
+                    &mut m.head as &mut dyn Module,
+                ],
+                &mut opts[midx].lr,
+            ) {
+                GuardAction::Continue => loss_sum += loss,
+                GuardAction::RolledBack { .. } => count -= 1,
+                GuardAction::Exhausted => break 'epochs,
+            }
         }
         final_loss = if count > 0 {
             loss_sum / count as f32
@@ -247,8 +284,9 @@ pub fn quantize_page(p: &mut PagePredictor) -> (usize, usize) {
     let mut after = 0usize;
     for m in p.models.iter_mut() {
         before += (m.embed.num_params() + m.backbone.num_params() + m.head.num_params()) * 4;
-        after +=
-            quantize_module(&mut m.embed) + quantize_module(&mut m.backbone) + quantize_module(&mut m.head);
+        after += quantize_module(&mut m.embed)
+            + quantize_module(&mut m.backbone)
+            + quantize_module(&mut m.head);
     }
     (before, after)
 }
@@ -272,7 +310,8 @@ mod tests {
             core: 0,
             is_write: false,
             phase,
-            gap: 1, dep: false,
+            gap: 1,
+            dep: false,
         }
     }
 
@@ -348,7 +387,10 @@ mod tests {
         let f1_t = teacher.evaluate_f1(&tr, &tc, 100);
         let f1_s = student.evaluate_f1(&tr, &tc, 100);
         assert!(f1_s.f1 > 0.2, "student f1 {:?}", f1_s);
-        assert!(f1_s.f1 <= f1_t.f1 + 0.2, "student unexpectedly above teacher");
+        assert!(
+            f1_s.f1 <= f1_t.f1 + 0.2,
+            "student unexpectedly above teacher"
+        );
     }
 
     #[test]

@@ -3,6 +3,8 @@
 //! delta-prediction hit rates over a short probe window, and switches to
 //! the best performing one.
 
+use crate::error::MpGraphError;
+
 /// Probe bookkeeping for one phase model.
 #[derive(Debug, Clone, Default)]
 struct PhaseScore {
@@ -36,6 +38,21 @@ impl Controller {
         }
     }
 
+    /// Like [`Controller::new`] but rejects degenerate parameters instead
+    /// of silently clamping them.
+    pub fn try_new(num_phases: usize, probe_window: usize) -> Result<Self, MpGraphError> {
+        if num_phases == 0 {
+            return Err(MpGraphError::config("controller", "num_phases must be > 0"));
+        }
+        if probe_window == 0 {
+            return Err(MpGraphError::config(
+                "controller",
+                "probe_window must be > 0",
+            ));
+        }
+        Ok(Controller::new(num_phases, probe_window))
+    }
+
     /// Currently selected phase model.
     pub fn current_phase(&self) -> usize {
         self.current
@@ -59,11 +76,25 @@ impl Controller {
     /// During a probe, feeds the demanded block plus each phase model's
     /// fresh predictions; outside a probe this is a no-op. Returns the
     /// selected phase when the probe window completes.
-    pub fn observe(&mut self, demanded_block: u64, per_phase_preds: &[Vec<u64>]) -> Option<usize> {
+    ///
+    /// A prediction set whose length disagrees with the number of phase
+    /// models is a recoverable error: the probe state is left untouched so
+    /// the caller can drop the malformed batch and continue.
+    pub fn observe(
+        &mut self,
+        demanded_block: u64,
+        per_phase_preds: &[Vec<u64>],
+    ) -> Result<Option<usize>, MpGraphError> {
         if self.remaining == 0 {
-            return None;
+            return Ok(None);
         }
-        assert_eq!(per_phase_preds.len(), self.num_phases);
+        if per_phase_preds.len() != self.num_phases {
+            return Err(MpGraphError::shape(
+                "controller",
+                self.num_phases,
+                per_phase_preds.len(),
+            ));
+        }
         for (s, preds) in self.scores.iter_mut().zip(per_phase_preds.iter()) {
             if s.last_preds.contains(&demanded_block) {
                 s.hits += 1;
@@ -80,9 +111,9 @@ impl Controller {
                 .map(|(i, _)| i)
                 .unwrap_or(0);
             self.current = best;
-            Some(best)
+            Ok(Some(best))
         } else {
-            None
+            Ok(None)
         }
     }
 }
@@ -92,8 +123,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn selects_the_phase_whose_predictions_hit()
-    {
+    fn selects_the_phase_whose_predictions_hit() {
         let mut c = Controller::new(2, 4);
         assert_eq!(c.current_phase(), 0);
         c.on_transition();
@@ -103,7 +133,7 @@ mod tests {
         let mut selected = None;
         for i in 0..4u64 {
             let preds = vec![vec![5_000 + i], vec![100 + i + 1]];
-            selected = c.observe(100 + i, &preds);
+            selected = c.observe(100 + i, &preds).expect("shapes match");
         }
         assert_eq!(selected, Some(1));
         assert_eq!(c.current_phase(), 1);
@@ -114,8 +144,36 @@ mod tests {
     #[test]
     fn observe_outside_probe_is_noop() {
         let mut c = Controller::new(2, 4);
-        assert_eq!(c.observe(1, &[vec![], vec![]]), None);
+        assert_eq!(c.observe(1, &[vec![], vec![]]), Ok(None));
         assert_eq!(c.current_phase(), 0);
+    }
+
+    #[test]
+    fn mismatched_predictions_are_a_recoverable_error() {
+        let mut c = Controller::new(2, 2);
+        c.on_transition();
+        // Wrong number of phase models: recoverable, probe state untouched.
+        let err = c.observe(1, &[vec![2]]).expect_err("shape mismatch");
+        assert_eq!(
+            err,
+            MpGraphError::Shape {
+                component: "controller",
+                expected: 2,
+                actual: 1
+            }
+        );
+        assert!(c.probing(), "probe must survive a malformed batch");
+        // Correctly-shaped batches still complete the probe afterwards.
+        let _ = c.observe(2, &[vec![3], vec![]]).expect("ok");
+        let sel = c.observe(3, &[vec![4], vec![]]).expect("ok");
+        assert_eq!(sel, Some(0));
+    }
+
+    #[test]
+    fn try_new_validates() {
+        assert!(Controller::try_new(0, 4).is_err());
+        assert!(Controller::try_new(2, 0).is_err());
+        assert!(Controller::try_new(2, 4).is_ok());
     }
 
     #[test]
@@ -126,7 +184,7 @@ mod tests {
         c.on_transition(); // restart mid-probe
         assert!(c.probing());
         let _ = c.observe(2, &[vec![3], vec![]]);
-        let sel = c.observe(3, &[vec![4], vec![]]);
+        let sel = c.observe(3, &[vec![4], vec![]]).expect("ok");
         // Phase 0 predicted 3 before 3 arrived → it wins.
         assert_eq!(sel, Some(0));
         assert_eq!(c.transitions_handled, 2);
@@ -137,7 +195,7 @@ mod tests {
         let mut c = Controller::new(1, 2);
         c.on_transition();
         let _ = c.observe(1, &[vec![]]);
-        let sel = c.observe(2, &[vec![]]);
+        let sel = c.observe(2, &[vec![]]).expect("ok");
         assert_eq!(sel, Some(0));
     }
 }

@@ -124,9 +124,7 @@ pub fn chain_prefetch(
         // history as if the base had just been accessed.
         bh.remove(0);
         bh.push((base, pbot_pc));
-        for d in delta
-            .predict_deltas(&bh, phase, cfg.spatial_degree.saturating_sub(1))
-        {
+        for d in delta.predict_deltas(&bh, phase, cfg.spatial_degree.saturating_sub(1)) {
             let t = base as i64 + d;
             if t >= 0 {
                 out.push(t as u64);

@@ -7,6 +7,7 @@ use crate::amma::{AmmaConfig, ModalInput};
 use crate::backbone::Backbone;
 use crate::variants::Variant;
 use mpgraph_frameworks::MemRecord;
+use mpgraph_ml::guard::{GuardAction, TrainGuard};
 use mpgraph_ml::layers::{Linear, Module, Sigmoid};
 use mpgraph_ml::loss::bce_with_logits;
 use mpgraph_ml::metrics::{multilabel_f1, top_k_indices, Prf};
@@ -134,13 +135,8 @@ impl DeltaPredictor {
         let mut r = rng(tc.seed ^ 0xDE17A);
         let mut models: Vec<(Backbone, Linear)> = (0..model_count)
             .map(|_| {
-                let mut b = Backbone::new(
-                    variant.backbone_kind(),
-                    cfg.segments,
-                    1,
-                    cfg.amma,
-                    &mut r,
-                );
+                let mut b =
+                    Backbone::new(variant.backbone_kind(), cfg.segments, 1, cfg.amma, &mut r);
                 if variant.is_phase_informed() {
                     b = b.with_phase_embedding(num_phases, &mut r);
                 }
@@ -149,19 +145,26 @@ impl DeltaPredictor {
             })
             .collect();
         let mut opts: Vec<Adam> = (0..model_count).map(|_| Adam::new(tc.lr)).collect();
+        let mut guards: Vec<TrainGuard> = (0..model_count)
+            .map(|_| TrainGuard::new(crate::prefetcher::TRAIN_CHECKPOINT_INTERVAL))
+            .collect();
 
         let t = tc.history;
         let usable = records.len().saturating_sub(t + cfg.look_forward);
         let stride = (usable / tc.max_samples.max(1)).max(1);
         let mut final_loss = 0.0f32;
-        for _ in 0..tc.epochs {
+        'epochs: for _ in 0..tc.epochs {
             let mut i = 0usize;
             let mut count = 0usize;
             let mut loss_sum = 0.0f32;
             while i + t + cfg.look_forward < records.len() && count < tc.max_samples {
                 let pos = i + t - 1;
                 let phase = records[pos].phase as usize % num_phases.max(1);
-                let midx = if variant.is_phase_specific() { phase } else { 0 };
+                let midx = if variant.is_phase_specific() {
+                    phase
+                } else {
+                    0
+                };
                 let hist: Vec<(u64, u64)> = records[i..i + t]
                     .iter()
                     .map(|rec| (rec.block(), rec.pc))
@@ -172,13 +175,21 @@ impl DeltaPredictor {
                 let pooled = backbone.forward(&x, phase);
                 let logits = head.forward(&pooled);
                 let (loss, dl) = bce_with_logits(&logits, &target);
-                loss_sum += loss;
                 let dp = head.backward(&dl);
                 backbone.backward(&dp);
                 opts[midx].step(backbone);
                 opts[midx].step(head);
                 i += stride;
                 count += 1;
+                match guards[midx].observe(
+                    loss,
+                    &mut [backbone as &mut dyn Module, head as &mut dyn Module],
+                    &mut opts[midx].lr,
+                ) {
+                    GuardAction::Continue => loss_sum += loss,
+                    GuardAction::RolledBack { .. } => count -= 1,
+                    GuardAction::Exhausted => break 'epochs,
+                }
             }
             final_loss = if count > 0 {
                 loss_sum / count as f32
@@ -220,7 +231,6 @@ impl DeltaPredictor {
     pub(crate) fn encode_hist(cfg: &DeltaPredictorConfig, hist: &[(u64, u64)]) -> ModalInput {
         Self::encode(cfg, hist)
     }
-
 
     /// Top-`k` predicted deltas above the confidence threshold.
     pub fn predict_deltas(&self, hist: &[(u64, u64)], phase: usize, k: usize) -> Vec<i64> {
@@ -280,7 +290,8 @@ mod tests {
             core: 0,
             is_write: false,
             phase,
-            gap: 1, dep: false,
+            gap: 1,
+            dep: false,
         }
     }
 
@@ -372,6 +383,28 @@ mod tests {
             let f1 = model.evaluate_f1(&trace, &tc, 60);
             assert!(f1.f1 >= 0.0 && f1.f1 <= 1.0, "{}", v.name());
         }
+    }
+
+    #[test]
+    fn pathological_lr_cannot_poison_the_weights() {
+        // An absurd learning rate drives the loss toward divergence; the
+        // TrainGuard must keep rolling the weights back to a finite
+        // checkpoint, so inference after training never emits NaN.
+        let trace = two_phase_trace(80, 2);
+        let (cfg, tc) = quick_cfg();
+        let tc = TrainCfg {
+            lr: 1e4,
+            epochs: 3,
+            max_samples: 120,
+            ..tc
+        };
+        let model = DeltaPredictor::train(&trace, 2, Variant::Amma, cfg, &tc);
+        let hist: Vec<(u64, u64)> = (0..5).map(|i| ((1 << 16) + i, 0x400000)).collect();
+        let scores = model.predict_scores(&hist, 0);
+        assert!(
+            scores.iter().all(|s| s.is_finite()),
+            "NaN leaked into inference"
+        );
     }
 
     #[test]

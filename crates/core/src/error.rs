@@ -1,0 +1,113 @@
+//! Workspace error taxonomy.
+//!
+//! Library code reports failures through [`MpGraphError`] instead of
+//! panicking: configuration problems surface at construction time via
+//! `try_new` constructors, shape mismatches at call sites return
+//! recoverable errors, and training anomalies (NaN loss, divergence) are
+//! reported so callers can roll back and retry rather than abort.
+
+use std::fmt;
+
+/// All recoverable failure classes in the MPGraph stack.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MpGraphError {
+    /// A configuration value is out of range or inconsistent.
+    Config {
+        component: &'static str,
+        reason: String,
+    },
+    /// An input's dimensions disagree with what the component was built for.
+    Shape {
+        component: &'static str,
+        expected: usize,
+        actual: usize,
+    },
+    /// Training failed in a way the caller can react to (e.g. NaN loss
+    /// that exhausted rollback retries).
+    Training {
+        component: &'static str,
+        reason: String,
+    },
+}
+
+impl MpGraphError {
+    pub fn config(component: &'static str, reason: impl Into<String>) -> Self {
+        MpGraphError::Config {
+            component,
+            reason: reason.into(),
+        }
+    }
+
+    pub fn shape(component: &'static str, expected: usize, actual: usize) -> Self {
+        MpGraphError::Shape {
+            component,
+            expected,
+            actual,
+        }
+    }
+
+    pub fn training(component: &'static str, reason: impl Into<String>) -> Self {
+        MpGraphError::Training {
+            component,
+            reason: reason.into(),
+        }
+    }
+
+    /// The component that raised the error.
+    pub fn component(&self) -> &'static str {
+        match self {
+            MpGraphError::Config { component, .. }
+            | MpGraphError::Shape { component, .. }
+            | MpGraphError::Training { component, .. } => component,
+        }
+    }
+}
+
+impl fmt::Display for MpGraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpGraphError::Config { component, reason } => {
+                write!(f, "{component}: invalid configuration: {reason}")
+            }
+            MpGraphError::Shape {
+                component,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "{component}: shape mismatch: expected {expected}, got {actual}"
+            ),
+            MpGraphError::Training { component, reason } => {
+                write!(f, "{component}: training failed: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MpGraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MpGraphError::config("controller", "probe_window must be > 0");
+        assert!(e.to_string().contains("controller"));
+        assert!(e.to_string().contains("probe_window"));
+        assert_eq!(e.component(), "controller");
+
+        let e = MpGraphError::shape("controller", 4, 2);
+        assert!(e.to_string().contains("expected 4"));
+        assert!(e.to_string().contains("got 2"));
+
+        let e = MpGraphError::training("amma", "NaN loss at step 17");
+        assert!(e.to_string().contains("NaN"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&MpGraphError::config("x", "y"));
+    }
+}

@@ -1,0 +1,161 @@
+//! Aggregated health reporting for a full pipeline run.
+//!
+//! A [`HealthReport`] collects per-component [`ComponentHealth`] entries
+//! (detector, predictors, degradation guard, trainer, ...) plus the fault
+//! counts the simulator injected, giving bench runners and the CLI one
+//! structure to print or serialize after a resilience run.
+
+use mpgraph_sim::FaultStats;
+use std::fmt;
+
+/// Coarse component condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ComponentStatus {
+    Healthy,
+    /// Operating, but on a fallback/degraded path.
+    Degraded,
+    /// Not operating; its function is lost for the rest of the run.
+    Failed,
+}
+
+impl ComponentStatus {
+    pub fn name(&self) -> &'static str {
+        match self {
+            ComponentStatus::Healthy => "healthy",
+            ComponentStatus::Degraded => "degraded",
+            ComponentStatus::Failed => "failed",
+        }
+    }
+}
+
+/// One component's condition after (or during) a run.
+#[derive(Debug, Clone)]
+pub struct ComponentHealth {
+    pub component: String,
+    pub status: ComponentStatus,
+    /// Free-form specifics: counters, thresholds crossed, fallback in use.
+    pub detail: String,
+}
+
+impl ComponentHealth {
+    pub fn new(
+        component: impl Into<String>,
+        status: ComponentStatus,
+        detail: impl Into<String>,
+    ) -> Self {
+        ComponentHealth {
+            component: component.into(),
+            status,
+            detail: detail.into(),
+        }
+    }
+}
+
+/// Aggregate of component healths and injected-fault counts for one run.
+#[derive(Debug, Clone, Default)]
+pub struct HealthReport {
+    pub components: Vec<ComponentHealth>,
+    pub faults: FaultStats,
+}
+
+impl HealthReport {
+    pub fn new() -> Self {
+        HealthReport::default()
+    }
+
+    pub fn push(&mut self, h: ComponentHealth) {
+        self.components.push(h);
+    }
+
+    pub fn set_faults(&mut self, faults: FaultStats) {
+        self.faults = faults;
+    }
+
+    /// Worst status across components (`Healthy` when empty).
+    pub fn worst(&self) -> ComponentStatus {
+        self.components
+            .iter()
+            .map(|c| c.status)
+            .max()
+            .unwrap_or(ComponentStatus::Healthy)
+    }
+
+    pub fn is_healthy(&self) -> bool {
+        self.worst() == ComponentStatus::Healthy
+    }
+
+    /// True when the report shows `kind`-class faults were injected.
+    pub fn saw_fault(&self, kind: mpgraph_sim::FaultKind) -> bool {
+        self.faults.count(kind) > 0
+    }
+}
+
+impl fmt::Display for HealthReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "health: {}", self.worst().name())?;
+        for c in &self.components {
+            writeln!(
+                f,
+                "  [{:<8}] {}: {}",
+                c.status.name(),
+                c.component,
+                c.detail
+            )?;
+        }
+        if self.faults.total() > 0 {
+            writeln!(
+                f,
+                "  faults injected: {} corrupt, {} dropped, {} duplicated, {} misfires, {} stalls ({} cycles)",
+                self.faults.records_corrupted,
+                self.faults.prefetches_dropped,
+                self.faults.prefetches_duplicated,
+                self.faults.detector_misfires,
+                self.faults.inference_stalls,
+                self.faults.stall_cycles_injected,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worst_orders_statuses() {
+        let mut r = HealthReport::new();
+        assert!(r.is_healthy());
+        r.push(ComponentHealth::new("a", ComponentStatus::Healthy, ""));
+        assert_eq!(r.worst(), ComponentStatus::Healthy);
+        r.push(ComponentHealth::new(
+            "b",
+            ComponentStatus::Degraded,
+            "fallback",
+        ));
+        assert_eq!(r.worst(), ComponentStatus::Degraded);
+        r.push(ComponentHealth::new("c", ComponentStatus::Failed, "dead"));
+        assert_eq!(r.worst(), ComponentStatus::Failed);
+        assert!(!r.is_healthy());
+    }
+
+    #[test]
+    fn display_mentions_components_and_faults() {
+        let mut r = HealthReport::new();
+        r.push(ComponentHealth::new(
+            "guard",
+            ComponentStatus::Degraded,
+            "2 trips",
+        ));
+        let mut faults = FaultStats::default();
+        faults.inference_stalls = 7;
+        faults.stall_cycles_injected = 700;
+        r.set_faults(faults);
+        let text = r.to_string();
+        assert!(text.contains("guard"));
+        assert!(text.contains("degraded"));
+        assert!(text.contains("7 stalls"));
+        assert!(r.saw_fault(mpgraph_sim::FaultKind::StallInference));
+        assert!(!r.saw_fault(mpgraph_sim::FaultKind::CorruptRecord));
+    }
+}

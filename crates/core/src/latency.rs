@@ -7,8 +7,7 @@ use crate::amma::AmmaConfig;
 
 /// `Tmm(D) = 1 + ⌈log2 D⌉`.
 pub fn t_mm(dim: usize) -> u64 {
-    1 + (usize::BITS - dim.max(1).leading_zeros()) as u64
-        - u64::from(dim.is_power_of_two())
+    1 + (usize::BITS - dim.max(1).leading_zeros()) as u64 - u64::from(dim.is_power_of_two())
 }
 
 /// Activation via LUT.
@@ -46,13 +45,8 @@ pub fn amma_latency(cfg: &AmmaConfig) -> LatencyBreakdown {
     // Output head: one matmul at the fused width.
     let head = t_mm(f);
     let output_act = T_AV;
-    let total = embed
-        + attention
-        + fusion
-        + cfg.layers as u64 * transformer
-        + hash
-        + head
-        + output_act;
+    let total =
+        embed + attention + fusion + cfg.layers as u64 * transformer + hash + head + output_act;
     LatencyBreakdown {
         embed,
         attention,

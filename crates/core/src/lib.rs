@@ -14,13 +14,18 @@
 //!   machinery of §6 (knowledge distillation, binary encoding, int8
 //!   quantization, Eq. 12 latency, Table 8 accounting).
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
+
 pub mod amma;
 pub mod backbone;
 pub mod complexity;
 pub mod compress;
 pub mod controller;
 pub mod cstp;
+pub mod degradation;
 pub mod delta_predictor;
+pub mod error;
+pub mod health;
 pub mod latency;
 pub mod page_predictor;
 pub mod prefetcher;
@@ -32,8 +37,13 @@ pub use complexity::{ComplexityRow, CriticalPath};
 pub use compress::{distill_delta, distill_page, DistillCfg};
 pub use controller::Controller;
 pub use cstp::{chain_prefetch, CstpConfig, Pbot};
+pub use degradation::{DegradationGuard, GuardConfig};
 pub use delta_predictor::{DeltaPredictor, DeltaPredictorConfig, DeltaRange};
+pub use error::MpGraphError;
+pub use health::{ComponentHealth, ComponentStatus, HealthReport};
 pub use latency::{amma_latency, LatencyBreakdown};
 pub use page_predictor::{PageHead, PagePredictor, PagePredictorConfig};
-pub use prefetcher::{build_detector, train_mpgraph, DetectorChoice, MpGraphConfig, MpGraphPrefetcher};
+pub use prefetcher::{
+    build_detector, train_mpgraph, DetectorChoice, MpGraphConfig, MpGraphPrefetcher,
+};
 pub use variants::Variant;

@@ -12,6 +12,7 @@ use crate::amma::{AmmaConfig, ModalInput};
 use crate::backbone::Backbone;
 use crate::variants::Variant;
 use mpgraph_frameworks::MemRecord;
+use mpgraph_ml::guard::{GuardAction, TrainGuard};
 use mpgraph_ml::layers::{Embedding, Linear, Module, Sigmoid};
 use mpgraph_ml::loss::{bce_with_logits, softmax_cross_entropy};
 use mpgraph_ml::metrics::top_k_indices;
@@ -87,7 +88,9 @@ impl PagePredictor {
     ) -> ModalInput {
         let tokens: Vec<usize> = hist.iter().map(|&(t, _)| t).collect();
         let addr = if train {
-            embed_mut.expect("train requires mutable embedding").forward(&tokens)
+            embed_mut
+                .expect("train requires mutable embedding")
+                .forward(&tokens)
         } else {
             embed.infer(&tokens)
         };
@@ -163,26 +166,23 @@ impl PagePredictor {
             })
             .collect();
         let mut opts: Vec<Adam> = (0..model_count).map(|_| Adam::new(tc.lr)).collect();
+        let mut guards: Vec<TrainGuard> = (0..model_count)
+            .map(|_| TrainGuard::new(crate::prefetcher::TRAIN_CHECKPOINT_INTERVAL))
+            .collect();
 
         // Per-core token/pc/phase subsequences (see module docs).
         let mut per_core: Vec<Vec<(usize, u64, u8)>> = vec![Vec::new(); 8];
         for rec in records {
-            per_core[(rec.core as usize) % 8].push((
-                vocab.token_of(rec.page()),
-                rec.pc,
-                rec.phase,
-            ));
+            per_core[(rec.core as usize) % 8].push((vocab.token_of(rec.page()), rec.pc, rec.phase));
         }
         let t = tc.history;
-        let seqs: Vec<Vec<(usize, u64, u8)>> = per_core
-            .into_iter()
-            .filter(|s| s.len() > t + 1)
-            .collect();
+        let seqs: Vec<Vec<(usize, u64, u8)>> =
+            per_core.into_iter().filter(|s| s.len() > t + 1).collect();
         let total: usize = seqs.iter().map(|s| s.len()).sum();
         let usable = total.saturating_sub((t + 1) * seqs.len().max(1));
         let stride = (usable / tc.max_samples.max(1)).max(1);
         let mut final_loss = 0.0f32;
-        for _ in 0..tc.epochs {
+        'epochs: for _ in 0..tc.epochs {
             let mut count = 0usize;
             let mut loss_sum = 0.0f32;
             let mut cursors: Vec<usize> = vec![0; seqs.len()];
@@ -204,10 +204,16 @@ impl PagePredictor {
                 }
                 cursors[sidx] += stride;
                 let phase = seq[i + t - 1].2 as usize % num_phases.max(1);
-                let midx = if variant.is_phase_specific() { phase } else { 0 };
+                let midx = if variant.is_phase_specific() {
+                    phase
+                } else {
+                    0
+                };
                 let target_tok = seq[i + t].0;
-                let hist: Vec<(usize, u64)> =
-                    seq[i..i + t].iter().map(|&(tok, pc, _)| (tok, pc)).collect();
+                let hist: Vec<(usize, u64)> = seq[i..i + t]
+                    .iter()
+                    .map(|&(tok, pc, _)| (tok, pc))
+                    .collect();
                 let m = &mut models[midx];
                 let tokens: Vec<usize> = hist.iter().map(|&(tk, _)| tk).collect();
                 let addr = m.embed.forward(&tokens);
@@ -241,13 +247,25 @@ impl PagePredictor {
                         bce_with_logits(&logits, &Self::binary_target(target_tok, bits));
                     (loss, m.head.backward(&dl))
                 };
-                loss_sum += loss;
                 let (d_addr, _d_pc) = m.backbone.backward(&dp);
                 m.embed.backward(&d_addr);
                 opts[midx].step(&mut m.embed);
                 opts[midx].step(&mut m.backbone);
                 opts[midx].step(&mut m.head);
                 count += 1;
+                match guards[midx].observe(
+                    loss,
+                    &mut [
+                        &mut m.embed as &mut dyn Module,
+                        &mut m.backbone as &mut dyn Module,
+                        &mut m.head as &mut dyn Module,
+                    ],
+                    &mut opts[midx].lr,
+                ) {
+                    GuardAction::Continue => loss_sum += loss,
+                    GuardAction::RolledBack { .. } => count -= 1,
+                    GuardAction::Exhausted => break 'epochs,
+                }
             }
             final_loss = if count > 0 {
                 loss_sum / count as f32
@@ -375,7 +393,8 @@ mod tests {
             core: 0,
             is_write: false,
             phase,
-            gap: 1, dep: false,
+            gap: 1,
+            dep: false,
         }
     }
 

@@ -6,6 +6,7 @@
 use crate::controller::Controller;
 use crate::cstp::{chain_prefetch, CstpConfig, Pbot};
 use crate::delta_predictor::{DeltaPredictor, DeltaPredictorConfig};
+use crate::error::MpGraphError;
 use crate::page_predictor::{PagePredictor, PagePredictorConfig};
 use crate::variants::Variant;
 use mpgraph_frameworks::MemRecord;
@@ -16,6 +17,12 @@ use mpgraph_phase::{
 use mpgraph_prefetchers::mlcommon::History;
 use mpgraph_prefetchers::TrainCfg;
 use mpgraph_sim::{LlcAccess, Prefetcher};
+
+/// Steps between [`mpgraph_ml::TrainGuard`] weight checkpoints in the
+/// predictor training loops: frequent enough that a rollback loses little
+/// progress, rare enough that cloning the (small, Table 5-sized) weights
+/// stays off the profile.
+pub const TRAIN_CHECKPOINT_INTERVAL: usize = 32;
 
 /// Which phase-transition detector drives the controller.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,6 +69,48 @@ impl Default for MpGraphConfig {
     }
 }
 
+impl MpGraphConfig {
+    /// Validates the configuration, returning it unchanged when sound.
+    /// Catches the degenerate values that would otherwise surface as
+    /// panics or silent misbehaviour deep inside training or replay.
+    pub fn try_new(self) -> Result<Self, MpGraphError> {
+        if self.probe_window == 0 {
+            return Err(MpGraphError::config("mpgraph", "probe_window must be > 0"));
+        }
+        if self.pbot_capacity == 0 {
+            return Err(MpGraphError::config("mpgraph", "pbot_capacity must be > 0"));
+        }
+        if self.delta.segments == 0 {
+            return Err(MpGraphError::config(
+                "mpgraph",
+                "delta.segments must be > 0",
+            ));
+        }
+        if self.delta.delta_range == 0 {
+            return Err(MpGraphError::config(
+                "mpgraph",
+                "delta.delta_range must be > 0",
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.delta.threshold) {
+            return Err(MpGraphError::config(
+                "mpgraph",
+                format!(
+                    "delta.threshold must be in [0, 1], got {}",
+                    self.delta.threshold
+                ),
+            ));
+        }
+        if self.page.page_vocab == 0 {
+            return Err(MpGraphError::config(
+                "mpgraph",
+                "page.page_vocab must be > 0",
+            ));
+        }
+        Ok(self)
+    }
+}
+
 /// The deployed prefetcher.
 pub struct MpGraphPrefetcher {
     pub cfg: MpGraphConfig,
@@ -78,6 +127,9 @@ pub struct MpGraphPrefetcher {
     /// deltas/pages by offsetting the spatial predictions one step ahead.
     /// 0 disables. Implemented as doubling the predicted deltas' reach.
     pub dp_distance: i64,
+    /// Malformed prediction batches the controller rejected (each one is
+    /// dropped and replay continues — introspection for health reports).
+    pub observe_errors: u64,
 }
 
 /// Trains the full MPGraph stack on the training records (the first
@@ -101,6 +153,7 @@ pub fn train_mpgraph(
         detector,
         num_phases,
         dp_distance: 0,
+        observe_errors: 0,
         cfg,
     }
 }
@@ -150,6 +203,7 @@ impl MpGraphPrefetcher {
             detector,
             num_phases,
             dp_distance: 0,
+            observe_errors: 0,
             cfg,
         }
     }
@@ -172,6 +226,13 @@ impl Prefetcher for MpGraphPrefetcher {
 
     fn latency(&self) -> u64 {
         self.cfg.latency
+    }
+
+    /// MPGraph's predictions come off a model-inference path, so injected
+    /// inference stalls are paid in full (a degradation wrapper can shed
+    /// them — see `degradation::DegradationGuard`).
+    fn effective_latency(&mut self, injected_stall: u64) -> u64 {
+        self.cfg.latency + injected_stall
     }
 
     fn on_access(&mut self, a: &LlcAccess, out: &mut Vec<u64>) {
@@ -204,14 +265,17 @@ impl Prefetcher for MpGraphPrefetcher {
                         .collect()
                 })
                 .collect();
-            self.controller.observe(a.block, &preds);
+            if self.controller.observe(a.block, &preds).is_err() {
+                // Malformed batch (possible only if predictor and
+                // controller shapes drift): drop it, keep replaying.
+                self.observe_errors += 1;
+            }
         }
 
         // 4. CSTP with the selected phase's models; the temporal chain
         //    follows the requesting core's own page stream.
         let phase = self.controller.current_phase();
-        let page_items: Vec<(usize, u64)> =
-            self.page_hists[(a.core as usize) % 8].items().to_vec();
+        let page_items: Vec<(usize, u64)> = self.page_hists[(a.core as usize) % 8].items().to_vec();
         let mut batch = chain_prefetch(
             &self.delta,
             &self.page,
@@ -249,7 +313,8 @@ mod tests {
             core: 0,
             is_write: false,
             phase,
-            gap: 1, dep: false,
+            gap: 1,
+            dep: false,
         }
     }
 
@@ -265,7 +330,11 @@ mod tests {
             }
             for i in 0..400 {
                 let page = [50u64, 90, 130, 170][i % 4];
-                v.push(rec(page * 4096 + (i % 64) as u64 * 64, 0x40_1000 + (i % 5) as u64 * 4, 1));
+                v.push(rec(
+                    page * 4096 + (i % 64) as u64 * 64,
+                    0x40_1000 + (i % 5) as u64 * 4,
+                    1,
+                ));
             }
         }
         v
@@ -408,8 +477,14 @@ mod tests {
         far.clear();
         pf.on_access(&acc, &mut far);
         if !near.is_empty() && !far.is_empty() {
-            let near_d: i64 = near.iter().map(|&b| (b as i64 - acc.block as i64).abs()).sum();
-            let far_d: i64 = far.iter().map(|&b| (b as i64 - acc.block as i64).abs()).sum();
+            let near_d: i64 = near
+                .iter()
+                .map(|&b| (b as i64 - acc.block as i64).abs())
+                .sum();
+            let far_d: i64 = far
+                .iter()
+                .map(|&b| (b as i64 - acc.block as i64).abs())
+                .sum();
             assert!(far_d >= near_d, "distance prefetch did not reach further");
         }
     }

@@ -61,7 +61,10 @@ mod tests {
     #[test]
     fn names_match_table_rows() {
         let names: Vec<&str> = Variant::ALL.iter().map(|v| v.name()).collect();
-        assert_eq!(names, vec!["LSTM", "Attention", "AMMA", "AMMA-PI", "AMMA-PS"]);
+        assert_eq!(
+            names,
+            vec!["LSTM", "Attention", "AMMA", "AMMA-PI", "AMMA-PS"]
+        );
     }
 
     #[test]

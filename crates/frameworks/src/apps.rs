@@ -199,16 +199,17 @@ impl VertexProgram for Sssp {
     }
 }
 
-/// Builds the vertex program for `app` (TC has no vertex-program form).
-pub fn program_for(app: App, g: &Csr, source: VertexId) -> Box<dyn VertexProgram> {
+/// Builds the vertex program for `app`, or `None` for TC, which has no
+/// vertex-program form (PowerGraph special-cases it).
+pub fn program_for(app: App, g: &Csr, source: VertexId) -> Option<Box<dyn VertexProgram>> {
     match app {
-        App::Pr => Box::new(PageRank {
+        App::Pr => Some(Box::new(PageRank {
             n: g.num_vertices(),
-        }),
-        App::Bfs => Box::new(Bfs { source }),
-        App::Cc => Box::new(ConnectedComponents),
-        App::Sssp => Box::new(Sssp { source }),
-        App::Tc => panic!("TC is not a vertex program; PowerGraph special-cases it"),
+        })),
+        App::Bfs => Some(Box::new(Bfs { source })),
+        App::Cc => Some(Box::new(ConnectedComponents)),
+        App::Sssp => Some(Box::new(Sssp { source })),
+        App::Tc => None,
     }
 }
 
@@ -257,9 +258,7 @@ pub fn ref_cc(g: &Csr) -> Vec<f32> {
             }
         }
     }
-    (0..n as u32)
-        .map(|v| find(&mut parent, v) as f32)
-        .collect()
+    (0..n as u32).map(|v| find(&mut parent, v) as f32).collect()
 }
 
 /// Reference SSSP distances via Dijkstra (weights must be non-negative).
@@ -352,10 +351,7 @@ mod tests {
 
     fn path_graph() -> Csr {
         // 0 -1-> 1 -1-> 2 -1-> 3, plus shortcut 0 -5-> 3
-        Csr::from_weighted_edges(
-            4,
-            &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 3, 5.0)],
-        )
+        Csr::from_weighted_edges(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 3, 5.0)])
     }
 
     #[test]
@@ -409,10 +405,10 @@ mod tests {
     #[test]
     fn program_traits_are_consistent() {
         let g = path_graph();
-        let pr = program_for(App::Pr, &g, 0);
+        let pr = program_for(App::Pr, &g, 0).unwrap();
         assert!(pr.always_active());
         assert_eq!(pr.accumulate(1.0, 2.0), 3.0);
-        let bfs = program_for(App::Bfs, &g, 0);
+        let bfs = program_for(App::Bfs, &g, 0).unwrap();
         assert!(!bfs.always_active());
         assert_eq!(bfs.scatter_value(INF, 1, 1.0), None);
         assert_eq!(bfs.scatter_value(2.0, 1, 1.0), Some(3.0));
@@ -422,9 +418,8 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "TC")]
     fn tc_is_not_a_vertex_program() {
         let g = path_graph();
-        let _ = program_for(App::Tc, &g, 0);
+        assert!(program_for(App::Tc, &g, 0).is_none());
     }
 }

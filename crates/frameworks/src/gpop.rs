@@ -192,7 +192,7 @@ pub fn run(
         let mut acc = vec![prog.identity(); n];
         let mut got = vec![false; n];
         let mut rec = tb.phase(PHASE_GATHER);
-        for p in 0..parts {
+        for (p, bin) in bins.iter().enumerate() {
             let core = p % num_cores;
             for j in 0..24u64 {
                 rec.log(
@@ -202,7 +202,7 @@ pub fn run(
                     false,
                 );
             }
-            for (k, &(dst, msg)) in bins[p].iter().enumerate() {
+            for (k, &(dst, msg)) in bin.iter().enumerate() {
                 rec.log(
                     core,
                     pcs.pc(PHASE_GATHER, site::GA_BIN_READ),
@@ -274,7 +274,7 @@ mod tests {
     use mpgraph_graph::{rmat, RmatConfig};
 
     fn run_app(app: App, g: &Csr, iters: usize) -> (Vec<f32>, crate::trace::Trace) {
-        let prog = apps::program_for(app, g, 0);
+        let prog = apps::program_for(app, g, 0).unwrap();
         let mut tb = TraceBuilder::new(NUM_PHASES, 4, 7, usize::MAX);
         let vals = run(g, prog.as_ref(), 8, iters, &mut tb);
         (vals, tb.finish())

@@ -8,7 +8,60 @@ use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 /// Magic bytes + format version for the binary container.
-const MAGIC: &[u8; 8] = b"MPGTRC01";
+const MAGIC: &[u8; 8] = b"MPGTRC02";
+
+/// Upper bound on `Vec` capacity reserved from header-declared counts. The
+/// header is untrusted input: a corrupt length must cost at most this many
+/// reserved elements (the vector still grows to the true size on demand),
+/// never an allocation sized by the lie itself.
+const MAX_TRUSTED_CAPACITY: usize = 1 << 20;
+
+/// FNV-1a over every byte after the magic; stored as the file trailer so a
+/// flipped byte anywhere in the body is detected at load.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+}
+
+/// Writer adapter that folds everything written into the running checksum.
+struct HashingWriter<'a, W: Write> {
+    inner: &'a mut W,
+    hash: Fnv1a,
+}
+
+impl<W: Write> Write for HashingWriter<'_, W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.hash.update(&buf[..n]);
+        Ok(n)
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Reader adapter mirroring [`HashingWriter`].
+struct HashingReader<'a, R: Read> {
+    inner: &'a mut R,
+    hash: Fnv1a,
+}
+
+impl<R: Read> Read for HashingReader<'_, R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.hash.update(&buf[..n]);
+        Ok(n)
+    }
+}
 
 /// Errors from the trace container format.
 #[derive(Debug)]
@@ -49,6 +102,11 @@ fn read_u64<R: Read>(r: &mut R) -> Result<u64, TraceIoError> {
 /// Writes a trace in the binary container format.
 pub fn write_binary<W: Write>(trace: &Trace, w: &mut W) -> Result<(), TraceIoError> {
     w.write_all(MAGIC)?;
+    let mut hw = HashingWriter {
+        inner: w,
+        hash: Fnv1a::new(),
+    };
+    let w = &mut hw;
     w.write_all(&[trace.num_phases])?;
     write_u64(w, trace.records.len() as u64)?;
     write_u64(w, trace.transitions.len() as u64)?;
@@ -68,6 +126,9 @@ pub fn write_binary<W: Write>(trace: &Trace, w: &mut W) -> Result<(), TraceIoErr
         // 4 bytes padding keeps records 24-byte aligned for mmap use.
         w.write_all(&[0u8; 4])?;
     }
+    // Trailer: FNV-1a of everything after the magic.
+    let checksum = hw.hash.0;
+    write_u64(hw.inner, checksum)?;
     Ok(())
 }
 
@@ -78,25 +139,32 @@ pub fn read_binary<R: Read>(r: &mut R) -> Result<Trace, TraceIoError> {
     if &magic != MAGIC {
         return Err(TraceIoError::BadMagic);
     }
+    let mut hr = HashingReader {
+        inner: r,
+        hash: Fnv1a::new(),
+    };
+    let r = &mut hr;
     let mut one = [0u8; 1];
     r.read_exact(&mut one)?;
     let num_phases = one[0];
     let n_records = read_u64(r)? as usize;
     let n_transitions = read_u64(r)? as usize;
     let n_iters = read_u64(r)? as usize;
-    // Sanity bounds before allocating.
+    // Sanity bounds before allocating. These reject the obviously absurd;
+    // the capped `with_capacity` below is what makes a lying-but-plausible
+    // length cost a bounded reservation plus an EOF error, never an OOM.
     if n_records > 1 << 32 || n_transitions > n_records || n_iters > n_records + 1 {
         return Err(TraceIoError::Corrupt("implausible section sizes"));
     }
-    let mut transitions = Vec::with_capacity(n_transitions);
+    let mut transitions = Vec::with_capacity(n_transitions.min(MAX_TRUSTED_CAPACITY));
     for _ in 0..n_transitions {
         transitions.push(read_u64(r)? as usize);
     }
-    let mut iteration_starts = Vec::with_capacity(n_iters);
+    let mut iteration_starts = Vec::with_capacity(n_iters.min(MAX_TRUSTED_CAPACITY));
     for _ in 0..n_iters {
         iteration_starts.push(read_u64(r)? as usize);
     }
-    let mut records = Vec::with_capacity(n_records);
+    let mut records = Vec::with_capacity(n_records.min(MAX_TRUSTED_CAPACITY));
     for _ in 0..n_records {
         let pc = read_u64(r)?;
         let vaddr = read_u64(r)?;
@@ -111,6 +179,12 @@ pub fn read_binary<R: Read>(r: &mut R) -> Result<Trace, TraceIoError> {
             phase: tail[2],
             gap: tail[3],
         });
+    }
+    // Verify the trailer before trusting any of it.
+    let computed = hr.hash.0;
+    let stored = read_u64(hr.inner)?;
+    if stored != computed {
+        return Err(TraceIoError::Corrupt("checksum mismatch"));
     }
     Ok(Trace {
         records,
@@ -188,7 +262,12 @@ mod tests {
         let mut bin = Vec::new();
         write_binary(&t, &mut bin).unwrap();
         let json = serde_json::to_string(&t).unwrap();
-        assert!(bin.len() * 3 < json.len(), "{} vs {}", bin.len(), json.len());
+        assert!(
+            bin.len() * 3 < json.len(),
+            "{} vs {}",
+            bin.len(),
+            json.len()
+        );
     }
 
     #[test]
@@ -206,6 +285,57 @@ mod tests {
         let mut buf = Vec::new();
         write_binary(&t, &mut buf).unwrap();
         buf.truncate(buf.len() / 2);
+        assert!(read_binary(&mut buf.as_slice()).is_err());
+    }
+
+    fn tiny_trace() -> Trace {
+        Trace {
+            records: (0..300u64)
+                .map(|i| MemRecord {
+                    pc: 0x400000 + i,
+                    vaddr: 0x1000 + i * 64,
+                    core: (i % 4) as u8,
+                    is_write: i % 7 == 0,
+                    phase: (i % 3) as u8,
+                    gap: 2,
+                    dep: i % 5 == 0,
+                })
+                .collect(),
+            num_phases: 3,
+            transitions: vec![100, 200],
+            iteration_starts: vec![0, 150],
+        }
+    }
+
+    #[test]
+    fn any_flipped_byte_is_detected() {
+        let t = tiny_trace();
+        let mut buf = Vec::new();
+        write_binary(&t, &mut buf).unwrap();
+        // Every sampled single-byte flip — header, counts, payload, or the
+        // checksum trailer itself — must surface as an error, never as
+        // silently different data and never as a panic or huge allocation.
+        for i in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[i] ^= 0x40;
+            assert!(
+                read_binary(&mut bad.as_slice()).is_err(),
+                "flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn lying_record_count_fails_fast_without_huge_allocation() {
+        // A header claiming 2^31 records (plausible per the sanity bound)
+        // over an empty body must fail with EOF after a bounded capacity
+        // reservation — not attempt a ~50 GB Vec.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.push(1);
+        buf.extend_from_slice(&(1u64 << 31).to_le_bytes()); // records
+        buf.extend_from_slice(&0u64.to_le_bytes()); // transitions
+        buf.extend_from_slice(&0u64.to_le_bytes()); // iteration starts
         assert!(read_binary(&mut buf.as_slice()).is_err());
     }
 

@@ -21,6 +21,8 @@
 //! assert_eq!(out.trace.num_phases, 2); // Scatter, Gather
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
+
 pub mod apps;
 pub mod gpop;
 pub mod io;

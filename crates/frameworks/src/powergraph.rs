@@ -106,7 +106,7 @@ pub fn run(
             let lo = (core * verts_per_core).min(n);
             let hi = ((core + 1) * verts_per_core).min(n);
             for v in lo..hi {
-                if (v - lo) % SCHED_CHUNK == 0 {
+                if (v - lo).is_multiple_of(SCHED_CHUNK) {
                     for j in 0..24u64 {
                         rec.log(
                             core,
@@ -215,8 +215,8 @@ pub fn run(
         for core in 0..num_cores {
             let lo = (core * verts_per_core).min(n);
             let hi = ((core + 1) * verts_per_core).min(n);
-            for v in lo..hi {
-                if !(changed_set[v] || prog.always_active()) {
+            for (v, &changed) in changed_set.iter().enumerate().take(hi).skip(lo) {
+                if !(changed || prog.always_active()) {
                     continue;
                 }
                 rec.log(
@@ -245,8 +245,8 @@ pub fn run(
         }
         tb.commit_phase(rec);
         let _ = next_active; // notification flags exist for their memory trace
-        // Gather pulls messages from in-neighbors that *changed* this round,
-        // so the changed set is the next frontier (PR stays always-active).
+                             // Gather pulls messages from in-neighbors that *changed* this round,
+                             // so the changed set is the next frontier (PR stays always-active).
         active = changed_set;
     }
     values
@@ -380,7 +380,7 @@ mod tests {
     use mpgraph_graph::{rmat, RmatConfig};
 
     fn run_app(app: App, g: &Csr, iters: usize) -> (Vec<f32>, crate::trace::Trace) {
-        let prog = apps::program_for(app, g, 0);
+        let prog = apps::program_for(app, g, 0).unwrap();
         let mut tb = TraceBuilder::new(NUM_PHASES, 4, 7, usize::MAX);
         let vals = run(g, prog.as_ref(), iters, &mut tb);
         (vals, tb.finish())

@@ -85,12 +85,7 @@ pub struct RunOutput {
 ///
 /// CC and TC operate on the symmetrized graph (as the real frameworks
 /// preprocess undirected inputs); the other apps use the graph as given.
-pub fn generate_trace(
-    framework: Framework,
-    app: App,
-    graph: &Csr,
-    cfg: &TraceConfig,
-) -> RunOutput {
+pub fn generate_trace(framework: Framework, app: App, graph: &Csr, cfg: &TraceConfig) -> RunOutput {
     assert!(
         framework.apps().contains(&app),
         "{} does not ship {} (Table 1)",
@@ -113,17 +108,23 @@ pub fn generate_trace(
     );
     let values = match (framework, app) {
         (Framework::PowerGraph, App::Tc) => powergraph::run_tc(g, cfg.iterations, &mut tb),
-        (Framework::Gpop, _) => {
-            let prog = apps::program_for(app, g, cfg.source);
-            gpop::run(g, prog.as_ref(), cfg.gpop_partitions, cfg.iterations, &mut tb)
-        }
-        (Framework::XStream, _) => {
-            let prog = apps::program_for(app, g, cfg.source);
-            xstream::run(g, prog.as_ref(), cfg.iterations, &mut tb)
-        }
-        (Framework::PowerGraph, _) => {
-            let prog = apps::program_for(app, g, cfg.source);
-            powergraph::run(g, prog.as_ref(), cfg.iterations, &mut tb)
+        (fw, app) => {
+            // TC only ships on PowerGraph (Table 1 guard above), so every
+            // remaining app has a vertex-program form.
+            let Some(prog) = apps::program_for(app, g, cfg.source) else {
+                unreachable!("{} does not ship {}", fw.name(), app.name())
+            };
+            match fw {
+                Framework::Gpop => gpop::run(
+                    g,
+                    prog.as_ref(),
+                    cfg.gpop_partitions,
+                    cfg.iterations,
+                    &mut tb,
+                ),
+                Framework::XStream => xstream::run(g, prog.as_ref(), cfg.iterations, &mut tb),
+                Framework::PowerGraph => powergraph::run(g, prog.as_ref(), cfg.iterations, &mut tb),
+            }
         }
     };
     RunOutput {

@@ -87,10 +87,7 @@ pub struct Trace {
 impl Trace {
     /// Total instruction count modelled by the trace (memory + gaps).
     pub fn instruction_count(&self) -> u64 {
-        self.records
-            .iter()
-            .map(|r| 1 + r.gap as u64)
-            .sum()
+        self.records.iter().map(|r| 1 + r.gap as u64).sum()
     }
 
     /// Slice of records belonging to iteration `i`.
@@ -255,7 +252,7 @@ pub fn interleave_phase(rec: PhaseRecorder, rng: &mut ChaCha8Rng, out: &mut Vec<
     let mut remaining = total;
     while remaining > 0 {
         // Occasionally drift rates to model OS scheduling noise.
-        if remaining % 64 == 0 {
+        if remaining.is_multiple_of(64) {
             for r in rates.iter_mut() {
                 *r = (*r * 0.9 + rng.gen::<f64>() * 0.6).clamp(0.2, 2.0);
             }
@@ -281,13 +278,17 @@ pub fn interleave_phase(rec: PhaseRecorder, rng: &mut ChaCha8Rng, out: &mut Vec<
         }
         if chosen == usize::MAX {
             // Floating-point slack: take the last non-exhausted core.
-            chosen = rec
+            // `remaining > 0` guarantees one exists; bail out defensively
+            // rather than panic if the invariant is ever violated.
+            match rec
                 .buffers
                 .iter()
                 .enumerate()
                 .rfind(|(c, b)| cursors[*c] < b.len())
-                .map(|(c, _)| c)
-                .unwrap();
+            {
+                Some((c, _)) => chosen = c,
+                None => break,
+            }
         }
         // Emit a small burst from the chosen core: threads run many
         // instructions between context interleavings.
@@ -382,7 +383,8 @@ mod tests {
             core: 0,
             is_write: false,
             phase: 0,
-            gap: 3, dep: false,
+            gap: 3,
+            dep: false,
         };
         assert_eq!(r.block(), 0x1234_5678 / 64);
         assert_eq!(r.page(), 0x1234_5678 / 4096);

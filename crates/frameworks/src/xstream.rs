@@ -230,7 +230,7 @@ mod tests {
     use mpgraph_graph::{rmat, RmatConfig};
 
     fn run_app(app: App, g: &Csr, iters: usize) -> (Vec<f32>, crate::trace::Trace) {
-        let prog = apps::program_for(app, g, 0);
+        let prog = apps::program_for(app, g, 0).unwrap();
         let mut tb = TraceBuilder::new(NUM_PHASES, 4, 7, usize::MAX);
         let vals = run(g, prog.as_ref(), iters, &mut tb);
         (vals, tb.finish())

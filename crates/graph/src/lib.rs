@@ -11,6 +11,8 @@
 //! vertex id space) is what shapes the memory access streams the prefetchers
 //! are trained and evaluated on.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
+
 pub mod csr;
 pub mod edgelist;
 pub mod rmat;

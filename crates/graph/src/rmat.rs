@@ -76,12 +76,7 @@ fn sample_edge(cfg: &RmatConfig, rng: &mut ChaCha8Rng) -> (VertexId, VertexId) {
                 p
             }
         };
-        let (a, b, c, d) = (
-            jitter(cfg.a),
-            jitter(cfg.b),
-            jitter(cfg.c),
-            jitter(cfg.d()),
-        );
+        let (a, b, c, d) = (jitter(cfg.a), jitter(cfg.b), jitter(cfg.c), jitter(cfg.d()));
         let total = a + b + c + d;
         let r = rng.gen::<f64>() * total;
         let half = 1u64 << (cfg.scale - 1 - level);

@@ -91,7 +91,7 @@ pub fn standin(dataset: Dataset, scale_div: usize, seed: u64) -> Csr {
         Dataset::RoadCa => road_network(n, m, seed),
         Dataset::Rmat => {
             // Round n up to a power of two as R-MAT requires.
-            let scale = (usize::BITS - (n - 1).leading_zeros()) as u32;
+            let scale = usize::BITS - (n - 1).leading_zeros();
             crate::rmat(crate::RmatConfig::new(scale, m, seed))
         }
         Dataset::Amazon => chung_lu(n, m, 2.8, seed),

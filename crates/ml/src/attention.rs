@@ -112,7 +112,7 @@ pub struct MultiHeadAttention {
 
 impl MultiHeadAttention {
     pub fn new(dim: usize, num_heads: usize, rng: &mut ChaCha8Rng) -> Self {
-        assert!(dim % num_heads == 0, "dim must divide by heads");
+        assert!(dim.is_multiple_of(num_heads), "dim must divide by heads");
         let head_dim = dim / num_heads;
         MultiHeadAttention {
             heads: (0..num_heads)
@@ -253,8 +253,8 @@ mod tests {
             xp.data[i] += eps;
             let mut xm = x.clone();
             xm.data[i] -= eps;
-            let num = (weighted_sum(&a.infer(&xp), &w) - weighted_sum(&a.infer(&xm), &w))
-                / (2.0 * eps);
+            let num =
+                (weighted_sum(&a.infer(&xp), &w) - weighted_sum(&a.infer(&xm), &w)) / (2.0 * eps);
             assert!(
                 (num - dx.data[i]).abs() < 3e-2,
                 "idx {i}: {num} vs {}",

@@ -1,0 +1,256 @@
+//! Training-loop resilience: weight checkpointing with NaN/divergence
+//! rollback.
+//!
+//! Small-model training is usually stable, but a hostile trace (corrupted
+//! records, adversarial address patterns) or an aggressive learning rate
+//! can blow a loss up to `inf`/`NaN` mid-run — and one non-finite update
+//! poisons every weight it touches. A [`TrainGuard`] snapshots the guarded
+//! modules' parameters every `checkpoint_interval` steps; when the caller
+//! reports a non-finite (or diverging) loss, the guard restores the last
+//! snapshot, halves the learning rate, and lets training continue from
+//! known-good weights. After `max_rollbacks` restores the guard reports
+//! itself exhausted so the caller can stop wasting epochs.
+
+use crate::layers::Module;
+
+/// Deep copy of one module's parameter state (weights + Adam moments).
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    tensors: Vec<(Vec<f32>, Vec<f32>, Vec<f32>)>, // (w, m, v) per Param
+}
+
+/// Captures the current parameters of `module`.
+pub fn snapshot(module: &mut dyn Module) -> Snapshot {
+    let mut tensors = Vec::new();
+    module.for_each_param(&mut |p| {
+        tensors.push((p.w.data.clone(), p.m.clone(), p.v.clone()));
+    });
+    Snapshot { tensors }
+}
+
+/// Restores `module`'s parameters from `snap`. Returns `false` (leaving the
+/// module untouched beyond already-matching tensors) if the snapshot's
+/// shape does not match the module.
+pub fn restore(module: &mut dyn Module, snap: &Snapshot) -> bool {
+    // Validate first: count and lengths must match.
+    let mut lens = Vec::new();
+    module.for_each_param(&mut |p| lens.push(p.w.data.len()));
+    if lens.len() != snap.tensors.len()
+        || lens
+            .iter()
+            .zip(snap.tensors.iter())
+            .any(|(&l, (w, _, _))| l != w.len())
+    {
+        return false;
+    }
+    let mut i = 0usize;
+    module.for_each_param(&mut |p| {
+        let (w, m, v) = &snap.tensors[i];
+        p.w.data.copy_from_slice(w);
+        p.m.copy_from_slice(m);
+        p.v.copy_from_slice(v);
+        p.g.data.fill(0.0);
+        i += 1;
+    });
+    true
+}
+
+/// What [`TrainGuard::observe`] decided about the step just taken.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GuardAction {
+    /// Loss is sane; training proceeds.
+    Continue,
+    /// Loss was non-finite or diverging: weights were restored to the last
+    /// checkpoint and the learning rate halved to `new_lr`.
+    RolledBack { new_lr: f32 },
+    /// Rollback budget exhausted; weights were restored one final time but
+    /// the caller should stop training this model.
+    Exhausted,
+}
+
+/// NaN/divergence watchdog for one family of modules trained together.
+#[derive(Debug, Clone)]
+pub struct TrainGuard {
+    /// Steps between checkpoints.
+    pub checkpoint_interval: usize,
+    /// Rollbacks allowed before the guard declares the run unsalvageable.
+    pub max_rollbacks: u32,
+    /// A finite loss above this absolute value counts as divergence.
+    pub divergence_limit: f32,
+    steps: usize,
+    since_checkpoint: usize,
+    pub rollbacks: u32,
+    snaps: Vec<Snapshot>,
+}
+
+impl TrainGuard {
+    pub fn new(checkpoint_interval: usize) -> Self {
+        TrainGuard {
+            checkpoint_interval: checkpoint_interval.max(1),
+            max_rollbacks: 8,
+            divergence_limit: 1e6,
+            steps: 0,
+            since_checkpoint: usize::MAX, // force a checkpoint on first observe
+            rollbacks: 0,
+            snaps: Vec::new(),
+        }
+    }
+
+    /// Whether the rollback budget is spent.
+    pub fn exhausted(&self) -> bool {
+        self.rollbacks >= self.max_rollbacks
+    }
+
+    /// Steps observed so far.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    fn checkpoint(&mut self, modules: &mut [&mut dyn Module]) {
+        self.snaps = modules.iter_mut().map(|m| snapshot(*m)).collect();
+        self.since_checkpoint = 0;
+    }
+
+    fn rollback(&mut self, modules: &mut [&mut dyn Module]) {
+        for (m, s) in modules.iter_mut().zip(self.snaps.iter()) {
+            restore(*m, s);
+        }
+    }
+
+    /// Reports the loss of the step just applied to `modules`, with `lr` as
+    /// the live learning rate (halved in place on rollback). Checkpoints on
+    /// schedule when the loss is sane; restores and halves `lr` when it is
+    /// not.
+    pub fn observe(
+        &mut self,
+        loss: f32,
+        modules: &mut [&mut dyn Module],
+        lr: &mut f32,
+    ) -> GuardAction {
+        self.steps += 1;
+        let bad = !loss.is_finite() || loss.abs() > self.divergence_limit;
+        if bad {
+            if self.snaps.is_empty() {
+                // Nothing to restore (first-step blowup): halve and go on.
+                *lr *= 0.5;
+                self.rollbacks += 1;
+            } else {
+                self.rollback(modules);
+                *lr *= 0.5;
+                self.rollbacks += 1;
+            }
+            return if self.exhausted() {
+                GuardAction::Exhausted
+            } else {
+                GuardAction::RolledBack { new_lr: *lr }
+            };
+        }
+        self.since_checkpoint = self.since_checkpoint.saturating_add(1);
+        if self.since_checkpoint >= self.checkpoint_interval {
+            self.checkpoint(modules);
+        }
+        GuardAction::Continue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Linear;
+    use crate::tensor::{rng, Matrix};
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut r = rng(1);
+        let mut l = Linear::new(3, 2, &mut r);
+        let before = l.w.w.data.clone();
+        let snap = snapshot(&mut l);
+        for x in l.w.w.data.iter_mut() {
+            *x = f32::NAN;
+        }
+        assert!(restore(&mut l, &snap));
+        assert_eq!(l.w.w.data, before);
+        assert!(l.w.w.data.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn restore_rejects_shape_mismatch() {
+        let mut r = rng(2);
+        let mut small = Linear::new(2, 2, &mut r);
+        let mut big = Linear::new(4, 4, &mut r);
+        let snap = snapshot(&mut small);
+        assert!(!restore(&mut big, &snap));
+    }
+
+    #[test]
+    fn nan_loss_rolls_back_and_halves_lr() {
+        let mut r = rng(3);
+        let mut l = Linear::new(2, 2, &mut r);
+        let mut guard = TrainGuard::new(1);
+        let mut lr = 0.1f32;
+        // Healthy step: checkpoints.
+        assert_eq!(
+            guard.observe(0.5, &mut [&mut l], &mut lr),
+            GuardAction::Continue
+        );
+        let good = l.w.w.data.clone();
+        // Poison the weights, then report a NaN loss.
+        for x in l.w.w.data.iter_mut() {
+            *x = f32::INFINITY;
+        }
+        let action = guard.observe(f32::NAN, &mut [&mut l], &mut lr);
+        assert_eq!(action, GuardAction::RolledBack { new_lr: 0.05 });
+        assert_eq!(l.w.w.data, good, "weights not restored");
+        assert_eq!(lr, 0.05);
+        assert_eq!(guard.rollbacks, 1);
+    }
+
+    #[test]
+    fn divergence_counts_as_bad() {
+        let mut r = rng(4);
+        let mut l = Linear::new(2, 2, &mut r);
+        let mut guard = TrainGuard::new(1);
+        let mut lr = 0.1f32;
+        guard.observe(1.0, &mut [&mut l], &mut lr);
+        let action = guard.observe(1e9, &mut [&mut l], &mut lr);
+        assert!(matches!(action, GuardAction::RolledBack { .. }));
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let mut r = rng(5);
+        let mut l = Linear::new(2, 2, &mut r);
+        let mut guard = TrainGuard::new(1);
+        guard.max_rollbacks = 3;
+        let mut lr = 0.1f32;
+        guard.observe(1.0, &mut [&mut l], &mut lr);
+        let mut last = GuardAction::Continue;
+        for _ in 0..3 {
+            last = guard.observe(f32::NAN, &mut [&mut l], &mut lr);
+        }
+        assert_eq!(last, GuardAction::Exhausted);
+        assert!(guard.exhausted());
+        // lr halved three times.
+        assert!((lr - 0.0125).abs() < 1e-6);
+    }
+
+    #[test]
+    fn checkpoints_follow_the_interval() {
+        let mut r = rng(6);
+        let mut l = Linear::new(2, 2, &mut r);
+        let mut guard = TrainGuard::new(4);
+        let mut lr = 0.1f32;
+        // First observe always checkpoints; mutate, then three more sane
+        // steps (no checkpoint yet), then a NaN: restore goes to the state
+        // at step 1, not the latest.
+        guard.observe(1.0, &mut [&mut l], &mut lr);
+        let at_checkpoint = l.w.w.data.clone();
+        l.w.w.data[0] += 1.0;
+        for _ in 0..2 {
+            guard.observe(1.0, &mut [&mut l], &mut lr);
+        }
+        guard.observe(f32::NAN, &mut [&mut l], &mut lr);
+        assert_eq!(l.w.w.data, at_checkpoint);
+        let _ = Matrix::zeros(1, 1);
+    }
+}

@@ -279,8 +279,8 @@ impl LayerNorm {
             let mean = row.iter().sum::<f32>() / d as f32;
             let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
             let inv = 1.0 / (var + self.eps).sqrt();
-            for c in 0..d {
-                xhat.data[r * d + c] = (row[c] - mean) * inv;
+            for (c, &v) in row.iter().enumerate() {
+                xhat.data[r * d + c] = (v - mean) * inv;
             }
             means.push(mean);
             inv_stds.push(inv);
@@ -303,9 +303,8 @@ impl LayerNorm {
             let mean = row.iter().sum::<f32>() / d as f32;
             let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
             let inv = 1.0 / (var + self.eps).sqrt();
-            for c in 0..d {
-                y.data[r * d + c] = (row[c] - mean) * inv * self.gamma.w.data[c]
-                    + self.beta.w.data[c];
+            for (c, &v) in row.iter().enumerate() {
+                y.data[r * d + c] = (v - mean) * inv * self.gamma.w.data[c] + self.beta.w.data[c];
             }
         }
         y
@@ -316,7 +315,7 @@ impl LayerNorm {
         let d = dy.cols as f32;
         let cols = dy.cols;
         let mut dx = Matrix::zeros(dy.rows, cols);
-        for r in 0..dy.rows {
+        for (r, &inv) in inv_stds.iter().enumerate() {
             // Accumulate parameter grads.
             for c in 0..cols {
                 self.gamma.g.data[c] += dy.at(r, c) * xhat.at(r, c);
@@ -332,10 +331,9 @@ impl LayerNorm {
                 .zip(xhat.row(r).iter())
                 .map(|(a, b)| a * b)
                 .sum();
-            let inv = inv_stds[r];
-            for c in 0..cols {
-                dx.data[r * cols + c] = inv / d
-                    * (d * dxhat[c] - sum_dxhat - xhat.at(r, c) * sum_dxhat_xhat);
+            for (c, &dxh) in dxhat.iter().enumerate() {
+                dx.data[r * cols + c] =
+                    inv / d * (d * dxh - sum_dxhat - xhat.at(r, c) * sum_dxhat_xhat);
             }
         }
         dx

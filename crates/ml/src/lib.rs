@@ -33,7 +33,10 @@
 //! assert!((layer.w.w.data[0] - 3.0).abs() < 0.1);
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
+
 pub mod attention;
+pub mod guard;
 pub mod layers;
 pub mod loss;
 pub mod lstm;
@@ -45,6 +48,7 @@ pub mod tensor;
 pub mod transformer;
 
 pub use attention::{MultiHeadAttention, SelfAttention};
+pub use guard::{GuardAction, TrainGuard};
 pub use layers::{Embedding, LayerNorm, Linear, Module, Param, Relu, Sigmoid};
 pub use loss::{bce_with_logits, distillation_loss, softmax_cross_entropy};
 pub use lstm::Lstm;

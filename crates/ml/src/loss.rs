@@ -77,10 +77,7 @@ pub fn distillation_loss(
 
 /// Binary-vector distillation for the BCE (multi-label) head: student
 /// matches the teacher's per-label sigmoid probabilities.
-pub fn binary_distillation_loss(
-    student_logits: &Matrix,
-    teacher_logits: &Matrix,
-) -> (f32, Matrix) {
+pub fn binary_distillation_loss(student_logits: &Matrix, teacher_logits: &Matrix) -> (f32, Matrix) {
     assert_eq!(student_logits.data.len(), teacher_logits.data.len());
     let n = student_logits.data.len() as f32;
     let mut grad = Matrix::zeros(student_logits.rows, student_logits.cols);
@@ -121,8 +118,8 @@ mod tests {
             zp.data[i] += eps;
             let mut zm = z.clone();
             zm.data[i] -= eps;
-            let num = (bce_with_logits(&zp, &targets).0 - bce_with_logits(&zm, &targets).0)
-                / (2.0 * eps);
+            let num =
+                (bce_with_logits(&zp, &targets).0 - bce_with_logits(&zm, &targets).0) / (2.0 * eps);
             assert!((num - g.data[i]).abs() < 1e-3, "{num} vs {}", g.data[i]);
         }
     }
@@ -138,8 +135,8 @@ mod tests {
             zp.data[i] += eps;
             let mut zm = z.clone();
             zm.data[i] -= eps;
-            let num = (softmax_cross_entropy(&zp, &t).0 - softmax_cross_entropy(&zm, &t).0)
-                / (2.0 * eps);
+            let num =
+                (softmax_cross_entropy(&zp, &t).0 - softmax_cross_entropy(&zm, &t).0) / (2.0 * eps);
             assert!((num - g.data[i]).abs() < 1e-3, "{num} vs {}", g.data[i]);
         }
     }

@@ -57,12 +57,7 @@ impl Lstm {
         self.hidden
     }
 
-    fn step(
-        &self,
-        x: &[f32],
-        h_prev: &[f32],
-        c_prev: &[f32],
-    ) -> (StepCache, Vec<f32>, Vec<f32>) {
+    fn step(&self, x: &[f32], h_prev: &[f32], c_prev: &[f32]) -> (StepCache, Vec<f32>, Vec<f32>) {
         let h = self.hidden;
         let mut z = self.b.w.data.clone();
         for (k, &xv) in x.iter().enumerate() {
@@ -168,8 +163,7 @@ impl Lstm {
             let mut dc = vec![0.0f32; h];
             for j in 0..h {
                 let do_ = dh[j] * cache.tanh_c[j];
-                dc[j] = dh[j] * cache.o[j] * (1.0 - cache.tanh_c[j] * cache.tanh_c[j])
-                    + dc_next[j];
+                dc[j] = dh[j] * cache.o[j] * (1.0 - cache.tanh_c[j] * cache.tanh_c[j]) + dc_next[j];
                 let di = dc[j] * cache.g[j];
                 let df = dc[j] * cache.c_prev[j];
                 let dg = dc[j] * cache.i[j];
@@ -332,7 +326,9 @@ mod tests {
         let mut l = Lstm::new(1, 8, &mut r);
         let mut head = crate::layers::Linear::new(8, 1, &mut r);
         let mut opt = Adam::new(0.02);
-        let seq: Vec<f32> = (0..20).map(|i| if i % 3 == 0 { 1.0 } else { -1.0 }).collect();
+        let seq: Vec<f32> = (0..20)
+            .map(|i| if i % 3 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let x = Matrix::from_vec(seq.len(), 1, seq.clone());
         // Target: shifted input.
         let mut target = vec![0.0f32];

@@ -52,7 +52,7 @@ impl Pca {
         let (eigvals, eigvecs) = jacobi_eigen(&mut cov, d);
         // Sort by descending eigenvalue.
         let mut order: Vec<usize> = (0..d).collect();
-        order.sort_by(|&a, &b| eigvals[b].partial_cmp(&eigvals[a]).unwrap());
+        order.sort_by(|&a, &b| eigvals[b].total_cmp(&eigvals[a]));
         let mut components = Matrix::zeros(k, d);
         let mut explained = Vec::with_capacity(k);
         for (out_r, &src) in order.iter().take(k).enumerate() {
@@ -157,8 +157,8 @@ mod tests {
         let mut data = Matrix::zeros(200, 2);
         for i in 0..200 {
             let t: f32 = r.gen_range(-1.0..1.0);
-            data.data[i * 2] = t + r.gen_range(-0.01..0.01);
-            data.data[i * 2 + 1] = 2.0 * t + r.gen_range(-0.01..0.01);
+            data.data[i * 2] = t + r.gen_range(-0.01f32..0.01);
+            data.data[i * 2 + 1] = 2.0 * t + r.gen_range(-0.01f32..0.01);
         }
         let pca = Pca::fit(&data, 2);
         let c = pca.components.row(0);
@@ -208,7 +208,7 @@ mod tests {
         let mut data = Matrix::zeros(100, 3);
         for i in 0..100 {
             let base = if i < 50 { 0.0 } else { 10.0 };
-            data.data[i * 3] = base + r.gen_range(-0.5..0.5);
+            data.data[i * 3] = base + r.gen_range(-0.5f32..0.5);
             data.data[i * 3 + 1] = r.gen_range(-0.5..0.5);
             data.data[i * 3 + 2] = r.gen_range(-0.5..0.5);
         }

@@ -20,7 +20,11 @@ fn check(
 ) -> f32 {
     let eps = 1e-2f32;
     let loss = |m: &Matrix, f: &mut dyn FnMut(&Matrix) -> Matrix| -> f32 {
-        f(m).data.iter().zip(w.data.iter()).map(|(a, b)| a * b).sum()
+        f(m).data
+            .iter()
+            .zip(w.data.iter())
+            .map(|(a, b)| a * b)
+            .sum()
     };
     let mut worst = 0.0f32;
     for &i in coords {

@@ -94,9 +94,12 @@ impl DecisionTree {
         // to at most 32 candidates to bound fit time).
         let num_features = features[idx[0]].len();
         let mut best: Option<(usize, f32, f64)> = None;
+        // `f` indexes the inner dimension across many outer rows, so an
+        // iterator form would obscure the access pattern.
+        #[allow(clippy::needless_range_loop)]
         for f in 0..num_features {
             let mut vals: Vec<f32> = idx.iter().map(|&i| features[i][f]).collect();
-            vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            vals.sort_by(|a, b| a.total_cmp(b));
             vals.dedup();
             if vals.len() < 2 {
                 continue;
@@ -119,7 +122,7 @@ impl DecisionTree {
                     continue;
                 }
                 let weighted = (ln as f64 * gini(&lc) + rn as f64 * gini(&rc)) / idx.len() as f64;
-                if best.map_or(true, |(_, _, g)| weighted < g) {
+                if best.is_none_or(|(_, _, g)| weighted < g) {
                     best = Some((f, thr, weighted));
                 }
             }
@@ -134,8 +137,7 @@ impl DecisionTree {
             self.nodes.push(Node::Leaf { class });
             return self.nodes.len() - 1;
         }
-        let (li, ri): (Vec<usize>, Vec<usize>) =
-            idx.iter().partition(|&&i| features[i][f] <= thr);
+        let (li, ri): (Vec<usize>, Vec<usize>) = idx.iter().partition(|&&i| features[i][f] <= thr);
         // Reserve this node's slot, then build children.
         let slot = self.nodes.len();
         self.nodes.push(Node::Leaf { class: 0 }); // placeholder
@@ -164,7 +166,11 @@ impl DecisionTree {
                     left,
                     right,
                 } => {
-                    n = if x[*feature] <= *threshold { *left } else { *right };
+                    n = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }

@@ -68,7 +68,7 @@ pub fn detection_lag(
         return (0.0, 0);
     }
     let mean = lags.iter().sum::<usize>() as f64 / lags.len() as f64;
-    (mean, *lags.iter().max().unwrap())
+    (mean, lags.iter().copied().max().unwrap_or(0))
 }
 
 #[cfg(test)]

@@ -6,8 +6,8 @@ pub fn ks_statistic(a: &[f64], b: &[f64]) -> f64 {
     assert!(!a.is_empty() && !b.is_empty(), "empty sample");
     let mut sa = a.to_vec();
     let mut sb = b.to_vec();
-    sa.sort_by(|x, y| x.partial_cmp(y).unwrap());
-    sb.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    sa.sort_by(|x, y| x.total_cmp(y));
+    sb.sort_by(|x, y| x.total_cmp(y));
     let (na, nb) = (sa.len() as f64, sb.len() as f64);
     let (mut i, mut j) = (0usize, 0usize);
     let mut d: f64 = 0.0;

@@ -14,6 +14,8 @@
 //! All detectors consume only the PC stream, which clusters by phase
 //! (Figure 2b) — they never see the ground-truth labels online.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
+
 pub mod detector;
 pub mod dtree;
 pub mod eval;

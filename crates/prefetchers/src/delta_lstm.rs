@@ -219,7 +219,8 @@ mod tests {
             core: 0,
             is_write: false,
             phase: 0,
-            gap: 1, dep: false,
+            gap: 1,
+            dep: false,
         }
     }
 

@@ -11,6 +11,8 @@
 //!   offline on the first trace iteration and deployed online, exactly as
 //!   the paper's workflow (Figure 6) prescribes.
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
+
 pub mod best_offset;
 pub mod delta_lstm;
 pub mod isb;

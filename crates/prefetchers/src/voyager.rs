@@ -86,8 +86,7 @@ impl Voyager {
         }
         // Concatenate with per-core sampling: windows never straddle cores.
         let t = tc.history;
-        let seqs: Vec<&Vec<(usize, usize)>> =
-            per_core.iter().filter(|s| s.len() > t + 1).collect();
+        let seqs: Vec<&Vec<(usize, usize)>> = per_core.iter().filter(|s| s.len() > t + 1).collect();
         let total: usize = seqs.iter().map(|s| s.len()).sum();
         let usable = total.saturating_sub((t + 1) * seqs.len().max(1));
         let stride = (usable / tc.max_samples.max(1)).max(1);
@@ -106,7 +105,11 @@ impl Voyager {
                 let i = &mut cursors[which % seqs.len()];
                 which += 1;
                 if *i + t >= s.len() {
-                    if cursors.iter().zip(seqs.iter()).all(|(c, s)| c + t >= s.len()) {
+                    if cursors
+                        .iter()
+                        .zip(seqs.iter())
+                        .all(|(c, s)| c + t >= s.len())
+                    {
                         break;
                     }
                     continue;
@@ -147,20 +150,19 @@ impl Voyager {
                 let d_off_in = offset_head.backward(&dol);
                 let (d_o_last_head, d_ctx) = {
                     let top = Matrix::from_vec(1, cfg.hidden, d_off_in.data[..cfg.hidden].to_vec());
-                    let bot =
-                        Matrix::from_vec(1, cfg.hidden, d_off_in.data[cfg.hidden..].to_vec());
+                    let bot = Matrix::from_vec(1, cfg.hidden, d_off_in.data[cfg.hidden..].to_vec());
                     (top, bot)
                 };
                 // ctx = attn @ ph
                 let d_attn = d_ctx.matmul_bt(&ph); // [1, T]
-                // attn^T [T,1] @ d_ctx [1,H] → [T,H]
+                                                   // attn^T [T,1] @ d_ctx [1,H] → [T,H]
                 let d_ph_from_ctx_init = attn.matmul_at(&d_ctx);
                 let mut d_scores = Matrix::softmax_rows_backward(&attn, &d_attn);
                 d_scores.scale(1.0 / (cfg.hidden as f32).sqrt());
                 // scores[0, j] = ph[j] · o_last
                 let d_ph_from_scores = d_scores.transpose().matmul(&o_last); // [T, H]
                 let d_o_last_attn = d_scores.matmul(&ph); // [1, H]
-                // Accumulate page-LSTM output grads.
+                                                          // Accumulate page-LSTM output grads.
                 let mut d_ph = d_ph_from_ctx_init;
                 d_ph.add_assign(&d_ph_from_scores);
                 d_ph.row_mut(t - 1)
@@ -207,7 +209,12 @@ impl Voyager {
     }
 
     /// Inference: top page tokens and top offsets for the current history.
-    fn predict(&self, hist: &[(usize, usize)], pages_k: usize, offs_k: usize) -> (Vec<usize>, Vec<usize>) {
+    fn predict(
+        &self,
+        hist: &[(usize, usize)],
+        pages_k: usize,
+        offs_k: usize,
+    ) -> (Vec<usize>, Vec<usize>) {
         let t = hist.len();
         let ptoks: Vec<usize> = hist.iter().map(|&(p, _)| p).collect();
         let otoks: Vec<usize> = hist.iter().map(|&(_, o)| o).collect();
@@ -285,7 +292,8 @@ mod tests {
             core: 0,
             is_write: false,
             phase: 0,
-            gap: 1, dep: false,
+            gap: 1,
+            dep: false,
         }
     }
 
@@ -323,10 +331,17 @@ mod tests {
         assert!(model.final_loss < 1.0, "loss {}", model.final_loss);
         // History ending at page 17 → next page 10, offset 5.
         let v = &model.vocab;
-        let hist: Vec<(usize, usize)> = [(10u64, 5usize), (11, 9), (17, 33), (10, 5), (11, 9), (17, 33)]
-            .iter()
-            .map(|&(p, o)| (v.token_of(p), o))
-            .collect();
+        let hist: Vec<(usize, usize)> = [
+            (10u64, 5usize),
+            (11, 9),
+            (17, 33),
+            (10, 5),
+            (11, 9),
+            (17, 33),
+        ]
+        .iter()
+        .map(|&(p, o)| (v.token_of(p), o))
+        .collect();
         let (pages, offs) = model.predict(&hist, 1, 1);
         assert_eq!(v.page_of(pages[0]), Some(10));
         assert_eq!(offs[0], 5);

@@ -74,7 +74,10 @@ impl Cache {
     /// Builds a cache of `size_bytes` with `assoc` ways and 64-byte blocks.
     pub fn new(size_bytes: usize, assoc: usize) -> Self {
         let block = 64usize;
-        assert!(size_bytes % (assoc * block) == 0, "size not divisible");
+        assert!(
+            size_bytes.is_multiple_of(assoc * block),
+            "size not divisible"
+        );
         let num_sets = size_bytes / (assoc * block);
         assert!(num_sets.is_power_of_two(), "sets must be a power of two");
         Cache {
@@ -163,10 +166,7 @@ impl Cache {
             .map(|(i, _)| i)
             .expect("assoc >= 1");
         // Prefer an invalid way outright.
-        let idx = ways
-            .iter()
-            .position(|l| !l.valid)
-            .unwrap_or(victim_idx);
+        let idx = ways.iter().position(|l| !l.valid).unwrap_or(victim_idx);
         let old = ways[idx];
         ways[idx] = Line {
             tag: block,

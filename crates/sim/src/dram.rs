@@ -97,7 +97,7 @@ impl Dram {
             banks: vec![Bank::default(); cfg.channels * cfg.ranks * cfg.banks],
             channel_free: vec![0; cfg.channels],
             cfg,
-        stats: DramStats::default(),
+            stats: DramStats::default(),
         }
     }
 
@@ -190,7 +190,10 @@ mod tests {
         let stride = (cfg.channels * cfg.banks * cfg.ranks) as u64;
         d.request(0, 0);
         let done = d.request(stride, 10_000);
-        assert_eq!(done - 10_000, cfg.t_rp + cfg.t_rcd + cfg.t_cas + cfg.bus_cycles);
+        assert_eq!(
+            done - 10_000,
+            cfg.t_rp + cfg.t_rcd + cfg.t_cas + cfg.bus_cycles
+        );
         assert_eq!(d.stats.row_conflicts, 1);
     }
 

@@ -16,6 +16,7 @@
 
 use crate::cache::{Cache, CacheStats, Lookup};
 use crate::dram::{Dram, DramConfig, DramStats};
+use crate::fault::{FaultInjector, FaultStats};
 use crate::prefetch::{LlcAccess, Prefetcher};
 use mpgraph_frameworks::MemRecord;
 use std::collections::{BinaryHeap, HashMap};
@@ -82,6 +83,8 @@ pub struct SimResult {
     pub late_prefetch_merges: u64,
     /// LLC demand misses that went to DRAM (prefetch hits excluded).
     pub llc_demand_misses: u64,
+    /// Faults injected into this run (all zero for clean runs).
+    pub faults: FaultStats,
 }
 
 impl SimResult {
@@ -119,28 +122,32 @@ impl SimResult {
     }
 }
 
-/// In-flight prefetch bookkeeping: block → cycle at which data arrives.
+/// In-flight prefetch bookkeeping: block → (arrival cycle, issued timely).
+/// `timely` is decided at issue: a prefetch whose inference latency exceeds
+/// an uncontended DRAM round trip could not beat simply fetching on demand,
+/// so a demand merge with it counts as a miss, not a useful prefetch.
 #[derive(Debug, Default)]
 struct InflightPrefetches {
-    map: HashMap<u64, u64>,
+    map: HashMap<u64, (u64, bool)>,
 }
 
 impl InflightPrefetches {
-    fn insert(&mut self, block: u64, ready: u64) {
-        self.map.insert(block, ready);
+    fn insert(&mut self, block: u64, ready: u64, timely: bool) {
+        self.map.insert(block, (ready, timely));
     }
     fn contains(&self, block: u64) -> bool {
         self.map.contains_key(&block)
     }
-    /// If `block` is in flight, returns its ready cycle and retires the
-    /// entry (the line is in the LLC already; only timing remained).
-    fn take_ready(&mut self, block: u64) -> Option<u64> {
+    /// If `block` is in flight, returns its (ready cycle, timely) and
+    /// retires the entry (the line is in the LLC already; only timing
+    /// remained).
+    fn take_ready(&mut self, block: u64) -> Option<(u64, bool)> {
         self.map.remove(&block)
     }
     /// Drops entries that completed long ago to bound the map.
     fn sweep(&mut self, now: u64) {
         if self.map.len() > 4096 {
-            self.map.retain(|_, &mut ready| ready + 10_000 > now);
+            self.map.retain(|_, &mut (ready, _)| ready + 10_000 > now);
         }
     }
 }
@@ -162,6 +169,20 @@ pub fn simulate(
     prefetcher: &mut dyn Prefetcher,
     cfg: &SimConfig,
 ) -> SimResult {
+    simulate_with_faults(trace, prefetcher, cfg, None)
+}
+
+/// [`simulate`] with an optional fault injector threaded through the replay
+/// loop. Pass `None` for a clean run; with `Some(injector)` the engine
+/// perturbs records, prefetch candidates, the prefetcher's observation
+/// stream, and inference timing per the injector's configuration, and the
+/// injected counts come back in [`SimResult::faults`].
+pub fn simulate_with_faults(
+    trace: &[MemRecord],
+    prefetcher: &mut dyn Prefetcher,
+    cfg: &SimConfig,
+    mut faults: Option<&mut FaultInjector>,
+) -> SimResult {
     let mut cores: Vec<CoreState> = (0..cfg.num_cores)
         .map(|_| CoreState {
             cycle: 0,
@@ -180,8 +201,14 @@ pub fn simulate(
     let mut late_merges: u64 = 0;
     let mut llc_demand_misses: u64 = 0;
     let mut pf_candidates: Vec<u64> = Vec::with_capacity(16);
+    let mut misfire_scratch: Vec<u64> = Vec::new();
 
-    for r in trace {
+    for raw in trace {
+        let injected = match faults.as_deref_mut() {
+            Some(inj) => inj.corrupt_record(raw),
+            None => *raw,
+        };
+        let r = &injected;
         let core_id = (r.core as usize).min(cfg.num_cores - 1);
         let core = &mut cores[core_id];
         let block = r.block();
@@ -200,11 +227,13 @@ pub fn simulate(
         // Retire completed misses; stall when the LSQ window is full.
         while let Some(&std::cmp::Reverse(done)) = core.outstanding.peek() {
             if done <= core.cycle || core.outstanding.len() >= cfg.lsq_entries {
-                core.cycle = core.cycle.max(if core.outstanding.len() >= cfg.lsq_entries {
-                    done
-                } else {
-                    core.cycle
-                });
+                core.cycle = core
+                    .cycle
+                    .max(if core.outstanding.len() >= cfg.lsq_entries {
+                        done
+                    } else {
+                        core.cycle
+                    });
                 core.outstanding.pop();
             } else {
                 break;
@@ -237,15 +266,23 @@ pub fn simulate(
         let hit = lookup != Lookup::Miss;
         let completion = match lookup {
             Lookup::HitPrefetched => {
-                prefetches_useful += 1;
                 // If the prefetch is still in flight, the demand pays the
-                // residual latency (a *late* prefetch).
-                if let Some(ready) = inflight.take_ready(block) {
+                // residual latency (a *late* prefetch). Prefetches issued
+                // off a stale inference (see `InflightPrefetches`) count as
+                // demand misses: the data was coming no sooner than a fresh
+                // fetch would have brought it.
+                if let Some((ready, timely)) = inflight.take_ready(block) {
                     if ready > t {
                         late_merges += 1;
                     }
+                    if timely {
+                        prefetches_useful += 1;
+                    } else {
+                        llc_demand_misses += 1;
+                    }
                     t.max(ready)
                 } else {
+                    prefetches_useful += 1;
                     t
                 }
             }
@@ -269,6 +306,22 @@ pub fn simulate(
 
         // --------------------- Prefetcher ---------------------
         pf_candidates.clear();
+        // Detector misfire: a phantom access perturbs the prefetcher's
+        // observation state; anything it predicts off it is discarded.
+        if let Some(inj) = faults.as_deref_mut() {
+            if let Some((fake_pc, fake_block)) = inj.detector_misfire() {
+                misfire_scratch.clear();
+                let phantom = LlcAccess {
+                    pc: fake_pc,
+                    block: fake_block,
+                    core: r.core,
+                    is_write: false,
+                    hit: false,
+                    cycle: core.cycle,
+                };
+                prefetcher.on_access(&phantom, &mut misfire_scratch);
+            }
+        }
         let acc = LlcAccess {
             pc: r.pc,
             block,
@@ -278,7 +331,16 @@ pub fn simulate(
             cycle: core.cycle,
         };
         prefetcher.on_access(&acc, &mut pf_candidates);
-        let issue_at = t + prefetcher.latency();
+        if let Some(inj) = faults.as_deref_mut() {
+            inj.mutate_candidates(&mut pf_candidates);
+        }
+        let stall = faults.as_deref_mut().map_or(0, |inj| inj.inference_stall());
+        let inference_lat = prefetcher.effective_latency(stall);
+        let issue_at = t + inference_lat;
+        // Timeliness bound: an inference slower than an uncontended DRAM
+        // round trip cannot beat a demand fetch for the same line.
+        let timely =
+            inference_lat <= cfg.dram.t_rp + cfg.dram.t_rcd + cfg.dram.t_cas + cfg.dram.bus_cycles;
         let mut issued_now = 0usize;
         for &pf_block in pf_candidates.iter() {
             if issued_now >= cfg.max_prefetch_degree {
@@ -289,7 +351,7 @@ pub fn simulate(
             }
             let ready = dram.request(pf_block, issue_at);
             llc.insert(pf_block, true, false);
-            inflight.insert(pf_block, ready);
+            inflight.insert(pf_block, ready, timely);
             prefetches_issued += 1;
             issued_now += 1;
         }
@@ -329,6 +391,7 @@ pub fn simulate(
         prefetches_useful,
         late_prefetch_merges: late_merges,
         llc_demand_misses,
+        faults: faults.map(|f| f.stats).unwrap_or_default(),
     }
 }
 
@@ -344,7 +407,8 @@ mod tests {
             core,
             is_write: false,
             phase: 0,
-            gap: 3, dep: false,
+            gap: 3,
+            dep: false,
         }
     }
 
@@ -372,7 +436,10 @@ mod tests {
         let ipc = r.ipc();
         // Single-core trace: bounded by the 4-wide front end.
         assert!(ipc > 0.0 && ipc <= 4.0, "ipc {ipc}");
-        assert_eq!(r.instructions, trace.iter().map(|t| 1 + t.gap as u64).sum::<u64>());
+        assert_eq!(
+            r.instructions,
+            trace.iter().map(|t| 1 + t.gap as u64).sum::<u64>()
+        );
     }
 
     #[test]
@@ -495,6 +562,40 @@ mod tests {
             "prefetch {} vs dep {}",
             with_pf.ipc(),
             dependent.ipc()
+        );
+    }
+
+    #[test]
+    fn fault_injection_reports_and_degrades_gracefully() {
+        use crate::fault::{FaultConfig, FaultInjector};
+        let trace = sequential_trace(20_000);
+        let clean = simulate(&trace, &mut NextLine, &SimConfig::default());
+        let mut inj = FaultInjector::new(FaultConfig {
+            corrupt_record_rate: 0.02,
+            drop_prefetch_rate: 0.3,
+            duplicate_prefetch_rate: 0.1,
+            detector_misfire_rate: 0.05,
+            stall_rate: 0.1,
+            stall_cycles: 5_000,
+            seed: 99,
+        });
+        let faulty =
+            simulate_with_faults(&trace, &mut NextLine, &SimConfig::default(), Some(&mut inj));
+        // Every class fired and is reported through the result.
+        assert!(faulty.faults.records_corrupted > 0);
+        assert!(faulty.faults.prefetches_dropped > 0);
+        assert!(faulty.faults.prefetches_duplicated > 0);
+        assert!(faulty.faults.detector_misfires > 0);
+        assert!(faulty.faults.inference_stalls > 0);
+        // Clean runs report zero faults.
+        assert_eq!(clean.faults.total(), 0);
+        // Dropped prefetches + stalls must hurt, not help.
+        assert!(faulty.coverage() < clean.coverage());
+        // Instruction count is preserved: corruption perturbs addresses,
+        // never loses records.
+        assert_eq!(
+            faulty.instructions,
+            trace.iter().map(|t| 1 + t.gap as u64).sum::<u64>()
         );
     }
 

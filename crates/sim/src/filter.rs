@@ -12,7 +12,10 @@ use mpgraph_frameworks::MemRecord;
 /// prefetcher) and returns the subset of records that reach the shared
 /// LLC, preserving order and all record fields.
 pub fn llc_filter(trace: &[MemRecord], cfg: &SimConfig) -> Vec<MemRecord> {
-    llc_filter_indexed(trace, cfg).into_iter().map(|(_, r)| r).collect()
+    llc_filter_indexed(trace, cfg)
+        .into_iter()
+        .map(|(_, r)| r)
+        .collect()
 }
 
 /// Like [`llc_filter`] but keeps each surviving record's index in the

@@ -24,14 +24,18 @@
 //! assert!(result.ipc() > 0.0);
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
+
 pub mod cache;
 pub mod dram;
 pub mod engine;
+pub mod fault;
 pub mod filter;
 pub mod prefetch;
 
 pub use cache::{Cache, CacheStats, Lookup};
 pub use dram::{Dram, DramConfig, DramStats};
-pub use engine::{simulate, SimConfig, SimResult};
+pub use engine::{simulate, simulate_with_faults, SimConfig, SimResult};
+pub use fault::{FaultConfig, FaultInjector, FaultKind, FaultStats};
 pub use filter::{llc_filter, llc_filter_indexed};
 pub use prefetch::{LlcAccess, NullPrefetcher, Prefetcher};

@@ -53,6 +53,17 @@ pub trait Prefetcher {
     fn latency(&self) -> u64 {
         0
     }
+
+    /// Latency for this access given `injected_stall` extra cycles imposed
+    /// on the *model-inference* path (by the fault harness or a congested
+    /// accelerator). Rule-based prefetchers have no inference path, so the
+    /// default ignores the stall; ML-backed implementations should override
+    /// to pay it — and degradation wrappers can observe it to shed load.
+    /// The engine calls this (not [`Prefetcher::latency`]) when issuing.
+    fn effective_latency(&mut self, injected_stall: u64) -> u64 {
+        let _ = injected_stall;
+        self.latency()
+    }
 }
 
 /// The no-op baseline: IPC with `Null` defines the denominator of "IPC

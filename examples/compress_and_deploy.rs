@@ -6,8 +6,8 @@
 //! Run: `cargo run --release --example compress_and_deploy`
 
 use mpgraph::core::{
-    amma_latency, build_detector, compress, train_mpgraph, AmmaConfig, DetectorChoice,
-    DistillCfg, MpGraphConfig, MpGraphPrefetcher, PageHead,
+    amma_latency, build_detector, compress, train_mpgraph, AmmaConfig, DetectorChoice, DistillCfg,
+    MpGraphConfig, MpGraphPrefetcher, PageHead,
 };
 use mpgraph::frameworks::{generate_trace, App, Framework, TraceConfig};
 use mpgraph::graph::{rmat, RmatConfig};
@@ -61,8 +61,7 @@ fn main() {
         "student: {} params ({:.0}x fewer, {:.0}x smaller storage with int8), latency ≈ {} cycles",
         student_params,
         teacher_params as f64 / student_params as f64,
-        (df_bytes + pf_bytes) as f64 / (di_bytes + pi_bytes) as f64
-            * teacher_params as f64
+        (df_bytes + pf_bytes) as f64 / (di_bytes + pi_bytes) as f64 * teacher_params as f64
             / student_params as f64,
         student_lat
     );
@@ -74,8 +73,7 @@ fn main() {
     let mut student_cfg = cfg;
     student_cfg.latency = student_lat;
     let detector = build_detector(train, 2, DetectorChoice::SoftDt);
-    let mut student =
-        MpGraphPrefetcher::from_parts(sd, sp, detector, student_cfg, 2, tc.history);
+    let mut student = MpGraphPrefetcher::from_parts(sd, sp, detector, student_cfg, 2, tc.history);
     // Distance prefetching hides the remaining latency (§6.2, Figure 14).
     student.dp_distance = 1;
 

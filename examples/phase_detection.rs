@@ -28,10 +28,17 @@ fn main() {
     // Detectors run at the LLC (inside the prefetcher): filter the raw
     // trace through the private caches first, then split train/test.
     let split = trace.iteration_starts[1];
-    let filtered =
-        mpgraph::sim::llc_filter_indexed(&trace.records, &mpgraph::scaled_sim_config());
-    let train_recs: Vec<_> = filtered.iter().filter(|(i, _)| *i < split).map(|(_, r)| *r).collect();
-    let test_recs: Vec<_> = filtered.iter().filter(|(i, _)| *i >= split).map(|(_, r)| *r).collect();
+    let filtered = mpgraph::sim::llc_filter_indexed(&trace.records, &mpgraph::scaled_sim_config());
+    let train_recs: Vec<_> = filtered
+        .iter()
+        .filter(|(i, _)| *i < split)
+        .map(|(_, r)| *r)
+        .collect();
+    let test_recs: Vec<_> = filtered
+        .iter()
+        .filter(|(i, _)| *i >= split)
+        .map(|(_, r)| *r)
+        .collect();
     let train_pcs: Vec<u64> = train_recs.iter().map(|r| r.pc).collect();
     let train_phases: Vec<u8> = train_recs.iter().map(|r| r.phase).collect();
     let pcs: Vec<u64> = test_recs.iter().map(|r| r.pc).collect();
@@ -44,11 +51,7 @@ fn main() {
         pcs.len(),
         truths.len()
     );
-    let min_gap = truths
-        .windows(2)
-        .map(|w| w[1] - w[0])
-        .min()
-        .unwrap_or(1000);
+    let min_gap = truths.windows(2).map(|w| w[1] - w[0]).min().unwrap_or(1000);
 
     let run = |name: &str, det: &mut dyn TransitionDetector| {
         let detections: Vec<usize> = pcs

@@ -55,9 +55,16 @@ fn main() {
 
     // 3. Train MPGraph (Soft-DT detector + AMMA-PS predictors + CSTP).
     let tc = TrainCfg::default();
-    let mut mpgraph =
-        train_mpgraph(&train_llc, trace.num_phases as usize, MpGraphConfig::default(), &tc);
-    println!("trained MPGraph (delta loss {:.3})", mpgraph.delta.final_loss);
+    let mut mpgraph = train_mpgraph(
+        &train_llc,
+        trace.num_phases as usize,
+        MpGraphConfig::default(),
+        &tc,
+    );
+    println!(
+        "trained MPGraph (delta loss {:.3})",
+        mpgraph.delta.final_loss
+    );
 
     // 4. Simulate. The scaled cache hierarchy keeps the graph bigger than
     //    the LLC, as in the paper's setup.

@@ -1,0 +1,175 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the same API shape the workspace's benches use (`Criterion`,
+//! `benchmark_group`, `Throughput`, `black_box`, the `criterion_group!` /
+//! `criterion_main!` macros) with a much simpler measurement loop: each
+//! benchmark is calibrated briefly, then timed for a fixed number of
+//! iterations, and the mean time per iteration is printed. No statistics,
+//! plots, or saved baselines — just enough to run `cargo bench` offline and
+//! eyeball relative numbers.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock spent measuring each benchmark.
+const MEASURE_TARGET: Duration = Duration::from_millis(300);
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one(name: &str, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+    // Calibrate: grow the iteration count until one batch takes >= ~10ms.
+    let mut iters: u64 = 1;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(10) || iters >= 1 << 30 {
+            let target_iters = if b.elapsed.is_zero() {
+                iters
+            } else {
+                let scale = MEASURE_TARGET.as_secs_f64() / b.elapsed.as_secs_f64();
+                ((iters as f64 * scale) as u64).max(1)
+            };
+            let mut m = Bencher {
+                iters: target_iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut m);
+            report(name, throughput, m.iters, m.elapsed);
+            return;
+        }
+        iters = iters.saturating_mul(4);
+    }
+}
+
+fn report(name: &str, throughput: Option<Throughput>, iters: u64, elapsed: Duration) {
+    let per_iter_ns = elapsed.as_nanos() as f64 / iters.max(1) as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) | Some(Throughput::Bytes(n)) if per_iter_ns > 0.0 => {
+            let per_sec = n as f64 * 1e9 / per_iter_ns;
+            format!("  ({per_sec:.3e}/s)")
+        }
+        _ => String::new(),
+    };
+    println!("bench: {name:<40} {per_iter_ns:>14.1} ns/iter{rate}");
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, None, &mut f);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim derives its own iteration
+    /// counts from wall-clock calibration.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(&format!("{}/{name}", self.name), self.throughput, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(1));
+        group.sample_size(10);
+        group.bench_function("add", |b| b.iter(|| black_box(2u64) + black_box(3u64)));
+        group.finish();
+        c.bench_function("mul", |b| b.iter(|| black_box(6u64) * black_box(7u64)));
+    }
+
+    criterion_group!(benches, tiny);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,144 @@
+//! The `rand::distributions` subset used by the workspace: the
+//! [`Distribution`] trait and [`WeightedIndex`] for weighted categorical
+//! sampling (alias-free cumulative-sum implementation — O(log n) sample).
+
+use crate::RngCore;
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error from [`WeightedIndex::new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WeightedError {
+    NoItem,
+    InvalidWeight,
+    AllWeightsZero,
+}
+
+impl std::fmt::Display for WeightedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WeightedError::NoItem => write!(f, "no items to sample from"),
+            WeightedError::InvalidWeight => write!(f, "negative or non-finite weight"),
+            WeightedError::AllWeightsZero => write!(f, "all weights are zero"),
+        }
+    }
+}
+
+impl std::error::Error for WeightedError {}
+
+/// Weighted categorical distribution over indices `0..n`.
+#[derive(Debug, Clone)]
+pub struct WeightedIndex {
+    cumulative: Vec<f64>,
+    total: f64,
+}
+
+/// Weight types accepted by [`WeightedIndex::new`] (by value or reference).
+pub trait IntoWeight {
+    fn weight(self) -> f64;
+}
+
+macro_rules! impl_into_weight {
+    ($($t:ty),*) => {$(
+        impl IntoWeight for $t {
+            fn weight(self) -> f64 {
+                self as f64
+            }
+        }
+        impl IntoWeight for &$t {
+            fn weight(self) -> f64 {
+                *self as f64
+            }
+        }
+    )*};
+}
+impl_into_weight!(f32, f64, u8, u16, u32, u64, usize);
+
+impl WeightedIndex {
+    pub fn new<I>(weights: I) -> Result<Self, WeightedError>
+    where
+        I: IntoIterator,
+        I::Item: IntoWeight,
+    {
+        let mut cumulative = Vec::new();
+        let mut total = 0.0f64;
+        for w in weights {
+            let w: f64 = w.weight();
+            if !w.is_finite() || w < 0.0 {
+                return Err(WeightedError::InvalidWeight);
+            }
+            total += w;
+            cumulative.push(total);
+        }
+        if cumulative.is_empty() {
+            return Err(WeightedError::NoItem);
+        }
+        if total <= 0.0 {
+            return Err(WeightedError::AllWeightsZero);
+        }
+        Ok(WeightedIndex { cumulative, total })
+    }
+}
+
+impl Distribution<usize> for WeightedIndex {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+        let u = <f64 as crate::Standard>::sample_standard(rng) * self.total;
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).unwrap_or(std::cmp::Ordering::Less))
+        {
+            Ok(i) => (i + 1).min(self.cumulative.len() - 1),
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Seq(u64);
+    impl crate::RngCore for Seq {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let d = WeightedIndex::new([1.0f64, 0.0, 3.0]).unwrap();
+        let mut rng = Seq(1);
+        let mut counts = [0usize; 3];
+        for _ in 0..4000 {
+            counts[d.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        assert!(counts[2] > counts[0] * 2, "{counts:?}");
+    }
+
+    #[test]
+    fn rejects_bad_weights() {
+        assert_eq!(
+            WeightedIndex::new(std::iter::empty::<f64>()).unwrap_err(),
+            WeightedError::NoItem
+        );
+        assert_eq!(
+            WeightedIndex::new([0.0f64, 0.0]).unwrap_err(),
+            WeightedError::AllWeightsZero
+        );
+        assert_eq!(
+            WeightedIndex::new([-1.0f64]).unwrap_err(),
+            WeightedError::InvalidWeight
+        );
+    }
+}

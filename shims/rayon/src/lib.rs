@@ -1,0 +1,42 @@
+//! Offline stand-in for `rayon`.
+//!
+//! `par_iter()` here is a sequential `slice::Iter` — same results, no
+//! parallelism. The workspace only uses `.par_iter().map(..)/.flat_map(..)
+//! .collect()`, which is semantically identical either way (rayon's
+//! `collect` preserves input order), so callers need no changes.
+
+pub mod prelude {
+    /// Drop-in for rayon's `IntoParallelRefIterator`: anything iterable by
+    /// reference gets a `par_iter` that is simply its sequential iterator.
+    pub trait IntoParallelRefIterator<'data> {
+        type Iter: Iterator;
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data, C: 'data> IntoParallelRefIterator<'data> for C
+    where
+        &'data C: IntoIterator<Item = &'data T>,
+    {
+        type Iter = <&'data C as IntoIterator>::IntoIter;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_sequential_collect() {
+        let v = vec![1u64, 2, 3, 4];
+        let doubled: Vec<u64> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let flat: Vec<u64> = v.par_iter().flat_map(|x| vec![*x, x * 10]).collect();
+        assert_eq!(flat, vec![1, 10, 2, 20, 3, 30, 4, 40]);
+        let arr = [5u32, 6];
+        let s: u32 = arr.par_iter().map(|x| *x).sum();
+        assert_eq!(s, 11);
+    }
+}

@@ -1,0 +1,131 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for plain
+//! named-field structs without generics — the only shape the workspace
+//! derives on. Written against `proc_macro` directly (no syn/quote, which
+//! are unavailable offline): the struct is scanned token-by-token for its
+//! name and field identifiers, and the impl is emitted as a string.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Extracts `(struct_name, field_names)` from a derive input.
+fn parse_named_struct(input: TokenStream) -> Result<(String, Vec<String>), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                let name = match tokens.get(i + 1) {
+                    Some(TokenTree::Ident(n)) => n.to_string(),
+                    _ => return Err("expected struct name".into()),
+                };
+                for t in &tokens[i + 2..] {
+                    match t {
+                        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                            return Ok((name, parse_fields(g.stream())));
+                        }
+                        TokenTree::Punct(p) if p.as_char() == ';' => {
+                            return Err("tuple/unit structs are not supported".into());
+                        }
+                        TokenTree::Punct(p) if p.as_char() == '<' => {
+                            return Err("generic structs are not supported".into());
+                        }
+                        _ => {}
+                    }
+                }
+                return Err("struct body not found".into());
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" => {
+                return Err("enums are not supported by the serde shim derive".into());
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    Err("no struct found in derive input".into())
+}
+
+/// Splits a brace-group body at top-level commas and takes, per field, the
+/// identifier immediately preceding the first `:` (skipping attributes,
+/// visibility modifiers, and doc comments).
+fn parse_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut last_ident: Option<String> = None;
+    let mut in_type = false; // once we've passed `:`, ignore until `,`
+    for t in body {
+        match t {
+            TokenTree::Punct(ref p) if p.as_char() == ',' => {
+                in_type = false;
+                last_ident = None;
+            }
+            TokenTree::Punct(ref p) if p.as_char() == ':' && !in_type => {
+                if let Some(name) = last_ident.take() {
+                    fields.push(name);
+                }
+                in_type = true;
+            }
+            TokenTree::Ident(ref id) if !in_type => {
+                let s = id.to_string();
+                if s != "pub" {
+                    last_ident = Some(s);
+                }
+            }
+            _ => {}
+        }
+    }
+    fields
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("valid error tokens")
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, fields) = match parse_named_struct(input) {
+        Ok(x) => x,
+        Err(e) => return compile_error(&e),
+    };
+    let pushes: String = fields
+        .iter()
+        .map(|f| {
+            format!("__fields.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));")
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                     ::std::vec::Vec::new();\n\
+                 {pushes}\n\
+                 ::serde::Value::Object(__fields)\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, fields) = match parse_named_struct(input) {
+        Ok(x) => x,
+        Err(e) => return compile_error(&e),
+    };
+    let inits: String = fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::field(__v, {f:?})?,"))
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__v: &::serde::Value) -> \
+                 ::core::result::Result<Self, ::serde::DeError> {{\n\
+                 ::core::result::Result::Ok({name} {{ {inits} }})\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}

@@ -15,10 +15,11 @@
 use mpgraph::core::{train_mpgraph, MpGraphConfig};
 use mpgraph::frameworks::{generate_trace, io, App, Framework, Trace, TraceConfig};
 use mpgraph::graph::{standin, Dataset};
-use mpgraph::prefetchers::{
-    BestOffset, BoConfig, Isb, IsbConfig, NextLine, Stride, TrainCfg,
+use mpgraph::prefetchers::{BestOffset, BoConfig, Isb, IsbConfig, NextLine, Stride, TrainCfg};
+use mpgraph::sim::{
+    llc_filter, simulate, simulate_with_faults, FaultConfig, FaultInjector, FaultKind,
+    NullPrefetcher, Prefetcher, SimResult,
 };
-use mpgraph::sim::{llc_filter, simulate, NullPrefetcher, Prefetcher, SimResult};
 
 fn usage() -> ! {
     eprintln!(
@@ -27,7 +28,9 @@ fn usage() -> ! {
          trace    --framework <gpop|xstream|powergraph> --app <bfs|cc|pr|sssp|tc>\n           \
          --dataset <name> [--div N] [--iterations N] [--limit N] --out FILE\n  \
          info     FILE\n  \
-         simulate FILE [--prefetcher none|next-line|stride|bo|isb] [--scaled]\n  \
+         simulate FILE [--prefetcher none|next-line|stride|bo|isb] [--scaled]\n           \
+         [--fault corrupt-record|drop-prefetch|duplicate-prefetch|detector-misfire|stall-inference]\n           \
+         [--fault-rate R] [--fault-seed S] [--stall-cycles N]\n  \
          run      --framework F --app A --dataset D [--div N] [--iterations N]"
     );
     std::process::exit(2);
@@ -67,7 +70,28 @@ impl Args {
 
     fn get_usize(&self, key: &str, default: usize) -> usize {
         self.get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| die(&format!("--{key} must be a number"))))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| die(&format!("--{key} must be a number")))
+            })
+            .unwrap_or(default)
+    }
+
+    fn get_f64(&self, key: &str, default: f64) -> f64 {
+        self.get(key)
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| die(&format!("--{key} must be a number")))
+            })
+            .unwrap_or(default)
+    }
+
+    fn get_u64(&self, key: &str, default: u64) -> u64 {
+        self.get(key)
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| die(&format!("--{key} must be a number")))
+            })
             .unwrap_or(default)
     }
 }
@@ -97,11 +121,43 @@ fn parse_app(s: &str) -> App {
     }
 }
 
+fn parse_fault(s: &str) -> FaultKind {
+    FaultKind::ALL
+        .into_iter()
+        .find(|k| k.name().eq_ignore_ascii_case(s))
+        .unwrap_or_else(|| {
+            die(&format!(
+                "unknown fault {s:?} (try: {})",
+                FaultKind::ALL.map(|k| k.name()).join(" ")
+            ))
+        })
+}
+
+/// Builds an injector from `--fault`/`--fault-rate`/`--fault-seed`/
+/// `--stall-cycles`, or `None` when no fault was requested.
+fn fault_injector(args: &Args) -> Option<FaultInjector> {
+    let kind = parse_fault(args.get("fault")?);
+    let rate = args.get_f64("fault-rate", 0.1);
+    let seed = args.get_u64("fault-seed", 0xFA17);
+    let mut cfg = FaultConfig::only(kind, rate, seed);
+    if let Some(cycles) = args.get("stall-cycles") {
+        cfg.stall_cycles = cycles
+            .parse()
+            .unwrap_or_else(|_| die("--stall-cycles must be a number"));
+    }
+    cfg.validate().unwrap_or_else(|e| die(&e));
+    Some(FaultInjector::new(cfg))
+}
+
 fn parse_dataset(s: &str) -> Dataset {
     Dataset::ALL
         .into_iter()
         .find(|d| d.name().eq_ignore_ascii_case(s))
-        .unwrap_or_else(|| die(&format!("unknown dataset {s:?} (try: amazon google roadCA soclj wiki youtube rmat)")))
+        .unwrap_or_else(|| {
+            die(&format!(
+                "unknown dataset {s:?} (try: amazon google roadCA soclj wiki youtube rmat)"
+            ))
+        })
 }
 
 fn build_trace(args: &Args) -> Trace {
@@ -214,8 +270,18 @@ fn cmd_simulate(args: &Args) {
         "isb" => Box::new(Isb::new(IsbConfig::default())),
         other => die(&format!("unknown prefetcher {other:?}")),
     };
-    let r = simulate(&t.records, pf.as_mut(), &cfg);
+    let mut inj = fault_injector(args);
+    let r = simulate_with_faults(&t.records, pf.as_mut(), &cfg, inj.as_mut());
     report(&r.prefetcher.clone(), &r, Some(&base));
+    if inj.is_some() {
+        println!("faults injected: {} total", r.faults.total());
+        for kind in FaultKind::ALL {
+            let n = r.faults.count(kind);
+            if n > 0 {
+                println!("  {:18} {n}", kind.name());
+            }
+        }
+    }
 }
 
 fn cmd_run(args: &Args) {

@@ -140,4 +140,53 @@ proptest! {
             prop_assert!((a - b).abs() <= bound, "{} vs {} bound {}", a, b, bound);
         }
     }
+
+    /// Every fault class, at any rate and seed: the simulator completes
+    /// without panicking, preserves the instruction count, and the injected
+    /// class is reported through SimResult::faults into a HealthReport.
+    #[test]
+    fn fault_injection_never_panics_and_is_reported(
+        kind_idx in 0usize..5,
+        rate in 0.3f64..1.0,
+        seed in 0u64..1_000,
+    ) {
+        use mpgraph::core::HealthReport;
+        use mpgraph::prefetchers::{BestOffset, BoConfig};
+        use mpgraph::sim::{simulate_with_faults, FaultConfig, FaultInjector, FaultKind, SimConfig};
+
+        let kind = FaultKind::ALL[kind_idx];
+        // Sequential stream: Best-Offset locks onto +1 quickly, so the
+        // drop/duplicate classes have a steady flow of candidates to hit.
+        let trace: Vec<MemRecord> = (0..3_000u64)
+            .map(|i| MemRecord {
+                pc: 0x400000,
+                vaddr: 0x10_0000_0000 + i * 64,
+                core: 0,
+                is_write: false,
+                phase: 0,
+                gap: 2,
+                dep: false,
+            })
+            .collect();
+        let mut bo = BestOffset::new(BoConfig::default());
+        let mut inj = FaultInjector::new(FaultConfig::only(kind, rate, seed));
+        let r = simulate_with_faults(&trace, &mut bo, &SimConfig::default(), Some(&mut inj));
+
+        prop_assert_eq!(
+            r.instructions,
+            trace.iter().map(|t| 1 + t.gap as u64).sum::<u64>()
+        );
+        prop_assert!(r.cycles > 0);
+        prop_assert!(
+            r.faults.count(kind) > 0,
+            "{} never fired at rate {}", kind.name(), rate
+        );
+        // Only the configured class fires.
+        for &other in FaultKind::ALL.iter().filter(|&&k| k != kind) {
+            prop_assert_eq!(r.faults.count(other), 0);
+        }
+        let mut hr = HealthReport::new();
+        hr.set_faults(r.faults);
+        prop_assert!(hr.saw_fault(kind));
+    }
 }
