@@ -10,7 +10,7 @@ use mpgraph_core::{Amma, AmmaConfig, ModalInput};
 use mpgraph_frameworks::{generate_trace, App, Framework, TraceConfig};
 use mpgraph_graph::{rmat, RmatConfig};
 use mpgraph_ml::tensor::{rng, Matrix};
-use mpgraph_ml::SelfAttention;
+use mpgraph_ml::{ScratchArena, SelfAttention};
 use mpgraph_phase::{Kswin, KswinConfig, SoftKswin, TransitionDetector};
 use mpgraph_prefetchers::{BestOffset, BoConfig};
 use mpgraph_sim::{
@@ -110,6 +110,38 @@ fn bench_bo(c: &mut Criterion) {
     });
 }
 
+/// Tiled kernels against the `_ref` seed loops at the shapes AMMA
+/// inference hits (the same shapes the perf runner gates on).
+fn bench_matmul_kernels(c: &mut Criterion) {
+    let mut r = rng(7);
+    for (m, k, n) in [(9usize, 64usize, 64usize), (9, 128, 256), (64, 64, 64)] {
+        let a = Matrix::xavier(m, k, &mut r);
+        let b_mat = Matrix::xavier(k, n, &mut r);
+        let bt_mat = Matrix::xavier(n, k, &mut r);
+        let mut out = Matrix::zeros(m, n);
+        let mut group = c.benchmark_group(&format!("matmul_{m}x{k}x{n}"));
+        group.bench_function("tiled_into", |b| {
+            b.iter(|| {
+                black_box(&a).matmul_into(black_box(&b_mat), &mut out);
+                black_box(out.data[0])
+            })
+        });
+        group.bench_function("reference", |b| {
+            b.iter(|| black_box(black_box(&a).matmul_ref(black_box(&b_mat))))
+        });
+        group.bench_function("bt_tiled_into", |b| {
+            b.iter(|| {
+                black_box(&a).matmul_bt_into(black_box(&bt_mat), &mut out);
+                black_box(out.data[0])
+            })
+        });
+        group.bench_function("bt_reference", |b| {
+            b.iter(|| black_box(black_box(&a).matmul_bt_ref(black_box(&bt_mat))))
+        });
+        group.finish();
+    }
+}
+
 fn bench_attention(c: &mut Criterion) {
     let mut r = rng(1);
     let attn = SelfAttention::new(64, 64, &mut r);
@@ -128,6 +160,21 @@ fn bench_attention(c: &mut Criterion) {
     let paper = Amma::new(9, 1, AmmaConfig::paper(), &mut r);
     c.bench_function("amma_infer_paper_dims", |b| {
         b.iter(|| black_box(paper.infer(&input, 0)))
+    });
+    // Warm-arena path: after warmup the arena free-lists satisfy every
+    // request, so this measures the allocation-free steady state.
+    let mut arena = ScratchArena::new();
+    for _ in 0..4 {
+        let y = amma.infer_in(&input, 0, &mut arena);
+        arena.give(y);
+    }
+    c.bench_function("amma_infer_in_warm_arena", |b| {
+        b.iter(|| {
+            let y = amma.infer_in(black_box(&input), 0, &mut arena);
+            let v = y.data[0];
+            arena.give(y);
+            black_box(v)
+        })
     });
 }
 
@@ -165,6 +212,7 @@ criterion_group!(
     bench_trace_generation,
     bench_detectors,
     bench_bo,
+    bench_matmul_kernels,
     bench_attention,
     bench_simulator
 );

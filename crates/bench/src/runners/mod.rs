@@ -1,10 +1,12 @@
 //! Experiment runners, one module per evaluation area: `detection`
 //! (Table 4, Figure 9), `prediction` (Tables 6-7, modality ablation),
-//! `prefetching` (Figures 10-14, Table 8, degree ablation), and
-//! `motivation` (Figures 2-3).
+//! `prefetching` (Figures 10-14, Table 8, degree ablation), `motivation`
+//! (Figures 2-3), `resilience` (fault-injection demo), and `perf` (the
+//! kernel/inference latency suite behind the CI regression gate).
 
 pub mod detection;
 pub mod motivation;
+pub mod perf;
 pub mod prediction;
 pub mod prefetching;
 pub mod resilience;

@@ -19,6 +19,7 @@
 //! minutes; [`AmmaConfig::paper`] restores the published configuration
 //! (used for the Table 8 complexity accounting).
 
+use mpgraph_ml::arena::ScratchArena;
 use mpgraph_ml::attention::SelfAttention;
 use mpgraph_ml::layers::{Embedding, Linear, Module, Param};
 use mpgraph_ml::tensor::Matrix;
@@ -216,6 +217,47 @@ impl Amma {
         Self::pool(&h)
     }
 
+    /// Inference through arena-owned scratch buffers: bit-identical to
+    /// [`Amma::infer`], but allocation-free after the arena warms up. This
+    /// is the prefetcher hot path — one call per predicted access.
+    pub fn infer_in(&self, x: &ModalInput, phase: usize, s: &mut ScratchArena) -> Matrix {
+        let mut ea = self.embed_addr.infer_in(&x.addr, s);
+        s.add_positional(&mut ea);
+        let mut ep = self.embed_pc.infer_in(&x.pc, s);
+        s.add_positional(&mut ep);
+        let mut ha = self.attn_addr.infer_in(&ea, s);
+        ha.add_assign(&ea);
+        s.give(ea);
+        let mut hp = self.attn_pc.infer_in(&ep, s);
+        hp.add_assign(&ep);
+        s.give(ep);
+        let mut fused_in = s.take(ha.rows, ha.cols + hp.cols);
+        let a_cols = ha.cols;
+        for r in 0..ha.rows {
+            fused_in.row_mut(r)[..a_cols].copy_from_slice(ha.row(r));
+            fused_in.row_mut(r)[a_cols..].copy_from_slice(hp.row(r));
+        }
+        s.give(ha);
+        s.give(hp);
+        let mut h = self.fusion.infer_in(&fused_in, s);
+        h.add_assign(&fused_in);
+        s.give(fused_in);
+        if let Some(pe) = &self.phase_embed {
+            // Same values as adding the repeated-token embedding matrix,
+            // without materializing it.
+            pe.add_row_broadcast(phase, &mut h);
+        }
+        for t in &self.trans {
+            let h2 = t.infer_in(&h, s);
+            s.give(h);
+            h = h2;
+        }
+        let mut pooled = s.take(1, h.cols);
+        pooled.row_mut(0).copy_from_slice(h.row(h.rows - 1));
+        s.give(h);
+        pooled
+    }
+
     /// Backward from the pooled gradient `[1, fusion_dim]`. Returns the
     /// gradients w.r.t. the two modality inputs `(d_addr, d_pc)` so that
     /// upstream embeddings (the page tokenizer) can train through AMMA.
@@ -305,6 +347,28 @@ mod tests {
         for (p, q) in a.data.iter().zip(b.data.iter()) {
             assert!((p - q).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn arena_infer_is_bit_identical_and_allocation_free() {
+        let mut r = rng(11);
+        // Phase-informed variant exercises the broadcast path too.
+        let amma = Amma::new(4, 1, tiny_cfg(), &mut r).with_phase_embedding(3, &mut r);
+        let x = input(12, 5);
+        let mut s = mpgraph_ml::ScratchArena::new();
+        for phase in [0usize, 2, 1] {
+            let baseline = amma.infer(&x, phase);
+            let y = amma.infer_in(&x, phase, &mut s);
+            assert_eq!(y.data, baseline.data, "phase {phase}");
+            s.give(y);
+        }
+        let (_, misses_warm) = s.stats();
+        for _ in 0..4 {
+            let y = amma.infer_in(&x, 1, &mut s);
+            s.give(y);
+        }
+        let (_, misses) = s.stats();
+        assert_eq!(misses, misses_warm, "steady state must not allocate");
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! only difference measured is exactly what the paper varies.
 
 use crate::amma::{Amma, AmmaConfig, ModalInput};
+use mpgraph_ml::arena::ScratchArena;
 use mpgraph_ml::layers::{Linear, Module, Param};
 use mpgraph_ml::lstm::Lstm;
 use mpgraph_ml::tensor::Matrix;
@@ -152,6 +153,48 @@ impl Backbone {
         }
     }
 
+    /// Inference through arena-owned scratch buffers — bit-identical to
+    /// [`Backbone::infer`], allocation-free after warmup for every kind.
+    pub fn infer_in(&self, x: &ModalInput, phase: usize, s: &mut ScratchArena) -> Matrix {
+        match self {
+            Backbone::Lstm { lstm, .. } => {
+                let cat = Self::concat_in(x, s);
+                let h = lstm.infer_in(&cat, s);
+                s.give(cat);
+                let mut pooled = s.take(1, h.cols);
+                pooled.row_mut(0).copy_from_slice(h.row(h.rows - 1));
+                s.give(h);
+                pooled
+            }
+            Backbone::Attention { proj, layers, .. } => {
+                let cat = Self::concat_in(x, s);
+                let mut h = proj.infer_in(&cat, s);
+                s.give(cat);
+                s.add_positional(&mut h);
+                for l in layers {
+                    let h2 = l.infer_in(&h, s);
+                    s.give(h);
+                    h = h2;
+                }
+                let mut pooled = s.take(1, h.cols);
+                pooled.row_mut(0).copy_from_slice(h.row(h.rows - 1));
+                s.give(h);
+                pooled
+            }
+            Backbone::Amma(a) => a.infer_in(x, phase, s),
+        }
+    }
+
+    fn concat_in(x: &ModalInput, s: &mut ScratchArena) -> Matrix {
+        let rows = x.addr.rows;
+        let mut out = s.take(rows, x.addr.cols + x.pc.cols);
+        for r in 0..rows {
+            out.row_mut(r)[..x.addr.cols].copy_from_slice(x.addr.row(r));
+            out.row_mut(r)[x.addr.cols..].copy_from_slice(x.pc.row(r));
+        }
+        out
+    }
+
     /// Backward pass; returns gradients w.r.t. the modality inputs
     /// `(d_addr, d_pc)` so upstream embeddings can train.
     pub fn backward(&mut self, d_out: &Matrix) -> (Matrix, Matrix) {
@@ -274,6 +317,29 @@ mod tests {
             let mut total = 0.0f32;
             b.for_each_param(&mut |p| total += p.g.norm());
             assert!(total > 0.0, "{} has zero gradients", kind.name());
+        }
+    }
+
+    #[test]
+    fn arena_infer_matches_infer_for_every_kind() {
+        let mut r = rng(7);
+        for kind in [
+            BackboneKind::Lstm,
+            BackboneKind::Attention,
+            BackboneKind::Amma,
+        ] {
+            let b = Backbone::new(kind, 3, 1, tiny_cfg(), &mut r);
+            let x = input(8);
+            let baseline = b.infer(&x, 0);
+            let mut s = ScratchArena::new();
+            let y = b.infer_in(&x, 0, &mut s);
+            assert_eq!(y.data, baseline.data, "{}", kind.name());
+            s.give(y);
+            let (_, warm) = s.stats();
+            let y2 = b.infer_in(&x, 0, &mut s);
+            s.give(y2);
+            let (_, steady) = s.stats();
+            assert_eq!(warm, steady, "{} steady state allocated", kind.name());
         }
     }
 

@@ -16,6 +16,7 @@ use mpgraph_ml::loss::{binary_distillation_loss, distillation_loss};
 use mpgraph_ml::optim::Adam;
 use mpgraph_ml::quant::quantize_module;
 use mpgraph_ml::tensor::rng;
+use mpgraph_ml::ScratchArena;
 use mpgraph_prefetchers::TrainCfg;
 
 /// Distillation hyper-parameters.
@@ -80,6 +81,9 @@ pub fn distill_delta(
     let usable = records.len().saturating_sub(t + cfg.look_forward);
     let stride = (usable / tc.max_samples.max(1)).max(1);
     let mut final_loss = 0.0f32;
+    // The teacher runs inference-only: its logits come out of one arena
+    // reused across every distillation step.
+    let mut teacher_arena = ScratchArena::new();
     'epochs: for _ in 0..tc.epochs {
         let mut i = 0usize;
         let mut count = 0usize;
@@ -97,12 +101,13 @@ pub fn distill_delta(
                 .map(|rec| (rec.block(), rec.pc))
                 .collect();
             // Teacher's soft targets (phase-appropriate teacher model).
-            let teacher_logits = teacher.predict_logits(&hist, phase);
+            let teacher_logits = teacher.predict_logits_in(&hist, phase, &mut teacher_arena);
             let x = DeltaPredictor::encode_hist(&cfg, &hist);
             let (backbone, head) = &mut models[midx];
             let pooled = backbone.forward(&x, phase);
             let logits = head.forward(&pooled);
             let (loss, dl) = binary_distillation_loss(&logits, &teacher_logits);
+            teacher_arena.give(teacher_logits);
             let dp = head.backward(&dl);
             backbone.backward(&dp);
             opts[midx].step(backbone);
@@ -178,6 +183,7 @@ pub fn distill_page(
     let usable = seq.len().saturating_sub(t + 1);
     let stride = (usable / tc.max_samples.max(1)).max(1);
     let mut final_loss = 0.0f32;
+    let mut teacher_arena = ScratchArena::new();
     'epochs: for _ in 0..tc.epochs {
         let mut i = 0usize;
         let mut count = 0usize;
@@ -198,7 +204,7 @@ pub fn distill_page(
                 .iter()
                 .map(|rec| (teacher.vocab.token_of(rec.page()), rec.pc))
                 .collect();
-            let teacher_logits = teacher.predict_logits(&t_hist, phase);
+            let teacher_logits = teacher.predict_logits_in(&t_hist, phase, &mut teacher_arena);
             let (loss, dl) = {
                 let m = &mut student.models[midx];
                 let tokens: Vec<usize> = hist.iter().map(|&(tk, _)| tk).collect();
@@ -236,6 +242,7 @@ pub fn distill_page(
                 (loss, dl)
             };
             let _ = dl;
+            teacher_arena.give(teacher_logits);
             let m = &mut student.models[midx];
             opts[midx].step(&mut m.embed);
             opts[midx].step(&mut m.backbone);

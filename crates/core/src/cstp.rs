@@ -9,6 +9,7 @@
 
 use crate::delta_predictor::DeltaPredictor;
 use crate::page_predictor::PagePredictor;
+use mpgraph_ml::ScratchArena;
 use std::collections::HashMap;
 
 /// Page Base Offset Table: page → (latest block offset, latest PC).
@@ -136,6 +137,84 @@ pub fn chain_prefetch(
         ph.remove(0);
         ph.push((tok, pbot_pc));
     }
+    out.truncate(cfg.max_degree());
+    out
+}
+
+/// [`chain_prefetch`] with the spatial and temporal lanes running
+/// concurrently via [`rayon::join`], each on its own [`ScratchArena`] so
+/// model inference is allocation-free after warmup.
+///
+/// The two lanes are data-independent: the spatial lane predicts Ds deltas
+/// from the current access, while the temporal lane walks the page chain
+/// (each chain step's spatial inference included). Their outputs are
+/// concatenated spatial-first — exactly the order the serial
+/// [`chain_prefetch`] pushes them — so the batch is bit-identical to the
+/// serial path no matter how the two lanes are scheduled.
+#[allow(clippy::too_many_arguments)]
+pub fn chain_prefetch_in(
+    delta: &DeltaPredictor,
+    page: &PagePredictor,
+    pbot: &Pbot,
+    block_hist: &[(u64, u64)],
+    page_hist: &[(usize, u64)],
+    phase: usize,
+    cfg: &CstpConfig,
+    spatial_arena: &mut ScratchArena,
+    temporal_arena: &mut ScratchArena,
+) -> Vec<u64> {
+    let &(cur_block, _) = block_hist.last().expect("non-empty history");
+
+    let (spatial, chain) = rayon::join(
+        // --- Spatial lane: Ds deltas at the current access.
+        move || {
+            delta
+                .predict_deltas_in(block_hist, phase, cfg.spatial_degree, spatial_arena)
+                .into_iter()
+                .filter_map(|d| {
+                    let t = cur_block as i64 + d;
+                    (t >= 0).then_some(t as u64)
+                })
+                .collect::<Vec<u64>>()
+        },
+        // --- Temporal lane: the page chain plus chained spatial inference.
+        move || {
+            let mut out = Vec::new();
+            let mut ph: Vec<(usize, u64)> = page_hist.to_vec();
+            let mut bh: Vec<(u64, u64)> = block_hist.to_vec();
+            for _step in 0..cfg.temporal_degree {
+                let Some(&next_page) = page.predict_pages_in(&ph, phase, 1, temporal_arena).first()
+                else {
+                    break;
+                };
+                let Some((offset, pbot_pc)) = pbot.get(next_page) else {
+                    break;
+                };
+                let base = (next_page << 6) | (offset & 63);
+                out.push(base);
+                bh.remove(0);
+                bh.push((base, pbot_pc));
+                for d in delta.predict_deltas_in(
+                    &bh,
+                    phase,
+                    cfg.spatial_degree.saturating_sub(1),
+                    temporal_arena,
+                ) {
+                    let t = base as i64 + d;
+                    if t >= 0 {
+                        out.push(t as u64);
+                    }
+                }
+                let tok = page.vocab.token_of(next_page);
+                ph.remove(0);
+                ph.push((tok, pbot_pc));
+            }
+            out
+        },
+    );
+
+    let mut out = spatial;
+    out.extend(chain);
     out.truncate(cfg.max_degree());
     out
 }

@@ -13,8 +13,10 @@ use mpgraph_ml::loss::bce_with_logits;
 use mpgraph_ml::metrics::{multilabel_f1, top_k_indices, Prf};
 use mpgraph_ml::optim::Adam;
 use mpgraph_ml::tensor::{rng, Matrix};
+use mpgraph_ml::ScratchArena;
 use mpgraph_prefetchers::mlcommon::{pc_feature, segment_block};
 use mpgraph_prefetchers::TrainCfg;
+use rayon::prelude::*;
 
 /// Bidirectional delta↔label mapping over `[-range, +range] \ {0}`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,6 +119,15 @@ impl DeltaPredictor {
 
     /// Trains the predictor on `records` (one framework iteration, with
     /// ground-truth phase labels available offline per Figure 6).
+    ///
+    /// Phase-specific variants train their per-phase models concurrently:
+    /// a serial data-only walk first assigns every sample window to its
+    /// phase model (the same windows, in the same per-model order, that the
+    /// old interleaved loop produced), then each (model, optimizer, guard,
+    /// schedule) tuple trains independently on its own thread. Each model's
+    /// update sequence is fully self-contained, so the resulting weights
+    /// are bit-identical run to run regardless of thread scheduling. A
+    /// guard-exhausted model stops alone instead of aborting its siblings.
     pub fn train(
         records: &[MemRecord],
         num_phases: usize,
@@ -152,11 +163,12 @@ impl DeltaPredictor {
         let t = tc.history;
         let usable = records.len().saturating_sub(t + cfg.look_forward);
         let stride = (usable / tc.max_samples.max(1)).max(1);
-        let mut final_loss = 0.0f32;
-        'epochs: for _ in 0..tc.epochs {
+
+        // Serial data-only walk: assign sample windows to phase models.
+        let mut schedules: Vec<Vec<usize>> = vec![Vec::new(); model_count];
+        {
             let mut i = 0usize;
             let mut count = 0usize;
-            let mut loss_sum = 0.0f32;
             while i + t + cfg.look_forward < records.len() && count < tc.max_samples {
                 let pos = i + t - 1;
                 let phase = records[pos].phase as usize % num_phases.max(1);
@@ -165,38 +177,37 @@ impl DeltaPredictor {
                 } else {
                     0
                 };
-                let hist: Vec<(u64, u64)> = records[i..i + t]
-                    .iter()
-                    .map(|rec| (rec.block(), rec.pc))
-                    .collect();
-                let x = Self::encode(&cfg, &hist);
-                let target = Self::label_bitmap(&cfg, records, pos);
-                let (backbone, head) = &mut models[midx];
-                let pooled = backbone.forward(&x, phase);
-                let logits = head.forward(&pooled);
-                let (loss, dl) = bce_with_logits(&logits, &target);
-                let dp = head.backward(&dl);
-                backbone.backward(&dp);
-                opts[midx].step(backbone);
-                opts[midx].step(head);
+                schedules[midx].push(i);
                 i += stride;
                 count += 1;
-                match guards[midx].observe(
-                    loss,
-                    &mut [backbone as &mut dyn Module, head as &mut dyn Module],
-                    &mut opts[midx].lr,
-                ) {
-                    GuardAction::Continue => loss_sum += loss,
-                    GuardAction::RolledBack { .. } => count -= 1,
-                    GuardAction::Exhausted => break 'epochs,
-                }
             }
-            final_loss = if count > 0 {
-                loss_sum / count as f32
-            } else {
-                f32::NAN
-            };
         }
+
+        // Per-model training, fanned out over threads. `collect` preserves
+        // model order, and the final loss combines per-model sums in that
+        // order — a deterministic reduction.
+        type Job<'a> = (
+            (&'a mut (Backbone, Linear), &'a mut Adam),
+            (&'a mut TrainGuard, &'a Vec<usize>),
+        );
+        let jobs: Vec<Job<'_>> = models
+            .iter_mut()
+            .zip(opts.iter_mut())
+            .zip(guards.iter_mut().zip(schedules.iter()))
+            .collect();
+        let stats: Vec<(f32, usize)> = jobs
+            .into_par_iter()
+            .map(|((model, opt), (guard, schedule))| {
+                Self::train_one_model(records, num_phases, &cfg, tc, model, opt, guard, schedule)
+            })
+            .collect();
+        let loss_sum: f32 = stats.iter().map(|&(l, _)| l).sum();
+        let count: usize = stats.iter().map(|&(_, c)| c).sum();
+        let final_loss = if count > 0 {
+            loss_sum / count as f32
+        } else {
+            f32::NAN
+        };
         DeltaPredictor {
             variant,
             cfg,
@@ -204,6 +215,57 @@ impl DeltaPredictor {
             num_phases: num_phases.max(1),
             final_loss,
         }
+    }
+
+    /// Trains one phase model over its precomputed sample schedule for all
+    /// epochs. Returns the last completed epoch's (loss sum, sample count).
+    #[allow(clippy::too_many_arguments)]
+    fn train_one_model(
+        records: &[MemRecord],
+        num_phases: usize,
+        cfg: &DeltaPredictorConfig,
+        tc: &TrainCfg,
+        model: &mut (Backbone, Linear),
+        opt: &mut Adam,
+        guard: &mut TrainGuard,
+        schedule: &[usize],
+    ) -> (f32, usize) {
+        let t = tc.history;
+        let (backbone, head) = model;
+        let mut last = (0.0f32, 0usize);
+        'epochs: for _ in 0..tc.epochs {
+            let mut count = 0usize;
+            let mut loss_sum = 0.0f32;
+            for &i in schedule {
+                let pos = i + t - 1;
+                let phase = records[pos].phase as usize % num_phases.max(1);
+                let hist: Vec<(u64, u64)> = records[i..i + t]
+                    .iter()
+                    .map(|rec| (rec.block(), rec.pc))
+                    .collect();
+                let x = Self::encode(cfg, &hist);
+                let target = Self::label_bitmap(cfg, records, pos);
+                let pooled = backbone.forward(&x, phase);
+                let logits = head.forward(&pooled);
+                let (loss, dl) = bce_with_logits(&logits, &target);
+                let dp = head.backward(&dl);
+                backbone.backward(&dp);
+                opt.step(backbone);
+                opt.step(head);
+                count += 1;
+                match guard.observe(
+                    loss,
+                    &mut [backbone as &mut dyn Module, head as &mut dyn Module],
+                    &mut opt.lr,
+                ) {
+                    GuardAction::Continue => loss_sum += loss,
+                    GuardAction::RolledBack { .. } => count -= 1,
+                    GuardAction::Exhausted => break 'epochs,
+                }
+            }
+            last = (loss_sum, count);
+        }
+        last
     }
 
     fn model_for(&self, phase: usize) -> &(Backbone, Linear) {
@@ -225,6 +287,77 @@ impl DeltaPredictor {
         let x = Self::encode(&self.cfg, hist);
         let pooled = backbone.infer(&x, phase);
         head.infer(&pooled)
+    }
+
+    /// Arena-backed `encode`: modal matrices come from `s` and must be
+    /// given back by the caller once the backbone has consumed them.
+    fn encode_in(
+        cfg: &DeltaPredictorConfig,
+        hist: &[(u64, u64)],
+        s: &mut ScratchArena,
+    ) -> ModalInput {
+        let mut addr = s.take(hist.len(), cfg.segments);
+        let mut pc = s.take(hist.len(), 1);
+        for (i, &(block, pcv)) in hist.iter().enumerate() {
+            addr.row_mut(i)
+                .copy_from_slice(&segment_block(block, cfg.segments));
+            pc.data[i] = pc_feature(pcv);
+        }
+        ModalInput { addr, pc }
+    }
+
+    /// Arena-backed [`Self::predict_logits`]: bit-identical output,
+    /// allocation-free after warmup. The caller `give`s the result back.
+    pub fn predict_logits_in(
+        &self,
+        hist: &[(u64, u64)],
+        phase: usize,
+        s: &mut ScratchArena,
+    ) -> Matrix {
+        let (backbone, head) = self.model_for(phase);
+        let x = Self::encode_in(&self.cfg, hist, s);
+        let pooled = backbone.infer_in(&x, phase, s);
+        let ModalInput { addr, pc } = x;
+        s.give(addr);
+        s.give(pc);
+        let logits = head.infer_in(&pooled, s);
+        s.give(pooled);
+        logits
+    }
+
+    /// Arena-backed [`Self::predict_scores`]: the logits matrix is reused
+    /// in place for the sigmoid. The caller `give`s the result back.
+    pub fn predict_scores_in(
+        &self,
+        hist: &[(u64, u64)],
+        phase: usize,
+        s: &mut ScratchArena,
+    ) -> Matrix {
+        let mut scores = self.predict_logits_in(hist, phase, s);
+        Sigmoid::infer_inplace(&mut scores);
+        scores
+    }
+
+    /// Arena-backed [`Self::predict_deltas`] — the steady-state hot path of
+    /// [`crate::prefetcher::MpGraphPrefetcher`].
+    pub fn predict_deltas_in(
+        &self,
+        hist: &[(u64, u64)],
+        phase: usize,
+        k: usize,
+        s: &mut ScratchArena,
+    ) -> Vec<i64> {
+        let dr = DeltaRange {
+            range: self.cfg.delta_range,
+        };
+        let scores = self.predict_scores_in(hist, phase, s);
+        let deltas = top_k_indices(&scores.data, k)
+            .into_iter()
+            .filter(|&i| scores.data[i] >= self.cfg.threshold)
+            .map(|i| dr.delta_of(i))
+            .collect();
+        s.give(scores);
+        deltas
     }
 
     /// Crate-internal: encode a history window (shared with distillation).
@@ -276,6 +409,22 @@ impl DeltaPredictor {
             .iter_mut()
             .map(|(b, h)| b.num_params() + h.num_params())
             .sum()
+    }
+
+    /// Little-endian bytes of every trainable weight in traversal order —
+    /// the byte-level fingerprint the determinism tests compare.
+    pub fn weight_bytes(&mut self) -> Vec<u8> {
+        let mut out = Vec::new();
+        let mut push = |p: &mut mpgraph_ml::layers::Param| {
+            for v in &p.w.data {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        };
+        for (b, h) in self.models.iter_mut() {
+            b.for_each_param(&mut push);
+            h.for_each_param(&mut push);
+        }
+        out
     }
 }
 
@@ -405,6 +554,39 @@ mod tests {
             scores.iter().all(|s| s.is_finite()),
             "NaN leaked into inference"
         );
+    }
+
+    #[test]
+    fn arena_prediction_is_bit_identical_and_allocation_free() {
+        let trace = two_phase_trace(60, 2);
+        let (cfg, tc) = quick_cfg();
+        let tc = TrainCfg {
+            max_samples: 50,
+            epochs: 1,
+            ..tc
+        };
+        let model = DeltaPredictor::train(&trace, 2, Variant::AmmaPs, cfg, &tc);
+        let hist: Vec<(u64, u64)> = (0..5).map(|i| ((1 << 16) + i, 0x400000)).collect();
+        let mut s = mpgraph_ml::ScratchArena::new();
+        for phase in [0usize, 1] {
+            let baseline = model.predict_scores(&hist, phase);
+            // Warmup, then steady state must not allocate.
+            let w = model.predict_scores_in(&hist, phase, &mut s);
+            assert_eq!(w.data, baseline, "arena scores must be bit-identical");
+            s.give(w);
+            let (_, misses_after_warmup) = s.stats();
+            for _ in 0..4 {
+                let y = model.predict_scores_in(&hist, phase, &mut s);
+                assert_eq!(y.data, baseline);
+                s.give(y);
+                assert_eq!(
+                    model.predict_deltas_in(&hist, phase, 3, &mut s),
+                    model.predict_deltas(&hist, phase, 3)
+                );
+            }
+            let (_, misses) = s.stats();
+            assert_eq!(misses, misses_after_warmup, "steady state allocated");
+        }
     }
 
     #[test]

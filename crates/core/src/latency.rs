@@ -13,6 +13,15 @@ pub fn t_mm(dim: usize) -> u64 {
 /// Activation via LUT.
 pub const T_AV: u64 = 1;
 
+/// Converts an Eq. 12 cycle count to nanoseconds at a given accelerator
+/// clock (GHz), so the hardware estimate can sit next to measured software
+/// latencies in the perf report.
+pub fn cycles_to_ns(cycles: u64, ghz: f64) -> f64 {
+    // Clamp to 1 MHz so a zero/negative/NaN clock cannot divide to
+    // infinity or NaN.
+    cycles as f64 / ghz.max(1e-3)
+}
+
 /// Per-component and total latency of one AMMA inference.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LatencyBreakdown {
@@ -104,6 +113,14 @@ mod tests {
         cfg.layers = 3;
         let three = amma_latency(&cfg).total;
         assert_eq!(three - one, 2 * amma_latency(&cfg).transformer);
+    }
+
+    #[test]
+    fn cycles_to_ns_scales_with_clock() {
+        assert_eq!(cycles_to_ns(123, 1.0), 123.0);
+        assert_eq!(cycles_to_ns(123, 2.0), 61.5);
+        // A zero clock must not divide by zero.
+        assert!(cycles_to_ns(123, 0.0).is_finite());
     }
 
     #[test]

@@ -36,12 +36,12 @@ pub use backbone::{Backbone, BackboneKind};
 pub use complexity::{ComplexityRow, CriticalPath};
 pub use compress::{distill_delta, distill_page, DistillCfg};
 pub use controller::Controller;
-pub use cstp::{chain_prefetch, CstpConfig, Pbot};
+pub use cstp::{chain_prefetch, chain_prefetch_in, CstpConfig, Pbot};
 pub use degradation::{DegradationGuard, GuardConfig};
 pub use delta_predictor::{DeltaPredictor, DeltaPredictorConfig, DeltaRange};
 pub use error::MpGraphError;
 pub use health::{ComponentHealth, ComponentStatus, HealthReport};
-pub use latency::{amma_latency, LatencyBreakdown};
+pub use latency::{amma_latency, cycles_to_ns, LatencyBreakdown};
 pub use page_predictor::{PageHead, PagePredictor, PagePredictorConfig};
 pub use prefetcher::{
     build_detector, train_mpgraph, DetectorChoice, MpGraphConfig, MpGraphPrefetcher,

@@ -18,8 +18,10 @@ use mpgraph_ml::loss::{bce_with_logits, softmax_cross_entropy};
 use mpgraph_ml::metrics::top_k_indices;
 use mpgraph_ml::optim::Adam;
 use mpgraph_ml::tensor::{rng, Matrix};
+use mpgraph_ml::ScratchArena;
 use mpgraph_prefetchers::mlcommon::{pc_feature, PageVocab};
 use mpgraph_prefetchers::TrainCfg;
+use rayon::prelude::*;
 
 /// Output head style.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -181,10 +183,13 @@ impl PagePredictor {
         let total: usize = seqs.iter().map(|s| s.len()).sum();
         let usable = total.saturating_sub((t + 1) * seqs.len().max(1));
         let stride = (usable / tc.max_samples.max(1)).max(1);
-        let mut final_loss = 0.0f32;
-        'epochs: for _ in 0..tc.epochs {
+
+        // Serial data-only walk over the per-core cursors: assign every
+        // (sequence, window) sample to its phase model, in the exact order
+        // the old interleaved loop visited them.
+        let mut schedules: Vec<Vec<(usize, usize)>> = vec![Vec::new(); model_count];
+        {
             let mut count = 0usize;
-            let mut loss_sum = 0.0f32;
             let mut cursors: Vec<usize> = vec![0; seqs.len()];
             let mut which = 0usize;
             while count < tc.max_samples && !seqs.is_empty() {
@@ -209,12 +214,73 @@ impl PagePredictor {
                 } else {
                     0
                 };
+                schedules[midx].push((sidx, i));
+                count += 1;
+            }
+        }
+
+        // Per-model training fanned out over threads (see
+        // [`DeltaPredictor::train`] for the determinism argument).
+        type Job<'a> = (
+            (&'a mut PageModel, &'a mut Adam),
+            (&'a mut TrainGuard, &'a Vec<(usize, usize)>),
+        );
+        let jobs: Vec<Job<'_>> = models
+            .iter_mut()
+            .zip(opts.iter_mut())
+            .zip(guards.iter_mut().zip(schedules.iter()))
+            .collect();
+        let stats: Vec<(f32, usize)> = jobs
+            .into_par_iter()
+            .map(|((m, opt), (guard, schedule))| {
+                Self::train_one_model(&seqs, num_phases, bits, tc, m, opt, guard, schedule)
+            })
+            .collect();
+        let loss_sum: f32 = stats.iter().map(|&(l, _)| l).sum();
+        let count: usize = stats.iter().map(|&(_, c)| c).sum();
+        let final_loss = if count > 0 {
+            loss_sum / count as f32
+        } else {
+            f32::NAN
+        };
+        PagePredictor {
+            variant,
+            cfg,
+            vocab,
+            models,
+            num_phases: num_phases.max(1),
+            bits,
+            final_loss,
+        }
+    }
+
+    /// Trains one phase model over its precomputed (sequence, window)
+    /// schedule for all epochs. Returns the last completed epoch's
+    /// (loss sum, sample count).
+    #[allow(clippy::too_many_arguments)]
+    fn train_one_model(
+        seqs: &[Vec<(usize, u64, u8)>],
+        num_phases: usize,
+        bits: usize,
+        tc: &TrainCfg,
+        m: &mut PageModel,
+        opt: &mut Adam,
+        guard: &mut TrainGuard,
+        schedule: &[(usize, usize)],
+    ) -> (f32, usize) {
+        let t = tc.history;
+        let mut last = (0.0f32, 0usize);
+        'epochs: for _ in 0..tc.epochs {
+            let mut count = 0usize;
+            let mut loss_sum = 0.0f32;
+            for &(sidx, i) in schedule {
+                let seq = &seqs[sidx];
+                let phase = seq[i + t - 1].2 as usize % num_phases.max(1);
                 let target_tok = seq[i + t].0;
                 let hist: Vec<(usize, u64)> = seq[i..i + t]
                     .iter()
                     .map(|&(tok, pc, _)| (tok, pc))
                     .collect();
-                let m = &mut models[midx];
                 let tokens: Vec<usize> = hist.iter().map(|&(tk, _)| tk).collect();
                 let addr = m.embed.forward(&tokens);
                 let mut pc = Matrix::zeros(hist.len(), 1);
@@ -249,39 +315,27 @@ impl PagePredictor {
                 };
                 let (d_addr, _d_pc) = m.backbone.backward(&dp);
                 m.embed.backward(&d_addr);
-                opts[midx].step(&mut m.embed);
-                opts[midx].step(&mut m.backbone);
-                opts[midx].step(&mut m.head);
+                opt.step(&mut m.embed);
+                opt.step(&mut m.backbone);
+                opt.step(&mut m.head);
                 count += 1;
-                match guards[midx].observe(
+                match guard.observe(
                     loss,
                     &mut [
                         &mut m.embed as &mut dyn Module,
                         &mut m.backbone as &mut dyn Module,
                         &mut m.head as &mut dyn Module,
                     ],
-                    &mut opts[midx].lr,
+                    &mut opt.lr,
                 ) {
                     GuardAction::Continue => loss_sum += loss,
                     GuardAction::RolledBack { .. } => count -= 1,
                     GuardAction::Exhausted => break 'epochs,
                 }
             }
-            final_loss = if count > 0 {
-                loss_sum / count as f32
-            } else {
-                f32::NAN
-            };
+            last = (loss_sum, count);
         }
-        PagePredictor {
-            variant,
-            cfg,
-            vocab,
-            models,
-            num_phases: num_phases.max(1),
-            bits,
-            final_loss,
-        }
+        last
     }
 
     fn model_for(&self, phase: usize) -> &PageModel {
@@ -302,6 +356,76 @@ impl PagePredictor {
         } else {
             m.head.infer(&pooled)
         }
+    }
+
+    /// Arena-backed [`Self::predict_logits`]: bit-identical output,
+    /// allocation-free tensor work after warmup (the tied head's
+    /// `[1, vocab]` product included). The caller `give`s the result back.
+    pub fn predict_logits_in(
+        &self,
+        hist: &[(usize, u64)],
+        phase: usize,
+        s: &mut ScratchArena,
+    ) -> Matrix {
+        let m = self.model_for(phase);
+        let tokens: Vec<usize> = hist.iter().map(|&(t, _)| t).collect();
+        let addr = m.embed.infer_in(&tokens, s);
+        let mut pc = s.take(hist.len(), 1);
+        for (i, &(_, pcv)) in hist.iter().enumerate() {
+            pc.data[i] = pc_feature(pcv);
+        }
+        let x = ModalInput { addr, pc };
+        let pooled = m.backbone.infer_in(&x, phase, s);
+        let ModalInput { addr, pc } = x;
+        s.give(addr);
+        s.give(pc);
+        let logits = if m.tied {
+            let z = m.head.infer_in(&pooled, s);
+            let mut logits = s.take(z.rows, m.embed.table.w.rows);
+            z.matmul_bt_into(&m.embed.table.w, &mut logits);
+            s.give(z);
+            logits
+        } else {
+            m.head.infer_in(&pooled, s)
+        };
+        s.give(pooled);
+        logits
+    }
+
+    /// Arena-backed [`Self::predict_tokens`].
+    pub fn predict_tokens_in(
+        &self,
+        hist: &[(usize, u64)],
+        phase: usize,
+        k: usize,
+        s: &mut ScratchArena,
+    ) -> Vec<usize> {
+        let mut logits = self.predict_logits_in(hist, phase, s);
+        let toks = match self.cfg.head {
+            PageHead::Softmax => top_k_indices(logits.row(0), k),
+            PageHead::BinaryEncoded => {
+                Sigmoid::infer_inplace(&mut logits);
+                vec![Self::decode_bits(logits.row(0), self.vocab.len())]
+            }
+        };
+        s.give(logits);
+        toks
+    }
+
+    /// Arena-backed [`Self::predict_pages`] — the steady-state hot path of
+    /// [`crate::prefetcher::MpGraphPrefetcher`].
+    pub fn predict_pages_in(
+        &self,
+        hist: &[(usize, u64)],
+        phase: usize,
+        k: usize,
+        s: &mut ScratchArena,
+    ) -> Vec<u64> {
+        self.predict_tokens_in(hist, phase, k + 1, s)
+            .into_iter()
+            .filter_map(|t| self.vocab.page_of(t))
+            .take(k)
+            .collect()
     }
 
     /// Top-`k` predicted page tokens for a (token, pc) history.
@@ -379,6 +503,23 @@ impl PagePredictor {
             .iter_mut()
             .map(|m| m.embed.num_params() + m.backbone.num_params() + m.head.num_params())
             .sum()
+    }
+
+    /// Little-endian bytes of every trainable weight in traversal order —
+    /// the byte-level fingerprint the determinism tests compare.
+    pub fn weight_bytes(&mut self) -> Vec<u8> {
+        let mut out = Vec::new();
+        let mut push = |p: &mut mpgraph_ml::layers::Param| {
+            for v in &p.w.data {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        };
+        for m in self.models.iter_mut() {
+            m.embed.for_each_param(&mut push);
+            m.backbone.for_each_param(&mut push);
+            m.head.for_each_param(&mut push);
+        }
+        out
     }
 }
 
@@ -478,6 +619,41 @@ mod tests {
         assert!(bin.num_params() < soft.num_params());
         let acc = bin.evaluate_accuracy_at(&trace, &tc, 10, 150);
         assert!(acc > 0.3, "binary-encoded accuracy {acc}");
+    }
+
+    #[test]
+    fn arena_prediction_is_bit_identical_for_both_heads() {
+        let trace = two_phase_trace(2);
+        let (cfg, tc) = quick_cfg();
+        let tc = TrainCfg {
+            max_samples: 80,
+            epochs: 1,
+            ..tc
+        };
+        for head in [PageHead::Softmax, PageHead::BinaryEncoded] {
+            let cfg = PagePredictorConfig { head, ..cfg };
+            let model = PagePredictor::train(&trace, 2, Variant::AmmaPi, cfg, &tc);
+            let hist: Vec<(usize, u64)> = [11u64, 12, 10, 11, 12]
+                .iter()
+                .map(|&p| (model.vocab.token_of(p), 0x400000))
+                .collect();
+            let mut s = mpgraph_ml::ScratchArena::new();
+            for phase in [0usize, 1] {
+                let baseline = model.predict_logits(&hist, phase);
+                let w = model.predict_logits_in(&hist, phase, &mut s);
+                assert_eq!(w.data, baseline.data, "arena logits must be bit-identical");
+                s.give(w);
+                let (_, misses_after_warmup) = s.stats();
+                for _ in 0..4 {
+                    assert_eq!(
+                        model.predict_pages_in(&hist, phase, 2, &mut s),
+                        model.predict_pages(&hist, phase, 2)
+                    );
+                }
+                let (_, misses) = s.stats();
+                assert_eq!(misses, misses_after_warmup, "steady state allocated");
+            }
+        }
     }
 
     #[test]

@@ -4,12 +4,13 @@
 //! drops into the simulator exactly where BO/ISB/Voyager/TransFetch do.
 
 use crate::controller::Controller;
-use crate::cstp::{chain_prefetch, CstpConfig, Pbot};
+use crate::cstp::{chain_prefetch_in, CstpConfig, Pbot};
 use crate::delta_predictor::{DeltaPredictor, DeltaPredictorConfig};
 use crate::error::MpGraphError;
 use crate::page_predictor::{PagePredictor, PagePredictorConfig};
 use crate::variants::Variant;
 use mpgraph_frameworks::MemRecord;
+use mpgraph_ml::ScratchArena;
 use mpgraph_phase::{
     build_training_set, DecisionTree, DtDetector, Kswin, KswinConfig, SoftDtDetector, SoftKswin,
     TransitionDetector,
@@ -17,6 +18,7 @@ use mpgraph_phase::{
 use mpgraph_prefetchers::mlcommon::History;
 use mpgraph_prefetchers::TrainCfg;
 use mpgraph_sim::{LlcAccess, Prefetcher};
+use rayon::prelude::*;
 
 /// Steps between [`mpgraph_ml::TrainGuard`] weight checkpoints in the
 /// predictor training loops: frequent enough that a rollback loses little
@@ -130,6 +132,11 @@ pub struct MpGraphPrefetcher {
     /// Malformed prediction batches the controller rejected (each one is
     /// dropped and replay continues — introspection for health reports).
     pub observe_errors: u64,
+    /// Scratch buffers for the CSTP spatial lane. Two arenas (not one) so
+    /// `rayon::join` can hand each concurrent lane a disjoint `&mut`.
+    spatial_arena: ScratchArena,
+    /// Scratch buffers for the CSTP temporal-chain lane.
+    temporal_arena: ScratchArena,
 }
 
 /// Trains the full MPGraph stack on the training records (the first
@@ -154,6 +161,8 @@ pub fn train_mpgraph(
         num_phases,
         dp_distance: 0,
         observe_errors: 0,
+        spatial_arena: ScratchArena::new(),
+        temporal_arena: ScratchArena::new(),
         cfg,
     }
 }
@@ -204,6 +213,8 @@ impl MpGraphPrefetcher {
             num_phases,
             dp_distance: 0,
             observe_errors: 0,
+            spatial_arena: ScratchArena::new(),
+            temporal_arena: ScratchArena::new(),
             cfg,
         }
     }
@@ -251,15 +262,26 @@ impl Prefetcher for MpGraphPrefetcher {
         }
 
         // 3. During a probe window, score every phase model's predictions
-        //    against the demand stream and let the controller pick.
+        //    against the demand stream and let the controller pick. Every
+        //    phase model runs concurrently (`par_iter` preserves phase
+        //    order); probing is rare — a short window after each detected
+        //    transition — so each closure takes a fresh throwaway arena
+        //    rather than pre-warming one per phase.
         if self.controller.probing() {
-            let preds: Vec<Vec<u64>> = (0..self.num_phases)
-                .map(|p| {
-                    self.delta
-                        .predict_deltas(self.block_hist.items(), p, self.cfg.cstp.spatial_degree)
+            let phases: Vec<usize> = (0..self.num_phases).collect();
+            let delta = &self.delta;
+            let block_hist = self.block_hist.items();
+            let spatial_degree = self.cfg.cstp.spatial_degree;
+            let block = a.block;
+            let preds: Vec<Vec<u64>> = phases
+                .par_iter()
+                .map(move |&p| {
+                    let mut arena = ScratchArena::new();
+                    delta
+                        .predict_deltas_in(block_hist, p, spatial_degree, &mut arena)
                         .into_iter()
                         .filter_map(|d| {
-                            let t = a.block as i64 + d;
+                            let t = block as i64 + d;
                             (t >= 0).then_some(t as u64)
                         })
                         .collect()
@@ -273,10 +295,11 @@ impl Prefetcher for MpGraphPrefetcher {
         }
 
         // 4. CSTP with the selected phase's models; the temporal chain
-        //    follows the requesting core's own page stream.
+        //    follows the requesting core's own page stream. The spatial and
+        //    temporal lanes run concurrently on disjoint arenas.
         let phase = self.controller.current_phase();
         let page_items: Vec<(usize, u64)> = self.page_hists[(a.core as usize) % 8].items().to_vec();
-        let mut batch = chain_prefetch(
+        let mut batch = chain_prefetch_in(
             &self.delta,
             &self.page,
             &self.pbot,
@@ -284,6 +307,8 @@ impl Prefetcher for MpGraphPrefetcher {
             &page_items,
             phase,
             &self.cfg.cstp,
+            &mut self.spatial_arena,
+            &mut self.temporal_arena,
         );
         if self.dp_distance != 0 {
             // Distance prefetching: project each prediction further ahead
@@ -486,6 +511,58 @@ mod tests {
                 .map(|&b| (b as i64 - acc.block as i64).abs())
                 .sum();
             assert!(far_d >= near_d, "distance prefetch did not reach further");
+        }
+    }
+
+    #[test]
+    fn parallel_cstp_matches_serial_chain_bit_exactly() {
+        let train = workload(1);
+        let (cfg, tc) = quick_cfg();
+        let mut pf = train_mpgraph(&train, 2, cfg, &tc);
+        // Warm up histories and the PBOT with real replay.
+        let test = workload(1);
+        let mut out = Vec::new();
+        for r in &test[..120] {
+            out.clear();
+            pf.on_access(
+                &LlcAccess {
+                    pc: r.pc,
+                    block: r.block(),
+                    core: 0,
+                    is_write: false,
+                    hit: false,
+                    cycle: 0,
+                },
+                &mut out,
+            );
+        }
+        // The joined two-lane path must reproduce the serial batch exactly,
+        // for both phase models, steady-state arenas included.
+        let page_items: Vec<(usize, u64)> = pf.page_hists[0].items().to_vec();
+        for phase in [0usize, 1] {
+            for _ in 0..3 {
+                let serial = crate::cstp::chain_prefetch(
+                    &pf.delta,
+                    &pf.page,
+                    &pf.pbot,
+                    pf.block_hist.items(),
+                    &page_items,
+                    phase,
+                    &cfg.cstp,
+                );
+                let parallel = chain_prefetch_in(
+                    &pf.delta,
+                    &pf.page,
+                    &pf.pbot,
+                    pf.block_hist.items(),
+                    &page_items,
+                    phase,
+                    &cfg.cstp,
+                    &mut pf.spatial_arena,
+                    &mut pf.temporal_arena,
+                );
+                assert_eq!(parallel, serial, "phase {phase}");
+            }
         }
     }
 

@@ -1,6 +1,7 @@
 //! Scaled dot-product attention (Eq. 7 of the paper) in single-head and
 //! multi-head (Eq. 9) forms, with full backward passes.
 
+use crate::arena::ScratchArena;
 use crate::layers::{Module, Param};
 use crate::tensor::Matrix;
 use rand_chacha::ChaCha8Rng;
@@ -66,6 +67,29 @@ impl SelfAttention {
         let mut scores = q.matmul_bt(&k);
         scores.scale(1.0 / (self.head_dim as f32).sqrt());
         scores.softmax_rows().matmul(&v)
+    }
+
+    /// Inference-only forward through arena-owned scratch buffers; the
+    /// returned matrix should be `give`-n back by the caller.
+    pub fn infer_in(&self, x: &Matrix, s: &mut ScratchArena) -> Matrix {
+        let rows = x.rows;
+        let mut q = s.take(rows, self.head_dim);
+        let mut k = s.take(rows, self.head_dim);
+        let mut v = s.take(rows, self.head_dim);
+        x.matmul_into(&self.wq.w, &mut q);
+        x.matmul_into(&self.wk.w, &mut k);
+        x.matmul_into(&self.wv.w, &mut v);
+        let mut scores = s.take(rows, rows);
+        q.matmul_bt_into(&k, &mut scores);
+        scores.scale(1.0 / (self.head_dim as f32).sqrt());
+        scores.softmax_rows_inplace();
+        let mut y = s.take(rows, self.head_dim);
+        scores.matmul_into(&v, &mut y);
+        s.give(q);
+        s.give(k);
+        s.give(v);
+        s.give(scores);
+        y
     }
 
     pub fn backward(&mut self, dy: &Matrix) -> Matrix {
@@ -140,6 +164,24 @@ impl MultiHeadAttention {
             }
         }
         concat.matmul(&self.wo.w)
+    }
+
+    /// Inference-only forward through arena-owned scratch buffers.
+    pub fn infer_in(&self, x: &Matrix, s: &mut ScratchArena) -> Matrix {
+        let rows = x.rows;
+        let head_dim = self.dim / self.heads.len();
+        let mut concat = s.take(rows, self.dim);
+        for (h, head) in self.heads.iter().enumerate() {
+            let y = head.infer_in(x, s);
+            for r in 0..rows {
+                concat.row_mut(r)[h * head_dim..(h + 1) * head_dim].copy_from_slice(y.row(r));
+            }
+            s.give(y);
+        }
+        let mut out = s.take(rows, self.wo.w.cols);
+        concat.matmul_into(&self.wo.w, &mut out);
+        s.give(concat);
+        out
     }
 
     fn concat(&mut self, x: &Matrix, train: bool) -> Matrix {

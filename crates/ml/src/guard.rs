@@ -28,6 +28,29 @@ pub fn snapshot(module: &mut dyn Module) -> Snapshot {
     Snapshot { tensors }
 }
 
+/// Re-captures `module` into an existing snapshot, reusing its buffers when
+/// shapes match. Training loops checkpoint every few steps; copying into the
+/// previous snapshot's allocations makes that steady state allocation-free.
+/// Falls back to a fresh [`snapshot`] if the layout changed.
+pub fn snapshot_into(module: &mut dyn Module, snap: &mut Snapshot) {
+    let mut i = 0usize;
+    let mut ok = true;
+    module.for_each_param(&mut |p| {
+        match snap.tensors.get_mut(i) {
+            Some((w, m, v)) if ok && w.len() == p.w.data.len() => {
+                w.copy_from_slice(&p.w.data);
+                m.copy_from_slice(&p.m);
+                v.copy_from_slice(&p.v);
+            }
+            _ => ok = false,
+        }
+        i += 1;
+    });
+    if !ok || i != snap.tensors.len() {
+        *snap = snapshot(module);
+    }
+}
+
 /// Restores `module`'s parameters from `snap`. Returns `false` (leaving the
 /// module untouched beyond already-matching tensors) if the snapshot's
 /// shape does not match the module.
@@ -107,7 +130,13 @@ impl TrainGuard {
     }
 
     fn checkpoint(&mut self, modules: &mut [&mut dyn Module]) {
-        self.snaps = modules.iter_mut().map(|m| snapshot(*m)).collect();
+        if self.snaps.len() == modules.len() {
+            for (m, s) in modules.iter_mut().zip(self.snaps.iter_mut()) {
+                snapshot_into(*m, s);
+            }
+        } else {
+            self.snaps = modules.iter_mut().map(|m| snapshot(*m)).collect();
+        }
         self.since_checkpoint = 0;
     }
 
@@ -171,6 +200,21 @@ mod tests {
         assert!(restore(&mut l, &snap));
         assert_eq!(l.w.w.data, before);
         assert!(l.w.w.data.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn snapshot_into_matches_fresh_snapshot() {
+        let mut r = rng(7);
+        let mut l = Linear::new(3, 2, &mut r);
+        let mut snap = snapshot(&mut l);
+        l.w.w.data[0] = 42.0;
+        snapshot_into(&mut l, &mut snap);
+        let fresh = snapshot(&mut l);
+        assert_eq!(snap.tensors, fresh.tensors);
+        // A layout change falls back to rebuilding.
+        let mut big = Linear::new(5, 5, &mut r);
+        snapshot_into(&mut big, &mut snap);
+        assert_eq!(snap.tensors, snapshot(&mut big).tensors);
     }
 
     #[test]

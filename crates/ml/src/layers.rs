@@ -6,6 +6,7 @@
 //! no dynamic graph: the model shapes in this project are small and fixed,
 //! so explicit composition is simpler and faster.
 
+use crate::arena::ScratchArena;
 use crate::tensor::Matrix;
 use rand_chacha::ChaCha8Rng;
 
@@ -102,6 +103,16 @@ impl Linear {
         y
     }
 
+    /// Inference-only forward into an arena-owned buffer (no allocation
+    /// after warmup). The caller is responsible for `give`-ing the result
+    /// back once it is done with it.
+    pub fn infer_in(&self, x: &Matrix, s: &mut ScratchArena) -> Matrix {
+        let mut y = s.take(x.rows, self.w.w.cols);
+        x.matmul_into(&self.w.w, &mut y);
+        y.add_bias(&self.b.w.data);
+        y
+    }
+
     pub fn backward(&mut self, dy: &Matrix) -> Matrix {
         let x = self.cache_x.as_ref().expect("forward before backward");
         self.w.g.add_assign(&x.matmul_at(dy));
@@ -148,11 +159,36 @@ impl Embedding {
     pub fn infer(&self, tokens: &[usize]) -> Matrix {
         let dim = self.table.w.cols;
         let mut out = Matrix::zeros(tokens.len(), dim);
+        self.lookup_into(tokens, &mut out);
+        out
+    }
+
+    /// Inference-only lookup into an arena-owned buffer.
+    pub fn infer_in(&self, tokens: &[usize], s: &mut ScratchArena) -> Matrix {
+        let mut out = s.take(tokens.len(), self.table.w.cols);
+        self.lookup_into(tokens, &mut out);
+        out
+    }
+
+    fn lookup_into(&self, tokens: &[usize], out: &mut Matrix) {
         for (i, &t) in tokens.iter().enumerate() {
             assert!(t < self.table.w.rows, "token {t} out of vocab");
             out.row_mut(i).copy_from_slice(self.table.w.row(t));
         }
-        out
+    }
+
+    /// Adds the embedding row for `token` to every row of `m` — the
+    /// broadcast form AMMA-PI uses to mix a phase embedding into a fused
+    /// sequence without materializing the repeated-token matrix.
+    pub fn add_row_broadcast(&self, token: usize, m: &mut Matrix) {
+        assert!(token < self.table.w.rows, "token {token} out of vocab");
+        let row = self.table.w.row(token);
+        assert_eq!(row.len(), m.cols, "embedding dim mismatch");
+        for r in 0..m.rows {
+            for (a, b) in m.row_mut(r).iter_mut().zip(row.iter()) {
+                *a += b;
+            }
+        }
     }
 
     pub fn backward(&mut self, dy: &Matrix) {
@@ -196,12 +232,17 @@ impl Relu {
 
     pub fn infer(x: &Matrix) -> Matrix {
         let mut y = x.clone();
-        for v in y.data.iter_mut() {
+        Self::infer_inplace(&mut y);
+        y
+    }
+
+    /// In-place ReLU for the allocation-free inference path.
+    pub fn infer_inplace(x: &mut Matrix) {
+        for v in x.data.iter_mut() {
             if *v < 0.0 {
                 *v = 0.0;
             }
         }
-        y
     }
 
     pub fn backward(&self, dy: &Matrix) -> Matrix {
@@ -230,10 +271,15 @@ impl Sigmoid {
 
     pub fn infer(x: &Matrix) -> Matrix {
         let mut y = x.clone();
-        for v in y.data.iter_mut() {
+        Self::infer_inplace(&mut y);
+        y
+    }
+
+    /// In-place sigmoid for the allocation-free inference path.
+    pub fn infer_inplace(x: &mut Matrix) {
+        for v in x.data.iter_mut() {
             *v = 1.0 / (1.0 + (-*v).exp());
         }
-        y
     }
 
     pub fn backward(&self, dy: &Matrix) -> Matrix {
@@ -296,18 +342,25 @@ impl LayerNorm {
     }
 
     pub fn infer(&self, x: &Matrix) -> Matrix {
+        let mut y = x.clone();
+        self.infer_inplace(&mut y);
+        y
+    }
+
+    /// In-place layer norm: row statistics are computed before the row is
+    /// overwritten, so normalizing in place is exact (allocation-free
+    /// inference path).
+    pub fn infer_inplace(&self, x: &mut Matrix) {
         let d = x.cols;
-        let mut y = Matrix::zeros(x.rows, d);
         for r in 0..x.rows {
-            let row = x.row(r);
+            let row = x.row_mut(r);
             let mean = row.iter().sum::<f32>() / d as f32;
             let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
             let inv = 1.0 / (var + self.eps).sqrt();
-            for (c, &v) in row.iter().enumerate() {
-                y.data[r * d + c] = (v - mean) * inv * self.gamma.w.data[c] + self.beta.w.data[c];
+            for (c, v) in row.iter_mut().enumerate() {
+                *v = (*v - mean) * inv * self.gamma.w.data[c] + self.beta.w.data[c];
             }
         }
-        y
     }
 
     pub fn backward(&mut self, dy: &Matrix) -> Matrix {

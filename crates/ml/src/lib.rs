@@ -35,6 +35,7 @@
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::panic))]
 
+pub mod arena;
 pub mod attention;
 pub mod guard;
 pub mod layers;
@@ -47,6 +48,7 @@ pub mod quant;
 pub mod tensor;
 pub mod transformer;
 
+pub use arena::ScratchArena;
 pub use attention::{MultiHeadAttention, SelfAttention};
 pub use guard::{GuardAction, TrainGuard};
 pub use layers::{Embedding, LayerNorm, Linear, Module, Param, Relu, Sigmoid};

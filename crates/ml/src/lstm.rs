@@ -2,6 +2,7 @@
 //! paper's baselines (Hashemi et al.'s Delta-LSTM and Voyager's two-model
 //! predictor) and of the LSTM rows in Tables 6-7.
 
+use crate::arena::ScratchArena;
 use crate::layers::{Module, Param};
 use crate::tensor::Matrix;
 use rand_chacha::ChaCha8Rng;
@@ -57,9 +58,14 @@ impl Lstm {
         self.hidden
     }
 
-    fn step(&self, x: &[f32], h_prev: &[f32], c_prev: &[f32]) -> (StepCache, Vec<f32>, Vec<f32>) {
-        let h = self.hidden;
-        let mut z = self.b.w.data.clone();
+    /// Packed gate pre-activations `z = b + x W_ih + h_prev W_hh`.
+    ///
+    /// The input-side saxpy keeps its zero-skip: delta-history features are
+    /// sparse 0/1 bitmaps, so skipping zero inputs wins despite the branch.
+    /// The recurrent side is dense after the first timestep and runs
+    /// branch-free so it vectorizes.
+    fn gates_into(&self, x: &[f32], h_prev: &[f32], z: &mut [f32]) {
+        z.copy_from_slice(&self.b.w.data);
         for (k, &xv) in x.iter().enumerate() {
             if xv == 0.0 {
                 continue;
@@ -70,14 +76,17 @@ impl Lstm {
             }
         }
         for (k, &hv) in h_prev.iter().enumerate() {
-            if hv == 0.0 {
-                continue;
-            }
             let row = self.w_hh.w.row(k);
             for (zv, &wv) in z.iter_mut().zip(row.iter()) {
                 *zv += hv * wv;
             }
         }
+    }
+
+    fn step(&self, x: &[f32], h_prev: &[f32], c_prev: &[f32]) -> (StepCache, Vec<f32>, Vec<f32>) {
+        let h = self.hidden;
+        let mut z = vec![0.0; 4 * h];
+        self.gates_into(x, h_prev, &mut z);
         let mut i = vec![0.0; h];
         let mut f = vec![0.0; h];
         let mut g = vec![0.0; h];
@@ -139,6 +148,38 @@ impl Lstm {
             h = h_new;
             c = c_new;
         }
+        out
+    }
+
+    /// Inference through arena-owned buffers: the recurrence updates the
+    /// hidden and cell state in place, so the steady state allocates
+    /// nothing. Bit-identical to [`Lstm::infer`].
+    pub fn infer_in(&self, x: &Matrix, s: &mut ScratchArena) -> Matrix {
+        assert_eq!(x.cols, self.in_dim);
+        let hd = self.hidden;
+        let mut out = s.take(x.rows, hd);
+        let mut hm = s.take(1, hd);
+        let mut cm = s.take(1, hd);
+        let mut zm = s.take(1, 4 * hd);
+        for t in 0..x.rows {
+            // h_prev is fully folded into z before h is overwritten, and
+            // c[j] only reads its own slot, so in-place update is exact.
+            let (h_prev, z) = (&hm.data, &mut zm.data);
+            self.gates_into(x.row(t), h_prev, z);
+            for j in 0..hd {
+                let i = sigmoid(z[j]);
+                let f = sigmoid(z[hd + j]);
+                let g = z[2 * hd + j].tanh();
+                let o = sigmoid(z[3 * hd + j]);
+                let c = f * cm.data[j] + i * g;
+                cm.data[j] = c;
+                hm.data[j] = o * c.tanh();
+            }
+            out.row_mut(t).copy_from_slice(&hm.data);
+        }
+        s.give(hm);
+        s.give(cm);
+        s.give(zm);
         out
     }
 
@@ -243,6 +284,22 @@ mod tests {
         let a = l.forward(&x);
         let b = l.infer(&x);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn arena_infer_matches_infer_bit_exactly() {
+        let mut r = rng(8);
+        let l = Lstm::new(4, 6, &mut r);
+        let x = Matrix::xavier(5, 4, &mut r);
+        let baseline = l.infer(&x);
+        let mut s = crate::arena::ScratchArena::new();
+        for _ in 0..3 {
+            let y = l.infer_in(&x, &mut s);
+            assert_eq!(y.data, baseline.data);
+            s.give(y);
+        }
+        let (_, misses) = s.stats();
+        assert_eq!(misses, 4, "only the warmup round may allocate");
     }
 
     #[test]

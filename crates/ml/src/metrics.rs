@@ -36,7 +36,7 @@ impl Prf {
 }
 
 /// Micro-averaged multi-label F1: `predictions` and `targets` are parallel
-/// bitmaps (one Vec<bool> per sample).
+/// bitmaps (one `Vec<bool>` per sample).
 pub fn multilabel_f1(predictions: &[Vec<bool>], targets: &[Vec<bool>]) -> Prf {
     assert_eq!(predictions.len(), targets.len());
     let (mut tp, mut fp, mut fn_) = (0usize, 0usize, 0usize);

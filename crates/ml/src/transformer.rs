@@ -3,6 +3,7 @@
 //! and layer normalization (post-norm, as in the original architecture the
 //! paper cites).
 
+use crate::arena::ScratchArena;
 use crate::attention::MultiHeadAttention;
 use crate::layers::{LayerNorm, Linear, Module, Param, Relu};
 use crate::tensor::Matrix;
@@ -33,6 +34,15 @@ impl FeedForward {
 
     pub fn infer(&self, x: &Matrix) -> Matrix {
         self.fc2.infer(&Relu::infer(&self.fc1.infer(x)))
+    }
+
+    /// Inference-only forward through arena-owned scratch buffers.
+    pub fn infer_in(&self, x: &Matrix, s: &mut ScratchArena) -> Matrix {
+        let mut h = self.fc1.infer_in(x, s);
+        Relu::infer_inplace(&mut h);
+        let y = self.fc2.infer_in(&h, s);
+        s.give(h);
+        y
     }
 
     pub fn backward(&mut self, dy: &Matrix) -> Matrix {
@@ -86,6 +96,18 @@ impl TransformerLayer {
         let mut y = self.ffn.infer(&h);
         y.add_assign(&h);
         self.ln2.infer(&y)
+    }
+
+    /// Inference-only forward through arena-owned scratch buffers.
+    pub fn infer_in(&self, x: &Matrix, s: &mut ScratchArena) -> Matrix {
+        let mut h = self.msa.infer_in(x, s);
+        h.add_assign(x);
+        self.ln1.infer_inplace(&mut h);
+        let mut y = self.ffn.infer_in(&h, s);
+        y.add_assign(&h);
+        self.ln2.infer_inplace(&mut y);
+        s.give(h);
+        y
     }
 
     pub fn backward(&mut self, dy: &Matrix) -> Matrix {
@@ -179,6 +201,30 @@ mod tests {
         for (p, q) in a.data.iter().zip(b.data.iter()) {
             assert!((p - q).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn arena_infer_is_bit_identical_and_allocation_free() {
+        let mut r = rng(7);
+        let t = TransformerLayer::new(8, 4, &mut r);
+        let x = Matrix::xavier(3, 8, &mut r);
+        let baseline = t.infer(&x);
+        let mut s = crate::arena::ScratchArena::new();
+        // Warmup round.
+        let w = t.infer_in(&x, &mut s);
+        assert_eq!(w.data, baseline.data, "arena path must be bit-identical");
+        s.give(w);
+        let (_, misses_after_warmup) = s.stats();
+        for _ in 0..5 {
+            let y = t.infer_in(&x, &mut s);
+            assert_eq!(y.data, baseline.data);
+            s.give(y);
+        }
+        let (_, misses) = s.stats();
+        assert_eq!(
+            misses, misses_after_warmup,
+            "steady state must not allocate"
+        );
     }
 
     #[test]
