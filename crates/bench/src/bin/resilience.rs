@@ -2,9 +2,10 @@
 //! injected inference stalls, against the pure Best-Offset ceiling, plus
 //! the aggregated pipeline HealthReport.
 //!
-//! Usage: `cargo run --release -p mpgraph-bench --bin resilience [--quick]`
+//! Usage: `cargo run --release -p mpgraph-bench --bin resilience
+//! [--quick] [--metrics-out <path>]`
 
-use mpgraph_bench::report::{dump_json, print_table};
+use mpgraph_bench::report::{dump_json, metrics_out_arg, print_table, write_json_to};
 use mpgraph_bench::runners::resilience::run_resilience;
 use mpgraph_bench::ExpScale;
 
@@ -42,6 +43,28 @@ fn main() {
         .map(|h| vec![h.component.clone(), h.status.clone(), h.detail.clone()])
         .collect();
     print_table("Health report", &["Component", "Status", "Detail"], &health);
+    let m = &rep.metrics;
+    println!(
+        "\nguarded-run metrics: {} issued, accuracy {:.3}, coverage {:.3}, timeliness {:.3}",
+        m.issued, m.accuracy, m.coverage, m.timeliness
+    );
+    println!(
+        "  cstp: pbot hit rate {:.3}, avg chain {:.2}, {} duplicates suppressed",
+        m.cstp.pbot_hit_rate, m.cstp.avg_chain_len, m.cstp.duplicates_suppressed
+    );
+    println!(
+        "  latency: inference p50/p99 {}/{} cyc, memory p50/p99 {}/{} cyc",
+        m.inference_latency.p50,
+        m.inference_latency.p99,
+        m.memory_latency.p50,
+        m.memory_latency.p99
+    );
+    if let Some(path) = metrics_out_arg() {
+        match write_json_to(&path, &rep.metrics) {
+            Ok(()) => println!("wrote metrics to {}", path.display()),
+            Err(e) => eprintln!("failed to write metrics to {}: {e}", path.display()),
+        }
+    }
     if let Ok(p) = dump_json("resilience", &rep) {
         println!("\nwrote {}", p.display());
     }

@@ -46,6 +46,34 @@ pub fn dump_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<PathBuf
     Ok(path)
 }
 
+/// Parses `--metrics-out <path>` (or `--metrics-out=<path>`) from argv.
+/// Returns `None` when the flag is absent, so binaries that never heard of
+/// metrics keep working unchanged.
+pub fn metrics_out_arg() -> Option<PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    for (i, a) in args.iter().enumerate() {
+        if let Some(p) = a.strip_prefix("--metrics-out=") {
+            return Some(PathBuf::from(p));
+        }
+        if a == "--metrics-out" {
+            return args.get(i + 1).map(PathBuf::from);
+        }
+    }
+    None
+}
+
+/// Writes a metrics snapshot (or any serializable value) as pretty JSON to
+/// an explicit path, creating parent directories as needed.
+pub fn write_json_to<T: Serialize>(path: &std::path::Path, value: &T) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let json = serde_json::to_string_pretty(value).expect("serializable");
+    std::fs::write(path, json)
+}
+
 /// Formats a ratio as a percentage with two decimals.
 pub fn pct(v: f64) -> String {
     format!("{:.2}%", v * 100.0)

@@ -115,22 +115,38 @@ fn sample_interleaved_ns(
         .map(|(&x, &y)| x as f64 / y.max(1) as f64)
         .collect();
     ratios.sort_unstable_by(f64::total_cmp);
-    let median_ratio = ratios
-        .get(ratios.len().saturating_sub(1) / 2)
-        .copied()
-        .unwrap_or(0.0);
+    let median_ratio = median(&ratios);
     va.sort_unstable();
     vb.sort_unstable();
     (va, vb, median_ratio)
 }
 
-/// Nearest-rank percentile over sorted samples, `p` in [0, 1].
+/// Median of a sorted slice: the mean of the two middle elements when the
+/// length is even (the lower-middle shortcut biases an even-length gate
+/// stream low — a real regression can hide in the skipped upper middle).
+fn median(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    }
+}
+
+/// Nearest-rank percentile over sorted samples, `p` in [0, 1]: the value
+/// at rank `⌈p·n⌉` (1-based, clamped). The previous `.round()` of
+/// `(n-1)·p` sat *below* the nearest-rank definition for most `p`/`n`
+/// combinations, understating tail latencies.
 pub fn percentile(sorted: &[u64], p: f64) -> u64 {
     if sorted.is_empty() {
         return 0;
     }
-    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
+    let n = sorted.len();
+    let rank = ((p * n as f64).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
 }
 
 fn entry(name: &str, sorted: &[u64], calibration_p50: u64) -> PerfEntry {
@@ -450,10 +466,23 @@ mod tests {
     fn percentile_nearest_rank() {
         let v: Vec<u64> = (1..=100).collect();
         assert_eq!(percentile(&v, 0.0), 1);
-        assert_eq!(percentile(&v, 0.50), 51); // nearest-rank on 0-based idx
+        assert_eq!(percentile(&v, 0.50), 50); // rank ⌈0.5·100⌉ = 50
         assert_eq!(percentile(&v, 0.99), 99);
         assert_eq!(percentile(&v, 1.0), 100);
         assert_eq!(percentile(&[], 0.5), 0);
+        // Odd length: p50 is the true middle.
+        let odd: Vec<u64> = (1..=5).collect();
+        assert_eq!(percentile(&odd, 0.5), 3);
+        assert_eq!(percentile(&odd, 0.9), 5);
+    }
+
+    #[test]
+    fn median_averages_even_middles() {
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(median(&[3.0]), 3.0);
+        assert_eq!(median(&[1.0, 2.0]), 1.5);
+        assert_eq!(median(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(median(&[1.0, 2.0, 3.0, 10.0]), 2.5);
     }
 
     #[test]

@@ -18,12 +18,12 @@ use crate::scale::ExpScale;
 use crate::workload::{build_workload, carrier};
 use mpgraph_core::{
     train_mpgraph, ComponentHealth, ComponentStatus, DegradationGuard, GuardConfig, HealthReport,
-    MpGraphPrefetcher,
+    MetricsSnapshot, MpGraphPrefetcher, PrefetchScoreboard,
 };
 use mpgraph_prefetchers::{BestOffset, BoConfig};
 use mpgraph_sim::{
-    simulate, simulate_with_faults, FaultConfig, FaultInjector, FaultKind, NullPrefetcher,
-    SimResult,
+    simulate, simulate_observed, simulate_with_faults, FaultConfig, FaultInjector, FaultKind,
+    NullPrefetcher, SimResult,
 };
 use serde::Serialize;
 
@@ -56,6 +56,11 @@ pub struct ResilienceReport {
     pub health: Vec<HealthRow>,
     pub inference_stalls_injected: u64,
     pub guard_tripped: bool,
+    /// Pipeline-wide observability snapshot from the guarded run: per-phase
+    /// and per-lane prefetch outcomes, CSTP/detector/controller/guard/
+    /// training counters, and the latency histograms (`--metrics-out`
+    /// serializes exactly this).
+    pub metrics: MetricsSnapshot,
 }
 
 /// Stall regime for the demo: most inferences hang far past the deadline
@@ -74,6 +79,19 @@ fn row(config: &str, stalled: bool, r: &SimResult, base: &SimResult) -> Resilien
         ipc: r.ipc(),
         ipc_improvement_pct: r.ipc_improvement(base),
     }
+}
+
+/// Folds every counter the guarded deployment owns into the scoreboard's
+/// snapshot: CSTP, detector, controller and training metrics from the
+/// wrapped MPGraph prefetcher, plus the guard's own trip ledger.
+pub fn guarded_snapshot(
+    scoreboard: &PrefetchScoreboard,
+    guard: &DegradationGuard<MpGraphPrefetcher>,
+) -> MetricsSnapshot {
+    let mut snap = scoreboard.snapshot();
+    guard.inner().enrich_snapshot(&mut snap);
+    snap.guard = guard.metrics();
+    snap
 }
 
 /// Aggregates pipeline health after a guarded run.
@@ -131,12 +149,23 @@ pub fn run_resilience(scale: &ExpScale) -> ResilienceReport {
     let r_unguarded = simulate_with_faults(&w.test, &mut mp, &cfg, Some(&mut inj));
     rows.push(row("MPGraph unguarded", true, &r_unguarded, &base));
 
+    // The guarded run is the observed one: a scoreboard classifies every
+    // prefetch it issues, and its snapshot rides along in the report.
     let mut guarded = DegradationGuard::new(mp, GuardConfig::default());
     let mut inj = FaultInjector::new(stall_faults(1));
-    let r_guarded = simulate_with_faults(&w.test, &mut guarded, &cfg, Some(&mut inj));
+    let mut scoreboard = PrefetchScoreboard::new(w.num_phases, 4096);
+    let r_guarded = simulate_observed(
+        &w.test,
+        &mut guarded,
+        &cfg,
+        Some(&mut inj),
+        Some(&mut scoreboard),
+    );
     rows.push(row("MPGraph guarded", true, &r_guarded, &base));
 
-    let report = health_report(&guarded, &r_guarded);
+    let metrics = guarded_snapshot(&scoreboard, &guarded);
+    let mut report = health_report(&guarded, &r_guarded);
+    report.set_metrics(metrics.clone());
     ResilienceReport {
         health: report
             .components
@@ -149,6 +178,7 @@ pub fn run_resilience(scale: &ExpScale) -> ResilienceReport {
             .collect(),
         inference_stalls_injected: r_guarded.faults.count(FaultKind::StallInference),
         guard_tripped: guarded.trips > 0,
+        metrics,
         rows,
     }
 }
@@ -198,12 +228,39 @@ mod tests {
     }
 
     #[test]
-    fn health_report_names_every_component() {
+    fn health_report_names_every_component_and_metrics_ride_along() {
         let scale = ExpScale::quick();
         let rep = run_resilience(&scale);
         let names: Vec<&str> = rep.health.iter().map(|h| h.component.as_str()).collect();
         for expected in ["degradation-guard", "controller", "simulator"] {
             assert!(names.contains(&expected), "missing {expected} in {names:?}");
+        }
+
+        // The scoreboard observed the guarded run end to end.
+        let m = &rep.metrics;
+        assert!(m.issued > 0, "no prefetches observed");
+        assert!((0.0..=1.0).contains(&m.accuracy));
+        assert!((0.0..=1.0).contains(&m.coverage));
+        assert!(!m.phases.is_empty());
+        assert!(m.memory_latency.count > 0, "no memory latencies recorded");
+        assert!(m.memory_latency.p99 >= m.memory_latency.p50);
+        // Prefetcher-side counters were folded in.
+        assert!(m.cstp.batches > 0);
+        assert!(!m.detector.name.is_empty());
+        assert!(m.detector.updates > 0);
+        assert!(m.training.steps > 0);
+        assert!(m.guard.trips > 0, "guard metrics missing trips");
+        // And the whole thing serializes for --metrics-out / CI artifacts.
+        let text = serde_json::to_string(&rep.metrics).expect("metrics serialize");
+        for key in [
+            "accuracy",
+            "coverage",
+            "timeliness",
+            "pbot_hit_rate",
+            "duplicates_suppressed",
+            "inference_latency",
+        ] {
+            assert!(text.contains(key), "metrics JSON missing {key}");
         }
     }
 }

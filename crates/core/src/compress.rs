@@ -136,6 +136,8 @@ pub fn distill_delta(
         models,
         num_phases,
         final_loss,
+        train_steps: 0,
+        train_rollbacks: 0,
     }
 }
 

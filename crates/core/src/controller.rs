@@ -24,6 +24,8 @@ pub struct Controller {
     scores: Vec<PhaseScore>,
     /// Total transitions acted on (introspection).
     pub transitions_handled: usize,
+    /// Probe observations scored (introspection, for metrics snapshots).
+    pub observations: u64,
 }
 
 impl Controller {
@@ -35,6 +37,7 @@ impl Controller {
             remaining: 0,
             scores: vec![PhaseScore::default(); num_phases.max(1)],
             transitions_handled: 0,
+            observations: 0,
         }
     }
 
@@ -101,6 +104,7 @@ impl Controller {
             }
             s.last_preds = preds.clone();
         }
+        self.observations += 1;
         self.remaining -= 1;
         if self.remaining == 0 {
             let best = self

@@ -10,7 +10,84 @@
 use crate::delta_predictor::DeltaPredictor;
 use crate::page_predictor::PagePredictor;
 use mpgraph_ml::ScratchArena;
+use mpgraph_sim::{PrefetchLane, BLOCK_BITS, BLOCK_OFFSET_MASK};
 use std::collections::HashMap;
+
+/// Rolling CSTP counters: chain lengths, PBOT hit rate, and duplicates
+/// suppressed by batch dedup. One instance lives in the prefetcher and is
+/// folded into the pipeline [`MetricsSnapshot`](crate::obs::MetricsSnapshot).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CstpStats {
+    /// Prefetch batches generated.
+    pub batches: u64,
+    /// Temporal chain steps completed (sum of per-batch chain lengths).
+    pub chain_steps: u64,
+    /// Longest temporal chain observed in a single batch.
+    pub max_chain_len: u64,
+    /// PBOT lookups that found the predicted page.
+    pub pbot_hits: u64,
+    /// PBOT lookups that missed (chain terminated early).
+    pub pbot_misses: u64,
+    /// Duplicate block addresses suppressed before truncation — each one a
+    /// candidate that would have silently wasted degree budget.
+    pub duplicates_suppressed: u64,
+}
+
+impl CstpStats {
+    /// Fraction of PBOT lookups that hit (0 when no lookups happened).
+    pub fn pbot_hit_rate(&self) -> f64 {
+        let total = self.pbot_hits + self.pbot_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.pbot_hits as f64 / total as f64
+        }
+    }
+
+    /// Mean temporal chain length per batch.
+    pub fn avg_chain_len(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.chain_steps as f64 / self.batches as f64
+        }
+    }
+
+    /// Folds counters accumulated on another thread (the parallel temporal
+    /// lane) into this instance.
+    pub fn merge(&mut self, other: &CstpStats) {
+        self.batches += other.batches;
+        self.chain_steps += other.chain_steps;
+        self.max_chain_len = self.max_chain_len.max(other.max_chain_len);
+        self.pbot_hits += other.pbot_hits;
+        self.pbot_misses += other.pbot_misses;
+        self.duplicates_suppressed += other.duplicates_suppressed;
+    }
+}
+
+/// Removes repeated block addresses from `out`, keeping the first emission
+/// of each (spatial-before-temporal priority is therefore preserved), and
+/// mirrors the removals into the parallel `lanes` attribution vector when
+/// one is supplied. Returns the number of duplicates suppressed.
+///
+/// Batches are bounded by Eq. 11 (≤ `Ds*(Dt+1)`, 6 at paper defaults), so
+/// the quadratic membership scan beats any hash set — and allocates nothing.
+pub fn dedup_first_order(out: &mut Vec<u64>, mut lanes: Option<&mut Vec<PrefetchLane>>) -> u64 {
+    let mut suppressed = 0u64;
+    let mut i = 0;
+    while i < out.len() {
+        if out[..i].contains(&out[i]) {
+            out.remove(i);
+            if let Some(l) = lanes.as_deref_mut() {
+                l.remove(i);
+            }
+            suppressed += 1;
+        } else {
+            i += 1;
+        }
+    }
+    suppressed
+}
 
 /// Page Base Offset Table: page → (latest block offset, latest PC).
 /// Bounded FIFO-ish: on overflow the table is halved by dropping the
@@ -86,7 +163,9 @@ impl CstpConfig {
 ///
 /// * `block_hist` — the last T (block, pc) pairs, most recent last;
 /// * `page_hist` — the last T (page token, pc) pairs;
-/// * `phase` — the controller's selected phase (chooses the PS models).
+/// * `phase` — the controller's selected phase (chooses the PS models);
+/// * `stats` — rolling counters (chain length, PBOT hit rate, dedup).
+#[allow(clippy::too_many_arguments)]
 pub fn chain_prefetch(
     delta: &DeltaPredictor,
     page: &PagePredictor,
@@ -95,6 +174,7 @@ pub fn chain_prefetch(
     page_hist: &[(usize, u64)],
     phase: usize,
     cfg: &CstpConfig,
+    stats: &mut CstpStats,
 ) -> Vec<u64> {
     let mut out = Vec::with_capacity(cfg.max_degree());
     let &(cur_block, _) = block_hist.last().expect("non-empty history");
@@ -108,6 +188,7 @@ pub fn chain_prefetch(
     }
 
     // --- Temporal chain.
+    let mut chain_len = 0u64;
     let mut ph: Vec<(usize, u64)> = page_hist.to_vec();
     let mut bh: Vec<(u64, u64)> = block_hist.to_vec();
     for _step in 0..cfg.temporal_degree {
@@ -117,14 +198,19 @@ pub fn chain_prefetch(
         };
         // PBOT lookup: chain ends when the page base offset is missing.
         let Some((offset, pbot_pc)) = pbot.get(next_page) else {
+            stats.pbot_misses += 1;
             break;
         };
-        let base = (next_page << 6) | (offset & 63);
+        stats.pbot_hits += 1;
+        chain_len += 1;
+        let base = (next_page << BLOCK_BITS) | (offset & BLOCK_OFFSET_MASK);
         out.push(base);
         // Further spatial inference from the chained base: shift the block
         // history as if the base had just been accessed.
-        bh.remove(0);
-        bh.push((base, pbot_pc));
+        bh.rotate_left(1);
+        if let Some(slot) = bh.last_mut() {
+            *slot = (base, pbot_pc);
+        }
         for d in delta.predict_deltas(&bh, phase, cfg.spatial_degree.saturating_sub(1)) {
             let t = base as i64 + d;
             if t >= 0 {
@@ -134,9 +220,17 @@ pub fn chain_prefetch(
         // Extend the page history with the predicted page for the next
         // temporal step.
         let tok = page.vocab.token_of(next_page);
-        ph.remove(0);
-        ph.push((tok, pbot_pc));
+        ph.rotate_left(1);
+        if let Some(slot) = ph.last_mut() {
+            *slot = (tok, pbot_pc);
+        }
     }
+    // A spatial delta can collide with the chained base (or its deltas);
+    // suppress repeats so truncation never spends degree budget on them.
+    stats.duplicates_suppressed += dedup_first_order(&mut out, None);
+    stats.batches += 1;
+    stats.chain_steps += chain_len;
+    stats.max_chain_len = stats.max_chain_len.max(chain_len);
     out.truncate(cfg.max_degree());
     out
 }
@@ -151,6 +245,9 @@ pub fn chain_prefetch(
 /// concatenated spatial-first — exactly the order the serial
 /// [`chain_prefetch`] pushes them — so the batch is bit-identical to the
 /// serial path no matter how the two lanes are scheduled.
+/// `lanes` is cleared and refilled parallel to the returned batch, marking
+/// each candidate [`PrefetchLane::Spatial`] or [`PrefetchLane::Temporal`]
+/// for per-lane scoreboard attribution.
 #[allow(clippy::too_many_arguments)]
 pub fn chain_prefetch_in(
     delta: &DeltaPredictor,
@@ -162,10 +259,12 @@ pub fn chain_prefetch_in(
     cfg: &CstpConfig,
     spatial_arena: &mut ScratchArena,
     temporal_arena: &mut ScratchArena,
+    lanes: &mut Vec<PrefetchLane>,
+    stats: &mut CstpStats,
 ) -> Vec<u64> {
     let &(cur_block, _) = block_hist.last().expect("non-empty history");
 
-    let (spatial, chain) = rayon::join(
+    let (spatial, (chain, lane_stats)) = rayon::join(
         // --- Spatial lane: Ds deltas at the current access.
         move || {
             delta
@@ -178,8 +277,12 @@ pub fn chain_prefetch_in(
                 .collect::<Vec<u64>>()
         },
         // --- Temporal lane: the page chain plus chained spatial inference.
+        // Counters accumulate in a lane-local `CstpStats` merged after the
+        // join, so the lane borrows nothing mutable from the caller.
         move || {
             let mut out = Vec::new();
+            let mut ls = CstpStats::default();
+            let mut chain_len = 0u64;
             let mut ph: Vec<(usize, u64)> = page_hist.to_vec();
             let mut bh: Vec<(u64, u64)> = block_hist.to_vec();
             for _step in 0..cfg.temporal_degree {
@@ -188,12 +291,17 @@ pub fn chain_prefetch_in(
                     break;
                 };
                 let Some((offset, pbot_pc)) = pbot.get(next_page) else {
+                    ls.pbot_misses += 1;
                     break;
                 };
-                let base = (next_page << 6) | (offset & 63);
+                ls.pbot_hits += 1;
+                chain_len += 1;
+                let base = (next_page << BLOCK_BITS) | (offset & BLOCK_OFFSET_MASK);
                 out.push(base);
-                bh.remove(0);
-                bh.push((base, pbot_pc));
+                bh.rotate_left(1);
+                if let Some(slot) = bh.last_mut() {
+                    *slot = (base, pbot_pc);
+                }
                 for d in delta.predict_deltas_in(
                     &bh,
                     phase,
@@ -206,16 +314,29 @@ pub fn chain_prefetch_in(
                     }
                 }
                 let tok = page.vocab.token_of(next_page);
-                ph.remove(0);
-                ph.push((tok, pbot_pc));
+                ph.rotate_left(1);
+                if let Some(slot) = ph.last_mut() {
+                    *slot = (tok, pbot_pc);
+                }
             }
-            out
+            ls.chain_steps = chain_len;
+            ls.max_chain_len = chain_len;
+            (out, ls)
         },
     );
 
     let mut out = spatial;
+    lanes.clear();
+    lanes.resize(out.len(), PrefetchLane::Spatial);
     out.extend(chain);
+    lanes.resize(out.len(), PrefetchLane::Temporal);
+    // Identical dedup to the serial path (the concatenation order matches
+    // its emission order), keeping the two paths bit-exact.
+    stats.duplicates_suppressed += dedup_first_order(&mut out, Some(lanes));
+    stats.merge(&lane_stats);
+    stats.batches += 1;
     out.truncate(cfg.max_degree());
+    lanes.truncate(cfg.max_degree());
     out
 }
 
@@ -242,6 +363,62 @@ mod tests {
         assert!(p.len() <= 8);
         // Most recent pages survive.
         assert!(p.get(99).is_some());
+    }
+
+    #[test]
+    fn dedup_keeps_first_emission_order() {
+        let mut out = vec![10, 11, 10, 12, 11, 13];
+        let suppressed = dedup_first_order(&mut out, None);
+        assert_eq!(out, vec![10, 11, 12, 13]);
+        assert_eq!(suppressed, 2);
+    }
+
+    #[test]
+    fn dedup_mirrors_removals_into_lanes() {
+        use PrefetchLane::{Spatial as S, Temporal as T};
+        let mut out = vec![10, 11, 10, 12];
+        let mut lanes = vec![S, S, T, T];
+        let suppressed = dedup_first_order(&mut out, Some(&mut lanes));
+        assert_eq!(out, vec![10, 11, 12]);
+        // The suppressed copy was the temporal re-emission of block 10;
+        // the surviving entry keeps its spatial attribution.
+        assert_eq!(lanes, vec![S, S, T]);
+        assert_eq!(suppressed, 1);
+    }
+
+    #[test]
+    fn dedup_noop_on_unique_batch() {
+        let mut out = vec![1, 2, 3];
+        assert_eq!(dedup_first_order(&mut out, None), 0);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn stats_rates() {
+        let mut s = CstpStats {
+            batches: 4,
+            chain_steps: 6,
+            max_chain_len: 2,
+            pbot_hits: 6,
+            pbot_misses: 2,
+            duplicates_suppressed: 3,
+        };
+        assert!((s.pbot_hit_rate() - 0.75).abs() < 1e-12);
+        assert!((s.avg_chain_len() - 1.5).abs() < 1e-12);
+        let other = CstpStats {
+            batches: 1,
+            chain_steps: 3,
+            max_chain_len: 3,
+            pbot_hits: 3,
+            pbot_misses: 0,
+            duplicates_suppressed: 1,
+        };
+        s.merge(&other);
+        assert_eq!(s.batches, 5);
+        assert_eq!(s.max_chain_len, 3);
+        assert_eq!(s.duplicates_suppressed, 4);
+        assert_eq!(CstpStats::default().pbot_hit_rate(), 0.0);
+        assert_eq!(CstpStats::default().avg_chain_len(), 0.0);
     }
 
     #[test]

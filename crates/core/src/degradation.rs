@@ -14,9 +14,10 @@
 use crate::error::MpGraphError;
 use crate::health::{ComponentHealth, ComponentStatus};
 use crate::latency::amma_latency;
+use crate::obs::GuardMetrics;
 use crate::AmmaConfig;
 use mpgraph_prefetchers::{BestOffset, BoConfig};
-use mpgraph_sim::{LlcAccess, Prefetcher};
+use mpgraph_sim::{LlcAccess, PrefetchTag, Prefetcher};
 use std::collections::{HashMap, VecDeque};
 
 /// Guard thresholds. Build with [`GuardConfig::try_new`] (validated) or
@@ -212,6 +213,16 @@ impl<P: Prefetcher> DegradationGuard<P> {
         }
     }
 
+    /// Lifetime counters for a [`crate::obs::MetricsSnapshot`].
+    pub fn metrics(&self) -> GuardMetrics {
+        GuardMetrics {
+            trips: self.trips,
+            recoveries: self.recoveries,
+            deadline_misses: self.deadline_misses,
+            accesses_degraded: self.accesses_degraded,
+        }
+    }
+
     /// Current condition for a [`crate::health::HealthReport`].
     pub fn health(&self) -> ComponentHealth {
         let status = if self.is_healthy() {
@@ -353,6 +364,21 @@ impl<P: Prefetcher> Prefetcher for DegradationGuard<P> {
                 self.fallback.latency()
             }
         }
+    }
+
+    /// While healthy the issued batch is the ML path's, so its attribution
+    /// passes through; degraded batches come from Best-Offset, which does
+    /// not tag (the engine falls back to unattributed tags).
+    fn last_batch_tags(&self) -> &[PrefetchTag] {
+        if self.is_healthy() {
+            self.ml.last_batch_tags()
+        } else {
+            &[]
+        }
+    }
+
+    fn current_phase_id(&self) -> u8 {
+        self.ml.current_phase_id()
     }
 
     fn on_access(&mut self, a: &LlcAccess, out: &mut Vec<u64>) {

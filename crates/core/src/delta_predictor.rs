@@ -87,6 +87,10 @@ pub struct DeltaPredictor {
     pub(crate) models: Vec<(Backbone, Linear)>,
     pub(crate) num_phases: usize,
     pub final_loss: f32,
+    /// Optimizer steps taken across all phase models and epochs.
+    pub train_steps: u64,
+    /// `TrainGuard` weight rollbacks during training (0 on clean runs).
+    pub train_rollbacks: u64,
 }
 
 impl DeltaPredictor {
@@ -195,14 +199,16 @@ impl DeltaPredictor {
             .zip(opts.iter_mut())
             .zip(guards.iter_mut().zip(schedules.iter()))
             .collect();
-        let stats: Vec<(f32, usize)> = jobs
+        let stats: Vec<(f32, usize, u64)> = jobs
             .into_par_iter()
             .map(|((model, opt), (guard, schedule))| {
                 Self::train_one_model(records, num_phases, &cfg, tc, model, opt, guard, schedule)
             })
             .collect();
-        let loss_sum: f32 = stats.iter().map(|&(l, _)| l).sum();
-        let count: usize = stats.iter().map(|&(_, c)| c).sum();
+        let loss_sum: f32 = stats.iter().map(|&(l, _, _)| l).sum();
+        let count: usize = stats.iter().map(|&(_, c, _)| c).sum();
+        let train_steps: u64 = stats.iter().map(|&(_, _, s)| s).sum();
+        let train_rollbacks: u64 = guards.iter().map(|g| g.rollbacks as u64).sum();
         let final_loss = if count > 0 {
             loss_sum / count as f32
         } else {
@@ -214,11 +220,14 @@ impl DeltaPredictor {
             models,
             num_phases: num_phases.max(1),
             final_loss,
+            train_steps,
+            train_rollbacks,
         }
     }
 
     /// Trains one phase model over its precomputed sample schedule for all
-    /// epochs. Returns the last completed epoch's (loss sum, sample count).
+    /// epochs. Returns the last completed epoch's (loss sum, sample count)
+    /// plus the total optimizer steps taken across every epoch.
     #[allow(clippy::too_many_arguments)]
     fn train_one_model(
         records: &[MemRecord],
@@ -229,10 +238,11 @@ impl DeltaPredictor {
         opt: &mut Adam,
         guard: &mut TrainGuard,
         schedule: &[usize],
-    ) -> (f32, usize) {
+    ) -> (f32, usize, u64) {
         let t = tc.history;
         let (backbone, head) = model;
         let mut last = (0.0f32, 0usize);
+        let mut steps = 0u64;
         'epochs: for _ in 0..tc.epochs {
             let mut count = 0usize;
             let mut loss_sum = 0.0f32;
@@ -253,6 +263,7 @@ impl DeltaPredictor {
                 opt.step(backbone);
                 opt.step(head);
                 count += 1;
+                steps += 1;
                 match guard.observe(
                     loss,
                     &mut [backbone as &mut dyn Module, head as &mut dyn Module],
@@ -265,7 +276,7 @@ impl DeltaPredictor {
             }
             last = (loss_sum, count);
         }
-        last
+        (last.0, last.1, steps)
     }
 
     fn model_for(&self, phase: usize) -> &(Backbone, Linear) {

@@ -5,6 +5,7 @@
 //! counts the simulator injected, giving bench runners and the CLI one
 //! structure to print or serialize after a resilience run.
 
+use crate::obs::MetricsSnapshot;
 use mpgraph_sim::FaultStats;
 use std::fmt;
 
@@ -56,6 +57,9 @@ impl ComponentHealth {
 pub struct HealthReport {
     pub components: Vec<ComponentHealth>,
     pub faults: FaultStats,
+    /// Pipeline metrics captured alongside the component healths, when the
+    /// run was observed by a [`crate::obs::PrefetchScoreboard`].
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl HealthReport {
@@ -69,6 +73,10 @@ impl HealthReport {
 
     pub fn set_faults(&mut self, faults: FaultStats) {
         self.faults = faults;
+    }
+
+    pub fn set_metrics(&mut self, metrics: MetricsSnapshot) {
+        self.metrics = Some(metrics);
     }
 
     /// Worst status across components (`Healthy` when empty).
@@ -114,6 +122,26 @@ impl fmt::Display for HealthReport {
                 self.faults.stall_cycles_injected,
             )?;
         }
+        if let Some(m) = &self.metrics {
+            writeln!(
+                f,
+                "  prefetch: {} issued, accuracy {:.3}, coverage {:.3}, timeliness {:.3}",
+                m.issued, m.accuracy, m.coverage, m.timeliness,
+            )?;
+            writeln!(
+                f,
+                "  cstp: pbot hit rate {:.3}, avg chain {:.2}, {} duplicates suppressed",
+                m.cstp.pbot_hit_rate, m.cstp.avg_chain_len, m.cstp.duplicates_suppressed,
+            )?;
+            writeln!(
+                f,
+                "  latency: inference p50/p99 {}/{} cyc, memory p50/p99 {}/{} cyc",
+                m.inference_latency.p50,
+                m.inference_latency.p99,
+                m.memory_latency.p50,
+                m.memory_latency.p99,
+            )?;
+        }
         Ok(())
     }
 }
@@ -157,5 +185,21 @@ mod tests {
         assert!(text.contains("7 stalls"));
         assert!(r.saw_fault(mpgraph_sim::FaultKind::StallInference));
         assert!(!r.saw_fault(mpgraph_sim::FaultKind::CorruptRecord));
+    }
+
+    #[test]
+    fn display_folds_metrics_when_present() {
+        let mut r = HealthReport::new();
+        assert!(!r.to_string().contains("prefetch:"));
+        let mut m = MetricsSnapshot::default();
+        m.issued = 12;
+        m.accuracy = 0.5;
+        m.cstp.duplicates_suppressed = 3;
+        m.inference_latency.p99 = 77;
+        r.set_metrics(m);
+        let text = r.to_string();
+        assert!(text.contains("prefetch: 12 issued"));
+        assert!(text.contains("3 duplicates suppressed"));
+        assert!(text.contains("p50/p99"));
     }
 }

@@ -27,6 +27,7 @@ pub mod delta_predictor;
 pub mod error;
 pub mod health;
 pub mod latency;
+pub mod obs;
 pub mod page_predictor;
 pub mod prefetcher;
 pub mod variants;
@@ -36,12 +37,16 @@ pub use backbone::{Backbone, BackboneKind};
 pub use complexity::{ComplexityRow, CriticalPath};
 pub use compress::{distill_delta, distill_page, DistillCfg};
 pub use controller::Controller;
-pub use cstp::{chain_prefetch, chain_prefetch_in, CstpConfig, Pbot};
+pub use cstp::{chain_prefetch, chain_prefetch_in, dedup_first_order, CstpConfig, CstpStats, Pbot};
 pub use degradation::{DegradationGuard, GuardConfig};
 pub use delta_predictor::{DeltaPredictor, DeltaPredictorConfig, DeltaRange};
 pub use error::MpGraphError;
 pub use health::{ComponentHealth, ComponentStatus, HealthReport};
 pub use latency::{amma_latency, cycles_to_ns, LatencyBreakdown};
+pub use obs::{
+    ControllerMetrics, CstpMetrics, DetectorMetrics, GuardMetrics, HistogramSnapshot, LaneMetrics,
+    LatencyHistogram, MetricsSnapshot, PhaseMetrics, PrefetchScoreboard, TrainMetrics,
+};
 pub use page_predictor::{PageHead, PagePredictor, PagePredictorConfig};
 pub use prefetcher::{
     build_detector, train_mpgraph, DetectorChoice, MpGraphConfig, MpGraphPrefetcher,

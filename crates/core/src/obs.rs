@@ -1,0 +1,972 @@
+//! Pipeline-wide observability: the [`PrefetchScoreboard`] (an engine
+//! [`PrefetchObserver`] that classifies every prefetch as useful / late /
+//! useless / dropped and keeps per-phase, per-lane accuracy, coverage, and
+//! timeliness), fixed-size log-bucketed [`LatencyHistogram`]s for inference
+//! and simulated memory latency, and the [`MetricsSnapshot`] the bench
+//! runners and CLI serialize to JSON (`--metrics-out`).
+//!
+//! Everything on the record path is allocation-free at steady state: the
+//! histograms are fixed arrays, the per-phase/per-lane counters are sized
+//! at construction, and the in-flight attribution map is pre-reserved and
+//! never grown (overflow is *counted*, not allocated) — verified the same
+//! way as the `ScratchArena` paths, by asserting the capacity stays put.
+
+use mpgraph_sim::{DropReason, PrefetchLane, PrefetchObserver, PrefetchTag};
+use serde::Serialize;
+
+/// Sub-bucket resolution bits: 32 sub-buckets per power of two, bounding
+/// the relative quantization error at `2^-(SUB_BITS+1)` ≈ 1.6%.
+const SUB_BITS: u32 = 5;
+const SUBS: usize = 1 << SUB_BITS;
+/// Values below `SUBS` get exact singleton buckets; above, each power of
+/// two `[2^m, 2^(m+1))` for `m in 5..=63` splits into 32 sub-buckets.
+const NUM_BUCKETS: usize = SUBS + (64 - SUB_BITS as usize - 1) * SUBS;
+
+/// Streaming log-bucketed latency histogram (HdrHistogram-style): `record`
+/// touches one array slot and four scalars — no allocation, no sorting.
+/// Replaces the ad-hoc sorted-`Vec` percentile paths.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    #[inline]
+    fn bucket_index(v: u64) -> usize {
+        if v < SUBS as u64 {
+            v as usize
+        } else {
+            let m = 63 - v.leading_zeros() as usize;
+            let sub = ((v >> (m - SUB_BITS as usize)) & (SUBS as u64 - 1)) as usize;
+            SUBS * (m - SUB_BITS as usize + 1) + sub
+        }
+    }
+
+    /// Midpoint of the bucket's value range (exact below `SUBS`).
+    fn representative(idx: usize) -> u64 {
+        if idx < SUBS {
+            idx as u64
+        } else {
+            let m = idx / SUBS + SUB_BITS as usize - 1;
+            let sub = (idx % SUBS) as u64;
+            let lo = (1u64 << m) + (sub << (m - SUB_BITS as usize));
+            lo + (1u64 << (m - SUB_BITS as usize)) / 2
+        }
+    }
+
+    /// Records one sample. Allocation-free.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[Self::bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Ceil-based nearest-rank percentile (`p` in `[0, 1]`): the value at
+    /// rank `max(1, ceil(p·n))` — the same convention as the perf gate.
+    /// Exact for values below `SUBS`; within ±1.6% above.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::representative(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            min: if self.count == 0 { 0 } else { self.min },
+            max: self.max,
+            mean: self.mean(),
+            p50: self.percentile(0.50),
+            p90: self.percentile(0.90),
+            p99: self.percentile(0.99),
+        }
+    }
+}
+
+/// Serializable summary of a [`LatencyHistogram`].
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub min: u64,
+    pub max: u64,
+    pub mean: f64,
+    pub p50: u64,
+    pub p90: u64,
+    pub p99: u64,
+}
+
+/// Per-(phase, lane) outcome counters.
+#[derive(Debug, Clone, Copy, Default)]
+struct Cell {
+    issued: u64,
+    issued_untimely: u64,
+    useful: u64,
+    late: u64,
+    useless: u64,
+    dropped: u64,
+}
+
+const LANES: usize = 3;
+
+/// Fixed-capacity block → tag map: open addressing with linear probing and
+/// backward-shift deletion. The slot array is sized once at construction
+/// and never moves, so the record path is allocation-free by construction.
+/// (A pre-reserved `HashMap` cannot promise that: under insert/remove
+/// churn its tombstone pressure can force a resize even when `len` stays
+/// below the initial reserve.)
+struct InflightTable {
+    slots: Vec<(u64, PrefetchTag)>,
+    used: Vec<bool>,
+    len: usize,
+    /// Max live entries — at most half the slots, keeping probe chains short.
+    cap: usize,
+}
+
+impl InflightTable {
+    fn new(cap: usize) -> Self {
+        let cap = cap.max(16);
+        let slots = (cap * 2).next_power_of_two();
+        InflightTable {
+            slots: vec![(0, PrefetchTag::default()); slots],
+            used: vec![false; slots],
+            len: 0,
+            cap,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn raw_capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Fibonacci multiplicative hash onto the power-of-two slot count.
+    #[inline]
+    fn ideal(&self, key: u64) -> usize {
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & (self.slots.len() - 1)
+    }
+
+    /// Stores (or refreshes) `key`; returns `false` when the table is full
+    /// so the caller can count the overflow instead of growing.
+    fn insert(&mut self, key: u64, tag: PrefetchTag) -> bool {
+        if self.len >= self.cap {
+            return false;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = self.ideal(key);
+        while self.used[i] {
+            if self.slots[i].0 == key {
+                self.slots[i].1 = tag;
+                return true;
+            }
+            i = (i + 1) & mask;
+        }
+        self.slots[i] = (key, tag);
+        self.used[i] = true;
+        self.len += 1;
+        true
+    }
+
+    fn remove(&mut self, key: u64) -> Option<PrefetchTag> {
+        let mask = self.slots.len() - 1;
+        let mut i = self.ideal(key);
+        loop {
+            if !self.used[i] {
+                return None;
+            }
+            if self.slots[i].0 == key {
+                break;
+            }
+            i = (i + 1) & mask;
+        }
+        let tag = self.slots[i].1;
+        // Backward-shift deletion: close the probe chain left behind the
+        // removed entry so no tombstones accumulate. An entry at `j` may
+        // fill the hole only if its probe walk started at or before the
+        // hole (cyclic-distance test).
+        let mut hole = i;
+        let mut j = i;
+        loop {
+            j = (j + 1) & mask;
+            if !self.used[j] {
+                break;
+            }
+            let k = self.ideal(self.slots[j].0);
+            if (j.wrapping_sub(k) & mask) >= (j.wrapping_sub(hole) & mask) {
+                self.slots[hole] = self.slots[j];
+                hole = j;
+            }
+        }
+        self.used[hole] = false;
+        self.len -= 1;
+        Some(tag)
+    }
+}
+
+#[inline]
+fn lane_index(l: PrefetchLane) -> usize {
+    match l {
+        PrefetchLane::Spatial => 0,
+        PrefetchLane::Temporal => 1,
+        PrefetchLane::Other => 2,
+    }
+}
+
+fn lane_name(i: usize) -> &'static str {
+    ["spatial", "temporal", "other"][i]
+}
+
+/// Tracks every in-flight prefetch through the simulated cache and
+/// classifies its fate — *useful* (served a demand on time), *late*
+/// (demand arrived before the fill, or the issue was already untimely),
+/// *useless* (evicted unused), or *dropped* (never issued, with a reason)
+/// — attributed to the phase model and CSTP lane that produced it.
+///
+/// Plugs into [`mpgraph_sim::simulate_observed`] as the
+/// [`PrefetchObserver`]. The record path performs no heap allocation at
+/// steady state: outcome cells are sized at construction and the
+/// in-flight attribution map is pre-reserved; when it is full, new
+/// entries are counted in `inflight_overflow` instead of grown.
+pub struct PrefetchScoreboard {
+    num_phases: usize,
+    cells: Vec<Cell>, // num_phases * LANES
+    demand_misses: Vec<u64>,
+    dropped_self: u64,
+    dropped_in_cache: u64,
+    dropped_in_flight: u64,
+    dropped_degree_cap: u64,
+    inflight: InflightTable,
+    inflight_overflow: u64,
+    /// Completions (hit/evict) for blocks the map was not tracking —
+    /// either overflowed at issue or prefetched before attach.
+    untracked_completions: u64,
+    pub inference_latency: LatencyHistogram,
+    pub memory_latency: LatencyHistogram,
+}
+
+impl PrefetchScoreboard {
+    /// `num_phases` sizes the attribution tables; `inflight_capacity`
+    /// bounds the block→tag map (the engine itself sweeps its own
+    /// in-flight set above 4096 entries, so that is a natural ceiling).
+    pub fn new(num_phases: usize, inflight_capacity: usize) -> Self {
+        let phases = num_phases.max(1);
+        PrefetchScoreboard {
+            num_phases: phases,
+            cells: vec![Cell::default(); phases * LANES],
+            demand_misses: vec![0; phases],
+            dropped_self: 0,
+            dropped_in_cache: 0,
+            dropped_in_flight: 0,
+            dropped_degree_cap: 0,
+            inflight: InflightTable::new(inflight_capacity),
+            inflight_overflow: 0,
+            untracked_completions: 0,
+            inference_latency: LatencyHistogram::new(),
+            memory_latency: LatencyHistogram::new(),
+        }
+    }
+
+    #[inline]
+    fn cell(&mut self, tag: PrefetchTag) -> &mut Cell {
+        let p = (tag.phase as usize).min(self.num_phases - 1);
+        &mut self.cells[p * LANES + lane_index(tag.lane)]
+    }
+
+    /// (reserved entries, live entries, raw map capacity, overflow count)
+    /// — the ScratchArena-style stability probe: after warmup the raw
+    /// capacity must not move and overflow stays zero.
+    pub fn alloc_stats(&self) -> (usize, usize, usize, u64) {
+        (
+            self.inflight.cap,
+            self.inflight.len(),
+            self.inflight.raw_capacity(),
+            self.inflight_overflow,
+        )
+    }
+
+    fn totals(&self) -> Cell {
+        let mut t = Cell::default();
+        for c in &self.cells {
+            t.issued += c.issued;
+            t.issued_untimely += c.issued_untimely;
+            t.useful += c.useful;
+            t.late += c.late;
+            t.useless += c.useless;
+            t.dropped += c.dropped;
+        }
+        t
+    }
+
+    /// Overall accuracy: (useful + late) / issued.
+    pub fn accuracy(&self) -> f64 {
+        let t = self.totals();
+        ratio(t.useful + t.late, t.issued)
+    }
+
+    /// Overall coverage: (useful + late) / (useful + late + demand misses).
+    pub fn coverage(&self) -> f64 {
+        let t = self.totals();
+        let hits = t.useful + t.late;
+        ratio(hits, hits + self.demand_misses.iter().sum::<u64>())
+    }
+
+    /// Overall timeliness: useful / (useful + late).
+    pub fn timeliness(&self) -> f64 {
+        let t = self.totals();
+        ratio(t.useful, t.useful + t.late)
+    }
+
+    /// Per-phase rollup (accuracy / coverage / timeliness per phase model).
+    pub fn phase_metrics(&self) -> Vec<PhaseMetrics> {
+        (0..self.num_phases)
+            .map(|p| {
+                let mut t = Cell::default();
+                for l in 0..LANES {
+                    let c = &self.cells[p * LANES + l];
+                    t.issued += c.issued;
+                    t.useful += c.useful;
+                    t.late += c.late;
+                    t.useless += c.useless;
+                    t.dropped += c.dropped;
+                }
+                let hits = t.useful + t.late;
+                PhaseMetrics {
+                    phase: p as u32,
+                    issued: t.issued,
+                    useful: t.useful,
+                    late: t.late,
+                    useless: t.useless,
+                    dropped: t.dropped,
+                    demand_misses: self.demand_misses[p],
+                    accuracy: ratio(hits, t.issued),
+                    coverage: ratio(hits, hits + self.demand_misses[p]),
+                    timeliness: ratio(t.useful, hits),
+                }
+            })
+            .collect()
+    }
+
+    /// Per-(phase, lane) rows; all-zero rows are skipped.
+    pub fn lane_metrics(&self) -> Vec<LaneMetrics> {
+        let mut out = Vec::new();
+        for p in 0..self.num_phases {
+            for l in 0..LANES {
+                let c = &self.cells[p * LANES + l];
+                if c.issued + c.dropped == 0 {
+                    continue;
+                }
+                let hits = c.useful + c.late;
+                out.push(LaneMetrics {
+                    phase: p as u32,
+                    lane: lane_name(l).to_string(),
+                    issued: c.issued,
+                    useful: c.useful,
+                    late: c.late,
+                    useless: c.useless,
+                    dropped: c.dropped,
+                    accuracy: ratio(hits, c.issued),
+                    timeliness: ratio(c.useful, hits),
+                });
+            }
+        }
+        out
+    }
+
+    pub fn dropped_counts(&self) -> DroppedCounts {
+        DroppedCounts {
+            self_block: self.dropped_self,
+            in_cache: self.dropped_in_cache,
+            in_flight: self.dropped_in_flight,
+            degree_cap: self.dropped_degree_cap,
+        }
+    }
+
+    /// Prefetch-side portion of a [`MetricsSnapshot`]; callers fold in the
+    /// component counters (CSTP, detector, guard, training) they own.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let t = self.totals();
+        MetricsSnapshot {
+            issued: t.issued,
+            useful: t.useful,
+            late: t.late,
+            useless: t.useless,
+            demand_misses: self.demand_misses.iter().sum(),
+            accuracy: self.accuracy(),
+            coverage: self.coverage(),
+            timeliness: self.timeliness(),
+            phases: self.phase_metrics(),
+            lanes: self.lane_metrics(),
+            dropped: self.dropped_counts(),
+            inflight_overflow: self.inflight_overflow,
+            untracked_completions: self.untracked_completions,
+            inference_latency: self.inference_latency.snapshot(),
+            memory_latency: self.memory_latency.snapshot(),
+            ..MetricsSnapshot::default()
+        }
+    }
+}
+
+impl PrefetchObserver for PrefetchScoreboard {
+    fn on_issued(&mut self, block: u64, tag: PrefetchTag, timely: bool) {
+        let c = self.cell(tag);
+        c.issued += 1;
+        if !timely {
+            c.issued_untimely += 1;
+        }
+        if !self.inflight.insert(block, tag) {
+            // Never grow the table on the record path; lose the
+            // attribution, keep the count honest.
+            self.inflight_overflow += 1;
+        }
+    }
+
+    fn on_dropped(&mut self, _block: u64, tag: PrefetchTag, reason: DropReason) {
+        self.cell(tag).dropped += 1;
+        match reason {
+            DropReason::SelfBlock => self.dropped_self += 1,
+            DropReason::InCache => self.dropped_in_cache += 1,
+            DropReason::InFlight => self.dropped_in_flight += 1,
+            DropReason::DegreeCap => self.dropped_degree_cap += 1,
+        }
+    }
+
+    fn on_useful(&mut self, block: u64, late: bool) {
+        let tag = match self.inflight.remove(block) {
+            Some(t) => t,
+            None => {
+                self.untracked_completions += 1;
+                PrefetchTag::default()
+            }
+        };
+        let c = self.cell(tag);
+        if late {
+            c.late += 1;
+        } else {
+            c.useful += 1;
+        }
+    }
+
+    fn on_useless_evict(&mut self, block: u64) {
+        let tag = match self.inflight.remove(block) {
+            Some(t) => t,
+            None => {
+                self.untracked_completions += 1;
+                PrefetchTag::default()
+            }
+        };
+        self.cell(tag).useless += 1;
+    }
+
+    fn on_demand_miss(&mut self, phase: u8) {
+        let p = (phase as usize).min(self.num_phases - 1);
+        self.demand_misses[p] += 1;
+    }
+
+    fn on_inference_latency(&mut self, cycles: u64) {
+        self.inference_latency.record(cycles);
+    }
+
+    fn on_memory_latency(&mut self, cycles: u64) {
+        self.memory_latency.record(cycles);
+    }
+}
+
+#[inline]
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Per-phase prefetch outcome rollup.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct PhaseMetrics {
+    pub phase: u32,
+    pub issued: u64,
+    pub useful: u64,
+    pub late: u64,
+    pub useless: u64,
+    pub dropped: u64,
+    pub demand_misses: u64,
+    pub accuracy: f64,
+    pub coverage: f64,
+    pub timeliness: f64,
+}
+
+/// Per-(phase, lane) prefetch outcome row.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct LaneMetrics {
+    pub phase: u32,
+    pub lane: String,
+    pub issued: u64,
+    pub useful: u64,
+    pub late: u64,
+    pub useless: u64,
+    pub dropped: u64,
+    pub accuracy: f64,
+    pub timeliness: f64,
+}
+
+/// Candidates discarded before issue, by engine reason.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct DroppedCounts {
+    pub self_block: u64,
+    pub in_cache: u64,
+    pub in_flight: u64,
+    pub degree_cap: u64,
+}
+
+/// CSTP counters as serialized (mirrors [`crate::cstp::CstpStats`] plus
+/// the derived rates).
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct CstpMetrics {
+    pub batches: u64,
+    pub chain_steps: u64,
+    pub max_chain_len: u64,
+    pub avg_chain_len: f64,
+    pub pbot_hits: u64,
+    pub pbot_misses: u64,
+    pub pbot_hit_rate: f64,
+    pub duplicates_suppressed: u64,
+}
+
+impl From<&crate::cstp::CstpStats> for CstpMetrics {
+    fn from(s: &crate::cstp::CstpStats) -> Self {
+        CstpMetrics {
+            batches: s.batches,
+            chain_steps: s.chain_steps,
+            max_chain_len: s.max_chain_len,
+            avg_chain_len: s.avg_chain_len(),
+            pbot_hits: s.pbot_hits,
+            pbot_misses: s.pbot_misses,
+            pbot_hit_rate: s.pbot_hit_rate(),
+            duplicates_suppressed: s.duplicates_suppressed,
+        }
+    }
+}
+
+/// Phase-transition detector counters.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct DetectorMetrics {
+    pub name: String,
+    pub updates: u64,
+    pub detections: u64,
+    pub soft_arms: u64,
+    pub resets: u64,
+}
+
+/// Probe-window controller counters.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct ControllerMetrics {
+    pub transitions_handled: u64,
+    pub observations: u64,
+    pub observe_errors: u64,
+}
+
+/// Degradation-guard counters.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct GuardMetrics {
+    pub trips: u64,
+    pub recoveries: u64,
+    pub deadline_misses: u64,
+    pub accesses_degraded: u64,
+}
+
+/// Predictor training counters.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct TrainMetrics {
+    pub steps: u64,
+    pub rollbacks: u64,
+}
+
+/// The pipeline-wide metrics record the bench runners and the CLI
+/// (`--metrics-out`) serialize to JSON, and `HealthReport` folds into its
+/// display. Produced by [`PrefetchScoreboard::snapshot`] and then enriched
+/// with the component counters the caller owns.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct MetricsSnapshot {
+    pub issued: u64,
+    pub useful: u64,
+    pub late: u64,
+    pub useless: u64,
+    pub demand_misses: u64,
+    pub accuracy: f64,
+    pub coverage: f64,
+    pub timeliness: f64,
+    pub phases: Vec<PhaseMetrics>,
+    pub lanes: Vec<LaneMetrics>,
+    pub dropped: DroppedCounts,
+    pub inflight_overflow: u64,
+    pub untracked_completions: u64,
+    pub cstp: CstpMetrics,
+    pub detector: DetectorMetrics,
+    pub controller: ControllerMetrics,
+    pub guard: GuardMetrics,
+    pub training: TrainMetrics,
+    pub inference_latency: HistogramSnapshot,
+    pub memory_latency: HistogramSnapshot,
+}
+
+impl MetricsSnapshot {
+    /// Pretty JSON for `--metrics-out` files and CI artifacts.
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tag(phase: u8, lane: PrefetchLane) -> PrefetchTag {
+        PrefetchTag { phase, lane }
+    }
+
+    #[test]
+    fn histogram_exact_below_subs() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..32u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 32);
+        assert_eq!(h.percentile(0.0), 0);
+        // rank = ceil(0.5 * 32) = 16 → 16th smallest = value 15.
+        assert_eq!(h.percentile(0.5), 15);
+        assert_eq!(h.percentile(1.0), 31);
+    }
+
+    #[test]
+    fn histogram_matches_sorted_vec_percentiles() {
+        // Pseudo-random-ish latencies spanning several decades, against the
+        // exact sorted-Vec ceil-based nearest-rank.
+        let mut vals: Vec<u64> = Vec::new();
+        let mut x = 0x2545f4914f6cdd1du64;
+        for _ in 0..5000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            vals.push(x % 100_000);
+        }
+        let mut h = LatencyHistogram::new();
+        for &v in &vals {
+            h.record(v);
+        }
+        let mut sorted = vals.clone();
+        sorted.sort_unstable();
+        for p in [0.5, 0.9, 0.99, 0.999] {
+            let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let exact = sorted[rank - 1];
+            let approx = h.percentile(p);
+            let tol = (exact as f64 * 0.05).max(1.0);
+            assert!(
+                (approx as f64 - exact as f64).abs() <= tol,
+                "p{p}: approx {approx} vs exact {exact}"
+            );
+        }
+        assert_eq!(h.count(), 5000);
+        let mean_exact = vals.iter().sum::<u64>() as f64 / vals.len() as f64;
+        assert!((h.mean() - mean_exact).abs() < 1e-6);
+    }
+
+    #[test]
+    fn histogram_bucket_roundtrip_error_bounded() {
+        for v in [0u64, 1, 31, 32, 63, 64, 1000, 123_456, u64::MAX / 2] {
+            let rep = LatencyHistogram::representative(LatencyHistogram::bucket_index(v));
+            let err = (rep as f64 - v as f64).abs();
+            assert!(
+                err <= (v as f64 / 64.0).max(0.5),
+                "v={v} rep={rep} err={err}"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_merge_adds() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(10);
+        b.record(1000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.snapshot().min, 10);
+        assert!(a.snapshot().max >= 1000);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_zero() {
+        let s = LatencyHistogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.p99, 0);
+    }
+
+    #[test]
+    fn scoreboard_state_machine_classifies_outcomes() {
+        let mut sb = PrefetchScoreboard::new(2, 64);
+        let sp = tag(0, PrefetchLane::Spatial);
+        let tp = tag(1, PrefetchLane::Temporal);
+        // Phase 0 spatial: issue 3 — one on-time hit, one late, one useless.
+        sb.on_issued(100, sp, true);
+        sb.on_issued(101, sp, true);
+        sb.on_issued(102, sp, true);
+        sb.on_useful(100, false);
+        sb.on_useful(101, true);
+        sb.on_useless_evict(102);
+        // Phase 1 temporal: issue 1 useful, drop 2.
+        sb.on_issued(200, tp, true);
+        sb.on_useful(200, false);
+        sb.on_dropped(201, tp, DropReason::InCache);
+        sb.on_dropped(202, tp, DropReason::DegreeCap);
+        // Demand misses: 2 in phase 0, 1 in phase 1.
+        sb.on_demand_miss(0);
+        sb.on_demand_miss(0);
+        sb.on_demand_miss(1);
+
+        let phases = sb.phase_metrics();
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[0].issued, 3);
+        assert_eq!(phases[0].useful, 1);
+        assert_eq!(phases[0].late, 1);
+        assert_eq!(phases[0].useless, 1);
+        assert_eq!(phases[0].demand_misses, 2);
+        // accuracy = (1+1)/3; coverage = 2/(2+2); timeliness = 1/2.
+        assert!((phases[0].accuracy - 2.0 / 3.0).abs() < 1e-12);
+        assert!((phases[0].coverage - 0.5).abs() < 1e-12);
+        assert!((phases[0].timeliness - 0.5).abs() < 1e-12);
+        assert_eq!(phases[1].issued, 1);
+        assert_eq!(phases[1].dropped, 2);
+        assert!((phases[1].accuracy - 1.0).abs() < 1e-12);
+
+        let lanes = sb.lane_metrics();
+        assert_eq!(lanes.len(), 2);
+        assert_eq!(lanes[0].lane, "spatial");
+        assert_eq!(lanes[1].lane, "temporal");
+        assert_eq!(lanes[1].dropped, 2);
+
+        let d = sb.dropped_counts();
+        assert_eq!(d.in_cache, 1);
+        assert_eq!(d.degree_cap, 1);
+        assert_eq!(d.self_block + d.in_flight, 0);
+
+        // All tracked completions consumed their map entries.
+        let (_, live, _, overflow) = sb.alloc_stats();
+        assert_eq!(live, 0);
+        assert_eq!(overflow, 0);
+        assert_eq!(sb.untracked_completions, 0);
+    }
+
+    #[test]
+    fn scoreboard_counts_untracked_completions() {
+        let mut sb = PrefetchScoreboard::new(1, 16);
+        // A hit on a block the scoreboard never saw issued (e.g. attached
+        // mid-run) is attributed to the default cell and counted.
+        sb.on_useful(999, false);
+        sb.on_useless_evict(998);
+        assert_eq!(sb.untracked_completions, 2);
+        let t = sb.snapshot();
+        assert_eq!(t.useful, 1);
+        assert_eq!(t.useless, 1);
+    }
+
+    #[test]
+    fn inflight_table_survives_collision_churn() {
+        // Overlapping insert/remove waves exercise the backward-shift
+        // deletion across probe chains; every removal must hand back the
+        // tag stored for exactly that key.
+        let mut t = InflightTable::new(64);
+        let key = |i: u64| i.wrapping_mul(0x517c_c1b7_2722_0a95);
+        for wave in 0..50u64 {
+            for i in 0..40 {
+                assert!(t.insert(
+                    key(wave * 40 + i),
+                    tag((i % 7) as u8, PrefetchLane::Spatial)
+                ));
+            }
+            // Remove from the middle of the wave, out of insertion order.
+            for i in (0..40).rev() {
+                let got = t.remove(key(wave * 40 + i)).expect("key present");
+                assert_eq!(got.phase, (i % 7) as u8, "wave {wave} key {i}");
+            }
+            assert_eq!(t.len(), 0);
+            assert!(t.remove(key(wave * 40)).is_none());
+        }
+        // Full table refuses new keys instead of growing.
+        for i in 0..64 {
+            assert!(t.insert(key(10_000 + i), PrefetchTag::default()));
+        }
+        assert!(!t.insert(key(99_999), PrefetchTag::default()));
+        assert_eq!(t.raw_capacity(), 128);
+    }
+
+    #[test]
+    fn scoreboard_record_path_never_grows_the_inflight_map() {
+        let mut sb = PrefetchScoreboard::new(4, 256);
+        let (_, _, cap0, _) = sb.alloc_stats();
+        // Hammer far more traffic than the reserve, with deliberately
+        // leaky issues (not all complete) to push toward overflow.
+        for i in 0..10_000u64 {
+            let t = tag((i % 4) as u8, PrefetchLane::Spatial);
+            sb.on_issued(i, t, true);
+            if i % 3 == 0 {
+                sb.on_useful(i, false);
+            } else if i % 3 == 1 {
+                sb.on_useless_evict(i);
+            } // every third entry leaks until the map saturates
+            sb.on_demand_miss((i % 4) as u8);
+            sb.on_inference_latency(i % 977);
+            sb.on_memory_latency(100 + i % 400);
+        }
+        let (reserved, live, cap1, overflow) = sb.alloc_stats();
+        // ScratchArena-style verification: the map never reallocated, the
+        // live set is bounded by the reserve, and the spill was counted.
+        assert_eq!(cap0, cap1, "in-flight map reallocated on the record path");
+        assert!(live <= reserved);
+        assert!(overflow > 0, "test failed to exercise the overflow path");
+        // Outcome accounting stayed consistent.
+        let s = sb.snapshot();
+        assert_eq!(s.issued, 10_000);
+        assert_eq!(s.inference_latency.count, 10_000);
+        assert_eq!(s.memory_latency.count, 10_000);
+    }
+
+    #[test]
+    fn scoreboard_reconciles_with_engine_counters() {
+        use mpgraph_frameworks::MemRecord;
+        use mpgraph_sim::{simulate_observed, LlcAccess, Prefetcher, SimConfig};
+
+        // Zero-latency tagged next-line prefetcher: every issue is timely,
+        // so the scoreboard's classification must reconcile exactly with
+        // the engine's own SimResult counters.
+        struct TaggedNextLine {
+            tags: Vec<PrefetchTag>,
+        }
+        impl Prefetcher for TaggedNextLine {
+            fn name(&self) -> String {
+                "tagged-next-line".into()
+            }
+            fn on_access(&mut self, a: &LlcAccess, out: &mut Vec<u64>) {
+                out.push(a.block + 1);
+                out.push(a.block + 2);
+                self.tags.clear();
+                self.tags.push(PrefetchTag {
+                    phase: 0,
+                    lane: PrefetchLane::Spatial,
+                });
+                self.tags.push(PrefetchTag {
+                    phase: 0,
+                    lane: PrefetchLane::Temporal,
+                });
+            }
+            fn last_batch_tags(&self) -> &[PrefetchTag] {
+                &self.tags
+            }
+        }
+
+        let trace: Vec<MemRecord> = (0..20_000u64)
+            .map(|i| MemRecord {
+                pc: 0x400000,
+                vaddr: 0x10_0000_0000 + i * 64,
+                core: (i % 2) as u8,
+                is_write: false,
+                phase: 0,
+                gap: 3,
+                dep: false,
+            })
+            .collect();
+        let mut sb = PrefetchScoreboard::new(1, 4096);
+        let cap_before = sb.alloc_stats().2;
+        let mut pf = TaggedNextLine { tags: Vec::new() };
+        let r = simulate_observed(&trace, &mut pf, &SimConfig::default(), None, Some(&mut sb));
+
+        let s = sb.snapshot();
+        assert_eq!(s.issued, r.prefetches_issued);
+        assert_eq!(s.useful + s.late, r.prefetches_useful);
+        assert_eq!(s.late, r.late_prefetch_merges);
+        assert_eq!(s.demand_misses, r.llc_demand_misses);
+        assert!(s.issued > 0 && s.useful + s.late > 0);
+        assert!(s.accuracy > 0.0 && s.accuracy <= 1.0);
+        assert!(s.coverage > 0.0 && s.coverage <= 1.0);
+        assert_eq!(s.inference_latency.count, r.llc.accesses());
+        assert!(s.memory_latency.count > 0);
+        // Both lanes show up in the per-lane rollup.
+        assert_eq!(s.lanes.len(), 2);
+        // Record path stayed allocation-stable through a real replay.
+        let (_, _, cap_after, overflow) = sb.alloc_stats();
+        assert_eq!(cap_before, cap_after);
+        assert_eq!(overflow, 0);
+    }
+
+    #[test]
+    fn snapshot_serializes_to_json() {
+        let mut sb = PrefetchScoreboard::new(2, 32);
+        sb.on_issued(1, tag(0, PrefetchLane::Spatial), true);
+        sb.on_useful(1, false);
+        sb.on_demand_miss(1);
+        sb.on_inference_latency(42);
+        let mut snap = sb.snapshot();
+        snap.cstp.duplicates_suppressed = 7;
+        let js = serde_json::to_string(&snap).expect("serialize");
+        assert!(js.contains("\"accuracy\""));
+        assert!(js.contains("\"duplicates_suppressed\":7"));
+        assert!(js.contains("\"p99\""));
+        assert!(js.contains("\"spatial\""));
+    }
+}

@@ -78,6 +78,10 @@ pub struct PagePredictor {
     /// Bits used by the binary-encoded head.
     bits: usize,
     pub final_loss: f32,
+    /// Optimizer steps taken across all phase models and epochs.
+    pub train_steps: u64,
+    /// `TrainGuard` weight rollbacks during training (0 on clean runs).
+    pub train_rollbacks: u64,
 }
 
 impl PagePredictor {
@@ -230,14 +234,16 @@ impl PagePredictor {
             .zip(opts.iter_mut())
             .zip(guards.iter_mut().zip(schedules.iter()))
             .collect();
-        let stats: Vec<(f32, usize)> = jobs
+        let stats: Vec<(f32, usize, u64)> = jobs
             .into_par_iter()
             .map(|((m, opt), (guard, schedule))| {
                 Self::train_one_model(&seqs, num_phases, bits, tc, m, opt, guard, schedule)
             })
             .collect();
-        let loss_sum: f32 = stats.iter().map(|&(l, _)| l).sum();
-        let count: usize = stats.iter().map(|&(_, c)| c).sum();
+        let loss_sum: f32 = stats.iter().map(|&(l, _, _)| l).sum();
+        let count: usize = stats.iter().map(|&(_, c, _)| c).sum();
+        let train_steps: u64 = stats.iter().map(|&(_, _, s)| s).sum();
+        let train_rollbacks: u64 = guards.iter().map(|g| g.rollbacks as u64).sum();
         let final_loss = if count > 0 {
             loss_sum / count as f32
         } else {
@@ -251,6 +257,8 @@ impl PagePredictor {
             num_phases: num_phases.max(1),
             bits,
             final_loss,
+            train_steps,
+            train_rollbacks,
         }
     }
 
@@ -267,9 +275,10 @@ impl PagePredictor {
         opt: &mut Adam,
         guard: &mut TrainGuard,
         schedule: &[(usize, usize)],
-    ) -> (f32, usize) {
+    ) -> (f32, usize, u64) {
         let t = tc.history;
         let mut last = (0.0f32, 0usize);
+        let mut steps = 0u64;
         'epochs: for _ in 0..tc.epochs {
             let mut count = 0usize;
             let mut loss_sum = 0.0f32;
@@ -319,6 +328,7 @@ impl PagePredictor {
                 opt.step(&mut m.backbone);
                 opt.step(&mut m.head);
                 count += 1;
+                steps += 1;
                 match guard.observe(
                     loss,
                     &mut [
@@ -335,7 +345,7 @@ impl PagePredictor {
             }
             last = (loss_sum, count);
         }
-        last
+        (last.0, last.1, steps)
     }
 
     fn model_for(&self, phase: usize) -> &PageModel {

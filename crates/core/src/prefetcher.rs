@@ -4,7 +4,7 @@
 //! drops into the simulator exactly where BO/ISB/Voyager/TransFetch do.
 
 use crate::controller::Controller;
-use crate::cstp::{chain_prefetch_in, CstpConfig, Pbot};
+use crate::cstp::{chain_prefetch_in, CstpConfig, CstpStats, Pbot};
 use crate::delta_predictor::{DeltaPredictor, DeltaPredictorConfig};
 use crate::error::MpGraphError;
 use crate::page_predictor::{PagePredictor, PagePredictorConfig};
@@ -17,7 +17,7 @@ use mpgraph_phase::{
 };
 use mpgraph_prefetchers::mlcommon::History;
 use mpgraph_prefetchers::TrainCfg;
-use mpgraph_sim::{LlcAccess, Prefetcher};
+use mpgraph_sim::{LlcAccess, PrefetchLane, PrefetchTag, Prefetcher};
 use rayon::prelude::*;
 
 /// Steps between [`mpgraph_ml::TrainGuard`] weight checkpoints in the
@@ -132,11 +132,18 @@ pub struct MpGraphPrefetcher {
     /// Malformed prediction batches the controller rejected (each one is
     /// dropped and replay continues — introspection for health reports).
     pub observe_errors: u64,
+    /// Rolling CSTP counters (chain lengths, PBOT hit rate, duplicates
+    /// suppressed), folded into the pipeline metrics snapshot.
+    pub cstp_stats: CstpStats,
     /// Scratch buffers for the CSTP spatial lane. Two arenas (not one) so
     /// `rayon::join` can hand each concurrent lane a disjoint `&mut`.
     spatial_arena: ScratchArena,
     /// Scratch buffers for the CSTP temporal-chain lane.
     temporal_arena: ScratchArena,
+    /// Per-candidate lane attribution of the last batch (reused scratch).
+    lane_scratch: Vec<PrefetchLane>,
+    /// Tags the engine reads back via [`Prefetcher::last_batch_tags`].
+    tag_scratch: Vec<PrefetchTag>,
 }
 
 /// Trains the full MPGraph stack on the training records (the first
@@ -161,8 +168,11 @@ pub fn train_mpgraph(
         num_phases,
         dp_distance: 0,
         observe_errors: 0,
+        cstp_stats: CstpStats::default(),
         spatial_arena: ScratchArena::new(),
         temporal_arena: ScratchArena::new(),
+        lane_scratch: Vec::new(),
+        tag_scratch: Vec::new(),
         cfg,
     }
 }
@@ -213,8 +223,11 @@ impl MpGraphPrefetcher {
             num_phases,
             dp_distance: 0,
             observe_errors: 0,
+            cstp_stats: CstpStats::default(),
             spatial_arena: ScratchArena::new(),
             temporal_arena: ScratchArena::new(),
+            lane_scratch: Vec::new(),
+            tag_scratch: Vec::new(),
             cfg,
         }
     }
@@ -227,6 +240,41 @@ impl MpGraphPrefetcher {
     /// Transitions the controller has acted on.
     pub fn transitions_handled(&self) -> usize {
         self.controller.transitions_handled
+    }
+
+    /// Lifetime counters of the active transition detector.
+    pub fn detector_stats(&self) -> mpgraph_phase::DetectorStats {
+        self.detector.stats()
+    }
+
+    /// Name of the active transition detector (Table 4 spelling).
+    pub fn detector_name(&self) -> &'static str {
+        self.detector.name()
+    }
+
+    /// Folds the counters this prefetcher owns — CSTP, detector,
+    /// controller, predictor training — into a snapshot produced by a
+    /// [`crate::obs::PrefetchScoreboard`]. The caller adds guard metrics
+    /// separately when a degradation wrapper is in play.
+    pub fn enrich_snapshot(&self, snap: &mut crate::obs::MetricsSnapshot) {
+        snap.cstp = crate::obs::CstpMetrics::from(&self.cstp_stats);
+        let ds = self.detector.stats();
+        snap.detector = crate::obs::DetectorMetrics {
+            name: self.detector.name().to_string(),
+            updates: ds.updates,
+            detections: ds.detections,
+            soft_arms: ds.soft_arms,
+            resets: ds.resets,
+        };
+        snap.controller = crate::obs::ControllerMetrics {
+            transitions_handled: self.controller.transitions_handled as u64,
+            observations: self.controller.observations,
+            observe_errors: self.observe_errors,
+        };
+        snap.training = crate::obs::TrainMetrics {
+            steps: self.delta.train_steps + self.page.train_steps,
+            rollbacks: self.delta.train_rollbacks + self.page.train_rollbacks,
+        };
     }
 }
 
@@ -246,7 +294,19 @@ impl Prefetcher for MpGraphPrefetcher {
         self.cfg.latency + injected_stall
     }
 
+    fn last_batch_tags(&self) -> &[PrefetchTag] {
+        &self.tag_scratch
+    }
+
+    fn current_phase_id(&self) -> u8 {
+        self.controller.current_phase() as u8
+    }
+
     fn on_access(&mut self, a: &LlcAccess, out: &mut Vec<u64>) {
+        // Invalidate the previous batch's attribution up front so early
+        // returns never leave tags aligned with a stale batch.
+        self.tag_scratch.clear();
+
         // 1. Phase detection on the PC stream.
         if self.detector.update(a.pc) {
             self.controller.on_transition();
@@ -309,7 +369,16 @@ impl Prefetcher for MpGraphPrefetcher {
             &self.cfg.cstp,
             &mut self.spatial_arena,
             &mut self.temporal_arena,
+            &mut self.lane_scratch,
+            &mut self.cstp_stats,
         );
+        // The dp_distance shift below rewrites targets but never reorders
+        // or drops candidates, so the lane attribution stays aligned.
+        self.tag_scratch
+            .extend(self.lane_scratch.iter().map(|&l| PrefetchTag {
+                phase: phase as u8,
+                lane: l,
+            }));
         if self.dp_distance != 0 {
             // Distance prefetching: project each prediction further ahead
             // to land beyond the inference latency.
@@ -539,8 +608,10 @@ mod tests {
         // The joined two-lane path must reproduce the serial batch exactly,
         // for both phase models, steady-state arenas included.
         let page_items: Vec<(usize, u64)> = pf.page_hists[0].items().to_vec();
+        let mut lanes = Vec::new();
         for phase in [0usize, 1] {
             for _ in 0..3 {
+                let mut serial_stats = CstpStats::default();
                 let serial = crate::cstp::chain_prefetch(
                     &pf.delta,
                     &pf.page,
@@ -549,7 +620,9 @@ mod tests {
                     &page_items,
                     phase,
                     &cfg.cstp,
+                    &mut serial_stats,
                 );
+                let mut parallel_stats = CstpStats::default();
                 let parallel = chain_prefetch_in(
                     &pf.delta,
                     &pf.page,
@@ -560,10 +633,83 @@ mod tests {
                     &cfg.cstp,
                     &mut pf.spatial_arena,
                     &mut pf.temporal_arena,
+                    &mut lanes,
+                    &mut parallel_stats,
                 );
                 assert_eq!(parallel, serial, "phase {phase}");
+                // Same predictions → same counters, dedup included.
+                assert_eq!(parallel_stats, serial_stats, "phase {phase}");
+                // Lane attribution stays parallel to the batch.
+                assert_eq!(lanes.len(), parallel.len(), "phase {phase}");
             }
         }
+    }
+
+    #[test]
+    fn cstp_batches_duplicate_free_and_bounded() {
+        let train = workload(1);
+        let (cfg, tc) = quick_cfg();
+        let mut pf = train_mpgraph(&train, 2, cfg, &tc);
+        let test = workload(2);
+        let mut out = Vec::new();
+        for r in &test {
+            out.clear();
+            pf.on_access(
+                &LlcAccess {
+                    pc: r.pc,
+                    block: r.block(),
+                    core: 0,
+                    is_write: false,
+                    hit: false,
+                    cycle: 0,
+                },
+                &mut out,
+            );
+            // Eq. 11: Dp ≤ Ds * (Dt + 1).
+            assert!(out.len() <= cfg.cstp.max_degree());
+            // Post-dedup batches carry no repeated block address.
+            for (i, b) in out.iter().enumerate() {
+                assert!(!out[..i].contains(b), "duplicate {b} in batch {out:?}");
+            }
+            // Attribution is batch-aligned on every access.
+            assert_eq!(pf.last_batch_tags().len(), out.len());
+        }
+        assert!(pf.cstp_stats.batches > 0);
+        assert!(pf.cstp_stats.pbot_hits + pf.cstp_stats.pbot_misses > 0);
+    }
+
+    #[test]
+    fn single_page_workload_triggers_duplicate_suppression() {
+        // Regression trace for the CSTP duplication bug: every access walks
+        // one page, so the temporal chain re-predicts that same page and the
+        // PBOT hands back the same base block on consecutive chain steps —
+        // the exact duplicate the old path passed through to truncation.
+        let mut v = Vec::new();
+        for i in 0..800u64 {
+            v.push(rec(4 * 4096 + (i % 64) * 64, 0x40_0000 + (i % 5) * 4, 0));
+        }
+        let (cfg, tc) = quick_cfg();
+        let mut pf = train_mpgraph(&v, 1, cfg, &tc);
+        let mut out = Vec::new();
+        for r in &v {
+            out.clear();
+            pf.on_access(
+                &LlcAccess {
+                    pc: r.pc,
+                    block: r.block(),
+                    core: 0,
+                    is_write: false,
+                    hit: false,
+                    cycle: 0,
+                },
+                &mut out,
+            );
+        }
+        assert!(
+            pf.cstp_stats.duplicates_suppressed > 0,
+            "single-page trace failed to trigger the duplication path: {:?}",
+            pf.cstp_stats
+        );
     }
 
     #[test]

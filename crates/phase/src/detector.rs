@@ -1,6 +1,24 @@
 //! Common interface of all phase-transition detectors: they observe the PC
 //! stream one access at a time and report transition events online.
 
+/// Lifetime counters every detector exposes through
+/// [`TransitionDetector::stats`]. All fields survive [`reset`] — they
+/// describe the detector's whole service life, not one window.
+///
+/// [`reset`]: TransitionDetector::reset
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DetectorStats {
+    /// PCs fed through `update`.
+    pub updates: u64,
+    /// Transitions declared (`update` returned `true`).
+    pub detections: u64,
+    /// Times a soft-detection counter was armed (raw detection that opened
+    /// a confirmation window). Zero for hard detectors.
+    pub soft_arms: u64,
+    /// Explicit `reset` calls.
+    pub resets: u64,
+}
+
 /// An online phase-transition detector over the PC stream.
 pub trait TransitionDetector {
     /// Detector name as it appears in Table 4.
@@ -12,6 +30,11 @@ pub trait TransitionDetector {
 
     /// Clears all internal state.
     fn reset(&mut self);
+
+    /// Lifetime counters; detectors that predate the registry report zeros.
+    fn stats(&self) -> DetectorStats {
+        DetectorStats::default()
+    }
 
     /// Runs the detector over a whole stream, returning the indices at
     /// which transitions were declared.

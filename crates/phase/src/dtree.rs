@@ -3,7 +3,7 @@
 //! consecutive phase predictions differ) and Soft-DT (a result queue whose
 //! head-half and tail-half modes must disagree).
 
-use crate::detector::TransitionDetector;
+use crate::detector::{DetectorStats, TransitionDetector};
 use std::collections::VecDeque;
 
 /// A trained CART classifier over dense `f32` feature vectors.
@@ -215,6 +215,7 @@ pub struct DtDetector {
     window: usize,
     buf: VecDeque<u64>,
     last_pred: Option<u8>,
+    stats: DetectorStats,
 }
 
 impl DtDetector {
@@ -224,6 +225,7 @@ impl DtDetector {
             window,
             buf: VecDeque::new(),
             last_pred: None,
+            stats: DetectorStats::default(),
         }
     }
 }
@@ -234,6 +236,7 @@ impl TransitionDetector for DtDetector {
     }
 
     fn update(&mut self, pc: u64) -> bool {
+        self.stats.updates += 1;
         self.buf.push_back(pc);
         if self.buf.len() > self.window {
             self.buf.pop_front();
@@ -245,12 +248,20 @@ impl TransitionDetector for DtDetector {
         let pred = self.tree.predict(&feats);
         let transition = self.last_pred.is_some_and(|p| p != pred);
         self.last_pred = Some(pred);
+        if transition {
+            self.stats.detections += 1;
+        }
         transition
     }
 
     fn reset(&mut self) {
         self.buf.clear();
         self.last_pred = None;
+        self.stats.resets += 1;
+    }
+
+    fn stats(&self) -> DetectorStats {
+        self.stats
     }
 }
 
@@ -265,6 +276,7 @@ pub struct SoftDtDetector {
     buf: VecDeque<u64>,
     queue: VecDeque<u8>,
     was_differing: bool,
+    stats: DetectorStats,
 }
 
 impl SoftDtDetector {
@@ -277,6 +289,7 @@ impl SoftDtDetector {
             buf: VecDeque::new(),
             queue: VecDeque::new(),
             was_differing: false,
+            stats: DetectorStats::default(),
         }
     }
 
@@ -300,6 +313,7 @@ impl TransitionDetector for SoftDtDetector {
     }
 
     fn update(&mut self, pc: u64) -> bool {
+        self.stats.updates += 1;
         self.buf.push_back(pc);
         if self.buf.len() > self.window {
             self.buf.pop_front();
@@ -322,6 +336,12 @@ impl TransitionDetector for SoftDtDetector {
         let tail = Self::mode(self.queue.iter().skip(half).copied(), nc);
         let differing = head != tail;
         let transition = differing && !self.was_differing;
+        if transition {
+            // The head/tail modes starting to disagree both arms and
+            // confirms in one step for Soft-DT.
+            self.stats.soft_arms += 1;
+            self.stats.detections += 1;
+        }
         self.was_differing = differing;
         transition
     }
@@ -330,6 +350,11 @@ impl TransitionDetector for SoftDtDetector {
         self.buf.clear();
         self.queue.clear();
         self.was_differing = false;
+        self.stats.resets += 1;
+    }
+
+    fn stats(&self) -> DetectorStats {
+        self.stats
     }
 }
 

@@ -3,8 +3,14 @@
 //! history window of a sliding stream window — the unsupervised baseline of
 //! Table 4, whose "hard" thresholding produces the false positives that
 //! Soft-KSWIN (Algorithm 2) eliminates.
+//!
+//! The sliding window Ψ is a fixed-capacity ring: pushing when full
+//! overwrites the oldest sample in O(1) instead of the O(window) front
+//! shift of a `Vec::remove(0)`. `ks_statistic` wants contiguous slices, so
+//! the recent window and the sampled history are staged into two reusable
+//! scratch buffers — the steady-state update path never allocates.
 
-use crate::detector::TransitionDetector;
+use crate::detector::{DetectorStats, TransitionDetector};
 use crate::ks::{ks_statistic, ks_threshold};
 use rand::Rng;
 use rand::SeedableRng;
@@ -34,13 +40,97 @@ impl Default for KswinConfig {
     }
 }
 
+/// Fixed-capacity ring over `f64` samples, ordered oldest → newest by
+/// logical index. Pushing at capacity overwrites the oldest element.
+#[derive(Debug, Clone)]
+struct PsiRing {
+    buf: Vec<f64>,
+    head: usize,
+    len: usize,
+}
+
+impl PsiRing {
+    fn new(cap: usize) -> Self {
+        PsiRing {
+            buf: vec![0.0; cap],
+            head: 0,
+            len: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    #[cfg(test)]
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn push(&mut self, v: f64) {
+        let cap = self.buf.len();
+        if self.len < cap {
+            self.buf[(self.head + self.len) % cap] = v;
+            self.len += 1;
+        } else {
+            self.buf[self.head] = v;
+            self.head = (self.head + 1) % cap;
+        }
+    }
+
+    /// Logical index 0 is the oldest sample.
+    fn get(&self, i: usize) -> f64 {
+        debug_assert!(i < self.len);
+        self.buf[(self.head + i) % self.buf.len()]
+    }
+
+    /// Copies logical `[start, end)` into `out` (cleared first).
+    fn copy_range_into(&self, start: usize, end: usize, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend((start..end).map(|i| self.get(i)));
+    }
+
+    /// Replaces the contents with `vals` (oldest first), keeping capacity.
+    fn restart_from(&mut self, vals: &[f64]) {
+        self.head = 0;
+        self.len = 0;
+        for &v in vals {
+            self.push(v);
+        }
+    }
+
+    fn clear(&mut self) {
+        self.head = 0;
+        self.len = 0;
+    }
+}
+
+/// Samples `r` points uniformly from logical `psi[0 .. limit]` into `out`.
+/// Draw order matches the historical `Vec`-indexed implementation, so the
+/// RNG stream (and therefore every detection) is unchanged.
+fn sample_history_into(
+    psi: &PsiRing,
+    limit: usize,
+    r: usize,
+    rng: &mut ChaCha8Rng,
+    out: &mut Vec<f64>,
+) {
+    out.clear();
+    for _ in 0..r {
+        out.push(psi.get(rng.gen_range(0..limit)));
+    }
+}
+
 /// Plain KSWIN: reports a transition the instant `D > threshold`.
 #[derive(Debug, Clone)]
 pub struct Kswin {
     cfg: KswinConfig,
-    psi: Vec<f64>,
+    psi: PsiRing,
     threshold: f64,
     rng: ChaCha8Rng,
+    recent_scratch: Vec<f64>,
+    history_scratch: Vec<f64>,
+    stats: DetectorStats,
 }
 
 impl Kswin {
@@ -48,15 +138,18 @@ impl Kswin {
         assert!(cfg.recent * 2 <= cfg.window, "window too small for recent");
         Kswin {
             threshold: ks_threshold(cfg.alpha, cfg.recent, cfg.recent),
-            psi: Vec::with_capacity(cfg.window),
+            psi: PsiRing::new(cfg.window),
             rng: ChaCha8Rng::seed_from_u64(cfg.seed),
+            recent_scratch: Vec::with_capacity(cfg.recent),
+            history_scratch: Vec::with_capacity(cfg.recent),
+            stats: DetectorStats::default(),
             cfg,
         }
     }
 
-    /// Samples `recent` points uniformly from `psi[0 .. limit]`.
-    fn sample_history(psi: &[f64], limit: usize, r: usize, rng: &mut ChaCha8Rng) -> Vec<f64> {
-        (0..r).map(|_| psi[rng.gen_range(0..limit)]).collect()
+    /// True while the window is still filling (no test runs yet).
+    pub fn is_warming_up(&self) -> bool {
+        self.psi.len() < self.cfg.window
     }
 }
 
@@ -66,21 +159,28 @@ impl TransitionDetector for Kswin {
     }
 
     fn update(&mut self, pc: u64) -> bool {
+        self.stats.updates += 1;
         let value = pc as f64;
         if self.psi.len() < self.cfg.window {
             self.psi.push(value);
             return false;
         }
-        self.psi.remove(0);
-        self.psi.push(value);
+        self.psi.push(value); // overwrites the oldest sample
         let r = self.cfg.recent;
         let w = self.cfg.window;
-        let recent = &self.psi[w - r..];
-        let history = Self::sample_history(&self.psi, w - r, r, &mut self.rng);
-        let d = ks_statistic(&history, recent);
+        self.psi.copy_range_into(w - r, w, &mut self.recent_scratch);
+        sample_history_into(
+            &self.psi,
+            w - r,
+            r,
+            &mut self.rng,
+            &mut self.history_scratch,
+        );
+        let d = ks_statistic(&self.history_scratch, &self.recent_scratch);
         if d > self.threshold {
             // Reference behaviour: keep only the recent window and restart.
-            self.psi = recent.to_vec();
+            self.psi.restart_from(&self.recent_scratch);
+            self.stats.detections += 1;
             true
         } else {
             false
@@ -89,6 +189,11 @@ impl TransitionDetector for Kswin {
 
     fn reset(&mut self) {
         self.psi.clear();
+        self.stats.resets += 1;
+    }
+
+    fn stats(&self) -> DetectorStats {
+        self.stats
     }
 }
 
@@ -101,11 +206,14 @@ pub struct SoftKswin {
     cfg: KswinConfig,
     /// Soft threshold on the detection ratio (paper default 0.5).
     pub th_r: f64,
-    psi: Vec<f64>,
+    psi: PsiRing,
     threshold: f64,
     rng: ChaCha8Rng,
     counter: usize,
-    detections: usize,
+    window_detections: usize,
+    recent_scratch: Vec<f64>,
+    history_scratch: Vec<f64>,
+    stats: DetectorStats,
 }
 
 impl SoftKswin {
@@ -114,12 +222,20 @@ impl SoftKswin {
         SoftKswin {
             threshold: ks_threshold(cfg.alpha, cfg.recent, cfg.recent),
             th_r: 0.5,
-            psi: Vec::with_capacity(cfg.window),
+            psi: PsiRing::new(cfg.window),
             rng: ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x50F7),
             cfg,
             counter: 0,
-            detections: 0,
+            window_detections: 0,
+            recent_scratch: Vec::with_capacity(cfg.recent),
+            history_scratch: Vec::with_capacity(cfg.recent),
+            stats: DetectorStats::default(),
         }
+    }
+
+    /// True while the window is still filling (no test runs yet).
+    pub fn is_warming_up(&self) -> bool {
+        self.psi.len() < self.cfg.window
     }
 }
 
@@ -129,39 +245,47 @@ impl TransitionDetector for SoftKswin {
     }
 
     fn update(&mut self, pc: u64) -> bool {
+        self.stats.updates += 1;
         let value = pc as f64;
         if self.psi.len() < self.cfg.window {
             self.psi.push(value);
             return false;
         }
-        self.psi.remove(0);
         self.psi.push(value);
         let r = self.cfg.recent;
         let w = self.cfg.window;
         // Soft history: exclude the `counter` newest pre-recent samples,
         // which may already belong to the new pattern (Eq. 6).
         let limit = w.saturating_sub(r + self.counter).max(r);
-        let recent = &self.psi[w - r..];
-        let history = Kswin::sample_history(&self.psi, limit, r, &mut self.rng);
-        let d = ks_statistic(&history, recent);
+        self.psi.copy_range_into(w - r, w, &mut self.recent_scratch);
+        sample_history_into(
+            &self.psi,
+            limit,
+            r,
+            &mut self.rng,
+            &mut self.history_scratch,
+        );
+        let d = ks_statistic(&self.history_scratch, &self.recent_scratch);
         let mut transition = false;
         if d > self.threshold {
-            self.detections += 1;
+            self.window_detections += 1;
             if self.counter == 0 {
                 // First raw detection arms the soft counter.
                 self.counter = 1;
+                self.stats.soft_arms += 1;
             }
         }
         if self.counter > 0 {
             self.counter += 1;
             if self.counter >= r {
-                if self.detections as f64 / self.counter as f64 > self.th_r {
+                if self.window_detections as f64 / self.counter as f64 > self.th_r {
                     transition = true;
+                    self.stats.detections += 1;
                     // Reset the model for future detections.
-                    self.psi = recent.to_vec();
+                    self.psi.restart_from(&self.recent_scratch);
                 }
                 self.counter = 0;
-                self.detections = 0;
+                self.window_detections = 0;
             }
         }
         transition
@@ -170,7 +294,12 @@ impl TransitionDetector for SoftKswin {
     fn reset(&mut self) {
         self.psi.clear();
         self.counter = 0;
-        self.detections = 0;
+        self.window_detections = 0;
+        self.stats.resets += 1;
+    }
+
+    fn stats(&self) -> DetectorStats {
+        self.stats
     }
 }
 
@@ -219,6 +348,10 @@ mod tests {
         let hits = run(&mut k, &stream);
         assert!(!hits.is_empty(), "no detection");
         assert!(hits[0] >= 800 && hits[0] < 900, "first hit at {}", hits[0]);
+        let s = k.stats();
+        assert_eq!(s.updates, 1500);
+        assert_eq!(s.detections, hits.len() as u64);
+        assert_eq!(s.soft_arms, 0);
     }
 
     #[test]
@@ -229,6 +362,10 @@ mod tests {
         assert!(!hits.is_empty(), "no detection");
         // Soft detection incurs a lag of up to ~r samples (Figure 9).
         assert!(hits[0] >= 800 && hits[0] < 950, "first hit at {}", hits[0]);
+        let s = k.stats();
+        assert_eq!(s.updates, 1500);
+        assert_eq!(s.detections, hits.len() as u64);
+        assert!(s.soft_arms >= s.detections, "arms {s:?}");
     }
 
     #[test]
@@ -268,6 +405,10 @@ mod tests {
         }
         k.reset();
         assert!(k.psi.is_empty());
+        assert!(k.is_warming_up());
+        let s = k.stats();
+        assert_eq!(s.updates, 500);
+        assert_eq!(s.resets, 1);
     }
 
     #[test]
@@ -278,5 +419,155 @@ mod tests {
             recent: 30,
             ..KswinConfig::default()
         });
+    }
+
+    // ---- equivalence guards: ring + scratch vs. the original Vec shifts ----
+
+    /// The pre-ring KSWIN, kept verbatim as the behavioural reference.
+    struct VecKswinRef {
+        cfg: KswinConfig,
+        psi: Vec<f64>,
+        threshold: f64,
+        rng: ChaCha8Rng,
+    }
+
+    impl VecKswinRef {
+        fn new(cfg: KswinConfig) -> Self {
+            VecKswinRef {
+                threshold: ks_threshold(cfg.alpha, cfg.recent, cfg.recent),
+                psi: Vec::with_capacity(cfg.window),
+                rng: ChaCha8Rng::seed_from_u64(cfg.seed),
+                cfg,
+            }
+        }
+
+        fn sample_history(psi: &[f64], limit: usize, r: usize, rng: &mut ChaCha8Rng) -> Vec<f64> {
+            (0..r).map(|_| psi[rng.gen_range(0..limit)]).collect()
+        }
+
+        fn update(&mut self, pc: u64) -> bool {
+            let value = pc as f64;
+            if self.psi.len() < self.cfg.window {
+                self.psi.push(value);
+                return false;
+            }
+            self.psi.remove(0);
+            self.psi.push(value);
+            let r = self.cfg.recent;
+            let w = self.cfg.window;
+            let recent = &self.psi[w - r..];
+            let history = Self::sample_history(&self.psi, w - r, r, &mut self.rng);
+            let d = ks_statistic(&history, recent);
+            if d > self.threshold {
+                self.psi = recent.to_vec();
+                true
+            } else {
+                false
+            }
+        }
+    }
+
+    /// The pre-ring Soft-KSWIN, kept verbatim as the behavioural reference.
+    struct VecSoftKswinRef {
+        cfg: KswinConfig,
+        th_r: f64,
+        psi: Vec<f64>,
+        threshold: f64,
+        rng: ChaCha8Rng,
+        counter: usize,
+        detections: usize,
+    }
+
+    impl VecSoftKswinRef {
+        fn new(cfg: KswinConfig) -> Self {
+            VecSoftKswinRef {
+                threshold: ks_threshold(cfg.alpha, cfg.recent, cfg.recent),
+                th_r: 0.5,
+                psi: Vec::with_capacity(cfg.window),
+                rng: ChaCha8Rng::seed_from_u64(cfg.seed ^ 0x50F7),
+                cfg,
+                counter: 0,
+                detections: 0,
+            }
+        }
+
+        fn update(&mut self, pc: u64) -> bool {
+            let value = pc as f64;
+            if self.psi.len() < self.cfg.window {
+                self.psi.push(value);
+                return false;
+            }
+            self.psi.remove(0);
+            self.psi.push(value);
+            let r = self.cfg.recent;
+            let w = self.cfg.window;
+            let limit = w.saturating_sub(r + self.counter).max(r);
+            let recent = &self.psi[w - r..];
+            let history = VecKswinRef::sample_history(&self.psi, limit, r, &mut self.rng);
+            let d = ks_statistic(&history, recent);
+            let mut transition = false;
+            if d > self.threshold {
+                self.detections += 1;
+                if self.counter == 0 {
+                    self.counter = 1;
+                }
+            }
+            if self.counter > 0 {
+                self.counter += 1;
+                if self.counter >= r {
+                    if self.detections as f64 / self.counter as f64 > self.th_r {
+                        transition = true;
+                        self.psi = recent.to_vec();
+                    }
+                    self.counter = 0;
+                    self.detections = 0;
+                }
+            }
+            transition
+        }
+    }
+
+    #[test]
+    fn ring_kswin_matches_vec_reference() {
+        for (stream, tag) in [
+            (step_stream(2500, 900), "step"),
+            (impulse_stream(2500, 40), "impulse"),
+        ] {
+            let cfg = KswinConfig {
+                alpha: 0.01,
+                ..KswinConfig::default()
+            };
+            let mut new = Kswin::new(cfg);
+            let mut old = VecKswinRef::new(cfg);
+            for (i, &pc) in stream.iter().enumerate() {
+                assert_eq!(
+                    new.update(pc),
+                    old.update(pc),
+                    "{tag}: diverged at sample {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ring_soft_kswin_matches_vec_reference() {
+        for (stream, tag) in [
+            (step_stream(2500, 900), "step"),
+            (impulse_stream(2500, 40), "impulse"),
+        ] {
+            let cfg = KswinConfig {
+                alpha: 0.01,
+                ..KswinConfig::default()
+            };
+            let mut new = SoftKswin::new(cfg);
+            let mut old = VecSoftKswinRef::new(cfg);
+            for (i, &pc) in stream.iter().enumerate() {
+                assert_eq!(
+                    new.update(pc),
+                    old.update(pc),
+                    "{tag}: diverged at sample {i}"
+                );
+            }
+        }
     }
 }

@@ -22,7 +22,7 @@ pub mod eval;
 pub mod ks;
 pub mod kswin;
 
-pub use detector::TransitionDetector;
+pub use detector::{DetectorStats, TransitionDetector};
 pub use dtree::{build_training_set, DecisionTree, DtDetector, SoftDtDetector};
 pub use eval::{detection_lag, evaluate_transitions};
 pub use ks::{ks_statistic, ks_threshold};

@@ -141,7 +141,13 @@ impl<T: Copy> History<T> {
 
     pub fn push(&mut self, v: T) {
         if self.buf.len() == self.cap {
-            self.buf.remove(0);
+            // Rotate-and-overwrite: one memmove, no len churn. Callers need
+            // `items()` contiguous, which rules out a VecDeque ring here.
+            self.buf.rotate_left(1);
+            if let Some(slot) = self.buf.last_mut() {
+                *slot = v;
+            }
+            return;
         }
         self.buf.push(v);
     }

@@ -19,7 +19,7 @@ use mpgraph_ml::lstm::Lstm;
 use mpgraph_ml::metrics::top_k_indices;
 use mpgraph_ml::optim::Adam;
 use mpgraph_ml::tensor::{rng, Matrix};
-use mpgraph_sim::{LlcAccess, Prefetcher};
+use mpgraph_sim::{LlcAccess, Prefetcher, BLOCK_BITS};
 
 /// Voyager model dimensions (scaled-down per DESIGN.md §5).
 #[derive(Debug, Clone, Copy)]
@@ -271,7 +271,7 @@ impl Prefetcher for Voyager {
                 continue;
             };
             for &o in &offs {
-                out.push((page << 6) | o as u64);
+                out.push((page << BLOCK_BITS) | o as u64);
                 issued += 1;
                 if issued >= self.cfg.degree {
                     break 'outer;

@@ -17,7 +17,8 @@
 use crate::cache::{Cache, CacheStats, Lookup};
 use crate::dram::{Dram, DramConfig, DramStats};
 use crate::fault::{FaultInjector, FaultStats};
-use crate::prefetch::{LlcAccess, Prefetcher};
+use crate::obs::{DropReason, PrefetchObserver};
+use crate::prefetch::{LlcAccess, PrefetchTag, Prefetcher};
 use mpgraph_frameworks::MemRecord;
 use std::collections::{BinaryHeap, HashMap};
 
@@ -181,7 +182,22 @@ pub fn simulate_with_faults(
     trace: &[MemRecord],
     prefetcher: &mut dyn Prefetcher,
     cfg: &SimConfig,
+    faults: Option<&mut FaultInjector>,
+) -> SimResult {
+    simulate_observed(trace, prefetcher, cfg, faults, None)
+}
+
+/// [`simulate_with_faults`] with an optional [`PrefetchObserver`] fed the
+/// lifecycle of every prefetch candidate (issue/drop/hit/evict) plus the
+/// demand misses and latencies — the raw event stream behind the
+/// `mpgraph_core::obs` scoreboard. Pass `None` to observe nothing; the
+/// replay semantics and [`SimResult`] are bit-identical either way.
+pub fn simulate_observed(
+    trace: &[MemRecord],
+    prefetcher: &mut dyn Prefetcher,
+    cfg: &SimConfig,
     mut faults: Option<&mut FaultInjector>,
+    mut obs: Option<&mut dyn PrefetchObserver>,
 ) -> SimResult {
     let mut cores: Vec<CoreState> = (0..cfg.num_cores)
         .map(|_| CoreState {
@@ -202,6 +218,9 @@ pub fn simulate_with_faults(
     let mut llc_demand_misses: u64 = 0;
     let mut pf_candidates: Vec<u64> = Vec::with_capacity(16);
     let mut misfire_scratch: Vec<u64> = Vec::new();
+    // Candidate attribution copied out of the prefetcher each access (the
+    // prefetcher's tag buffer is invalidated by its next on_access call).
+    let mut tag_scratch: Vec<PrefetchTag> = Vec::with_capacity(16);
 
     for raw in trace {
         let injected = match faults.as_deref_mut() {
@@ -272,7 +291,8 @@ pub fn simulate_with_faults(
                 // demand misses: the data was coming no sooner than a fresh
                 // fetch would have brought it.
                 if let Some((ready, timely)) = inflight.take_ready(block) {
-                    if ready > t {
+                    let late = ready > t;
+                    if late {
                         late_merges += 1;
                     }
                     if timely {
@@ -280,9 +300,20 @@ pub fn simulate_with_faults(
                     } else {
                         llc_demand_misses += 1;
                     }
+                    if let Some(o) = obs.as_deref_mut() {
+                        // Untimely merges failed to hide any latency:
+                        // classify them late alongside in-flight merges.
+                        o.on_useful(block, late || !timely);
+                        if !timely {
+                            o.on_demand_miss(prefetcher.current_phase_id());
+                        }
+                    }
                     t.max(ready)
                 } else {
                     prefetches_useful += 1;
+                    if let Some(o) = obs.as_deref_mut() {
+                        o.on_useful(block, false);
+                    }
                     t
                 }
             }
@@ -293,7 +324,16 @@ pub fn simulate_with_faults(
             Lookup::Miss => {
                 llc_demand_misses += 1;
                 let done = dram.request(block, t);
-                llc.insert(block, false, false);
+                let victim = llc.insert(block, false, false);
+                if let Some(o) = obs.as_deref_mut() {
+                    o.on_demand_miss(prefetcher.current_phase_id());
+                    o.on_memory_latency(done.saturating_sub(t));
+                    if let Some(v) = victim {
+                        if v.unused_prefetch {
+                            o.on_useless_evict(v.block);
+                        }
+                    }
+                }
                 done
             }
         };
@@ -331,29 +371,69 @@ pub fn simulate_with_faults(
             cycle: core.cycle,
         };
         prefetcher.on_access(&acc, &mut pf_candidates);
+        if obs.is_some() {
+            tag_scratch.clear();
+            tag_scratch.extend_from_slice(prefetcher.last_batch_tags());
+        }
         if let Some(inj) = faults.as_deref_mut() {
             inj.mutate_candidates(&mut pf_candidates);
         }
         let stall = faults.as_deref_mut().map_or(0, |inj| inj.inference_stall());
         let inference_lat = prefetcher.effective_latency(stall);
         let issue_at = t + inference_lat;
+        if let Some(o) = obs.as_deref_mut() {
+            o.on_inference_latency(inference_lat);
+        }
         // Timeliness bound: an inference slower than an uncontended DRAM
         // round trip cannot beat a demand fetch for the same line.
         let timely =
             inference_lat <= cfg.dram.t_rp + cfg.dram.t_rcd + cfg.dram.t_cas + cfg.dram.bus_cycles;
         let mut issued_now = 0usize;
-        for &pf_block in pf_candidates.iter() {
+        for (ci, &pf_block) in pf_candidates.iter().enumerate() {
+            // Fault mutation can desync candidates from their tags; fall
+            // back to the unattributed tag rather than misattribute.
+            let tag = if tag_scratch.len() == pf_candidates.len() {
+                tag_scratch.get(ci).copied().unwrap_or_default()
+            } else {
+                PrefetchTag::default()
+            };
             if issued_now >= cfg.max_prefetch_degree {
-                break;
+                match obs.as_deref_mut() {
+                    Some(o) => {
+                        o.on_dropped(pf_block, tag, DropReason::DegreeCap);
+                        continue;
+                    }
+                    None => break,
+                }
             }
-            if pf_block == block || llc.contains(pf_block) || inflight.contains(pf_block) {
+            let drop_reason = if pf_block == block {
+                Some(DropReason::SelfBlock)
+            } else if llc.contains(pf_block) {
+                Some(DropReason::InCache)
+            } else if inflight.contains(pf_block) {
+                Some(DropReason::InFlight)
+            } else {
+                None
+            };
+            if let Some(reason) = drop_reason {
+                if let Some(o) = obs.as_deref_mut() {
+                    o.on_dropped(pf_block, tag, reason);
+                }
                 continue;
             }
             let ready = dram.request(pf_block, issue_at);
-            llc.insert(pf_block, true, false);
+            let victim = llc.insert(pf_block, true, false);
             inflight.insert(pf_block, ready, timely);
             prefetches_issued += 1;
             issued_now += 1;
+            if let Some(o) = obs.as_deref_mut() {
+                o.on_issued(pf_block, tag, timely);
+                if let Some(v) = victim {
+                    if v.unused_prefetch {
+                        o.on_useless_evict(v.block);
+                    }
+                }
+            }
         }
         inflight.sweep(core.cycle);
     }
@@ -597,6 +677,78 @@ mod tests {
             faulty.instructions,
             trace.iter().map(|t| 1 + t.gap as u64).sum::<u64>()
         );
+    }
+
+    /// Counting observer for event-stream consistency checks.
+    #[derive(Default)]
+    struct CountingObserver {
+        issued: u64,
+        dropped: u64,
+        useful: u64,
+        late: u64,
+        useless: u64,
+        demand_misses: u64,
+        inference_events: u64,
+        memory_events: u64,
+    }
+    impl PrefetchObserver for CountingObserver {
+        fn on_issued(&mut self, _b: u64, _t: PrefetchTag, _timely: bool) {
+            self.issued += 1;
+        }
+        fn on_dropped(&mut self, _b: u64, _t: PrefetchTag, _r: DropReason) {
+            self.dropped += 1;
+        }
+        fn on_useful(&mut self, _b: u64, late: bool) {
+            if late {
+                self.late += 1;
+            } else {
+                self.useful += 1;
+            }
+        }
+        fn on_useless_evict(&mut self, _b: u64) {
+            self.useless += 1;
+        }
+        fn on_demand_miss(&mut self, _phase: u8) {
+            self.demand_misses += 1;
+        }
+        fn on_inference_latency(&mut self, _c: u64) {
+            self.inference_events += 1;
+        }
+        fn on_memory_latency(&mut self, _c: u64) {
+            self.memory_events += 1;
+        }
+    }
+
+    #[test]
+    fn observer_events_match_sim_result_counters() {
+        let trace = sequential_trace(20_000);
+        let cfg = SimConfig::default();
+        let mut o = CountingObserver::default();
+        let r = simulate_observed(&trace, &mut NextLine, &cfg, None, Some(&mut o));
+        // Zero-latency prefetcher: every issue is timely, so the observer's
+        // classification must reconcile exactly with the engine's counters.
+        assert_eq!(o.issued, r.prefetches_issued);
+        assert_eq!(o.useful + o.late, r.prefetches_useful);
+        assert_eq!(o.late, r.late_prefetch_merges);
+        assert_eq!(o.demand_misses, r.llc_demand_misses);
+        assert_eq!(o.memory_events, r.llc_demand_misses);
+        assert_eq!(o.inference_events, r.llc.accesses());
+        assert!(o.issued > 0 && o.useful + o.late > 0);
+        // Dropped candidates exist (next-line overlaps in-flight lines).
+        assert!(o.dropped > 0);
+    }
+
+    #[test]
+    fn observed_run_is_bit_identical_to_unobserved() {
+        let trace = sequential_trace(8_000);
+        let cfg = SimConfig::default();
+        let plain = simulate(&trace, &mut NextLine, &cfg);
+        let mut o = CountingObserver::default();
+        let observed = simulate_observed(&trace, &mut NextLine, &cfg, None, Some(&mut o));
+        assert_eq!(plain.cycles, observed.cycles);
+        assert_eq!(plain.prefetches_issued, observed.prefetches_issued);
+        assert_eq!(plain.prefetches_useful, observed.prefetches_useful);
+        assert_eq!(plain.llc_demand_misses, observed.llc_demand_misses);
     }
 
     #[test]

@@ -31,11 +31,15 @@ pub mod dram;
 pub mod engine;
 pub mod fault;
 pub mod filter;
+pub mod obs;
 pub mod prefetch;
 
 pub use cache::{Cache, CacheStats, Lookup};
 pub use dram::{Dram, DramConfig, DramStats};
-pub use engine::{simulate, simulate_with_faults, SimConfig, SimResult};
+pub use engine::{simulate, simulate_observed, simulate_with_faults, SimConfig, SimResult};
 pub use fault::{FaultConfig, FaultInjector, FaultKind, FaultStats};
 pub use filter::{llc_filter, llc_filter_indexed};
-pub use prefetch::{LlcAccess, NullPrefetcher, Prefetcher};
+pub use obs::{DropReason, PrefetchObserver};
+pub use prefetch::{
+    LlcAccess, NullPrefetcher, PrefetchLane, PrefetchTag, Prefetcher, BLOCK_BITS, BLOCK_OFFSET_MASK,
+};

@@ -1,0 +1,107 @@
+//! Engine-side observability hooks: a [`PrefetchObserver`] receives the
+//! lifecycle events of every prefetch candidate as the replay loop sees
+//! them — emitted, issued (or dropped, with a reason), demand-hit (on time
+//! or late), or evicted unused — plus the demand misses and latencies
+//! needed for coverage and timeliness accounting.
+//!
+//! The trait lives in `mpgraph-sim` (the bottom of the dependency stack)
+//! so the engine can feed it without knowing who listens; the concrete
+//! scoreboard that aggregates these events into per-phase / per-lane
+//! accuracy, coverage, and timeliness lives in `mpgraph_core::obs`.
+//!
+//! Every method has a no-op default so observers implement only what they
+//! consume, and the engine's hot loop pays nothing when no observer is
+//! attached (the `Option<&mut dyn PrefetchObserver>` is `None`).
+
+use crate::prefetch::PrefetchTag;
+
+/// Why the engine discarded a prefetch candidate instead of issuing it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// The candidate is the demand block that triggered it.
+    SelfBlock,
+    /// The line is already resident in the LLC.
+    InCache,
+    /// An identical prefetch is already in flight.
+    InFlight,
+    /// The per-access degree cap was already spent.
+    DegreeCap,
+}
+
+impl DropReason {
+    pub fn name(&self) -> &'static str {
+        match self {
+            DropReason::SelfBlock => "self-block",
+            DropReason::InCache => "in-cache",
+            DropReason::InFlight => "in-flight",
+            DropReason::DegreeCap => "degree-cap",
+        }
+    }
+}
+
+/// Receiver for the engine's prefetch-lifecycle events. Implementations
+/// must not allocate on these paths if they want to preserve the replay
+/// loop's steady-state allocation profile (the core scoreboard doesn't).
+pub trait PrefetchObserver {
+    /// A candidate was issued to memory. `timely` is the engine's
+    /// issue-time verdict: an inference slower than an uncontended DRAM
+    /// round trip can never beat the demand fetch.
+    fn on_issued(&mut self, block: u64, tag: PrefetchTag, timely: bool) {
+        let _ = (block, tag, timely);
+    }
+
+    /// A candidate was discarded before issue.
+    fn on_dropped(&mut self, block: u64, tag: PrefetchTag, reason: DropReason) {
+        let _ = (block, tag, reason);
+    }
+
+    /// A demand access hit a prefetched line. `late` means the data had
+    /// not finished arriving when the demand came (an in-flight merge) or
+    /// the prefetch was issued untimely — either way the prefetch failed
+    /// to fully hide the miss.
+    fn on_useful(&mut self, block: u64, late: bool) {
+        let _ = (block, late);
+    }
+
+    /// A prefetched line was evicted without ever serving a demand access.
+    fn on_useless_evict(&mut self, block: u64) {
+        let _ = block;
+    }
+
+    /// A demand access missed the LLC outright, attributed to the
+    /// prefetcher's currently selected phase (for per-phase coverage).
+    fn on_demand_miss(&mut self, phase: u8) {
+        let _ = phase;
+    }
+
+    /// The inference latency (cycles) the prefetcher charged this access.
+    fn on_inference_latency(&mut self, cycles: u64) {
+        let _ = cycles;
+    }
+
+    /// A demand miss's DRAM round trip (cycles), for the simulated
+    /// memory-access latency histogram.
+    fn on_memory_latency(&mut self, cycles: u64) {
+        let _ = cycles;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_noops() {
+        struct Nop;
+        impl PrefetchObserver for Nop {}
+        let mut n = Nop;
+        n.on_issued(1, PrefetchTag::default(), true);
+        n.on_dropped(1, PrefetchTag::default(), DropReason::InCache);
+        n.on_useful(1, false);
+        n.on_useless_evict(1);
+        n.on_demand_miss(0);
+        n.on_inference_latency(10);
+        n.on_memory_latency(100);
+        assert_eq!(DropReason::DegreeCap.name(), "degree-cap");
+    }
+}

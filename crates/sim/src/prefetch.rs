@@ -7,6 +7,45 @@
 //! L2 misses from all cores, with their PCs — and emits block addresses to
 //! prefetch into the LLC.
 
+/// Block-offset bits of the 4 KiB / 64-byte-block page geometry: the
+/// single source of truth for the page/offset address split. Everything
+/// that splits a block address into (page, offset) — the simulator, the
+/// CSTP base computation, the ML baselines — must derive from these two
+/// constants so the splits cannot drift apart.
+pub const BLOCK_BITS: u32 = 6;
+/// Mask selecting the block offset within a page (`(1 << BLOCK_BITS) - 1`).
+pub const BLOCK_OFFSET_MASK: u64 = (1 << BLOCK_BITS) - 1;
+
+/// Which CSTP lane produced a prefetch candidate (spatial deltas at the
+/// current access vs. the temporal page chain), for per-lane accounting in
+/// the observability layer. `Other` covers prefetchers that do not tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PrefetchLane {
+    Spatial,
+    Temporal,
+    #[default]
+    Other,
+}
+
+impl PrefetchLane {
+    pub fn name(&self) -> &'static str {
+        match self {
+            PrefetchLane::Spatial => "spatial",
+            PrefetchLane::Temporal => "temporal",
+            PrefetchLane::Other => "other",
+        }
+    }
+}
+
+/// Attribution carried by each prefetch candidate: which phase model and
+/// which CSTP lane emitted it. Prefetchers that don't attribute report the
+/// default (phase 0, [`PrefetchLane::Other`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PrefetchTag {
+    pub phase: u8,
+    pub lane: PrefetchLane,
+}
+
 /// One demand access observed at the LLC.
 #[derive(Debug, Clone, Copy)]
 pub struct LlcAccess {
@@ -27,12 +66,12 @@ impl LlcAccess {
     /// Page number (4 KiB pages, 64 blocks each).
     #[inline]
     pub fn page(&self) -> u64 {
-        self.block >> 6
+        self.block >> BLOCK_BITS
     }
     /// Block offset within the page, 0..64.
     #[inline]
     pub fn offset(&self) -> u64 {
-        self.block & 63
+        self.block & BLOCK_OFFSET_MASK
     }
 }
 
@@ -63,6 +102,20 @@ pub trait Prefetcher {
     fn effective_latency(&mut self, injected_stall: u64) -> u64 {
         let _ = injected_stall;
         self.latency()
+    }
+
+    /// Per-candidate attribution for the batch the last
+    /// [`Prefetcher::on_access`] call appended, parallel to the appended
+    /// candidates. The default (empty) means "unattributed": the engine
+    /// tags every candidate with [`PrefetchTag::default`].
+    fn last_batch_tags(&self) -> &[PrefetchTag] {
+        &[]
+    }
+
+    /// The phase model currently selected, for attributing demand misses
+    /// in per-phase coverage accounting. Untagged prefetchers report 0.
+    fn current_phase_id(&self) -> u8 {
+        0
     }
 }
 

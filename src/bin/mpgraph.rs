@@ -12,13 +12,13 @@
 //! filter → train MPGraph on iteration 0 → simulate the remaining
 //! iterations against the no-prefetch baseline and BO.
 
-use mpgraph::core::{train_mpgraph, MpGraphConfig};
+use mpgraph::core::{train_mpgraph, MetricsSnapshot, MpGraphConfig, PrefetchScoreboard};
 use mpgraph::frameworks::{generate_trace, io, App, Framework, Trace, TraceConfig};
 use mpgraph::graph::{standin, Dataset};
 use mpgraph::prefetchers::{BestOffset, BoConfig, Isb, IsbConfig, NextLine, Stride, TrainCfg};
 use mpgraph::sim::{
-    llc_filter, simulate, simulate_with_faults, FaultConfig, FaultInjector, FaultKind,
-    NullPrefetcher, Prefetcher, SimResult,
+    llc_filter, simulate, simulate_observed, FaultConfig, FaultInjector, FaultKind, NullPrefetcher,
+    PrefetchObserver, Prefetcher, SimResult,
 };
 
 fn usage() -> ! {
@@ -30,8 +30,9 @@ fn usage() -> ! {
          info     FILE\n  \
          simulate FILE [--prefetcher none|next-line|stride|bo|isb] [--scaled]\n           \
          [--fault corrupt-record|drop-prefetch|duplicate-prefetch|detector-misfire|stall-inference]\n           \
-         [--fault-rate R] [--fault-seed S] [--stall-cycles N]\n  \
-         run      --framework F --app A --dataset D [--div N] [--iterations N]"
+         [--fault-rate R] [--fault-seed S] [--stall-cycles N] [--metrics-out FILE]\n  \
+         run      --framework F --app A --dataset D [--div N] [--iterations N]\n           \
+         [--metrics-out FILE]"
     );
     std::process::exit(2);
 }
@@ -202,6 +203,20 @@ fn build_trace(args: &Args) -> Trace {
     .trace
 }
 
+/// Builds a scoreboard when `--metrics-out` was given, so the simulate/run
+/// commands pay the observer cost only when the user asked for metrics.
+fn scoreboard_for(args: &Args, num_phases: usize) -> Option<PrefetchScoreboard> {
+    args.get("metrics-out")
+        .map(|_| PrefetchScoreboard::new(num_phases.max(1), 4096))
+}
+
+fn write_metrics(args: &Args, snap: &MetricsSnapshot) {
+    let path = args.get("metrics-out").unwrap_or_else(|| usage());
+    std::fs::write(path, snap.to_json_pretty())
+        .unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+    eprintln!("metrics written to {path}");
+}
+
 fn report(label: &str, r: &SimResult, base: Option<&SimResult>) {
     let impv = base
         .map(|b| format!("{:+8.2}%", r.ipc_improvement(b)))
@@ -271,8 +286,18 @@ fn cmd_simulate(args: &Args) {
         other => die(&format!("unknown prefetcher {other:?}")),
     };
     let mut inj = fault_injector(args);
-    let r = simulate_with_faults(&t.records, pf.as_mut(), &cfg, inj.as_mut());
+    let mut sb = scoreboard_for(args, t.num_phases as usize);
+    let r = simulate_observed(
+        &t.records,
+        pf.as_mut(),
+        &cfg,
+        inj.as_mut(),
+        sb.as_mut().map(|s| s as &mut dyn PrefetchObserver),
+    );
     report(&r.prefetcher.clone(), &r, Some(&base));
+    if let Some(sb) = sb.as_ref() {
+        write_metrics(args, &sb.snapshot());
+    }
     if inj.is_some() {
         println!("faults injected: {} total", r.faults.total());
         for kind in FaultKind::ALL {
@@ -311,8 +336,20 @@ fn cmd_run(args: &Args) {
         MpGraphConfig::default(),
         &TrainCfg::default(),
     );
-    let r = simulate(test, &mut mp, &cfg);
+    let mut sb = scoreboard_for(args, trace.num_phases as usize);
+    let r = simulate_observed(
+        test,
+        &mut mp,
+        &cfg,
+        None,
+        sb.as_mut().map(|s| s as &mut dyn PrefetchObserver),
+    );
     report("MPGraph", &r, Some(&base));
+    if let Some(sb) = sb.as_ref() {
+        let mut snap = sb.snapshot();
+        mp.enrich_snapshot(&mut snap);
+        write_metrics(args, &snap);
+    }
 }
 
 fn main() {

@@ -106,6 +106,7 @@ fn cstp_chain_respects_degree_bound_on_real_trace() {
         temporal_degree: 3,
     };
     let mut any_chained = false;
+    let mut stats = mpgraph::core::CstpStats::default();
     for window in train.windows(5).skip(50).step_by(97).take(60) {
         let bh: Vec<(u64, u64)> = window.iter().map(|r| (r.block(), r.pc)).collect();
         let ph: Vec<(usize, u64)> = window
@@ -113,7 +114,7 @@ fn cstp_chain_respects_degree_bound_on_real_trace() {
             .map(|r| (page.vocab.token_of(r.page()), r.pc))
             .collect();
         let phase = window.last().unwrap().phase as usize;
-        let batch = chain_prefetch(&delta, &page, &pbot, &bh, &ph, phase, &cstp);
+        let batch = chain_prefetch(&delta, &page, &pbot, &bh, &ph, phase, &cstp, &mut stats);
         assert!(
             batch.len() <= cstp.max_degree(),
             "batch {} > Eq.11 bound {}",

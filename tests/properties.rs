@@ -103,6 +103,76 @@ proptest! {
         prop_assert_eq!(cfg.max_degree(), ds * (dt + 1));
     }
 
+    /// CSTP batch dedup: for any raw candidate batch, the dedup'd batch is
+    /// duplicate-free, keeps the first emission of every block (so the
+    /// spatial-before-temporal priority survives), mirrors removals into
+    /// the lane attribution, counts every suppression, and truncating to
+    /// Eq. 11 keeps the batch within `Ds*(Dt+1)`.
+    #[test]
+    fn cstp_dedup_is_duplicate_free_and_bounded(
+        raw in prop::collection::vec(0u64..24, 0..40),
+        ds in 1usize..6,
+        dt in 0usize..6,
+    ) {
+        use mpgraph::core::dedup_first_order;
+        use mpgraph::sim::PrefetchLane;
+
+        let raw_lanes: Vec<PrefetchLane> = (0..raw.len())
+            .map(|i| if i % 2 == 0 { PrefetchLane::Spatial } else { PrefetchLane::Temporal })
+            .collect();
+        let mut out = raw.clone();
+        let mut lanes = raw_lanes.clone();
+        let suppressed = dedup_first_order(&mut out, Some(&mut lanes));
+
+        // First-emission order, no duplicates, honest suppression count.
+        let mut seen = std::collections::HashSet::new();
+        let keep: Vec<usize> = (0..raw.len()).filter(|&i| seen.insert(raw[i])).collect();
+        let expect: Vec<u64> = keep.iter().map(|&i| raw[i]).collect();
+        prop_assert_eq!(&out, &expect);
+        prop_assert_eq!(suppressed as usize, raw.len() - out.len());
+        // Lane attribution stays parallel: each survivor keeps the lane of
+        // its first emission.
+        let expect_lanes: Vec<PrefetchLane> = keep.iter().map(|&i| raw_lanes[i]).collect();
+        prop_assert_eq!(&lanes, &expect_lanes);
+        // Eq. 11 after truncation.
+        let cfg = CstpConfig { spatial_degree: ds, temporal_degree: dt };
+        out.truncate(cfg.max_degree());
+        prop_assert!(out.len() <= ds * (dt + 1));
+    }
+
+    /// The streaming log-bucketed histogram agrees with exact sorted-Vec
+    /// nearest-rank percentiles to within its bucket resolution (values
+    /// below 32 are exact; above, the midpoint representative is within
+    /// ~1.6% — 5% + 2 is a safe envelope), and min/max/count are exact.
+    #[test]
+    fn histogram_percentiles_track_exact_sorted(
+        vals in prop::collection::vec(0u64..1_000_000, 1..400)
+    ) {
+        use mpgraph::core::LatencyHistogram;
+
+        let mut h = LatencyHistogram::new();
+        for &v in &vals {
+            h.record(v);
+        }
+        let mut sorted = vals.clone();
+        sorted.sort_unstable();
+        for p in [0.5, 0.9, 0.99] {
+            let n = sorted.len();
+            let rank = ((p * n as f64).ceil() as usize).clamp(1, n);
+            let exact = sorted[rank - 1];
+            let got = h.percentile(p);
+            let tol = (exact as f64 * 0.05).max(2.0);
+            prop_assert!(
+                (got as f64 - exact as f64).abs() <= tol,
+                "p{} histogram {} vs exact {} (n={})", p, got, exact, n
+            );
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, vals.len() as u64);
+        prop_assert_eq!(snap.min, sorted[0]);
+        prop_assert_eq!(snap.max, *sorted.last().expect("non-empty"));
+    }
+
     /// Matrix softmax rows always sum to 1 and are within (0, 1].
     #[test]
     fn softmax_rows_are_distributions(
