@@ -2,8 +2,9 @@
 //! threshold `th_r`, the CSTP (Ds, Dt) degree split, and the modality
 //! ablation (address+PC vs single-modality inputs).
 //!
-//! Usage: `cargo run --release -p mpgraph-bench --bin ablations [--quick]`
+//! Usage: `cargo run --release -p mpgraph-bench --bin ablations [--quick] [--metrics-out <path>]`
 
+use mpgraph_bench::metrics::emit_if_requested;
 use mpgraph_bench::report::{dump_json, f, pct, print_table};
 use mpgraph_bench::runners::prediction::run_modality_ablation;
 use mpgraph_bench::runners::prefetching::run_degree_ablation;
@@ -100,4 +101,5 @@ fn main() {
     dump_json("ablation_degrees", &degrees).ok();
     dump_json("ablation_modality", &modality).ok();
     println!("\nwrote results/ablation_*.json");
+    emit_if_requested(&scale);
 }

@@ -4,8 +4,9 @@
 //! × dataset sweep.
 //!
 //! Usage: `cargo run --release -p mpgraph-bench --bin figure10_12
-//!         [--quick] [--datasets=all]`
+//!         [--quick] [--datasets=all] [--metrics-out <path>]`
 
+use mpgraph_bench::metrics::emit_if_requested;
 use mpgraph_bench::report::{dump_json, f, pct, print_table};
 use mpgraph_bench::runners::prefetching::{prefetcher_means, run_figures_10_to_12};
 use mpgraph_bench::ExpScale;
@@ -59,4 +60,5 @@ fn main() {
     if let Ok(p) = dump_json("figure10_12", &rows) {
         println!("\nwrote {}", p.display());
     }
+    emit_if_requested(&scale);
 }

@@ -2,8 +2,9 @@
 //! coverage, and IPC improvement versus compression factor, with BO as the
 //! uncompressed non-ML reference.
 //!
-//! Usage: `cargo run --release -p mpgraph-bench --bin figure13 [--quick]`
+//! Usage: `cargo run --release -p mpgraph-bench --bin figure13 [--quick] [--metrics-out <path>]`
 
+use mpgraph_bench::metrics::emit_if_requested;
 use mpgraph_bench::report::{dump_json, pct, print_table};
 use mpgraph_bench::runners::prefetching::run_figure13;
 use mpgraph_bench::ExpScale;
@@ -31,4 +32,5 @@ fn main() {
     if let Ok(p) = dump_json("figure13", &rows) {
         println!("\nwrote {}", p.display());
     }
+    emit_if_requested(&scale);
 }

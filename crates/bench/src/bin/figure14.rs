@@ -2,8 +2,9 @@
 //! MPGraph under injected inference latency, for the uncompressed and the
 //! compressed models, against the BO reference.
 //!
-//! Usage: `cargo run --release -p mpgraph-bench --bin figure14 [--quick]`
+//! Usage: `cargo run --release -p mpgraph-bench --bin figure14 [--quick] [--metrics-out <path>]`
 
+use mpgraph_bench::metrics::emit_if_requested;
 use mpgraph_bench::report::{dump_json, print_table};
 use mpgraph_bench::runners::prefetching::run_figure14;
 use mpgraph_bench::ExpScale;
@@ -30,4 +31,5 @@ fn main() {
     if let Ok(p) = dump_json("figure14", &rows) {
         println!("\nwrote {}", p.display());
     }
+    emit_if_requested(&scale);
 }

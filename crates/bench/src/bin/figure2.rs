@@ -2,8 +2,9 @@
 //! (b) from GPOP CC+PR, labelled by Scatter/Gather phase. Prints the top-3
 //! component coordinates per phase centroid and the separation scores.
 //!
-//! Usage: `cargo run --release -p mpgraph-bench --bin figure2 [--quick]`
+//! Usage: `cargo run --release -p mpgraph-bench --bin figure2 [--quick] [--metrics-out <path>]`
 
+use mpgraph_bench::metrics::emit_if_requested;
 use mpgraph_bench::report::{dump_json, f, print_table};
 use mpgraph_bench::runners::motivation::run_figure2;
 use mpgraph_bench::ExpScale;
@@ -46,4 +47,5 @@ fn main() {
     if let Ok(p) = dump_json("figure2", &data) {
         println!("\nwrote {}", p.display());
     }
+    emit_if_requested(&scale);
 }

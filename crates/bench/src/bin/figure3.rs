@@ -2,8 +2,9 @@
 //! Scatter and Gather phases. Prints jump statistics and dumps the raw
 //! page series for plotting.
 //!
-//! Usage: `cargo run --release -p mpgraph-bench --bin figure3 [--quick]`
+//! Usage: `cargo run --release -p mpgraph-bench --bin figure3 [--quick] [--metrics-out <path>]`
 
+use mpgraph_bench::metrics::emit_if_requested;
 use mpgraph_bench::report::{dump_json, pct, print_table};
 use mpgraph_bench::runners::motivation::run_figure3;
 use mpgraph_bench::ExpScale;
@@ -37,4 +38,5 @@ fn main() {
     if let Ok(p) = dump_json("figure3", &data) {
         println!("\nwrote {}", p.display());
     }
+    emit_if_requested(&scale);
 }

@@ -2,8 +2,9 @@
 //! PageRank PC stream — K-S statistic timeline, detections, false
 //! positives, and Soft-KSWIN's detection lag.
 //!
-//! Usage: `cargo run --release -p mpgraph-bench --bin figure9 [--quick]`
+//! Usage: `cargo run --release -p mpgraph-bench --bin figure9 [--quick] [--metrics-out <path>]`
 
+use mpgraph_bench::metrics::emit_if_requested;
 use mpgraph_bench::report::dump_json;
 use mpgraph_bench::runners::detection::run_figure9;
 use mpgraph_bench::ExpScale;
@@ -37,4 +38,5 @@ fn main() {
     if let Ok(p) = dump_json("figure9", &data) {
         println!("\nwrote {}", p.display());
     }
+    emit_if_requested(&scale);
 }

@@ -2,7 +2,7 @@
 //! training throughput, with a baseline-comparison mode for CI.
 //!
 //! Usage:
-//!   `cargo run --release -p mpgraph-bench --bin perf [--quick]`
+//!   `cargo run --release -p mpgraph-bench --bin perf [--quick] [--metrics-out <path>]`
 //!       runs the suite and (re)writes the repo-root `BENCH_kernels.json`
 //!       baseline;
 //!   `cargo run --release -p mpgraph-bench --bin perf -- --quick --check`
@@ -14,8 +14,10 @@
 
 use std::process::ExitCode;
 
+use mpgraph_bench::metrics::emit_if_requested;
 use mpgraph_bench::report::{dump_json, print_table};
 use mpgraph_bench::runners::perf::{compare, run_perf, run_perf_envelope, PerfReport, TOLERANCE};
+use mpgraph_bench::ExpScale;
 
 const BASELINE: &str = "BENCH_kernels.json";
 /// Baseline mode: passes merged into the envelope.
@@ -136,15 +138,22 @@ fn check(first: PerfReport, quick: bool) -> ExitCode {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick {
+        ExpScale::quick()
+    } else {
+        ExpScale::standard()
+    };
     if args.iter().any(|a| a == "--check") {
         let rep = run_perf(quick);
         print_report(&rep);
+        emit_if_requested(&scale);
         return check(rep, quick);
     }
     // Baseline mode: envelope over several passes, so a transiently quiet
     // machine cannot set an unachievably tight bar.
     let rep = run_perf_envelope(quick, BASELINE_PASSES);
     print_report(&rep);
+    emit_if_requested(&scale);
     match serde_json::to_string_pretty(&rep) {
         Ok(json) => match std::fs::write(BASELINE, json + "\n") {
             Ok(()) => {

@@ -1,8 +1,9 @@
 //! Regenerates Table 4: phase-transition detection precision/recall/F1 for
 //! KSWIN, Soft-KSWIN, DT, and Soft-DT on all three frameworks.
 //!
-//! Usage: `cargo run --release -p mpgraph-bench --bin table4 [--quick]`
+//! Usage: `cargo run --release -p mpgraph-bench --bin table4 [--quick] [--metrics-out <path>]`
 
+use mpgraph_bench::metrics::emit_if_requested;
 use mpgraph_bench::report::{dump_json, f, print_table};
 use mpgraph_bench::runners::detection::run_table4;
 use mpgraph_bench::ExpScale;
@@ -31,4 +32,5 @@ fn main() {
     if let Ok(p) = dump_json("table4", &rows) {
         println!("\nwrote {}", p.display());
     }
+    emit_if_requested(&scale);
 }

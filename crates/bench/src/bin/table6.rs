@@ -1,8 +1,9 @@
 //! Regenerates Table 6: F1-score of spatial delta prediction for LSTM,
 //! Attention, AMMA, AMMA-PI, AMMA-PS over all 12 (framework, app) cells.
 //!
-//! Usage: `cargo run --release -p mpgraph-bench --bin table6 [--quick]`
+//! Usage: `cargo run --release -p mpgraph-bench --bin table6 [--quick] [--metrics-out <path>]`
 
+use mpgraph_bench::metrics::emit_if_requested;
 use mpgraph_bench::report::{dump_json, f, print_table};
 use mpgraph_bench::runners::prediction::{run_table6, variant_means};
 use mpgraph_bench::ExpScale;
@@ -44,4 +45,5 @@ fn main() {
     if let Ok(p) = dump_json("table6", &cells) {
         println!("\nwrote {}", p.display());
     }
+    emit_if_requested(&scale);
 }

@@ -1,8 +1,9 @@
 //! Regenerates Table 7: accuracy@10 of temporal page prediction for the
 //! five model variants over all 12 (framework, app) cells.
 //!
-//! Usage: `cargo run --release -p mpgraph-bench --bin table7 [--quick]`
+//! Usage: `cargo run --release -p mpgraph-bench --bin table7 [--quick] [--metrics-out <path>]`
 
+use mpgraph_bench::metrics::emit_if_requested;
 use mpgraph_bench::report::{dump_json, f, print_table};
 use mpgraph_bench::runners::prediction::{run_table7, variant_means};
 use mpgraph_bench::ExpScale;
@@ -44,4 +45,5 @@ fn main() {
     if let Ok(p) = dump_json("table7", &cells) {
         println!("\nwrote {}", p.display());
     }
+    emit_if_requested(&scale);
 }

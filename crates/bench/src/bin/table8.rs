@@ -1,8 +1,9 @@
 //! Regenerates Table 8: computational complexity (parameters, OPs,
 //! critical path) and IPC improvement of MPGraph and the ML baselines.
 //!
-//! Usage: `cargo run --release -p mpgraph-bench --bin table8 [--quick]`
+//! Usage: `cargo run --release -p mpgraph-bench --bin table8 [--quick] [--metrics-out <path>]`
 
+use mpgraph_bench::metrics::emit_if_requested;
 use mpgraph_bench::report::{dump_json, f, print_table};
 use mpgraph_bench::runners::prefetching::run_table8;
 use mpgraph_bench::ExpScale;
@@ -36,4 +37,5 @@ fn main() {
     if let Ok(p) = dump_json("table8", &rows) {
         println!("\nwrote {}", p.display());
     }
+    emit_if_requested(&scale);
 }

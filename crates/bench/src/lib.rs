@@ -20,6 +20,7 @@
 //! | `figure14` | distance prefetching under latency |
 //! | `ablations` | soft-threshold, CSTP degree, modality ablations |
 
+pub mod metrics;
 pub mod report;
 pub mod runners;
 pub mod scale;

@@ -94,10 +94,14 @@ pub fn guarded_snapshot(
     snap
 }
 
-/// Aggregates pipeline health after a guarded run.
+/// Aggregates pipeline health after a guarded run. The simulator
+/// component is derived from the observed metrics: untracked completions
+/// or in-flight overflow mean the scoreboard's accounting lost prefetches
+/// and degrade the component rather than passing silently.
 pub fn health_report(
     guard: &DegradationGuard<MpGraphPrefetcher>,
     result: &SimResult,
+    metrics: &MetricsSnapshot,
 ) -> HealthReport {
     let mut report = HealthReport::new();
     report.push(guard.health());
@@ -112,11 +116,9 @@ pub fn health_report(
         )
     };
     report.push(controller);
-    report.push(ComponentHealth::new(
-        "simulator",
-        ComponentStatus::Healthy,
-        format!("{} faults injected", result.faults.total()),
-    ));
+    let mut sim = ComponentHealth::simulator_from_metrics(metrics);
+    sim.detail = format!("{}; {} faults injected", sim.detail, result.faults.total());
+    report.push(sim);
     report.set_faults(result.faults);
     report
 }
@@ -164,7 +166,7 @@ pub fn run_resilience(scale: &ExpScale) -> ResilienceReport {
     rows.push(row("MPGraph guarded", true, &r_guarded, &base));
 
     let metrics = guarded_snapshot(&scoreboard, &guarded);
-    let mut report = health_report(&guarded, &r_guarded);
+    let mut report = health_report(&guarded, &r_guarded, &metrics);
     report.set_metrics(metrics.clone());
     ResilienceReport {
         health: report

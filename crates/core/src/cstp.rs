@@ -343,6 +343,157 @@ pub fn chain_prefetch_in(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::amma::AmmaConfig;
+    use crate::delta_predictor::DeltaPredictorConfig;
+    use crate::page_predictor::{PageHead, PagePredictorConfig};
+    use crate::variants::Variant;
+    use mpgraph_frameworks::MemRecord;
+    use mpgraph_prefetchers::TrainCfg;
+
+    /// Multi-page chain workload: cycles a small page working set with a
+    /// few sequential blocks per visit — the page-transition structure the
+    /// temporal lane exists to exploit, and the pattern that keeps every
+    /// page of the set resident in the PBOT.
+    fn chain_trace(reps: usize) -> Vec<MemRecord> {
+        let pages = [30u64, 34, 38, 42];
+        let mut v = Vec::new();
+        for r in 0..reps {
+            for (pi, &p) in pages.iter().enumerate() {
+                for b in 0..4u64 {
+                    v.push(MemRecord {
+                        pc: 0x40_0000 + (pi as u64 % 3) * 4,
+                        vaddr: p * 4096 + ((b + r as u64) % 64) * 64,
+                        core: 0,
+                        is_write: false,
+                        phase: 0,
+                        gap: 1,
+                        dep: false,
+                    });
+                }
+            }
+        }
+        v
+    }
+
+    fn chain_models(trace: &[MemRecord]) -> (DeltaPredictor, PagePredictor) {
+        let amma = AmmaConfig {
+            history: 5,
+            attn_dim: 8,
+            fusion_dim: 16,
+            layers: 1,
+            heads: 2,
+        };
+        let tc = TrainCfg {
+            history: 5,
+            max_samples: 250,
+            epochs: 3,
+            lr: 4e-3,
+            seed: 7,
+        };
+        let dcfg = DeltaPredictorConfig {
+            amma,
+            segments: 6,
+            delta_range: 15,
+            look_forward: 8,
+            threshold: 0.3,
+        };
+        let pcfg = PagePredictorConfig {
+            amma,
+            page_vocab: 64,
+            embed_dim: 8,
+            head: PageHead::Softmax,
+        };
+        // Two phase models over a single-phase trace: the phase-1 model
+        // trains on zero samples, exactly the situation a single-phase
+        // trace puts a phase-specific deployment in when the controller
+        // sits on the wrong phase.
+        let delta = DeltaPredictor::train(trace, 2, Variant::AmmaPs, dcfg, &tc);
+        let page = PagePredictor::train(trace, 2, Variant::AmmaPs, pcfg, &tc);
+        (delta, page)
+    }
+
+    /// Replays `trace` against serial and parallel CSTP for `phase`,
+    /// priming the PBOT and the histories exactly as the prefetcher does,
+    /// and asserts the two lanes stay bit-identical. Returns the stats.
+    fn replay_chain(trace: &[MemRecord], phase: usize) -> CstpStats {
+        let (delta, page) = chain_models(trace);
+        let cfg = CstpConfig::default();
+        let mut pbot = Pbot::new(512);
+        let mut bh: Vec<(u64, u64)> = Vec::new();
+        let mut ph: Vec<(usize, u64)> = Vec::new();
+        let mut serial = CstpStats::default();
+        let mut parallel = CstpStats::default();
+        let mut spatial_arena = ScratchArena::new();
+        let mut temporal_arena = ScratchArena::new();
+        let mut lanes = Vec::new();
+        for r in trace {
+            bh.push((r.block(), r.pc));
+            ph.push((page.vocab.token_of(r.page()), r.pc));
+            pbot.update(r.page(), r.block() & BLOCK_OFFSET_MASK, r.pc);
+            if bh.len() > 5 {
+                bh.remove(0);
+                ph.remove(0);
+            }
+            if bh.len() < 5 {
+                continue;
+            }
+            let a = chain_prefetch(&delta, &page, &pbot, &bh, &ph, phase, &cfg, &mut serial);
+            let b = chain_prefetch_in(
+                &delta,
+                &page,
+                &pbot,
+                &bh,
+                &ph,
+                phase,
+                &cfg,
+                &mut spatial_arena,
+                &mut temporal_arena,
+                &mut lanes,
+                &mut parallel,
+            );
+            assert_eq!(a, b, "serial and parallel batches diverged");
+            assert_eq!(b.len(), lanes.len(), "lane attribution misaligned");
+        }
+        assert_eq!(serial, parallel, "serial and parallel stats diverged");
+        serial
+    }
+
+    #[test]
+    fn multi_page_workload_primes_pbot() {
+        let trace = chain_trace(60);
+        let stats = replay_chain(&trace, 0);
+        assert!(stats.batches > 0);
+        assert!(
+            stats.pbot_hits > 0,
+            "multi-page chain never reached the PBOT: {stats:?}"
+        );
+        assert!(
+            stats.pbot_hit_rate() > 0.5,
+            "pbot hit rate {} on a fully resident working set",
+            stats.pbot_hit_rate()
+        );
+        assert!(stats.max_chain_len <= CstpConfig::default().temporal_degree as u64);
+    }
+
+    /// The single-phase blind spot: every record carries phase 0, but the
+    /// deployment has a second (untrained) phase model. Before the page
+    /// predictor masked its untrained vocabulary tail, that model's top-k
+    /// tokens fell outside the vocab, `predict_pages` came back empty, and
+    /// the chain died *before* any PBOT lookup — `pbot_hits + pbot_misses`
+    /// stayed 0 for the whole run, reading as "PBOT never primes".
+    #[test]
+    fn single_phase_trace_still_primes_pbot_on_untrained_phase() {
+        let trace = chain_trace(60);
+        let stats = replay_chain(&trace, 1);
+        assert!(
+            stats.pbot_hits + stats.pbot_misses > 0,
+            "temporal chain never consulted the PBOT: {stats:?}"
+        );
+        assert!(
+            stats.pbot_hits > 0,
+            "PBOT never primed on the single-phase trace: {stats:?}"
+        );
+    }
 
     #[test]
     fn pbot_tracks_latest_offset() {

@@ -50,6 +50,35 @@ impl ComponentHealth {
             detail: detail.into(),
         }
     }
+
+    /// Derives the simulator component's health from an observed run's
+    /// metrics. Untracked completions mean the scoreboard's double-entry
+    /// bookkeeping lost prefetches (attribution overflow or attach-order
+    /// races): the accounting can no longer be trusted end-to-end, so a
+    /// nonzero count degrades the component instead of being silently
+    /// reported in the snapshot.
+    pub fn simulator_from_metrics(metrics: &MetricsSnapshot) -> Self {
+        if metrics.untracked_completions > 0 || metrics.inflight_overflow > 0 {
+            ComponentHealth::new(
+                "simulator",
+                ComponentStatus::Degraded,
+                format!(
+                    "{} untracked completions, {} in-flight overflows — \
+                     prefetch attribution incomplete",
+                    metrics.untracked_completions, metrics.inflight_overflow
+                ),
+            )
+        } else {
+            ComponentHealth::new(
+                "simulator",
+                ComponentStatus::Healthy,
+                format!(
+                    "all {} issued prefetches tracked to completion",
+                    metrics.issued
+                ),
+            )
+        }
+    }
 }
 
 /// Aggregate of component healths and injected-fault counts for one run.
@@ -185,6 +214,28 @@ mod tests {
         assert!(text.contains("7 stalls"));
         assert!(r.saw_fault(mpgraph_sim::FaultKind::StallInference));
         assert!(!r.saw_fault(mpgraph_sim::FaultKind::CorruptRecord));
+    }
+
+    #[test]
+    fn untracked_completions_trip_the_simulator_component() {
+        let clean = MetricsSnapshot::default();
+        let h = ComponentHealth::simulator_from_metrics(&clean);
+        assert_eq!(h.status, ComponentStatus::Healthy);
+
+        let mut lossy = MetricsSnapshot::default();
+        lossy.untracked_completions = 3;
+        let h = ComponentHealth::simulator_from_metrics(&lossy);
+        assert_eq!(h.status, ComponentStatus::Degraded);
+        assert!(h.detail.contains("3 untracked"));
+
+        let mut overflowed = MetricsSnapshot::default();
+        overflowed.inflight_overflow = 1;
+        let h = ComponentHealth::simulator_from_metrics(&overflowed);
+        assert_eq!(h.status, ComponentStatus::Degraded);
+
+        let mut r = HealthReport::new();
+        r.push(ComponentHealth::simulator_from_metrics(&lossy));
+        assert!(!r.is_healthy());
     }
 
     #[test]

@@ -297,6 +297,10 @@ pub struct PrefetchScoreboard {
     /// either overflowed at issue or prefetched before attach.
     untracked_completions: u64,
     pub inference_latency: LatencyHistogram,
+    /// Host wall-clock nanoseconds per `on_access` call, as measured by
+    /// the engine. Complements `inference_latency`: sub-cycle models show
+    /// 0 simulated cycles but real wall time.
+    pub inference_wall_ns: LatencyHistogram,
     pub memory_latency: LatencyHistogram,
 }
 
@@ -318,6 +322,7 @@ impl PrefetchScoreboard {
             inflight_overflow: 0,
             untracked_completions: 0,
             inference_latency: LatencyHistogram::new(),
+            inference_wall_ns: LatencyHistogram::new(),
             memory_latency: LatencyHistogram::new(),
         }
     }
@@ -456,6 +461,7 @@ impl PrefetchScoreboard {
             inflight_overflow: self.inflight_overflow,
             untracked_completions: self.untracked_completions,
             inference_latency: self.inference_latency.snapshot(),
+            inference_wall_ns: self.inference_wall_ns.snapshot(),
             memory_latency: self.memory_latency.snapshot(),
             ..MetricsSnapshot::default()
         }
@@ -520,6 +526,10 @@ impl PrefetchObserver for PrefetchScoreboard {
 
     fn on_inference_latency(&mut self, cycles: u64) {
         self.inference_latency.record(cycles);
+    }
+
+    fn on_inference_wall_ns(&mut self, ns: u64) {
+        self.inference_wall_ns.record(ns);
     }
 
     fn on_memory_latency(&mut self, cycles: u64) {
@@ -611,6 +621,32 @@ pub struct DetectorMetrics {
     pub detections: u64,
     pub soft_arms: u64,
     pub resets: u64,
+    /// Arm→confirm latency samples (one per confirmed detection).
+    pub confirm_latency_samples: u64,
+    /// Sum of arm→confirm latencies in stream samples; zero for hard
+    /// detectors, bounded by the confirmation window for soft ones.
+    pub confirm_latency_sum: u64,
+    /// Largest single arm→confirm latency observed.
+    pub confirm_latency_max: u64,
+    /// Mean arm→confirm latency in stream samples.
+    pub confirm_latency_mean: f64,
+}
+
+impl DetectorMetrics {
+    /// Folds a detector's lifetime counters under its display name.
+    pub fn from_stats(name: &str, s: &mpgraph_phase::DetectorStats) -> Self {
+        DetectorMetrics {
+            name: name.to_string(),
+            updates: s.updates,
+            detections: s.detections,
+            soft_arms: s.soft_arms,
+            resets: s.resets,
+            confirm_latency_samples: s.confirm_latency_samples,
+            confirm_latency_sum: s.confirm_latency_sum,
+            confirm_latency_max: s.confirm_latency_max,
+            confirm_latency_mean: s.mean_confirm_latency(),
+        }
+    }
 }
 
 /// Probe-window controller counters.
@@ -662,6 +698,9 @@ pub struct MetricsSnapshot {
     pub guard: GuardMetrics,
     pub training: TrainMetrics,
     pub inference_latency: HistogramSnapshot,
+    /// Host wall-clock nanoseconds per prefetcher invocation — nonzero
+    /// even for models whose simulated latency rounds to 0 cycles.
+    pub inference_wall_ns: HistogramSnapshot,
     pub memory_latency: HistogramSnapshot,
 }
 

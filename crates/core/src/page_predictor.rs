@@ -412,7 +412,7 @@ impl PagePredictor {
     ) -> Vec<usize> {
         let mut logits = self.predict_logits_in(hist, phase, s);
         let toks = match self.cfg.head {
-            PageHead::Softmax => top_k_indices(logits.row(0), k),
+            PageHead::Softmax => top_k_indices(self.valid_logits(&logits), k),
             PageHead::BinaryEncoded => {
                 Sigmoid::infer_inplace(&mut logits);
                 vec![Self::decode_bits(logits.row(0), self.vocab.len())]
@@ -438,11 +438,22 @@ impl PagePredictor {
             .collect()
     }
 
+    /// The logits row truncated to tokens the vocabulary actually maps:
+    /// head capacity is `page_vocab`, but only `vocab.len()` slots were
+    /// ever trained. Slots past that are random-init weights whose logits
+    /// can win top-k, and since they resolve to no page they would starve
+    /// downstream consumers (the CSTP temporal chain breaks before its
+    /// PBOT lookup when `predict_pages` comes back empty).
+    fn valid_logits<'a>(&self, logits: &'a Matrix) -> &'a [f32] {
+        let valid = self.vocab.len().min(logits.cols).max(1);
+        &logits.row(0)[..valid]
+    }
+
     /// Top-`k` predicted page tokens for a (token, pc) history.
     pub fn predict_tokens(&self, hist: &[(usize, u64)], phase: usize, k: usize) -> Vec<usize> {
         let logits = self.predict_logits(hist, phase);
         match self.cfg.head {
-            PageHead::Softmax => top_k_indices(logits.row(0), k),
+            PageHead::Softmax => top_k_indices(self.valid_logits(&logits), k),
             PageHead::BinaryEncoded => {
                 let probs = Sigmoid::infer(&logits);
                 vec![Self::decode_bits(probs.row(0), self.vocab.len())]

@@ -258,14 +258,8 @@ impl MpGraphPrefetcher {
     /// separately when a degradation wrapper is in play.
     pub fn enrich_snapshot(&self, snap: &mut crate::obs::MetricsSnapshot) {
         snap.cstp = crate::obs::CstpMetrics::from(&self.cstp_stats);
-        let ds = self.detector.stats();
-        snap.detector = crate::obs::DetectorMetrics {
-            name: self.detector.name().to_string(),
-            updates: ds.updates,
-            detections: ds.detections,
-            soft_arms: ds.soft_arms,
-            resets: ds.resets,
-        };
+        snap.detector =
+            crate::obs::DetectorMetrics::from_stats(self.detector.name(), &self.detector.stats());
         snap.controller = crate::obs::ControllerMetrics {
             transitions_handled: self.controller.transitions_handled as u64,
             observations: self.controller.observations,

@@ -17,6 +17,33 @@ pub struct DetectorStats {
     pub soft_arms: u64,
     /// Explicit `reset` calls.
     pub resets: u64,
+    /// Arm→confirm latency samples recorded (one per confirmed detection).
+    pub confirm_latency_samples: u64,
+    /// Sum of arm→confirm latencies, in stream samples. Hard detectors
+    /// confirm on the same update that arms, so they contribute zeros;
+    /// soft detectors contribute their confirmation-window lag, bounded
+    /// by the detector's window size.
+    pub confirm_latency_sum: u64,
+    /// Largest single arm→confirm latency observed.
+    pub confirm_latency_max: u64,
+}
+
+impl DetectorStats {
+    /// Records one confirmed detection's arm→confirm latency.
+    pub(crate) fn record_confirm_latency(&mut self, lat: u64) {
+        self.confirm_latency_samples += 1;
+        self.confirm_latency_sum += lat;
+        self.confirm_latency_max = self.confirm_latency_max.max(lat);
+    }
+
+    /// Mean arm→confirm latency in stream samples (0 when no samples).
+    pub fn mean_confirm_latency(&self) -> f64 {
+        if self.confirm_latency_samples == 0 {
+            0.0
+        } else {
+            self.confirm_latency_sum as f64 / self.confirm_latency_samples as f64
+        }
+    }
 }
 
 /// An online phase-transition detector over the PC stream.

@@ -250,6 +250,8 @@ impl TransitionDetector for DtDetector {
         self.last_pred = Some(pred);
         if transition {
             self.stats.detections += 1;
+            // Hard detection confirms the instant it arms.
+            self.stats.record_confirm_latency(0);
         }
         transition
     }
@@ -276,6 +278,10 @@ pub struct SoftDtDetector {
     buf: VecDeque<u64>,
     queue: VecDeque<u8>,
     was_differing: bool,
+    /// `stats.updates` value when the first queued prediction disagreeing
+    /// with the head-half mode arrived; measured against at confirmation.
+    /// Cleared once the disagreement evaporates, confirms, or on reset.
+    armed_at_update: Option<u64>,
     stats: DetectorStats,
 }
 
@@ -289,6 +295,7 @@ impl SoftDtDetector {
             buf: VecDeque::new(),
             queue: VecDeque::new(),
             was_differing: false,
+            armed_at_update: None,
             stats: DetectorStats::default(),
         }
     }
@@ -334,13 +341,28 @@ impl TransitionDetector for SoftDtDetector {
         let nc = self.tree.num_classes;
         let head = Self::mode(self.queue.iter().take(half).copied(), nc);
         let tail = Self::mode(self.queue.iter().skip(half).copied(), nc);
+        // Arm when the newest queued prediction first disagrees with the
+        // established (head-half) mode; confirm when the tail-half *mode*
+        // flips. An impulse never flips the mode, so its arm evaporates.
+        if self.armed_at_update.is_none() && !self.was_differing && pred != head {
+            self.armed_at_update = Some(self.stats.updates);
+            self.stats.soft_arms += 1;
+        }
         let differing = head != tail;
         let transition = differing && !self.was_differing;
         if transition {
-            // The head/tail modes starting to disagree both arms and
-            // confirms in one step for Soft-DT.
-            self.stats.soft_arms += 1;
             self.stats.detections += 1;
+            // The queue only remembers `queue_len` predictions, so any
+            // older arm evidence has left the window — clamp to that.
+            let lat = self
+                .armed_at_update
+                .map_or(0, |at| self.stats.updates.saturating_sub(at))
+                .min(self.queue_len as u64);
+            self.stats.record_confirm_latency(lat);
+            self.armed_at_update = None;
+        } else if !differing && self.queue.iter().skip(half).all(|&v| v == head) {
+            // Disagreement fully evaporated without confirming.
+            self.armed_at_update = None;
         }
         self.was_differing = differing;
         transition
@@ -350,6 +372,7 @@ impl TransitionDetector for SoftDtDetector {
         self.buf.clear();
         self.queue.clear();
         self.was_differing = false;
+        self.armed_at_update = None;
         self.stats.resets += 1;
     }
 

@@ -181,6 +181,8 @@ impl TransitionDetector for Kswin {
             // Reference behaviour: keep only the recent window and restart.
             self.psi.restart_from(&self.recent_scratch);
             self.stats.detections += 1;
+            // Hard detection confirms the instant it arms.
+            self.stats.record_confirm_latency(0);
             true
         } else {
             false
@@ -211,6 +213,10 @@ pub struct SoftKswin {
     rng: ChaCha8Rng,
     counter: usize,
     window_detections: usize,
+    /// `stats.updates` value at the moment the soft counter armed; the
+    /// arm→confirm latency is measured against it when a transition is
+    /// confirmed. Cleared on discard, confirm, and reset.
+    armed_at_update: Option<u64>,
     recent_scratch: Vec<f64>,
     history_scratch: Vec<f64>,
     stats: DetectorStats,
@@ -227,6 +233,7 @@ impl SoftKswin {
             cfg,
             counter: 0,
             window_detections: 0,
+            armed_at_update: None,
             recent_scratch: Vec::with_capacity(cfg.recent),
             history_scratch: Vec::with_capacity(cfg.recent),
             stats: DetectorStats::default(),
@@ -273,6 +280,7 @@ impl TransitionDetector for SoftKswin {
                 // First raw detection arms the soft counter.
                 self.counter = 1;
                 self.stats.soft_arms += 1;
+                self.armed_at_update = Some(self.stats.updates);
             }
         }
         if self.counter > 0 {
@@ -281,11 +289,18 @@ impl TransitionDetector for SoftKswin {
                 if self.window_detections as f64 / self.counter as f64 > self.th_r {
                     transition = true;
                     self.stats.detections += 1;
+                    if let Some(armed_at) = self.armed_at_update {
+                        // Confirmation lag in stream samples; the counter
+                        // caps it at the recent-window length `r`.
+                        self.stats
+                            .record_confirm_latency(self.stats.updates.saturating_sub(armed_at));
+                    }
                     // Reset the model for future detections.
                     self.psi.restart_from(&self.recent_scratch);
                 }
                 self.counter = 0;
                 self.window_detections = 0;
+                self.armed_at_update = None;
             }
         }
         transition
@@ -295,6 +310,7 @@ impl TransitionDetector for SoftKswin {
         self.psi.clear();
         self.counter = 0;
         self.window_detections = 0;
+        self.armed_at_update = None;
         self.stats.resets += 1;
     }
 

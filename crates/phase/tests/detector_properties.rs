@@ -1,10 +1,49 @@
 //! Property tests over the detectors and the evaluation machinery.
 
 use mpgraph_phase::{
-    evaluate_transitions, ks_statistic, ks_threshold, Kswin, KswinConfig, SoftKswin,
-    TransitionDetector,
+    build_training_set, evaluate_transitions, ks_statistic, ks_threshold, DecisionTree,
+    DetectorStats, DtDetector, Kswin, KswinConfig, SoftDtDetector, SoftKswin, TransitionDetector,
 };
 use proptest::prelude::*;
+
+/// A PC stream that cycles through `phases` distinct PC clusters, each
+/// `phase_len` samples long, mimicking the framework traces' structure.
+fn multi_phase_stream(phases: usize, phase_len: usize, reps: usize) -> (Vec<u64>, Vec<u8>) {
+    let mut pcs = Vec::new();
+    let mut labels = Vec::new();
+    for rep in 0..reps {
+        for p in 0..phases {
+            for i in 0..phase_len {
+                pcs.push(0x40_0000 + (p as u64) * 0x1000 + ((i + rep) % 7) as u64 * 4);
+                labels.push(p as u8);
+            }
+        }
+    }
+    (pcs, labels)
+}
+
+/// Shared invariants for the arm→confirm latency counters: one sample per
+/// confirmed detection, latencies bounded by `bound` (the detector's
+/// confirmation-window size), and internal consistency of sum/max.
+fn assert_latency_invariants(stats: &DetectorStats, detections: u64, bound: u64, tag: &str) {
+    assert_eq!(
+        stats.confirm_latency_samples, detections,
+        "{tag}: one latency sample per confirmed detection"
+    );
+    assert!(
+        stats.confirm_latency_max <= bound,
+        "{tag}: max latency {} exceeds window bound {bound}",
+        stats.confirm_latency_max
+    );
+    assert!(
+        stats.confirm_latency_sum <= stats.confirm_latency_samples * stats.confirm_latency_max,
+        "{tag}: sum/max inconsistent: {stats:?}"
+    );
+    assert!(
+        stats.mean_confirm_latency() <= stats.confirm_latency_max as f64,
+        "{tag}: mean above max: {stats:?}"
+    );
+}
 
 proptest! {
     #[test]
@@ -67,5 +106,83 @@ proptest! {
         b in prop::collection::vec(10.0f64..11.0, 5..40),
     ) {
         prop_assert_eq!(ks_statistic(&a, &b), 1.0);
+    }
+
+    /// Arm→confirm latency counters for the KSWIN family: nonnegative (u64
+    /// by construction, checked via sum/max consistency), bounded by the
+    /// confirmation window, and the pending arm resets across every phase
+    /// transition — a leaked arm would produce a latency spanning two
+    /// phases, blowing the bound. A mid-stream `reset` must clear the
+    /// pending arm too, while the lifetime aggregates survive.
+    #[test]
+    fn kswin_confirm_latency_bounded_and_reset(
+        seed in 0u64..40,
+        phase_len in 450usize..700,
+        phases in 2usize..4,
+    ) {
+        let (pcs, _) = multi_phase_stream(phases, phase_len, 2);
+        let cfg = KswinConfig { seed, alpha: 0.01, ..KswinConfig::default() };
+        let mut hard = Kswin::new(cfg);
+        let mut soft = SoftKswin::new(cfg);
+        let mut hard_hits = 0u64;
+        let mut soft_hits = 0u64;
+        let mid = pcs.len() / 2;
+        for (i, &pc) in pcs.iter().enumerate() {
+            if i == mid {
+                // Reset mid-stream: pending arms clear, aggregates survive.
+                let before_h = hard.stats();
+                let before_s = soft.stats();
+                hard.reset();
+                soft.reset();
+                prop_assert_eq!(hard.stats().confirm_latency_samples,
+                                before_h.confirm_latency_samples);
+                prop_assert_eq!(soft.stats().confirm_latency_samples,
+                                before_s.confirm_latency_samples);
+            }
+            hard_hits += u64::from(hard.update(pc));
+            soft_hits += u64::from(soft.update(pc));
+        }
+        // Hard KSWIN confirms instantly: every latency is zero.
+        assert_latency_invariants(&hard.stats(), hard_hits, 0, "KSWIN");
+        prop_assert_eq!(hard.stats().confirm_latency_sum, 0);
+        // Soft-KSWIN's counter caps the lag at the recent-window length.
+        assert_latency_invariants(&soft.stats(), soft_hits, cfg.recent as u64, "Soft-KSWIN");
+        prop_assert_eq!(hard.stats().resets, 1);
+        prop_assert_eq!(soft.stats().resets, 1);
+    }
+
+    /// Same latency invariants for the DT family: DT confirms instantly
+    /// (all-zero latencies); Soft-DT's lag is clamped by the result-queue
+    /// length and its pending arm resets across transitions and resets.
+    #[test]
+    fn dt_confirm_latency_bounded_and_reset(
+        queue_len in 2usize..64,
+        phase_len in 250usize..400,
+    ) {
+        let (pcs, labels) = multi_phase_stream(2, phase_len, 3);
+        let (xs, ys) = build_training_set(&pcs, &labels, 8, 1);
+        let tree = DecisionTree::fit(&xs, &ys, 2, 6);
+        let mut hard = DtDetector::new(tree.clone(), 8);
+        let mut soft = SoftDtDetector::new(tree, 8, queue_len);
+        let mut hard_hits = 0u64;
+        let mut soft_hits = 0u64;
+        let mid = pcs.len() / 2;
+        for (i, &pc) in pcs.iter().enumerate() {
+            if i == mid {
+                let before = soft.stats();
+                hard.reset();
+                soft.reset();
+                prop_assert_eq!(soft.stats().confirm_latency_samples,
+                                before.confirm_latency_samples);
+            }
+            hard_hits += u64::from(hard.update(pc));
+            soft_hits += u64::from(soft.update(pc));
+        }
+        assert_latency_invariants(&hard.stats(), hard_hits, 0, "DT");
+        prop_assert_eq!(hard.stats().confirm_latency_sum, 0);
+        assert_latency_invariants(&soft.stats(), soft_hits, queue_len as u64, "Soft-DT");
+        prop_assert!(soft.stats().soft_arms >= soft.stats().detections);
+        prop_assert_eq!(hard.stats().resets, 1);
+        prop_assert_eq!(soft.stats().resets, 1);
     }
 }

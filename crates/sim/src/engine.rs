@@ -370,7 +370,12 @@ pub fn simulate_observed(
             hit,
             cycle: core.cycle,
         };
+        // Wall-clock timing is observational only: it is measured solely
+        // when an observer is attached and never feeds back into any
+        // simulation state, so observed runs stay bit-identical.
+        let wall_start = obs.as_ref().map(|_| std::time::Instant::now());
         prefetcher.on_access(&acc, &mut pf_candidates);
+        let wall_ns = wall_start.map(|s| s.elapsed().as_nanos().min(u64::MAX as u128) as u64);
         if obs.is_some() {
             tag_scratch.clear();
             tag_scratch.extend_from_slice(prefetcher.last_batch_tags());
@@ -383,6 +388,9 @@ pub fn simulate_observed(
         let issue_at = t + inference_lat;
         if let Some(o) = obs.as_deref_mut() {
             o.on_inference_latency(inference_lat);
+            if let Some(ns) = wall_ns {
+                o.on_inference_wall_ns(ns);
+            }
         }
         // Timeliness bound: an inference slower than an uncontended DRAM
         // round trip cannot beat a demand fetch for the same line.
@@ -689,6 +697,7 @@ mod tests {
         useless: u64,
         demand_misses: u64,
         inference_events: u64,
+        wall_ns_events: u64,
         memory_events: u64,
     }
     impl PrefetchObserver for CountingObserver {
@@ -714,6 +723,9 @@ mod tests {
         fn on_inference_latency(&mut self, _c: u64) {
             self.inference_events += 1;
         }
+        fn on_inference_wall_ns(&mut self, _ns: u64) {
+            self.wall_ns_events += 1;
+        }
         fn on_memory_latency(&mut self, _c: u64) {
             self.memory_events += 1;
         }
@@ -733,6 +745,8 @@ mod tests {
         assert_eq!(o.demand_misses, r.llc_demand_misses);
         assert_eq!(o.memory_events, r.llc_demand_misses);
         assert_eq!(o.inference_events, r.llc.accesses());
+        // Every inference event carries a wall-clock measurement.
+        assert_eq!(o.wall_ns_events, o.inference_events);
         assert!(o.issued > 0 && o.useful + o.late > 0);
         // Dropped candidates exist (next-line overlaps in-flight lines).
         assert!(o.dropped > 0);

@@ -79,6 +79,15 @@ pub trait PrefetchObserver {
         let _ = cycles;
     }
 
+    /// Wall-clock nanoseconds the prefetcher's `on_access` actually took
+    /// on the host, measured by the engine around the call. Sub-cycle
+    /// models report 0 simulated cycles but nonzero wall time, so this is
+    /// the only signal that catches their real cost. Never fed back into
+    /// simulation state — purely observational.
+    fn on_inference_wall_ns(&mut self, ns: u64) {
+        let _ = ns;
+    }
+
     /// A demand miss's DRAM round trip (cycles), for the simulated
     /// memory-access latency histogram.
     fn on_memory_latency(&mut self, cycles: u64) {
@@ -101,6 +110,7 @@ mod tests {
         n.on_useless_evict(1);
         n.on_demand_miss(0);
         n.on_inference_latency(10);
+        n.on_inference_wall_ns(250);
         n.on_memory_latency(100);
         assert_eq!(DropReason::DegreeCap.name(), "degree-cap");
     }
