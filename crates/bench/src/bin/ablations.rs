@@ -5,7 +5,7 @@
 //! Usage: `cargo run --release -p mpgraph-bench --bin ablations [--quick] [--metrics-out <path>]`
 
 use mpgraph_bench::metrics::emit_if_requested;
-use mpgraph_bench::report::{dump_json, f, pct, print_table};
+use mpgraph_bench::report::{dump_json_compact, f, pct, print_table};
 use mpgraph_bench::runners::prediction::run_modality_ablation;
 use mpgraph_bench::runners::prefetching::run_degree_ablation;
 use mpgraph_bench::workload::{build_workload, carrier};
@@ -97,9 +97,9 @@ fn main() {
             .collect::<Vec<_>>(),
     );
 
-    dump_json("ablation_thr", &thr).ok();
-    dump_json("ablation_degrees", &degrees).ok();
-    dump_json("ablation_modality", &modality).ok();
+    dump_json_compact("ablation_thr", &thr).ok();
+    dump_json_compact("ablation_degrees", &degrees).ok();
+    dump_json_compact("ablation_modality", &modality).ok();
     println!("\nwrote results/ablation_*.json");
     emit_if_requested(&scale);
 }

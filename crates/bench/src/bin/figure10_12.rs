@@ -7,7 +7,7 @@
 //!         [--quick] [--datasets=all] [--metrics-out <path>]`
 
 use mpgraph_bench::metrics::emit_if_requested;
-use mpgraph_bench::report::{dump_json, f, pct, print_table};
+use mpgraph_bench::report::{dump_json_compact, f, pct, print_table};
 use mpgraph_bench::runners::prefetching::{prefetcher_means, run_figures_10_to_12};
 use mpgraph_bench::ExpScale;
 
@@ -57,7 +57,7 @@ fn main() {
         &["Prefetcher", "Accuracy", "Coverage", "IPC Impv"],
         &summary,
     );
-    if let Ok(p) = dump_json("figure10_12", &rows) {
+    if let Ok(p) = dump_json_compact("figure10_12", &rows) {
         println!("\nwrote {}", p.display());
     }
     emit_if_requested(&scale);

@@ -5,7 +5,7 @@
 //! Usage: `cargo run --release -p mpgraph-bench --bin figure13 [--quick] [--metrics-out <path>]`
 
 use mpgraph_bench::metrics::emit_if_requested;
-use mpgraph_bench::report::{dump_json, pct, print_table};
+use mpgraph_bench::report::{dump_json_compact, pct, print_table};
 use mpgraph_bench::runners::prefetching::run_figure13;
 use mpgraph_bench::ExpScale;
 
@@ -29,7 +29,7 @@ fn main() {
         &["Config", "Compression", "Accuracy", "Coverage", "IPC Impv"],
         &table,
     );
-    if let Ok(p) = dump_json("figure13", &rows) {
+    if let Ok(p) = dump_json_compact("figure13", &rows) {
         println!("\nwrote {}", p.display());
     }
     emit_if_requested(&scale);

@@ -5,7 +5,7 @@
 //! Usage: `cargo run --release -p mpgraph-bench --bin figure14 [--quick] [--metrics-out <path>]`
 
 use mpgraph_bench::metrics::emit_if_requested;
-use mpgraph_bench::report::{dump_json, print_table};
+use mpgraph_bench::report::{dump_json_compact, print_table};
 use mpgraph_bench::runners::prefetching::run_figure14;
 use mpgraph_bench::ExpScale;
 
@@ -28,7 +28,7 @@ fn main() {
         &["Config", "Latency (cyc)", "DP", "IPC Impv"],
         &table,
     );
-    if let Ok(p) = dump_json("figure14", &rows) {
+    if let Ok(p) = dump_json_compact("figure14", &rows) {
         println!("\nwrote {}", p.display());
     }
     emit_if_requested(&scale);

@@ -5,7 +5,7 @@
 //! Usage: `cargo run --release -p mpgraph-bench --bin figure2 [--quick] [--metrics-out <path>]`
 
 use mpgraph_bench::metrics::emit_if_requested;
-use mpgraph_bench::report::{dump_json, f, print_table};
+use mpgraph_bench::report::{dump_json_compact, f, print_table};
 use mpgraph_bench::runners::motivation::run_figure2;
 use mpgraph_bench::ExpScale;
 
@@ -44,7 +44,7 @@ fn main() {
         "  PCs:      {:.2}  (>1 ⇒ phases separable, the paper's claim)",
         data.pc_separation
     );
-    if let Ok(p) = dump_json("figure2", &data) {
+    if let Ok(p) = dump_json_compact("figure2", &data) {
         println!("\nwrote {}", p.display());
     }
     emit_if_requested(&scale);

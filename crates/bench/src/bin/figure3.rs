@@ -5,7 +5,7 @@
 //! Usage: `cargo run --release -p mpgraph-bench --bin figure3 [--quick] [--metrics-out <path>]`
 
 use mpgraph_bench::metrics::emit_if_requested;
-use mpgraph_bench::report::{dump_json, pct, print_table};
+use mpgraph_bench::report::{dump_json_compact, pct, print_table};
 use mpgraph_bench::runners::motivation::run_figure3;
 use mpgraph_bench::ExpScale;
 
@@ -35,7 +35,7 @@ fn main() {
             ],
         ],
     );
-    if let Ok(p) = dump_json("figure3", &data) {
+    if let Ok(p) = dump_json_compact("figure3", &data) {
         println!("\nwrote {}", p.display());
     }
     emit_if_requested(&scale);

@@ -5,7 +5,7 @@
 //! Usage: `cargo run --release -p mpgraph-bench --bin figure9 [--quick] [--metrics-out <path>]`
 
 use mpgraph_bench::metrics::emit_if_requested;
-use mpgraph_bench::report::dump_json;
+use mpgraph_bench::report::dump_json_compact;
 use mpgraph_bench::runners::detection::run_figure9;
 use mpgraph_bench::ExpScale;
 
@@ -35,7 +35,7 @@ fn main() {
             println!("  {i:7} |{}{marker}", "#".repeat(bars));
         }
     }
-    if let Ok(p) = dump_json("figure9", &data) {
+    if let Ok(p) = dump_json_compact("figure9", &data) {
         println!("\nwrote {}", p.display());
     }
     emit_if_requested(&scale);

@@ -3,8 +3,9 @@
 //! the aggregated pipeline HealthReport.
 //!
 //! Usage: `cargo run --release -p mpgraph-bench --bin resilience
-//! [--quick] [--metrics-out <path>]`
+//! [--quick] [--metrics-out <path>] [--trace-out <path>]`
 
+use mpgraph_bench::metrics::emit_trace_if_requested;
 use mpgraph_bench::report::{dump_json, metrics_out_arg, print_table, write_json_to};
 use mpgraph_bench::runners::resilience::run_resilience;
 use mpgraph_bench::ExpScale;
@@ -68,4 +69,5 @@ fn main() {
     if let Ok(p) = dump_json("resilience", &rep) {
         println!("\nwrote {}", p.display());
     }
+    emit_trace_if_requested(&scale);
 }

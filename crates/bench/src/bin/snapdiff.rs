@@ -1,0 +1,98 @@
+//! Metrics-snapshot regression gate.
+//!
+//! Usage: `snapdiff <baseline.json> <current.json> [--tol X]
+//! [--tol-accuracy X] [--tol-coverage X] [--tol-timeliness X]
+//! [--tol-pbot X]`
+//!
+//! Exit codes: 0 — no regression; 1 — at least one gated metric degraded
+//! beyond tolerance; 2 — usage or parse error. `--tol` sets every
+//! tolerance at once; the per-metric flags override it.
+
+use mpgraph_bench::snapdiff::{diff_snapshots, Tolerances};
+use mpgraph_core::MetricsSnapshot;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: snapdiff <baseline.json> <current.json> [--tol X] \
+         [--tol-accuracy X] [--tol-coverage X] [--tol-timeliness X] [--tol-pbot X]"
+    );
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<MetricsSnapshot, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files: Vec<String> = Vec::new();
+    let mut tol = Tolerances::default();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        let flag_value = |i: &mut usize| -> Option<f64> {
+            *i += 1;
+            args.get(*i).and_then(|v| v.parse().ok())
+        };
+        match a.as_str() {
+            "--tol" => match flag_value(&mut i) {
+                Some(v) => tol = Tolerances::uniform(v),
+                None => return usage(),
+            },
+            "--tol-accuracy" => match flag_value(&mut i) {
+                Some(v) => tol.accuracy = v,
+                None => return usage(),
+            },
+            "--tol-coverage" => match flag_value(&mut i) {
+                Some(v) => tol.coverage = v,
+                None => return usage(),
+            },
+            "--tol-timeliness" => match flag_value(&mut i) {
+                Some(v) => tol.timeliness = v,
+                None => return usage(),
+            },
+            "--tol-pbot" => match flag_value(&mut i) {
+                Some(v) => tol.pbot_hit_rate = v,
+                None => return usage(),
+            },
+            _ if a.starts_with("--") => return usage(),
+            _ => files.push(a.clone()),
+        }
+        i += 1;
+    }
+    if files.len() != 2 {
+        return usage();
+    }
+    let (baseline, current) = match (load(&files[0]), load(&files[1])) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("snapdiff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let rep = diff_snapshots(&baseline, &current, &tol);
+    println!(
+        "{:<24} {:>10} {:>10} {:>7}  verdict",
+        "metric", "baseline", "current", "tol"
+    );
+    for d in &rep.deltas {
+        println!(
+            "{:<24} {:>10.4} {:>10.4} {:>7.3}  {}",
+            d.metric,
+            d.baseline,
+            d.current,
+            d.tolerance,
+            if d.regressed { "REGRESSED" } else { "ok" }
+        );
+    }
+    if rep.has_regressions() {
+        let n = rep.regressions().count();
+        eprintln!("snapdiff: {n} metric(s) regressed beyond tolerance");
+        ExitCode::from(1)
+    } else {
+        println!("snapdiff: no regressions");
+        ExitCode::SUCCESS
+    }
+}

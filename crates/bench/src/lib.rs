@@ -24,6 +24,7 @@ pub mod metrics;
 pub mod report;
 pub mod runners;
 pub mod scale;
+pub mod snapdiff;
 pub mod workload;
 
 pub use scale::ExpScale;

@@ -15,14 +15,20 @@
 //! embeds the snapshot of its own guarded fault-injection run, so it
 //! serializes that instead of the carrier's.
 
-use crate::report::{metrics_out_arg, write_json_to};
+use crate::report::{metrics_out_arg, trace_out_arg, write_json_compact_to, write_json_to};
 use crate::scale::ExpScale;
 use crate::workload::SynthConfig;
-use mpgraph_core::{train_mpgraph, MetricsSnapshot, MpGraphConfig, PrefetchScoreboard};
+use mpgraph_core::{
+    train_mpgraph, MetricsSnapshot, MpGraphConfig, PrefetchScoreboard, TraceConfig,
+};
 use mpgraph_sim::simulate_observed;
 
-/// Runs the observed carrier and returns the enriched snapshot.
-pub fn collect_carrier_metrics(scale: &ExpScale) -> MetricsSnapshot {
+/// Runs the observed carrier once and returns the enriched snapshot plus,
+/// when a [`TraceConfig`] was supplied, the Chrome-trace JSON of the run.
+pub fn collect_carrier(
+    scale: &ExpScale,
+    trace: Option<TraceConfig>,
+) -> (MetricsSnapshot, Option<serde::Value>) {
     let w = SynthConfig::pagerank_like().generate();
     let mut mp = train_mpgraph(
         &w.train,
@@ -30,25 +36,65 @@ pub fn collect_carrier_metrics(scale: &ExpScale) -> MetricsSnapshot {
         MpGraphConfig::default(),
         &scale.train,
     );
-    let mut scoreboard = PrefetchScoreboard::new(w.num_phases, 4096);
+    let mut scoreboard = match trace {
+        Some(cfg) => PrefetchScoreboard::with_trace(w.num_phases, 4096, cfg),
+        None => PrefetchScoreboard::new(w.num_phases, 4096),
+    };
     let cfg = crate::runners::prefetching::sim_config();
     let _ = simulate_observed(&w.test, &mut mp, &cfg, None, Some(&mut scoreboard));
+    let chrome = scoreboard.chrome_trace();
     let mut snap = scoreboard.snapshot();
     mp.enrich_snapshot(&mut snap);
-    snap
+    (snap, chrome)
 }
 
-/// Binary entry point: when `--metrics-out <path>` is on the command
-/// line, collects the carrier snapshot and writes it there. A no-op
-/// without the flag, so every binary can call this unconditionally.
+/// Runs the observed carrier and returns the enriched snapshot.
+pub fn collect_carrier_metrics(scale: &ExpScale) -> MetricsSnapshot {
+    collect_carrier(scale, None).0
+}
+
+/// Binary entry point: when `--metrics-out <path>` and/or `--trace-out
+/// <path>` are on the command line, runs the instrumented carrier once and
+/// writes the requested artifacts. A no-op without either flag, so every
+/// binary can call this unconditionally.
 pub fn emit_if_requested(scale: &ExpScale) {
-    let Some(path) = metrics_out_arg() else {
+    let metrics = metrics_out_arg();
+    let trace = trace_out_arg();
+    if metrics.is_none() && trace.is_none() {
+        return;
+    }
+    let (snap, chrome) = collect_carrier(scale, trace.as_ref().map(|_| TraceConfig::default()));
+    if let Some(path) = metrics {
+        match write_json_to(&path, &snap) {
+            Ok(()) => println!("metrics snapshot written to {}", path.display()),
+            Err(e) => eprintln!("failed to write metrics to {}: {e}", path.display()),
+        }
+    }
+    if let Some(path) = trace {
+        match chrome {
+            Some(tr) => match write_json_compact_to(&path, &tr) {
+                Ok(()) => println!("chrome trace written to {}", path.display()),
+                Err(e) => eprintln!("failed to write trace to {}: {e}", path.display()),
+            },
+            None => eprintln!("trace requested but the scoreboard produced none"),
+        }
+    }
+}
+
+/// Trace-only entry point for binaries (the `resilience` runner) that
+/// serialize their own metrics snapshot but still want `--trace-out` to
+/// yield a carrier trace.
+pub fn emit_trace_if_requested(scale: &ExpScale) {
+    let Some(path) = trace_out_arg() else {
         return;
     };
-    let snap = collect_carrier_metrics(scale);
-    match write_json_to(&path, &snap) {
-        Ok(()) => println!("metrics snapshot written to {}", path.display()),
-        Err(e) => eprintln!("failed to write metrics to {}: {e}", path.display()),
+    let (_, chrome) = collect_carrier(scale, Some(TraceConfig::default()));
+    match chrome {
+        Some(tr) => match write_json_compact_to(&path, &tr) {
+            Ok(()) => println!("chrome trace written to {}", path.display()),
+            Err(e) => eprintln!("failed to write trace to {}: {e}", path.display()),
+        },
+        None => eprintln!("trace requested but the scoreboard produced none"),
     }
 }
 

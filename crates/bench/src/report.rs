@@ -31,35 +31,58 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     }
 }
 
+fn results_dir() -> PathBuf {
+    if std::path::Path::new("results").exists() || std::fs::create_dir_all("results").is_ok() {
+        PathBuf::from("results")
+    } else {
+        PathBuf::from(".")
+    }
+}
+
 /// Writes `value` as pretty JSON to `results/<name>.json` (relative to the
 /// workspace root if present, else the current directory).
 pub fn dump_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<PathBuf> {
-    let dir =
-        if std::path::Path::new("results").exists() || std::fs::create_dir_all("results").is_ok() {
-            PathBuf::from("results")
-        } else {
-            PathBuf::from(".")
-        };
-    let path = dir.join(format!("{name}.json"));
+    let path = results_dir().join(format!("{name}.json"));
     let json = serde_json::to_string_pretty(value).expect("serializable");
     std::fs::write(&path, json)?;
     Ok(path)
 }
 
-/// Parses `--metrics-out <path>` (or `--metrics-out=<path>`) from argv.
-/// Returns `None` when the flag is absent, so binaries that never heard of
-/// metrics keep working unchanged.
-pub fn metrics_out_arg() -> Option<PathBuf> {
+/// Like [`dump_json`] but single-line compact JSON — for the bulky figure
+/// artifacts whose pretty form churns thousands of diff lines per run.
+pub fn dump_json_compact<T: Serialize>(name: &str, value: &T) -> std::io::Result<PathBuf> {
+    let path = results_dir().join(format!("{name}.json"));
+    let json = serde_json::to_string(value).expect("serializable");
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+/// Parses `--<flag> <path>` (or `--<flag>=<path>`) from argv. Returns
+/// `None` when the flag is absent, so binaries that never heard of it keep
+/// working unchanged.
+fn path_arg(flag: &str) -> Option<PathBuf> {
     let args: Vec<String> = std::env::args().collect();
+    let eq_prefix = format!("--{flag}=");
+    let bare = format!("--{flag}");
     for (i, a) in args.iter().enumerate() {
-        if let Some(p) = a.strip_prefix("--metrics-out=") {
+        if let Some(p) = a.strip_prefix(&eq_prefix) {
             return Some(PathBuf::from(p));
         }
-        if a == "--metrics-out" {
+        if *a == bare {
             return args.get(i + 1).map(PathBuf::from);
         }
     }
     None
+}
+
+/// Parses `--metrics-out <path>` from argv.
+pub fn metrics_out_arg() -> Option<PathBuf> {
+    path_arg("metrics-out")
+}
+
+/// Parses `--trace-out <path>` from argv (Chrome-trace/Perfetto export).
+pub fn trace_out_arg() -> Option<PathBuf> {
+    path_arg("trace-out")
 }
 
 /// Writes a metrics snapshot (or any serializable value) as pretty JSON to
@@ -71,6 +94,21 @@ pub fn write_json_to<T: Serialize>(path: &std::path::Path, value: &T) -> std::io
         }
     }
     let json = serde_json::to_string_pretty(value).expect("serializable");
+    std::fs::write(path, json)
+}
+
+/// Like [`write_json_to`] but compact single-line JSON — used for trace
+/// exports, which are bulky and consumed by tools rather than humans.
+pub fn write_json_compact_to<T: Serialize>(
+    path: &std::path::Path,
+    value: &T,
+) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let json = serde_json::to_string(value).expect("serializable");
     std::fs::write(path, json)
 }
 

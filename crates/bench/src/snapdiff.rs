@@ -1,0 +1,202 @@
+//! Snapshot regression diffing: compare two [`MetricsSnapshot`] artifacts
+//! (a committed baseline and a freshly emitted one) and flag metrics that
+//! degraded beyond a tolerance. Counters are reported informationally;
+//! only the rate metrics gate — absolute counts shift with scale knobs,
+//! while accuracy / coverage / timeliness / PBOT hit rate should not.
+
+use mpgraph_core::MetricsSnapshot;
+
+/// Per-metric absolute tolerances. A current value is a regression when it
+/// falls below `baseline - tolerance`; improvements never fail the diff.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerances {
+    pub accuracy: f64,
+    pub coverage: f64,
+    pub timeliness: f64,
+    pub pbot_hit_rate: f64,
+}
+
+impl Default for Tolerances {
+    fn default() -> Self {
+        Tolerances {
+            accuracy: 0.05,
+            coverage: 0.05,
+            timeliness: 0.05,
+            pbot_hit_rate: 0.05,
+        }
+    }
+}
+
+impl Tolerances {
+    /// Sets every tolerance to the same value.
+    pub fn uniform(tol: f64) -> Self {
+        Tolerances {
+            accuracy: tol,
+            coverage: tol,
+            timeliness: tol,
+            pbot_hit_rate: tol,
+        }
+    }
+}
+
+/// One compared metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDelta {
+    pub metric: String,
+    pub baseline: f64,
+    pub current: f64,
+    pub tolerance: f64,
+    pub regressed: bool,
+}
+
+/// The full comparison: every gated metric plus its verdict.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DiffReport {
+    pub deltas: Vec<MetricDelta>,
+}
+
+impl DiffReport {
+    pub fn regressions(&self) -> impl Iterator<Item = &MetricDelta> {
+        self.deltas.iter().filter(|d| d.regressed)
+    }
+
+    pub fn has_regressions(&self) -> bool {
+        self.deltas.iter().any(|d| d.regressed)
+    }
+}
+
+fn compare(report: &mut DiffReport, metric: &str, baseline: f64, current: f64, tolerance: f64) {
+    report.deltas.push(MetricDelta {
+        metric: metric.to_string(),
+        baseline,
+        current,
+        tolerance,
+        regressed: current < baseline - tolerance,
+    });
+}
+
+/// Diffs `current` against `baseline`: top-level accuracy / coverage /
+/// timeliness, the CSTP PBOT hit rate, and per-phase accuracy for every
+/// phase present in both snapshots.
+pub fn diff_snapshots(
+    baseline: &MetricsSnapshot,
+    current: &MetricsSnapshot,
+    tol: &Tolerances,
+) -> DiffReport {
+    let mut rep = DiffReport::default();
+    compare(
+        &mut rep,
+        "accuracy",
+        baseline.accuracy,
+        current.accuracy,
+        tol.accuracy,
+    );
+    compare(
+        &mut rep,
+        "coverage",
+        baseline.coverage,
+        current.coverage,
+        tol.coverage,
+    );
+    compare(
+        &mut rep,
+        "timeliness",
+        baseline.timeliness,
+        current.timeliness,
+        tol.timeliness,
+    );
+    compare(
+        &mut rep,
+        "cstp.pbot_hit_rate",
+        baseline.cstp.pbot_hit_rate,
+        current.cstp.pbot_hit_rate,
+        tol.pbot_hit_rate,
+    );
+    for bp in &baseline.phases {
+        if let Some(cp) = current.phases.iter().find(|p| p.phase == bp.phase) {
+            compare(
+                &mut rep,
+                &format!("phase[{}].accuracy", bp.phase),
+                bp.accuracy,
+                cp.accuracy,
+                tol.accuracy,
+            );
+        }
+    }
+    rep
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpgraph_core::PhaseMetrics;
+
+    fn snap(accuracy: f64, coverage: f64, phase_acc: &[f64]) -> MetricsSnapshot {
+        let mut s = MetricsSnapshot {
+            accuracy,
+            coverage,
+            timeliness: 0.9,
+            phases: phase_acc
+                .iter()
+                .enumerate()
+                .map(|(i, &a)| PhaseMetrics {
+                    phase: i as u32,
+                    accuracy: a,
+                    ..PhaseMetrics::default()
+                })
+                .collect(),
+            ..MetricsSnapshot::default()
+        };
+        s.cstp.pbot_hit_rate = 0.5;
+        s
+    }
+
+    #[test]
+    fn identical_snapshots_pass() {
+        let b = snap(0.8, 0.6, &[0.7, 0.9]);
+        let rep = diff_snapshots(&b, &b.clone(), &Tolerances::default());
+        assert!(!rep.has_regressions());
+        // accuracy, coverage, timeliness, pbot + 2 phases
+        assert_eq!(rep.deltas.len(), 6);
+    }
+
+    #[test]
+    fn degradation_beyond_tolerance_is_flagged() {
+        let b = snap(0.8, 0.6, &[0.7]);
+        let c = snap(0.70, 0.6, &[0.7]);
+        let rep = diff_snapshots(&b, &c, &Tolerances::default());
+        let bad: Vec<_> = rep.regressions().map(|d| d.metric.clone()).collect();
+        assert_eq!(bad, vec!["accuracy".to_string()]);
+    }
+
+    #[test]
+    fn degradation_within_tolerance_passes() {
+        let b = snap(0.8, 0.6, &[0.7]);
+        let c = snap(0.76, 0.58, &[0.66]);
+        assert!(!diff_snapshots(&b, &c, &Tolerances::default()).has_regressions());
+    }
+
+    #[test]
+    fn improvements_never_fail() {
+        let b = snap(0.5, 0.4, &[0.3]);
+        let c = snap(0.9, 0.9, &[0.9]);
+        assert!(!diff_snapshots(&b, &c, &Tolerances::default()).has_regressions());
+    }
+
+    #[test]
+    fn per_phase_accuracy_gates_independently() {
+        let b = snap(0.8, 0.6, &[0.7, 0.9]);
+        let c = snap(0.8, 0.6, &[0.7, 0.5]);
+        let rep = diff_snapshots(&b, &c, &Tolerances::default());
+        let bad: Vec<_> = rep.regressions().map(|d| d.metric.clone()).collect();
+        assert_eq!(bad, vec!["phase[1].accuracy".to_string()]);
+    }
+
+    #[test]
+    fn uniform_tolerance_applies_everywhere() {
+        let b = snap(0.8, 0.6, &[0.7]);
+        let c = snap(0.70, 0.5, &[0.6]);
+        assert!(!diff_snapshots(&b, &c, &Tolerances::uniform(0.2)).has_regressions());
+        assert!(diff_snapshots(&b, &c, &Tolerances::uniform(0.01)).has_regressions());
+    }
+}

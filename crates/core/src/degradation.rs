@@ -17,7 +17,7 @@ use crate::latency::amma_latency;
 use crate::obs::GuardMetrics;
 use crate::AmmaConfig;
 use mpgraph_prefetchers::{BestOffset, BoConfig};
-use mpgraph_sim::{LlcAccess, PrefetchTag, Prefetcher};
+use mpgraph_sim::{LlcAccess, PrefetchTag, Prefetcher, TraceEvent};
 use std::collections::{HashMap, VecDeque};
 
 /// Guard thresholds. Build with [`GuardConfig::try_new`] (validated) or
@@ -159,6 +159,11 @@ pub struct DegradationGuard<P: Prefetcher> {
     pub trips: u64,
     pub recoveries: u64,
     pub accesses_degraded: u64,
+    // Structured tracing (engine-controlled, off by default). The guard
+    // buffers its own trip/recover events and passes the wrapped
+    // prefetcher's through, so the engine sees one merged stream.
+    trace_on: bool,
+    trace_events: Vec<TraceEvent>,
 }
 
 impl<P: Prefetcher> DegradationGuard<P> {
@@ -180,6 +185,8 @@ impl<P: Prefetcher> DegradationGuard<P> {
             trips: 0,
             recoveries: 0,
             accesses_degraded: 0,
+            trace_on: false,
+            trace_events: Vec::new(),
         }
     }
 
@@ -251,16 +258,27 @@ impl<P: Prefetcher> DegradationGuard<P> {
                 since: self.accesses,
                 healthy_probes: 0,
             };
+            if self.trace_on {
+                self.trace_events.push(TraceEvent::GuardTrip);
+            }
         }
     }
 
-    fn recover(&mut self) {
+    /// `degraded_accesses` is the length of the degraded spell that just
+    /// ended, for the window summary event.
+    fn recover(&mut self, degraded_accesses: u64) {
         self.recoveries += 1;
         self.state = GuardState::Healthy;
         self.miss_ring.clear();
         self.misses_in_ring = 0;
         self.acc_ring.clear();
         self.acc_hits = 0;
+        if self.trace_on {
+            self.trace_events.push(TraceEvent::GuardRecover);
+            self.trace_events.push(TraceEvent::DegradationWindow {
+                accesses: degraded_accesses,
+            });
+        }
     }
 
     fn push_miss(&mut self, miss: bool) {
@@ -359,7 +377,7 @@ impl<P: Prefetcher> Prefetcher for DegradationGuard<P> {
                 if healthy_probes >= self.cfg.recover_healthy_probes
                     && self.accesses.saturating_sub(since) >= self.cfg.cooldown_accesses
                 {
-                    self.recover();
+                    self.recover(self.accesses.saturating_sub(since));
                 }
                 self.fallback.latency()
             }
@@ -381,12 +399,33 @@ impl<P: Prefetcher> Prefetcher for DegradationGuard<P> {
         self.ml.current_phase_id()
     }
 
+    fn enable_trace_events(&mut self, on: bool) {
+        self.trace_on = on;
+        self.trace_events.clear();
+        self.ml.enable_trace_events(on);
+    }
+
+    fn pending_trace_events(&self) -> &[TraceEvent] {
+        &self.trace_events
+    }
+
     fn on_access(&mut self, a: &LlcAccess, out: &mut Vec<u64>) {
+        if self.trace_on {
+            // Cleared per access, like the wrapped prefetcher's buffer.
+            // Deadline trips land later in `effective_latency`, which the
+            // engine calls after `on_access` and before draining — so they
+            // ride the same access.
+            self.trace_events.clear();
+        }
         self.accesses += 1;
         self.note_demand(a.block);
         match self.state {
             GuardState::Healthy => {
                 self.ml.on_access(a, out);
+                if self.trace_on {
+                    self.trace_events
+                        .extend_from_slice(self.ml.pending_trace_events());
+                }
                 let preds = std::mem::take(&mut self.scratch);
                 self.note_predictions(out);
                 self.scratch = preds;
@@ -404,6 +443,12 @@ impl<P: Prefetcher> Prefetcher for DegradationGuard<P> {
                 // measured for recovery but never issued.
                 self.scratch.clear();
                 self.ml.on_access(a, &mut self.scratch);
+                if self.trace_on {
+                    // Shadow-mode events still reach the recorder: phase
+                    // transitions keep happening while degraded.
+                    self.trace_events
+                        .extend_from_slice(self.ml.pending_trace_events());
+                }
                 let preds = std::mem::take(&mut self.scratch);
                 self.note_predictions(&preds);
                 self.scratch = preds;
@@ -507,6 +552,63 @@ mod tests {
         // Degraded latency is the fallback's (0), not the stalled ML path.
         assert_eq!(g.effective_latency(10_000), 0);
         assert_eq!(g.health().status, ComponentStatus::Degraded);
+    }
+
+    #[test]
+    fn guard_emits_trip_recover_and_window_events_only_when_tracing() {
+        let ml = FakeMl {
+            latency: 10,
+            predict_next: true,
+        };
+        let c = cfg();
+        let mut g = DegradationGuard::new(ml, c);
+        g.enable_trace_events(true);
+        let mut out = Vec::new();
+        let mut seen: Vec<TraceEvent> = Vec::new();
+        // Trip (stalls), then recover (stalls cease) — draining the event
+        // buffer after effective_latency like the engine does.
+        for i in 0..200u64 {
+            out.clear();
+            g.on_access(&access(i), &mut out);
+            g.effective_latency(if i < 20 { 10_000 } else { 0 });
+            seen.extend_from_slice(g.pending_trace_events());
+        }
+        assert_eq!(g.trips, 1);
+        assert_eq!(g.recoveries, 1);
+        let trips = seen.iter().filter(|e| **e == TraceEvent::GuardTrip).count();
+        let recovers = seen
+            .iter()
+            .filter(|e| **e == TraceEvent::GuardRecover)
+            .count();
+        assert_eq!(trips, 1);
+        assert_eq!(recovers, 1);
+        // The recovery carries a window summary matching the degraded span.
+        let window = seen
+            .iter()
+            .find_map(|e| match e {
+                TraceEvent::DegradationWindow { accesses } => Some(*accesses),
+                _ => None,
+            })
+            .expect("no degradation-window event");
+        assert!(window >= c.cooldown_accesses, "window {window} too short");
+
+        // Same scenario untraced: zero events, identical guard behavior.
+        let mut quiet = DegradationGuard::new(
+            FakeMl {
+                latency: 10,
+                predict_next: true,
+            },
+            c,
+        );
+        for i in 0..200u64 {
+            out.clear();
+            quiet.on_access(&access(i), &mut out);
+            quiet.effective_latency(if i < 20 { 10_000 } else { 0 });
+            assert!(quiet.pending_trace_events().is_empty());
+        }
+        assert_eq!(quiet.trips, g.trips);
+        assert_eq!(quiet.recoveries, g.recoveries);
+        assert_eq!(quiet.deadline_misses, g.deadline_misses);
     }
 
     #[test]

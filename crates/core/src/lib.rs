@@ -30,6 +30,7 @@ pub mod latency;
 pub mod obs;
 pub mod page_predictor;
 pub mod prefetcher;
+pub mod trace;
 pub mod variants;
 
 pub use amma::{Amma, AmmaConfig, ModalInput};
@@ -50,5 +51,8 @@ pub use obs::{
 pub use page_predictor::{PageHead, PagePredictor, PagePredictorConfig};
 pub use prefetcher::{
     build_detector, train_mpgraph, DetectorChoice, MpGraphConfig, MpGraphPrefetcher,
+};
+pub use trace::{
+    chrome_trace_json, FlightRecorder, TraceConfig, WindowMetrics, WindowPhaseMetrics,
 };
 pub use variants::Variant;

@@ -11,8 +11,9 @@
 //! never grown (overflow is *counted*, not allocated) — verified the same
 //! way as the `ScratchArena` paths, by asserting the capacity stays put.
 
-use mpgraph_sim::{DropReason, PrefetchLane, PrefetchObserver, PrefetchTag};
-use serde::Serialize;
+use crate::trace::{chrome_trace_json, FlightRecorder, TraceConfig, WindowMetrics};
+use mpgraph_sim::{DropReason, PrefetchLane, PrefetchObserver, PrefetchTag, TraceEvent};
+use serde::{Deserialize, Serialize};
 
 /// Sub-bucket resolution bits: 32 sub-buckets per power of two, bounding
 /// the relative quantization error at `2^-(SUB_BITS+1)` ≈ 1.6%.
@@ -138,7 +139,7 @@ impl LatencyHistogram {
 }
 
 /// Serializable summary of a [`LatencyHistogram`].
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct HistogramSnapshot {
     pub count: u64,
     pub min: u64,
@@ -272,6 +273,97 @@ fn lane_name(i: usize) -> &'static str {
     ["spatial", "temporal", "other"][i]
 }
 
+/// Flight-recorder + windowed-telemetry state carried by a scoreboard
+/// with tracing attached. All buffers are sized at attach time; the
+/// per-record path (clock tick, ring write, counter delta) allocates
+/// nothing. Closing a window builds one [`WindowMetrics`] (whose
+/// per-phase `Vec` is the lone periodic allocation, every `window`
+/// accesses — documented in DESIGN.md §13); when `max_windows` is
+/// reached further windows are counted in `windows_dropped`, not grown.
+struct TraceState {
+    recorder: FlightRecorder,
+    window: u64,
+    max_windows: usize,
+    /// First access index of the currently open window.
+    window_start: u64,
+    /// Last access index seen ([`PrefetchObserver::on_record`]).
+    now: u64,
+    /// Total records seen (== `now + 1` once the replay has started).
+    records: u64,
+    /// Counter state at the last window boundary, for delta computation.
+    prev_cells: Vec<Cell>,
+    prev_demand: Vec<u64>,
+    /// PBOT traffic inside the open window, accumulated from
+    /// [`TraceEvent::CstpChain`] events (the scoreboard has no other
+    /// view of CSTP internals).
+    pbot_hits: u64,
+    pbot_misses: u64,
+    windows: Vec<WindowMetrics>,
+    windows_dropped: u64,
+}
+
+/// Counter deltas since the last boundary → one closed window record.
+/// Free function (not a method) so callers can split borrows between the
+/// trace state and the scoreboard's counter arrays.
+fn window_delta(ts: &TraceState, cells: &[Cell], demand: &[u64], end: u64) -> WindowMetrics {
+    let mut w = WindowMetrics {
+        index: ts.windows.len() as u64 + ts.windows_dropped,
+        start: ts.window_start,
+        end,
+        pbot_hits: ts.pbot_hits,
+        pbot_misses: ts.pbot_misses,
+        pbot_hit_rate: ratio(ts.pbot_hits, ts.pbot_hits + ts.pbot_misses),
+        ..WindowMetrics::default()
+    };
+    let num_phases = demand.len();
+    for p in 0..num_phases {
+        let mut issued = 0u64;
+        let mut useful = 0u64;
+        let mut late = 0u64;
+        let mut useless = 0u64;
+        for l in 0..LANES {
+            let c = &cells[p * LANES + l];
+            let prev = &ts.prev_cells[p * LANES + l];
+            issued += c.issued - prev.issued;
+            useful += c.useful - prev.useful;
+            late += c.late - prev.late;
+            useless += c.useless - prev.useless;
+        }
+        let misses = demand[p] - ts.prev_demand[p];
+        w.issued += issued;
+        w.useful += useful;
+        w.late += late;
+        w.useless += useless;
+        w.demand_misses += misses;
+        w.phases.push(crate::trace::WindowPhaseMetrics {
+            phase: p,
+            issued,
+            useful: useful + late,
+            demand_misses: misses,
+            accuracy: ratio(useful + late, issued),
+        });
+    }
+    let hits = w.useful + w.late;
+    w.accuracy = ratio(hits, w.issued);
+    w.coverage = ratio(hits, hits + w.demand_misses);
+    w
+}
+
+/// Closes the open window at boundary `end` and resets the delta state.
+fn close_window(ts: &mut TraceState, cells: &[Cell], demand: &[u64], end: u64) {
+    let w = window_delta(ts, cells, demand, end);
+    if ts.windows.len() < ts.max_windows {
+        ts.windows.push(w);
+    } else {
+        ts.windows_dropped += 1;
+    }
+    ts.window_start = end;
+    ts.pbot_hits = 0;
+    ts.pbot_misses = 0;
+    ts.prev_cells.copy_from_slice(cells);
+    ts.prev_demand.copy_from_slice(demand);
+}
+
 /// Tracks every in-flight prefetch through the simulated cache and
 /// classifies its fate — *useful* (served a demand on time), *late*
 /// (demand arrived before the fill, or the issue was already untimely),
@@ -302,6 +394,9 @@ pub struct PrefetchScoreboard {
     /// 0 simulated cycles but real wall time.
     pub inference_wall_ns: LatencyHistogram,
     pub memory_latency: LatencyHistogram,
+    /// Flight recorder + windowed telemetry; `None` (the default) keeps
+    /// the scoreboard exactly as cheap as before tracing existed.
+    trace: Option<Box<TraceState>>,
 }
 
 impl PrefetchScoreboard {
@@ -324,7 +419,82 @@ impl PrefetchScoreboard {
             inference_latency: LatencyHistogram::new(),
             inference_wall_ns: LatencyHistogram::new(),
             memory_latency: LatencyHistogram::new(),
+            trace: None,
         }
+    }
+
+    /// [`PrefetchScoreboard::new`] with tracing attached from the start.
+    pub fn with_trace(num_phases: usize, inflight_capacity: usize, cfg: TraceConfig) -> Self {
+        let mut sb = Self::new(num_phases, inflight_capacity);
+        sb.attach_trace(cfg);
+        sb
+    }
+
+    /// Attaches a flight recorder + windowed telemetry. The engine sees
+    /// this through [`PrefetchObserver::wants_trace_events`] and starts
+    /// feeding the record clock and structured events.
+    pub fn attach_trace(&mut self, cfg: TraceConfig) {
+        self.trace = Some(Box::new(TraceState {
+            recorder: FlightRecorder::new(cfg.ring_capacity),
+            window: cfg.window.max(1),
+            max_windows: cfg.max_windows,
+            window_start: 0,
+            now: 0,
+            records: 0,
+            prev_cells: vec![Cell::default(); self.cells.len()],
+            prev_demand: vec![0; self.demand_misses.len()],
+            pbot_hits: 0,
+            pbot_misses: 0,
+            windows: Vec::with_capacity(cfg.max_windows.min(4096)),
+            windows_dropped: 0,
+        }));
+    }
+
+    /// Whether a trace sink is attached.
+    pub fn tracing(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Flight-recorder capacity probe: `(retained events, ring capacity,
+    /// events overwritten, retained windows, windows dropped)`. `None`
+    /// without tracing attached.
+    pub fn trace_alloc_stats(&self) -> Option<(usize, usize, u64, usize, u64)> {
+        self.trace.as_ref().map(|ts| {
+            let (len, cap, over) = ts.recorder.alloc_stats();
+            (len, cap, over, ts.windows.len(), ts.windows_dropped)
+        })
+    }
+
+    /// The recorded events, oldest first. Empty without tracing.
+    pub fn trace_events(&self) -> Vec<(u64, TraceEvent)> {
+        self.trace
+            .as_ref()
+            .map(|ts| ts.recorder.events().collect())
+            .unwrap_or_default()
+    }
+
+    /// Closed windows plus the trailing partial one (non-destructively).
+    pub fn windows(&self) -> Vec<WindowMetrics> {
+        let Some(ts) = self.trace.as_ref() else {
+            return Vec::new();
+        };
+        let mut out = ts.windows.clone();
+        if ts.records > ts.window_start {
+            out.push(window_delta(
+                ts,
+                &self.cells,
+                &self.demand_misses,
+                ts.records,
+            ));
+        }
+        out
+    }
+
+    /// Chrome-trace / Perfetto JSON of the recorded run (see
+    /// [`chrome_trace_json`]). `None` without tracing attached.
+    pub fn chrome_trace(&self) -> Option<serde::Value> {
+        let ts = self.trace.as_ref()?;
+        Some(chrome_trace_json(&ts.recorder, &self.windows(), ts.records))
     }
 
     #[inline]
@@ -385,6 +555,7 @@ impl PrefetchScoreboard {
                 for l in 0..LANES {
                     let c = &self.cells[p * LANES + l];
                     t.issued += c.issued;
+                    t.issued_untimely += c.issued_untimely;
                     t.useful += c.useful;
                     t.late += c.late;
                     t.useless += c.useless;
@@ -394,6 +565,7 @@ impl PrefetchScoreboard {
                 PhaseMetrics {
                     phase: p as u32,
                     issued: t.issued,
+                    issued_untimely: t.issued_untimely,
                     useful: t.useful,
                     late: t.late,
                     useless: t.useless,
@@ -421,6 +593,7 @@ impl PrefetchScoreboard {
                     phase: p as u32,
                     lane: lane_name(l).to_string(),
                     issued: c.issued,
+                    issued_untimely: c.issued_untimely,
                     useful: c.useful,
                     late: c.late,
                     useless: c.useless,
@@ -448,6 +621,7 @@ impl PrefetchScoreboard {
         let t = self.totals();
         MetricsSnapshot {
             issued: t.issued,
+            issued_untimely: t.issued_untimely,
             useful: t.useful,
             late: t.late,
             useless: t.useless,
@@ -463,6 +637,9 @@ impl PrefetchScoreboard {
             inference_latency: self.inference_latency.snapshot(),
             inference_wall_ns: self.inference_wall_ns.snapshot(),
             memory_latency: self.memory_latency.snapshot(),
+            window_size: self.trace.as_ref().map_or(0, |ts| ts.window),
+            windows: self.windows(),
+            windows_dropped: self.trace.as_ref().map_or(0, |ts| ts.windows_dropped),
             ..MetricsSnapshot::default()
         }
     }
@@ -479,6 +656,10 @@ impl PrefetchObserver for PrefetchScoreboard {
             // Never grow the table on the record path; lose the
             // attribution, keep the count honest.
             self.inflight_overflow += 1;
+            if let Some(ts) = self.trace.as_mut() {
+                let now = ts.now;
+                ts.recorder.record(now, TraceEvent::InflightOverflow);
+            }
         }
     }
 
@@ -535,6 +716,39 @@ impl PrefetchObserver for PrefetchScoreboard {
     fn on_memory_latency(&mut self, cycles: u64) {
         self.memory_latency.record(cycles);
     }
+
+    fn wants_trace_events(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    fn on_record(&mut self, index: u64) {
+        if let Some(ts) = self.trace.as_mut() {
+            ts.now = index;
+            ts.records = index + 1;
+            // `on_record` fires before this record's counters land, so a
+            // window [s, s+w) closes at the first index >= s+w: by then
+            // every counter delta belonging to it has been applied.
+            while index >= ts.window_start + ts.window {
+                let end = ts.window_start + ts.window;
+                close_window(ts, &self.cells, &self.demand_misses, end);
+            }
+        }
+    }
+
+    fn on_trace_event(&mut self, at: u64, event: TraceEvent) {
+        if let Some(ts) = self.trace.as_mut() {
+            ts.recorder.record(at, event);
+            if let TraceEvent::CstpChain {
+                pbot_hits,
+                pbot_misses,
+                ..
+            } = event
+            {
+                ts.pbot_hits += pbot_hits as u64;
+                ts.pbot_misses += pbot_misses as u64;
+            }
+        }
+    }
 }
 
 #[inline]
@@ -547,10 +761,13 @@ fn ratio(num: u64, den: u64) -> f64 {
 }
 
 /// Per-phase prefetch outcome rollup.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct PhaseMetrics {
     pub phase: u32,
     pub issued: u64,
+    /// Of `issued`, how many were already untimely at issue (inference
+    /// slower than an uncontended DRAM round trip).
+    pub issued_untimely: u64,
     pub useful: u64,
     pub late: u64,
     pub useless: u64,
@@ -562,11 +779,13 @@ pub struct PhaseMetrics {
 }
 
 /// Per-(phase, lane) prefetch outcome row.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct LaneMetrics {
     pub phase: u32,
     pub lane: String,
     pub issued: u64,
+    /// Untimely-at-issue subset of `issued` (see [`PhaseMetrics`]).
+    pub issued_untimely: u64,
     pub useful: u64,
     pub late: u64,
     pub useless: u64,
@@ -576,7 +795,7 @@ pub struct LaneMetrics {
 }
 
 /// Candidates discarded before issue, by engine reason.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct DroppedCounts {
     pub self_block: u64,
     pub in_cache: u64,
@@ -586,7 +805,7 @@ pub struct DroppedCounts {
 
 /// CSTP counters as serialized (mirrors [`crate::cstp::CstpStats`] plus
 /// the derived rates).
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct CstpMetrics {
     pub batches: u64,
     pub chain_steps: u64,
@@ -614,7 +833,7 @@ impl From<&crate::cstp::CstpStats> for CstpMetrics {
 }
 
 /// Phase-transition detector counters.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct DetectorMetrics {
     pub name: String,
     pub updates: u64,
@@ -650,7 +869,7 @@ impl DetectorMetrics {
 }
 
 /// Probe-window controller counters.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ControllerMetrics {
     pub transitions_handled: u64,
     pub observations: u64,
@@ -658,7 +877,7 @@ pub struct ControllerMetrics {
 }
 
 /// Degradation-guard counters.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct GuardMetrics {
     pub trips: u64,
     pub recoveries: u64,
@@ -667,7 +886,7 @@ pub struct GuardMetrics {
 }
 
 /// Predictor training counters.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct TrainMetrics {
     pub steps: u64,
     pub rollbacks: u64,
@@ -677,9 +896,11 @@ pub struct TrainMetrics {
 /// (`--metrics-out`) serialize to JSON, and `HealthReport` folds into its
 /// display. Produced by [`PrefetchScoreboard::snapshot`] and then enriched
 /// with the component counters the caller owns.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
     pub issued: u64,
+    /// Untimely-at-issue subset of `issued` (see [`PhaseMetrics`]).
+    pub issued_untimely: u64,
     pub useful: u64,
     pub late: u64,
     pub useless: u64,
@@ -702,12 +923,28 @@ pub struct MetricsSnapshot {
     /// even for models whose simulated latency rounds to 0 cycles.
     pub inference_wall_ns: HistogramSnapshot,
     pub memory_latency: HistogramSnapshot,
+    /// Telemetry window length in accesses; 0 when tracing was off.
+    pub window_size: u64,
+    /// Windowed metric deltas (the accuracy / coverage / PBOT time
+    /// series), including the trailing partial window. Empty when
+    /// tracing was off.
+    pub windows: Vec<WindowMetrics>,
+    /// Windows discarded after `max_windows` was reached.
+    pub windows_dropped: u64,
 }
 
 impl MetricsSnapshot {
-    /// Pretty JSON for `--metrics-out` files and CI artifacts.
-    pub fn to_json_pretty(&self) -> String {
-        serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".into())
+    /// Pretty JSON for `--metrics-out` files and CI artifacts. Errors
+    /// propagate: a snapshot that cannot serialize must fail the caller
+    /// loudly, not pass CI as `"{}"`.
+    pub fn to_json_pretty(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Single-line JSON for bulky artifacts where pretty-printed diffs
+    /// would churn thousands of lines.
+    pub fn to_json_compact(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
     }
 }
 
@@ -809,9 +1046,11 @@ mod tests {
         sb.on_useful(100, false);
         sb.on_useful(101, true);
         sb.on_useless_evict(102);
-        // Phase 1 temporal: issue 1 useful, drop 2.
+        // Phase 1 temporal: issue 1 useful, 1 untimely (late hit), drop 2.
         sb.on_issued(200, tp, true);
         sb.on_useful(200, false);
+        sb.on_issued(203, tp, false);
+        sb.on_useful(203, true);
         sb.on_dropped(201, tp, DropReason::InCache);
         sb.on_dropped(202, tp, DropReason::DegreeCap);
         // Demand misses: 2 in phase 0, 1 in phase 1.
@@ -830,15 +1069,26 @@ mod tests {
         assert!((phases[0].accuracy - 2.0 / 3.0).abs() < 1e-12);
         assert!((phases[0].coverage - 0.5).abs() < 1e-12);
         assert!((phases[0].timeliness - 0.5).abs() < 1e-12);
-        assert_eq!(phases[1].issued, 1);
+        assert_eq!(phases[1].issued, 2);
         assert_eq!(phases[1].dropped, 2);
         assert!((phases[1].accuracy - 1.0).abs() < 1e-12);
+        // The untimely-at-issue counter surfaces per phase…
+        assert_eq!(phases[0].issued_untimely, 0);
+        assert_eq!(phases[1].issued_untimely, 1);
 
         let lanes = sb.lane_metrics();
         assert_eq!(lanes.len(), 2);
         assert_eq!(lanes[0].lane, "spatial");
         assert_eq!(lanes[1].lane, "temporal");
         assert_eq!(lanes[1].dropped, 2);
+        // …per lane…
+        assert_eq!(lanes[0].issued_untimely, 0);
+        assert_eq!(lanes[1].issued_untimely, 1);
+        // …and in the top-level snapshot, through serde.
+        let snap = sb.snapshot();
+        assert_eq!(snap.issued_untimely, 1);
+        let js = serde_json::to_string(&snap).expect("serialize");
+        assert!(js.contains("\"issued_untimely\":1"));
 
         let d = sb.dropped_counts();
         assert_eq!(d.in_cache, 1);
@@ -991,6 +1241,123 @@ mod tests {
         let (_, _, cap_after, overflow) = sb.alloc_stats();
         assert_eq!(cap_before, cap_after);
         assert_eq!(overflow, 0);
+    }
+
+    #[test]
+    fn windowed_telemetry_slices_counters_into_deltas() {
+        let mut sb = PrefetchScoreboard::with_trace(
+            2,
+            64,
+            TraceConfig {
+                ring_capacity: 256,
+                window: 10,
+                max_windows: 8,
+            },
+        );
+        assert!(sb.tracing());
+        // Window 0 (records 0..10): 2 issued, 1 useful, PBOT 3/1.
+        sb.on_record(0);
+        sb.on_issued(1, tag(0, PrefetchLane::Spatial), true);
+        sb.on_issued(2, tag(0, PrefetchLane::Spatial), true);
+        sb.on_useful(1, false);
+        sb.on_trace_event(
+            0,
+            TraceEvent::CstpChain {
+                steps: 2,
+                pbot_hits: 3,
+                pbot_misses: 1,
+            },
+        );
+        // Window 1 (records 10..20): 1 issued in phase 1, 2 misses.
+        sb.on_record(10);
+        sb.on_issued(3, tag(1, PrefetchLane::Temporal), true);
+        sb.on_useful(3, false);
+        sb.on_demand_miss(1);
+        sb.on_demand_miss(1);
+        sb.on_record(19);
+
+        let windows = sb.windows();
+        assert_eq!(windows.len(), 2, "one closed + one trailing partial");
+        let w0 = &windows[0];
+        assert_eq!((w0.start, w0.end), (0, 10));
+        assert_eq!(w0.issued, 2);
+        assert_eq!(w0.useful, 1);
+        assert_eq!(w0.pbot_hits, 3);
+        assert_eq!(w0.pbot_misses, 1);
+        assert!((w0.accuracy - 0.5).abs() < 1e-12);
+        assert!((w0.pbot_hit_rate - 0.75).abs() < 1e-12);
+        let w1 = &windows[1];
+        assert_eq!((w1.start, w1.end), (10, 20));
+        assert_eq!(w1.issued, 1);
+        assert_eq!(w1.demand_misses, 2);
+        assert_eq!(w1.pbot_hits, 0, "PBOT accumulator reset per window");
+        // Deltas, not running totals: per-phase accuracy differs across
+        // windows (phase 0 active only in w0, phase 1 only in w1).
+        assert!((w0.phases[0].accuracy - 0.5).abs() < 1e-12);
+        assert!((w1.phases[1].accuracy - 1.0).abs() < 1e-12);
+        assert!(w0.accuracy != w1.accuracy);
+
+        // The snapshot embeds the same series plus the config.
+        let snap = sb.snapshot();
+        assert_eq!(snap.window_size, 10);
+        assert_eq!(snap.windows.len(), 2);
+        assert_eq!(snap.windows_dropped, 0);
+        // windows() and chrome_trace() are non-destructive reads.
+        assert_eq!(sb.windows().len(), 2);
+        let trace = sb.chrome_trace().expect("tracing attached");
+        assert!(matches!(
+            trace.get("traceEvents"),
+            Some(serde::Value::Array(_))
+        ));
+    }
+
+    #[test]
+    fn tracing_steady_state_neither_grows_ring_nor_windows() {
+        let mut sb = PrefetchScoreboard::with_trace(
+            1,
+            64,
+            TraceConfig {
+                ring_capacity: 32,
+                window: 4,
+                max_windows: 3,
+            },
+        );
+        // Prime past ring capacity and the window cap.
+        for i in 0..40u64 {
+            sb.on_record(i);
+            sb.on_trace_event(i, TraceEvent::PhaseArmed);
+        }
+        let (_, cap0, over0, wlen0, _) = sb.trace_alloc_stats().expect("tracing");
+        assert_eq!(wlen0, 3, "window cap not reached in warmup");
+        assert!(over0 > 0, "ring wrap not reached in warmup");
+        let windows_cap_probe = sb.windows().capacity();
+        let _ = windows_cap_probe;
+        // Steady state: hammer 10k more records; nothing may grow.
+        for i in 40..10_040u64 {
+            sb.on_record(i);
+            sb.on_trace_event(i, TraceEvent::InflightOverflow);
+        }
+        let (len, cap1, over1, wlen1, dropped) = sb.trace_alloc_stats().expect("tracing");
+        assert_eq!(cap0, cap1, "flight-recorder ring reallocated");
+        assert_eq!(len, 32);
+        assert!(over1 > over0);
+        assert_eq!(wlen1, 3, "window list grew past max_windows");
+        assert!(dropped > 0, "overflow windows were not counted");
+    }
+
+    #[test]
+    fn untraced_scoreboard_reports_no_windows() {
+        let mut sb = PrefetchScoreboard::new(1, 16);
+        assert!(!sb.tracing());
+        assert!(!sb.wants_trace_events());
+        sb.on_record(5);
+        sb.on_trace_event(5, TraceEvent::GuardTrip);
+        assert!(sb.trace_events().is_empty());
+        assert!(sb.windows().is_empty());
+        assert!(sb.chrome_trace().is_none());
+        let snap = sb.snapshot();
+        assert_eq!(snap.window_size, 0);
+        assert!(snap.windows.is_empty());
     }
 
     #[test]

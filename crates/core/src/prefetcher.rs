@@ -17,7 +17,7 @@ use mpgraph_phase::{
 };
 use mpgraph_prefetchers::mlcommon::History;
 use mpgraph_prefetchers::TrainCfg;
-use mpgraph_sim::{LlcAccess, PrefetchLane, PrefetchTag, Prefetcher};
+use mpgraph_sim::{LlcAccess, PrefetchLane, PrefetchTag, Prefetcher, TraceEvent};
 use rayon::prelude::*;
 
 /// Steps between [`mpgraph_ml::TrainGuard`] weight checkpoints in the
@@ -144,6 +144,17 @@ pub struct MpGraphPrefetcher {
     lane_scratch: Vec<PrefetchLane>,
     /// Tags the engine reads back via [`Prefetcher::last_batch_tags`].
     tag_scratch: Vec<PrefetchTag>,
+    /// Structured trace-event buffering, engine-controlled
+    /// ([`Prefetcher::enable_trace_events`]). Off by default; while off
+    /// nothing below touches `trace_events`, so untraced runs take the
+    /// exact pre-instrumentation path.
+    trace_on: bool,
+    /// Events from the current `on_access` (reused scratch; the engine
+    /// drains it via [`Prefetcher::pending_trace_events`]).
+    trace_events: Vec<TraceEvent>,
+    /// Whether the first traced access already reported the train-time
+    /// rollback summary (training predates the replay clock).
+    trace_started: bool,
 }
 
 /// Trains the full MPGraph stack on the training records (the first
@@ -173,6 +184,9 @@ pub fn train_mpgraph(
         temporal_arena: ScratchArena::new(),
         lane_scratch: Vec::new(),
         tag_scratch: Vec::new(),
+        trace_on: false,
+        trace_events: Vec::new(),
+        trace_started: false,
         cfg,
     }
 }
@@ -228,6 +242,9 @@ impl MpGraphPrefetcher {
             temporal_arena: ScratchArena::new(),
             lane_scratch: Vec::new(),
             tag_scratch: Vec::new(),
+            trace_on: false,
+            trace_events: Vec::new(),
+            trace_started: false,
             cfg,
         }
     }
@@ -296,13 +313,51 @@ impl Prefetcher for MpGraphPrefetcher {
         self.controller.current_phase() as u8
     }
 
+    fn enable_trace_events(&mut self, on: bool) {
+        self.trace_on = on;
+        self.trace_started = false;
+        self.trace_events.clear();
+    }
+
+    fn pending_trace_events(&self) -> &[TraceEvent] {
+        &self.trace_events
+    }
+
     fn on_access(&mut self, a: &LlcAccess, out: &mut Vec<u64>) {
         // Invalidate the previous batch's attribution up front so early
         // returns never leave tags aligned with a stale batch.
         self.tag_scratch.clear();
+        if self.trace_on {
+            self.trace_events.clear();
+            if !self.trace_started {
+                // Training happened before the replay clock existed, so
+                // its rollback summary is stamped on the first traced
+                // access (DESIGN.md §13).
+                self.trace_started = true;
+                self.trace_events.push(TraceEvent::TrainRollback {
+                    count: self.delta.train_rollbacks + self.page.train_rollbacks,
+                });
+            }
+        }
 
-        // 1. Phase detection on the PC stream.
-        if self.detector.update(a.pc) {
+        // 1. Phase detection on the PC stream. When tracing, soft-detector
+        //    arms are derived from the stats delta so all four detector
+        //    implementations report them without individual instrumentation.
+        let prev_soft_arms = if self.trace_on {
+            self.detector.stats().soft_arms
+        } else {
+            0
+        };
+        let confirmed = self.detector.update(a.pc);
+        if self.trace_on && self.detector.stats().soft_arms > prev_soft_arms {
+            self.trace_events.push(TraceEvent::PhaseArmed);
+        }
+        if confirmed {
+            if self.trace_on {
+                self.trace_events.push(TraceEvent::PhaseConfirmed {
+                    prev_phase: self.controller.current_phase() as u8,
+                });
+            }
             self.controller.on_transition();
         }
 
@@ -341,10 +396,21 @@ impl Prefetcher for MpGraphPrefetcher {
                         .collect()
                 })
                 .collect();
-            if self.controller.observe(a.block, &preds).is_err() {
-                // Malformed batch (possible only if predictor and
-                // controller shapes drift): drop it, keep replaying.
-                self.observe_errors += 1;
+            match self.controller.observe(a.block, &preds) {
+                Ok(Some(_)) => {
+                    // Probe window complete: a phase model was selected.
+                    if self.trace_on {
+                        self.trace_events.push(TraceEvent::PhaseSelected {
+                            phase: self.controller.current_phase() as u8,
+                        });
+                    }
+                }
+                Ok(None) => {}
+                Err(_) => {
+                    // Malformed batch (possible only if predictor and
+                    // controller shapes drift): drop it, keep replaying.
+                    self.observe_errors += 1;
+                }
             }
         }
 
@@ -353,6 +419,9 @@ impl Prefetcher for MpGraphPrefetcher {
         //    temporal lanes run concurrently on disjoint arenas.
         let phase = self.controller.current_phase();
         let page_items: Vec<(usize, u64)> = self.page_hists[(a.core as usize) % 8].items().to_vec();
+        // `CstpStats` is `Copy`: snapshot before the chain call so the
+        // per-batch deltas can be emitted as one summary event.
+        let cstp_before = self.trace_on.then_some(self.cstp_stats);
         let mut batch = chain_prefetch_in(
             &self.delta,
             &self.page,
@@ -366,6 +435,18 @@ impl Prefetcher for MpGraphPrefetcher {
             &mut self.lane_scratch,
             &mut self.cstp_stats,
         );
+        if let Some(b) = cstp_before {
+            let steps = self.cstp_stats.chain_steps - b.chain_steps;
+            let hits = self.cstp_stats.pbot_hits - b.pbot_hits;
+            let misses = self.cstp_stats.pbot_misses - b.pbot_misses;
+            if steps | hits | misses != 0 {
+                self.trace_events.push(TraceEvent::CstpChain {
+                    steps: steps.min(255) as u8,
+                    pbot_hits: hits.min(255) as u8,
+                    pbot_misses: misses.min(255) as u8,
+                });
+            }
+        }
         // The dp_distance shift below rewrites targets but never reorders
         // or drops candidates, so the lane attribution stays aligned.
         self.tag_scratch

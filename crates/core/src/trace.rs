@@ -1,0 +1,546 @@
+//! Flight recorder and trace export: the temporal half of the
+//! observability layer.
+//!
+//! [`FlightRecorder`] is a fixed-capacity ring buffer of
+//! `(access index, TraceEvent)` pairs. The ring is allocated once at
+//! construction; recording into it is a slot write that never allocates,
+//! and when the buffer is full the oldest events are overwritten (counted
+//! in [`FlightRecorder::overwritten`]) — flight-recorder semantics: the
+//! most recent history is always available, however long the run.
+//!
+//! [`chrome_trace_json`] renders a recorded run as Chrome-trace /
+//! Perfetto JSON (`{"traceEvents": [...]}`): phase residency as "X"
+//! complete slices, detector / guard / CSTP events as "i" instants, and
+//! the windowed telemetry series as "C" counters. Timestamps are the
+//! sim's access index (reported to Perfetto as microseconds — the replay
+//! has no wall clock, and the index is the natural timeline).
+//!
+//! The whole subsystem follows the `PrefetchObserver` discipline: nothing
+//! here is reachable from a run without a trace sink attached, and
+//! attaching one changes no simulation state (see DESIGN.md §13).
+
+use mpgraph_sim::TraceEvent;
+use serde::{Deserialize, Serialize, Value};
+
+/// Configuration for the flight recorder and windowed telemetry.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceConfig {
+    /// Ring-buffer capacity in events. The default (64 Ki events ·
+    /// 24 bytes/slot = 1.5 MiB) holds every event of the bench carrier
+    /// workloads with room to spare; longer runs wrap and keep the tail.
+    pub ring_capacity: usize,
+    /// Telemetry window length in trace records (accesses). Each window
+    /// closes into one [`WindowMetrics`] delta.
+    pub window: u64,
+    /// Maximum number of retained windows; beyond it, further windows are
+    /// dropped (counted) rather than grown, keeping steady state
+    /// allocation-free.
+    pub max_windows: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            ring_capacity: 65_536,
+            window: 512,
+            max_windows: 4096,
+        }
+    }
+}
+
+/// Fixed-capacity ring buffer of timestamped trace events.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    ring: Vec<(u64, TraceEvent)>,
+    /// Overwrite cursor, meaningful once the ring is full: the slot the
+    /// *next* event lands in, which is also the oldest retained event.
+    head: usize,
+    overwritten: u64,
+}
+
+impl FlightRecorder {
+    pub fn new(capacity: usize) -> Self {
+        FlightRecorder {
+            ring: Vec::with_capacity(capacity.max(1)),
+            head: 0,
+            overwritten: 0,
+        }
+    }
+
+    /// Records `event` at access index `at`. Never allocates: the ring
+    /// fills to capacity and then wraps, overwriting the oldest slot.
+    #[inline]
+    pub fn record(&mut self, at: u64, event: TraceEvent) {
+        if self.ring.len() < self.ring.capacity() {
+            self.ring.push((at, event));
+        } else {
+            self.ring[self.head] = (at, event);
+            self.head = (self.head + 1) % self.ring.len();
+            self.overwritten += 1;
+        }
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = (u64, TraceEvent)> + '_ {
+        let (wrapped, recent) = if self.ring.len() == self.ring.capacity() {
+            self.ring.split_at(self.head.min(self.ring.len()))
+        } else {
+            (&[][..], &self.ring[..])
+        };
+        recent.iter().chain(wrapped.iter()).copied()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Events lost to ring wrap-around.
+    pub fn overwritten(&self) -> u64 {
+        self.overwritten
+    }
+
+    /// Capacity probe for allocation-freedom tests:
+    /// `(retained, raw_capacity, overwritten)`. `raw_capacity` must not
+    /// change across steady-state recording.
+    pub fn alloc_stats(&self) -> (usize, usize, u64) {
+        (self.ring.len(), self.ring.capacity(), self.overwritten)
+    }
+}
+
+/// Per-phase slice of one telemetry window.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct WindowPhaseMetrics {
+    pub phase: usize,
+    pub issued: u64,
+    pub useful: u64,
+    pub demand_misses: u64,
+    pub accuracy: f64,
+}
+
+/// One closed telemetry window: scoreboard counter deltas over `window`
+/// consecutive trace records, turned into the paper's rate metrics so
+/// accuracy / coverage / PBOT hit rate become time series.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct WindowMetrics {
+    /// 0-based window ordinal.
+    pub index: u64,
+    /// First access index covered (inclusive).
+    pub start: u64,
+    /// Last access index covered (exclusive).
+    pub end: u64,
+    pub issued: u64,
+    pub useful: u64,
+    pub late: u64,
+    pub useless: u64,
+    pub demand_misses: u64,
+    pub accuracy: f64,
+    pub coverage: f64,
+    pub pbot_hits: u64,
+    pub pbot_misses: u64,
+    pub pbot_hit_rate: f64,
+    pub phases: Vec<WindowPhaseMetrics>,
+}
+
+const PID: u64 = 1;
+const TID_PHASES: u64 = 1;
+const TID_DETECTOR: u64 = 2;
+const TID_GUARD: u64 = 3;
+const TID_CSTP: u64 = 4;
+const TID_TELEMETRY: u64 = 5;
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
+}
+
+fn meta_thread(tid: u64, name: &str) -> Value {
+    obj(vec![
+        ("name", Value::Str("thread_name".into())),
+        ("ph", Value::Str("M".into())),
+        ("pid", Value::U64(PID)),
+        ("tid", Value::U64(tid)),
+        ("args", obj(vec![("name", Value::Str(name.into()))])),
+    ])
+}
+
+fn instant(tid: u64, ts: u64, name: &str, args: Value) -> (u64, u64, Value) {
+    (
+        tid,
+        ts,
+        obj(vec![
+            ("name", Value::Str(name.into())),
+            ("ph", Value::Str("i".into())),
+            ("s", Value::Str("t".into())),
+            ("ts", Value::U64(ts)),
+            ("pid", Value::U64(PID)),
+            ("tid", Value::U64(tid)),
+            ("args", args),
+        ]),
+    )
+}
+
+fn slice(tid: u64, ts: u64, dur: u64, name: &str) -> (u64, u64, Value) {
+    (
+        tid,
+        ts,
+        obj(vec![
+            ("name", Value::Str(name.into())),
+            ("ph", Value::Str("X".into())),
+            ("ts", Value::U64(ts)),
+            ("dur", Value::U64(dur)),
+            ("pid", Value::U64(PID)),
+            ("tid", Value::U64(tid)),
+        ]),
+    )
+}
+
+fn counter(ts: u64, name: &str, value: f64) -> (u64, u64, Value) {
+    (
+        TID_TELEMETRY,
+        ts,
+        obj(vec![
+            ("name", Value::Str(name.into())),
+            ("ph", Value::Str("C".into())),
+            ("ts", Value::U64(ts)),
+            ("pid", Value::U64(PID)),
+            ("tid", Value::U64(TID_TELEMETRY)),
+            ("args", obj(vec![(name, Value::F64(value))])),
+        ]),
+    )
+}
+
+/// Renders the recorded run as a Chrome-trace JSON value
+/// (`{"traceEvents": [...]}`, the format Perfetto and `chrome://tracing`
+/// load directly).
+///
+/// Tracks (pid 1): `phases` (tid 1) carries phase residency as complete
+/// slices — one slice per span between confirmed transitions, so slice
+/// count equals confirmed transitions + 1; `detector` (tid 2) and `cstp`
+/// (tid 4) carry instants; `guard` (tid 3) carries trip/recover instants
+/// plus a degraded-span slice per trip→recover pair; `telemetry` (tid 5)
+/// carries the windowed accuracy / coverage / PBOT-hit-rate counter
+/// series. Events are sorted by (tid, ts) so `ts` is monotonic per track.
+/// `end` is the total record count, closing the final phase slice.
+pub fn chrome_trace_json(rec: &FlightRecorder, windows: &[WindowMetrics], end: u64) -> Value {
+    // (tid, ts, event) triples, sorted at the end for per-track monotonic ts.
+    let mut timed: Vec<(u64, u64, Value)> = Vec::new();
+
+    let mut phase_slice_start: u64 = 0;
+    let mut current_phase: u64 = 0;
+    let mut trip_at: Option<u64> = None;
+    for (at, ev) in rec.events() {
+        match ev {
+            TraceEvent::PhaseArmed => {
+                timed.push(instant(TID_DETECTOR, at, ev.name(), obj(vec![])));
+            }
+            TraceEvent::PhaseConfirmed { prev_phase } => {
+                // Close the residency slice for the phase that was live.
+                let dur = at.saturating_sub(phase_slice_start);
+                let name = format!("phase {prev_phase}");
+                timed.push(slice(TID_PHASES, phase_slice_start, dur, &name));
+                phase_slice_start = at;
+                timed.push(instant(
+                    TID_DETECTOR,
+                    at,
+                    ev.name(),
+                    obj(vec![("prev_phase", Value::U64(prev_phase as u64))]),
+                ));
+            }
+            TraceEvent::PhaseSelected { phase } => {
+                current_phase = phase as u64;
+                timed.push(instant(
+                    TID_DETECTOR,
+                    at,
+                    ev.name(),
+                    obj(vec![("phase", Value::U64(phase as u64))]),
+                ));
+            }
+            TraceEvent::CstpChain {
+                steps,
+                pbot_hits,
+                pbot_misses,
+            } => {
+                timed.push(instant(
+                    TID_CSTP,
+                    at,
+                    ev.name(),
+                    obj(vec![
+                        ("steps", Value::U64(steps as u64)),
+                        ("pbot_hits", Value::U64(pbot_hits as u64)),
+                        ("pbot_misses", Value::U64(pbot_misses as u64)),
+                    ]),
+                ));
+            }
+            TraceEvent::GuardTrip => {
+                trip_at = Some(at);
+                timed.push(instant(TID_GUARD, at, ev.name(), obj(vec![])));
+            }
+            TraceEvent::GuardRecover => {
+                if let Some(start) = trip_at.take() {
+                    timed.push(slice(
+                        TID_GUARD,
+                        start,
+                        at.saturating_sub(start),
+                        "degraded",
+                    ));
+                }
+                timed.push(instant(TID_GUARD, at, ev.name(), obj(vec![])));
+            }
+            TraceEvent::DegradationWindow { accesses } => {
+                timed.push(instant(
+                    TID_GUARD,
+                    at,
+                    ev.name(),
+                    obj(vec![("accesses", Value::U64(accesses))]),
+                ));
+            }
+            TraceEvent::TrainRollback { count } => {
+                timed.push(instant(
+                    TID_GUARD,
+                    at,
+                    ev.name(),
+                    obj(vec![("count", Value::U64(count))]),
+                ));
+            }
+            TraceEvent::InflightOverflow => {
+                timed.push(instant(TID_GUARD, at, ev.name(), obj(vec![])));
+            }
+        }
+    }
+    // Final residency slice: the selected phase runs to the end of trace.
+    let name = format!("phase {current_phase}");
+    timed.push(slice(
+        TID_PHASES,
+        phase_slice_start,
+        end.saturating_sub(phase_slice_start),
+        &name,
+    ));
+    // A trip that never recovered stays degraded through the end.
+    if let Some(start) = trip_at {
+        timed.push(slice(
+            TID_GUARD,
+            start,
+            end.saturating_sub(start),
+            "degraded",
+        ));
+    }
+
+    for w in windows {
+        timed.push(counter(w.end, "accuracy", w.accuracy));
+        timed.push(counter(w.end, "coverage", w.coverage));
+        timed.push(counter(w.end, "pbot_hit_rate", w.pbot_hit_rate));
+    }
+
+    timed.sort_by_key(|&(tid, ts, _)| (tid, ts));
+
+    let mut events: Vec<Value> = vec![
+        obj(vec![
+            ("name", Value::Str("process_name".into())),
+            ("ph", Value::Str("M".into())),
+            ("pid", Value::U64(PID)),
+            ("args", obj(vec![("name", Value::Str("mpgraph".into()))])),
+        ]),
+        meta_thread(TID_PHASES, "phases"),
+        meta_thread(TID_DETECTOR, "detector"),
+        meta_thread(TID_GUARD, "guard"),
+        meta_thread(TID_CSTP, "cstp"),
+        meta_thread(TID_TELEMETRY, "telemetry"),
+    ];
+    events.extend(timed.into_iter().map(|(_, _, v)| v));
+
+    obj(vec![
+        ("traceEvents", Value::Array(events)),
+        ("displayTimeUnit", Value::Str("ms".into())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_fills_then_wraps_keeping_the_most_recent_events() {
+        let mut r = FlightRecorder::new(4);
+        for i in 0..3u64 {
+            r.record(i, TraceEvent::PhaseArmed);
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.overwritten(), 0);
+        let ts: Vec<u64> = r.events().map(|(at, _)| at).collect();
+        assert_eq!(ts, vec![0, 1, 2]);
+
+        for i in 3..10u64 {
+            r.record(i, TraceEvent::GuardTrip);
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.overwritten(), 6);
+        let ts: Vec<u64> = r.events().map(|(at, _)| at).collect();
+        assert_eq!(ts, vec![6, 7, 8, 9], "oldest events overwritten first");
+    }
+
+    #[test]
+    fn recording_never_grows_the_ring() {
+        let mut r = FlightRecorder::new(128);
+        // Prime to capacity, then hammer it: the raw capacity must not move.
+        for i in 0..128u64 {
+            r.record(i, TraceEvent::PhaseArmed);
+        }
+        let (_, cap_before, _) = r.alloc_stats();
+        for i in 128..10_000u64 {
+            r.record(i, TraceEvent::InflightOverflow);
+        }
+        let (len, cap_after, overwritten) = r.alloc_stats();
+        assert_eq!(cap_before, cap_after, "ring reallocated in steady state");
+        assert_eq!(len, 128);
+        assert_eq!(overwritten, 10_000 - 128);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_not_panicking() {
+        let mut r = FlightRecorder::new(0);
+        r.record(0, TraceEvent::GuardTrip);
+        r.record(1, TraceEvent::GuardRecover);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.events().next(), Some((1, TraceEvent::GuardRecover)));
+    }
+
+    fn track_ts(events: &[Value]) -> Vec<(u64, u64)> {
+        events
+            .iter()
+            .filter_map(|e| {
+                let ph = match e.get("ph") {
+                    Some(Value::Str(s)) => s.clone(),
+                    _ => return None,
+                };
+                if ph == "M" {
+                    return None;
+                }
+                let tid = match e.get("tid") {
+                    Some(Value::U64(t)) => *t,
+                    _ => return None,
+                };
+                let ts = match e.get("ts") {
+                    Some(Value::U64(t)) => *t,
+                    _ => return None,
+                };
+                Some((tid, ts))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exporter_emits_sorted_slices_and_counters() {
+        let mut r = FlightRecorder::new(64);
+        r.record(5, TraceEvent::PhaseArmed);
+        r.record(10, TraceEvent::PhaseConfirmed { prev_phase: 0 });
+        r.record(14, TraceEvent::PhaseSelected { phase: 1 });
+        r.record(20, TraceEvent::GuardTrip);
+        r.record(30, TraceEvent::GuardRecover);
+        r.record(30, TraceEvent::DegradationWindow { accesses: 9 });
+        r.record(40, TraceEvent::PhaseConfirmed { prev_phase: 1 });
+        r.record(44, TraceEvent::PhaseSelected { phase: 0 });
+        let windows = vec![
+            WindowMetrics {
+                index: 0,
+                start: 0,
+                end: 32,
+                accuracy: 0.5,
+                coverage: 0.25,
+                pbot_hit_rate: 0.75,
+                ..WindowMetrics::default()
+            },
+            WindowMetrics {
+                index: 1,
+                start: 32,
+                end: 64,
+                accuracy: 0.625,
+                ..WindowMetrics::default()
+            },
+        ];
+        let v = chrome_trace_json(&r, &windows, 64);
+        let Some(Value::Array(events)) = v.get("traceEvents") else {
+            panic!("no traceEvents array");
+        };
+        assert!(!events.is_empty());
+
+        // ts monotonic per (tid) track in array order — the CI invariant.
+        let mut last: std::collections::HashMap<u64, u64> = Default::default();
+        for (tid, ts) in track_ts(events) {
+            let prev = last.entry(tid).or_insert(0);
+            assert!(ts >= *prev, "track {tid} went backwards: {ts} < {prev}");
+            *prev = ts;
+        }
+
+        // Two confirmed transitions → three phase slices covering [0, end).
+        let slices: Vec<&Value> = events
+            .iter()
+            .filter(|e| {
+                matches!(e.get("ph"), Some(Value::Str(s)) if s == "X")
+                    && matches!(e.get("tid"), Some(Value::U64(t)) if *t == TID_PHASES)
+            })
+            .collect();
+        assert_eq!(slices.len(), 3);
+        let named: Vec<String> = slices
+            .iter()
+            .map(|s| match s.get("name") {
+                Some(Value::Str(n)) => n.clone(),
+                _ => String::new(),
+            })
+            .collect();
+        assert_eq!(named, vec!["phase 0", "phase 1", "phase 0"]);
+
+        // Guard trip→recover becomes a degraded slice of length 10.
+        let degraded: Vec<&Value> = events
+            .iter()
+            .filter(|e| matches!(e.get("name"), Some(Value::Str(n)) if n == "degraded"))
+            .collect();
+        assert_eq!(degraded.len(), 1);
+        assert_eq!(degraded[0].get("ts"), Some(&Value::U64(20)));
+        assert_eq!(degraded[0].get("dur"), Some(&Value::U64(10)));
+
+        // Counter series: one triple per window.
+        let counters = events
+            .iter()
+            .filter(|e| matches!(e.get("ph"), Some(Value::Str(s)) if s == "C"))
+            .count();
+        assert_eq!(counters, windows.len() * 3);
+
+        // The artifact round-trips through the JSON writer/parser.
+        let text = serde_json::to_string(&v).expect("serialize trace");
+        let parsed = serde_json::parse_value(&text).expect("parse trace");
+        assert!(matches!(parsed.get("traceEvents"), Some(Value::Array(_))));
+    }
+
+    #[test]
+    fn window_metrics_round_trip_through_serde() {
+        let w = WindowMetrics {
+            index: 3,
+            start: 1536,
+            end: 2048,
+            issued: 10,
+            useful: 7,
+            late: 1,
+            useless: 2,
+            demand_misses: 4,
+            accuracy: 0.7,
+            coverage: 7.0 / 11.0,
+            pbot_hits: 5,
+            pbot_misses: 1,
+            pbot_hit_rate: 5.0 / 6.0,
+            phases: vec![WindowPhaseMetrics {
+                phase: 1,
+                issued: 10,
+                useful: 7,
+                demand_misses: 4,
+                accuracy: 0.7,
+            }],
+        };
+        let text = serde_json::to_string(&w).expect("serialize window");
+        let back: WindowMetrics = serde_json::from_str(&text).expect("deserialize window");
+        assert_eq!(w, back);
+    }
+}

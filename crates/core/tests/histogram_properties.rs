@@ -1,0 +1,71 @@
+//! Property tests for the latency histogram feeding the scoreboard:
+//! percentiles must be monotone in `p`, and `merge` must behave like an
+//! abelian-monoid operation (empty identity, commutativity) so that
+//! per-thread histograms can be combined in any order.
+
+use mpgraph_core::LatencyHistogram;
+use proptest::prelude::*;
+
+fn filled(samples: &[u64]) -> LatencyHistogram {
+    let mut h = LatencyHistogram::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn percentile_is_monotone_in_p(
+        samples in prop::collection::vec(0u64..1_000_000, 0..200),
+        cuts in prop::collection::vec(0u64..101, 2..20),
+    ) {
+        let h = filled(&samples);
+        let mut ps: Vec<f64> = cuts.iter().map(|c| *c as f64 / 100.0).collect();
+        ps.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        for pair in ps.windows(2) {
+            prop_assert!(
+                h.percentile(pair[0]) <= h.percentile(pair[1]),
+                "p{} = {} > p{} = {}",
+                pair[0], h.percentile(pair[0]), pair[1], h.percentile(pair[1]),
+            );
+        }
+        // Percentiles of a non-empty histogram fall within [min, max].
+        if let (Some(lo), Some(hi)) = (samples.iter().min(), samples.iter().max()) {
+            prop_assert!(h.percentile(0.0) >= *lo.min(&h.percentile(1.0)));
+            // Bucketed percentiles report bucket lower bounds, so they can
+            // undershoot the true max but must never exceed it.
+            prop_assert!(h.percentile(1.0) <= *hi);
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity(
+        samples in prop::collection::vec(0u64..1_000_000, 0..200),
+    ) {
+        let reference = filled(&samples);
+        let mut merged = filled(&samples);
+        merged.merge(&LatencyHistogram::new());
+        prop_assert_eq!(merged.snapshot(), reference.snapshot());
+
+        // And absorbing into an empty histogram reproduces the original.
+        let mut from_empty = LatencyHistogram::new();
+        from_empty.merge(&reference);
+        prop_assert_eq!(from_empty.snapshot(), reference.snapshot());
+    }
+
+    #[test]
+    fn merge_is_commutative(
+        a in prop::collection::vec(0u64..1_000_000, 0..120),
+        b in prop::collection::vec(0u64..1_000_000, 0..120),
+    ) {
+        let mut ab = filled(&a);
+        ab.merge(&filled(&b));
+        let mut ba = filled(&b);
+        ba.merge(&filled(&a));
+        prop_assert_eq!(ab.snapshot(), ba.snapshot());
+        prop_assert_eq!(ab.count(), (a.len() + b.len()) as u64);
+    }
+}

@@ -221,8 +221,18 @@ pub fn simulate_observed(
     // Candidate attribution copied out of the prefetcher each access (the
     // prefetcher's tag buffer is invalidated by its next on_access call).
     let mut tag_scratch: Vec<PrefetchTag> = Vec::with_capacity(16);
+    // Structured tracing is opt-in per observer; when off, the prefetcher
+    // buffers nothing and this loop is byte-identical to the untraced one.
+    let tracing = obs.as_deref().is_some_and(|o| o.wants_trace_events());
+    prefetcher.enable_trace_events(tracing);
 
-    for raw in trace {
+    for (ri, raw) in trace.iter().enumerate() {
+        let ri = ri as u64;
+        if tracing {
+            if let Some(o) = obs.as_deref_mut() {
+                o.on_record(ri);
+            }
+        }
         let injected = match faults.as_deref_mut() {
             Some(inj) => inj.corrupt_record(raw),
             None => *raw,
@@ -390,6 +400,13 @@ pub fn simulate_observed(
             o.on_inference_latency(inference_lat);
             if let Some(ns) = wall_ns {
                 o.on_inference_wall_ns(ns);
+            }
+            // Drain after `effective_latency` so deadline-monitor events
+            // (guard trips on the inference path) ride the same access.
+            if tracing {
+                for &ev in prefetcher.pending_trace_events() {
+                    o.on_trace_event(ri, ev);
+                }
             }
         }
         // Timeliness bound: an inference slower than an uncontended DRAM
@@ -763,6 +780,97 @@ mod tests {
         assert_eq!(plain.prefetches_issued, observed.prefetches_issued);
         assert_eq!(plain.prefetches_useful, observed.prefetches_useful);
         assert_eq!(plain.llc_demand_misses, observed.llc_demand_misses);
+        // A trace-hungry observer is just as invisible to the simulation.
+        let mut t = TracingObserver::default();
+        let traced = simulate_observed(&trace, &mut NextLine, &cfg, None, Some(&mut t));
+        assert_eq!(plain.cycles, traced.cycles);
+        assert_eq!(plain.prefetches_issued, traced.prefetches_issued);
+        assert_eq!(plain.prefetches_useful, traced.prefetches_useful);
+        assert_eq!(plain.llc_demand_misses, traced.llc_demand_misses);
+    }
+
+    /// Observer that opts into structured tracing and records every
+    /// (access index, event) pair plus the record clock.
+    #[derive(Default)]
+    struct TracingObserver {
+        records: u64,
+        last_record: u64,
+        events: Vec<(u64, crate::TraceEvent)>,
+    }
+    impl PrefetchObserver for TracingObserver {
+        fn wants_trace_events(&self) -> bool {
+            true
+        }
+        fn on_record(&mut self, index: u64) {
+            self.records += 1;
+            self.last_record = index;
+        }
+        fn on_trace_event(&mut self, at: u64, event: crate::TraceEvent) {
+            self.events.push((at, event));
+        }
+    }
+
+    /// Prefetcher that emits one event per LLC access it sees, only while
+    /// tracing is enabled — the contract every real emitter follows.
+    #[derive(Default)]
+    struct EventfulNextLine {
+        trace_on: bool,
+        events: Vec<crate::TraceEvent>,
+        accesses_seen: u8,
+    }
+    impl Prefetcher for EventfulNextLine {
+        fn name(&self) -> String {
+            "eventful".into()
+        }
+        fn on_access(&mut self, a: &LlcAccess, out: &mut Vec<u64>) {
+            self.events.clear();
+            if self.trace_on {
+                self.accesses_seen = self.accesses_seen.wrapping_add(1);
+                self.events.push(crate::TraceEvent::PhaseSelected {
+                    phase: self.accesses_seen,
+                });
+            }
+            out.push(a.block + 1);
+        }
+        fn enable_trace_events(&mut self, on: bool) {
+            self.trace_on = on;
+        }
+        fn pending_trace_events(&self) -> &[crate::TraceEvent] {
+            &self.events
+        }
+    }
+
+    #[test]
+    fn engine_stamps_trace_events_with_the_access_index() {
+        let trace = sequential_trace(512);
+        let cfg = SimConfig::default();
+        let mut t = TracingObserver::default();
+        let r = simulate_observed(
+            &trace,
+            &mut EventfulNextLine::default(),
+            &cfg,
+            None,
+            Some(&mut t),
+        );
+        // The record clock ticked once per trace record, L1 hits included.
+        assert_eq!(t.records, trace.len() as u64);
+        assert_eq!(t.last_record, trace.len() as u64 - 1);
+        // One event per *LLC* access (the prefetcher sees only those), each
+        // stamped with a valid, non-decreasing record index.
+        assert_eq!(t.events.len(), r.llc.accesses() as usize);
+        assert!(!t.events.is_empty());
+        let mut prev = 0u64;
+        for &(at, ev) in &t.events {
+            assert!(at >= prev && at < trace.len() as u64);
+            prev = at;
+            assert!(matches!(ev, crate::TraceEvent::PhaseSelected { .. }));
+        }
+        // Without a tracing observer the same prefetcher buffers nothing.
+        let mut quiet = EventfulNextLine::default();
+        let mut o = CountingObserver::default();
+        let _ = simulate_observed(&trace, &mut quiet, &cfg, None, Some(&mut o));
+        assert!(!quiet.trace_on);
+        assert_eq!(quiet.accesses_seen, 0);
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub mod fault;
 pub mod filter;
 pub mod obs;
 pub mod prefetch;
+pub mod trace_event;
 
 pub use cache::{Cache, CacheStats, Lookup};
 pub use dram::{Dram, DramConfig, DramStats};
@@ -43,3 +44,4 @@ pub use obs::{DropReason, PrefetchObserver};
 pub use prefetch::{
     LlcAccess, NullPrefetcher, PrefetchLane, PrefetchTag, Prefetcher, BLOCK_BITS, BLOCK_OFFSET_MASK,
 };
+pub use trace_event::TraceEvent;

@@ -14,6 +14,7 @@
 //! attached (the `Option<&mut dyn PrefetchObserver>` is `None`).
 
 use crate::prefetch::PrefetchTag;
+use crate::trace_event::TraceEvent;
 
 /// Why the engine discarded a prefetch candidate instead of issuing it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,6 +94,28 @@ pub trait PrefetchObserver {
     fn on_memory_latency(&mut self, cycles: u64) {
         let _ = cycles;
     }
+
+    /// Whether this observer wants structured [`TraceEvent`]s. The engine
+    /// asks once before the replay loop and only then tells the prefetcher
+    /// to buffer events ([`crate::Prefetcher::enable_trace_events`]) and
+    /// drains them per access. Defaults to `false`: plain observers keep
+    /// the exact pre-tracing engine behavior.
+    fn wants_trace_events(&self) -> bool {
+        false
+    }
+
+    /// The replay loop moved to trace record `index` (0-based). Only
+    /// called when [`PrefetchObserver::wants_trace_events`] returned
+    /// `true`; this is the clock that windowed telemetry slices on.
+    fn on_record(&mut self, index: u64) {
+        let _ = index;
+    }
+
+    /// A structured event occurred while replaying record `at`. Events
+    /// arrive in emission order within one access.
+    fn on_trace_event(&mut self, at: u64, event: TraceEvent) {
+        let _ = (at, event);
+    }
 }
 
 #[cfg(test)]
@@ -112,6 +135,9 @@ mod tests {
         n.on_inference_latency(10);
         n.on_inference_wall_ns(250);
         n.on_memory_latency(100);
+        assert!(!n.wants_trace_events());
+        n.on_record(0);
+        n.on_trace_event(0, TraceEvent::GuardTrip);
         assert_eq!(DropReason::DegreeCap.name(), "degree-cap");
     }
 }

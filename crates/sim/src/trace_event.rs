@@ -1,0 +1,106 @@
+//! Structured trace events for the flight recorder: the vocabulary shared
+//! by the components that *emit* (the engine, `MpGraphPrefetcher`'s
+//! detector/controller/CSTP paths, the `DegradationGuard`) and the sink
+//! that *records* (`mpgraph_core::trace::FlightRecorder`).
+//!
+//! The type lives in `mpgraph-sim` — the bottom of the dependency stack,
+//! next to [`crate::PrefetchTag`] and [`crate::DropReason`] — so the
+//! `Prefetcher` and `PrefetchObserver` traits can speak it without the sim
+//! crate knowing who listens. Events are `Copy` and carry no heap data:
+//! recording one is a ring-buffer slot write, never an allocation.
+
+/// One structured event on the replay timeline. The engine stamps each
+/// event with the index of the trace record being replayed when it drains
+/// the prefetcher's pending events into the observer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A soft detector armed (entered its confirmation window).
+    PhaseArmed,
+    /// The transition detector confirmed a phase transition; the
+    /// controller starts a probe window. `prev_phase` is the phase model
+    /// that was selected when the transition fired.
+    PhaseConfirmed { prev_phase: u8 },
+    /// The controller's probe window completed and selected a phase model.
+    PhaseSelected { phase: u8 },
+    /// Summary of one CSTP chain-prefetch batch: chain steps taken and
+    /// PBOT lookup outcomes, as deltas for this batch only.
+    CstpChain {
+        steps: u8,
+        pbot_hits: u8,
+        pbot_misses: u8,
+    },
+    /// The degradation guard tripped (ML path off the critical path).
+    GuardTrip,
+    /// The degradation guard recovered to the ML path.
+    GuardRecover,
+    /// Emitted at recovery, summarizing the degraded spell that just
+    /// ended: how many guarded accesses ran on the fallback path.
+    DegradationWindow { accesses: u64 },
+    /// Training-time checkpoint rollbacks (`TrainGuard`), reported once at
+    /// the start of a traced replay: training predates the replay clock,
+    /// so the summary is stamped on the first traced access.
+    TrainRollback { count: u64 },
+    /// The observer's in-flight attribution map was full at issue; the
+    /// prefetch keeps flying but its attribution is lost.
+    InflightOverflow,
+}
+
+impl TraceEvent {
+    /// Stable display name (used as the Chrome-trace event name).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::PhaseArmed => "phase-armed",
+            TraceEvent::PhaseConfirmed { .. } => "phase-confirmed",
+            TraceEvent::PhaseSelected { .. } => "phase-selected",
+            TraceEvent::CstpChain { .. } => "cstp-chain",
+            TraceEvent::GuardTrip => "guard-trip",
+            TraceEvent::GuardRecover => "guard-recover",
+            TraceEvent::DegradationWindow { .. } => "degradation-window",
+            TraceEvent::TrainRollback { .. } => "train-rollback",
+            TraceEvent::InflightOverflow => "inflight-overflow",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_small_and_copy() {
+        // The ring buffer stores (u64, TraceEvent) pairs; keep the payload
+        // pointer-free and compact so a slot write stays trivially cheap.
+        assert!(std::mem::size_of::<TraceEvent>() <= 16);
+        let e = TraceEvent::CstpChain {
+            steps: 2,
+            pbot_hits: 1,
+            pbot_misses: 0,
+        };
+        let f = e; // Copy
+        assert_eq!(e, f);
+        assert_eq!(f.name(), "cstp-chain");
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names = [
+            TraceEvent::PhaseArmed.name(),
+            TraceEvent::PhaseConfirmed { prev_phase: 0 }.name(),
+            TraceEvent::PhaseSelected { phase: 0 }.name(),
+            TraceEvent::CstpChain {
+                steps: 0,
+                pbot_hits: 0,
+                pbot_misses: 0,
+            }
+            .name(),
+            TraceEvent::GuardTrip.name(),
+            TraceEvent::GuardRecover.name(),
+            TraceEvent::DegradationWindow { accesses: 0 }.name(),
+            TraceEvent::TrainRollback { count: 0 }.name(),
+            TraceEvent::InflightOverflow.name(),
+        ];
+        for (i, a) in names.iter().enumerate() {
+            assert!(!names[..i].contains(a), "duplicate event name {a}");
+        }
+    }
+}

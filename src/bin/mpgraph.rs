@@ -12,6 +12,7 @@
 //! filter → train MPGraph on iteration 0 → simulate the remaining
 //! iterations against the no-prefetch baseline and BO.
 
+use mpgraph::core::trace::TraceConfig as TelemetryConfig;
 use mpgraph::core::{train_mpgraph, MetricsSnapshot, MpGraphConfig, PrefetchScoreboard};
 use mpgraph::frameworks::{generate_trace, io, App, Framework, Trace, TraceConfig};
 use mpgraph::graph::{standin, Dataset};
@@ -30,9 +31,10 @@ fn usage() -> ! {
          info     FILE\n  \
          simulate FILE [--prefetcher none|next-line|stride|bo|isb] [--scaled]\n           \
          [--fault corrupt-record|drop-prefetch|duplicate-prefetch|detector-misfire|stall-inference]\n           \
-         [--fault-rate R] [--fault-seed S] [--stall-cycles N] [--metrics-out FILE]\n  \
+         [--fault-rate R] [--fault-seed S] [--stall-cycles N] [--metrics-out FILE]\n           \
+         [--trace-out FILE]\n  \
          run      --framework F --app A --dataset D [--div N] [--iterations N]\n           \
-         [--metrics-out FILE]"
+         [--metrics-out FILE] [--trace-out FILE]"
     );
     std::process::exit(2);
 }
@@ -203,18 +205,47 @@ fn build_trace(args: &Args) -> Trace {
     .trace
 }
 
-/// Builds a scoreboard when `--metrics-out` was given, so the simulate/run
-/// commands pay the observer cost only when the user asked for metrics.
+/// Builds a scoreboard when `--metrics-out` or `--trace-out` was given, so
+/// the simulate/run commands pay the observer cost only when the user asked
+/// for metrics or a trace. `--trace-out` additionally arms the flight
+/// recorder and windowed telemetry.
 fn scoreboard_for(args: &Args, num_phases: usize) -> Option<PrefetchScoreboard> {
-    args.get("metrics-out")
-        .map(|_| PrefetchScoreboard::new(num_phases.max(1), 4096))
+    let phases = num_phases.max(1);
+    if args.get("trace-out").is_some() {
+        Some(PrefetchScoreboard::with_trace(
+            phases,
+            4096,
+            TelemetryConfig::default(),
+        ))
+    } else {
+        args.get("metrics-out")
+            .map(|_| PrefetchScoreboard::new(phases, 4096))
+    }
 }
 
 fn write_metrics(args: &Args, snap: &MetricsSnapshot) {
-    let path = args.get("metrics-out").unwrap_or_else(|| usage());
-    std::fs::write(path, snap.to_json_pretty())
-        .unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+    let Some(path) = args.get("metrics-out") else {
+        return;
+    };
+    let json = snap
+        .to_json_pretty()
+        .unwrap_or_else(|e| die(&format!("serializing metrics: {e}")));
+    std::fs::write(path, json).unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
     eprintln!("metrics written to {path}");
+}
+
+/// Writes the Chrome-trace JSON when `--trace-out` was given.
+fn write_trace(args: &Args, sb: &PrefetchScoreboard) {
+    let Some(path) = args.get("trace-out") else {
+        return;
+    };
+    let Some(chrome) = sb.chrome_trace() else {
+        die("trace requested but the scoreboard recorded none");
+    };
+    let json =
+        serde_json::to_string(&chrome).unwrap_or_else(|e| die(&format!("serializing trace: {e}")));
+    std::fs::write(path, json).unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+    eprintln!("chrome trace written to {path} (load it in ui.perfetto.dev)");
 }
 
 fn report(label: &str, r: &SimResult, base: Option<&SimResult>) {
@@ -297,6 +328,7 @@ fn cmd_simulate(args: &Args) {
     report(&r.prefetcher.clone(), &r, Some(&base));
     if let Some(sb) = sb.as_ref() {
         write_metrics(args, &sb.snapshot());
+        write_trace(args, sb);
     }
     if inj.is_some() {
         println!("faults injected: {} total", r.faults.total());
@@ -349,6 +381,7 @@ fn cmd_run(args: &Args) {
         let mut snap = sb.snapshot();
         mp.enrich_snapshot(&mut snap);
         write_metrics(args, &snap);
+        write_trace(args, sb);
     }
 }
 
