@@ -1,0 +1,139 @@
+//! Open-loop load generator for the multi-stream prefetch service.
+//!
+//! Sweeps offered load at 0.5x / 1x / 2x of the service's saturation
+//! rate and reports throughput, prediction-latency percentiles, and shed
+//! fraction per point; `--chaos` additionally drives `StallInference`
+//! faults through a quarter of the streams and verifies that quarantine
+//! contains the blast radius.
+//!
+//! Usage: `loadgen [--quick] [--streams N] [--ticks N] [--chaos]
+//! [--metrics-out FILE] [--trace-out FILE]`
+//!
+//! `--metrics-out` writes the full `MetricsSnapshot` (with the `serve`
+//! section populated) of the highest-load sweep point; `--trace-out`
+//! writes that point's Chrome trace.
+
+use mpgraph_bench::report::{
+    dump_json, f, metrics_out_arg, pct, print_table, trace_out_arg, write_json_compact_to,
+    write_json_to,
+};
+use mpgraph_bench::serve_load::{run_chaos, run_load_sweep, LoadgenSetup};
+use mpgraph_bench::ExpScale;
+use mpgraph_core::{ServeConfig, TraceConfig};
+use serde::Serialize;
+
+fn usize_arg(flag: &str, default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+#[derive(Serialize)]
+struct LoadgenArtifact {
+    points: Vec<mpgraph_bench::serve_load::LoadPoint>,
+    chaos: Option<mpgraph_bench::serve_load::ChaosOutcome>,
+}
+
+fn main() {
+    let scale = ExpScale::from_args();
+    let args: Vec<String> = std::env::args().collect();
+    let chaos = args.iter().any(|a| a == "--chaos");
+    let quick = args.iter().any(|a| a == "--quick");
+    let streams = usize_arg("--streams", 8);
+    let ticks = usize_arg("--ticks", if quick { 200 } else { 2000 }) as u64;
+
+    let cfg = ServeConfig::default();
+    let setup = LoadgenSetup::prepare(&scale);
+    let outcome = run_load_sweep(
+        &setup,
+        cfg,
+        streams,
+        ticks,
+        &[0.5, 1.0, 2.0],
+        Some(TraceConfig::with_adaptive()),
+    );
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for p in &outcome.points {
+        rows.push(vec![
+            format!("{:.1}x", p.load_factor),
+            p.offered_per_tick.to_string(),
+            p.accesses.to_string(),
+            format!("{:.0}", p.accesses_per_sec),
+            p.p50_latency_cycles.to_string(),
+            p.p99_latency_cycles.to_string(),
+            pct(p.shed_fraction),
+            f(p.ml_processed as f64 / p.accesses.max(1) as f64, 3),
+            p.final_overload_level.to_string(),
+            p.quarantines.to_string(),
+        ]);
+    }
+    print_table(
+        "Service load sweep (open-loop)",
+        &[
+            "load",
+            "rate/tick",
+            "accesses",
+            "acc/s",
+            "p50 cyc",
+            "p99 cyc",
+            "shed",
+            "ml frac",
+            "level",
+            "quar",
+        ],
+        &rows,
+    );
+
+    let chaos_outcome = if chaos {
+        let out = run_chaos(&setup, cfg, streams, ticks, 7);
+        print_table(
+            "Chaos: StallInference on victim streams",
+            &[
+                "victims",
+                "quarantined",
+                "stalls",
+                "isolation",
+                "healthy fallback",
+            ],
+            &[vec![
+                format!("{:?}", out.victims),
+                format!("{:?}", out.quarantined),
+                out.stalls_injected.to_string(),
+                if out.isolation_held { "HELD" } else { "BROKEN" }.to_string(),
+                pct(out.healthy_fallback_fraction),
+            ]],
+        );
+        Some(out)
+    } else {
+        None
+    };
+
+    if let Ok(p) = dump_json(
+        "loadgen",
+        &LoadgenArtifact {
+            points: outcome.points.clone(),
+            chaos: chaos_outcome,
+        },
+    ) {
+        println!("wrote {}", p.display());
+    }
+    if let Some(path) = metrics_out_arg() {
+        match write_json_to(&path, &outcome.snapshot) {
+            Ok(()) => println!("metrics snapshot written to {}", path.display()),
+            Err(e) => eprintln!("failed to write metrics to {}: {e}", path.display()),
+        }
+    }
+    if let Some(path) = trace_out_arg() {
+        match &outcome.chrome_trace {
+            Some(tr) => match write_json_compact_to(&path, tr) {
+                Ok(()) => println!("chrome trace written to {}", path.display()),
+                Err(e) => eprintln!("failed to write trace to {}: {e}", path.display()),
+            },
+            None => eprintln!("trace requested but the service produced none"),
+        }
+    }
+}

@@ -2,11 +2,13 @@
 //!
 //! Usage: `snapdiff <baseline.json> <current.json> [--tol X]
 //! [--tol-accuracy X] [--tol-coverage X] [--tol-timeliness X]
-//! [--tol-pbot X]`
+//! [--tol-pbot X] [--tol-p50 X] [--tol-p99 X]`
 //!
 //! Exit codes: 0 — no regression; 1 — at least one gated metric degraded
 //! beyond tolerance; 2 — usage or parse error. `--tol` sets every
-//! tolerance at once; the per-metric flags override it.
+//! tolerance at once; the per-metric flags override it. Rate tolerances
+//! are absolute (lower regresses); `--tol-p50`/`--tol-p99` are relative
+//! headroom on the latency-histogram percentiles (higher regresses).
 
 use mpgraph_bench::snapdiff::{diff_snapshots, Tolerances};
 use mpgraph_core::MetricsSnapshot;
@@ -15,7 +17,8 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: snapdiff <baseline.json> <current.json> [--tol X] \
-         [--tol-accuracy X] [--tol-coverage X] [--tol-timeliness X] [--tol-pbot X]"
+         [--tol-accuracy X] [--tol-coverage X] [--tol-timeliness X] [--tol-pbot X] \
+         [--tol-p50 X] [--tol-p99 X]"
     );
     ExitCode::from(2)
 }
@@ -55,6 +58,14 @@ fn main() -> ExitCode {
             },
             "--tol-pbot" => match flag_value(&mut i) {
                 Some(v) => tol.pbot_hit_rate = v,
+                None => return usage(),
+            },
+            "--tol-p50" => match flag_value(&mut i) {
+                Some(v) => tol.latency_p50 = v,
+                None => return usage(),
+            },
+            "--tol-p99" => match flag_value(&mut i) {
+                Some(v) => tol.latency_p99 = v,
                 None => return usage(),
             },
             _ if a.starts_with("--") => return usage(),

@@ -19,11 +19,13 @@
 //! | `figure13` | knowledge-distillation compression sweep |
 //! | `figure14` | distance prefetching under latency |
 //! | `ablations` | soft-threshold, CSTP degree, modality ablations |
+//! | `loadgen` | multi-stream service load sweep + chaos isolation |
 
 pub mod metrics;
 pub mod report;
 pub mod runners;
 pub mod scale;
+pub mod serve_load;
 pub mod snapdiff;
 pub mod workload;
 

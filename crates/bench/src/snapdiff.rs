@@ -2,18 +2,30 @@
 //! (a committed baseline and a freshly emitted one) and flag metrics that
 //! degraded beyond a tolerance. Counters are reported informationally;
 //! only the rate metrics gate — absolute counts shift with scale knobs,
-//! while accuracy / coverage / timeliness / PBOT hit rate should not.
+//! while accuracy / coverage / timeliness / PBOT hit rate should not —
+//! plus the simulated-latency histogram percentiles (p50/p99), which are
+//! deterministic cycle counts and gate *upward* with relative tolerances.
 
 use mpgraph_core::MetricsSnapshot;
 
-/// Per-metric absolute tolerances. A current value is a regression when it
-/// falls below `baseline - tolerance`; improvements never fail the diff.
+/// Per-metric tolerances. Rate metrics (`accuracy` .. `pbot_hit_rate`)
+/// are *absolute*: a current value regresses when it falls below
+/// `baseline - tolerance`. Latency percentiles (`latency_p50` /
+/// `latency_p99`) are *relative*: a current value regresses when it
+/// grows above `baseline * (1 + tolerance)`. Improvements never fail.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Tolerances {
     pub accuracy: f64,
     pub coverage: f64,
     pub timeliness: f64,
     pub pbot_hit_rate: f64,
+    /// Relative headroom for p50 latency percentiles (0.25 = +25%).
+    pub latency_p50: f64,
+    /// Relative headroom for p99 latency percentiles. Tails are noisier
+    /// than medians even in a deterministic simulator (one extra slow
+    /// probe window shifts the nearest-rank p99), so the default is
+    /// looser than p50's.
+    pub latency_p99: f64,
 }
 
 impl Default for Tolerances {
@@ -23,18 +35,23 @@ impl Default for Tolerances {
             coverage: 0.05,
             timeliness: 0.05,
             pbot_hit_rate: 0.05,
+            latency_p50: 0.25,
+            latency_p99: 0.50,
         }
     }
 }
 
 impl Tolerances {
-    /// Sets every tolerance to the same value.
+    /// Sets every tolerance (absolute rates and relative latencies) to
+    /// the same value.
     pub fn uniform(tol: f64) -> Self {
         Tolerances {
             accuracy: tol,
             coverage: tol,
             timeliness: tol,
             pbot_hit_rate: tol,
+            latency_p50: tol,
+            latency_p99: tol,
         }
     }
 }
@@ -75,6 +92,20 @@ fn compare(report: &mut DiffReport, metric: &str, baseline: f64, current: f64, t
     });
 }
 
+/// Latency gate: higher is worse, tolerance is relative. A zero baseline
+/// never gates (an empty histogram snapshots to all-zero percentiles, and
+/// `0 * (1 + tol)` would flag any nonzero current — a false positive when
+/// the baseline predates latency collection).
+fn compare_latency(report: &mut DiffReport, metric: &str, baseline: u64, current: u64, tol: f64) {
+    report.deltas.push(MetricDelta {
+        metric: metric.to_string(),
+        baseline: baseline as f64,
+        current: current as f64,
+        tolerance: tol,
+        regressed: baseline > 0 && current as f64 > baseline as f64 * (1.0 + tol),
+    });
+}
+
 /// Diffs `current` against `baseline`: top-level accuracy / coverage /
 /// timeliness, the CSTP PBOT hit rate, and per-phase accuracy for every
 /// phase present in both snapshots.
@@ -111,6 +142,34 @@ pub fn diff_snapshots(
         baseline.cstp.pbot_hit_rate,
         current.cstp.pbot_hit_rate,
         tol.pbot_hit_rate,
+    );
+    compare_latency(
+        &mut rep,
+        "inference_latency.p50",
+        baseline.inference_latency.p50,
+        current.inference_latency.p50,
+        tol.latency_p50,
+    );
+    compare_latency(
+        &mut rep,
+        "inference_latency.p99",
+        baseline.inference_latency.p99,
+        current.inference_latency.p99,
+        tol.latency_p99,
+    );
+    compare_latency(
+        &mut rep,
+        "memory_latency.p50",
+        baseline.memory_latency.p50,
+        current.memory_latency.p50,
+        tol.latency_p50,
+    );
+    compare_latency(
+        &mut rep,
+        "memory_latency.p99",
+        baseline.memory_latency.p99,
+        current.memory_latency.p99,
+        tol.latency_p99,
     );
     for bp in &baseline.phases {
         if let Some(cp) = current.phases.iter().find(|p| p.phase == bp.phase) {
@@ -156,8 +215,44 @@ mod tests {
         let b = snap(0.8, 0.6, &[0.7, 0.9]);
         let rep = diff_snapshots(&b, &b.clone(), &Tolerances::default());
         assert!(!rep.has_regressions());
-        // accuracy, coverage, timeliness, pbot + 2 phases
-        assert_eq!(rep.deltas.len(), 6);
+        // accuracy, coverage, timeliness, pbot + 4 latency percentiles
+        // + 2 phases
+        assert_eq!(rep.deltas.len(), 10);
+    }
+
+    #[test]
+    fn latency_growth_beyond_tolerance_is_flagged() {
+        let mut b = snap(0.8, 0.6, &[0.7]);
+        b.inference_latency.p50 = 100;
+        b.inference_latency.p99 = 400;
+        let mut c = b.clone();
+        // +10% p50 stays inside the default 25% headroom; a 2x p99 blows
+        // through the 50% tail headroom.
+        c.inference_latency.p50 = 110;
+        c.inference_latency.p99 = 800;
+        let rep = diff_snapshots(&b, &c, &Tolerances::default());
+        let bad: Vec<_> = rep.regressions().map(|d| d.metric.clone()).collect();
+        assert_eq!(bad, vec!["inference_latency.p99".to_string()]);
+    }
+
+    #[test]
+    fn latency_improvements_never_fail() {
+        let mut b = snap(0.8, 0.6, &[0.7]);
+        b.inference_latency.p50 = 100;
+        b.memory_latency.p99 = 900;
+        let mut c = b.clone();
+        c.inference_latency.p50 = 10;
+        c.memory_latency.p99 = 100;
+        assert!(!diff_snapshots(&b, &c, &Tolerances::default()).has_regressions());
+    }
+
+    #[test]
+    fn zero_latency_baseline_never_gates() {
+        let b = snap(0.8, 0.6, &[0.7]);
+        let mut c = b.clone();
+        c.inference_latency.p50 = 5_000;
+        c.memory_latency.p99 = 5_000;
+        assert!(!diff_snapshots(&b, &c, &Tolerances::default()).has_regressions());
     }
 
     #[test]

@@ -45,6 +45,7 @@ fn traced_run() -> (SimResult, PrefetchScoreboard, MetricsSnapshot) {
             ring_capacity: 4096,
             window: 512,
             max_windows: 4096,
+            ..TraceConfig::default()
         },
     );
     let cfg = sim_config();

@@ -80,6 +80,9 @@ impl Default for DeltaPredictorConfig {
 }
 
 /// The spatial delta predictor, in any of the five Table 6 variants.
+/// `Clone` duplicates the trained weights, so a serving layer can stamp
+/// out per-stream prefetchers from one trained instance.
+#[derive(Clone)]
 pub struct DeltaPredictor {
     pub variant: Variant,
     pub cfg: DeltaPredictorConfig,
@@ -139,6 +142,20 @@ impl DeltaPredictor {
         cfg: DeltaPredictorConfig,
         tc: &TrainCfg,
     ) -> Self {
+        Self::train_with_events(records, num_phases, variant, cfg, tc, None)
+    }
+
+    /// [`Self::train`] with a live rollback-event channel attached: every
+    /// `TrainGuard` rollback / exhaustion pushes a structured event into
+    /// `sink` at the moment it fires (see [`crate::TrainEventSink`]).
+    pub fn train_with_events(
+        records: &[MemRecord],
+        num_phases: usize,
+        variant: Variant,
+        cfg: DeltaPredictorConfig,
+        tc: &TrainCfg,
+        sink: Option<&crate::TrainEventSink>,
+    ) -> Self {
         let dr = DeltaRange {
             range: cfg.delta_range,
         };
@@ -191,18 +208,22 @@ impl DeltaPredictor {
         // model order, and the final loss combines per-model sums in that
         // order — a deterministic reduction.
         type Job<'a> = (
-            (&'a mut (Backbone, Linear), &'a mut Adam),
+            (usize, &'a mut (Backbone, Linear), &'a mut Adam),
             (&'a mut TrainGuard, &'a Vec<usize>),
         );
         let jobs: Vec<Job<'_>> = models
             .iter_mut()
             .zip(opts.iter_mut())
             .zip(guards.iter_mut().zip(schedules.iter()))
+            .enumerate()
+            .map(|(midx, ((model, opt), rest))| ((midx, model, opt), rest))
             .collect();
         let stats: Vec<(f32, usize, u64)> = jobs
             .into_par_iter()
-            .map(|((model, opt), (guard, schedule))| {
-                Self::train_one_model(records, num_phases, &cfg, tc, model, opt, guard, schedule)
+            .map(|((midx, model, opt), (guard, schedule))| {
+                Self::train_one_model(
+                    records, num_phases, &cfg, tc, model, opt, guard, schedule, midx, sink,
+                )
             })
             .collect();
         let loss_sum: f32 = stats.iter().map(|&(l, _, _)| l).sum();
@@ -238,6 +259,8 @@ impl DeltaPredictor {
         opt: &mut Adam,
         guard: &mut TrainGuard,
         schedule: &[usize],
+        midx: usize,
+        sink: Option<&crate::TrainEventSink>,
     ) -> (f32, usize, u64) {
         let t = tc.history;
         let (backbone, head) = model;
@@ -270,8 +293,30 @@ impl DeltaPredictor {
                     &mut opt.lr,
                 ) {
                     GuardAction::Continue => loss_sum += loss,
-                    GuardAction::RolledBack { .. } => count -= 1,
-                    GuardAction::Exhausted => break 'epochs,
+                    GuardAction::RolledBack { new_lr } => {
+                        count -= 1;
+                        if let Some(sink) = sink {
+                            sink.record(crate::obs::TrainRollbackMetrics {
+                                predictor: "delta".to_string(),
+                                model: midx as u64,
+                                step: steps,
+                                new_lr: new_lr as f64,
+                                exhausted: false,
+                            });
+                        }
+                    }
+                    GuardAction::Exhausted => {
+                        if let Some(sink) = sink {
+                            sink.record(crate::obs::TrainRollbackMetrics {
+                                predictor: "delta".to_string(),
+                                model: midx as u64,
+                                step: steps,
+                                new_lr: 0.0,
+                                exhausted: true,
+                            });
+                        }
+                        break 'epochs;
+                    }
                 }
             }
             last = (loss_sum, count);

@@ -30,7 +30,9 @@ pub mod latency;
 pub mod obs;
 pub mod page_predictor;
 pub mod prefetcher;
+pub mod serve;
 pub mod trace;
+pub mod train_events;
 pub mod variants;
 
 pub use amma::{Amma, AmmaConfig, ModalInput};
@@ -46,13 +48,16 @@ pub use health::{ComponentHealth, ComponentStatus, HealthReport};
 pub use latency::{amma_latency, cycles_to_ns, LatencyBreakdown};
 pub use obs::{
     ControllerMetrics, CstpMetrics, DetectorMetrics, GuardMetrics, HistogramSnapshot, LaneMetrics,
-    LatencyHistogram, MetricsSnapshot, PhaseMetrics, PrefetchScoreboard, TrainMetrics,
+    LatencyHistogram, MetricsSnapshot, PhaseMetrics, PrefetchScoreboard, ServeMetrics,
+    TrainMetrics, TrainRollbackMetrics,
 };
 pub use page_predictor::{PageHead, PagePredictor, PagePredictorConfig};
 pub use prefetcher::{
     build_detector, train_mpgraph, DetectorChoice, MpGraphConfig, MpGraphPrefetcher,
 };
+pub use serve::{Admission, BoundedQueue, Prediction, PrefetchService, ServeConfig};
 pub use trace::{
     chrome_trace_json, FlightRecorder, TraceConfig, WindowMetrics, WindowPhaseMetrics,
 };
+pub use train_events::TrainEventSink;
 pub use variants::Variant;

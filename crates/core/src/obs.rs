@@ -284,6 +284,17 @@ struct TraceState {
     recorder: FlightRecorder,
     window: u64,
     max_windows: usize,
+    /// Adaptive window sizing (see [`TraceConfig::adaptive`]): alarms
+    /// halve `window` toward `min_window`; `calm_windows` consecutive
+    /// alarm-free windows double it toward `max_window`.
+    adaptive: bool,
+    min_window: u64,
+    max_window: u64,
+    calm_windows: u32,
+    /// Consecutive closed windows without an alarm event.
+    calm_streak: u32,
+    /// Whether an alarm event landed inside the currently open window.
+    alarm_in_window: bool,
     /// First access index of the currently open window.
     window_start: u64,
     /// Last access index seen ([`PrefetchObserver::on_record`]).
@@ -362,6 +373,21 @@ fn close_window(ts: &mut TraceState, cells: &[Cell], demand: &[u64], end: u64) {
     ts.pbot_misses = 0;
     ts.prev_cells.copy_from_slice(cells);
     ts.prev_demand.copy_from_slice(demand);
+    if ts.adaptive {
+        // Stretch through steady state: after `calm_windows` consecutive
+        // alarm-free windows, double the window length (the shrink half
+        // lives in `on_trace_event`, where the alarm is first seen).
+        if ts.alarm_in_window {
+            ts.calm_streak = 0;
+        } else {
+            ts.calm_streak += 1;
+            if ts.calm_streak >= ts.calm_windows {
+                ts.window = (ts.window * 2).min(ts.max_window);
+                ts.calm_streak = 0;
+            }
+        }
+        ts.alarm_in_window = false;
+    }
 }
 
 /// Tracks every in-flight prefetch through the simulated cache and
@@ -434,10 +460,21 @@ impl PrefetchScoreboard {
     /// this through [`PrefetchObserver::wants_trace_events`] and starts
     /// feeding the record clock and structured events.
     pub fn attach_trace(&mut self, cfg: TraceConfig) {
+        let min_window = cfg.min_window.max(1);
         self.trace = Some(Box::new(TraceState {
             recorder: FlightRecorder::new(cfg.ring_capacity),
-            window: cfg.window.max(1),
+            window: if cfg.adaptive {
+                cfg.window.clamp(min_window, cfg.max_window.max(min_window))
+            } else {
+                cfg.window.max(1)
+            },
             max_windows: cfg.max_windows,
+            adaptive: cfg.adaptive,
+            min_window,
+            max_window: cfg.max_window.max(min_window),
+            calm_windows: cfg.calm_windows.max(1),
+            calm_streak: 0,
+            alarm_in_window: false,
             window_start: 0,
             now: 0,
             records: 0,
@@ -747,6 +784,13 @@ impl PrefetchObserver for PrefetchScoreboard {
                 ts.pbot_hits += pbot_hits as u64;
                 ts.pbot_misses += pbot_misses as u64;
             }
+            if ts.adaptive && event.is_alarm() {
+                // Zoom in around the incident: halve the window toward
+                // the floor so the surrounding telemetry is fine-grained.
+                ts.alarm_in_window = true;
+                ts.calm_streak = 0;
+                ts.window = (ts.window / 2).max(ts.min_window);
+            }
         }
     }
 }
@@ -890,6 +934,77 @@ pub struct GuardMetrics {
 pub struct TrainMetrics {
     pub steps: u64,
     pub rollbacks: u64,
+    /// Structured rollback events captured by the training-side event
+    /// channel ([`crate::TrainEventSink`]); empty when training ran
+    /// without a sink attached.
+    pub rollback_events: Vec<TrainRollbackMetrics>,
+}
+
+/// One training-time checkpoint rollback, as captured live by the
+/// training event channel (model index, optimizer step, and the halved
+/// learning rate it restarted with).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TrainRollbackMetrics {
+    /// Which predictor emitted the event (`"delta"` / `"page"`).
+    pub predictor: String,
+    /// Phase-model index within the predictor.
+    pub model: u64,
+    /// Optimizer step count at which the rollback fired.
+    pub step: u64,
+    /// Learning rate after the rollback halved it (0 when the guard
+    /// exhausted its budget and training stopped instead).
+    pub new_lr: f64,
+    /// Whether this was the final, budget-exhausting event.
+    pub exhausted: bool,
+}
+
+/// Multi-stream serving-layer counters (`core::serve`): admission /
+/// shedding decisions, per-stream quarantines, batch deadline behavior
+/// and end-to-end prediction latency.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ServeMetrics {
+    /// Streams ever registered or auto-created.
+    pub streams: u64,
+    /// Accesses ingested (every one is admitted somewhere; the access
+    /// path never blocks).
+    pub ingested: u64,
+    /// Accesses served by full ML inference off the batch queue.
+    pub ml_processed: u64,
+    /// Accesses served by the cheap Best-Offset fallback (shed, degraded,
+    /// quarantined, or deadline-deferred).
+    pub fallback_processed: u64,
+    /// Speculative ML work shed at admission (overload level >= 1).
+    pub shed_speculative: u64,
+    /// Accesses diverted to the fallback because their shard queue was
+    /// full at admission.
+    pub shed_queue_full: u64,
+    /// Accesses processed while their stream was degraded or quarantined.
+    pub degraded_accesses: u64,
+    /// Inference batches pumped.
+    pub batches: u64,
+    /// Batches that hit their deadline and deferred the remainder.
+    pub batch_timeouts: u64,
+    /// Items deferred to the fallback by batch timeouts.
+    pub timeout_deferred: u64,
+    /// Per-stream guard trips (quarantine entries).
+    pub quarantines: u64,
+    /// Streams returned to the ML path after hysteretic recovery.
+    pub stream_recoveries: u64,
+    /// Overload-ladder escalations (level went up).
+    pub escalations: u64,
+    /// Overload-ladder de-escalations (level came back down).
+    pub deescalations: u64,
+    /// Overload level at snapshot time (0 = normal).
+    pub overload_level: u64,
+    /// Streams currently degraded or quarantined at snapshot time.
+    pub degraded_streams: u64,
+    /// High-water mark of total queued items across all shards.
+    pub max_queue_depth: u64,
+    /// (shed_speculative + shed_queue_full + timeout_deferred) / ingested.
+    pub shed_fraction: f64,
+    /// End-to-end prediction latency in service cycles (enqueue → result),
+    /// across both the ML and fallback paths.
+    pub prediction_latency: HistogramSnapshot,
 }
 
 /// The pipeline-wide metrics record the bench runners and the CLI
@@ -918,6 +1033,9 @@ pub struct MetricsSnapshot {
     pub controller: ControllerMetrics,
     pub guard: GuardMetrics,
     pub training: TrainMetrics,
+    /// Multi-stream serving-layer counters; all-default when the run did
+    /// not go through `core::serve`.
+    pub serve: ServeMetrics,
     pub inference_latency: HistogramSnapshot,
     /// Host wall-clock nanoseconds per prefetcher invocation — nonzero
     /// even for models whose simulated latency rounds to 0 cycles.
@@ -1252,6 +1370,7 @@ mod tests {
                 ring_capacity: 256,
                 window: 10,
                 max_windows: 8,
+                ..TraceConfig::default()
             },
         );
         assert!(sb.tracing());
@@ -1320,6 +1439,7 @@ mod tests {
                 ring_capacity: 32,
                 window: 4,
                 max_windows: 3,
+                ..TraceConfig::default()
             },
         );
         // Prime past ring capacity and the window cap.
@@ -1343,6 +1463,102 @@ mod tests {
         assert!(over1 > over0);
         assert_eq!(wlen1, 3, "window list grew past max_windows");
         assert!(dropped > 0, "overflow windows were not counted");
+    }
+
+    #[test]
+    fn adaptive_windows_shrink_on_alarms_and_stretch_when_calm() {
+        let mut sb = PrefetchScoreboard::with_trace(
+            1,
+            64,
+            TraceConfig {
+                ring_capacity: 256,
+                window: 16,
+                max_windows: 64,
+                adaptive: true,
+                min_window: 4,
+                max_window: 32,
+                calm_windows: 2,
+            },
+        );
+        // An alarm early in the first window halves 16 → 8 immediately,
+        // so the window containing the incident closes early.
+        sb.on_record(0);
+        sb.on_trace_event(0, TraceEvent::GuardTrip);
+        sb.on_record(8);
+        // A second alarm halves 8 → 4 (the floor).
+        sb.on_trace_event(8, TraceEvent::OverloadShed { level: 1 });
+        sb.on_trace_event(9, TraceEvent::StreamQuarantine { stream: 1 });
+        // Then a calm spell: 2 consecutive alarm-free windows double the
+        // length each time they complete: 4 → 8 → … capped at 32.
+        for i in 9..120u64 {
+            sb.on_record(i);
+        }
+        let windows = sb.windows();
+        let lens: Vec<u64> = windows.iter().map(|w| w.end - w.start).collect();
+        assert_eq!(lens[0], 8, "first window closed early after the alarm");
+        assert_eq!(lens[1], 4, "second alarm pinned the window at the floor");
+        assert!(
+            lens[2..lens.len() - 1].windows(2).all(|p| p[1] >= p[0]),
+            "calm windows must only stretch: {lens:?}"
+        );
+        assert!(
+            lens[2..].iter().any(|&l| l > 4),
+            "calm spell never stretched the window: {lens:?}"
+        );
+        assert!(
+            lens.iter().all(|&l| l <= 32),
+            "window exceeded max_window: {lens:?}"
+        );
+        // Non-adaptive runs are untouched: fixed window length throughout.
+        let mut fixed = PrefetchScoreboard::with_trace(
+            1,
+            64,
+            TraceConfig {
+                ring_capacity: 256,
+                window: 16,
+                max_windows: 64,
+                ..TraceConfig::default()
+            },
+        );
+        fixed.on_record(0);
+        fixed.on_trace_event(0, TraceEvent::GuardTrip);
+        for i in 1..64u64 {
+            fixed.on_record(i);
+        }
+        assert!(fixed
+            .windows()
+            .iter()
+            .all(|w| w.end - w.start == 16 || w.end == 64));
+    }
+
+    #[test]
+    fn serve_metrics_round_trip_through_serde() {
+        let snap = MetricsSnapshot {
+            serve: ServeMetrics {
+                streams: 8,
+                ingested: 1000,
+                ml_processed: 700,
+                fallback_processed: 300,
+                shed_speculative: 200,
+                shed_queue_full: 50,
+                timeout_deferred: 10,
+                quarantines: 2,
+                stream_recoveries: 1,
+                escalations: 3,
+                deescalations: 2,
+                overload_level: 1,
+                shed_fraction: 0.26,
+                ..ServeMetrics::default()
+            },
+            ..MetricsSnapshot::default()
+        };
+        let js = serde_json::to_string(&snap).expect("serialize");
+        assert!(js.contains("\"shed_fraction\""));
+        let back: MetricsSnapshot = serde_json::from_str(&js).expect("deserialize");
+        assert_eq!(back.serve.ingested, 1000);
+        assert_eq!(back.serve.quarantines, 2);
+        assert_eq!(back.serve.overload_level, 1);
+        assert!((back.serve.shed_fraction - 0.26).abs() < 1e-12);
     }
 
     #[test]

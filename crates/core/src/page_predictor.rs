@@ -56,6 +56,7 @@ impl Default for PagePredictorConfig {
     }
 }
 
+#[derive(Clone)]
 pub(crate) struct PageModel {
     pub(crate) embed: Embedding,
     pub(crate) backbone: Backbone,
@@ -69,6 +70,9 @@ pub(crate) struct PageModel {
 }
 
 /// The temporal page predictor, in any of the five Table 7 variants.
+/// `Clone` duplicates the trained weights and vocabulary, so a serving
+/// layer can stamp out per-stream prefetchers from one trained instance.
+#[derive(Clone)]
 pub struct PagePredictor {
     pub variant: Variant,
     pub cfg: PagePredictorConfig,
@@ -135,6 +139,20 @@ impl PagePredictor {
         variant: Variant,
         cfg: PagePredictorConfig,
         tc: &TrainCfg,
+    ) -> Self {
+        Self::train_with_events(records, num_phases, variant, cfg, tc, None)
+    }
+
+    /// [`Self::train`] with a live rollback-event channel attached: every
+    /// `TrainGuard` rollback / exhaustion pushes a structured event into
+    /// `sink` at the moment it fires (see [`crate::TrainEventSink`]).
+    pub fn train_with_events(
+        records: &[MemRecord],
+        num_phases: usize,
+        variant: Variant,
+        cfg: PagePredictorConfig,
+        tc: &TrainCfg,
+        sink: Option<&crate::TrainEventSink>,
     ) -> Self {
         let vocab = PageVocab::build(records, cfg.page_vocab);
         let bits = (usize::BITS - (cfg.page_vocab - 1).leading_zeros()) as usize;
@@ -226,18 +244,22 @@ impl PagePredictor {
         // Per-model training fanned out over threads (see
         // [`DeltaPredictor::train`] for the determinism argument).
         type Job<'a> = (
-            (&'a mut PageModel, &'a mut Adam),
+            (usize, &'a mut PageModel, &'a mut Adam),
             (&'a mut TrainGuard, &'a Vec<(usize, usize)>),
         );
         let jobs: Vec<Job<'_>> = models
             .iter_mut()
             .zip(opts.iter_mut())
             .zip(guards.iter_mut().zip(schedules.iter()))
+            .enumerate()
+            .map(|(midx, ((m, opt), rest))| ((midx, m, opt), rest))
             .collect();
         let stats: Vec<(f32, usize, u64)> = jobs
             .into_par_iter()
-            .map(|((m, opt), (guard, schedule))| {
-                Self::train_one_model(&seqs, num_phases, bits, tc, m, opt, guard, schedule)
+            .map(|((midx, m, opt), (guard, schedule))| {
+                Self::train_one_model(
+                    &seqs, num_phases, bits, tc, m, opt, guard, schedule, midx, sink,
+                )
             })
             .collect();
         let loss_sum: f32 = stats.iter().map(|&(l, _, _)| l).sum();
@@ -275,6 +297,8 @@ impl PagePredictor {
         opt: &mut Adam,
         guard: &mut TrainGuard,
         schedule: &[(usize, usize)],
+        midx: usize,
+        sink: Option<&crate::TrainEventSink>,
     ) -> (f32, usize, u64) {
         let t = tc.history;
         let mut last = (0.0f32, 0usize);
@@ -339,8 +363,30 @@ impl PagePredictor {
                     &mut opt.lr,
                 ) {
                     GuardAction::Continue => loss_sum += loss,
-                    GuardAction::RolledBack { .. } => count -= 1,
-                    GuardAction::Exhausted => break 'epochs,
+                    GuardAction::RolledBack { new_lr } => {
+                        count -= 1;
+                        if let Some(sink) = sink {
+                            sink.record(crate::obs::TrainRollbackMetrics {
+                                predictor: "page".to_string(),
+                                model: midx as u64,
+                                step: steps,
+                                new_lr: new_lr as f64,
+                                exhausted: false,
+                            });
+                        }
+                    }
+                    GuardAction::Exhausted => {
+                        if let Some(sink) = sink {
+                            sink.record(crate::obs::TrainRollbackMetrics {
+                                predictor: "page".to_string(),
+                                model: midx as u64,
+                                step: steps,
+                                new_lr: 0.0,
+                                exhausted: true,
+                            });
+                        }
+                        break 'epochs;
+                    }
                 }
             }
             last = (loss_sum, count);

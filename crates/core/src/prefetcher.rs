@@ -155,6 +155,11 @@ pub struct MpGraphPrefetcher {
     /// Whether the first traced access already reported the train-time
     /// rollback summary (training predates the replay clock).
     trace_started: bool,
+    /// Structured rollback events drained from the training-side event
+    /// channel ([`crate::TrainEventSink`]) at the end of `train_mpgraph`,
+    /// in deterministic (predictor, model, step) order. Empty when the
+    /// prefetcher was assembled via [`MpGraphPrefetcher::from_parts`].
+    pub train_rollback_events: Vec<crate::obs::TrainRollbackMetrics>,
 }
 
 /// Trains the full MPGraph stack on the training records (the first
@@ -165,10 +170,26 @@ pub fn train_mpgraph(
     cfg: MpGraphConfig,
     tc: &TrainCfg,
 ) -> MpGraphPrefetcher {
-    let delta = DeltaPredictor::train(records, num_phases, cfg.variant, cfg.delta, tc);
-    let page = PagePredictor::train(records, num_phases, cfg.variant, cfg.page, tc);
+    let sink = crate::TrainEventSink::new();
+    let delta = DeltaPredictor::train_with_events(
+        records,
+        num_phases,
+        cfg.variant,
+        cfg.delta,
+        tc,
+        Some(&sink),
+    );
+    let page = PagePredictor::train_with_events(
+        records,
+        num_phases,
+        cfg.variant,
+        cfg.page,
+        tc,
+        Some(&sink),
+    );
     let detector = build_detector(records, num_phases, cfg.detector);
     MpGraphPrefetcher {
+        train_rollback_events: sink.drain(),
         controller: Controller::new(num_phases, cfg.probe_window),
         pbot: Pbot::new(cfg.pbot_capacity),
         block_hist: History::new(tc.history),
@@ -245,6 +266,7 @@ impl MpGraphPrefetcher {
             trace_on: false,
             trace_events: Vec::new(),
             trace_started: false,
+            train_rollback_events: Vec::new(),
             cfg,
         }
     }
@@ -285,6 +307,7 @@ impl MpGraphPrefetcher {
         snap.training = crate::obs::TrainMetrics {
             steps: self.delta.train_steps + self.page.train_steps,
             rollbacks: self.delta.train_rollbacks + self.page.train_rollbacks,
+            rollback_events: self.train_rollback_events.clone(),
         };
     }
 }

@@ -1,0 +1,1139 @@
+//! Multi-stream prefetch service: a long-lived front-end that multiplexes
+//! many concurrent access streams through the prefetcher stack, engineered
+//! for overload rather than peak throughput.
+//!
+//! The paper evaluates one prefetcher against one replayed trace. A
+//! deployment sits behind *many* concurrent graph-analytics jobs, each an
+//! independent access stream, and the interesting failures are systemic:
+//! one stream's faulting inference path must not take its siblings down,
+//! and sustained overload must degrade prediction quality — never block
+//! the access path. This module provides that serving layer:
+//!
+//! * **Per-stream isolation** — every stream owns its prefetcher and a
+//!   private Best-Offset fallback. A stream whose inference path trips its
+//!   deadline guard is *quarantined*: it degrades to the fallback alone,
+//!   with hysteretic recovery mirroring [`crate::DegradationGuard`], while
+//!   sibling streams keep full ML service.
+//! * **Bounded queues + backpressure** — admission enqueues into
+//!   fixed-capacity per-shard queues ([`BoundedQueue`]). A full queue
+//!   sheds that access to the inline fallback and reports backpressure to
+//!   the caller; nothing ever blocks and nothing ever grows.
+//! * **Graceful overload degradation** — a ladder controller watches queue
+//!   fill between batches. Sustained pressure first sheds speculative ML
+//!   work (level 1: new accesses take the inline fallback), then pins
+//!   whole streams degraded (level 2). Recovery needs a hysteresis run of
+//!   calm batches, so the ladder cannot flap.
+//! * **Batched inference with a deadline** — the pump drains queued work
+//!   round-robin across shards into one inference batch per call; when a
+//!   batch exceeds its cycle deadline the remainder is deferred to the
+//!   fallback ([`TraceEvent::BatchTimeout`]) instead of stalling.
+//!
+//! Every shed, quarantine, timeout, and recovery decision emits a
+//! [`TraceEvent`] into the attached [`PrefetchScoreboard`] (flight
+//! recorder, adaptive windows, Perfetto export) and a counter in
+//! [`ServeMetrics`]. The service is fully deterministic: its clock is a
+//! simulated cycle count advanced by ingest/processing costs, never wall
+//! time.
+
+use crate::error::MpGraphError;
+use crate::obs::{MetricsSnapshot, PrefetchScoreboard, ServeMetrics};
+use crate::LatencyHistogram;
+use mpgraph_prefetchers::{BestOffset, BoConfig};
+use mpgraph_sim::{LlcAccess, Prefetcher, TraceEvent};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// Service configuration. [`ServeConfig::default`] is sized for the
+/// simulator-scale workloads the bench drives (tens of streams, quick
+/// traces); [`ServeConfig::try_new`] validates hand-built configurations.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Independent queue shards; streams hash onto shards by id.
+    pub num_shards: usize,
+    /// Per-shard queue capacity. Admission beyond this sheds to the
+    /// fallback — the queue never grows and never blocks.
+    pub queue_capacity: usize,
+    /// Max items drained into one inference batch per [`PrefetchService::pump`].
+    pub batch_size: usize,
+    /// Cycle budget per batch; the remainder of a batch that exceeds it is
+    /// deferred to the fallback.
+    pub batch_deadline: u64,
+    /// Service cycles charged per ML-path item (queueing + model call).
+    pub ml_item_cost: u64,
+    /// Service cycles charged per fallback-path item.
+    pub fallback_item_cost: u64,
+    /// Queue-fill fraction at/above which a pump counts as *hot*.
+    pub high_watermark: f64,
+    /// Queue-fill fraction at/below which a pump counts as *cool*.
+    pub low_watermark: f64,
+    /// Consecutive hot pumps before the overload ladder escalates.
+    pub escalate_pumps: u32,
+    /// Consecutive cool pumps before the ladder de-escalates (hysteresis).
+    pub hysteresis_pumps: u32,
+    /// Per-stream deadline-miss window (ML inferences observed).
+    pub stream_miss_window: usize,
+    /// Miss fraction over a full window that quarantines the stream.
+    pub stream_trip_fraction: f64,
+    /// Fallback accesses a degraded stream serves before recovery is
+    /// considered (cooldown, mirroring [`crate::GuardConfig`]).
+    pub stream_cooldown: u64,
+    /// Consecutive stall-free accesses required on top of the cooldown.
+    pub stream_recover_clean: u32,
+    /// Per-item inference deadline in cycles; `effective_latency` beyond
+    /// this counts as a miss in the stream's trip window.
+    pub deadline_cycles: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            num_shards: 4,
+            queue_capacity: 64,
+            batch_size: 16,
+            batch_deadline: 2048,
+            ml_item_cost: 64,
+            fallback_item_cost: 4,
+            high_watermark: 0.75,
+            low_watermark: 0.25,
+            escalate_pumps: 2,
+            hysteresis_pumps: 8,
+            stream_miss_window: 32,
+            stream_trip_fraction: 0.5,
+            stream_cooldown: 256,
+            stream_recover_clean: 16,
+            deadline_cycles: 500,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Validates the configuration, returning it unchanged when sound.
+    pub fn try_new(self) -> Result<Self, MpGraphError> {
+        if self.num_shards == 0 {
+            return Err(MpGraphError::config("serve", "num_shards must be > 0"));
+        }
+        if self.queue_capacity == 0 {
+            return Err(MpGraphError::config("serve", "queue_capacity must be > 0"));
+        }
+        if self.batch_size == 0 {
+            return Err(MpGraphError::config("serve", "batch_size must be > 0"));
+        }
+        if self.ml_item_cost == 0 {
+            return Err(MpGraphError::config("serve", "ml_item_cost must be > 0"));
+        }
+        if !(0.0..=1.0).contains(&self.low_watermark)
+            || !(0.0..=1.0).contains(&self.high_watermark)
+            || self.low_watermark >= self.high_watermark
+        {
+            return Err(MpGraphError::config(
+                "serve",
+                format!(
+                    "watermarks must satisfy 0 <= low < high <= 1, got low={} high={}",
+                    self.low_watermark, self.high_watermark
+                ),
+            ));
+        }
+        if self.escalate_pumps == 0 || self.hysteresis_pumps == 0 {
+            return Err(MpGraphError::config(
+                "serve",
+                "escalate_pumps and hysteresis_pumps must be > 0",
+            ));
+        }
+        if self.stream_miss_window == 0 {
+            return Err(MpGraphError::config(
+                "serve",
+                "stream_miss_window must be > 0",
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.stream_trip_fraction) {
+            return Err(MpGraphError::config(
+                "serve",
+                format!(
+                    "stream_trip_fraction must be in [0, 1], got {}",
+                    self.stream_trip_fraction
+                ),
+            ));
+        }
+        Ok(self)
+    }
+}
+
+/// Fixed-capacity FIFO. `push` reports refusal instead of growing or
+/// blocking — the backpressure signal the admission controller consumes.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        BoundedQueue {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Enqueues `item`, or hands it back when the queue is at capacity.
+    pub fn push(&mut self, item: T) -> Result<(), T> {
+        if self.items.len() >= self.capacity {
+            return Err(item);
+        }
+        self.items.push_back(item);
+        Ok(())
+    }
+
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+/// What happened to an ingested access at admission. The access path never
+/// blocks: every variant other than `Queued` means the prediction was
+/// produced inline by the cheap fallback and is already waiting in the
+/// service's ready buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Enqueued for batched ML inference.
+    Queued,
+    /// Overload ladder >= 1: speculative ML work shed, fallback served.
+    Shed,
+    /// Shard queue full: fallback served, backpressure to the caller.
+    QueueFull,
+    /// Stream degraded/quarantined (or fallback-only): fallback served.
+    Degraded,
+}
+
+/// One completed prediction.
+#[derive(Debug, Clone)]
+pub struct Prediction {
+    pub stream: u32,
+    /// Candidate block addresses, in the prefetcher's emission order.
+    pub candidates: Vec<u64>,
+    /// End-to-end service latency in cycles (admission -> completion).
+    pub latency: u64,
+    /// Whether the cheap fallback produced this batch.
+    pub via_fallback: bool,
+    /// Phase model selected at prediction time (fallback reports 0).
+    pub phase: u8,
+}
+
+/// Why a stream is currently off the ML path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StreamState {
+    Healthy,
+    /// Pinned degraded by the overload ladder (level 2).
+    Degraded,
+    /// Tripped its own deadline guard; isolated from siblings.
+    Quarantined,
+}
+
+struct StreamSlot {
+    id: u32,
+    /// Full ML prefetcher; `None` for auto-created fallback-only streams.
+    ml: Option<Box<dyn Prefetcher + Send>>,
+    fallback: BestOffset,
+    state: StreamState,
+    /// Sliding deadline-miss window over recent ML inferences.
+    misses: VecDeque<bool>,
+    /// Fallback accesses served since this stream left the ML path.
+    cooled: u64,
+    /// Consecutive stall-free accesses since the last faulty one.
+    clean_streak: u32,
+}
+
+impl StreamSlot {
+    fn new(id: u32, ml: Option<Box<dyn Prefetcher + Send>>) -> Self {
+        StreamSlot {
+            id,
+            ml,
+            fallback: BestOffset::new(BoConfig::default()),
+            state: StreamState::Healthy,
+            misses: VecDeque::new(),
+            cooled: 0,
+            clean_streak: 0,
+        }
+    }
+
+    fn off_ml_path(&self) -> bool {
+        self.ml.is_none() || self.state != StreamState::Healthy
+    }
+}
+
+struct QueueItem {
+    slot: usize,
+    access: LlcAccess,
+    stall: u64,
+    enqueued_at: u64,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    streams: u64,
+    ingested: u64,
+    ml_processed: u64,
+    fallback_processed: u64,
+    shed_speculative: u64,
+    shed_queue_full: u64,
+    degraded_accesses: u64,
+    batches: u64,
+    batch_timeouts: u64,
+    timeout_deferred: u64,
+    quarantines: u64,
+    stream_recoveries: u64,
+    escalations: u64,
+    deescalations: u64,
+    max_queue_depth: u64,
+}
+
+/// The in-process prefetch service. See the module docs for the design;
+/// the driving loop is `ingest` (per access, never blocks) interleaved
+/// with `pump` (one inference batch per call).
+pub struct PrefetchService {
+    cfg: ServeConfig,
+    shards: Vec<BoundedQueue<QueueItem>>,
+    slots: Vec<StreamSlot>,
+    index: HashMap<u32, usize>,
+    /// Deterministic service clock in cycles; advanced by admission and
+    /// per-item processing costs, never by wall time.
+    clock: u64,
+    /// Overload-ladder level: 0 normal, 1 shed speculative, 2 degrade
+    /// streams.
+    level: u8,
+    hot_streak: u32,
+    cool_streak: u32,
+    /// Queue-full admission seen since the last pump (pressure signal the
+    /// fill fraction alone can miss between pumps).
+    queue_full_since_pump: bool,
+    counters: Counters,
+    prediction_latency: LatencyHistogram,
+    /// Fallback predictions produced inline at admission, drained by the
+    /// next `pump`.
+    ready: Vec<Prediction>,
+    /// Metrics/trace backend; events and the record clock feed its flight
+    /// recorder and (adaptive) windows.
+    scoreboard: Option<PrefetchScoreboard>,
+    /// Scratch candidate buffer (reused; the per-access path allocates
+    /// only when a prediction is emitted).
+    scratch: Vec<u64>,
+}
+
+impl PrefetchService {
+    pub fn new(cfg: ServeConfig) -> Self {
+        PrefetchService {
+            shards: (0..cfg.num_shards.max(1))
+                .map(|_| BoundedQueue::new(cfg.queue_capacity))
+                .collect(),
+            slots: Vec::new(),
+            index: HashMap::new(),
+            clock: 0,
+            level: 0,
+            hot_streak: 0,
+            cool_streak: 0,
+            queue_full_since_pump: false,
+            counters: Counters::default(),
+            prediction_latency: LatencyHistogram::new(),
+            ready: Vec::new(),
+            scoreboard: None,
+            scratch: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// [`PrefetchService::new`] with a metrics/trace backend attached.
+    /// Service events then land in the scoreboard's flight recorder, and
+    /// with [`crate::TraceConfig::adaptive`] the shed/quarantine alarms
+    /// shrink its telemetry windows around the incident.
+    pub fn with_scoreboard(cfg: ServeConfig, scoreboard: PrefetchScoreboard) -> Self {
+        let mut s = Self::new(cfg);
+        s.scoreboard = Some(scoreboard);
+        s
+    }
+
+    /// Registers stream `id` with its own full prefetcher. Re-registering
+    /// an id replaces the prefetcher and resets the stream's state.
+    pub fn register_stream(&mut self, id: u32, mut prefetcher: Box<dyn Prefetcher + Send>) {
+        let tracing = self
+            .scoreboard
+            .as_ref()
+            .is_some_and(PrefetchScoreboard::tracing);
+        // Mirror the engine: prefetchers buffer structured events only
+        // when a trace sink wants them.
+        prefetcher.enable_trace_events(tracing);
+        match self.index.get(&id) {
+            Some(&i) => self.slots[i] = StreamSlot::new(id, Some(prefetcher)),
+            None => {
+                self.index.insert(id, self.slots.len());
+                self.slots.push(StreamSlot::new(id, Some(prefetcher)));
+                self.counters.streams += 1;
+            }
+        }
+    }
+
+    fn slot_for(&mut self, id: u32) -> usize {
+        match self.index.get(&id) {
+            Some(&i) => i,
+            None => {
+                // Unknown stream: serve it, but fallback-only. Creating a
+                // slot keeps its counters attributable.
+                let i = self.slots.len();
+                self.index.insert(id, i);
+                self.slots.push(StreamSlot::new(id, None));
+                self.counters.streams += 1;
+                i
+            }
+        }
+    }
+
+    /// Timestamp for trace events: the current record index, matching the
+    /// engine's convention of stamping events at the triggering access.
+    fn trace_now(&self) -> u64 {
+        self.counters.ingested.saturating_sub(1)
+    }
+
+    fn emit(&mut self, event: TraceEvent) {
+        let now = self.trace_now();
+        if let Some(sb) = self.scoreboard.as_mut() {
+            use mpgraph_sim::PrefetchObserver;
+            sb.on_trace_event(now, event);
+        }
+    }
+
+    /// Runs `access` through `slot`'s fallback and buffers the prediction.
+    fn serve_fallback(&mut self, slot: usize, access: &LlcAccess, stall: u64) {
+        self.clock += self.cfg.fallback_item_cost;
+        self.scratch.clear();
+        let s = &mut self.slots[slot];
+        s.fallback.on_access(access, &mut self.scratch);
+        let was_off = s.off_ml_path();
+        if was_off && s.ml.is_some() {
+            self.counters.degraded_accesses += 1;
+        }
+        self.counters.fallback_processed += 1;
+        let latency = self.cfg.fallback_item_cost;
+        self.prediction_latency.record(latency);
+        self.ready.push(Prediction {
+            stream: s.id,
+            candidates: self.scratch.clone(),
+            latency,
+            via_fallback: true,
+            phase: 0,
+        });
+        self.note_recovery_progress(slot, stall);
+    }
+
+    /// Hysteretic recovery bookkeeping for a stream off the ML path: a
+    /// cooldown's worth of fallback service plus a clean (stall-free) run,
+    /// and — for overload-pinned streams — a calm ladder.
+    fn note_recovery_progress(&mut self, slot: usize, stall: u64) {
+        let s = &mut self.slots[slot];
+        if s.ml.is_none() || s.state == StreamState::Healthy {
+            return;
+        }
+        s.cooled += 1;
+        if stall == 0 {
+            s.clean_streak += 1;
+        } else {
+            s.clean_streak = 0;
+        }
+        let ladder_ok = s.state != StreamState::Degraded || self.level == 0;
+        if s.cooled >= self.cfg.stream_cooldown
+            && s.clean_streak >= self.cfg.stream_recover_clean
+            && ladder_ok
+        {
+            s.state = StreamState::Healthy;
+            s.misses.clear();
+            s.cooled = 0;
+            s.clean_streak = 0;
+            let id = s.id;
+            self.counters.stream_recoveries += 1;
+            self.emit(TraceEvent::StreamRecover { stream: id });
+        }
+    }
+
+    /// Admits one access. Never blocks: the result is either `Queued` (ML
+    /// batch will serve it) or an inline fallback prediction, already in
+    /// the ready buffer. `stall` is the extra inference latency this
+    /// access would suffer (the fault-injection harness's signal), paid
+    /// only on the ML path.
+    pub fn ingest(&mut self, stream: u32, access: &LlcAccess, stall: u64) -> Admission {
+        self.clock += 1;
+        self.counters.ingested += 1;
+        if let Some(sb) = self.scoreboard.as_mut() {
+            use mpgraph_sim::PrefetchObserver;
+            sb.on_record(self.counters.ingested - 1);
+        }
+        let slot = self.slot_for(stream);
+
+        if self.slots[slot].off_ml_path() {
+            self.serve_fallback(slot, access, stall);
+            return Admission::Degraded;
+        }
+        if self.level >= 1 {
+            // Shed speculative ML work first — cheapest rung of the ladder.
+            self.counters.shed_speculative += 1;
+            if self.level >= 2 && self.slots[slot].state == StreamState::Healthy {
+                // Level 2: pin the stream degraded (sticky until the
+                // ladder calms *and* the stream passes its cooldown).
+                self.slots[slot].state = StreamState::Degraded;
+                self.slots[slot].cooled = 0;
+                self.slots[slot].clean_streak = 0;
+            }
+            self.serve_fallback(slot, access, stall);
+            return Admission::Shed;
+        }
+
+        let shard = slot % self.shards.len();
+        let item = QueueItem {
+            slot,
+            access: *access,
+            stall,
+            enqueued_at: self.clock,
+        };
+        match self.shards[shard].push(item) {
+            Ok(()) => {
+                let depth: usize = self.shards.iter().map(BoundedQueue::len).sum();
+                self.counters.max_queue_depth = self.counters.max_queue_depth.max(depth as u64);
+                Admission::Queued
+            }
+            Err(item) => {
+                self.counters.shed_queue_full += 1;
+                self.queue_full_since_pump = true;
+                self.serve_fallback(slot, &item.access, item.stall);
+                Admission::QueueFull
+            }
+        }
+    }
+
+    /// Processes one queued item on the full ML path.
+    fn serve_ml(&mut self, item: QueueItem) {
+        self.clock += self.cfg.ml_item_cost + item.stall;
+        self.scratch.clear();
+        let s = &mut self.slots[item.slot];
+        let (lat, phase) = match s.ml.as_mut() {
+            Some(ml) => {
+                // Engine order: on_access, then effective_latency, then
+                // drain the pending trace events (DESIGN.md §13) — the
+                // single-stream service replay stays bit-identical to the
+                // direct path.
+                ml.on_access(&item.access, &mut self.scratch);
+                let lat = ml.effective_latency(item.stall);
+                (lat, ml.current_phase_id())
+            }
+            // Unreachable by construction (only healthy ML streams are
+            // queued), but degrade gracefully rather than panic.
+            None => {
+                s.fallback.on_access(&item.access, &mut self.scratch);
+                (0, 0)
+            }
+        };
+        let candidates = self.scratch.clone();
+        let events: Vec<TraceEvent> = match self.slots[item.slot].ml.as_ref() {
+            Some(ml) => ml.pending_trace_events().to_vec(),
+            None => Vec::new(),
+        };
+        for e in events {
+            self.emit(e);
+        }
+        if let Some(sb) = self.scoreboard.as_mut() {
+            use mpgraph_sim::PrefetchObserver;
+            sb.on_inference_latency(lat);
+        }
+        self.counters.ml_processed += 1;
+        let latency = self.clock - item.enqueued_at;
+        self.prediction_latency.record(latency);
+        let id = self.slots[item.slot].id;
+        self.ready.push(Prediction {
+            stream: id,
+            candidates,
+            latency,
+            via_fallback: false,
+            phase,
+        });
+
+        // Per-stream deadline guard: a window of slow inferences
+        // quarantines *this* stream only.
+        self.note_deadline_observation(item.slot, lat > self.cfg.deadline_cycles);
+    }
+
+    /// Feeds one deadline observation into a stream's sliding miss window
+    /// and trips its quarantine when the miss fraction crosses the
+    /// threshold. Observations come from two places: ML inferences the
+    /// batch actually ran, and deferred items whose *own* stall already
+    /// exceeded the per-item deadline (without the latter, a faulty
+    /// stream whose every stalled item busts the batch deadline would be
+    /// deferred to fallback forever and never accumulate evidence against
+    /// itself). Already-quarantined streams are left alone.
+    fn note_deadline_observation(&mut self, slot: usize, missed: bool) {
+        let tripped = {
+            let s = &mut self.slots[slot];
+            if s.state == StreamState::Quarantined {
+                return;
+            }
+            s.misses.push_back(missed);
+            while s.misses.len() > self.cfg.stream_miss_window {
+                s.misses.pop_front();
+            }
+            if s.misses.len() == self.cfg.stream_miss_window {
+                let miss_count = s.misses.iter().filter(|&&m| m).count();
+                let frac = miss_count as f64 / s.misses.len() as f64;
+                frac >= self.cfg.stream_trip_fraction
+            } else {
+                false
+            }
+        };
+        if tripped {
+            let id = {
+                let s = &mut self.slots[slot];
+                s.state = StreamState::Quarantined;
+                s.misses.clear();
+                s.cooled = 0;
+                s.clean_streak = 0;
+                s.id
+            };
+            self.counters.quarantines += 1;
+            self.emit(TraceEvent::StreamQuarantine { stream: id });
+        }
+    }
+
+    /// Drains up to one batch of queued work through ML inference and
+    /// appends every completed prediction (inline fallbacks included) to
+    /// `out`. Returns the number of predictions appended.
+    pub fn pump(&mut self, out: &mut Vec<Prediction>) -> usize {
+        // Collect the batch round-robin across shards so one hot stream
+        // cannot starve its siblings of batch slots.
+        let mut batch: Vec<QueueItem> = Vec::with_capacity(self.cfg.batch_size);
+        'fill: loop {
+            let mut drained_any = false;
+            for shard in self.shards.iter_mut() {
+                if batch.len() >= self.cfg.batch_size {
+                    break 'fill;
+                }
+                if let Some(item) = shard.pop() {
+                    batch.push(item);
+                    drained_any = true;
+                }
+            }
+            if !drained_any {
+                break;
+            }
+        }
+
+        if !batch.is_empty() {
+            self.counters.batches += 1;
+            // Per-batch deadline: spend the cycle budget on ML items in
+            // order; once it is exhausted the rest of the batch times out
+            // to the fallback rather than stalling the service.
+            let mut spent = 0u64;
+            let mut deferred: Vec<QueueItem> = Vec::new();
+            let mut it = batch.into_iter();
+            for item in it.by_ref() {
+                let cost = self.cfg.ml_item_cost + item.stall;
+                if spent + cost > self.cfg.batch_deadline && spent > 0 {
+                    deferred.push(item);
+                    break;
+                }
+                spent += cost;
+                self.serve_ml(item);
+            }
+            deferred.extend(it);
+            if !deferred.is_empty() {
+                self.counters.batch_timeouts += 1;
+                self.counters.timeout_deferred += deferred.len() as u64;
+                self.emit(TraceEvent::BatchTimeout {
+                    deferred: deferred.len().min(u16::MAX as usize) as u16,
+                });
+                for item in deferred {
+                    // A deferral caused by the item's own stall is this
+                    // stream's deadline miss; a clean item squeezed out by
+                    // a slow sibling records nothing against its stream.
+                    if item.stall > self.cfg.deadline_cycles {
+                        self.note_deadline_observation(item.slot, true);
+                    }
+                    self.serve_fallback(item.slot, &item.access, item.stall);
+                }
+            }
+        }
+
+        self.run_ladder();
+        let produced = self.ready.len();
+        out.append(&mut self.ready);
+        produced
+    }
+
+    /// Overload-ladder controller, evaluated once per pump.
+    fn run_ladder(&mut self) {
+        let queued: usize = self.shards.iter().map(BoundedQueue::len).sum();
+        let capacity: usize = self.shards.iter().map(BoundedQueue::capacity).sum();
+        let fill = queued as f64 / capacity.max(1) as f64;
+        let hot = fill >= self.cfg.high_watermark || self.queue_full_since_pump;
+        self.queue_full_since_pump = false;
+        if hot {
+            self.cool_streak = 0;
+            self.hot_streak += 1;
+            if self.hot_streak >= self.cfg.escalate_pumps && self.level < 2 {
+                self.level += 1;
+                self.hot_streak = 0;
+                self.counters.escalations += 1;
+                self.emit(TraceEvent::OverloadShed { level: self.level });
+            }
+        } else if fill <= self.cfg.low_watermark {
+            self.hot_streak = 0;
+            self.cool_streak += 1;
+            if self.cool_streak >= self.cfg.hysteresis_pumps && self.level > 0 {
+                self.level -= 1;
+                self.cool_streak = 0;
+                self.counters.deescalations += 1;
+                self.emit(TraceEvent::OverloadRecover { level: self.level });
+            }
+        } else {
+            // Between the watermarks: neither streak accumulates, so both
+            // transitions require an unbroken run in their own band.
+            self.hot_streak = 0;
+            self.cool_streak = 0;
+        }
+    }
+
+    /// Pumps until every queue is empty, appending predictions to `out`.
+    pub fn flush(&mut self, out: &mut Vec<Prediction>) {
+        while self.queued() > 0 || !self.ready.is_empty() {
+            self.pump(out);
+        }
+    }
+
+    /// Total items currently queued across all shards.
+    pub fn queued(&self) -> usize {
+        self.shards.iter().map(BoundedQueue::len).sum()
+    }
+
+    /// Current overload-ladder level (0 = normal).
+    pub fn overload_level(&self) -> u8 {
+        self.level
+    }
+
+    /// Whether `stream` is currently quarantined by its deadline guard.
+    pub fn is_quarantined(&self, stream: u32) -> bool {
+        self.index
+            .get(&stream)
+            .map(|&i| self.slots[i].state == StreamState::Quarantined)
+            .unwrap_or(false)
+    }
+
+    /// Deterministic service clock (cycles).
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// The attached metrics/trace backend, if any.
+    pub fn scoreboard(&self) -> Option<&PrefetchScoreboard> {
+        self.scoreboard.as_ref()
+    }
+
+    /// Serving-layer counters.
+    pub fn metrics(&self) -> ServeMetrics {
+        let c = &self.counters;
+        let shed = c.shed_speculative + c.shed_queue_full + c.timeout_deferred;
+        ServeMetrics {
+            streams: c.streams,
+            ingested: c.ingested,
+            ml_processed: c.ml_processed,
+            fallback_processed: c.fallback_processed,
+            shed_speculative: c.shed_speculative,
+            shed_queue_full: c.shed_queue_full,
+            degraded_accesses: c.degraded_accesses,
+            batches: c.batches,
+            batch_timeouts: c.batch_timeouts,
+            timeout_deferred: c.timeout_deferred,
+            quarantines: c.quarantines,
+            stream_recoveries: c.stream_recoveries,
+            escalations: c.escalations,
+            deescalations: c.deescalations,
+            overload_level: self.level as u64,
+            degraded_streams: self
+                .slots
+                .iter()
+                .filter(|s| s.ml.is_some() && s.state != StreamState::Healthy)
+                .count() as u64,
+            max_queue_depth: c.max_queue_depth,
+            shed_fraction: if c.ingested == 0 {
+                0.0
+            } else {
+                shed as f64 / c.ingested as f64
+            },
+            prediction_latency: self.prediction_latency.snapshot(),
+        }
+    }
+
+    /// Full pipeline snapshot: the scoreboard's view (windows, trace
+    /// stats) with the serving-layer counters folded in.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self
+            .scoreboard
+            .as_ref()
+            .map(PrefetchScoreboard::snapshot)
+            .unwrap_or_default();
+        snap.serve = self.metrics();
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpgraph_sim::{PrefetchTag, TraceEvent};
+
+    /// Deterministic test double: fixed candidates, configurable latency.
+    struct FakeMl {
+        latency: u64,
+        phase: u8,
+        trace_on: bool,
+        events: Vec<TraceEvent>,
+    }
+
+    impl FakeMl {
+        fn new(latency: u64) -> Self {
+            FakeMl {
+                latency,
+                phase: 1,
+                trace_on: false,
+                events: Vec::new(),
+            }
+        }
+    }
+
+    impl Prefetcher for FakeMl {
+        fn name(&self) -> String {
+            "fake-ml".into()
+        }
+        fn on_access(&mut self, a: &LlcAccess, out: &mut Vec<u64>) {
+            if self.trace_on {
+                self.events.clear();
+                self.events.push(TraceEvent::PhaseArmed);
+            }
+            out.push(a.block + 1);
+            out.push(a.block + 2);
+        }
+        fn latency(&self) -> u64 {
+            self.latency
+        }
+        fn effective_latency(&mut self, injected_stall: u64) -> u64 {
+            self.latency + injected_stall
+        }
+        fn current_phase_id(&self) -> u8 {
+            self.phase
+        }
+        fn enable_trace_events(&mut self, on: bool) {
+            self.trace_on = on;
+            self.events.clear();
+        }
+        fn pending_trace_events(&self) -> &[TraceEvent] {
+            &self.events
+        }
+        fn last_batch_tags(&self) -> &[PrefetchTag] {
+            &[]
+        }
+    }
+
+    fn acc(block: u64) -> LlcAccess {
+        LlcAccess {
+            pc: 0x400000 + (block % 7) * 4,
+            block,
+            core: 0,
+            is_write: false,
+            hit: false,
+            cycle: 0,
+        }
+    }
+
+    fn small_cfg() -> ServeConfig {
+        ServeConfig {
+            num_shards: 2,
+            queue_capacity: 4,
+            batch_size: 4,
+            batch_deadline: 1024,
+            ml_item_cost: 10,
+            fallback_item_cost: 1,
+            escalate_pumps: 2,
+            hysteresis_pumps: 3,
+            stream_miss_window: 4,
+            stream_trip_fraction: 0.5,
+            stream_cooldown: 8,
+            stream_recover_clean: 4,
+            deadline_cycles: 100,
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn bounded_queue_refuses_beyond_capacity() {
+        let mut q = BoundedQueue::new(2);
+        assert!(q.push(1).is_ok());
+        assert!(q.push(2).is_ok());
+        assert_eq!(q.push(3), Err(3));
+        assert!(q.is_full());
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.push(3).is_ok());
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn healthy_stream_round_trips_through_ml_batch() {
+        let mut svc = PrefetchService::new(small_cfg());
+        svc.register_stream(7, Box::new(FakeMl::new(5)));
+        assert_eq!(svc.ingest(7, &acc(100), 0), Admission::Queued);
+        let mut out = Vec::new();
+        svc.pump(&mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].stream, 7);
+        assert_eq!(out[0].candidates, vec![101, 102]);
+        assert!(!out[0].via_fallback);
+        assert_eq!(out[0].phase, 1);
+        let m = svc.metrics();
+        assert_eq!(m.ml_processed, 1);
+        assert_eq!(m.fallback_processed, 0);
+        assert_eq!(m.shed_fraction, 0.0);
+    }
+
+    #[test]
+    fn unregistered_stream_gets_fallback_only_service() {
+        let mut svc = PrefetchService::new(small_cfg());
+        let a = svc.ingest(42, &acc(10), 0);
+        assert_eq!(a, Admission::Degraded);
+        let mut out = Vec::new();
+        svc.pump(&mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].via_fallback);
+        let m = svc.metrics();
+        assert_eq!(m.fallback_processed, 1);
+        // Fallback-only streams are not "degraded" — they never had ML.
+        assert_eq!(m.degraded_accesses, 0);
+        assert_eq!(m.degraded_streams, 0);
+    }
+
+    #[test]
+    fn full_queue_sheds_inline_and_reports_backpressure() {
+        let cfg = ServeConfig {
+            num_shards: 1,
+            queue_capacity: 2,
+            ..small_cfg()
+        };
+        let mut svc = PrefetchService::new(cfg);
+        svc.register_stream(0, Box::new(FakeMl::new(5)));
+        assert_eq!(svc.ingest(0, &acc(1), 0), Admission::Queued);
+        assert_eq!(svc.ingest(0, &acc(2), 0), Admission::Queued);
+        assert_eq!(svc.ingest(0, &acc(3), 0), Admission::QueueFull);
+        let m = svc.metrics();
+        assert_eq!(m.shed_queue_full, 1);
+        // The shed access still produced a (fallback) prediction.
+        assert_eq!(m.fallback_processed, 1);
+        assert!(m.shed_fraction > 0.0);
+    }
+
+    #[test]
+    fn sustained_pressure_climbs_the_ladder_and_recovers() {
+        let cfg = ServeConfig {
+            num_shards: 1,
+            queue_capacity: 2,
+            batch_size: 1,
+            ..small_cfg()
+        };
+        let mut svc = PrefetchService::new(cfg);
+        svc.register_stream(0, Box::new(FakeMl::new(5)));
+        let mut out = Vec::new();
+        // Overdrive: 3 ingests per single-item pump keeps the queue full.
+        let mut b = 0u64;
+        for _ in 0..8 {
+            for _ in 0..3 {
+                b += 1;
+                svc.ingest(0, &acc(b), 0);
+            }
+            svc.pump(&mut out);
+        }
+        assert!(svc.overload_level() >= 1, "ladder never escalated");
+        let escalations = svc.metrics().escalations;
+        assert!(escalations >= 1);
+        // Starve it: pumps with no ingest drain the queue and calm the
+        // ladder after the hysteresis run.
+        for _ in 0..20 {
+            svc.pump(&mut out);
+        }
+        assert_eq!(svc.overload_level(), 0, "ladder never de-escalated");
+        assert!(svc.metrics().deescalations >= 1);
+    }
+
+    #[test]
+    fn slow_stream_quarantined_without_touching_siblings() {
+        let mut svc = PrefetchService::new(small_cfg());
+        svc.register_stream(1, Box::new(FakeMl::new(5)));
+        svc.register_stream(2, Box::new(FakeMl::new(5)));
+        let mut out = Vec::new();
+        // Stream 1 suffers injected stalls far past the deadline; stream 2
+        // stays clean. Interleave so both see traffic.
+        for i in 0..16u64 {
+            svc.ingest(1, &acc(i), 500);
+            svc.ingest(2, &acc(1000 + i), 0);
+            svc.pump(&mut out);
+        }
+        assert!(svc.is_quarantined(1), "faulty stream not quarantined");
+        assert!(!svc.is_quarantined(2), "healthy sibling was quarantined");
+        let m = svc.metrics();
+        assert_eq!(m.quarantines, 1);
+        assert_eq!(m.degraded_streams, 1);
+        // Stream 2 keeps full ML service throughout.
+        let s2: Vec<&Prediction> = out.iter().filter(|p| p.stream == 2).collect();
+        assert!(s2.iter().all(|p| !p.via_fallback));
+    }
+
+    #[test]
+    fn quarantined_stream_recovers_after_clean_cooldown() {
+        let cfg = ServeConfig {
+            stream_cooldown: 4,
+            stream_recover_clean: 2,
+            ..small_cfg()
+        };
+        let mut svc = PrefetchService::new(cfg);
+        svc.register_stream(1, Box::new(FakeMl::new(5)));
+        let mut out = Vec::new();
+        for i in 0..8u64 {
+            svc.ingest(1, &acc(i), 500);
+            svc.pump(&mut out);
+        }
+        assert!(svc.is_quarantined(1));
+        // Clean accesses served by the fallback cool the stream down.
+        for i in 0..8u64 {
+            svc.ingest(1, &acc(100 + i), 0);
+            svc.pump(&mut out);
+        }
+        assert!(!svc.is_quarantined(1), "stream never recovered");
+        assert_eq!(svc.metrics().stream_recoveries, 1);
+    }
+
+    #[test]
+    fn batch_deadline_defers_remainder_to_fallback() {
+        let cfg = ServeConfig {
+            num_shards: 1,
+            queue_capacity: 8,
+            batch_size: 8,
+            batch_deadline: 25,
+            ml_item_cost: 10,
+            ..small_cfg()
+        };
+        let mut svc = PrefetchService::new(cfg);
+        svc.register_stream(0, Box::new(FakeMl::new(5)));
+        for i in 0..4u64 {
+            svc.ingest(0, &acc(i), 0);
+        }
+        let mut out = Vec::new();
+        svc.pump(&mut out);
+        // 25-cycle budget fits two 10-cycle items; the other two defer.
+        assert_eq!(out.len(), 4);
+        let m = svc.metrics();
+        assert_eq!(m.ml_processed, 2);
+        assert_eq!(m.batch_timeouts, 1);
+        assert_eq!(m.timeout_deferred, 2);
+        assert_eq!(out.iter().filter(|p| p.via_fallback).count(), 2);
+    }
+
+    #[test]
+    fn service_events_reach_the_scoreboard_recorder() {
+        let sb = PrefetchScoreboard::with_trace(2, 64, crate::TraceConfig::default());
+        let mut svc = PrefetchService::with_scoreboard(small_cfg(), sb);
+        svc.register_stream(1, Box::new(FakeMl::new(5)));
+        let mut out = Vec::new();
+        for i in 0..16u64 {
+            svc.ingest(1, &acc(i), 500);
+            svc.pump(&mut out);
+        }
+        assert!(svc.is_quarantined(1));
+        let events = svc
+            .scoreboard()
+            .map(|sb| sb.trace_events())
+            .unwrap_or_default();
+        assert!(
+            events
+                .iter()
+                .any(|(_, e)| matches!(e, TraceEvent::StreamQuarantine { stream: 1 })),
+            "no quarantine event recorded: {events:?}"
+        );
+        let snap = svc.snapshot();
+        assert_eq!(snap.serve.quarantines, 1);
+        assert_eq!(snap.serve.ingested, 16);
+    }
+
+    #[test]
+    fn access_path_never_blocks_under_overdrive() {
+        // 2x the service's drain rate, no pump starvation: every ingest
+        // returns immediately with an admission decision and a prediction
+        // eventually lands for every access.
+        let cfg = ServeConfig {
+            num_shards: 2,
+            queue_capacity: 4,
+            batch_size: 2,
+            ..small_cfg()
+        };
+        let mut svc = PrefetchService::new(cfg);
+        for s in 0..4u32 {
+            svc.register_stream(s, Box::new(FakeMl::new(5)));
+        }
+        let mut out = Vec::new();
+        let mut b = 0u64;
+        for _ in 0..64 {
+            for s in 0..4u32 {
+                b += 1;
+                svc.ingest(s, &acc(b), 0);
+            }
+            svc.pump(&mut out);
+        }
+        svc.flush(&mut out);
+        let m = svc.metrics();
+        assert_eq!(m.ingested, 256);
+        assert_eq!(out.len(), 256, "every access must yield a prediction");
+        assert_eq!(m.ml_processed + m.fallback_processed, 256);
+        assert!(m.shed_fraction > 0.0, "2x overdrive must shed something");
+        let p99 = m.prediction_latency.p99;
+        assert!(p99 > 0 && p99 < 10_000, "p99 unbounded: {p99}");
+    }
+
+    #[test]
+    fn config_validation_rejects_degenerate_values() {
+        assert!(ServeConfig::default().try_new().is_ok());
+        for bad in [
+            ServeConfig {
+                num_shards: 0,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                queue_capacity: 0,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                low_watermark: 0.9,
+                high_watermark: 0.5,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                stream_trip_fraction: 1.5,
+                ..ServeConfig::default()
+            },
+        ] {
+            assert!(bad.try_new().is_err());
+        }
+    }
+}

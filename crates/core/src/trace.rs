@@ -36,6 +36,21 @@ pub struct TraceConfig {
     /// dropped (counted) rather than grown, keeping steady state
     /// allocation-free.
     pub max_windows: usize,
+    /// Adaptive window length: when set, the telemetry window *halves*
+    /// (down to [`TraceConfig::min_window`]) whenever an alarm event
+    /// ([`TraceEvent::is_alarm`]) lands — guard trips, shed episodes,
+    /// quarantines, batch timeouts — and *doubles* (up to
+    /// [`TraceConfig::max_window`]) after
+    /// [`TraceConfig::calm_windows`] consecutive alarm-free windows. The
+    /// recorder thus keeps fine-grained telemetry around incidents and
+    /// cheap coarse telemetry through steady state.
+    pub adaptive: bool,
+    /// Lower bound for the adaptive window length, in records.
+    pub min_window: u64,
+    /// Upper bound for the adaptive window length, in records.
+    pub max_window: u64,
+    /// Consecutive alarm-free windows before the window length doubles.
+    pub calm_windows: u32,
 }
 
 impl Default for TraceConfig {
@@ -44,6 +59,20 @@ impl Default for TraceConfig {
             ring_capacity: 65_536,
             window: 512,
             max_windows: 4096,
+            adaptive: false,
+            min_window: 64,
+            max_window: 4096,
+            calm_windows: 4,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// The default configuration with adaptive window sizing switched on.
+    pub fn with_adaptive() -> Self {
+        TraceConfig {
+            adaptive: true,
+            ..TraceConfig::default()
         }
     }
 }
@@ -152,6 +181,7 @@ const TID_DETECTOR: u64 = 2;
 const TID_GUARD: u64 = 3;
 const TID_CSTP: u64 = 4;
 const TID_TELEMETRY: u64 = 5;
+const TID_SERVE: u64 = 6;
 
 fn obj(fields: Vec<(&str, Value)>) -> Value {
     Value::Object(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
@@ -309,6 +339,46 @@ pub fn chrome_trace_json(rec: &FlightRecorder, windows: &[WindowMetrics], end: u
             TraceEvent::InflightOverflow => {
                 timed.push(instant(TID_GUARD, at, ev.name(), obj(vec![])));
             }
+            TraceEvent::StreamQuarantine { stream } => {
+                timed.push(instant(
+                    TID_SERVE,
+                    at,
+                    ev.name(),
+                    obj(vec![("stream", Value::U64(stream as u64))]),
+                ));
+            }
+            TraceEvent::StreamRecover { stream } => {
+                timed.push(instant(
+                    TID_SERVE,
+                    at,
+                    ev.name(),
+                    obj(vec![("stream", Value::U64(stream as u64))]),
+                ));
+            }
+            TraceEvent::OverloadShed { level } => {
+                timed.push(instant(
+                    TID_SERVE,
+                    at,
+                    ev.name(),
+                    obj(vec![("level", Value::U64(level as u64))]),
+                ));
+            }
+            TraceEvent::OverloadRecover { level } => {
+                timed.push(instant(
+                    TID_SERVE,
+                    at,
+                    ev.name(),
+                    obj(vec![("level", Value::U64(level as u64))]),
+                ));
+            }
+            TraceEvent::BatchTimeout { deferred } => {
+                timed.push(instant(
+                    TID_SERVE,
+                    at,
+                    ev.name(),
+                    obj(vec![("deferred", Value::U64(deferred as u64))]),
+                ));
+            }
         }
     }
     // Final residency slice: the selected phase runs to the end of trace.
@@ -349,6 +419,7 @@ pub fn chrome_trace_json(rec: &FlightRecorder, windows: &[WindowMetrics], end: u
         meta_thread(TID_GUARD, "guard"),
         meta_thread(TID_CSTP, "cstp"),
         meta_thread(TID_TELEMETRY, "telemetry"),
+        meta_thread(TID_SERVE, "serve"),
     ];
     events.extend(timed.into_iter().map(|(_, _, v)| v));
 
@@ -513,6 +584,38 @@ mod tests {
         let text = serde_json::to_string(&v).expect("serialize trace");
         let parsed = serde_json::parse_value(&text).expect("parse trace");
         assert!(matches!(parsed.get("traceEvents"), Some(Value::Array(_))));
+    }
+
+    #[test]
+    fn serve_events_land_on_their_own_track() {
+        let mut r = FlightRecorder::new(16);
+        r.record(2, TraceEvent::OverloadShed { level: 1 });
+        r.record(4, TraceEvent::StreamQuarantine { stream: 7 });
+        r.record(6, TraceEvent::BatchTimeout { deferred: 3 });
+        r.record(9, TraceEvent::StreamRecover { stream: 7 });
+        r.record(12, TraceEvent::OverloadRecover { level: 0 });
+        let v = chrome_trace_json(&r, &[], 16);
+        let Some(Value::Array(events)) = v.get("traceEvents") else {
+            panic!("no traceEvents array");
+        };
+        let serve: Vec<&Value> = events
+            .iter()
+            .filter(|e| {
+                matches!(e.get("tid"), Some(Value::U64(t)) if *t == TID_SERVE)
+                    && matches!(e.get("ph"), Some(Value::Str(s)) if s == "i")
+            })
+            .collect();
+        assert_eq!(serve.len(), 5);
+        assert_eq!(
+            serve[0].get("name"),
+            Some(&Value::Str("overload-shed".into()))
+        );
+        let Some(Value::Object(args)) = serve[1].get("args") else {
+            panic!("quarantine instant lost its args");
+        };
+        assert!(args
+            .iter()
+            .any(|(k, v)| k == "stream" && *v == Value::U64(7)));
     }
 
     #[test]

@@ -1,0 +1,117 @@
+//! Training-side event channel: rollback events reported *as they
+//! happen*, not reconstructed from post-hoc counters.
+//!
+//! The predictors train their per-phase models on rayon worker threads,
+//! so the channel is a `Mutex`-guarded buffer shared by reference into
+//! the training fan-out ([`crate::DeltaPredictor::train_with_events`] /
+//! [`crate::PagePredictor::train_with_events`]). Each `TrainGuard`
+//! rollback or budget exhaustion pushes one structured
+//! [`TrainRollbackMetrics`] record — predictor, phase-model index,
+//! optimizer step, post-rollback learning rate — at the moment the guard
+//! fires. After training, [`TrainEventSink::drain`] hands the events back
+//! in a deterministic order (worker threads interleave arbitrarily, so
+//! the drain sorts by predictor / model / step) for the metrics snapshot
+//! and the flight recorder.
+
+use crate::obs::TrainRollbackMetrics;
+use std::sync::Mutex;
+
+/// Thread-safe collector for training-time rollback events.
+#[derive(Debug, Default)]
+pub struct TrainEventSink {
+    events: Mutex<Vec<TrainRollbackMetrics>>,
+}
+
+impl TrainEventSink {
+    pub fn new() -> Self {
+        TrainEventSink::default()
+    }
+
+    /// Records one event. Called from training worker threads at the
+    /// instant the guard rolls back; contention is negligible (rollbacks
+    /// are rare by design).
+    pub fn record(&self, event: TrainRollbackMetrics) {
+        if let Ok(mut events) = self.events.lock() {
+            events.push(event);
+        }
+    }
+
+    /// Takes every recorded event, sorted by (predictor, model, step) so
+    /// the result is independent of worker-thread interleaving.
+    pub fn drain(&self) -> Vec<TrainRollbackMetrics> {
+        let mut events = match self.events.lock() {
+            Ok(mut guard) => std::mem::take(&mut *guard),
+            Err(_) => Vec::new(),
+        };
+        events.sort_by(|a, b| {
+            (a.predictor.as_str(), a.model, a.step).cmp(&(b.predictor.as_str(), b.model, b.step))
+        });
+        events
+    }
+
+    /// Number of events currently buffered.
+    pub fn len(&self) -> usize {
+        self.events.lock().map(|e| e.len()).unwrap_or(0)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(predictor: &str, model: u64, step: u64) -> TrainRollbackMetrics {
+        TrainRollbackMetrics {
+            predictor: predictor.to_string(),
+            model,
+            step,
+            new_lr: 1e-3,
+            exhausted: false,
+        }
+    }
+
+    #[test]
+    fn drain_sorts_and_empties() {
+        let sink = TrainEventSink::new();
+        sink.record(ev("page", 1, 9));
+        sink.record(ev("delta", 0, 5));
+        sink.record(ev("delta", 0, 2));
+        sink.record(ev("page", 0, 1));
+        assert_eq!(sink.len(), 4);
+        let drained = sink.drain();
+        let keys: Vec<(String, u64, u64)> = drained
+            .iter()
+            .map(|e| (e.predictor.clone(), e.model, e.step))
+            .collect();
+        assert_eq!(
+            keys,
+            vec![
+                ("delta".to_string(), 0, 2),
+                ("delta".to_string(), 0, 5),
+                ("page".to_string(), 0, 1),
+                ("page".to_string(), 1, 9),
+            ]
+        );
+        assert!(sink.is_empty());
+        assert!(sink.drain().is_empty());
+    }
+
+    #[test]
+    fn sink_is_shareable_across_threads() {
+        let sink = TrainEventSink::new();
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let sink = &sink;
+                scope.spawn(move || {
+                    for s in 0..8u64 {
+                        sink.record(ev("delta", t, s));
+                    }
+                });
+            }
+        });
+        assert_eq!(sink.drain().len(), 32);
+    }
+}

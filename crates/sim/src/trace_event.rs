@@ -43,6 +43,23 @@ pub enum TraceEvent {
     /// The observer's in-flight attribution map was full at issue; the
     /// prefetch keeps flying but its attribution is lost.
     InflightOverflow,
+    /// The serving layer quarantined one stream: its per-stream guard
+    /// tripped (deadline misses or phase thrash) and the stream was pinned
+    /// to the Best-Offset fallback without touching sibling streams.
+    StreamQuarantine { stream: u32 },
+    /// A quarantined or overload-degraded stream passed its hysteretic
+    /// recovery check and returned to the ML path.
+    StreamRecover { stream: u32 },
+    /// The admission controller escalated the overload ladder to `level`
+    /// (1 = shed speculative ML work, 2 = degrade whole streams).
+    OverloadShed { level: u8 },
+    /// The admission controller de-escalated the overload ladder back down
+    /// to `level` after a sustained calm spell.
+    OverloadRecover { level: u8 },
+    /// A cross-stream inference batch hit its deadline; the `deferred`
+    /// remaining items fell back to cheap predictions instead of stalling
+    /// the queue.
+    BatchTimeout { deferred: u16 },
 }
 
 impl TraceEvent {
@@ -58,7 +75,28 @@ impl TraceEvent {
             TraceEvent::DegradationWindow { .. } => "degradation-window",
             TraceEvent::TrainRollback { .. } => "train-rollback",
             TraceEvent::InflightOverflow => "inflight-overflow",
+            TraceEvent::StreamQuarantine { .. } => "stream-quarantine",
+            TraceEvent::StreamRecover { .. } => "stream-recover",
+            TraceEvent::OverloadShed { .. } => "overload-shed",
+            TraceEvent::OverloadRecover { .. } => "overload-recover",
+            TraceEvent::BatchTimeout { .. } => "batch-timeout",
         }
+    }
+
+    /// Whether this event marks an anomaly worth zooming the flight
+    /// recorder in on (guard trips, shed/quarantine/timeout decisions,
+    /// attribution loss) as opposed to ordinary phase/telemetry traffic.
+    /// The adaptive window logic shrinks telemetry windows around alarm
+    /// events and stretches them through alarm-free steady state.
+    pub fn is_alarm(&self) -> bool {
+        matches!(
+            self,
+            TraceEvent::GuardTrip
+                | TraceEvent::InflightOverflow
+                | TraceEvent::StreamQuarantine { .. }
+                | TraceEvent::OverloadShed { .. }
+                | TraceEvent::BatchTimeout { .. }
+        )
     }
 }
 
@@ -98,9 +136,29 @@ mod tests {
             TraceEvent::DegradationWindow { accesses: 0 }.name(),
             TraceEvent::TrainRollback { count: 0 }.name(),
             TraceEvent::InflightOverflow.name(),
+            TraceEvent::StreamQuarantine { stream: 0 }.name(),
+            TraceEvent::StreamRecover { stream: 0 }.name(),
+            TraceEvent::OverloadShed { level: 0 }.name(),
+            TraceEvent::OverloadRecover { level: 0 }.name(),
+            TraceEvent::BatchTimeout { deferred: 0 }.name(),
         ];
         for (i, a) in names.iter().enumerate() {
             assert!(!names[..i].contains(a), "duplicate event name {a}");
         }
+    }
+
+    #[test]
+    fn alarm_classification_flags_disruptions_only() {
+        assert!(TraceEvent::GuardTrip.is_alarm());
+        assert!(TraceEvent::StreamQuarantine { stream: 3 }.is_alarm());
+        assert!(TraceEvent::OverloadShed { level: 1 }.is_alarm());
+        assert!(TraceEvent::BatchTimeout { deferred: 4 }.is_alarm());
+        assert!(TraceEvent::InflightOverflow.is_alarm());
+        assert!(!TraceEvent::PhaseArmed.is_alarm());
+        assert!(!TraceEvent::PhaseConfirmed { prev_phase: 0 }.is_alarm());
+        assert!(!TraceEvent::GuardRecover.is_alarm());
+        assert!(!TraceEvent::StreamRecover { stream: 3 }.is_alarm());
+        assert!(!TraceEvent::OverloadRecover { level: 0 }.is_alarm());
+        assert!(!TraceEvent::TrainRollback { count: 1 }.is_alarm());
     }
 }

@@ -6,6 +6,7 @@
 //! mpgraph info     pr.mpgtrc
 //! mpgraph simulate pr.mpgtrc --prefetcher bo
 //! mpgraph run      --framework gpop --app pr --dataset youtube --div 64
+//! mpgraph serve    pr.mpgtrc --streams 8 --load 2.0
 //! ```
 //!
 //! `run` executes the full paper workflow on one workload: trace → LLC
@@ -13,13 +14,16 @@
 //! iterations against the no-prefetch baseline and BO.
 
 use mpgraph::core::trace::TraceConfig as TelemetryConfig;
-use mpgraph::core::{train_mpgraph, MetricsSnapshot, MpGraphConfig, PrefetchScoreboard};
+use mpgraph::core::{
+    build_detector, train_mpgraph, MetricsSnapshot, MpGraphConfig, MpGraphPrefetcher,
+    PrefetchScoreboard, PrefetchService, ServeConfig,
+};
 use mpgraph::frameworks::{generate_trace, io, App, Framework, Trace, TraceConfig};
 use mpgraph::graph::{standin, Dataset};
 use mpgraph::prefetchers::{BestOffset, BoConfig, Isb, IsbConfig, NextLine, Stride, TrainCfg};
 use mpgraph::sim::{
-    llc_filter, simulate, simulate_observed, FaultConfig, FaultInjector, FaultKind, NullPrefetcher,
-    PrefetchObserver, Prefetcher, SimResult,
+    llc_filter, simulate, simulate_observed, FaultConfig, FaultInjector, FaultKind, LlcAccess,
+    NullPrefetcher, PrefetchObserver, Prefetcher, SimResult,
 };
 
 fn usage() -> ! {
@@ -34,7 +38,8 @@ fn usage() -> ! {
          [--fault-rate R] [--fault-seed S] [--stall-cycles N] [--metrics-out FILE]\n           \
          [--trace-out FILE]\n  \
          run      --framework F --app A --dataset D [--div N] [--iterations N]\n           \
-         [--metrics-out FILE] [--trace-out FILE]"
+         [--metrics-out FILE] [--trace-out FILE]\n  \
+         serve    FILE [--streams N] [--load F] [--metrics-out FILE] [--trace-out FILE]"
     );
     std::process::exit(2);
 }
@@ -385,6 +390,110 @@ fn cmd_run(args: &Args) {
     }
 }
 
+/// Multiplexes a saved trace through the multi-stream prefetch service:
+/// trains MPGraph on iteration 0 (like `run`), registers `--streams`
+/// independent streams sharing the trained weights, and replays the
+/// remaining LLC accesses open-loop at `--load` times the service's
+/// saturation rate. Reports throughput, shed fraction, and the
+/// prediction-latency percentiles; `--metrics-out` includes the `serve`
+/// section of the snapshot.
+fn cmd_serve(args: &Args) {
+    let path = args.positional.first().unwrap_or_else(|| usage());
+    let t = io::load(path).unwrap_or_else(|e| die(&e.to_string()));
+    let cfg = mpgraph::scaled_sim_config();
+    let split = t
+        .iteration_starts
+        .get(1)
+        .copied()
+        .unwrap_or(t.records.len() / 2);
+    let (train_raw, test) = t.records.split_at(split);
+    let test = &test[..test.len().min(450_000)];
+    let train_llc = llc_filter(train_raw, &cfg);
+    let test_llc = llc_filter(test, &cfg);
+    let num_phases = t.num_phases as usize;
+    let tc = TrainCfg::default();
+    let mp_cfg = MpGraphConfig::default();
+    eprintln!(
+        "training MPGraph on {} LLC records; serving {} LLC accesses",
+        train_llc.len(),
+        test_llc.len()
+    );
+    let mp = train_mpgraph(&train_llc, num_phases, mp_cfg, &tc);
+
+    let streams = args.get_usize("streams", 4).max(1);
+    let load = args.get_f64("load", 2.0);
+    let serve_cfg = ServeConfig::default();
+    let saturation = (serve_cfg.batch_size as u64)
+        .min((serve_cfg.batch_deadline / serve_cfg.ml_item_cost.max(1)).max(1))
+        .max(1) as usize;
+    let rate = ((load * saturation as f64).round() as usize).max(1);
+
+    let mut svc = match scoreboard_for(args, num_phases) {
+        Some(sb) => PrefetchService::with_scoreboard(serve_cfg, sb),
+        None => PrefetchService::new(serve_cfg),
+    };
+    for s in 0..streams {
+        svc.register_stream(
+            s as u32,
+            Box::new(MpGraphPrefetcher::from_parts(
+                mp.delta.clone(),
+                mp.page.clone(),
+                build_detector(&train_llc, num_phases, mp_cfg.detector),
+                mp_cfg,
+                num_phases,
+                tc.history,
+            )),
+        );
+    }
+
+    let started = std::time::Instant::now();
+    let mut out = Vec::new();
+    for (i, r) in test_llc.iter().enumerate() {
+        let access = LlcAccess {
+            pc: r.pc,
+            block: r.block(),
+            core: r.core,
+            is_write: r.is_write,
+            hit: false,
+            cycle: 0,
+        };
+        svc.ingest((i % streams) as u32, &access, 0);
+        if (i + 1) % rate == 0 {
+            svc.pump(&mut out);
+        }
+    }
+    svc.flush(&mut out);
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+
+    let m = svc.metrics();
+    println!(
+        "streams {streams}  load {load:.1}x ({rate}/tick)  accesses {}  predictions {}",
+        m.ingested,
+        out.len()
+    );
+    println!(
+        "throughput {:.0} acc/s  ml {}  fallback {}  shed {:.2}%",
+        m.ingested as f64 / elapsed,
+        m.ml_processed,
+        m.fallback_processed,
+        100.0 * m.shed_fraction
+    );
+    println!(
+        "latency p50 {} p99 {} cycles  level {}  quarantines {}  escalations {}",
+        m.prediction_latency.p50,
+        m.prediction_latency.p99,
+        m.overload_level,
+        m.quarantines,
+        m.escalations
+    );
+    let mut snap = svc.snapshot();
+    mp.enrich_snapshot(&mut snap);
+    write_metrics(args, &snap);
+    if let Some(sb) = svc.scoreboard() {
+        write_trace(args, sb);
+    }
+}
+
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.is_empty() {
@@ -396,6 +505,7 @@ fn main() {
         "info" => cmd_info(&args),
         "simulate" => cmd_simulate(&args),
         "run" => cmd_run(&args),
+        "serve" => cmd_serve(&args),
         _ => usage(),
     }
 }
