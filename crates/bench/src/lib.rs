@@ -26,6 +26,7 @@ pub mod report;
 pub mod runners;
 pub mod scale;
 pub mod serve_load;
+pub mod shard;
 pub mod snapdiff;
 pub mod workload;
 

@@ -1,0 +1,122 @@
+//! `mpgraph run --all` presentation and artifacts: the per-combo summary
+//! table, the serializable row set (`results/matrix_all.json`), and the
+//! merged-snapshot totals, all over [`crate::shard`]'s driver output.
+
+use crate::report::{self, f, pct, print_table};
+use crate::shard::MatrixResult;
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// One combo's summary row, serialized to `results/matrix_all.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct MatrixRow {
+    pub framework: String,
+    pub app: String,
+    pub dataset: String,
+    /// Evaluation records replayed for this combo.
+    pub records: u64,
+    pub base_ipc: f64,
+    pub bo_ipc_improvement_pct: f64,
+    pub mpgraph_ipc_improvement_pct: f64,
+    pub accuracy: f64,
+    pub coverage: f64,
+}
+
+/// Summary rows in canonical matrix order.
+pub fn rows(m: &MatrixResult) -> Vec<MatrixRow> {
+    m.combos
+        .iter()
+        .map(|c| MatrixRow {
+            framework: c.combo.framework.name().into(),
+            app: c.combo.app.name().into(),
+            dataset: c.combo.dataset.name().into(),
+            records: c.records,
+            base_ipc: c.base.ipc(),
+            bo_ipc_improvement_pct: c.bo.ipc_improvement(&c.base),
+            mpgraph_ipc_improvement_pct: c.mpgraph.ipc_improvement(&c.base),
+            accuracy: c.mpgraph.accuracy(),
+            coverage: c.mpgraph.coverage(),
+        })
+        .collect()
+}
+
+/// Prints the per-combo table and the merged-snapshot totals.
+pub fn print_summary(m: &MatrixResult) {
+    let table: Vec<Vec<String>> = rows(m)
+        .iter()
+        .map(|r| {
+            vec![
+                r.framework.clone(),
+                r.app.clone(),
+                r.dataset.clone(),
+                r.records.to_string(),
+                f(r.base_ipc, 3),
+                format!("{:+.2}%", r.bo_ipc_improvement_pct),
+                format!("{:+.2}%", r.mpgraph_ipc_improvement_pct),
+                pct(r.accuracy),
+                pct(r.coverage),
+            ]
+        })
+        .collect();
+    print_table(
+        "Full matrix (framework x app x dataset)",
+        &[
+            "framework",
+            "app",
+            "dataset",
+            "records",
+            "base ipc",
+            "BO impv",
+            "MPGraph impv",
+            "acc",
+            "cov",
+        ],
+        &table,
+    );
+    let s = &m.merged;
+    println!(
+        "\nmerged: {} combos  issued {}  useful {}  acc {}  cov {}  windows {}",
+        m.combos.len(),
+        s.issued,
+        s.useful,
+        pct(s.accuracy),
+        pct(s.coverage),
+        s.windows.len()
+    );
+}
+
+/// Dumps the summary rows to `results/matrix_all.json`.
+pub fn dump_rows(m: &MatrixResult) -> std::io::Result<PathBuf> {
+    report::dump_json("matrix_all", &rows(m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::ExpScale;
+    use crate::shard::run_matrix_segmented;
+
+    #[test]
+    fn rows_follow_canonical_order_and_print() {
+        // Tiny scale: enough records for one training iteration plus a
+        // short evaluation stream per combo.
+        let scale = ExpScale {
+            record_limit: 24_000,
+            eval_records: 8_000,
+            ..ExpScale::quick()
+        };
+        let m = run_matrix_segmented(&scale, 2, 3_000);
+        let rs = rows(&m);
+        assert_eq!(rs.len(), 12);
+        assert_eq!(rs[0].framework, "GPOP");
+        for r in &rs {
+            assert!(r.records > 0, "{}/{} replayed nothing", r.framework, r.app);
+            assert!((0.0..=1.0).contains(&r.accuracy));
+            assert!((0.0..=1.0).contains(&r.coverage));
+        }
+        // Merged counters cover every combo.
+        let issued: u64 = m.combos.iter().map(|c| c.snapshot.issued).sum();
+        assert_eq!(m.merged.issued, issued);
+        print_summary(&m);
+    }
+}

@@ -1,10 +1,12 @@
 //! Experiment runners, one module per evaluation area: `detection`
 //! (Table 4, Figure 9), `prediction` (Tables 6-7, modality ablation),
 //! `prefetching` (Figures 10-14, Table 8, degree ablation), `motivation`
-//! (Figures 2-3), `resilience` (fault-injection demo), and `perf` (the
-//! kernel/inference latency suite behind the CI regression gate).
+//! (Figures 2-3), `resilience` (fault-injection demo), `perf` (the
+//! kernel/inference latency suite behind the CI regression gate), and
+//! `matrix` (the `mpgraph run --all` summary over the sharded driver).
 
 pub mod detection;
+pub mod matrix;
 pub mod motivation;
 pub mod perf;
 pub mod prediction;

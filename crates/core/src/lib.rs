@@ -57,7 +57,8 @@ pub use prefetcher::{
 };
 pub use serve::{Admission, BoundedQueue, Prediction, PrefetchService, ServeConfig};
 pub use trace::{
-    chrome_trace_json, FlightRecorder, TraceConfig, WindowMetrics, WindowPhaseMetrics,
+    chrome_trace_json, chrome_trace_json_sharded, FlightRecorder, ShardTrace, TraceConfig,
+    WindowMetrics, WindowPhaseMetrics,
 };
 pub use train_events::TrainEventSink;
 pub use variants::Variant;

@@ -150,6 +150,36 @@ pub struct HistogramSnapshot {
     pub p99: u64,
 }
 
+impl HistogramSnapshot {
+    /// Deterministic shard-merge estimator: counts add, min/max combine,
+    /// the mean is count-weighted, and each percentile is the
+    /// count-weighted average of the shard percentiles (the full bucket
+    /// arrays are gone by snapshot time, so the exact merged percentile is
+    /// unrecoverable — what matters for the sharded driver is that the
+    /// estimate is a pure function of the inputs in fixed shard order, so
+    /// any worker count produces the identical merged artifact).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let (a, b) = (self.count as f64, other.count as f64);
+        let total = a + b;
+        self.mean = (self.mean * a + other.mean * b) / total;
+        let weighted =
+            |x: u64, y: u64| -> u64 { ((x as f64 * a + y as f64 * b) / total).round() as u64 };
+        self.p50 = weighted(self.p50, other.p50);
+        self.p90 = weighted(self.p90, other.p90);
+        self.p99 = weighted(self.p99, other.p99);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+    }
+}
+
 /// Per-(phase, lane) outcome counters.
 #[derive(Debug, Clone, Copy, Default)]
 struct Cell {
@@ -500,6 +530,18 @@ impl PrefetchScoreboard {
             let (len, cap, over) = ts.recorder.alloc_stats();
             (len, cap, over, ts.windows.len(), ts.windows_dropped)
         })
+    }
+
+    /// Borrow of the underlying flight recorder, for callers (the sharded
+    /// matrix driver) that assemble a multi-process Chrome trace out of
+    /// several scoreboards. `None` without tracing attached.
+    pub fn flight_recorder(&self) -> Option<&FlightRecorder> {
+        self.trace.as_ref().map(|ts| &ts.recorder)
+    }
+
+    /// Total records seen by the record clock (0 without tracing).
+    pub fn trace_records(&self) -> u64 {
+        self.trace.as_ref().map_or(0, |ts| ts.records)
     }
 
     /// The recorded events, oldest first. Empty without tracing.
@@ -1063,6 +1105,198 @@ impl MetricsSnapshot {
     /// would churn thousands of lines.
     pub fn to_json_compact(&self) -> Result<String, serde_json::Error> {
         serde_json::to_string(self)
+    }
+
+    /// Folds `other` (the next shard, in fixed shard order) into `self`:
+    /// counters add, derived rates recompute from the merged counters,
+    /// histograms combine via [`HistogramSnapshot::merge`], and `other`'s
+    /// windowed series is concatenated after `self`'s with its access
+    /// indices rebased by `record_offset` — so the merged time series
+    /// reads as one contiguous replay. Merging shard snapshots in the
+    /// same order always yields the same bytes, which is what makes the
+    /// sharded matrix run reproducible at any worker count.
+    pub fn merge_at(&mut self, other: &MetricsSnapshot, record_offset: u64) {
+        self.issued += other.issued;
+        self.issued_untimely += other.issued_untimely;
+        self.useful += other.useful;
+        self.late += other.late;
+        self.useless += other.useless;
+        self.demand_misses += other.demand_misses;
+        let hits = self.useful + self.late;
+        self.accuracy = ratio(hits, self.issued);
+        self.coverage = ratio(hits, hits + self.demand_misses);
+        self.timeliness = ratio(self.useful, hits);
+
+        // Per-phase rollups merge by phase id (shards may cover different
+        // phase counts); rates recompute from the merged counters.
+        for op in &other.phases {
+            let p = match self.phases.iter_mut().find(|p| p.phase == op.phase) {
+                Some(p) => p,
+                None => {
+                    self.phases.push(PhaseMetrics {
+                        phase: op.phase,
+                        ..PhaseMetrics::default()
+                    });
+                    self.phases.sort_by_key(|p| p.phase);
+                    self.phases
+                        .iter_mut()
+                        .find(|p| p.phase == op.phase)
+                        .expect("just inserted")
+                }
+            };
+            p.issued += op.issued;
+            p.issued_untimely += op.issued_untimely;
+            p.useful += op.useful;
+            p.late += op.late;
+            p.useless += op.useless;
+            p.dropped += op.dropped;
+            p.demand_misses += op.demand_misses;
+            let hits = p.useful + p.late;
+            p.accuracy = ratio(hits, p.issued);
+            p.coverage = ratio(hits, hits + p.demand_misses);
+            p.timeliness = ratio(p.useful, hits);
+        }
+
+        // Per-(phase, lane) rows merge by key; new keys append and the
+        // whole list re-sorts into the scoreboard's (phase, lane) order.
+        for ol in &other.lanes {
+            match self
+                .lanes
+                .iter_mut()
+                .find(|l| l.phase == ol.phase && l.lane == ol.lane)
+            {
+                Some(l) => {
+                    l.issued += ol.issued;
+                    l.issued_untimely += ol.issued_untimely;
+                    l.useful += ol.useful;
+                    l.late += ol.late;
+                    l.useless += ol.useless;
+                    l.dropped += ol.dropped;
+                    let hits = l.useful + l.late;
+                    l.accuracy = ratio(hits, l.issued);
+                    l.timeliness = ratio(l.useful, hits);
+                }
+                None => self.lanes.push(ol.clone()),
+            }
+        }
+        let lane_rank = |name: &str| {
+            ["spatial", "temporal", "other"]
+                .iter()
+                .position(|&n| n == name)
+                .unwrap_or(LANES)
+        };
+        self.lanes.sort_by_key(|l| (l.phase, lane_rank(&l.lane)));
+
+        self.dropped.self_block += other.dropped.self_block;
+        self.dropped.in_cache += other.dropped.in_cache;
+        self.dropped.in_flight += other.dropped.in_flight;
+        self.dropped.degree_cap += other.dropped.degree_cap;
+        self.inflight_overflow += other.inflight_overflow;
+        self.untracked_completions += other.untracked_completions;
+
+        self.cstp.batches += other.cstp.batches;
+        self.cstp.chain_steps += other.cstp.chain_steps;
+        self.cstp.max_chain_len = self.cstp.max_chain_len.max(other.cstp.max_chain_len);
+        self.cstp.avg_chain_len = if self.cstp.batches == 0 {
+            0.0
+        } else {
+            self.cstp.chain_steps as f64 / self.cstp.batches as f64
+        };
+        self.cstp.pbot_hits += other.cstp.pbot_hits;
+        self.cstp.pbot_misses += other.cstp.pbot_misses;
+        self.cstp.pbot_hit_rate = ratio(
+            self.cstp.pbot_hits,
+            self.cstp.pbot_hits + self.cstp.pbot_misses,
+        );
+        self.cstp.duplicates_suppressed += other.cstp.duplicates_suppressed;
+
+        if self.detector.name.is_empty() {
+            self.detector.name = other.detector.name.clone();
+        }
+        self.detector.updates += other.detector.updates;
+        self.detector.detections += other.detector.detections;
+        self.detector.soft_arms += other.detector.soft_arms;
+        self.detector.resets += other.detector.resets;
+        self.detector.confirm_latency_samples += other.detector.confirm_latency_samples;
+        self.detector.confirm_latency_sum += other.detector.confirm_latency_sum;
+        self.detector.confirm_latency_max = self
+            .detector
+            .confirm_latency_max
+            .max(other.detector.confirm_latency_max);
+        self.detector.confirm_latency_mean = if self.detector.confirm_latency_samples == 0 {
+            0.0
+        } else {
+            self.detector.confirm_latency_sum as f64 / self.detector.confirm_latency_samples as f64
+        };
+
+        self.controller.transitions_handled += other.controller.transitions_handled;
+        self.controller.observations += other.controller.observations;
+        self.controller.observe_errors += other.controller.observe_errors;
+
+        self.guard.trips += other.guard.trips;
+        self.guard.recoveries += other.guard.recoveries;
+        self.guard.deadline_misses += other.guard.deadline_misses;
+        self.guard.accesses_degraded += other.guard.accesses_degraded;
+
+        self.training.steps += other.training.steps;
+        self.training.rollbacks += other.training.rollbacks;
+        self.training
+            .rollback_events
+            .extend(other.training.rollback_events.iter().cloned());
+
+        self.serve.streams += other.serve.streams;
+        self.serve.ingested += other.serve.ingested;
+        self.serve.ml_processed += other.serve.ml_processed;
+        self.serve.fallback_processed += other.serve.fallback_processed;
+        self.serve.shed_speculative += other.serve.shed_speculative;
+        self.serve.shed_queue_full += other.serve.shed_queue_full;
+        self.serve.degraded_accesses += other.serve.degraded_accesses;
+        self.serve.batches += other.serve.batches;
+        self.serve.batch_timeouts += other.serve.batch_timeouts;
+        self.serve.timeout_deferred += other.serve.timeout_deferred;
+        self.serve.quarantines += other.serve.quarantines;
+        self.serve.stream_recoveries += other.serve.stream_recoveries;
+        self.serve.escalations += other.serve.escalations;
+        self.serve.deescalations += other.serve.deescalations;
+        // Point-in-time gauges: the merged value is the worst shard.
+        self.serve.overload_level = self.serve.overload_level.max(other.serve.overload_level);
+        self.serve.degraded_streams = self
+            .serve
+            .degraded_streams
+            .max(other.serve.degraded_streams);
+        self.serve.max_queue_depth = self.serve.max_queue_depth.max(other.serve.max_queue_depth);
+        self.serve.shed_fraction = ratio(
+            self.serve.shed_speculative + self.serve.shed_queue_full + self.serve.timeout_deferred,
+            self.serve.ingested,
+        );
+        self.serve
+            .prediction_latency
+            .merge(&other.serve.prediction_latency);
+
+        self.inference_latency.merge(&other.inference_latency);
+        self.inference_wall_ns.merge(&other.inference_wall_ns);
+        self.memory_latency.merge(&other.memory_latency);
+
+        // Windowed series: concatenate, rebasing the shard's access
+        // indices onto the merged timeline and renumbering windows.
+        self.window_size = self.window_size.max(other.window_size);
+        let base_index = self.windows.len() as u64 + self.windows_dropped;
+        for (i, w) in other.windows.iter().enumerate() {
+            let mut w = w.clone();
+            w.index = base_index + i as u64;
+            w.start += record_offset;
+            w.end += record_offset;
+            self.windows.push(w);
+        }
+        self.windows_dropped += other.windows_dropped;
+    }
+
+    /// Strips the host wall-clock histogram. Wall time is the one field a
+    /// deterministic replay cannot reproduce, so merged matrix artifacts
+    /// canonicalize it to zero before being compared byte-for-byte across
+    /// shard counts (per-combo `--metrics-out` files keep theirs).
+    pub fn canonicalize_wall_clock(&mut self) {
+        self.inference_wall_ns = HistogramSnapshot::default();
     }
 }
 

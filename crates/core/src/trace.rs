@@ -175,7 +175,6 @@ pub struct WindowMetrics {
     pub phases: Vec<WindowPhaseMetrics>,
 }
 
-const PID: u64 = 1;
 const TID_PHASES: u64 = 1;
 const TID_DETECTOR: u64 = 2;
 const TID_GUARD: u64 = 3;
@@ -187,17 +186,17 @@ fn obj(fields: Vec<(&str, Value)>) -> Value {
     Value::Object(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
 }
 
-fn meta_thread(tid: u64, name: &str) -> Value {
+fn meta_thread(pid: u64, tid: u64, name: &str) -> Value {
     obj(vec![
         ("name", Value::Str("thread_name".into())),
         ("ph", Value::Str("M".into())),
-        ("pid", Value::U64(PID)),
+        ("pid", Value::U64(pid)),
         ("tid", Value::U64(tid)),
         ("args", obj(vec![("name", Value::Str(name.into()))])),
     ])
 }
 
-fn instant(tid: u64, ts: u64, name: &str, args: Value) -> (u64, u64, Value) {
+fn instant(pid: u64, tid: u64, ts: u64, name: &str, args: Value) -> (u64, u64, Value) {
     (
         tid,
         ts,
@@ -206,14 +205,14 @@ fn instant(tid: u64, ts: u64, name: &str, args: Value) -> (u64, u64, Value) {
             ("ph", Value::Str("i".into())),
             ("s", Value::Str("t".into())),
             ("ts", Value::U64(ts)),
-            ("pid", Value::U64(PID)),
+            ("pid", Value::U64(pid)),
             ("tid", Value::U64(tid)),
             ("args", args),
         ]),
     )
 }
 
-fn slice(tid: u64, ts: u64, dur: u64, name: &str) -> (u64, u64, Value) {
+fn slice(pid: u64, tid: u64, ts: u64, dur: u64, name: &str) -> (u64, u64, Value) {
     (
         tid,
         ts,
@@ -222,13 +221,13 @@ fn slice(tid: u64, ts: u64, dur: u64, name: &str) -> (u64, u64, Value) {
             ("ph", Value::Str("X".into())),
             ("ts", Value::U64(ts)),
             ("dur", Value::U64(dur)),
-            ("pid", Value::U64(PID)),
+            ("pid", Value::U64(pid)),
             ("tid", Value::U64(tid)),
         ]),
     )
 }
 
-fn counter(ts: u64, name: &str, value: f64) -> (u64, u64, Value) {
+fn counter(pid: u64, ts: u64, name: &str, value: f64) -> (u64, u64, Value) {
     (
         TID_TELEMETRY,
         ts,
@@ -236,7 +235,7 @@ fn counter(ts: u64, name: &str, value: f64) -> (u64, u64, Value) {
             ("name", Value::Str(name.into())),
             ("ph", Value::Str("C".into())),
             ("ts", Value::U64(ts)),
-            ("pid", Value::U64(PID)),
+            ("pid", Value::U64(pid)),
             ("tid", Value::U64(TID_TELEMETRY)),
             ("args", obj(vec![(name, Value::F64(value))])),
         ]),
@@ -256,24 +255,51 @@ fn counter(ts: u64, name: &str, value: f64) -> (u64, u64, Value) {
 /// series. Events are sorted by (tid, ts) so `ts` is monotonic per track.
 /// `end` is the total record count, closing the final phase slice.
 pub fn chrome_trace_json(rec: &FlightRecorder, windows: &[WindowMetrics], end: u64) -> Value {
+    let shard = ShardTrace {
+        label: "mpgraph".to_string(),
+        recorder: rec.clone(),
+        windows: windows.to_vec(),
+        end,
+    };
+    chrome_trace_json_sharded(std::slice::from_ref(&shard))
+}
+
+/// One shard's recorded run, as assembled by the sharded matrix driver:
+/// the flight recorder, the windowed series, the total record count, and
+/// a display label (the framework/app/dataset combo).
+#[derive(Debug, Clone)]
+pub struct ShardTrace {
+    /// Perfetto process name for this shard (e.g. `"gpop/pr/rmat"`).
+    pub label: String,
+    pub recorder: FlightRecorder,
+    pub windows: Vec<WindowMetrics>,
+    /// Total record count, closing the final phase slice.
+    pub end: u64,
+}
+
+/// Appends one shard's events (process meta, thread metas, timed events)
+/// under process id `pid` onto `events`.
+fn append_shard(events: &mut Vec<Value>, pid: u64, shard: &ShardTrace) {
     // (tid, ts, event) triples, sorted at the end for per-track monotonic ts.
     let mut timed: Vec<(u64, u64, Value)> = Vec::new();
 
     let mut phase_slice_start: u64 = 0;
     let mut current_phase: u64 = 0;
     let mut trip_at: Option<u64> = None;
-    for (at, ev) in rec.events() {
+    let end = shard.end;
+    for (at, ev) in shard.recorder.events() {
         match ev {
             TraceEvent::PhaseArmed => {
-                timed.push(instant(TID_DETECTOR, at, ev.name(), obj(vec![])));
+                timed.push(instant(pid, TID_DETECTOR, at, ev.name(), obj(vec![])));
             }
             TraceEvent::PhaseConfirmed { prev_phase } => {
                 // Close the residency slice for the phase that was live.
                 let dur = at.saturating_sub(phase_slice_start);
                 let name = format!("phase {prev_phase}");
-                timed.push(slice(TID_PHASES, phase_slice_start, dur, &name));
+                timed.push(slice(pid, TID_PHASES, phase_slice_start, dur, &name));
                 phase_slice_start = at;
                 timed.push(instant(
+                    pid,
                     TID_DETECTOR,
                     at,
                     ev.name(),
@@ -283,6 +309,7 @@ pub fn chrome_trace_json(rec: &FlightRecorder, windows: &[WindowMetrics], end: u
             TraceEvent::PhaseSelected { phase } => {
                 current_phase = phase as u64;
                 timed.push(instant(
+                    pid,
                     TID_DETECTOR,
                     at,
                     ev.name(),
@@ -295,6 +322,7 @@ pub fn chrome_trace_json(rec: &FlightRecorder, windows: &[WindowMetrics], end: u
                 pbot_misses,
             } => {
                 timed.push(instant(
+                    pid,
                     TID_CSTP,
                     at,
                     ev.name(),
@@ -307,21 +335,23 @@ pub fn chrome_trace_json(rec: &FlightRecorder, windows: &[WindowMetrics], end: u
             }
             TraceEvent::GuardTrip => {
                 trip_at = Some(at);
-                timed.push(instant(TID_GUARD, at, ev.name(), obj(vec![])));
+                timed.push(instant(pid, TID_GUARD, at, ev.name(), obj(vec![])));
             }
             TraceEvent::GuardRecover => {
                 if let Some(start) = trip_at.take() {
                     timed.push(slice(
+                        pid,
                         TID_GUARD,
                         start,
                         at.saturating_sub(start),
                         "degraded",
                     ));
                 }
-                timed.push(instant(TID_GUARD, at, ev.name(), obj(vec![])));
+                timed.push(instant(pid, TID_GUARD, at, ev.name(), obj(vec![])));
             }
             TraceEvent::DegradationWindow { accesses } => {
                 timed.push(instant(
+                    pid,
                     TID_GUARD,
                     at,
                     ev.name(),
@@ -330,6 +360,7 @@ pub fn chrome_trace_json(rec: &FlightRecorder, windows: &[WindowMetrics], end: u
             }
             TraceEvent::TrainRollback { count } => {
                 timed.push(instant(
+                    pid,
                     TID_GUARD,
                     at,
                     ev.name(),
@@ -337,10 +368,11 @@ pub fn chrome_trace_json(rec: &FlightRecorder, windows: &[WindowMetrics], end: u
                 ));
             }
             TraceEvent::InflightOverflow => {
-                timed.push(instant(TID_GUARD, at, ev.name(), obj(vec![])));
+                timed.push(instant(pid, TID_GUARD, at, ev.name(), obj(vec![])));
             }
             TraceEvent::StreamQuarantine { stream } => {
                 timed.push(instant(
+                    pid,
                     TID_SERVE,
                     at,
                     ev.name(),
@@ -349,6 +381,7 @@ pub fn chrome_trace_json(rec: &FlightRecorder, windows: &[WindowMetrics], end: u
             }
             TraceEvent::StreamRecover { stream } => {
                 timed.push(instant(
+                    pid,
                     TID_SERVE,
                     at,
                     ev.name(),
@@ -357,6 +390,7 @@ pub fn chrome_trace_json(rec: &FlightRecorder, windows: &[WindowMetrics], end: u
             }
             TraceEvent::OverloadShed { level } => {
                 timed.push(instant(
+                    pid,
                     TID_SERVE,
                     at,
                     ev.name(),
@@ -365,6 +399,7 @@ pub fn chrome_trace_json(rec: &FlightRecorder, windows: &[WindowMetrics], end: u
             }
             TraceEvent::OverloadRecover { level } => {
                 timed.push(instant(
+                    pid,
                     TID_SERVE,
                     at,
                     ev.name(),
@@ -373,6 +408,7 @@ pub fn chrome_trace_json(rec: &FlightRecorder, windows: &[WindowMetrics], end: u
             }
             TraceEvent::BatchTimeout { deferred } => {
                 timed.push(instant(
+                    pid,
                     TID_SERVE,
                     at,
                     ev.name(),
@@ -384,6 +420,7 @@ pub fn chrome_trace_json(rec: &FlightRecorder, windows: &[WindowMetrics], end: u
     // Final residency slice: the selected phase runs to the end of trace.
     let name = format!("phase {current_phase}");
     timed.push(slice(
+        pid,
         TID_PHASES,
         phase_slice_start,
         end.saturating_sub(phase_slice_start),
@@ -392,6 +429,7 @@ pub fn chrome_trace_json(rec: &FlightRecorder, windows: &[WindowMetrics], end: u
     // A trip that never recovered stays degraded through the end.
     if let Some(start) = trip_at {
         timed.push(slice(
+            pid,
             TID_GUARD,
             start,
             end.saturating_sub(start),
@@ -399,30 +437,49 @@ pub fn chrome_trace_json(rec: &FlightRecorder, windows: &[WindowMetrics], end: u
         ));
     }
 
-    for w in windows {
-        timed.push(counter(w.end, "accuracy", w.accuracy));
-        timed.push(counter(w.end, "coverage", w.coverage));
-        timed.push(counter(w.end, "pbot_hit_rate", w.pbot_hit_rate));
+    for w in &shard.windows {
+        timed.push(counter(pid, w.end, "accuracy", w.accuracy));
+        timed.push(counter(pid, w.end, "coverage", w.coverage));
+        timed.push(counter(pid, w.end, "pbot_hit_rate", w.pbot_hit_rate));
     }
 
     timed.sort_by_key(|&(tid, ts, _)| (tid, ts));
 
-    let mut events: Vec<Value> = vec![
-        obj(vec![
-            ("name", Value::Str("process_name".into())),
-            ("ph", Value::Str("M".into())),
-            ("pid", Value::U64(PID)),
-            ("args", obj(vec![("name", Value::Str("mpgraph".into()))])),
-        ]),
-        meta_thread(TID_PHASES, "phases"),
-        meta_thread(TID_DETECTOR, "detector"),
-        meta_thread(TID_GUARD, "guard"),
-        meta_thread(TID_CSTP, "cstp"),
-        meta_thread(TID_TELEMETRY, "telemetry"),
-        meta_thread(TID_SERVE, "serve"),
-    ];
+    events.push(obj(vec![
+        ("name", Value::Str("process_name".into())),
+        ("ph", Value::Str("M".into())),
+        ("pid", Value::U64(pid)),
+        ("args", obj(vec![("name", Value::Str(shard.label.clone()))])),
+    ]));
+    events.push(obj(vec![
+        ("name", Value::Str("process_sort_index".into())),
+        ("ph", Value::Str("M".into())),
+        ("pid", Value::U64(pid)),
+        ("args", obj(vec![("sort_index", Value::U64(pid))])),
+    ]));
+    for (tid, name) in [
+        (TID_PHASES, "phases"),
+        (TID_DETECTOR, "detector"),
+        (TID_GUARD, "guard"),
+        (TID_CSTP, "cstp"),
+        (TID_TELEMETRY, "telemetry"),
+        (TID_SERVE, "serve"),
+    ] {
+        events.push(meta_thread(pid, tid, name));
+    }
     events.extend(timed.into_iter().map(|(_, _, v)| v));
+}
 
+/// Multi-process Chrome-trace JSON: each [`ShardTrace`] becomes its own
+/// Perfetto process (pid = shard index + 1, process name = shard label),
+/// so a sharded `mpgraph run --all` renders the whole framework × app ×
+/// dataset matrix as parallel swimlanes on one timeline. With a single
+/// shard this degenerates to exactly [`chrome_trace_json`].
+pub fn chrome_trace_json_sharded(shards: &[ShardTrace]) -> Value {
+    let mut events: Vec<Value> = Vec::new();
+    for (i, shard) in shards.iter().enumerate() {
+        append_shard(&mut events, i as u64 + 1, shard);
+    }
     obj(vec![
         ("traceEvents", Value::Array(events)),
         ("displayTimeUnit", Value::Str("ms".into())),
@@ -616,6 +673,82 @@ mod tests {
         assert!(args
             .iter()
             .any(|(k, v)| k == "stream" && *v == Value::U64(7)));
+    }
+
+    #[test]
+    fn sharded_export_gives_each_shard_its_own_pid() {
+        let shard = |label: &str, n: u64| {
+            let mut r = FlightRecorder::new(16);
+            r.record(2, TraceEvent::PhaseSelected { phase: 1 });
+            r.record(5, TraceEvent::GuardTrip);
+            ShardTrace {
+                label: label.to_string(),
+                recorder: r,
+                windows: vec![WindowMetrics {
+                    end: n,
+                    accuracy: 0.5,
+                    ..WindowMetrics::default()
+                }],
+                end: n,
+            }
+        };
+        let shards = vec![shard("gpop/pr/rmat", 64), shard("xstream/bfs/rmat", 32)];
+        let v = chrome_trace_json_sharded(&shards);
+        let Some(Value::Array(events)) = v.get("traceEvents") else {
+            panic!("no traceEvents array");
+        };
+        // One process_name meta per shard, pids 1 and 2, named by combo.
+        let procs: Vec<(u64, String)> = events
+            .iter()
+            .filter(|e| matches!(e.get("name"), Some(Value::Str(n)) if n == "process_name"))
+            .map(|e| {
+                let pid = match e.get("pid") {
+                    Some(Value::U64(p)) => *p,
+                    _ => panic!("meta without pid"),
+                };
+                let name = match e.get("args").and_then(|a| a.get("name")) {
+                    Some(Value::Str(n)) => n.clone(),
+                    _ => panic!("meta without name"),
+                };
+                (pid, name)
+            })
+            .collect();
+        assert_eq!(
+            procs,
+            vec![
+                (1, "gpop/pr/rmat".to_string()),
+                (2, "xstream/bfs/rmat".to_string())
+            ]
+        );
+        // Every non-meta event carries one of the shard pids, and ts stays
+        // monotonic per (pid, tid) — the CI Perfetto invariant.
+        let mut last: std::collections::HashMap<(u64, u64), u64> = Default::default();
+        for e in events.iter() {
+            if matches!(e.get("ph"), Some(Value::Str(s)) if s == "M") {
+                continue;
+            }
+            let (Some(Value::U64(pid)), Some(Value::U64(tid)), Some(Value::U64(ts))) =
+                (e.get("pid"), e.get("tid"), e.get("ts"))
+            else {
+                panic!("timed event missing pid/tid/ts: {e:?}");
+            };
+            assert!(*pid == 1 || *pid == 2);
+            let prev = last.entry((*pid, *tid)).or_insert(0);
+            assert!(*ts >= *prev, "track ({pid},{tid}) went backwards");
+            *prev = *ts;
+        }
+        // Both shards contributed timed events.
+        assert!(last.keys().any(|&(p, _)| p == 1));
+        assert!(last.keys().any(|&(p, _)| p == 2));
+        // Single-shard export degenerates to the classic single-pid form.
+        let single = chrome_trace_json_sharded(&shards[..1]);
+        let Some(Value::Array(evs)) = single.get("traceEvents") else {
+            panic!("no traceEvents array");
+        };
+        assert!(evs.iter().all(|e| match e.get("pid") {
+            Some(Value::U64(p)) => *p == 1,
+            _ => true,
+        }));
     }
 
     #[test]

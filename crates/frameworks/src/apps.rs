@@ -29,6 +29,8 @@ impl App {
             App::Tc => "TC",
         }
     }
+
+    pub const ALL: [App; 5] = [App::Bfs, App::Cc, App::Pr, App::Sssp, App::Tc];
 }
 
 /// Value used to mean "unreached" for BFS/SSSP.

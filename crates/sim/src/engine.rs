@@ -197,306 +197,389 @@ pub fn simulate_observed(
     prefetcher: &mut dyn Prefetcher,
     cfg: &SimConfig,
     mut faults: Option<&mut FaultInjector>,
-    mut obs: Option<&mut dyn PrefetchObserver>,
+    obs: Option<&mut dyn PrefetchObserver>,
 ) -> SimResult {
-    let mut cores: Vec<CoreState> = (0..cfg.num_cores)
-        .map(|_| CoreState {
-            cycle: 0,
-            outstanding: BinaryHeap::new(),
-            prev_load_done: 0,
-            l1: Cache::new(cfg.l1_size, cfg.l1_assoc),
-            l2: Cache::new(cfg.l2_size, cfg.l2_assoc),
-        })
-        .collect();
-    let mut llc = Cache::new(cfg.llc_size, cfg.llc_assoc);
-    let mut dram = Dram::new(cfg.dram);
-    let mut inflight = InflightPrefetches::default();
-    let mut instructions: u64 = 0;
-    let mut prefetches_issued: u64 = 0;
-    let mut prefetches_useful: u64 = 0;
-    let mut late_merges: u64 = 0;
-    let mut llc_demand_misses: u64 = 0;
-    let mut pf_candidates: Vec<u64> = Vec::with_capacity(16);
-    let mut misfire_scratch: Vec<u64> = Vec::new();
+    let mut session = SimSession::new(cfg);
+    session.run_segment(trace, prefetcher, faults.as_deref_mut(), obs);
+    session.finish(prefetcher, faults.as_deref())
+}
+
+/// Resumable replay state: the entire microarchitectural context of a run
+/// — per-core pipelines and private caches, the shared LLC, DRAM, the
+/// in-flight prefetch set, and every result counter — packaged so a trace
+/// can be replayed in contiguous *segments* with explicit state hand-off
+/// between them.
+///
+/// `run_segment` replays one slice of the trace and leaves the session
+/// ready for the next slice; `finish` drains the pipelines and produces
+/// the [`SimResult`]. Replaying a trace as one segment or as any split
+/// into contiguous segments is bit-identical — `simulate_observed` itself
+/// is the single-segment instance of this API — because segment
+/// boundaries carry over *all* state: the record clock keeps counting
+/// globally (observer `on_record` indices never restart), in-flight
+/// prefetches issued in one segment complete in the next, and the
+/// prefetcher/fault-injector/observer are simply handed back in.
+///
+/// This is the state-hand-off half of the sharded full-matrix driver
+/// (DESIGN.md §15): the matrix cells parallelize across worker threads,
+/// while *within* one trace the segments stay sequential — each depends on
+/// its predecessor's exact simulator state — and flow through one session.
+pub struct SimSession {
+    cfg: SimConfig,
+    cores: Vec<CoreState>,
+    llc: Cache,
+    dram: Dram,
+    inflight: InflightPrefetches,
+    instructions: u64,
+    prefetches_issued: u64,
+    prefetches_useful: u64,
+    late_merges: u64,
+    llc_demand_misses: u64,
+    /// Trace records replayed so far — the global record clock the next
+    /// segment resumes from.
+    records_done: u64,
+    // Reused scratch buffers (allocation-stable across segments).
+    pf_candidates: Vec<u64>,
+    misfire_scratch: Vec<u64>,
     // Candidate attribution copied out of the prefetcher each access (the
     // prefetcher's tag buffer is invalidated by its next on_access call).
-    let mut tag_scratch: Vec<PrefetchTag> = Vec::with_capacity(16);
-    // Structured tracing is opt-in per observer; when off, the prefetcher
-    // buffers nothing and this loop is byte-identical to the untraced one.
-    let tracing = obs.as_deref().is_some_and(|o| o.wants_trace_events());
-    prefetcher.enable_trace_events(tracing);
+    tag_scratch: Vec<PrefetchTag>,
+}
 
-    for (ri, raw) in trace.iter().enumerate() {
-        let ri = ri as u64;
-        if tracing {
-            if let Some(o) = obs.as_deref_mut() {
-                o.on_record(ri);
-            }
+impl SimSession {
+    pub fn new(cfg: &SimConfig) -> Self {
+        SimSession {
+            cfg: *cfg,
+            cores: (0..cfg.num_cores)
+                .map(|_| CoreState {
+                    cycle: 0,
+                    outstanding: BinaryHeap::new(),
+                    prev_load_done: 0,
+                    l1: Cache::new(cfg.l1_size, cfg.l1_assoc),
+                    l2: Cache::new(cfg.l2_size, cfg.l2_assoc),
+                })
+                .collect(),
+            llc: Cache::new(cfg.llc_size, cfg.llc_assoc),
+            dram: Dram::new(cfg.dram),
+            inflight: InflightPrefetches::default(),
+            instructions: 0,
+            prefetches_issued: 0,
+            prefetches_useful: 0,
+            late_merges: 0,
+            llc_demand_misses: 0,
+            records_done: 0,
+            pf_candidates: Vec::with_capacity(16),
+            misfire_scratch: Vec::new(),
+            tag_scratch: Vec::with_capacity(16),
         }
-        let injected = match faults.as_deref_mut() {
-            Some(inj) => inj.corrupt_record(raw),
-            None => *raw,
-        };
-        let r = &injected;
-        let core_id = (r.core as usize).min(cfg.num_cores - 1);
-        let core = &mut cores[core_id];
-        let block = r.block();
+    }
 
-        // Front end: the gap instructions plus the memory instruction.
-        let insts = r.gap as u64 + 1;
-        instructions += insts;
-        core.cycle += insts.div_ceil(cfg.issue_width);
+    /// Records replayed so far, across all segments.
+    pub fn records_done(&self) -> u64 {
+        self.records_done
+    }
 
-        // Dependent access: its address comes from the previous load's
-        // data, so it cannot issue until that load completes.
-        if r.dep {
-            core.cycle = core.cycle.max(core.prev_load_done);
-        }
+    /// Replays one contiguous trace segment, resuming from the state the
+    /// previous segment left behind. The prefetcher, fault injector, and
+    /// observer are handed in per segment (they are the caller-owned half
+    /// of the hand-off); observer record indices continue globally.
+    pub fn run_segment(
+        &mut self,
+        segment: &[MemRecord],
+        prefetcher: &mut dyn Prefetcher,
+        mut faults: Option<&mut FaultInjector>,
+        mut obs: Option<&mut dyn PrefetchObserver>,
+    ) {
+        let cfg = self.cfg;
+        // Structured tracing is opt-in per observer; when off, the
+        // prefetcher buffers nothing and this loop is byte-identical to
+        // the untraced one.
+        let tracing = obs.as_deref().is_some_and(|o| o.wants_trace_events());
+        prefetcher.enable_trace_events(tracing);
 
-        // Retire completed misses; stall when the LSQ window is full.
-        while let Some(&std::cmp::Reverse(done)) = core.outstanding.peek() {
-            if done <= core.cycle || core.outstanding.len() >= cfg.lsq_entries {
-                core.cycle = core
-                    .cycle
-                    .max(if core.outstanding.len() >= cfg.lsq_entries {
-                        done
-                    } else {
-                        core.cycle
-                    });
-                core.outstanding.pop();
-            } else {
-                break;
-            }
-        }
-
-        // ------------------------- L1 -------------------------
-        if core.l1.access(block, r.is_write) != Lookup::Miss {
-            if !r.is_write {
-                core.prev_load_done = core.cycle + cfg.l1_latency;
-            }
-            continue; // pipelined L1 hit: no retire stall
-        }
-        let mut t = core.cycle + cfg.l1_latency;
-
-        // ------------------------- L2 -------------------------
-        t += cfg.l2_latency;
-        if core.l2.access(block, false) != Lookup::Miss {
-            core.l1.insert(block, false, r.is_write);
-            if !r.is_write {
-                core.outstanding.push(std::cmp::Reverse(t));
-                core.prev_load_done = t;
-            }
-            continue;
-        }
-
-        // ------------------------- LLC ------------------------
-        t += cfg.llc_latency;
-        let lookup = llc.access(block, false);
-        let hit = lookup != Lookup::Miss;
-        let completion = match lookup {
-            Lookup::HitPrefetched => {
-                // If the prefetch is still in flight, the demand pays the
-                // residual latency (a *late* prefetch). Prefetches issued
-                // off a stale inference (see `InflightPrefetches`) count as
-                // demand misses: the data was coming no sooner than a fresh
-                // fetch would have brought it.
-                if let Some((ready, timely)) = inflight.take_ready(block) {
-                    let late = ready > t;
-                    if late {
-                        late_merges += 1;
-                    }
-                    if timely {
-                        prefetches_useful += 1;
-                    } else {
-                        llc_demand_misses += 1;
-                    }
-                    if let Some(o) = obs.as_deref_mut() {
-                        // Untimely merges failed to hide any latency:
-                        // classify them late alongside in-flight merges.
-                        o.on_useful(block, late || !timely);
-                        if !timely {
-                            o.on_demand_miss(prefetcher.current_phase_id());
-                        }
-                    }
-                    t.max(ready)
-                } else {
-                    prefetches_useful += 1;
-                    if let Some(o) = obs.as_deref_mut() {
-                        o.on_useful(block, false);
-                    }
-                    t
+        for (ri, raw) in segment.iter().enumerate() {
+            let ri = self.records_done + ri as u64;
+            if tracing {
+                if let Some(o) = obs.as_deref_mut() {
+                    o.on_record(ri);
                 }
             }
-            Lookup::Hit => {
-                inflight.take_ready(block);
-                t
+            let injected = match faults.as_deref_mut() {
+                Some(inj) => inj.corrupt_record(raw),
+                None => *raw,
+            };
+            let r = &injected;
+            let core_id = (r.core as usize).min(cfg.num_cores - 1);
+            let core = &mut self.cores[core_id];
+            let block = r.block();
+
+            // Front end: the gap instructions plus the memory instruction.
+            let insts = r.gap as u64 + 1;
+            self.instructions += insts;
+            core.cycle += insts.div_ceil(cfg.issue_width);
+
+            // Dependent access: its address comes from the previous load's
+            // data, so it cannot issue until that load completes.
+            if r.dep {
+                core.cycle = core.cycle.max(core.prev_load_done);
             }
-            Lookup::Miss => {
-                llc_demand_misses += 1;
-                let done = dram.request(block, t);
-                let victim = llc.insert(block, false, false);
+
+            // Retire completed misses; stall when the LSQ window is full.
+            while let Some(&std::cmp::Reverse(done)) = core.outstanding.peek() {
+                if done <= core.cycle || core.outstanding.len() >= cfg.lsq_entries {
+                    core.cycle = core
+                        .cycle
+                        .max(if core.outstanding.len() >= cfg.lsq_entries {
+                            done
+                        } else {
+                            core.cycle
+                        });
+                    core.outstanding.pop();
+                } else {
+                    break;
+                }
+            }
+
+            // ------------------------- L1 -------------------------
+            if core.l1.access(block, r.is_write) != Lookup::Miss {
+                if !r.is_write {
+                    core.prev_load_done = core.cycle + cfg.l1_latency;
+                }
+                continue; // pipelined L1 hit: no retire stall
+            }
+            let mut t = core.cycle + cfg.l1_latency;
+
+            // ------------------------- L2 -------------------------
+            t += cfg.l2_latency;
+            if core.l2.access(block, false) != Lookup::Miss {
+                core.l1.insert(block, false, r.is_write);
+                if !r.is_write {
+                    core.outstanding.push(std::cmp::Reverse(t));
+                    core.prev_load_done = t;
+                }
+                continue;
+            }
+
+            // ------------------------- LLC ------------------------
+            t += cfg.llc_latency;
+            let lookup = self.llc.access(block, false);
+            let hit = lookup != Lookup::Miss;
+            let completion = match lookup {
+                Lookup::HitPrefetched => {
+                    // If the prefetch is still in flight, the demand pays the
+                    // residual latency (a *late* prefetch). Prefetches issued
+                    // off a stale inference (see `InflightPrefetches`) count as
+                    // demand misses: the data was coming no sooner than a fresh
+                    // fetch would have brought it.
+                    if let Some((ready, timely)) = self.inflight.take_ready(block) {
+                        let late = ready > t;
+                        if late {
+                            self.late_merges += 1;
+                        }
+                        if timely {
+                            self.prefetches_useful += 1;
+                        } else {
+                            self.llc_demand_misses += 1;
+                        }
+                        if let Some(o) = obs.as_deref_mut() {
+                            // Untimely merges failed to hide any latency:
+                            // classify them late alongside in-flight merges.
+                            o.on_useful(block, late || !timely);
+                            if !timely {
+                                o.on_demand_miss(prefetcher.current_phase_id());
+                            }
+                        }
+                        t.max(ready)
+                    } else {
+                        self.prefetches_useful += 1;
+                        if let Some(o) = obs.as_deref_mut() {
+                            o.on_useful(block, false);
+                        }
+                        t
+                    }
+                }
+                Lookup::Hit => {
+                    self.inflight.take_ready(block);
+                    t
+                }
+                Lookup::Miss => {
+                    self.llc_demand_misses += 1;
+                    let done = self.dram.request(block, t);
+                    let victim = self.llc.insert(block, false, false);
+                    if let Some(o) = obs.as_deref_mut() {
+                        o.on_demand_miss(prefetcher.current_phase_id());
+                        o.on_memory_latency(done.saturating_sub(t));
+                        if let Some(v) = victim {
+                            if v.unused_prefetch {
+                                o.on_useless_evict(v.block);
+                            }
+                        }
+                    }
+                    done
+                }
+            };
+            core.l2.insert(block, false, false);
+            core.l1.insert(block, false, r.is_write);
+            if !r.is_write {
+                core.outstanding.push(std::cmp::Reverse(completion));
+                core.prev_load_done = completion;
+            }
+
+            // --------------------- Prefetcher ---------------------
+            self.pf_candidates.clear();
+            // Detector misfire: a phantom access perturbs the prefetcher's
+            // observation state; anything it predicts off it is discarded.
+            if let Some(inj) = faults.as_deref_mut() {
+                if let Some((fake_pc, fake_block)) = inj.detector_misfire() {
+                    self.misfire_scratch.clear();
+                    let phantom = LlcAccess {
+                        pc: fake_pc,
+                        block: fake_block,
+                        core: r.core,
+                        is_write: false,
+                        hit: false,
+                        cycle: core.cycle,
+                    };
+                    prefetcher.on_access(&phantom, &mut self.misfire_scratch);
+                }
+            }
+            let acc = LlcAccess {
+                pc: r.pc,
+                block,
+                core: r.core,
+                is_write: r.is_write,
+                hit,
+                cycle: core.cycle,
+            };
+            // Wall-clock timing is observational only: it is measured solely
+            // when an observer is attached and never feeds back into any
+            // simulation state, so observed runs stay bit-identical.
+            let wall_start = obs.as_ref().map(|_| std::time::Instant::now());
+            prefetcher.on_access(&acc, &mut self.pf_candidates);
+            let wall_ns = wall_start.map(|s| s.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+            if obs.is_some() {
+                self.tag_scratch.clear();
+                self.tag_scratch
+                    .extend_from_slice(prefetcher.last_batch_tags());
+            }
+            if let Some(inj) = faults.as_deref_mut() {
+                inj.mutate_candidates(&mut self.pf_candidates);
+            }
+            let stall = faults.as_deref_mut().map_or(0, |inj| inj.inference_stall());
+            let inference_lat = prefetcher.effective_latency(stall);
+            let issue_at = t + inference_lat;
+            if let Some(o) = obs.as_deref_mut() {
+                o.on_inference_latency(inference_lat);
+                if let Some(ns) = wall_ns {
+                    o.on_inference_wall_ns(ns);
+                }
+                // Drain after `effective_latency` so deadline-monitor events
+                // (guard trips on the inference path) ride the same access.
+                if tracing {
+                    for &ev in prefetcher.pending_trace_events() {
+                        o.on_trace_event(ri, ev);
+                    }
+                }
+            }
+            // Timeliness bound: an inference slower than an uncontended DRAM
+            // round trip cannot beat a demand fetch for the same line.
+            let timely = inference_lat
+                <= cfg.dram.t_rp + cfg.dram.t_rcd + cfg.dram.t_cas + cfg.dram.bus_cycles;
+            let mut issued_now = 0usize;
+            for (ci, &pf_block) in self.pf_candidates.iter().enumerate() {
+                // Fault mutation can desync candidates from their tags; fall
+                // back to the unattributed tag rather than misattribute.
+                let tag = if self.tag_scratch.len() == self.pf_candidates.len() {
+                    self.tag_scratch.get(ci).copied().unwrap_or_default()
+                } else {
+                    PrefetchTag::default()
+                };
+                if issued_now >= cfg.max_prefetch_degree {
+                    match obs.as_deref_mut() {
+                        Some(o) => {
+                            o.on_dropped(pf_block, tag, DropReason::DegreeCap);
+                            continue;
+                        }
+                        None => break,
+                    }
+                }
+                let drop_reason = if pf_block == block {
+                    Some(DropReason::SelfBlock)
+                } else if self.llc.contains(pf_block) {
+                    Some(DropReason::InCache)
+                } else if self.inflight.contains(pf_block) {
+                    Some(DropReason::InFlight)
+                } else {
+                    None
+                };
+                if let Some(reason) = drop_reason {
+                    if let Some(o) = obs.as_deref_mut() {
+                        o.on_dropped(pf_block, tag, reason);
+                    }
+                    continue;
+                }
+                let ready = self.dram.request(pf_block, issue_at);
+                let victim = self.llc.insert(pf_block, true, false);
+                self.inflight.insert(pf_block, ready, timely);
+                self.prefetches_issued += 1;
+                issued_now += 1;
                 if let Some(o) = obs.as_deref_mut() {
-                    o.on_demand_miss(prefetcher.current_phase_id());
-                    o.on_memory_latency(done.saturating_sub(t));
+                    o.on_issued(pf_block, tag, timely);
                     if let Some(v) = victim {
                         if v.unused_prefetch {
                             o.on_useless_evict(v.block);
                         }
                     }
                 }
-                done
             }
-        };
-        core.l2.insert(block, false, false);
-        core.l1.insert(block, false, r.is_write);
-        if !r.is_write {
-            core.outstanding.push(std::cmp::Reverse(completion));
-            core.prev_load_done = completion;
+            self.inflight.sweep(core.cycle);
         }
-
-        // --------------------- Prefetcher ---------------------
-        pf_candidates.clear();
-        // Detector misfire: a phantom access perturbs the prefetcher's
-        // observation state; anything it predicts off it is discarded.
-        if let Some(inj) = faults.as_deref_mut() {
-            if let Some((fake_pc, fake_block)) = inj.detector_misfire() {
-                misfire_scratch.clear();
-                let phantom = LlcAccess {
-                    pc: fake_pc,
-                    block: fake_block,
-                    core: r.core,
-                    is_write: false,
-                    hit: false,
-                    cycle: core.cycle,
-                };
-                prefetcher.on_access(&phantom, &mut misfire_scratch);
-            }
-        }
-        let acc = LlcAccess {
-            pc: r.pc,
-            block,
-            core: r.core,
-            is_write: r.is_write,
-            hit,
-            cycle: core.cycle,
-        };
-        // Wall-clock timing is observational only: it is measured solely
-        // when an observer is attached and never feeds back into any
-        // simulation state, so observed runs stay bit-identical.
-        let wall_start = obs.as_ref().map(|_| std::time::Instant::now());
-        prefetcher.on_access(&acc, &mut pf_candidates);
-        let wall_ns = wall_start.map(|s| s.elapsed().as_nanos().min(u64::MAX as u128) as u64);
-        if obs.is_some() {
-            tag_scratch.clear();
-            tag_scratch.extend_from_slice(prefetcher.last_batch_tags());
-        }
-        if let Some(inj) = faults.as_deref_mut() {
-            inj.mutate_candidates(&mut pf_candidates);
-        }
-        let stall = faults.as_deref_mut().map_or(0, |inj| inj.inference_stall());
-        let inference_lat = prefetcher.effective_latency(stall);
-        let issue_at = t + inference_lat;
-        if let Some(o) = obs.as_deref_mut() {
-            o.on_inference_latency(inference_lat);
-            if let Some(ns) = wall_ns {
-                o.on_inference_wall_ns(ns);
-            }
-            // Drain after `effective_latency` so deadline-monitor events
-            // (guard trips on the inference path) ride the same access.
-            if tracing {
-                for &ev in prefetcher.pending_trace_events() {
-                    o.on_trace_event(ri, ev);
-                }
-            }
-        }
-        // Timeliness bound: an inference slower than an uncontended DRAM
-        // round trip cannot beat a demand fetch for the same line.
-        let timely =
-            inference_lat <= cfg.dram.t_rp + cfg.dram.t_rcd + cfg.dram.t_cas + cfg.dram.bus_cycles;
-        let mut issued_now = 0usize;
-        for (ci, &pf_block) in pf_candidates.iter().enumerate() {
-            // Fault mutation can desync candidates from their tags; fall
-            // back to the unattributed tag rather than misattribute.
-            let tag = if tag_scratch.len() == pf_candidates.len() {
-                tag_scratch.get(ci).copied().unwrap_or_default()
-            } else {
-                PrefetchTag::default()
-            };
-            if issued_now >= cfg.max_prefetch_degree {
-                match obs.as_deref_mut() {
-                    Some(o) => {
-                        o.on_dropped(pf_block, tag, DropReason::DegreeCap);
-                        continue;
-                    }
-                    None => break,
-                }
-            }
-            let drop_reason = if pf_block == block {
-                Some(DropReason::SelfBlock)
-            } else if llc.contains(pf_block) {
-                Some(DropReason::InCache)
-            } else if inflight.contains(pf_block) {
-                Some(DropReason::InFlight)
-            } else {
-                None
-            };
-            if let Some(reason) = drop_reason {
-                if let Some(o) = obs.as_deref_mut() {
-                    o.on_dropped(pf_block, tag, reason);
-                }
-                continue;
-            }
-            let ready = dram.request(pf_block, issue_at);
-            let victim = llc.insert(pf_block, true, false);
-            inflight.insert(pf_block, ready, timely);
-            prefetches_issued += 1;
-            issued_now += 1;
-            if let Some(o) = obs.as_deref_mut() {
-                o.on_issued(pf_block, tag, timely);
-                if let Some(v) = victim {
-                    if v.unused_prefetch {
-                        o.on_useless_evict(v.block);
-                    }
-                }
-            }
-        }
-        inflight.sweep(core.cycle);
+        self.records_done += segment.len() as u64;
     }
 
-    // Drain: the run ends when the slowest core has retired everything.
-    let mut cycles = 0u64;
-    for core in &mut cores {
-        let mut last = core.cycle;
-        while let Some(std::cmp::Reverse(done)) = core.outstanding.pop() {
-            last = last.max(done);
+    /// Drains the pipelines and produces the final [`SimResult`]. The run
+    /// ends when the slowest core has retired everything; the prefetcher
+    /// and fault injector are read (not consumed) so the caller can keep
+    /// reusing them across matrix cells.
+    pub fn finish(
+        mut self,
+        prefetcher: &dyn Prefetcher,
+        faults: Option<&FaultInjector>,
+    ) -> SimResult {
+        let mut cycles = 0u64;
+        for core in &mut self.cores {
+            let mut last = core.cycle;
+            while let Some(std::cmp::Reverse(done)) = core.outstanding.pop() {
+                last = last.max(done);
+            }
+            cycles = cycles.max(last);
         }
-        cycles = cycles.max(last);
-    }
 
-    let (l1, l2) = cores.iter().fold(
-        (CacheStats::default(), CacheStats::default()),
-        |(mut a, mut b), c| {
-            a.hits += c.l1.stats.hits;
-            a.misses += c.l1.stats.misses;
-            b.hits += c.l2.stats.hits;
-            b.misses += c.l2.stats.misses;
-            (a, b)
-        },
-    );
+        let (l1, l2) = self.cores.iter().fold(
+            (CacheStats::default(), CacheStats::default()),
+            |(mut a, mut b), c| {
+                a.hits += c.l1.stats.hits;
+                a.misses += c.l1.stats.misses;
+                b.hits += c.l2.stats.hits;
+                b.misses += c.l2.stats.misses;
+                (a, b)
+            },
+        );
 
-    SimResult {
-        prefetcher: prefetcher.name(),
-        instructions,
-        cycles: cycles.max(1),
-        l1,
-        l2,
-        llc: llc.stats,
-        dram: dram.stats,
-        prefetches_issued,
-        prefetches_useful,
-        late_prefetch_merges: late_merges,
-        llc_demand_misses,
-        faults: faults.map(|f| f.stats).unwrap_or_default(),
+        SimResult {
+            prefetcher: prefetcher.name(),
+            instructions: self.instructions,
+            cycles: cycles.max(1),
+            l1,
+            l2,
+            llc: self.llc.stats,
+            dram: self.dram.stats,
+            prefetches_issued: self.prefetches_issued,
+            prefetches_useful: self.prefetches_useful,
+            late_prefetch_merges: self.late_merges,
+            llc_demand_misses: self.llc_demand_misses,
+            faults: faults.map(|f| f.stats).unwrap_or_default(),
+        }
     }
 }
 
@@ -871,6 +954,72 @@ mod tests {
         let _ = simulate_observed(&trace, &mut quiet, &cfg, None, Some(&mut o));
         assert!(!quiet.trace_on);
         assert_eq!(quiet.accesses_seen, 0);
+    }
+
+    /// Replaying a trace in contiguous segments through one `SimSession`
+    /// must be bit-identical to the one-shot path — the state hand-off
+    /// contract the sharded matrix driver builds on.
+    #[test]
+    fn segmented_replay_is_bit_identical_to_one_shot() {
+        let trace = sequential_trace(12_000);
+        let cfg = SimConfig::default();
+        let one_shot = simulate(&trace, &mut NextLine, &cfg);
+        for splits in [
+            vec![1usize],
+            vec![6_000],
+            vec![137],
+            vec![11_999],
+            vec![3_000, 6_000, 9_000],
+            vec![1, 2, 3, 11_000],
+        ] {
+            let mut session = SimSession::new(&cfg);
+            let mut pf = NextLine;
+            let mut start = 0usize;
+            for &end in splits.iter().chain(std::iter::once(&trace.len())) {
+                session.run_segment(&trace[start..end], &mut pf, None, None);
+                assert_eq!(session.records_done(), end as u64);
+                start = end;
+            }
+            let seg = session.finish(&pf, None);
+            assert_eq!(seg.cycles, one_shot.cycles, "splits {splits:?}");
+            assert_eq!(seg.instructions, one_shot.instructions);
+            assert_eq!(seg.prefetches_issued, one_shot.prefetches_issued);
+            assert_eq!(seg.prefetches_useful, one_shot.prefetches_useful);
+            assert_eq!(seg.late_prefetch_merges, one_shot.late_prefetch_merges);
+            assert_eq!(seg.llc_demand_misses, one_shot.llc_demand_misses);
+            assert_eq!(seg.l1.hits, one_shot.l1.hits);
+            assert_eq!(seg.l1.misses, one_shot.l1.misses);
+            assert_eq!(seg.l2.hits, one_shot.l2.hits);
+            assert_eq!(seg.l2.misses, one_shot.l2.misses);
+            assert_eq!(seg.llc.hits, one_shot.llc.hits);
+            assert_eq!(seg.llc.misses, one_shot.llc.misses);
+        }
+    }
+
+    /// Observer record indices keep counting globally across segments: the
+    /// second segment's first `on_record` continues where the first ended.
+    #[test]
+    fn segmented_replay_preserves_global_record_indices() {
+        let trace = sequential_trace(1024);
+        let cfg = SimConfig::default();
+        let mut whole = TracingObserver::default();
+        let _ = simulate_observed(
+            &trace,
+            &mut EventfulNextLine::default(),
+            &cfg,
+            None,
+            Some(&mut whole),
+        );
+
+        let mut session = SimSession::new(&cfg);
+        let mut pf = EventfulNextLine::default();
+        let mut seg_obs = TracingObserver::default();
+        session.run_segment(&trace[..300], &mut pf, None, Some(&mut seg_obs));
+        session.run_segment(&trace[300..], &mut pf, None, Some(&mut seg_obs));
+        let _ = session.finish(&pf, None);
+        assert_eq!(seg_obs.records, whole.records);
+        assert_eq!(seg_obs.last_record, whole.last_record);
+        assert_eq!(seg_obs.events, whole.events);
     }
 
     #[test]

@@ -37,7 +37,9 @@ pub mod trace_event;
 
 pub use cache::{Cache, CacheStats, Lookup};
 pub use dram::{Dram, DramConfig, DramStats};
-pub use engine::{simulate, simulate_observed, simulate_with_faults, SimConfig, SimResult};
+pub use engine::{
+    simulate, simulate_observed, simulate_with_faults, SimConfig, SimResult, SimSession,
+};
 pub use fault::{FaultConfig, FaultInjector, FaultKind, FaultStats};
 pub use filter::{llc_filter, llc_filter_indexed};
 pub use obs::{DropReason, PrefetchObserver};

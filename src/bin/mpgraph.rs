@@ -6,12 +6,19 @@
 //! mpgraph info     pr.mpgtrc
 //! mpgraph simulate pr.mpgtrc --prefetcher bo
 //! mpgraph run      --framework gpop --app pr --dataset youtube --div 64
+//! mpgraph run      --all --shards 4 --quick --metrics-out merged.json
 //! mpgraph serve    pr.mpgtrc --streams 8 --load 2.0
 //! ```
 //!
 //! `run` executes the full paper workflow on one workload: trace → LLC
 //! filter → train MPGraph on iteration 0 → simulate the remaining
-//! iterations against the no-prefetch baseline and BO.
+//! iterations against the no-prefetch baseline and BO. With `--quick` the
+//! combo runs through the bench harness at `ExpScale::quick()` — the same
+//! per-combo path the sharded matrix uses. With `--all` the full
+//! framework × app × dataset matrix runs sharded across worker threads
+//! and the per-combo snapshots merge deterministically (fixed combo
+//! order), so the merged `--metrics-out` artifact is byte-identical at
+//! any `--shards` count.
 
 use mpgraph::core::trace::TraceConfig as TelemetryConfig;
 use mpgraph::core::{
@@ -37,8 +44,10 @@ fn usage() -> ! {
          [--fault corrupt-record|drop-prefetch|duplicate-prefetch|detector-misfire|stall-inference]\n           \
          [--fault-rate R] [--fault-seed S] [--stall-cycles N] [--metrics-out FILE]\n           \
          [--trace-out FILE]\n  \
-         run      --framework F --app A --dataset D [--div N] [--iterations N]\n           \
-         [--metrics-out FILE] [--trace-out FILE]\n  \
+         run      --framework F --app A [--dataset D (default: rmat)] [--div N]\n           \
+         [--iterations N] [--quick] [--metrics-out FILE] [--trace-out FILE]\n  \
+         run --all [--shards N (default: cores)] [--quick] [--metrics-out FILE]\n           \
+         [--trace-out FILE]\n  \
          serve    FILE [--streams N] [--load F] [--metrics-out FILE] [--trace-out FILE]"
     );
     std::process::exit(2);
@@ -114,7 +123,10 @@ fn parse_framework(s: &str) -> Framework {
         "gpop" => Framework::Gpop,
         "xstream" | "x-stream" => Framework::XStream,
         "powergraph" => Framework::PowerGraph,
-        other => die(&format!("unknown framework {other:?}")),
+        other => die(&format!(
+            "unknown framework {other:?} (valid: {})",
+            Framework::ALL.map(|f| f.name().to_lowercase()).join(" ")
+        )),
     }
 }
 
@@ -125,7 +137,10 @@ fn parse_app(s: &str) -> App {
         "pr" | "pagerank" => App::Pr,
         "sssp" => App::Sssp,
         "tc" => App::Tc,
-        other => die(&format!("unknown app {other:?}")),
+        other => die(&format!(
+            "unknown app {other:?} (valid: {})",
+            App::ALL.map(|a| a.name().to_lowercase()).join(" ")
+        )),
     }
 }
 
@@ -163,7 +178,8 @@ fn parse_dataset(s: &str) -> Dataset {
         .find(|d| d.name().eq_ignore_ascii_case(s))
         .unwrap_or_else(|| {
             die(&format!(
-                "unknown dataset {s:?} (try: amazon google roadCA soclj wiki youtube rmat)"
+                "unknown dataset {s:?} (valid: {})",
+                Dataset::ALL.map(|d| d.name()).join(" ")
             ))
         })
 }
@@ -239,18 +255,26 @@ fn write_metrics(args: &Args, snap: &MetricsSnapshot) {
     eprintln!("metrics written to {path}");
 }
 
-/// Writes the Chrome-trace JSON when `--trace-out` was given.
-fn write_trace(args: &Args, sb: &PrefetchScoreboard) {
+/// Writes a Chrome-trace JSON value when `--trace-out` was given.
+fn write_trace_value(args: &Args, chrome: &serde::Value) {
     let Some(path) = args.get("trace-out") else {
         return;
     };
+    let json =
+        serde_json::to_string(chrome).unwrap_or_else(|e| die(&format!("serializing trace: {e}")));
+    std::fs::write(path, json).unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+    eprintln!("chrome trace written to {path} (load it in ui.perfetto.dev)");
+}
+
+/// Writes the scoreboard's Chrome-trace JSON when `--trace-out` was given.
+fn write_trace(args: &Args, sb: &PrefetchScoreboard) {
+    if args.get("trace-out").is_none() {
+        return;
+    }
     let Some(chrome) = sb.chrome_trace() else {
         die("trace requested but the scoreboard recorded none");
     };
-    let json =
-        serde_json::to_string(&chrome).unwrap_or_else(|e| die(&format!("serializing trace: {e}")));
-    std::fs::write(path, json).unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
-    eprintln!("chrome trace written to {path} (load it in ui.perfetto.dev)");
+    write_trace_value(args, &chrome);
 }
 
 fn report(label: &str, r: &SimResult, base: Option<&SimResult>) {
@@ -347,6 +371,12 @@ fn cmd_simulate(args: &Args) {
 }
 
 fn cmd_run(args: &Args) {
+    if args.get("all").is_some() {
+        return cmd_run_all(args);
+    }
+    if args.get("quick").is_some() {
+        return cmd_run_quick(args);
+    }
     let trace = build_trace(args);
     let cfg = mpgraph::scaled_sim_config();
     let split = trace
@@ -388,6 +418,80 @@ fn cmd_run(args: &Args) {
         write_metrics(args, &snap);
         write_trace(args, sb);
     }
+}
+
+/// `run --quick`: one combo through the bench harness at
+/// `ExpScale::quick()` — the exact per-combo path `run --all` shards, so
+/// a CI matrix leg and the merged run measure the same thing.
+fn cmd_run_quick(args: &Args) {
+    use mpgraph::bench::shard::{run_combo, Combo, SEGMENT_LEN};
+    use mpgraph::bench::ExpScale;
+
+    let framework = parse_framework(args.get("framework").unwrap_or_else(|| usage()));
+    let app = parse_app(args.get("app").unwrap_or_else(|| usage()));
+    if !framework.apps().contains(&app) {
+        die(&format!(
+            "{} does not ship {} (Table 1); available: {}",
+            framework.name(),
+            app.name(),
+            framework
+                .apps()
+                .iter()
+                .map(|a| a.name().to_lowercase())
+                .collect::<Vec<_>>()
+                .join(" ")
+        ));
+    }
+    let dataset = parse_dataset(args.get("dataset").unwrap_or("rmat"));
+    let combo = Combo {
+        framework,
+        app,
+        dataset,
+    };
+    eprintln!("quick run: {} at ExpScale::quick()", combo.label());
+    let r = run_combo(combo, &ExpScale::quick(), SEGMENT_LEN);
+    report("none", &r.base, None);
+    report("BO", &r.bo, Some(&r.base));
+    report("MPGraph", &r.mpgraph, Some(&r.base));
+    write_metrics(args, &r.snapshot);
+    write_trace_value(
+        args,
+        &mpgraph::core::chrome_trace_json_sharded(std::slice::from_ref(&r.trace)),
+    );
+}
+
+/// `run --all`: the sharded full-matrix evaluation. Partitions the
+/// framework × app × dataset matrix across `--shards` worker threads,
+/// merges the per-combo snapshots in fixed matrix order, and writes the
+/// merged snapshot (`--metrics-out`), the multi-process Perfetto trace
+/// (`--trace-out`, one pid per combo), and `results/matrix_all.json`.
+fn cmd_run_all(args: &Args) {
+    use mpgraph::bench::runners::matrix;
+    use mpgraph::bench::shard::run_matrix;
+    use mpgraph::bench::ExpScale;
+
+    let quick = args.get("quick").is_some();
+    let scale = if quick {
+        ExpScale::quick()
+    } else {
+        ExpScale::standard()
+    };
+    let default_shards = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let shards = args.get_usize("shards", default_shards).max(1);
+    eprintln!(
+        "running the full matrix at {} scale across {shards} shard worker(s)",
+        if quick { "quick" } else { "standard" }
+    );
+    let m = run_matrix(&scale, shards);
+    matrix::print_summary(&m);
+    match matrix::dump_rows(&m) {
+        Ok(p) => eprintln!("matrix rows written to {}", p.display()),
+        Err(e) => eprintln!("warning: could not write matrix rows: {e}"),
+    }
+    write_metrics(args, &m.merged);
+    write_trace_value(args, &m.chrome_trace());
 }
 
 /// Multiplexes a saved trace through the multi-stream prefetch service:

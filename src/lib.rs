@@ -15,6 +15,7 @@
 //! | [`phase`] | KSWIN / Soft-KSWIN / DT / Soft-DT transition detectors |
 //! | [`prefetchers`] | BO, ISB, Delta-LSTM, Voyager, TransFetch baselines |
 //! | [`core`] | AMMA, the two predictors, CSTP, the MPGraph prefetcher |
+//! | [`mod@bench`] | experiment harness + the sharded `run --all` matrix driver |
 //!
 //! ```
 //! use mpgraph::graph::{rmat, RmatConfig};
@@ -32,6 +33,7 @@
 //! assert!(result.ipc() > 0.0);
 //! ```
 
+pub use mpgraph_bench as bench;
 pub use mpgraph_core as core;
 pub use mpgraph_frameworks as frameworks;
 pub use mpgraph_graph as graph;
