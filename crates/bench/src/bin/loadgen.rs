@@ -4,10 +4,16 @@
 //! rate and reports throughput, prediction-latency percentiles, and shed
 //! fraction per point; `--chaos` additionally drives `StallInference`
 //! faults through a quarter of the streams and verifies that quarantine
-//! contains the blast radius.
+//! contains the blast radius. A fused-vs-per-item comparison at 1x
+//! saturation (lockstep streams) always runs and prints the pump-fusion
+//! speedup plus a bit-identity verdict.
 //!
 //! Usage: `loadgen [--quick] [--streams N] [--ticks N] [--chaos]
-//! [--metrics-out FILE] [--trace-out FILE]`
+//! [--zipf] [--metrics-out FILE] [--trace-out FILE]`
+//!
+//! `--zipf` replaces the uniform round-robin arrivals with Zipf(1)
+//! weights across streams (hot stream 0 down to the coldest); the
+//! per-stream p50/p99 spread is reported either way.
 //!
 //! `--metrics-out` writes the full `MetricsSnapshot` (with the `serve`
 //! section populated) of the highest-load sweep point; `--trace-out`
@@ -17,7 +23,9 @@ use mpgraph_bench::report::{
     dump_json, f, metrics_out_arg, pct, print_table, trace_out_arg, write_json_compact_to,
     write_json_to,
 };
-use mpgraph_bench::serve_load::{run_chaos, run_load_sweep, LoadgenSetup};
+use mpgraph_bench::serve_load::{
+    run_chaos, run_fused_comparison, run_load_sweep, zipf_weights, LoadgenSetup,
+};
 use mpgraph_bench::ExpScale;
 use mpgraph_core::{ServeConfig, TraceConfig};
 use serde::Serialize;
@@ -35,6 +43,7 @@ fn usize_arg(flag: &str, default: usize) -> usize {
 struct LoadgenArtifact {
     points: Vec<mpgraph_bench::serve_load::LoadPoint>,
     chaos: Option<mpgraph_bench::serve_load::ChaosOutcome>,
+    fused: mpgraph_bench::serve_load::FusedComparison,
 }
 
 fn main() {
@@ -42,17 +51,20 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let chaos = args.iter().any(|a| a == "--chaos");
     let quick = args.iter().any(|a| a == "--quick");
+    let zipf = args.iter().any(|a| a == "--zipf");
     let streams = usize_arg("--streams", 8);
     let ticks = usize_arg("--ticks", if quick { 200 } else { 2000 }) as u64;
 
     let cfg = ServeConfig::default();
     let setup = LoadgenSetup::prepare(&scale);
+    let weights = zipf.then(|| zipf_weights(streams));
     let outcome = run_load_sweep(
         &setup,
         cfg,
         streams,
         ticks,
         &[0.5, 1.0, 2.0],
+        weights.as_deref(),
         Some(TraceConfig::with_adaptive()),
     );
 
@@ -72,7 +84,10 @@ fn main() {
         ]);
     }
     print_table(
-        "Service load sweep (open-loop)",
+        &format!(
+            "Service load sweep (open-loop, {} arrivals)",
+            if zipf { "Zipf" } else { "uniform" }
+        ),
         &[
             "load",
             "rate/tick",
@@ -86,6 +101,55 @@ fn main() {
             "quar",
         ],
         &rows,
+    );
+
+    // Per-stream latency spread of the saturation (1x) point: skewed
+    // arrivals must not starve cold streams.
+    if let Some(p) = outcome
+        .points
+        .iter()
+        .find(|p| (p.load_factor - 1.0).abs() < f64::EPSILON)
+    {
+        let rows: Vec<Vec<String>> = p
+            .per_stream
+            .iter()
+            .map(|s| {
+                vec![
+                    s.stream.to_string(),
+                    s.predictions.to_string(),
+                    s.p50_latency_cycles.to_string(),
+                    s.p99_latency_cycles.to_string(),
+                ]
+            })
+            .collect();
+        print_table(
+            "Per-stream latency spread at 1x saturation",
+            &["stream", "served", "p50 cyc", "p99 cyc"],
+            &rows,
+        );
+    }
+
+    let fused = run_fused_comparison(&setup, cfg, streams, ticks);
+    print_table(
+        "Fused (BxTxd) pump vs per-item forwards at 1x saturation",
+        &[
+            "fused acc/s",
+            "per-item acc/s",
+            "speedup",
+            "bit-identical",
+            "batches",
+            "items",
+            "forwards",
+        ],
+        &[vec![
+            format!("{:.0}", fused.fused_accesses_per_sec),
+            format!("{:.0}", fused.per_item_accesses_per_sec),
+            f(fused.speedup, 2),
+            if fused.bit_identical { "YES" } else { "NO" }.to_string(),
+            fused.fused_batches.to_string(),
+            fused.fused_items.to_string(),
+            fused.fused_forwards.to_string(),
+        ]],
     );
 
     let chaos_outcome = if chaos {
@@ -117,6 +181,7 @@ fn main() {
         &LoadgenArtifact {
             points: outcome.points.clone(),
             chaos: chaos_outcome,
+            fused,
         },
     ) {
         println!("wrote {}", p.display());

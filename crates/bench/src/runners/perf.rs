@@ -350,6 +350,64 @@ pub fn run_perf(quick: bool) -> PerfReport {
     black_box(&dp.final_loss);
     let tokens = (tc.max_samples * tc.history * tc.epochs) as f64;
 
+    // Fused (B×T×d) batched inference against B per-item calls — the
+    // serve-pump kernel. Here the per-item side *is* the interleaved
+    // reference, so the gated ratio is directly batched/per-item (want
+    // well under 1.0, and the 15% gate holds whatever it measures).
+    const FUSED_BATCH: usize = 16;
+    let hists: Vec<Vec<(u64, u64)>> = (0..FUSED_BATCH)
+        .map(|b| {
+            trace[b..b + tc.history]
+                .iter()
+                .map(|rec| (rec.block(), rec.pc))
+                .collect()
+        })
+        .collect();
+    let refs: Vec<&[(u64, u64)]> = hists.iter().map(Vec::as_slice).collect();
+    let mut fused_arena = ScratchArena::new();
+    let mut solo_arena = ScratchArena::new();
+    for _ in 0..4 {
+        let _ = dp.predict_deltas_batch_in(&refs, 0, 4, &mut fused_arena);
+        let _ = dp.predict_deltas_in(&hists[0], 0, 4, &mut solo_arena);
+    }
+    // Each closure advances its own phase counter; both are called once
+    // per sample, so the two streams see identical phase sequences.
+    let mut phase_a = 0usize;
+    let mut phase_b = 0usize;
+    let (sorted, per_item_stream, ratio) = sample_interleaved_ns(
+        (knobs.infer_samples / 4).max(50),
+        1,
+        || {
+            phase_a = (phase_a + 1) % 3;
+            let d = dp.predict_deltas_batch_in(black_box(&refs), phase_a, 4, &mut fused_arena);
+            black_box(&d);
+        },
+        || {
+            phase_b = (phase_b + 1) % 3;
+            for h in &refs {
+                let d = dp.predict_deltas_in(black_box(h), phase_b, 4, &mut solo_arena);
+                black_box(&d);
+            }
+        },
+    );
+    let per_item_p50 = percentile(&per_item_stream, 0.50).max(1);
+    let mut e = entry(
+        &format!(
+            "infer_batched{FUSED_BATCH}_vs_per_item_{}",
+            Variant::AmmaPs.name()
+        ),
+        &sorted,
+        per_item_p50,
+    );
+    e.normalized_p50 = ratio;
+    kernels.push(KernelSpeedup {
+        name: e.name.clone(),
+        tiled_p50_ns: e.p50_ns,
+        ref_p50_ns: per_item_p50,
+        speedup: 1.0 / ratio.max(1e-12),
+    });
+    gated.push(e);
+
     // Reported calibration: the median over the interleaved streams.
     cals.sort_unstable();
     let calibration_p50 = percentile(&cals, 0.50).max(1);
@@ -521,8 +579,18 @@ mod tests {
     fn quick_run_is_self_consistent() {
         let rep = run_perf(true);
         assert!(rep.calibration_p50_ns > 0);
-        assert_eq!(rep.kernels.len(), 2 * SHAPES.len());
-        assert_eq!(rep.gated.len(), 2 * SHAPES.len() + 3);
+        assert_eq!(rep.kernels.len(), 2 * SHAPES.len() + 1);
+        assert_eq!(rep.gated.len(), 2 * SHAPES.len() + 4);
+        let fused = rep
+            .kernels
+            .iter()
+            .find(|k| k.name.starts_with("infer_batched"))
+            .expect("batched-vs-per-item row missing");
+        assert!(
+            fused.speedup > 1.0,
+            "batched inference slower than per-item: {:.3}x",
+            fused.speedup
+        );
         assert!(rep.train_tokens_per_sec > 0.0);
         assert!(rep.eq12_paper_cycles > 0);
         for e in &rep.gated {

@@ -10,10 +10,11 @@
 //! cycles); only the reported `accesses_per_sec` uses host wall time,
 //! the same compromise as the scoreboard's `inference_wall_ns`.
 
+use crate::runners::perf::percentile;
 use crate::scale::ExpScale;
 use crate::workload::SynthConfig;
 use mpgraph_core::{
-    build_detector, train_mpgraph, MetricsSnapshot, MpGraphConfig, MpGraphPrefetcher,
+    build_detector, train_mpgraph, MetricsSnapshot, MpGraphConfig, MpGraphPrefetcher, Prediction,
     PrefetchScoreboard, PrefetchService, ServeConfig, TraceConfig,
 };
 use mpgraph_frameworks::MemRecord;
@@ -89,6 +90,50 @@ pub fn saturation_rate(cfg: &ServeConfig) -> usize {
     cfg.batch_size.min(by_deadline).max(1)
 }
 
+/// Zipf(s = 1) arrival weights across `streams`, normalized to sum to 1:
+/// stream `s` receives a `1/(s+1)` share. Graph-analytics front-ends are
+/// not uniform — a hot traversal stream dominates while cold streams
+/// trickle — and the serve path must hold its latency under that skew.
+pub fn zipf_weights(streams: usize) -> Vec<f64> {
+    let mut w: Vec<f64> = (0..streams).map(|s| 1.0 / (s as f64 + 1.0)).collect();
+    let sum: f64 = w.iter().sum();
+    for x in &mut w {
+        *x /= sum.max(f64::MIN_POSITIVE);
+    }
+    w
+}
+
+/// Per-stream latency spread of one sweep point: with heterogeneous
+/// arrivals the aggregate p99 can hide a starving cold stream, so each
+/// stream's percentiles are reported alongside it.
+#[derive(Debug, Clone, Serialize)]
+pub struct StreamLatency {
+    pub stream: u32,
+    pub predictions: u64,
+    pub p50_latency_cycles: u64,
+    pub p99_latency_cycles: u64,
+}
+
+/// Groups served predictions by stream and summarizes each stream's
+/// admission→completion latency distribution.
+pub fn per_stream_latencies(out: &[Prediction]) -> Vec<StreamLatency> {
+    let mut by: std::collections::BTreeMap<u32, Vec<u64>> = std::collections::BTreeMap::new();
+    for p in out {
+        by.entry(p.stream).or_default().push(p.latency);
+    }
+    by.into_iter()
+        .map(|(stream, mut lat)| {
+            lat.sort_unstable();
+            StreamLatency {
+                stream,
+                predictions: lat.len() as u64,
+                p50_latency_cycles: percentile(&lat, 0.50),
+                p99_latency_cycles: percentile(&lat, 0.99),
+            }
+        })
+        .collect()
+}
+
 /// One measured point of the load sweep.
 #[derive(Debug, Clone, Serialize)]
 pub struct LoadPoint {
@@ -113,6 +158,14 @@ pub struct LoadPoint {
     pub final_overload_level: u64,
     pub quarantines: u64,
     pub max_queue_depth: u64,
+    /// Fused-forward accounting for this point (zero when `fuse` is off
+    /// or no stream pair ever shared a batch-compatible wave).
+    pub fused_batches: u64,
+    pub fused_items: u64,
+    pub fused_forwards: u64,
+    /// Per-stream latency spread; one entry per stream that completed at
+    /// least one prediction, ordered by stream id.
+    pub per_stream: Vec<StreamLatency>,
 }
 
 /// The sweep result: one point per load factor, plus the full metrics
@@ -145,15 +198,22 @@ fn build_service(
 }
 
 /// Drives `svc` open-loop for `ticks` pump rounds at `rate` accesses per
-/// round, spread round-robin over `streams`. `stall_for` supplies the
-/// injected inference stall per (stream, access) — the chaos hook.
+/// round. With `weights: None` the offered load spreads round-robin over
+/// `streams`; with weights (see [`zipf_weights`]) each stream accrues
+/// fractional credit `rate·wₛ` per tick and ingests one access per whole
+/// credit, so skewed arrival rates stay exact over the run without any
+/// randomness. `stall_for` supplies the injected inference stall per
+/// (stream, access) — the chaos hook. Predictions accumulate into `out`.
+#[allow(clippy::too_many_arguments)]
 fn drive(
     svc: &mut PrefetchService,
     setup: &LoadgenSetup,
     streams: usize,
     ticks: u64,
     rate: usize,
+    weights: Option<&[f64]>,
     mut stall_for: impl FnMut(u32) -> u64,
+    out: &mut Vec<Prediction>,
 ) -> (u64, u64, f64) {
     let records = setup.accesses();
     let mut cursors = vec![0usize; streams];
@@ -162,35 +222,60 @@ fn drive(
     for (s, c) in cursors.iter_mut().enumerate() {
         *c = (s * records.len() / streams.max(1)) % records.len().max(1);
     }
-    let mut out = Vec::new();
+    let mut credit = vec![0.0f64; streams];
     let mut offered = 0u64;
     let mut next_stream = 0usize;
+    let before = out.len();
     let started = std::time::Instant::now();
     for _ in 0..ticks {
-        for _ in 0..rate {
-            let s = next_stream % streams;
-            next_stream += 1;
-            let r = &records[cursors[s]];
-            cursors[s] = (cursors[s] + 1) % records.len();
-            let stall = stall_for(s as u32);
-            svc.ingest(s as u32, &access_of(r), stall);
-            offered += 1;
+        match weights {
+            None => {
+                for _ in 0..rate {
+                    let s = next_stream % streams;
+                    next_stream += 1;
+                    let r = &records[cursors[s]];
+                    cursors[s] = (cursors[s] + 1) % records.len();
+                    let stall = stall_for(s as u32);
+                    svc.ingest(s as u32, &access_of(r), stall);
+                    offered += 1;
+                }
+            }
+            Some(w) => {
+                for s in 0..streams {
+                    credit[s] += rate as f64 * w.get(s).copied().unwrap_or(0.0);
+                    while credit[s] >= 1.0 {
+                        credit[s] -= 1.0;
+                        let r = &records[cursors[s]];
+                        cursors[s] = (cursors[s] + 1) % records.len();
+                        let stall = stall_for(s as u32);
+                        svc.ingest(s as u32, &access_of(r), stall);
+                        offered += 1;
+                    }
+                }
+            }
         }
-        svc.pump(&mut out);
+        svc.pump(out);
     }
-    svc.flush(&mut out);
+    svc.flush(out);
     let elapsed = started.elapsed().as_secs_f64().max(1e-9);
-    (offered, out.len() as u64, offered as f64 / elapsed)
+    (
+        offered,
+        (out.len() - before) as u64,
+        offered as f64 / elapsed,
+    )
 }
 
 /// Runs the sweep: one fresh service per load factor (points are
-/// independent measurements, not a continuation).
+/// independent measurements, not a continuation). `weights` selects
+/// heterogeneous per-stream arrivals (see [`zipf_weights`]); `None` keeps
+/// the uniform round-robin drive.
 pub fn run_load_sweep(
     setup: &LoadgenSetup,
     cfg: ServeConfig,
     streams: usize,
     ticks: u64,
     factors: &[f64],
+    weights: Option<&[f64]>,
     trace: Option<TraceConfig>,
 ) -> SweepOutcome {
     let saturation = saturation_rate(&cfg);
@@ -204,7 +289,17 @@ pub fn run_load_sweep(
         // that run is the one with shed and ladder events worth keeping.
         let traced = (factor - max_factor).abs() < f64::EPSILON;
         let mut svc = build_service(setup, cfg, streams, if traced { trace } else { None });
-        let (offered, predictions, per_sec) = drive(&mut svc, setup, streams, ticks, rate, |_| 0);
+        let mut out = Vec::new();
+        let (offered, predictions, per_sec) = drive(
+            &mut svc,
+            setup,
+            streams,
+            ticks,
+            rate,
+            weights,
+            |_| 0,
+            &mut out,
+        );
         let m = svc.metrics();
         points.push(LoadPoint {
             load_factor: factor,
@@ -222,6 +317,10 @@ pub fn run_load_sweep(
             final_overload_level: m.overload_level,
             quarantines: m.quarantines,
             max_queue_depth: m.max_queue_depth,
+            fused_batches: m.fused_batches,
+            fused_items: m.fused_items,
+            fused_forwards: m.fused_forwards,
+            per_stream: per_stream_latencies(&out),
         });
         if traced {
             chrome = svc.scoreboard().and_then(PrefetchScoreboard::chrome_trace);
@@ -232,6 +331,116 @@ pub fn run_load_sweep(
         points,
         snapshot,
         chrome_trace: chrome,
+    }
+}
+
+/// Fused-vs-per-item pump comparison at a fixed load.
+#[derive(Debug, Clone, Serialize)]
+pub struct FusedComparison {
+    pub streams: usize,
+    pub ticks: u64,
+    pub offered_per_tick: usize,
+    pub accesses: u64,
+    pub fused_accesses_per_sec: f64,
+    pub per_item_accesses_per_sec: f64,
+    /// Wall-clock throughput ratio, fused over per-item.
+    pub speedup: f64,
+    /// Every prediction (stream, candidates, phase, latency, fallback
+    /// flag) identical between the two services.
+    pub bit_identical: bool,
+    pub fused_batches: u64,
+    pub fused_items: u64,
+    pub fused_forwards: u64,
+}
+
+/// Drives two otherwise-identical services — one with the fused (B×T×d)
+/// pump, one issuing per-item forwards — over the same lockstep workload
+/// at 1× saturation, and checks the fused path is a pure optimization:
+/// bit-identical output, fewer forwards, higher wall-clock throughput.
+///
+/// The streams replay the *same* record sequence (no per-stream offset):
+/// graph-analytics front-ends fan one traversal out to parallel workers,
+/// so concurrent streams sit in the same phase — exactly the condition
+/// under which batch-compatible waves form.
+pub fn run_fused_comparison(
+    setup: &LoadgenSetup,
+    cfg: ServeConfig,
+    streams: usize,
+    ticks: u64,
+) -> FusedComparison {
+    let rate = saturation_rate(&cfg);
+    let records = setup.accesses();
+
+    let run = |fuse: bool, ticks: u64| -> (Vec<Prediction>, f64, u64, (u64, u64, u64)) {
+        let mut c = cfg;
+        c.fuse = fuse;
+        let mut svc = build_service(setup, c, streams, None);
+        let mut out = Vec::new();
+        let mut cursor = 0usize;
+        let mut next_stream = 0usize;
+        let mut offered = 0u64;
+        let started = std::time::Instant::now();
+        for _ in 0..ticks {
+            for _ in 0..rate {
+                let s = next_stream % streams;
+                next_stream += 1;
+                let r = &records[cursor];
+                // All streams share one cursor: lockstep replay, advanced
+                // once per full round so every stream sees every record.
+                if s == streams - 1 {
+                    cursor = (cursor + 1) % records.len();
+                }
+                svc.ingest(s as u32, &access_of(r), 0);
+                offered += 1;
+            }
+            svc.pump(&mut out);
+        }
+        svc.flush(&mut out);
+        let per_sec = offered as f64 / started.elapsed().as_secs_f64().max(1e-9);
+        let m = svc.metrics();
+        (
+            out,
+            per_sec,
+            offered,
+            (m.fused_batches, m.fused_items, m.fused_forwards),
+        )
+    };
+
+    // A short throwaway drive first: the whole process is cold on the
+    // first service (allocator, page tables, branch predictors), and the
+    // comparison must not charge that warmup to whichever side runs
+    // first.
+    let _ = run(true, (ticks / 4).max(10));
+    let (solo_out, solo_per_sec, _, _) = run(false, ticks);
+    let (fused_out, fused_per_sec, accesses, (fb, fi, ff)) = run(true, ticks);
+
+    let key = |p: &Prediction| {
+        (
+            p.stream,
+            p.candidates.clone(),
+            p.latency,
+            p.via_fallback,
+            p.phase,
+        )
+    };
+    let bit_identical = fused_out.len() == solo_out.len()
+        && fused_out
+            .iter()
+            .zip(solo_out.iter())
+            .all(|(a, b)| key(a) == key(b));
+
+    FusedComparison {
+        streams,
+        ticks,
+        offered_per_tick: rate,
+        accesses,
+        fused_accesses_per_sec: fused_per_sec,
+        per_item_accesses_per_sec: solo_per_sec,
+        speedup: fused_per_sec / solo_per_sec.max(1e-9),
+        bit_identical,
+        fused_batches: fb,
+        fused_items: fi,
+        fused_forwards: ff,
     }
 }
 
@@ -331,6 +540,7 @@ mod tests {
             4,
             120,
             &[0.5, 1.0, 2.0],
+            None,
             Some(TraceConfig::with_adaptive()),
         );
         assert_eq!(outcome.points.len(), 3);
@@ -340,6 +550,9 @@ mod tests {
             assert_eq!(p.accesses, p.predictions, "at {}x", p.load_factor);
             assert!(p.accesses_per_sec > 0.0);
             assert!(p.p99_latency_cycles >= p.p50_latency_cycles);
+            // The spread accounts for every prediction, stream by stream.
+            let spread: u64 = p.per_stream.iter().map(|s| s.predictions).sum();
+            assert_eq!(spread, p.predictions, "at {}x", p.load_factor);
         }
         let under = &outcome.points[0];
         let over = &outcome.points[2];
@@ -366,6 +579,114 @@ mod tests {
     /// unbounded queue growth.
     fn svc_cycle_bound(p: &LoadPoint) -> u64 {
         p.accesses * 2 + p.ml_processed * 1000 + p.fallback_processed * 16
+    }
+
+    #[test]
+    fn zipf_drive_skews_arrivals_and_reports_per_stream_spread() {
+        let w = zipf_weights(4);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(w[0] > w[1] && w[1] > w[2] && w[2] > w[3]);
+
+        let scale = ExpScale::quick();
+        let setup = LoadgenSetup::prepare(&scale);
+        let outcome = run_load_sweep(&setup, quick_cfg(), 4, 120, &[1.0], Some(&w), None);
+        let p = &outcome.points[0];
+        assert_eq!(p.accesses, p.predictions);
+        // The hot stream sees Zipf-many more completions than the cold
+        // one, and every stream still completes something.
+        assert_eq!(p.per_stream.len(), 4);
+        let hot = &p.per_stream[0];
+        let cold = &p.per_stream[3];
+        assert_eq!(hot.stream, 0);
+        assert_eq!(cold.stream, 3);
+        assert!(
+            hot.predictions > 2 * cold.predictions,
+            "hot {} vs cold {}",
+            hot.predictions,
+            cold.predictions
+        );
+        assert!(cold.predictions > 0);
+        for s in &p.per_stream {
+            assert!(s.p99_latency_cycles >= s.p50_latency_cycles);
+        }
+    }
+
+    #[test]
+    fn fused_pump_is_bit_identical_and_batches_lockstep_streams() {
+        let scale = ExpScale::quick();
+        let setup = LoadgenSetup::prepare(&scale);
+        let cmp = run_fused_comparison(&setup, quick_cfg(), 4, 150);
+        assert!(cmp.accesses > 0);
+        assert!(
+            cmp.bit_identical,
+            "fused pump diverged from per-item pump ({} accesses)",
+            cmp.accesses
+        );
+        // Lockstep same-phase streams form real multi-lane groups, and
+        // fusing them saves forwards: strictly fewer forwards than items.
+        assert!(cmp.fused_batches > 0, "no fused batches formed");
+        assert!(
+            cmp.fused_items > cmp.fused_batches,
+            "no wave ever held more than one lane ({} items / {} batches)",
+            cmp.fused_items,
+            cmp.fused_batches
+        );
+        assert!(cmp.fused_forwards > 0);
+        // Wall-clock gate stays loose (CI machines vary); the release
+        // loadgen binary reports ~6x at 8 streams via lane dedup.
+        assert!(
+            cmp.speedup > 1.0,
+            "fused pump not faster: {:.2}x",
+            cmp.speedup
+        );
+    }
+
+    #[test]
+    fn fused_pump_issues_one_spatial_forward_per_group() {
+        // With the temporal walk disabled, a fused group costs exactly
+        // one forward regardless of how many lanes ride it — the whole
+        // point of stacking the pump batch into one (B×T×d) input.
+        let scale = ExpScale::quick();
+        let setup = LoadgenSetup::prepare(&scale);
+        let streams = 4usize;
+        let cfg = ServeConfig::default();
+        let mut svc = PrefetchService::new(cfg);
+        for s in 0..streams {
+            let mut mcfg = MpGraphConfig::default();
+            mcfg.cstp.temporal_degree = 0;
+            svc.register_stream(
+                s as u32,
+                Box::new(MpGraphPrefetcher::from_parts(
+                    setup.trained.delta.clone(),
+                    setup.trained.page.clone(),
+                    build_detector(&setup.train, setup.num_phases, mcfg.detector),
+                    mcfg,
+                    setup.num_phases,
+                    setup.history,
+                )),
+            );
+        }
+        let mut out = Vec::new();
+        let n = 200.min(setup.accesses().len());
+        for r in &setup.accesses()[..n] {
+            // Identical records to every stream: identical histories,
+            // phases, and signatures, so each pump wave is one group.
+            for s in 0..streams {
+                svc.ingest(s as u32, &access_of(r), 0);
+            }
+            svc.pump(&mut out);
+        }
+        let m = svc.metrics();
+        assert!(m.fused_batches > 0, "no fused batches formed");
+        assert_eq!(
+            m.fused_items,
+            streams as u64 * m.fused_batches,
+            "a wave split into multiple groups despite identical streams"
+        );
+        assert_eq!(
+            m.fused_forwards, m.fused_batches,
+            "spatial-only group took more than one forward"
+        );
     }
 
     #[test]

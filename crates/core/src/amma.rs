@@ -258,6 +258,62 @@ impl Amma {
         pooled
     }
 
+    /// Batched inference over `batch` stacked sequences: `x.addr`/`x.pc`
+    /// are `[batch * T, F]` with each sequence contiguous. The linear
+    /// embeddings, fusion concat, phase broadcast, and transformer FFNs
+    /// fuse across the whole stack; self-attention and the positional
+    /// encoding stay per-sequence. Returns `[batch, fusion_dim]` with row
+    /// `b` bit-identical to [`Amma::infer_in`] on sequence `b` alone (the
+    /// whole batch shares one `phase`).
+    pub fn infer_batch_in(
+        &self,
+        x: &ModalInput,
+        batch: usize,
+        phase: usize,
+        s: &mut ScratchArena,
+    ) -> Matrix {
+        assert!(
+            batch > 0 && x.addr.rows.is_multiple_of(batch),
+            "rows must tile by batch"
+        );
+        let seq = x.addr.rows / batch;
+        let mut ea = self.embed_addr.infer_in(&x.addr, s);
+        s.add_positional_per_seq(&mut ea, seq);
+        let mut ep = self.embed_pc.infer_in(&x.pc, s);
+        s.add_positional_per_seq(&mut ep, seq);
+        let mut ha = self.attn_addr.infer_batch_in(&ea, batch, s);
+        ha.add_assign(&ea);
+        s.give(ea);
+        let mut hp = self.attn_pc.infer_batch_in(&ep, batch, s);
+        hp.add_assign(&ep);
+        s.give(ep);
+        let mut fused_in = s.take(ha.rows, ha.cols + hp.cols);
+        let a_cols = ha.cols;
+        for r in 0..ha.rows {
+            fused_in.row_mut(r)[..a_cols].copy_from_slice(ha.row(r));
+            fused_in.row_mut(r)[a_cols..].copy_from_slice(hp.row(r));
+        }
+        s.give(ha);
+        s.give(hp);
+        let mut h = self.fusion.infer_batch_in(&fused_in, batch, s);
+        h.add_assign(&fused_in);
+        s.give(fused_in);
+        if let Some(pe) = &self.phase_embed {
+            pe.add_row_broadcast(phase, &mut h);
+        }
+        for t in &self.trans {
+            let h2 = t.infer_batch_in(&h, batch, s);
+            s.give(h);
+            h = h2;
+        }
+        let mut pooled = s.take(batch, h.cols);
+        for b in 0..batch {
+            pooled.row_mut(b).copy_from_slice(h.row((b + 1) * seq - 1));
+        }
+        s.give(h);
+        pooled
+    }
+
     /// Backward from the pooled gradient `[1, fusion_dim]`. Returns the
     /// gradients w.r.t. the two modality inputs `(d_addr, d_pc)` so that
     /// upstream embeddings (the page tokenizer) can train through AMMA.

@@ -185,6 +185,57 @@ impl Backbone {
         }
     }
 
+    /// Batched inference: `x` stacks `batch` sequences (`[batch * T, F]`
+    /// per modality, each sequence contiguous); returns `[batch, out_dim]`
+    /// with row `b` bit-identical to [`Backbone::infer_in`] on sequence
+    /// `b` alone. The whole batch shares one `phase`.
+    pub fn infer_batch_in(
+        &self,
+        x: &ModalInput,
+        batch: usize,
+        phase: usize,
+        s: &mut ScratchArena,
+    ) -> Matrix {
+        assert!(
+            batch > 0 && x.addr.rows.is_multiple_of(batch),
+            "rows must tile by batch"
+        );
+        let seq = x.addr.rows / batch;
+        match self {
+            Backbone::Lstm { lstm, .. } => {
+                let cat = Self::concat_in(x, s);
+                let h = lstm.infer_batch_in(&cat, batch, s);
+                s.give(cat);
+                Self::pool_last_rows(h, batch, seq, s)
+            }
+            Backbone::Attention { proj, layers, .. } => {
+                let cat = Self::concat_in(x, s);
+                let mut h = proj.infer_in(&cat, s);
+                s.give(cat);
+                s.add_positional_per_seq(&mut h, seq);
+                for l in layers {
+                    let h2 = l.infer_batch_in(&h, batch, s);
+                    s.give(h);
+                    h = h2;
+                }
+                Self::pool_last_rows(h, batch, seq, s)
+            }
+            Backbone::Amma(a) => a.infer_batch_in(x, batch, phase, s),
+        }
+    }
+
+    /// Gathers each sequence's final hidden row into a `[batch, cols]`
+    /// matrix — the batched form of the last-position readout — then
+    /// releases `h` back to the arena.
+    fn pool_last_rows(h: Matrix, batch: usize, seq: usize, s: &mut ScratchArena) -> Matrix {
+        let mut pooled = s.take(batch, h.cols);
+        for b in 0..batch {
+            pooled.row_mut(b).copy_from_slice(h.row((b + 1) * seq - 1));
+        }
+        s.give(h);
+        pooled
+    }
+
     fn concat_in(x: &ModalInput, s: &mut ScratchArena) -> Matrix {
         let rows = x.addr.rows;
         let mut out = s.take(rows, x.addr.cols + x.pc.cols);
@@ -297,6 +348,48 @@ mod tests {
             let y2 = b.infer(&input(2), 0);
             for (a, c) in y.data.iter().zip(y2.data.iter()) {
                 assert!((a - c).abs() < 1e-6, "{}", kind.name());
+            }
+        }
+    }
+
+    #[test]
+    fn batched_inference_is_bit_identical_per_sequence() {
+        let mut r = rng(7);
+        for kind in [
+            BackboneKind::Lstm,
+            BackboneKind::Attention,
+            BackboneKind::Amma,
+        ] {
+            // Phase embedding on (AMMA-PI) exercises the broadcast path.
+            let b = Backbone::new(kind, 3, 1, tiny_cfg(), &mut r).with_phase_embedding(2, &mut r);
+            let mut s = ScratchArena::new();
+            // Ragged coverage via odd batch sizes; every batch shares T
+            // (the fused serve path stacks equal-length histories).
+            for batch in [1usize, 2, 5, 16] {
+                let t = 4;
+                let seqs: Vec<ModalInput> = (0..batch).map(|i| input(100 + i as u64)).collect();
+                let mut addr = Matrix::zeros(batch * t, 3);
+                let mut pc = Matrix::zeros(batch * t, 1);
+                for (i, q) in seqs.iter().enumerate() {
+                    for row in 0..t {
+                        addr.row_mut(i * t + row).copy_from_slice(q.addr.row(row));
+                        pc.data[i * t + row] = q.pc.data[row];
+                    }
+                }
+                let stacked = ModalInput { addr, pc };
+                for phase in 0..2 {
+                    let fused = b.infer_batch_in(&stacked, batch, phase, &mut s);
+                    assert_eq!((fused.rows, fused.cols), (batch, 16));
+                    for (i, q) in seqs.iter().enumerate() {
+                        let solo = b.infer_in(q, phase, &mut s);
+                        assert_eq!(
+                            fused.row(i),
+                            solo.row(0),
+                            "{} batch={batch} seq={i} phase={phase}",
+                            kind.name()
+                        );
+                    }
+                }
             }
         }
     }

@@ -340,6 +340,188 @@ pub fn chain_prefetch_in(
     out
 }
 
+/// One stream's read-only inputs to a fused CSTP batch: the PBOT and the
+/// (full) block / page-token histories it would hand to
+/// [`chain_prefetch_in`].
+pub struct FusedChainItem<'a> {
+    pub pbot: &'a Pbot,
+    pub block_hist: &'a [(u64, u64)],
+    pub page_hist: &'a [(usize, u64)],
+}
+
+/// One stream's outputs from [`chain_prefetch_fused`]: the candidate batch
+/// and lane attribution exactly as [`chain_prefetch_in`] would have
+/// produced them, plus the per-item stats delta the caller merges into its
+/// rolling [`CstpStats`].
+#[derive(Debug, Default, Clone)]
+pub struct FusedChainResult {
+    pub batch: Vec<u64>,
+    pub lanes: Vec<PrefetchLane>,
+    pub stats: CstpStats,
+}
+
+/// [`chain_prefetch_in`] over a whole group of streams at once, with every
+/// model call batched: the spatial lane runs one `(B·T, ·)` delta forward
+/// over all items, and the temporal chain walks in lock-step — one batched
+/// page forward and one batched chained-delta forward per step, over the
+/// items whose chains are still alive. A pump batch of B compatible
+/// streams therefore costs `1 + 2·Dt` fused forwards instead of
+/// `B · (1 + 2·Dt)` independent ones.
+///
+/// All items must share one phase, one model shape (equal-length
+/// histories included), and — for the outputs to be meaningful —
+/// identical predictor weights; the serving layer guarantees this by
+/// grouping streams on a weight/config signature. Because every kernel on
+/// the batched path computes each output row from its own input rows
+/// alone, each item's `batch`, `lanes`, and `stats` are bit-identical to
+/// a per-item [`chain_prefetch_in`] call.
+///
+/// `forwards` counts the batched model forwards issued (the serving
+/// layer's fusion-efficiency telemetry).
+pub fn chain_prefetch_fused(
+    delta: &DeltaPredictor,
+    page: &PagePredictor,
+    items: &[FusedChainItem<'_>],
+    phase: usize,
+    cfg: &CstpConfig,
+    arena: &mut ScratchArena,
+    forwards: &mut u64,
+) -> Vec<FusedChainResult> {
+    if items.is_empty() {
+        return Vec::new();
+    }
+
+    /// Per-item chain state while the lock-step walk runs.
+    struct Lane {
+        bh: Vec<(u64, u64)>,
+        ph: Vec<(usize, u64)>,
+        spatial: Vec<u64>,
+        temporal: Vec<u64>,
+        ls: CstpStats,
+        chain_len: u64,
+        active: bool,
+    }
+
+    // --- Spatial lane, one fused forward across every item.
+    let hists: Vec<&[(u64, u64)]> = items.iter().map(|it| it.block_hist).collect();
+    *forwards += 1;
+    let spatial_deltas = delta.predict_deltas_batch_in(&hists, phase, cfg.spatial_degree, arena);
+
+    let mut state: Vec<Lane> = items
+        .iter()
+        .zip(spatial_deltas)
+        .map(|(it, ds)| {
+            let &(cur_block, _) = it.block_hist.last().expect("non-empty history");
+            let spatial = ds
+                .into_iter()
+                .filter_map(|d| {
+                    let t = cur_block as i64 + d;
+                    (t >= 0).then_some(t as u64)
+                })
+                .collect();
+            Lane {
+                bh: it.block_hist.to_vec(),
+                ph: it.page_hist.to_vec(),
+                spatial,
+                temporal: Vec::new(),
+                ls: CstpStats::default(),
+                chain_len: 0,
+                active: true,
+            }
+        })
+        .collect();
+
+    // --- Temporal chains in lock-step: a step predicts the next page for
+    // every live chain in one forward, resolves each through its own PBOT,
+    // then runs one fused chained-delta forward over the survivors.
+    for _step in 0..cfg.temporal_degree {
+        let live: Vec<usize> = (0..state.len()).filter(|&i| state[i].active).collect();
+        if live.is_empty() {
+            break;
+        }
+        let phists: Vec<&[(usize, u64)]> = live.iter().map(|&i| state[i].ph.as_slice()).collect();
+        *forwards += 1;
+        let pages = page.predict_pages_batch_in(&phists, phase, 1, arena);
+        // (item, chained base, predicted page's token, PBOT pc).
+        let mut survivors: Vec<(usize, u64, usize, u64)> = Vec::with_capacity(live.len());
+        for (&i, preds) in live.iter().zip(pages.iter()) {
+            let l = &mut state[i];
+            let Some(&next_page) = preds.first() else {
+                l.active = false;
+                continue;
+            };
+            let Some((offset, pbot_pc)) = items[i].pbot.get(next_page) else {
+                l.ls.pbot_misses += 1;
+                l.active = false;
+                continue;
+            };
+            l.ls.pbot_hits += 1;
+            l.chain_len += 1;
+            let base = (next_page << BLOCK_BITS) | (offset & BLOCK_OFFSET_MASK);
+            l.temporal.push(base);
+            l.bh.rotate_left(1);
+            if let Some(slot) = l.bh.last_mut() {
+                *slot = (base, pbot_pc);
+            }
+            survivors.push((i, base, page.vocab.token_of(next_page), pbot_pc));
+        }
+        if survivors.is_empty() {
+            continue;
+        }
+        let bhists: Vec<&[(u64, u64)]> = survivors
+            .iter()
+            .map(|&(i, ..)| state[i].bh.as_slice())
+            .collect();
+        *forwards += 1;
+        let chained = delta.predict_deltas_batch_in(
+            &bhists,
+            phase,
+            cfg.spatial_degree.saturating_sub(1),
+            arena,
+        );
+        for (&(i, base, tok, pbot_pc), ds) in survivors.iter().zip(chained) {
+            let l = &mut state[i];
+            for d in ds {
+                let t = base as i64 + d;
+                if t >= 0 {
+                    l.temporal.push(t as u64);
+                }
+            }
+            l.ph.rotate_left(1);
+            if let Some(slot) = l.ph.last_mut() {
+                *slot = (tok, pbot_pc);
+            }
+        }
+    }
+
+    // --- Per-item tail, byte-for-byte the per-item epilogue: concat
+    // spatial-first, lane-attributed dedup, stats fold, Eq. 11 truncation.
+    state
+        .into_iter()
+        .map(|mut l| {
+            let mut out = l.spatial;
+            let mut lanes = vec![PrefetchLane::Spatial; out.len()];
+            out.extend(l.temporal);
+            lanes.resize(out.len(), PrefetchLane::Temporal);
+            let mut stats = CstpStats {
+                duplicates_suppressed: dedup_first_order(&mut out, Some(&mut lanes)),
+                ..CstpStats::default()
+            };
+            l.ls.chain_steps = l.chain_len;
+            l.ls.max_chain_len = l.chain_len;
+            stats.merge(&l.ls);
+            stats.batches += 1;
+            out.truncate(cfg.max_degree());
+            lanes.truncate(cfg.max_degree());
+            FusedChainResult {
+                batch: out,
+                lanes,
+                stats,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -456,6 +638,80 @@ mod tests {
         }
         assert_eq!(serial, parallel, "serial and parallel stats diverged");
         serial
+    }
+
+    #[test]
+    fn fused_chain_matches_per_item_chain() {
+        // Three lanes replay the chain workload at different offsets, so
+        // every fused call batches genuinely different histories/PBOTs.
+        // Per lane, the fused result (batch, lane tags, stats) must be
+        // bit-identical to the per-item parallel chain.
+        let trace = chain_trace(60);
+        let (delta, page) = chain_models(&trace);
+        let cfg = CstpConfig::default();
+        const LANES: usize = 3;
+        let n = trace.len();
+        let mut pbots: Vec<Pbot> = (0..LANES).map(|_| Pbot::new(512)).collect();
+        let mut bhs: Vec<Vec<(u64, u64)>> = vec![Vec::new(); LANES];
+        let mut phs: Vec<Vec<(usize, u64)>> = vec![Vec::new(); LANES];
+        let mut spatial_arena = ScratchArena::new();
+        let mut temporal_arena = ScratchArena::new();
+        let mut fused_arena = ScratchArena::new();
+        let mut compared = 0usize;
+        for step in 0..200 {
+            for l in 0..LANES {
+                let r = &trace[(step + l * n / LANES) % n];
+                bhs[l].push((r.block(), r.pc));
+                phs[l].push((page.vocab.token_of(r.page()), r.pc));
+                pbots[l].update(r.page(), r.block() & BLOCK_OFFSET_MASK, r.pc);
+                if bhs[l].len() > 5 {
+                    bhs[l].remove(0);
+                    phs[l].remove(0);
+                }
+            }
+            if bhs.iter().any(|h| h.len() < 5) {
+                continue;
+            }
+            let items: Vec<FusedChainItem<'_>> = (0..LANES)
+                .map(|l| FusedChainItem {
+                    pbot: &pbots[l],
+                    block_hist: &bhs[l],
+                    page_hist: &phs[l],
+                })
+                .collect();
+            let mut fwd = 0u64;
+            let fused =
+                chain_prefetch_fused(&delta, &page, &items, 0, &cfg, &mut fused_arena, &mut fwd);
+            assert_eq!(fused.len(), LANES);
+            // One spatial forward plus at most (page + delta) per
+            // temporal step, regardless of lane count.
+            assert!(
+                fwd >= 1 && fwd <= 1 + 2 * cfg.temporal_degree as u64,
+                "fused forwards {fwd}"
+            );
+            for l in 0..LANES {
+                let mut stats = CstpStats::default();
+                let mut lanes = Vec::new();
+                let batch = chain_prefetch_in(
+                    &delta,
+                    &page,
+                    &pbots[l],
+                    &bhs[l],
+                    &phs[l],
+                    0,
+                    &cfg,
+                    &mut spatial_arena,
+                    &mut temporal_arena,
+                    &mut lanes,
+                    &mut stats,
+                );
+                assert_eq!(fused[l].batch, batch, "lane {l} step {step}");
+                assert_eq!(fused[l].lanes, lanes, "lane {l} step {step}");
+                assert_eq!(fused[l].stats, stats, "lane {l} step {step}");
+                compared += 1;
+            }
+        }
+        assert!(compared > 300, "too few fused/per-item comparisons");
     }
 
     #[test]

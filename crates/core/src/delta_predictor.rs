@@ -14,7 +14,7 @@ use mpgraph_ml::metrics::{multilabel_f1, top_k_indices, Prf};
 use mpgraph_ml::optim::Adam;
 use mpgraph_ml::tensor::{rng, Matrix};
 use mpgraph_ml::ScratchArena;
-use mpgraph_prefetchers::mlcommon::{pc_feature, segment_block};
+use mpgraph_prefetchers::mlcommon::{dedup_lanes, pc_feature, segment_block};
 use mpgraph_prefetchers::TrainCfg;
 use rayon::prelude::*;
 
@@ -416,6 +416,73 @@ impl DeltaPredictor {
         deltas
     }
 
+    /// Batched [`Self::predict_deltas_in`] over `hists.len()` same-length
+    /// history windows sharing one phase (and therefore one model): the
+    /// windows are stacked into a single `(B·T, ·)` modal input so the
+    /// backbone and head each run exactly once. Per-row outputs are
+    /// bit-identical to calling [`Self::predict_deltas_in`] per window,
+    /// because every kernel on the path computes each output row from its
+    /// own input rows alone.
+    pub fn predict_deltas_batch_in(
+        &self,
+        hists: &[&[(u64, u64)]],
+        phase: usize,
+        k: usize,
+        s: &mut ScratchArena,
+    ) -> Vec<Vec<i64>> {
+        let batch = hists.len();
+        if batch == 0 {
+            return Vec::new();
+        }
+        // Dedup identical windows before stacking: same-phase streams
+        // co-traversing one frontier present byte-identical histories,
+        // and the prediction is a pure function of (window, phase, k),
+        // so one computed lane serves every duplicate bit-exactly.
+        let (unique, lane_of) = dedup_lanes(hists);
+        if unique.len() < batch {
+            let uniq = self.predict_deltas_batch_in(&unique, phase, k, s);
+            return lane_of.iter().map(|&i| uniq[i].clone()).collect();
+        }
+        let t = hists[0].len();
+        assert!(
+            hists.iter().all(|h| h.len() == t),
+            "fused delta batch requires equal-length histories"
+        );
+        let dr = DeltaRange {
+            range: self.cfg.delta_range,
+        };
+        let (backbone, head) = self.model_for(phase);
+        let mut addr = s.take(batch * t, self.cfg.segments);
+        let mut pc = s.take(batch * t, 1);
+        for (b, hist) in hists.iter().enumerate() {
+            for (i, &(block, pcv)) in hist.iter().enumerate() {
+                addr.row_mut(b * t + i)
+                    .copy_from_slice(&segment_block(block, self.cfg.segments));
+                pc.data[b * t + i] = pc_feature(pcv);
+            }
+        }
+        let x = ModalInput { addr, pc };
+        let pooled = backbone.infer_batch_in(&x, batch, phase, s);
+        let ModalInput { addr, pc } = x;
+        s.give(addr);
+        s.give(pc);
+        let mut scores = head.infer_in(&pooled, s);
+        s.give(pooled);
+        Sigmoid::infer_inplace(&mut scores);
+        let out = (0..batch)
+            .map(|b| {
+                let row = scores.row(b);
+                top_k_indices(row, k)
+                    .into_iter()
+                    .filter(|&i| row[i] >= self.cfg.threshold)
+                    .map(|i| dr.delta_of(i))
+                    .collect()
+            })
+            .collect();
+        s.give(scores);
+        out
+    }
+
     /// Crate-internal: encode a history window (shared with distillation).
     pub(crate) fn encode_hist(cfg: &DeltaPredictorConfig, hist: &[(u64, u64)]) -> ModalInput {
         Self::encode(cfg, hist)
@@ -587,6 +654,45 @@ mod tests {
             assert!(model.final_loss.is_finite(), "{}", v.name());
             let f1 = model.evaluate_f1(&trace, &tc, 60);
             assert!(f1.f1 >= 0.0 && f1.f1 <= 1.0, "{}", v.name());
+        }
+    }
+
+    #[test]
+    fn batched_delta_inference_is_bit_identical() {
+        let trace = two_phase_trace(60, 2);
+        let (cfg, tc) = quick_cfg();
+        let tc = TrainCfg {
+            max_samples: 50,
+            epochs: 1,
+            ..tc
+        };
+        for v in Variant::ALL {
+            let model = DeltaPredictor::train(&trace, 2, v, cfg, &tc);
+            let mut s = ScratchArena::new();
+            // Distinct equal-length histories, one per batch lane.
+            let hists: Vec<Vec<(u64, u64)>> = (0..16u64)
+                .map(|b| {
+                    (0..5)
+                        .map(|i| ((1 << 16) + 97 * b + i * (1 + b % 3), 0x400000 + 4 * b))
+                        .collect()
+                })
+                .collect();
+            for batch in [1usize, 2, 5, 16] {
+                let refs: Vec<&[(u64, u64)]> = hists[..batch].iter().map(Vec::as_slice).collect();
+                for phase in 0..2 {
+                    let fused = model.predict_deltas_batch_in(&refs, phase, 4, &mut s);
+                    assert_eq!(fused.len(), batch);
+                    for (b, h) in refs.iter().enumerate() {
+                        let solo = model.predict_deltas_in(h, phase, 4, &mut s);
+                        assert_eq!(
+                            fused[b],
+                            solo,
+                            "{} batch={batch} lane={b} phase={phase}",
+                            v.name()
+                        );
+                    }
+                }
+            }
         }
     }
 

@@ -1047,6 +1047,57 @@ pub struct ServeMetrics {
     /// End-to-end prediction latency in service cycles (enqueue → result),
     /// across both the ML and fallback paths.
     pub prediction_latency: HistogramSnapshot,
+    /// Deadline-deferred items served by the fallback — the subset of
+    /// `fallback_processed` that was admitted to the ML queue first and
+    /// squeezed out by its batch's deadline.
+    pub deferred_fallback_processed: u64,
+    /// End-to-end latency of those deferred fallbacks (queue wait
+    /// included) — the tail the aggregate histogram used to hide when
+    /// deferrals were stamped with the bare fallback cost.
+    pub deferred_latency: HistogramSnapshot,
+    /// Pumps that served at least one fused (multi-stream batched) group.
+    pub fused_batches: u64,
+    /// Batched model forward passes issued by fused groups.
+    pub fused_forwards: u64,
+    /// Queue items served through a fused group.
+    pub fused_items: u64,
+    /// Per-stream admission / service / guard counters, in registration
+    /// order (auto-created fallback-only streams included).
+    pub per_stream: Vec<StreamServeMetrics>,
+}
+
+/// One stream's share of the serving-layer counters (admission decisions,
+/// service-path split, deadline behavior). Lives in
+/// [`ServeMetrics::per_stream`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq)]
+pub struct StreamServeMetrics {
+    /// Stream id as registered / auto-created.
+    pub id: u64,
+    /// Accesses admitted to the ML batch queue.
+    pub admitted: u64,
+    /// Accesses served by full ML inference.
+    pub ml_served: u64,
+    /// Accesses served by the fallback (shed, degraded, or deferred).
+    pub fallback_served: u64,
+    /// Admission-time sheds charged to this stream (ladder + queue-full).
+    pub shed: u64,
+    /// Deadline-guard quarantine entries.
+    pub quarantines: u64,
+    /// Deadline observations fed into the stream's trip window.
+    pub deadline_observations: u64,
+    /// Observations that missed the per-item deadline.
+    pub deadline_misses: u64,
+}
+
+impl StreamServeMetrics {
+    /// Deadline misses over observations (0 when nothing was observed).
+    pub fn deadline_miss_fraction(&self) -> f64 {
+        if self.deadline_observations == 0 {
+            0.0
+        } else {
+            self.deadline_misses as f64 / self.deadline_observations as f64
+        }
+    }
 }
 
 /// The pipeline-wide metrics record the bench runners and the CLI
@@ -1272,6 +1323,35 @@ impl MetricsSnapshot {
         self.serve
             .prediction_latency
             .merge(&other.serve.prediction_latency);
+        self.serve.deferred_fallback_processed += other.serve.deferred_fallback_processed;
+        self.serve
+            .deferred_latency
+            .merge(&other.serve.deferred_latency);
+        self.serve.fused_batches += other.serve.fused_batches;
+        self.serve.fused_forwards += other.serve.fused_forwards;
+        self.serve.fused_items += other.serve.fused_items;
+        // Per-stream counters fold by stream id; the merged list is sorted
+        // by id so shard order cannot leak into the artifact.
+        for theirs in &other.serve.per_stream {
+            match self
+                .serve
+                .per_stream
+                .iter_mut()
+                .find(|mine| mine.id == theirs.id)
+            {
+                Some(mine) => {
+                    mine.admitted += theirs.admitted;
+                    mine.ml_served += theirs.ml_served;
+                    mine.fallback_served += theirs.fallback_served;
+                    mine.shed += theirs.shed;
+                    mine.quarantines += theirs.quarantines;
+                    mine.deadline_observations += theirs.deadline_observations;
+                    mine.deadline_misses += theirs.deadline_misses;
+                }
+                None => self.serve.per_stream.push(theirs.clone()),
+            }
+        }
+        self.serve.per_stream.sort_by_key(|s| s.id);
 
         self.inference_latency.merge(&other.inference_latency);
         self.inference_wall_ns.merge(&other.inference_wall_ns);

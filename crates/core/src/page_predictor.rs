@@ -19,7 +19,7 @@ use mpgraph_ml::metrics::top_k_indices;
 use mpgraph_ml::optim::Adam;
 use mpgraph_ml::tensor::{rng, Matrix};
 use mpgraph_ml::ScratchArena;
-use mpgraph_prefetchers::mlcommon::{pc_feature, PageVocab};
+use mpgraph_prefetchers::mlcommon::{dedup_lanes, pc_feature, PageVocab};
 use mpgraph_prefetchers::TrainCfg;
 use rayon::prelude::*;
 
@@ -484,6 +484,89 @@ impl PagePredictor {
             .collect()
     }
 
+    /// Batched [`Self::predict_pages_in`] over `hists.len()` same-length
+    /// (token, pc) windows sharing one phase: the windows are stacked into
+    /// a single `(B·T, ·)` modal input so the embedding, backbone, head,
+    /// and tied vocabulary product each run exactly once. Per-row outputs
+    /// are bit-identical to calling [`Self::predict_pages_in`] per window.
+    pub fn predict_pages_batch_in(
+        &self,
+        hists: &[&[(usize, u64)]],
+        phase: usize,
+        k: usize,
+        s: &mut ScratchArena,
+    ) -> Vec<Vec<u64>> {
+        let batch = hists.len();
+        if batch == 0 {
+            return Vec::new();
+        }
+        // Dedup identical windows before stacking (see
+        // [`DeltaPredictor::predict_deltas_batch_in`]): one computed lane
+        // serves every duplicate bit-exactly.
+        let (unique, lane_of) = dedup_lanes(hists);
+        if unique.len() < batch {
+            let uniq = self.predict_pages_batch_in(&unique, phase, k, s);
+            return lane_of.iter().map(|&i| uniq[i].clone()).collect();
+        }
+        let t = hists[0].len();
+        assert!(
+            hists.iter().all(|h| h.len() == t),
+            "fused page batch requires equal-length histories"
+        );
+        let m = self.model_for(phase);
+        let mut tokens = Vec::with_capacity(batch * t);
+        for hist in hists {
+            tokens.extend(hist.iter().map(|&(tk, _)| tk));
+        }
+        let addr = m.embed.infer_in(&tokens, s);
+        let mut pc = s.take(batch * t, 1);
+        for (b, hist) in hists.iter().enumerate() {
+            for (i, &(_, pcv)) in hist.iter().enumerate() {
+                pc.data[b * t + i] = pc_feature(pcv);
+            }
+        }
+        let x = ModalInput { addr, pc };
+        let pooled = m.backbone.infer_batch_in(&x, batch, phase, s);
+        let ModalInput { addr, pc } = x;
+        s.give(addr);
+        s.give(pc);
+        let mut logits = if m.tied {
+            let z = m.head.infer_in(&pooled, s);
+            let mut logits = s.take(z.rows, m.embed.table.w.rows);
+            z.matmul_bt_into(&m.embed.table.w, &mut logits);
+            s.give(z);
+            logits
+        } else {
+            m.head.infer_in(&pooled, s)
+        };
+        s.give(pooled);
+        let out = match self.cfg.head {
+            PageHead::Softmax => {
+                let valid = self.vocab.len().min(logits.cols).max(1);
+                (0..batch)
+                    .map(|b| {
+                        top_k_indices(&logits.row(b)[..valid], k + 1)
+                            .into_iter()
+                            .filter_map(|tk| self.vocab.page_of(tk))
+                            .take(k)
+                            .collect()
+                    })
+                    .collect()
+            }
+            PageHead::BinaryEncoded => {
+                Sigmoid::infer_inplace(&mut logits);
+                (0..batch)
+                    .map(|b| {
+                        let tok = Self::decode_bits(logits.row(b), self.vocab.len());
+                        self.vocab.page_of(tok).into_iter().take(k).collect()
+                    })
+                    .collect()
+            }
+        };
+        s.give(logits);
+        out
+    }
+
     /// The logits row truncated to tokens the vocabulary actually maps:
     /// head capacity is `page_vocab`, but only `vocab.len()` slots were
     /// ever trained. Slots past that are random-init weights whose logits
@@ -686,6 +769,55 @@ mod tests {
         assert!(bin.num_params() < soft.num_params());
         let acc = bin.evaluate_accuracy_at(&trace, &tc, 10, 150);
         assert!(acc > 0.3, "binary-encoded accuracy {acc}");
+    }
+
+    #[test]
+    fn batched_page_inference_is_bit_identical() {
+        let trace = two_phase_trace(2);
+        let (cfg, tc) = quick_cfg();
+        let tc = TrainCfg {
+            max_samples: 80,
+            epochs: 1,
+            ..tc
+        };
+        for head in [PageHead::Softmax, PageHead::BinaryEncoded] {
+            let cfg = PagePredictorConfig { head, ..cfg };
+            for v in [Variant::Lstm, Variant::Attention, Variant::AmmaPs] {
+                let model = PagePredictor::train(&trace, 2, v, cfg, &tc);
+                let mut s = ScratchArena::new();
+                // Distinct equal-length token histories over the trained
+                // working set, one per batch lane.
+                let pages = [10u64, 11, 12, 50, 60, 70, 80];
+                let hists: Vec<Vec<(usize, u64)>> = (0..16usize)
+                    .map(|b| {
+                        (0..5)
+                            .map(|i| {
+                                let p = pages[(b + 2 * i) % pages.len()];
+                                (model.vocab.token_of(p), 0x400000 + 4 * b as u64)
+                            })
+                            .collect()
+                    })
+                    .collect();
+                for batch in [1usize, 2, 5, 16] {
+                    let refs: Vec<&[(usize, u64)]> =
+                        hists[..batch].iter().map(Vec::as_slice).collect();
+                    for phase in 0..2 {
+                        let fused = model.predict_pages_batch_in(&refs, phase, 3, &mut s);
+                        assert_eq!(fused.len(), batch);
+                        for (b, h) in refs.iter().enumerate() {
+                            let solo = model.predict_pages_in(h, phase, 3, &mut s);
+                            assert_eq!(
+                                fused[b],
+                                solo,
+                                "{} {:?} batch={batch} lane={b} phase={phase}",
+                                v.name(),
+                                head
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

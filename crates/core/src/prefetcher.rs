@@ -4,7 +4,7 @@
 //! drops into the simulator exactly where BO/ISB/Voyager/TransFetch do.
 
 use crate::controller::Controller;
-use crate::cstp::{chain_prefetch_in, CstpConfig, CstpStats, Pbot};
+use crate::cstp::{chain_prefetch_in, CstpConfig, CstpStats, FusedChainResult, Pbot};
 use crate::delta_predictor::{DeltaPredictor, DeltaPredictorConfig};
 use crate::error::MpGraphError;
 use crate::page_predictor::{PagePredictor, PagePredictorConfig};
@@ -162,6 +162,21 @@ pub struct MpGraphPrefetcher {
     pub train_rollback_events: Vec<crate::obs::TrainRollbackMetrics>,
 }
 
+/// Shared borrows of one prefetcher's models and chain state, handed to
+/// the serving layer so [`crate::cstp::chain_prefetch_fused`] can batch
+/// several streams' chains through one set of model forwards. Produced by
+/// [`MpGraphPrefetcher::fused_view`] after `begin_access` has updated the
+/// histories for the access being served.
+pub(crate) struct FusedAccessView<'a> {
+    pub delta: &'a crate::delta_predictor::DeltaPredictor,
+    pub page: &'a crate::page_predictor::PagePredictor,
+    pub pbot: &'a Pbot,
+    pub block_hist: &'a [(u64, u64)],
+    pub page_hist: &'a [(usize, u64)],
+    pub phase: usize,
+    pub cstp: CstpConfig,
+}
+
 /// Trains the full MPGraph stack on the training records (the first
 /// framework iteration, phase labels available offline per Figure 6).
 pub fn train_mpgraph(
@@ -291,6 +306,80 @@ impl MpGraphPrefetcher {
         self.detector.name()
     }
 
+    /// Everything the fused serving path needs to run this stream's CSTP
+    /// chain *between* [`Self::begin_access`] and
+    /// [`Self::apply_fused_chain`]: shared borrows of the models, PBOT and
+    /// histories, plus the phase the controller has already selected for
+    /// this access. `core` picks the per-core page history, exactly as the
+    /// inline path does.
+    pub(crate) fn fused_view(&self, core: u8) -> FusedAccessView<'_> {
+        FusedAccessView {
+            delta: &self.delta,
+            page: &self.page,
+            pbot: &self.pbot,
+            block_hist: self.block_hist.items(),
+            page_hist: self.page_hists[(core as usize) % 8].items(),
+            phase: self.controller.current_phase(),
+            cstp: self.cfg.cstp,
+        }
+    }
+
+    /// Batch-compatibility signature: two prefetchers with equal signatures
+    /// produce bit-identical inference for identical inputs, so the serving
+    /// layer may fuse their accesses into one batched forward. The hash
+    /// covers every trainable weight byte of both predictors plus the
+    /// inference-relevant configuration (degrees, encoding shape, history
+    /// length, vocabulary) — anything that could steer a model call.
+    pub(crate) fn batch_signature(&mut self) -> u64 {
+        fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            h
+        }
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        h = fnv1a(h, &self.delta.weight_bytes());
+        h = fnv1a(h, &self.page.weight_bytes());
+        for scalar in [
+            self.cfg.cstp.spatial_degree as u64,
+            self.cfg.cstp.temporal_degree as u64,
+            self.delta.cfg.segments as u64,
+            self.delta.cfg.delta_range as u64,
+            u64::from(self.delta.cfg.threshold.to_bits()),
+            self.page.cfg.page_vocab as u64,
+            self.page.cfg.embed_dim as u64,
+            matches!(
+                self.page.cfg.head,
+                crate::page_predictor::PageHead::BinaryEncoded
+            ) as u64,
+            self.page.vocab.len() as u64,
+            self.block_hist.capacity() as u64,
+            self.num_phases as u64,
+        ] {
+            h = fnv1a(h, &scalar.to_le_bytes());
+        }
+        h
+    }
+
+    /// Commits one stream's share of a fused CSTP batch, reproducing the
+    /// inline path's epilogue exactly: stats merge, lane attribution, the
+    /// `CstpChain` trace event, distance-prefetch shift, and the append to
+    /// `out`. Must follow the [`Self::begin_access`] that opened this
+    /// access, with no other calls on this prefetcher in between.
+    pub(crate) fn apply_fused_chain(
+        &mut self,
+        a: &LlcAccess,
+        res: FusedChainResult,
+        out: &mut Vec<u64>,
+    ) {
+        let before = self.trace_on.then_some(self.cstp_stats);
+        self.cstp_stats.merge(&res.stats);
+        self.lane_scratch.clear();
+        self.lane_scratch.extend(res.lanes);
+        self.finish_access(a, res.batch, before, out);
+    }
+
     /// Folds the counters this prefetcher owns — CSTP, detector,
     /// controller, predictor training — into a snapshot produced by a
     /// [`crate::obs::PrefetchScoreboard`]. The caller adds guard metrics
@@ -346,7 +435,51 @@ impl Prefetcher for MpGraphPrefetcher {
         &self.trace_events
     }
 
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        Some(self)
+    }
+
     fn on_access(&mut self, a: &LlcAccess, out: &mut Vec<u64>) {
+        // The access is split into begin (detector, histories, probing) /
+        // chain / finish (attribution, events, distance shift) so the
+        // serving layer can interleave many streams' chains into one fused
+        // forward between the same begin and finish steps. Composing the
+        // three here IS the inline path — the two routes cannot drift.
+        if !self.begin_access(a) {
+            return;
+        }
+        let phase = self.controller.current_phase();
+        let page_items: Vec<(usize, u64)> = self.page_hists[(a.core as usize) % 8].items().to_vec();
+        // `CstpStats` is `Copy`: snapshot before the chain call so the
+        // per-batch deltas can be emitted as one summary event.
+        let cstp_before = self.trace_on.then_some(self.cstp_stats);
+        let batch = chain_prefetch_in(
+            &self.delta,
+            &self.page,
+            &self.pbot,
+            self.block_hist.items(),
+            &page_items,
+            phase,
+            &self.cfg.cstp,
+            &mut self.spatial_arena,
+            &mut self.temporal_arena,
+            &mut self.lane_scratch,
+            &mut self.cstp_stats,
+        );
+        self.finish_access(a, batch, cstp_before, out);
+    }
+}
+
+impl MpGraphPrefetcher {
+    /// Steps a–d of an access — everything up to (but excluding) the CSTP
+    /// chain: trace-buffer reset, phase detection, history/PBOT updates,
+    /// and probe-window scoring. Returns whether the histories are full,
+    /// i.e. whether a chain should run for this access.
+    pub(crate) fn begin_access(&mut self, a: &LlcAccess) -> bool {
         // Invalidate the previous batch's attribution up front so early
         // returns never leave tags aligned with a stale batch.
         self.tag_scratch.clear();
@@ -390,7 +523,7 @@ impl Prefetcher for MpGraphPrefetcher {
         page_hist.push((self.page.vocab.token_of(a.page()), a.pc));
         self.pbot.update(a.page(), a.offset(), a.pc);
         if !self.block_hist.is_full() || !page_hist.is_full() {
-            return;
+            return false;
         }
 
         // 3. During a probe window, score every phase model's predictions
@@ -437,28 +570,22 @@ impl Prefetcher for MpGraphPrefetcher {
             }
         }
 
-        // 4. CSTP with the selected phase's models; the temporal chain
-        //    follows the requesting core's own page stream. The spatial and
-        //    temporal lanes run concurrently on disjoint arenas.
-        let phase = self.controller.current_phase();
-        let page_items: Vec<(usize, u64)> = self.page_hists[(a.core as usize) % 8].items().to_vec();
-        // `CstpStats` is `Copy`: snapshot before the chain call so the
-        // per-batch deltas can be emitted as one summary event.
-        let cstp_before = self.trace_on.then_some(self.cstp_stats);
-        let mut batch = chain_prefetch_in(
-            &self.delta,
-            &self.page,
-            &self.pbot,
-            self.block_hist.items(),
-            &page_items,
-            phase,
-            &self.cfg.cstp,
-            &mut self.spatial_arena,
-            &mut self.temporal_arena,
-            &mut self.lane_scratch,
-            &mut self.cstp_stats,
-        );
-        if let Some(b) = cstp_before {
+        true
+    }
+
+    /// Epilogue of an access, with the chain already run: `batch` is the
+    /// chain's candidate list, `self.lane_scratch` its lane attribution,
+    /// and `before` the `cstp_stats` snapshot taken before the chain (only
+    /// when tracing). Emits the `CstpChain` event, stamps the batch tags,
+    /// applies the distance-prefetch shift, and appends to `out`.
+    pub(crate) fn finish_access(
+        &mut self,
+        a: &LlcAccess,
+        mut batch: Vec<u64>,
+        before: Option<CstpStats>,
+        out: &mut Vec<u64>,
+    ) {
+        if let Some(b) = before {
             let steps = self.cstp_stats.chain_steps - b.chain_steps;
             let hits = self.cstp_stats.pbot_hits - b.pbot_hits;
             let misses = self.cstp_stats.pbot_misses - b.pbot_misses;
@@ -470,6 +597,9 @@ impl Prefetcher for MpGraphPrefetcher {
                 });
             }
         }
+        // Nothing between the chain and here touches the controller, so
+        // this is the same phase the chain ran with.
+        let phase = self.controller.current_phase();
         // The dp_distance shift below rewrites targets but never reorders
         // or drops candidates, so the lane attribution stays aligned.
         self.tag_scratch

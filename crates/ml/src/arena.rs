@@ -65,6 +65,33 @@ impl ScratchArena {
         m.add_assign(pe);
     }
 
+    /// Adds the `[seq_len, cols]` positional encoding to each of the
+    /// `m.rows / seq_len` sequences stacked in `m` — the batched
+    /// counterpart of [`ScratchArena::add_positional`]. Each sequence gets
+    /// its own position ramp starting at 0, not one ramp across the whole
+    /// concatenated batch, so the result is bit-identical to encoding the
+    /// sequences separately.
+    pub fn add_positional_per_seq(&mut self, m: &mut Matrix, seq_len: usize) {
+        assert!(
+            seq_len > 0 && m.rows.is_multiple_of(seq_len),
+            "rows must tile by seq_len"
+        );
+        let key = (seq_len, m.cols);
+        let pe = self
+            .pe_cache
+            .entry(key)
+            .or_insert_with(|| positional_encoding(key.0, key.1));
+        for b in 0..m.rows / seq_len {
+            for t in 0..seq_len {
+                let r = b * seq_len + t;
+                let dst = &mut m.data[r * m.cols..(r + 1) * m.cols];
+                for (a, &p) in dst.iter_mut().zip(pe.row(t).iter()) {
+                    *a += p;
+                }
+            }
+        }
+    }
+
     /// `(hits, misses)` — a steady-state hot loop should only ever grow
     /// `hits` after warmup.
     pub fn stats(&self) -> (u64, u64) {

@@ -92,6 +92,55 @@ impl SelfAttention {
         y
     }
 
+    /// Batched inference over `batch` stacked sequences: `x` is
+    /// `[batch * seq, in_dim]` with each sequence occupying a contiguous
+    /// block of rows. The Q/K/V projections — shared by every row — run as
+    /// single fused matmuls over the whole stack; attention itself is
+    /// confined to each sequence's own `[seq, seq]` score block, so the
+    /// output is bit-identical to [`SelfAttention::infer_in`] run on each
+    /// sequence separately.
+    pub fn infer_batch_in(&self, x: &Matrix, batch: usize, s: &mut ScratchArena) -> Matrix {
+        assert!(
+            batch > 0 && x.rows.is_multiple_of(batch),
+            "rows must tile by batch"
+        );
+        let seq = x.rows / batch;
+        let rows = x.rows;
+        let hd = self.head_dim;
+        let mut q = s.take(rows, hd);
+        let mut k = s.take(rows, hd);
+        let mut v = s.take(rows, hd);
+        x.matmul_into(&self.wq.w, &mut q);
+        x.matmul_into(&self.wk.w, &mut k);
+        x.matmul_into(&self.wv.w, &mut v);
+        let mut y = s.take(rows, hd);
+        let mut qb = s.take(seq, hd);
+        let mut kb = s.take(seq, hd);
+        let mut vb = s.take(seq, hd);
+        let mut yb = s.take(seq, hd);
+        let mut scores = s.take(seq, seq);
+        for b in 0..batch {
+            let span = b * seq * hd..(b + 1) * seq * hd;
+            qb.data.copy_from_slice(&q.data[span.clone()]);
+            kb.data.copy_from_slice(&k.data[span.clone()]);
+            vb.data.copy_from_slice(&v.data[span.clone()]);
+            qb.matmul_bt_into(&kb, &mut scores);
+            scores.scale(1.0 / (hd as f32).sqrt());
+            scores.softmax_rows_inplace();
+            scores.matmul_into(&vb, &mut yb);
+            y.data[span].copy_from_slice(&yb.data);
+        }
+        s.give(qb);
+        s.give(kb);
+        s.give(vb);
+        s.give(yb);
+        s.give(scores);
+        s.give(q);
+        s.give(k);
+        s.give(v);
+        y
+    }
+
     pub fn backward(&mut self, dy: &Matrix) -> Matrix {
         let c = self.cache.as_ref().expect("forward before backward");
         let scale = 1.0 / (self.head_dim as f32).sqrt();
@@ -173,6 +222,26 @@ impl MultiHeadAttention {
         let mut concat = s.take(rows, self.dim);
         for (h, head) in self.heads.iter().enumerate() {
             let y = head.infer_in(x, s);
+            for r in 0..rows {
+                concat.row_mut(r)[h * head_dim..(h + 1) * head_dim].copy_from_slice(y.row(r));
+            }
+            s.give(y);
+        }
+        let mut out = s.take(rows, self.wo.w.cols);
+        concat.matmul_into(&self.wo.w, &mut out);
+        s.give(concat);
+        out
+    }
+
+    /// Batched inference over `batch` stacked sequences; see
+    /// [`SelfAttention::infer_batch_in`]. Bit-identical to per-sequence
+    /// [`MultiHeadAttention::infer_in`].
+    pub fn infer_batch_in(&self, x: &Matrix, batch: usize, s: &mut ScratchArena) -> Matrix {
+        let rows = x.rows;
+        let head_dim = self.dim / self.heads.len();
+        let mut concat = s.take(rows, self.dim);
+        for (h, head) in self.heads.iter().enumerate() {
+            let y = head.infer_batch_in(x, batch, s);
             for r in 0..rows {
                 concat.row_mut(r)[h * head_dim..(h + 1) * head_dim].copy_from_slice(y.row(r));
             }

@@ -183,6 +183,45 @@ impl Lstm {
         out
     }
 
+    /// Batched inference over `batch` stacked sequences (`x` is
+    /// `[batch * seq, in_dim]`, each sequence contiguous): every sequence
+    /// runs its own recurrence from zero state, advanced in lock-step so
+    /// the gate weights stream through cache once per timestep instead of
+    /// once per sequence. Bit-identical to per-sequence [`Lstm::infer_in`].
+    pub fn infer_batch_in(&self, x: &Matrix, batch: usize, s: &mut ScratchArena) -> Matrix {
+        assert_eq!(x.cols, self.in_dim);
+        assert!(
+            batch > 0 && x.rows.is_multiple_of(batch),
+            "rows must tile by batch"
+        );
+        let seq = x.rows / batch;
+        let hd = self.hidden;
+        let mut out = s.take(x.rows, hd);
+        let mut hm = s.take(batch, hd);
+        let mut cm = s.take(batch, hd);
+        let mut zm = s.take(1, 4 * hd);
+        for t in 0..seq {
+            for b in 0..batch {
+                self.gates_into(x.row(b * seq + t), hm.row(b), &mut zm.data);
+                let z = &zm.data;
+                for j in 0..hd {
+                    let i = sigmoid(z[j]);
+                    let f = sigmoid(z[hd + j]);
+                    let g = z[2 * hd + j].tanh();
+                    let o = sigmoid(z[3 * hd + j]);
+                    let c = f * cm.at(b, j) + i * g;
+                    *cm.at_mut(b, j) = c;
+                    *hm.at_mut(b, j) = o * c.tanh();
+                }
+                out.row_mut(b * seq + t).copy_from_slice(hm.row(b));
+            }
+        }
+        s.give(hm);
+        s.give(cm);
+        s.give(zm);
+        out
+    }
+
     /// BPTT over the cached sequence. `d_out` is [S, hidden]; returns
     /// gradient w.r.t. the inputs [S, in_dim].
     pub fn backward(&mut self, d_out: &Matrix) -> Matrix {

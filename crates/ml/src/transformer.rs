@@ -110,6 +110,22 @@ impl TransformerLayer {
         y
     }
 
+    /// Batched inference over `batch` stacked sequences: attention is
+    /// confined per sequence (see
+    /// [`MultiHeadAttention::infer_batch_in`]); the FFN and layer norms
+    /// are row-wise, so they fuse across the whole stack for free.
+    /// Bit-identical to per-sequence [`TransformerLayer::infer_in`].
+    pub fn infer_batch_in(&self, x: &Matrix, batch: usize, s: &mut ScratchArena) -> Matrix {
+        let mut h = self.msa.infer_batch_in(x, batch, s);
+        h.add_assign(x);
+        self.ln1.infer_inplace(&mut h);
+        let mut y = self.ffn.infer_in(&h, s);
+        y.add_assign(&h);
+        self.ln2.infer_inplace(&mut y);
+        s.give(h);
+        y
+    }
+
     pub fn backward(&mut self, dy: &Matrix) -> Matrix {
         let d = self.ln2.backward(dy);
         // y = ffn(h) + h

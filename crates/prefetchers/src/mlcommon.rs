@@ -106,6 +106,28 @@ impl PageVocab {
     }
 }
 
+/// Splits batched inference lanes into the unique input windows (in
+/// first-occurrence order) plus a per-lane index into them. Inference is
+/// a pure function of the window, so a batched caller computes each
+/// unique window once and fans the rows out to duplicate lanes
+/// bit-exactly — same-phase streams co-traversing one frontier present
+/// byte-identical histories far more often than independent ones would.
+pub fn dedup_lanes<'a, T: Eq + std::hash::Hash>(lanes: &[&'a [T]]) -> (Vec<&'a [T]>, Vec<usize>) {
+    let mut unique: Vec<&'a [T]> = Vec::with_capacity(lanes.len());
+    let mut lane_of = Vec::with_capacity(lanes.len());
+    let mut seen: std::collections::HashMap<&'a [T], usize> =
+        std::collections::HashMap::with_capacity(lanes.len());
+    for lane in lanes {
+        let next = unique.len();
+        let idx = *seen.entry(*lane).or_insert(next);
+        if idx == next {
+            unique.push(lane);
+        }
+        lane_of.push(idx);
+    }
+    (unique, lane_of)
+}
+
 /// Normalizes a PC to a small f32 feature by hashing, as the paper's input
 /// preprocessing does ("the PC is hashed and normalized").
 #[inline]
@@ -113,6 +135,29 @@ pub fn pc_feature(pc: u64) -> f32 {
     // Fibonacci hashing, top 16 bits, scaled to [0, 1).
     let h = pc.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 48;
     h as f32 / 65536.0
+}
+
+#[cfg(test)]
+mod dedup_tests {
+    use super::dedup_lanes;
+
+    #[test]
+    fn dedup_preserves_first_occurrence_order_and_lane_mapping() {
+        let a = [1u64, 2, 3];
+        let b = [4u64, 5, 6];
+        let lanes: Vec<&[u64]> = vec![&a, &b, &a, &a, &b];
+        let (unique, lane_of) = dedup_lanes(&lanes);
+        assert_eq!(unique, vec![&a[..], &b[..]]);
+        assert_eq!(lane_of, vec![0, 1, 0, 0, 1]);
+
+        let distinct: Vec<&[u64]> = vec![&a, &b];
+        let (u2, l2) = dedup_lanes(&distinct);
+        assert_eq!(u2.len(), 2);
+        assert_eq!(l2, vec![0, 1]);
+
+        let (u3, l3) = dedup_lanes(&[] as &[&[u64]]);
+        assert!(u3.is_empty() && l3.is_empty());
+    }
 }
 
 /// Splits a block address into `n` 4-bit segments (least-significant
@@ -154,6 +199,11 @@ impl<T: Copy> History<T> {
 
     pub fn is_full(&self) -> bool {
         self.buf.len() == self.cap
+    }
+
+    /// Configured window length (reached once `is_full`).
+    pub fn capacity(&self) -> usize {
+        self.cap
     }
 
     pub fn items(&self) -> &[T] {

@@ -58,8 +58,9 @@ pub enum TraceEvent {
     OverloadRecover { level: u8 },
     /// A cross-stream inference batch hit its deadline; the `deferred`
     /// remaining items fell back to cheap predictions instead of stalling
-    /// the queue.
-    BatchTimeout { deferred: u16 },
+    /// the queue. Wide enough to carry any realistic deferral count
+    /// exactly, so the event and `timeout_deferred` counter always agree.
+    BatchTimeout { deferred: u32 },
 }
 
 impl TraceEvent {

@@ -48,7 +48,8 @@ fn usage() -> ! {
          [--iterations N] [--quick] [--metrics-out FILE] [--trace-out FILE]\n  \
          run --all [--shards N (default: cores)] [--quick] [--metrics-out FILE]\n           \
          [--trace-out FILE]\n  \
-         serve    FILE [--streams N] [--load F] [--metrics-out FILE] [--trace-out FILE]"
+         serve    FILE [--streams N] [--load F] [--no-fuse] [--metrics-out FILE]\n           \
+         [--trace-out FILE]"
     );
     std::process::exit(2);
 }
@@ -526,7 +527,12 @@ fn cmd_serve(args: &Args) {
 
     let streams = args.get_usize("streams", 4).max(1);
     let load = args.get_f64("load", 2.0);
-    let serve_cfg = ServeConfig::default();
+    let serve_cfg = ServeConfig {
+        // `--no-fuse` forces per-item forwards — the reference path the
+        // fused (B×T×d) pump is equivalence-tested against.
+        fuse: args.get("no-fuse").is_none(),
+        ..ServeConfig::default()
+    };
     let saturation = (serve_cfg.batch_size as u64)
         .min((serve_cfg.batch_deadline / serve_cfg.ml_item_cost.max(1)).max(1))
         .max(1) as usize;
@@ -589,6 +595,14 @@ fn cmd_serve(args: &Args) {
         m.overload_level,
         m.quarantines,
         m.escalations
+    );
+    println!(
+        "fused batches {}  items {}  forwards {}  deferred-fallback {} (p99 {} cycles)",
+        m.fused_batches,
+        m.fused_items,
+        m.fused_forwards,
+        m.deferred_fallback_processed,
+        m.deferred_latency.p99
     );
     let mut snap = svc.snapshot();
     mp.enrich_snapshot(&mut snap);
