@@ -9,11 +9,16 @@
 //! speedup plus a bit-identity verdict.
 //!
 //! Usage: `loadgen [--quick] [--streams N] [--ticks N] [--chaos]
-//! [--zipf] [--metrics-out FILE] [--trace-out FILE]`
+//! [--zipf] [--quant] [--metrics-out FILE] [--trace-out FILE]`
 //!
 //! `--zipf` replaces the uniform round-robin arrivals with Zipf(1)
 //! weights across streams (hot stream 0 down to the coldest); the
 //! per-stream p50/p99 spread is reported either way.
+//!
+//! `--quant` distills the trained stack into the compressed student and
+//! serves its int8 snapshot — the whole sweep then exercises the
+//! quantized inference path, so diffing a `--quant` metrics snapshot
+//! against an f32 one gates the quantization accuracy cost.
 //!
 //! `--metrics-out` writes the full `MetricsSnapshot` (with the `serve`
 //! section populated) of the highest-load sweep point; `--trace-out`
@@ -41,6 +46,8 @@ fn usize_arg(flag: &str, default: usize) -> usize {
 
 #[derive(Serialize)]
 struct LoadgenArtifact {
+    /// True when the sweep served the distilled int8 student (`--quant`).
+    quantized: bool,
     points: Vec<mpgraph_bench::serve_load::LoadPoint>,
     chaos: Option<mpgraph_bench::serve_load::ChaosOutcome>,
     fused: mpgraph_bench::serve_load::FusedComparison,
@@ -55,8 +62,15 @@ fn main() {
     let streams = usize_arg("--streams", 8);
     let ticks = usize_arg("--ticks", if quick { 200 } else { 2000 }) as u64;
 
+    let quant = args.iter().any(|a| a == "--quant");
+
     let cfg = ServeConfig::default();
-    let setup = LoadgenSetup::prepare(&scale);
+    let mut setup = LoadgenSetup::prepare(&scale);
+    if quant {
+        let (params, bytes) = setup.quantize(&scale);
+        println!("serving distilled int8 student: {params} params, {bytes} int8 weight bytes");
+    }
+    let setup = setup;
     let weights = zipf.then(|| zipf_weights(streams));
     let outcome = run_load_sweep(
         &setup,
@@ -179,6 +193,7 @@ fn main() {
     if let Ok(p) = dump_json(
         "loadgen",
         &LoadgenArtifact {
+            quantized: quant,
             points: outcome.points.clone(),
             chaos: chaos_outcome,
             fused,

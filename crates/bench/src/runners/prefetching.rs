@@ -245,14 +245,14 @@ pub fn compressed_mpgraph(
     single_student: bool,
 ) -> (MpGraphPrefetcher, f64) {
     let cfg = mpgraph_cfg();
-    let mut teacher_delta = DeltaPredictor::train(
+    let teacher_delta = DeltaPredictor::train(
         &w.train_llc,
         w.num_phases,
         cfg.variant,
         cfg.delta,
         &scale.train,
     );
-    let mut teacher_page = PagePredictor::train(
+    let teacher_page = PagePredictor::train(
         &w.train_llc,
         w.num_phases,
         cfg.variant,

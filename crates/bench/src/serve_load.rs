@@ -52,6 +52,26 @@ impl LoadgenSetup {
         }
     }
 
+    /// Swaps the serve-path model for the distilled int8 student, the
+    /// same pipeline as `mpgraph serve --quant`: distill both predictors
+    /// from the trained teachers, then round the student weights onto
+    /// their int8 grid and install the real int8 serving snapshots. Every
+    /// stream cloned afterwards serves through the i8×i8→i32 kernels.
+    /// Returns `(student_params, int8_weight_bytes)`.
+    pub fn quantize(&mut self, scale: &ExpScale) -> (usize, usize) {
+        use mpgraph_core::compress::{quantize_delta, quantize_page};
+        use mpgraph_core::{distill_delta, distill_page, DistillCfg};
+        let dc = DistillCfg::default();
+        let mut sd = distill_delta(&self.trained.delta, &self.train, &dc, &scale.train);
+        let mut sp = distill_page(&self.trained.page, &self.train, &dc, &scale.train);
+        let (_, delta_bytes) = quantize_delta(&mut sd);
+        let (_, page_bytes) = quantize_page(&mut sp);
+        let params = sd.num_params() + sp.num_params();
+        self.trained.delta = sd;
+        self.trained.page = sp;
+        (params, delta_bytes + page_bytes)
+    }
+
     /// A fresh per-stream prefetcher: shared trained weights, private
     /// detector/controller/history state.
     pub fn stream_prefetcher(&self) -> Box<dyn Prefetcher + Send> {

@@ -96,6 +96,21 @@ pub struct ComboResult {
 /// through one [`SimSession`] with a single traced scoreboard spanning
 /// every segment (so cross-segment prefetch completions stay tracked).
 pub fn run_combo(combo: Combo, scale: &ExpScale, segment_len: usize) -> ComboResult {
+    run_combo_opts(combo, scale, segment_len, false)
+}
+
+/// [`run_combo`] with the serve path selectable: `quant` rounds the
+/// trained predictors onto their int8 grid and installs the real int8
+/// serving snapshots before evaluation, so the whole run measures the
+/// i8×i8→i32 inference path on otherwise identical weights. Diffing a
+/// quant snapshot against the f32 one isolates the pure quantization
+/// accuracy cost (no distillation in the loop).
+pub fn run_combo_opts(
+    combo: Combo,
+    scale: &ExpScale,
+    segment_len: usize,
+    quant: bool,
+) -> ComboResult {
     let w = build_workload(combo.framework, combo.app, combo.dataset, scale);
     let cfg = sim_config();
     let base = simulate(&w.test, &mut NullPrefetcher, &cfg);
@@ -103,6 +118,9 @@ pub fn run_combo(combo: Combo, scale: &ExpScale, segment_len: usize) -> ComboRes
     let bo = simulate(&w.test, &mut bo_pf, &cfg);
 
     let mut mp = train_mpgraph(&w.train_llc, w.num_phases, mpgraph_cfg(), &scale.train);
+    if quant {
+        mp.quantize();
+    }
     let mut sb =
         PrefetchScoreboard::with_trace(w.num_phases.max(1), 4096, TelemetryConfig::default());
     let mut session = SimSession::new(&cfg);

@@ -7,6 +7,8 @@ use crate::amma::{Amma, AmmaConfig, ModalInput};
 use mpgraph_ml::arena::ScratchArena;
 use mpgraph_ml::layers::{Linear, Module, Param};
 use mpgraph_ml::lstm::Lstm;
+use mpgraph_ml::qinfer::{QuantLstm, QuantTransformerLayer};
+use mpgraph_ml::quant::QuantizedLinear;
 use mpgraph_ml::tensor::Matrix;
 use mpgraph_ml::transformer::TransformerLayer;
 use rand_chacha::ChaCha8Rng;
@@ -42,6 +44,7 @@ pub enum Backbone {
         lstm: Lstm,
         cache_rows: usize,
         pc_feats: usize,
+        quant: Option<Box<QuantLstm>>,
     },
     Attention {
         proj: Linear,
@@ -49,8 +52,29 @@ pub enum Backbone {
         dim: usize,
         cache_rows: usize,
         pc_feats: usize,
+        quant: Option<Box<QuantAttentionStack>>,
     },
     Amma(Box<Amma>),
+}
+
+/// Int8 snapshot of the vanilla-attention backbone: quantized input
+/// projection plus quantized Transformer layers (the AMMA variant keeps
+/// its snapshot inside [`Amma`]).
+#[derive(Debug, Clone)]
+pub struct QuantAttentionStack {
+    pub proj: QuantizedLinear,
+    pub layers: Vec<QuantTransformerLayer>,
+}
+
+impl QuantAttentionStack {
+    pub fn storage_bytes(&self) -> usize {
+        self.proj.storage_bytes()
+            + self
+                .layers
+                .iter()
+                .map(QuantTransformerLayer::storage_bytes)
+                .sum::<usize>()
+    }
 }
 
 impl Backbone {
@@ -66,6 +90,7 @@ impl Backbone {
                 lstm: Lstm::new(addr_feats + pc_feats, cfg.fusion_dim, rng),
                 cache_rows: 0,
                 pc_feats,
+                quant: None,
             },
             BackboneKind::Attention => Backbone::Attention {
                 proj: Linear::new(addr_feats + pc_feats, cfg.fusion_dim, rng),
@@ -75,6 +100,7 @@ impl Backbone {
                 dim: cfg.fusion_dim,
                 cache_rows: 0,
                 pc_feats,
+                quant: None,
             },
             BackboneKind::Amma => {
                 Backbone::Amma(Box::new(Amma::new(addr_feats, pc_feats, cfg, rng)))
@@ -111,8 +137,13 @@ impl Backbone {
     pub fn forward(&mut self, x: &ModalInput, phase: usize) -> Matrix {
         match self {
             Backbone::Lstm {
-                lstm, cache_rows, ..
+                lstm,
+                cache_rows,
+                quant,
+                ..
             } => {
+                // Training moves the weights; drop the stale int8 snapshot.
+                *quant = None;
                 *cache_rows = x.addr.rows;
                 let h = lstm.forward(&Self::concat(x));
                 Matrix::from_vec(1, h.cols, h.row(h.rows - 1).to_vec())
@@ -121,8 +152,10 @@ impl Backbone {
                 proj,
                 layers,
                 cache_rows,
+                quant,
                 ..
             } => {
+                *quant = None;
                 *cache_rows = x.addr.rows;
                 let mut h = proj.forward(&Self::concat(x));
                 h.add_assign(&mpgraph_ml::tensor::positional_encoding(h.rows, h.cols));
@@ -254,6 +287,7 @@ impl Backbone {
                 lstm,
                 cache_rows,
                 pc_feats,
+                ..
             } => {
                 let rows = *cache_rows;
                 let mut dh = Matrix::zeros(rows, d_out.cols);
@@ -267,6 +301,7 @@ impl Backbone {
                 cache_rows,
                 dim,
                 pc_feats,
+                ..
             } => {
                 let rows = *cache_rows;
                 let mut dh = Matrix::zeros(rows, *dim);
@@ -293,6 +328,122 @@ impl Backbone {
         }
         (da, dp)
     }
+
+    /// Builds (or rebuilds) the int8 inference snapshot consumed by
+    /// [`Backbone::forward_quant`]. Call after training has converged; any
+    /// later training forward invalidates the snapshot.
+    pub fn quantize(&mut self) {
+        match self {
+            Backbone::Lstm { lstm, quant, .. } => {
+                *quant = Some(Box::new(QuantLstm::from_lstm(lstm)))
+            }
+            Backbone::Attention {
+                proj,
+                layers,
+                quant,
+                ..
+            } => {
+                *quant = Some(Box::new(QuantAttentionStack {
+                    proj: QuantizedLinear::from_linear(proj),
+                    layers: layers
+                        .iter()
+                        .map(QuantTransformerLayer::from_layer)
+                        .collect(),
+                }))
+            }
+            Backbone::Amma(a) => a.quantize(),
+        }
+    }
+
+    pub fn is_quantized(&self) -> bool {
+        match self {
+            Backbone::Lstm { quant, .. } => quant.is_some(),
+            Backbone::Attention { quant, .. } => quant.is_some(),
+            Backbone::Amma(a) => a.is_quantized(),
+        }
+    }
+
+    /// Size of the int8 snapshot, if one exists.
+    pub fn quant_storage_bytes(&self) -> Option<usize> {
+        match self {
+            Backbone::Lstm { quant, .. } => quant.as_ref().map(|q| q.storage_bytes()),
+            Backbone::Attention { quant, .. } => quant.as_ref().map(|q| q.storage_bytes()),
+            Backbone::Amma(a) => a.quant_storage_bytes(),
+        }
+    }
+
+    /// Int8 forward through the quantized snapshot; falls back to the f32
+    /// [`Backbone::infer_in`] (bit-identically) when no snapshot exists,
+    /// so callers can flip quantization on without branching.
+    pub fn forward_quant(&self, x: &ModalInput, phase: usize, s: &mut ScratchArena) -> Matrix {
+        match self {
+            Backbone::Lstm { quant: Some(q), .. } => {
+                let cat = Self::concat_in(x, s);
+                let h = q.infer_in(&cat, s);
+                s.give(cat);
+                let mut pooled = s.take(1, h.cols);
+                pooled.row_mut(0).copy_from_slice(h.row(h.rows - 1));
+                s.give(h);
+                pooled
+            }
+            Backbone::Attention { quant: Some(q), .. } => {
+                let cat = Self::concat_in(x, s);
+                let mut h = q.proj.infer_in(&cat, s);
+                s.give(cat);
+                s.add_positional(&mut h);
+                for l in &q.layers {
+                    let h2 = l.infer_in(&h, s);
+                    s.give(h);
+                    h = h2;
+                }
+                let mut pooled = s.take(1, h.cols);
+                pooled.row_mut(0).copy_from_slice(h.row(h.rows - 1));
+                s.give(h);
+                pooled
+            }
+            Backbone::Amma(a) => a.infer_quant_in(x, phase, s),
+            other => other.infer_in(x, phase, s),
+        }
+    }
+
+    /// Batched int8 forward: row `b` is bit-identical to
+    /// [`Backbone::forward_quant`] on sequence `b` alone. Falls back to
+    /// [`Backbone::infer_batch_in`] when no snapshot exists.
+    pub fn forward_batch_quant(
+        &self,
+        x: &ModalInput,
+        batch: usize,
+        phase: usize,
+        s: &mut ScratchArena,
+    ) -> Matrix {
+        assert!(
+            batch > 0 && x.addr.rows.is_multiple_of(batch),
+            "rows must tile by batch"
+        );
+        let seq = x.addr.rows / batch;
+        match self {
+            Backbone::Lstm { quant: Some(q), .. } => {
+                let cat = Self::concat_in(x, s);
+                let h = q.infer_batch_in(&cat, batch, s);
+                s.give(cat);
+                Self::pool_last_rows(h, batch, seq, s)
+            }
+            Backbone::Attention { quant: Some(q), .. } => {
+                let cat = Self::concat_in(x, s);
+                let mut h = q.proj.infer_in(&cat, s);
+                s.give(cat);
+                s.add_positional_per_seq(&mut h, seq);
+                for l in &q.layers {
+                    let h2 = l.infer_batch_in(&h, batch, s);
+                    s.give(h);
+                    h = h2;
+                }
+                Self::pool_last_rows(h, batch, seq, s)
+            }
+            Backbone::Amma(a) => a.infer_batch_quant_in(x, batch, phase, s),
+            other => other.infer_batch_in(x, batch, phase, s),
+        }
+    }
 }
 
 impl Module for Backbone {
@@ -306,6 +457,19 @@ impl Module for Backbone {
                 }
             }
             Backbone::Amma(a) => a.for_each_param(f),
+        }
+    }
+
+    fn for_each_param_ref(&self, f: &mut dyn FnMut(&Param)) {
+        match self {
+            Backbone::Lstm { lstm, .. } => lstm.for_each_param_ref(f),
+            Backbone::Attention { proj, layers, .. } => {
+                proj.for_each_param_ref(f);
+                for l in layers {
+                    l.for_each_param_ref(f);
+                }
+            }
+            Backbone::Amma(a) => a.for_each_param_ref(f),
         }
     }
 }
@@ -447,6 +611,116 @@ mod tests {
         let a = Backbone::new(BackboneKind::Amma, 3, 1, tiny_cfg(), &mut r)
             .with_phase_embedding(2, &mut r);
         assert_ne!(a.infer(&x, 0), a.infer(&x, 1));
+    }
+
+    #[test]
+    fn quantized_forward_tracks_f32_for_every_kind() {
+        let mut r = rng(31);
+        for kind in [
+            BackboneKind::Lstm,
+            BackboneKind::Attention,
+            BackboneKind::Amma,
+        ] {
+            let mut b = Backbone::new(kind, 3, 1, tiny_cfg(), &mut r);
+            b.quantize();
+            assert!(b.is_quantized(), "{}", kind.name());
+            let x = input(32);
+            let mut s = ScratchArena::new();
+            let exact = b.infer_in(&x, 0, &mut s);
+            let quant = b.forward_quant(&x, 0, &mut s);
+            let diff = exact
+                .data
+                .iter()
+                .zip(quant.data.iter())
+                .fold(0.0f32, |m, (a, c)| m.max((a - c).abs()));
+            assert!(diff < 0.35, "{}: diff {diff}", kind.name());
+            assert!(diff > 0.0, "{}: quant path identical to f32", kind.name());
+            // The snapshot actually compresses: under a third of f32 bytes.
+            let qb = b.quant_storage_bytes().unwrap();
+            let fb = b.num_params() * 4;
+            assert!(qb * 3 < fb * 2, "{}: {qb} vs {fb}", kind.name());
+        }
+    }
+
+    #[test]
+    fn quantized_batch_is_bit_identical_per_sequence() {
+        let mut r = rng(33);
+        for kind in [
+            BackboneKind::Lstm,
+            BackboneKind::Attention,
+            BackboneKind::Amma,
+        ] {
+            let mut b =
+                Backbone::new(kind, 3, 1, tiny_cfg(), &mut r).with_phase_embedding(2, &mut r);
+            b.quantize();
+            let mut s = ScratchArena::new();
+            for batch in [1usize, 3, 8] {
+                let t = 4;
+                let seqs: Vec<ModalInput> = (0..batch).map(|i| input(200 + i as u64)).collect();
+                let mut addr = Matrix::zeros(batch * t, 3);
+                let mut pc = Matrix::zeros(batch * t, 1);
+                for (i, q) in seqs.iter().enumerate() {
+                    for row in 0..t {
+                        addr.row_mut(i * t + row).copy_from_slice(q.addr.row(row));
+                        pc.data[i * t + row] = q.pc.data[row];
+                    }
+                }
+                let stacked = ModalInput { addr, pc };
+                for phase in 0..2 {
+                    let fused = b.forward_batch_quant(&stacked, batch, phase, &mut s);
+                    for (i, q) in seqs.iter().enumerate() {
+                        let solo = b.forward_quant(q, phase, &mut s);
+                        assert_eq!(
+                            fused.row(i),
+                            solo.row(0),
+                            "{} batch={batch} seq={i} phase={phase}",
+                            kind.name()
+                        );
+                        s.give(solo);
+                    }
+                    s.give(fused);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unquantized_forward_quant_falls_back_bit_identically() {
+        let mut r = rng(35);
+        for kind in [
+            BackboneKind::Lstm,
+            BackboneKind::Attention,
+            BackboneKind::Amma,
+        ] {
+            let b = Backbone::new(kind, 3, 1, tiny_cfg(), &mut r);
+            assert!(!b.is_quantized());
+            assert!(b.quant_storage_bytes().is_none());
+            let x = input(36);
+            let mut s = ScratchArena::new();
+            let a = b.infer_in(&x, 0, &mut s);
+            let c = b.forward_quant(&x, 0, &mut s);
+            assert_eq!(a.data, c.data, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn training_forward_invalidates_quant_snapshot() {
+        let mut r = rng(37);
+        for kind in [
+            BackboneKind::Lstm,
+            BackboneKind::Attention,
+            BackboneKind::Amma,
+        ] {
+            let mut b = Backbone::new(kind, 3, 1, tiny_cfg(), &mut r);
+            b.quantize();
+            assert!(b.is_quantized(), "{}", kind.name());
+            let _ = b.forward(&input(38), 0);
+            assert!(
+                !b.is_quantized(),
+                "{} kept a stale snapshot across training",
+                kind.name()
+            );
+        }
     }
 
     #[test]

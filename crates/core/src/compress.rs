@@ -138,6 +138,7 @@ pub fn distill_delta(
         final_loss,
         train_steps: 0,
         train_rollbacks: 0,
+        quant_heads: Vec::new(),
     }
 }
 
@@ -219,9 +220,27 @@ pub fn distill_page(
                 let pooled = m.backbone.forward(&x, phase);
                 let logits = m.head.forward(&pooled);
                 let (loss, dl) = match (teacher.cfg.head, cfg.head) {
-                    (PageHead::Softmax, PageHead::Softmax)
-                    | (PageHead::BinaryEncoded, PageHead::Softmax) => {
-                        distillation_loss(&logits, &teacher_logits, dc.temperature)
+                    (PageHead::Softmax, PageHead::Softmax) => {
+                        // Softmax student heads are tied: `logits` is the
+                        // embedding-space projection, not the vocab-wide
+                        // row. Expand through the student's table for the
+                        // KD loss and pull the gradient back through the
+                        // same (frozen-for-this-product) table.
+                        let full = logits.matmul_bt(&m.embed.table.w);
+                        let (loss, d_full) =
+                            distillation_loss(&full, &teacher_logits, dc.temperature);
+                        (loss, d_full.matmul(&m.embed.table.w))
+                    }
+                    (PageHead::BinaryEncoded, PageHead::Softmax) => {
+                        // Bits-wide teacher vs vocab-wide student: decode
+                        // the teacher's token and distill it as a hard
+                        // label through the student's tied softmax.
+                        let probs = mpgraph_ml::layers::Sigmoid::infer(&teacher_logits);
+                        let top =
+                            PagePredictor::decode_bits(probs.row(0), student.vocab.len().max(1));
+                        let full = logits.matmul_bt(&m.embed.table.w);
+                        let (loss, d_full) = mpgraph_ml::loss::softmax_cross_entropy(&full, &[top]);
+                        (loss, d_full.matmul(&m.embed.table.w))
                     }
                     (PageHead::BinaryEncoded, PageHead::BinaryEncoded) => {
                         binary_distillation_loss(&logits, &teacher_logits)
@@ -276,6 +295,10 @@ pub fn distill_page(
 }
 
 /// In-place int8 quantization of every model in a delta predictor.
+/// Rounds the f32 weights onto their int8 grid (for storage accounting)
+/// and installs the real int8 serving snapshot, so subsequent inference
+/// runs the i8×i8→i32 kernels. Rounding first makes the snapshot an exact
+/// representation of the stored weights (quantization is fixpoint-stable).
 /// Returns (float bytes before, int8 bytes after).
 pub fn quantize_delta(p: &mut DeltaPredictor) -> (usize, usize) {
     let mut before = 0usize;
@@ -284,10 +307,13 @@ pub fn quantize_delta(p: &mut DeltaPredictor) -> (usize, usize) {
         before += b.num_params() * 4 + h.num_params() * 4;
         after += quantize_module(b) + quantize_module(h);
     }
+    p.quantize();
     (before, after)
 }
 
-/// In-place int8 quantization of every model in a page predictor.
+/// In-place int8 quantization of every model in a page predictor. Same
+/// contract as [`quantize_delta`]: weights round onto the int8 grid and
+/// the int8 serving snapshot is installed.
 pub fn quantize_page(p: &mut PagePredictor) -> (usize, usize) {
     let mut before = 0usize;
     let mut after = 0usize;
@@ -297,6 +323,7 @@ pub fn quantize_page(p: &mut PagePredictor) -> (usize, usize) {
             + quantize_module(&mut m.backbone)
             + quantize_module(&mut m.head);
     }
+    p.quantize();
     (before, after)
 }
 
@@ -376,7 +403,7 @@ mod tests {
     fn delta_distillation_shrinks_and_tracks_teacher() {
         let tr = trace();
         let (dcfg, _, tc) = teacher_cfgs();
-        let mut teacher = DeltaPredictor::train(&tr, 2, Variant::AmmaPs, dcfg, &tc);
+        let teacher = DeltaPredictor::train(&tr, 2, Variant::AmmaPs, dcfg, &tc);
         let dc = DistillCfg {
             student_amma: AmmaConfig {
                 history: 5,
@@ -389,7 +416,7 @@ mod tests {
             single_student: false,
             student_head: None,
         };
-        let mut student = distill_delta(&teacher, &tr, &dc, &tc);
+        let student = distill_delta(&teacher, &tr, &dc, &tc);
         let factor = compression_factor(teacher.num_params(), student.num_params());
         assert!(factor > 3.0, "compression only {factor:.1}x");
         // Student should still beat chance on the training distribution.
@@ -420,7 +447,7 @@ mod tests {
     fn page_distillation_runs_and_shrinks() {
         let tr = trace();
         let (_, pcfg, tc) = teacher_cfgs();
-        let mut teacher = PagePredictor::train(&tr, 2, Variant::AmmaPs, pcfg, &tc);
+        let teacher = PagePredictor::train(&tr, 2, Variant::AmmaPs, pcfg, &tc);
         let dc = DistillCfg {
             student_amma: AmmaConfig {
                 history: 5,
@@ -433,11 +460,65 @@ mod tests {
             single_student: true,
             student_head: Some(PageHead::BinaryEncoded),
         };
-        let mut student = distill_page(&teacher, &tr, &dc, &tc);
+        let student = distill_page(&teacher, &tr, &dc, &tc);
         assert!(student.final_loss.is_finite());
         assert!(student.num_params() < teacher.num_params());
         let acc = student.evaluate_accuracy_at(&tr, &tc, 10, 80);
         assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn softmax_teacher_distills_into_binary_student_via_argmax_labels() {
+        // Head widths differ (softmax teacher over the vocab, binary
+        // student over log2(vocab) bits), so KD cannot match logits
+        // directly: the mismatch branch distills the teacher's argmax
+        // token through the student's binary target instead.
+        let tr = trace();
+        let (_, pcfg, tc) = teacher_cfgs();
+        let teacher = PagePredictor::train(&tr, 2, Variant::AmmaPs, pcfg, &tc);
+        assert!(matches!(teacher.cfg.head, PageHead::Softmax));
+        let dc = DistillCfg {
+            student_amma: AmmaConfig {
+                history: 5,
+                attn_dim: 4,
+                fusion_dim: 8,
+                layers: 1,
+                heads: 2,
+            },
+            temperature: 2.0,
+            single_student: false,
+            student_head: Some(PageHead::BinaryEncoded),
+        };
+        let student = distill_page(&teacher, &tr, &dc, &tc);
+        assert!(matches!(student.cfg.head, PageHead::BinaryEncoded));
+        // The student head is bit-width narrow (log2 of the configured
+        // vocab), not vocab-wide like the teacher's softmax.
+        let vocab_bits = (student.cfg.page_vocab as f32).log2().ceil() as usize;
+        let logits =
+            student.predict_logits(&[(0usize, 0x401000u64); 5], 1 % student.num_phases.max(1));
+        assert_eq!(logits.cols, vocab_bits.max(1));
+        assert!(
+            student.final_loss.is_finite(),
+            "argmax fallback produced non-finite loss: {}",
+            student.final_loss
+        );
+        // Hard-label KD still transfers the learned behaviour: on the
+        // phase-1 page cycle the student reproduces the teacher's top-1.
+        let cycle = [40u64, 80, 120, 40, 80];
+        let t_hist: Vec<(usize, u64)> = cycle
+            .iter()
+            .map(|&p| (teacher.vocab.token_of(p), 0x401000))
+            .collect();
+        let s_hist: Vec<(usize, u64)> = cycle
+            .iter()
+            .map(|&p| (student.vocab.token_of(p), 0x401000))
+            .collect();
+        let t_top = teacher.predict_pages(&t_hist, 1, 1);
+        let s_top = student.predict_pages(&s_hist, 1, 1);
+        assert_eq!(
+            s_top, t_top,
+            "student diverged from the teacher's argmax on the trained cycle"
+        );
     }
 
     #[test]

@@ -12,6 +12,7 @@ use mpgraph_ml::layers::{Linear, Module, Sigmoid};
 use mpgraph_ml::loss::bce_with_logits;
 use mpgraph_ml::metrics::{multilabel_f1, top_k_indices, Prf};
 use mpgraph_ml::optim::Adam;
+use mpgraph_ml::quant::QuantizedLinear;
 use mpgraph_ml::tensor::{rng, Matrix};
 use mpgraph_ml::ScratchArena;
 use mpgraph_prefetchers::mlcommon::{dedup_lanes, pc_feature, segment_block};
@@ -88,6 +89,10 @@ pub struct DeltaPredictor {
     pub cfg: DeltaPredictorConfig,
     /// One (backbone, head) per phase for AMMA-PS, otherwise length 1.
     pub(crate) models: Vec<(Backbone, Linear)>,
+    /// Int8 head snapshots, one per model, filled by
+    /// [`DeltaPredictor::quantize`] (backbone snapshots live inside each
+    /// [`Backbone`]). Empty means the f32 path serves.
+    pub(crate) quant_heads: Vec<QuantizedLinear>,
     pub(crate) num_phases: usize,
     pub final_loss: f32,
     /// Optimizer steps taken across all phase models and epochs.
@@ -239,6 +244,7 @@ impl DeltaPredictor {
             variant,
             cfg,
             models,
+            quant_heads: Vec::new(),
             num_phases: num_phases.max(1),
             final_loss,
             train_steps,
@@ -324,12 +330,46 @@ impl DeltaPredictor {
         (last.0, last.1, steps)
     }
 
-    fn model_for(&self, phase: usize) -> &(Backbone, Linear) {
+    fn model_index(&self, phase: usize) -> usize {
         if self.variant.is_phase_specific() {
-            &self.models[phase % self.models.len()]
+            phase % self.models.len()
         } else {
-            &self.models[0]
+            0
         }
+    }
+
+    fn model_for(&self, phase: usize) -> &(Backbone, Linear) {
+        &self.models[self.model_index(phase)]
+    }
+
+    /// Builds int8 snapshots of every phase model (backbones + heads).
+    /// Serving then runs through the i8×i8→i32 kernels; call on a trained
+    /// (typically distilled, §6.1) predictor.
+    pub fn quantize(&mut self) {
+        self.quant_heads = self
+            .models
+            .iter_mut()
+            .map(|(b, h)| {
+                b.quantize();
+                QuantizedLinear::from_linear(h)
+            })
+            .collect();
+    }
+
+    pub fn is_quantized(&self) -> bool {
+        !self.quant_heads.is_empty() && self.models.iter().all(|(b, _)| b.is_quantized())
+    }
+
+    /// Int8 model size across all phase models (weights + scales/biases).
+    pub fn quant_storage_bytes(&self) -> Option<usize> {
+        if !self.is_quantized() {
+            return None;
+        }
+        let mut total = 0usize;
+        for ((b, _), qh) in self.models.iter().zip(&self.quant_heads) {
+            total += b.quant_storage_bytes()? + qh.storage_bytes();
+        }
+        Some(total)
     }
 
     /// Sigmoid probabilities over the delta bitmap.
@@ -370,13 +410,24 @@ impl DeltaPredictor {
         phase: usize,
         s: &mut ScratchArena,
     ) -> Matrix {
-        let (backbone, head) = self.model_for(phase);
+        let midx = self.model_index(phase);
+        let (backbone, head) = &self.models[midx];
         let x = Self::encode_in(&self.cfg, hist, s);
-        let pooled = backbone.infer_in(&x, phase, s);
+        // The quantized path only engages once `quantize` has built the
+        // snapshots; otherwise this is exactly the f32 arena path.
+        let quant_head = self.quant_heads.get(midx);
+        let pooled = if quant_head.is_some() {
+            backbone.forward_quant(&x, phase, s)
+        } else {
+            backbone.infer_in(&x, phase, s)
+        };
         let ModalInput { addr, pc } = x;
         s.give(addr);
         s.give(pc);
-        let logits = head.infer_in(&pooled, s);
+        let logits = match quant_head {
+            Some(qh) => qh.infer_in(&pooled, s),
+            None => head.infer_in(&pooled, s),
+        };
         s.give(pooled);
         logits
     }
@@ -451,7 +502,8 @@ impl DeltaPredictor {
         let dr = DeltaRange {
             range: self.cfg.delta_range,
         };
-        let (backbone, head) = self.model_for(phase);
+        let midx = self.model_index(phase);
+        let (backbone, head) = &self.models[midx];
         let mut addr = s.take(batch * t, self.cfg.segments);
         let mut pc = s.take(batch * t, 1);
         for (b, hist) in hists.iter().enumerate() {
@@ -462,11 +514,19 @@ impl DeltaPredictor {
             }
         }
         let x = ModalInput { addr, pc };
-        let pooled = backbone.infer_batch_in(&x, batch, phase, s);
+        let quant_head = self.quant_heads.get(midx);
+        let pooled = if quant_head.is_some() {
+            backbone.forward_batch_quant(&x, batch, phase, s)
+        } else {
+            backbone.infer_batch_in(&x, batch, phase, s)
+        };
         let ModalInput { addr, pc } = x;
         s.give(addr);
         s.give(pc);
-        let mut scores = head.infer_in(&pooled, s);
+        let mut scores = match quant_head {
+            Some(qh) => qh.infer_in(&pooled, s),
+            None => head.infer_in(&pooled, s),
+        };
         s.give(pooled);
         Sigmoid::infer_inplace(&mut scores);
         let out = (0..batch)
@@ -527,25 +587,25 @@ impl DeltaPredictor {
     }
 
     /// Total trainable parameters across all phase models (Table 8).
-    pub fn num_params(&mut self) -> usize {
+    pub fn num_params(&self) -> usize {
         self.models
-            .iter_mut()
+            .iter()
             .map(|(b, h)| b.num_params() + h.num_params())
             .sum()
     }
 
     /// Little-endian bytes of every trainable weight in traversal order —
     /// the byte-level fingerprint the determinism tests compare.
-    pub fn weight_bytes(&mut self) -> Vec<u8> {
+    pub fn weight_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
-        let mut push = |p: &mut mpgraph_ml::layers::Param| {
+        let mut push = |p: &mpgraph_ml::layers::Param| {
             for v in &p.w.data {
                 out.extend_from_slice(&v.to_le_bytes());
             }
         };
-        for (b, h) in self.models.iter_mut() {
-            b.for_each_param(&mut push);
-            h.for_each_param(&mut push);
+        for (b, h) in self.models.iter() {
+            b.for_each_param_ref(&mut push);
+            h.for_each_param_ref(&mut push);
         }
         out
     }
@@ -752,6 +812,99 @@ mod tests {
     }
 
     #[test]
+    fn quantized_prediction_keeps_the_learned_pattern() {
+        let trace = two_phase_trace(120, 3);
+        let (cfg, tc) = quick_cfg();
+        let mut model = DeltaPredictor::train(&trace, 2, Variant::AmmaPs, cfg, &tc);
+        assert!(!model.is_quantized());
+        model.quantize();
+        assert!(model.is_quantized());
+        // Int8 weights shrink storage well below f32 even at test-sized
+        // dims, where per-row scales and f32 biases are a big fraction.
+        let qb = model.quant_storage_bytes().unwrap();
+        let fb = model.num_params() * 4;
+        assert!(qb * 3 < fb * 2, "{qb} quant bytes vs {fb} f32 bytes");
+        let mut s = ScratchArena::new();
+        // The learned stride patterns survive quantization.
+        let hist: Vec<(u64, u64)> = (0..5).map(|i| ((1 << 16) + i, 0x400000)).collect();
+        let deltas = model.predict_deltas_in(&hist, 0, 3, &mut s);
+        assert!(deltas.contains(&1), "phase-0 deltas {deltas:?}");
+        let hist1: Vec<(u64, u64)> = (0..5).map(|i| ((1 << 18) + 4 * i, 0x401000)).collect();
+        let deltas1 = model.predict_deltas_in(&hist1, 1, 3, &mut s);
+        assert!(deltas1.contains(&4), "phase-1 deltas {deltas1:?}");
+        // And the scores track the f32 path closely.
+        for (hist, phase) in [(&hist, 0usize), (&hist1, 1)] {
+            let exact = model.predict_scores(hist, phase);
+            let quant = model.predict_scores_in(hist, phase, &mut s);
+            let diff = exact
+                .iter()
+                .zip(quant.data.iter())
+                .fold(0.0f32, |m, (a, b)| m.max((a - b).abs()));
+            assert!(diff < 0.12, "phase {phase}: sigmoid diff {diff}");
+            s.give(quant);
+        }
+    }
+
+    #[test]
+    fn quantized_batch_is_bit_identical_to_single_lane() {
+        let trace = two_phase_trace(60, 2);
+        let (cfg, tc) = quick_cfg();
+        let tc = TrainCfg {
+            max_samples: 50,
+            epochs: 1,
+            ..tc
+        };
+        for v in Variant::ALL {
+            let mut model = DeltaPredictor::train(&trace, 2, v, cfg, &tc);
+            model.quantize();
+            let mut s = ScratchArena::new();
+            let hists: Vec<Vec<(u64, u64)>> = (0..8u64)
+                .map(|b| {
+                    (0..5)
+                        .map(|i| ((1 << 16) + 97 * b + i * (1 + b % 3), 0x400000 + 4 * b))
+                        .collect()
+                })
+                .collect();
+            let refs: Vec<&[(u64, u64)]> = hists.iter().map(Vec::as_slice).collect();
+            for phase in 0..2 {
+                let fused = model.predict_deltas_batch_in(&refs, phase, 4, &mut s);
+                for (b, h) in refs.iter().enumerate() {
+                    let solo = model.predict_deltas_in(h, phase, 4, &mut s);
+                    assert_eq!(fused[b], solo, "{} lane={b} phase={phase}", v.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_inference_is_allocation_free_at_steady_state() {
+        let trace = two_phase_trace(60, 2);
+        let (cfg, tc) = quick_cfg();
+        let tc = TrainCfg {
+            max_samples: 50,
+            epochs: 1,
+            ..tc
+        };
+        let mut model = DeltaPredictor::train(&trace, 2, Variant::AmmaPs, cfg, &tc);
+        model.quantize();
+        let hist: Vec<(u64, u64)> = (0..5).map(|i| ((1 << 16) + i, 0x400000)).collect();
+        let mut s = ScratchArena::new();
+        for phase in [0usize, 1] {
+            let w = model.predict_scores_in(&hist, phase, &mut s);
+            let baseline = w.data.clone();
+            s.give(w);
+            let (_, misses_warm) = s.stats();
+            for _ in 0..4 {
+                let y = model.predict_scores_in(&hist, phase, &mut s);
+                assert_eq!(y.data, baseline);
+                s.give(y);
+            }
+            let (_, misses) = s.stats();
+            assert_eq!(misses, misses_warm, "phase {phase} steady state allocated");
+        }
+    }
+
+    #[test]
     fn phase_specific_has_n_models() {
         let trace = two_phase_trace(60, 2);
         let (cfg, tc) = quick_cfg();
@@ -760,8 +913,8 @@ mod tests {
             epochs: 1,
             ..tc
         };
-        let mut ps = DeltaPredictor::train(&trace, 2, Variant::AmmaPs, cfg, &tc);
-        let mut single = DeltaPredictor::train(&trace, 2, Variant::Amma, cfg, &tc);
+        let ps = DeltaPredictor::train(&trace, 2, Variant::AmmaPs, cfg, &tc);
+        let single = DeltaPredictor::train(&trace, 2, Variant::Amma, cfg, &tc);
         assert_eq!(ps.models.len(), 2);
         assert_eq!(single.models.len(), 1);
         assert_eq!(ps.num_params(), 2 * single.num_params());

@@ -17,6 +17,7 @@ use mpgraph_ml::layers::{Embedding, Linear, Module, Sigmoid};
 use mpgraph_ml::loss::{bce_with_logits, softmax_cross_entropy};
 use mpgraph_ml::metrics::top_k_indices;
 use mpgraph_ml::optim::Adam;
+use mpgraph_ml::quant::QuantizedLinear;
 use mpgraph_ml::tensor::{rng, Matrix};
 use mpgraph_ml::ScratchArena;
 use mpgraph_prefetchers::mlcommon::{dedup_lanes, pc_feature, PageVocab};
@@ -67,6 +68,53 @@ pub(crate) struct PageModel {
     /// layer to `log2(vocab)` bits.
     pub(crate) head: Linear,
     pub(crate) tied: bool,
+    /// Int8 snapshot of the head path, filled by
+    /// [`PagePredictor::quantize`] (the backbone snapshot lives inside
+    /// [`Backbone`]). `None` means the f32 path serves.
+    pub(crate) quant: Option<QuantPageHead>,
+}
+
+/// Int8 page head: the pooled→embedding projection, plus (Softmax only)
+/// the tied vocabulary product — each embedding-table row becomes one
+/// quantized output channel with its own scale, so one hot page with large
+/// embedding norm cannot wash out the rest of the vocabulary.
+#[derive(Clone)]
+pub(crate) struct QuantPageHead {
+    pub(crate) head: QuantizedLinear,
+    pub(crate) tied_vocab: Option<QuantizedLinear>,
+}
+
+impl QuantPageHead {
+    fn from_model(m: &PageModel) -> Self {
+        QuantPageHead {
+            head: QuantizedLinear::from_linear(&m.head),
+            tied_vocab: m
+                .tied
+                .then(|| QuantizedLinear::from_rows(&m.embed.table.w, None)),
+        }
+    }
+
+    fn storage_bytes(&self) -> usize {
+        self.head.storage_bytes()
+            + self
+                .tied_vocab
+                .as_ref()
+                .map_or(0, QuantizedLinear::storage_bytes)
+    }
+
+    /// Logits from the pooled representation: quantized projection, then
+    /// (tied heads) the quantized vocabulary product.
+    fn logits_in(&self, pooled: &Matrix, s: &mut ScratchArena) -> Matrix {
+        match &self.tied_vocab {
+            Some(tv) => {
+                let z = self.head.infer_in(pooled, s);
+                let logits = tv.infer_in(&z, s);
+                s.give(z);
+                logits
+            }
+            None => self.head.infer_in(pooled, s),
+        }
+    }
 }
 
 /// The temporal page predictor, in any of the five Table 7 variants.
@@ -123,7 +171,7 @@ impl PagePredictor {
 
     /// Decodes thresholded bit probabilities back to a token id, clamped to
     /// the vocabulary.
-    fn decode_bits(probs: &[f32], vocab_len: usize) -> usize {
+    pub(crate) fn decode_bits(probs: &[f32], vocab_len: usize) -> usize {
         let mut token = 0usize;
         for (b, &p) in probs.iter().enumerate() {
             if p >= 0.5 {
@@ -186,6 +234,7 @@ impl PagePredictor {
                     backbone,
                     head,
                     tied,
+                    quant: None,
                 }
             })
             .collect();
@@ -402,6 +451,40 @@ impl PagePredictor {
         }
     }
 
+    /// Builds int8 snapshots of every phase model (backbone, head, and —
+    /// for tied Softmax heads — the vocabulary product over the embedding
+    /// table). Serving then runs through the i8×i8→i32 kernels.
+    pub fn quantize(&mut self) {
+        for m in &mut self.models {
+            m.backbone.quantize();
+            m.quant = Some(QuantPageHead::from_model(m));
+        }
+    }
+
+    pub fn is_quantized(&self) -> bool {
+        !self.models.is_empty()
+            && self
+                .models
+                .iter()
+                .all(|m| m.quant.is_some() && m.backbone.is_quantized())
+    }
+
+    /// Int8 model size across all phase models. The token-embedding lookup
+    /// table stays f32 (it is indexed, never multiplied on the input side)
+    /// and is counted at full width.
+    pub fn quant_storage_bytes(&self) -> Option<usize> {
+        if !self.is_quantized() {
+            return None;
+        }
+        let mut total = 0usize;
+        for m in &self.models {
+            total += m.backbone.quant_storage_bytes()?
+                + m.quant.as_ref()?.storage_bytes()
+                + 4 * m.embed.table.w.data.len();
+        }
+        Some(total)
+    }
+
     /// Raw head logits (pre-softmax / pre-sigmoid) — the KD target.
     pub fn predict_logits(&self, hist: &[(usize, u64)], phase: usize) -> Matrix {
         let m = self.model_for(phase);
@@ -431,18 +514,24 @@ impl PagePredictor {
             pc.data[i] = pc_feature(pcv);
         }
         let x = ModalInput { addr, pc };
-        let pooled = m.backbone.infer_in(&x, phase, s);
+        let pooled = if m.quant.is_some() {
+            m.backbone.forward_quant(&x, phase, s)
+        } else {
+            m.backbone.infer_in(&x, phase, s)
+        };
         let ModalInput { addr, pc } = x;
         s.give(addr);
         s.give(pc);
-        let logits = if m.tied {
-            let z = m.head.infer_in(&pooled, s);
-            let mut logits = s.take(z.rows, m.embed.table.w.rows);
-            z.matmul_bt_into(&m.embed.table.w, &mut logits);
-            s.give(z);
-            logits
-        } else {
-            m.head.infer_in(&pooled, s)
+        let logits = match &m.quant {
+            Some(q) => q.logits_in(&pooled, s),
+            None if m.tied => {
+                let z = m.head.infer_in(&pooled, s);
+                let mut logits = s.take(z.rows, m.embed.table.w.rows);
+                z.matmul_bt_into(&m.embed.table.w, &mut logits);
+                s.give(z);
+                logits
+            }
+            None => m.head.infer_in(&pooled, s),
         };
         s.give(pooled);
         logits
@@ -526,18 +615,24 @@ impl PagePredictor {
             }
         }
         let x = ModalInput { addr, pc };
-        let pooled = m.backbone.infer_batch_in(&x, batch, phase, s);
+        let pooled = if m.quant.is_some() {
+            m.backbone.forward_batch_quant(&x, batch, phase, s)
+        } else {
+            m.backbone.infer_batch_in(&x, batch, phase, s)
+        };
         let ModalInput { addr, pc } = x;
         s.give(addr);
         s.give(pc);
-        let mut logits = if m.tied {
-            let z = m.head.infer_in(&pooled, s);
-            let mut logits = s.take(z.rows, m.embed.table.w.rows);
-            z.matmul_bt_into(&m.embed.table.w, &mut logits);
-            s.give(z);
-            logits
-        } else {
-            m.head.infer_in(&pooled, s)
+        let mut logits = match &m.quant {
+            Some(q) => q.logits_in(&pooled, s),
+            None if m.tied => {
+                let z = m.head.infer_in(&pooled, s);
+                let mut logits = s.take(z.rows, m.embed.table.w.rows);
+                z.matmul_bt_into(&m.embed.table.w, &mut logits);
+                s.give(z);
+                logits
+            }
+            None => m.head.infer_in(&pooled, s),
         };
         s.give(pooled);
         let out = match self.cfg.head {
@@ -648,26 +743,26 @@ impl PagePredictor {
         self.bits
     }
 
-    pub fn num_params(&mut self) -> usize {
+    pub fn num_params(&self) -> usize {
         self.models
-            .iter_mut()
+            .iter()
             .map(|m| m.embed.num_params() + m.backbone.num_params() + m.head.num_params())
             .sum()
     }
 
     /// Little-endian bytes of every trainable weight in traversal order —
     /// the byte-level fingerprint the determinism tests compare.
-    pub fn weight_bytes(&mut self) -> Vec<u8> {
+    pub fn weight_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
-        let mut push = |p: &mut mpgraph_ml::layers::Param| {
+        let mut push = |p: &mpgraph_ml::layers::Param| {
             for v in &p.w.data {
                 out.extend_from_slice(&v.to_le_bytes());
             }
         };
-        for m in self.models.iter_mut() {
-            m.embed.for_each_param(&mut push);
-            m.backbone.for_each_param(&mut push);
-            m.head.for_each_param(&mut push);
+        for m in self.models.iter() {
+            m.embed.for_each_param_ref(&mut push);
+            m.backbone.for_each_param_ref(&mut push);
+            m.head.for_each_param_ref(&mut push);
         }
         out
     }
@@ -762,9 +857,9 @@ mod tests {
         let trace = two_phase_trace(3);
         let (mut cfg, tc) = quick_cfg();
         cfg.head = PageHead::BinaryEncoded;
-        let mut bin = PagePredictor::train(&trace, 2, Variant::Amma, cfg, &tc);
+        let bin = PagePredictor::train(&trace, 2, Variant::Amma, cfg, &tc);
         cfg.head = PageHead::Softmax;
-        let mut soft = PagePredictor::train(&trace, 2, Variant::Amma, cfg, &tc);
+        let soft = PagePredictor::train(&trace, 2, Variant::Amma, cfg, &tc);
         assert_eq!(bin.encoded_bits(), 6); // log2(64)
         assert!(bin.num_params() < soft.num_params());
         let acc = bin.evaluate_accuracy_at(&trace, &tc, 10, 150);
@@ -851,6 +946,72 @@ mod tests {
                 }
                 let (_, misses) = s.stats();
                 assert_eq!(misses, misses_after_warmup, "steady state allocated");
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_page_prediction_keeps_the_learned_cycle() {
+        let trace = two_phase_trace(3);
+        let (cfg, tc) = quick_cfg();
+        for head in [PageHead::Softmax, PageHead::BinaryEncoded] {
+            let cfg = PagePredictorConfig { head, ..cfg };
+            let mut model = PagePredictor::train(&trace, 2, Variant::AmmaPs, cfg, &tc);
+            assert!(!model.is_quantized());
+            model.quantize();
+            assert!(model.is_quantized(), "{head:?}");
+            assert!(model.quant_storage_bytes().unwrap() > 0);
+            // Phase-0 history ending at page 12 → next page 10 survives
+            // quantization for both head styles.
+            let hist: Vec<(usize, u64)> = [11u64, 12, 10, 11, 12]
+                .iter()
+                .map(|&p| (model.vocab.token_of(p), 0x400000))
+                .collect();
+            let mut s = ScratchArena::new();
+            let pages = model.predict_pages_in(&hist, 0, 1, &mut s);
+            assert_eq!(pages, vec![10], "{head:?}");
+        }
+    }
+
+    #[test]
+    fn quantized_batched_page_inference_is_bit_identical() {
+        let trace = two_phase_trace(2);
+        let (cfg, tc) = quick_cfg();
+        let tc = TrainCfg {
+            max_samples: 80,
+            epochs: 1,
+            ..tc
+        };
+        for head in [PageHead::Softmax, PageHead::BinaryEncoded] {
+            let cfg = PagePredictorConfig { head, ..cfg };
+            for v in [Variant::Lstm, Variant::Attention, Variant::AmmaPs] {
+                let mut model = PagePredictor::train(&trace, 2, v, cfg, &tc);
+                model.quantize();
+                let mut s = ScratchArena::new();
+                let pages = [10u64, 11, 12, 50, 60, 70, 80];
+                let hists: Vec<Vec<(usize, u64)>> = (0..8usize)
+                    .map(|b| {
+                        (0..5)
+                            .map(|i| {
+                                let p = pages[(b + 2 * i) % pages.len()];
+                                (model.vocab.token_of(p), 0x400000 + 4 * b as u64)
+                            })
+                            .collect()
+                    })
+                    .collect();
+                let refs: Vec<&[(usize, u64)]> = hists.iter().map(Vec::as_slice).collect();
+                for phase in 0..2 {
+                    let fused = model.predict_pages_batch_in(&refs, phase, 3, &mut s);
+                    for (b, h) in refs.iter().enumerate() {
+                        let solo = model.predict_pages_in(h, phase, 3, &mut s);
+                        assert_eq!(
+                            fused[b],
+                            solo,
+                            "{} {head:?} lane={b} phase={phase}",
+                            v.name()
+                        );
+                    }
+                }
             }
         }
     }

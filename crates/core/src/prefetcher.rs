@@ -329,8 +329,10 @@ impl MpGraphPrefetcher {
     /// layer may fuse their accesses into one batched forward. The hash
     /// covers every trainable weight byte of both predictors plus the
     /// inference-relevant configuration (degrees, encoding shape, history
-    /// length, vocabulary) — anything that could steer a model call.
-    pub(crate) fn batch_signature(&mut self) -> u64 {
+    /// length, vocabulary) — anything that could steer a model call,
+    /// including whether each predictor serves its int8 snapshot (a
+    /// quantized and an f32 stream must never share a fused forward).
+    pub(crate) fn batch_signature(&self) -> u64 {
         fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
             for &b in bytes {
                 h ^= b as u64;
@@ -356,10 +358,27 @@ impl MpGraphPrefetcher {
             self.page.vocab.len() as u64,
             self.block_hist.capacity() as u64,
             self.num_phases as u64,
+            self.delta.is_quantized() as u64,
+            self.page.is_quantized() as u64,
         ] {
             h = fnv1a(h, &scalar.to_le_bytes());
         }
         h
+    }
+
+    /// Switches both predictors to int8 serving: every weight-side matmul
+    /// from here on runs through the i8×i8→i32 kernels against a frozen
+    /// quantized snapshot of the trained weights. Idempotent; training is
+    /// already finished by the time a prefetcher exists, so the snapshot
+    /// cannot go stale.
+    pub fn quantize(&mut self) {
+        self.delta.quantize();
+        self.page.quantize();
+    }
+
+    /// True when both predictors serve from their int8 snapshots.
+    pub fn is_quantized(&self) -> bool {
+        self.delta.is_quantized() && self.page.is_quantized()
     }
 
     /// Commits one stream's share of a fused CSTP batch, reproducing the
@@ -731,6 +750,45 @@ mod tests {
         assert!(total > 100, "only {total} prefetches issued");
         // The detector fired and the controller reacted at least once
         // (the workload has 3 internal transitions in 2 reps).
+        assert!(pf.transitions_handled() >= 1);
+    }
+
+    #[test]
+    fn quantized_prefetcher_still_prefetches_and_resignatures() {
+        let train = workload(1);
+        let (cfg, tc) = quick_cfg();
+        let mut pf = train_mpgraph(&train, 2, cfg, &tc);
+        let f32_sig = pf.batch_signature();
+        assert!(!pf.is_quantized());
+        pf.quantize();
+        assert!(pf.is_quantized());
+        // A quantized model computes different logits from the same
+        // weights, so it must never fuse with an f32 twin.
+        assert_ne!(
+            pf.batch_signature(),
+            f32_sig,
+            "quantization must change the batch signature"
+        );
+        let test = workload(2);
+        let mut out = Vec::new();
+        let mut total = 0usize;
+        for r in &test {
+            out.clear();
+            pf.on_access(
+                &LlcAccess {
+                    pc: r.pc,
+                    block: r.block(),
+                    core: 0,
+                    is_write: false,
+                    hit: false,
+                    cycle: 0,
+                },
+                &mut out,
+            );
+            assert!(out.len() <= cfg.cstp.max_degree());
+            total += out.len();
+        }
+        assert!(total > 100, "only {total} prefetches issued after quantize");
         assert!(pf.transitions_handled() >= 1);
     }
 

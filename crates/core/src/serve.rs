@@ -444,7 +444,7 @@ impl PrefetchService {
             prefetcher
                 .as_any_mut()
                 .and_then(|a| a.downcast_mut::<MpGraphPrefetcher>())
-                .map(MpGraphPrefetcher::batch_signature)
+                .map(|p| p.batch_signature())
         } else {
             None
         };

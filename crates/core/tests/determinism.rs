@@ -79,8 +79,8 @@ fn parallel_amma_ps_delta_training_is_byte_identical() {
         look_forward: 8,
         threshold: 0.5,
     };
-    let mut a = DeltaPredictor::train(&tr, 3, Variant::AmmaPs, cfg, &tc());
-    let mut b = DeltaPredictor::train(&tr, 3, Variant::AmmaPs, cfg, &tc());
+    let a = DeltaPredictor::train(&tr, 3, Variant::AmmaPs, cfg, &tc());
+    let b = DeltaPredictor::train(&tr, 3, Variant::AmmaPs, cfg, &tc());
     assert_eq!(
         a.final_loss.to_bits(),
         b.final_loss.to_bits(),
@@ -103,8 +103,8 @@ fn parallel_amma_ps_page_training_is_byte_identical() {
             embed_dim: 8,
             head,
         };
-        let mut a = PagePredictor::train(&tr, 3, Variant::AmmaPs, cfg, &tc());
-        let mut b = PagePredictor::train(&tr, 3, Variant::AmmaPs, cfg, &tc());
+        let a = PagePredictor::train(&tr, 3, Variant::AmmaPs, cfg, &tc());
+        let b = PagePredictor::train(&tr, 3, Variant::AmmaPs, cfg, &tc());
         assert_eq!(
             a.final_loss.to_bits(),
             b.final_loss.to_bits(),
@@ -130,7 +130,7 @@ fn different_seeds_actually_change_the_weights() {
         look_forward: 8,
         threshold: 0.5,
     };
-    let mut a = DeltaPredictor::train(&tr, 3, Variant::AmmaPs, cfg, &tc());
-    let mut b = DeltaPredictor::train(&tr, 3, Variant::AmmaPs, cfg, &TrainCfg { seed: 78, ..tc() });
+    let a = DeltaPredictor::train(&tr, 3, Variant::AmmaPs, cfg, &tc());
+    let b = DeltaPredictor::train(&tr, 3, Variant::AmmaPs, cfg, &TrainCfg { seed: 78, ..tc() });
     assert_ne!(a.weight_bytes(), b.weight_bytes());
 }

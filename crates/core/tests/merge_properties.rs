@@ -39,20 +39,20 @@ fn shard_snapshot(seed: u64, events: u64) -> MetricsSnapshot {
         sb.on_record(i);
         let tag = PrefetchTag {
             phase: (x % 2) as u8,
-            lane: if x % 3 == 0 {
+            lane: if x.is_multiple_of(3) {
                 PrefetchLane::Spatial
             } else {
                 PrefetchLane::Temporal
             },
         };
-        sb.on_issued(x, tag, x % 5 != 0);
+        sb.on_issued(x, tag, !x.is_multiple_of(5));
         match x % 4 {
             0 => sb.on_useful(x, false),
             1 => sb.on_useful(x, true),
             2 => sb.on_useless_evict(x),
             _ => {}
         }
-        if x % 6 == 0 {
+        if x.is_multiple_of(6) {
             sb.on_demand_miss((x % 2) as u8);
         }
         sb.on_inference_latency(x % 500);

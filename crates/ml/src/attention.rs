@@ -171,6 +171,12 @@ impl Module for SelfAttention {
         f(&mut self.wk);
         f(&mut self.wv);
     }
+
+    fn for_each_param_ref(&self, f: &mut dyn FnMut(&Param)) {
+        f(&self.wq);
+        f(&self.wk);
+        f(&self.wv);
+    }
 }
 
 /// Multi-head self-attention (Eq. 9): H parallel heads of dimension
@@ -300,6 +306,13 @@ impl Module for MultiHeadAttention {
             h.for_each_param(f);
         }
         f(&mut self.wo);
+    }
+
+    fn for_each_param_ref(&self, f: &mut dyn FnMut(&Param)) {
+        for h in &self.heads {
+            h.for_each_param_ref(f);
+        }
+        f(&self.wo);
     }
 }
 

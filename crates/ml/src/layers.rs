@@ -55,15 +55,21 @@ pub trait Module {
     /// Visits every parameter (for the optimizer / introspection).
     fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param));
 
+    /// Read-only parameter visit, in the same order as
+    /// [`Module::for_each_param`] — for introspection (param counts,
+    /// storage accounting, quantization snapshots) that must not demand
+    /// `&mut` access.
+    fn for_each_param_ref(&self, f: &mut dyn FnMut(&Param));
+
     /// Zeroes all gradient accumulators.
     fn zero_grad(&mut self) {
         self.for_each_param(&mut |p| p.g.data.fill(0.0));
     }
 
     /// Total trainable parameter count (Table 8's "Param" column).
-    fn num_params(&mut self) -> usize {
+    fn num_params(&self) -> usize {
         let mut n = 0;
-        self.for_each_param(&mut |p| n += p.len());
+        self.for_each_param_ref(&mut |p| n += p.len());
         n
     }
 }
@@ -129,6 +135,11 @@ impl Module for Linear {
     fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
         f(&mut self.w);
         f(&mut self.b);
+    }
+
+    fn for_each_param_ref(&self, f: &mut dyn FnMut(&Param)) {
+        f(&self.w);
+        f(&self.b);
     }
 }
 
@@ -205,6 +216,10 @@ impl Embedding {
 impl Module for Embedding {
     fn for_each_param(&mut self, f: &mut dyn FnMut(&mut Param)) {
         f(&mut self.table);
+    }
+
+    fn for_each_param_ref(&self, f: &mut dyn FnMut(&Param)) {
+        f(&self.table);
     }
 }
 
@@ -398,6 +413,11 @@ impl Module for LayerNorm {
         f(&mut self.gamma);
         f(&mut self.beta);
     }
+
+    fn for_each_param_ref(&self, f: &mut dyn FnMut(&Param)) {
+        f(&self.gamma);
+        f(&self.beta);
+    }
 }
 
 #[cfg(test)]
@@ -555,11 +575,11 @@ mod tests {
     #[test]
     fn module_param_counts() {
         let mut r = rng(7);
-        let mut l = Linear::new(10, 20, &mut r);
+        let l = Linear::new(10, 20, &mut r);
         assert_eq!(l.num_params(), 10 * 20 + 20);
-        let mut e = Embedding::new(100, 8, &mut r);
+        let e = Embedding::new(100, 8, &mut r);
         assert_eq!(e.num_params(), 800);
-        let mut ln = LayerNorm::new(16);
+        let ln = LayerNorm::new(16);
         assert_eq!(ln.num_params(), 32);
     }
 

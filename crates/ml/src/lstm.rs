@@ -297,6 +297,12 @@ impl Module for Lstm {
         f(&mut self.w_hh);
         f(&mut self.b);
     }
+
+    fn for_each_param_ref(&self, f: &mut dyn FnMut(&Param)) {
+        f(&self.w_ih);
+        f(&self.w_hh);
+        f(&self.b);
+    }
 }
 
 #[cfg(test)]
@@ -454,7 +460,7 @@ mod tests {
     #[test]
     fn param_count() {
         let mut r = rng(7);
-        let mut l = Lstm::new(10, 20, &mut r);
+        let l = Lstm::new(10, 20, &mut r);
         assert_eq!(l.num_params(), 10 * 80 + 20 * 80 + 80);
     }
 }

@@ -1,0 +1,537 @@
+//! Int8 inference mirrors of the f32 model stack.
+//!
+//! Each `Quant*` struct is an inference-only snapshot of its f32
+//! counterpart: every weight-side matmul (Q/K/V/output projections, FFN
+//! layers, LSTM gate matrices) runs through [`QuantizedLinear`]'s
+//! i8×i8→i32 path with per-output-channel scales, while everything that is
+//! *not* a weight product — softmax, LayerNorm, residual adds, the
+//! attention score (`Q Kᵀ`) and mix (`A V`) products between activations,
+//! sigmoids/tanh — stays f32, exactly as the f32 `infer_in` path computes
+//! it. The control flow of each `infer_in`/`infer_batch_in` mirrors the
+//! float implementation line for line so the two paths differ only by
+//! quantization error, never by structure.
+
+use crate::arena::ScratchArena;
+use crate::attention::{MultiHeadAttention, SelfAttention};
+use crate::layers::LayerNorm;
+use crate::lstm::Lstm;
+use crate::quant::{dot_i16, quantize_row, widen_i8_into, QuantizedLinear};
+use crate::tensor::Matrix;
+use crate::transformer::{FeedForward, TransformerLayer};
+
+#[inline]
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Int8 single-head self-attention: the three projections are quantized,
+/// the score/softmax/mix pipeline stays f32 (activation×activation).
+#[derive(Debug, Clone)]
+pub struct QuantSelfAttention {
+    pub wq: QuantizedLinear,
+    pub wk: QuantizedLinear,
+    pub wv: QuantizedLinear,
+    head_dim: usize,
+}
+
+impl QuantSelfAttention {
+    pub fn from_attention(a: &SelfAttention) -> Self {
+        QuantSelfAttention {
+            wq: QuantizedLinear::from_weight(&a.wq.w, None),
+            wk: QuantizedLinear::from_weight(&a.wk.w, None),
+            wv: QuantizedLinear::from_weight(&a.wv.w, None),
+            head_dim: a.out_dim(),
+        }
+    }
+
+    pub fn out_dim(&self) -> usize {
+        self.head_dim
+    }
+
+    pub fn storage_bytes(&self) -> usize {
+        self.wq.storage_bytes() + self.wk.storage_bytes() + self.wv.storage_bytes()
+    }
+
+    /// Mirrors [`SelfAttention::infer_in`].
+    pub fn infer_in(&self, x: &Matrix, s: &mut ScratchArena) -> Matrix {
+        let rows = x.rows;
+        let q = self.wq.infer_in(x, s);
+        let k = self.wk.infer_in(x, s);
+        let v = self.wv.infer_in(x, s);
+        let mut scores = s.take(rows, rows);
+        q.matmul_bt_into(&k, &mut scores);
+        scores.scale(1.0 / (self.head_dim as f32).sqrt());
+        scores.softmax_rows_inplace();
+        let mut y = s.take(rows, self.head_dim);
+        scores.matmul_into(&v, &mut y);
+        s.give(q);
+        s.give(k);
+        s.give(v);
+        s.give(scores);
+        y
+    }
+
+    /// Mirrors [`SelfAttention::infer_batch_in`]: fused projections over
+    /// the whole stack, per-sequence `[seq, seq]` attention blocks.
+    pub fn infer_batch_in(&self, x: &Matrix, batch: usize, s: &mut ScratchArena) -> Matrix {
+        assert!(
+            batch > 0 && x.rows.is_multiple_of(batch),
+            "rows must tile by batch"
+        );
+        let seq = x.rows / batch;
+        let rows = x.rows;
+        let hd = self.head_dim;
+        let q = self.wq.infer_in(x, s);
+        let k = self.wk.infer_in(x, s);
+        let v = self.wv.infer_in(x, s);
+        let mut y = s.take(rows, hd);
+        let mut qb = s.take(seq, hd);
+        let mut kb = s.take(seq, hd);
+        let mut vb = s.take(seq, hd);
+        let mut yb = s.take(seq, hd);
+        let mut scores = s.take(seq, seq);
+        for b in 0..batch {
+            let span = b * seq * hd..(b + 1) * seq * hd;
+            qb.data.copy_from_slice(&q.data[span.clone()]);
+            kb.data.copy_from_slice(&k.data[span.clone()]);
+            vb.data.copy_from_slice(&v.data[span.clone()]);
+            qb.matmul_bt_into(&kb, &mut scores);
+            scores.scale(1.0 / (hd as f32).sqrt());
+            scores.softmax_rows_inplace();
+            scores.matmul_into(&vb, &mut yb);
+            y.data[span].copy_from_slice(&yb.data);
+        }
+        s.give(qb);
+        s.give(kb);
+        s.give(vb);
+        s.give(yb);
+        s.give(scores);
+        s.give(q);
+        s.give(k);
+        s.give(v);
+        y
+    }
+}
+
+/// Int8 multi-head attention: quantized heads plus a quantized output
+/// projection `Wo`.
+#[derive(Debug, Clone)]
+pub struct QuantMultiHeadAttention {
+    pub heads: Vec<QuantSelfAttention>,
+    pub wo: QuantizedLinear,
+    dim: usize,
+}
+
+impl QuantMultiHeadAttention {
+    pub fn from_attention(m: &MultiHeadAttention) -> Self {
+        QuantMultiHeadAttention {
+            heads: m
+                .heads
+                .iter()
+                .map(QuantSelfAttention::from_attention)
+                .collect(),
+            wo: QuantizedLinear::from_weight(&m.wo.w, None),
+            dim: m.wo.w.rows,
+        }
+    }
+
+    pub fn storage_bytes(&self) -> usize {
+        self.heads
+            .iter()
+            .map(QuantSelfAttention::storage_bytes)
+            .sum::<usize>()
+            + self.wo.storage_bytes()
+    }
+
+    /// Mirrors [`MultiHeadAttention::infer_in`].
+    pub fn infer_in(&self, x: &Matrix, s: &mut ScratchArena) -> Matrix {
+        let rows = x.rows;
+        let head_dim = self.dim / self.heads.len();
+        let mut concat = s.take(rows, self.dim);
+        for (h, head) in self.heads.iter().enumerate() {
+            let y = head.infer_in(x, s);
+            for r in 0..rows {
+                concat.row_mut(r)[h * head_dim..(h + 1) * head_dim].copy_from_slice(y.row(r));
+            }
+            s.give(y);
+        }
+        let out = self.wo.infer_in(&concat, s);
+        s.give(concat);
+        out
+    }
+
+    /// Mirrors [`MultiHeadAttention::infer_batch_in`].
+    pub fn infer_batch_in(&self, x: &Matrix, batch: usize, s: &mut ScratchArena) -> Matrix {
+        let rows = x.rows;
+        let head_dim = self.dim / self.heads.len();
+        let mut concat = s.take(rows, self.dim);
+        for (h, head) in self.heads.iter().enumerate() {
+            let y = head.infer_batch_in(x, batch, s);
+            for r in 0..rows {
+                concat.row_mut(r)[h * head_dim..(h + 1) * head_dim].copy_from_slice(y.row(r));
+            }
+            s.give(y);
+        }
+        let out = self.wo.infer_in(&concat, s);
+        s.give(concat);
+        out
+    }
+}
+
+/// Int8 point-wise feed-forward network.
+#[derive(Debug, Clone)]
+pub struct QuantFeedForward {
+    pub fc1: QuantizedLinear,
+    pub fc2: QuantizedLinear,
+}
+
+impl QuantFeedForward {
+    pub fn from_ffn(f: &FeedForward) -> Self {
+        QuantFeedForward {
+            fc1: QuantizedLinear::from_linear(&f.fc1),
+            fc2: QuantizedLinear::from_linear(&f.fc2),
+        }
+    }
+
+    pub fn storage_bytes(&self) -> usize {
+        self.fc1.storage_bytes() + self.fc2.storage_bytes()
+    }
+
+    /// Mirrors [`FeedForward::infer_in`].
+    pub fn infer_in(&self, x: &Matrix, s: &mut ScratchArena) -> Matrix {
+        let mut h = self.fc1.infer_in(x, s);
+        crate::layers::Relu::infer_inplace(&mut h);
+        let y = self.fc2.infer_in(&h, s);
+        s.give(h);
+        y
+    }
+}
+
+/// Int8 Transformer encoder layer. The layer norms carry f32 gain/bias
+/// (they are vectors, not matrices — quantizing them saves nothing and
+/// costs accuracy), cloned from the source layer.
+#[derive(Debug, Clone)]
+pub struct QuantTransformerLayer {
+    pub msa: QuantMultiHeadAttention,
+    pub ffn: QuantFeedForward,
+    pub ln1: LayerNorm,
+    pub ln2: LayerNorm,
+}
+
+impl QuantTransformerLayer {
+    pub fn from_layer(t: &TransformerLayer) -> Self {
+        QuantTransformerLayer {
+            msa: QuantMultiHeadAttention::from_attention(&t.msa),
+            ffn: QuantFeedForward::from_ffn(&t.ffn),
+            ln1: t.ln1.clone(),
+            ln2: t.ln2.clone(),
+        }
+    }
+
+    pub fn storage_bytes(&self) -> usize {
+        // LayerNorm gain/bias stay f32: 2 vectors × 2 norms × 4 bytes.
+        let ln = 2 * 2 * 4 * self.ln1.gamma.w.cols;
+        self.msa.storage_bytes() + self.ffn.storage_bytes() + ln
+    }
+
+    /// Mirrors [`TransformerLayer::infer_in`].
+    pub fn infer_in(&self, x: &Matrix, s: &mut ScratchArena) -> Matrix {
+        let mut h = self.msa.infer_in(x, s);
+        h.add_assign(x);
+        self.ln1.infer_inplace(&mut h);
+        let mut y = self.ffn.infer_in(&h, s);
+        y.add_assign(&h);
+        self.ln2.infer_inplace(&mut y);
+        s.give(h);
+        y
+    }
+
+    /// Mirrors [`TransformerLayer::infer_batch_in`].
+    pub fn infer_batch_in(&self, x: &Matrix, batch: usize, s: &mut ScratchArena) -> Matrix {
+        let mut h = self.msa.infer_batch_in(x, batch, s);
+        h.add_assign(x);
+        self.ln1.infer_inplace(&mut h);
+        let mut y = self.ffn.infer_in(&h, s);
+        y.add_assign(&h);
+        self.ln2.infer_inplace(&mut y);
+        s.give(h);
+        y
+    }
+}
+
+/// Int8 LSTM: both gate matrices quantized per output unit (each of the
+/// `4h` packed gate columns gets its own scale); the recurrence, gate
+/// nonlinearities, and cell state stay f32. The hidden state is
+/// re-quantized each timestep — it changes every step, so this is the
+/// "on-the-fly activation quantization" the int8 path is built on.
+#[derive(Debug, Clone)]
+pub struct QuantLstm {
+    q_ih: QuantizedLinear, // [4h, in] channel-major
+    q_hh: QuantizedLinear, // [4h, h] channel-major
+    bias: Vec<f32>,
+    in_dim: usize,
+    hidden: usize,
+}
+
+impl QuantLstm {
+    pub fn from_lstm(l: &Lstm) -> Self {
+        QuantLstm {
+            q_ih: QuantizedLinear::from_weight(&l.w_ih.w, None),
+            q_hh: QuantizedLinear::from_weight(&l.w_hh.w, None),
+            bias: l.b.w.data.clone(),
+            in_dim: l.w_ih.w.rows,
+            hidden: l.hidden_dim(),
+        }
+    }
+
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden
+    }
+
+    pub fn storage_bytes(&self) -> usize {
+        self.q_ih.storage_bytes() + self.q_hh.storage_bytes() + 4 * self.bias.len()
+    }
+
+    /// Packed gate pre-activations from quantized inputs:
+    /// `z_j = b_j + (qx · qw_ih[j]) sx s_ih[j] + (qh · qw_hh[j]) sh s_hh[j]`.
+    /// Takes the activation rows already widened to i16 (once per timestep)
+    /// so each gate dot runs against the pre-widened weight mirrors.
+    fn gates_quant(&self, xw: &[i16], sx: f32, hw: &[i16], sh: f32, z: &mut [f32]) {
+        let (in_dim, hd) = (self.in_dim, self.hidden);
+        for (j, zv) in z.iter_mut().enumerate() {
+            let ih = dot_i16(xw, &self.q_ih.qw16[j * in_dim..(j + 1) * in_dim]);
+            let hh = dot_i16(hw, &self.q_hh.qw16[j * hd..(j + 1) * hd]);
+            *zv = self.bias[j]
+                + ih as f32 * (sx * self.q_ih.scales[j])
+                + hh as f32 * (sh * self.q_hh.scales[j]);
+        }
+    }
+
+    /// Mirrors [`Lstm::infer_in`].
+    pub fn infer_in(&self, x: &Matrix, s: &mut ScratchArena) -> Matrix {
+        assert_eq!(x.cols, self.in_dim);
+        let hd = self.hidden;
+        let mut out = s.take(x.rows, hd);
+        let mut hm = s.take(1, hd);
+        let mut cm = s.take(1, hd);
+        let mut zm = s.take(1, 4 * hd);
+        let mut qx = s.take_i8(self.in_dim);
+        let mut qh = s.take_i8(hd);
+        let mut xw = s.take_i16(self.in_dim);
+        let mut hw = s.take_i16(hd);
+        for t in 0..x.rows {
+            let sx = quantize_row(x.row(t), &mut qx);
+            let sh = quantize_row(&hm.data, &mut qh);
+            widen_i8_into(&qx, &mut xw);
+            widen_i8_into(&qh, &mut hw);
+            self.gates_quant(&xw, sx, &hw, sh, &mut zm.data);
+            let z = &zm.data;
+            for j in 0..hd {
+                let i = sigmoid(z[j]);
+                let f = sigmoid(z[hd + j]);
+                let g = z[2 * hd + j].tanh();
+                let o = sigmoid(z[3 * hd + j]);
+                let c = f * cm.data[j] + i * g;
+                cm.data[j] = c;
+                hm.data[j] = o * c.tanh();
+            }
+            out.row_mut(t).copy_from_slice(&hm.data);
+        }
+        s.give(hm);
+        s.give(cm);
+        s.give(zm);
+        s.give_i8(qx);
+        s.give_i8(qh);
+        s.give_i16(xw);
+        s.give_i16(hw);
+        out
+    }
+
+    /// Mirrors [`Lstm::infer_batch_in`]: lock-step recurrence across
+    /// `batch` stacked sequences.
+    pub fn infer_batch_in(&self, x: &Matrix, batch: usize, s: &mut ScratchArena) -> Matrix {
+        assert_eq!(x.cols, self.in_dim);
+        assert!(
+            batch > 0 && x.rows.is_multiple_of(batch),
+            "rows must tile by batch"
+        );
+        let seq = x.rows / batch;
+        let hd = self.hidden;
+        let mut out = s.take(x.rows, hd);
+        let mut hm = s.take(batch, hd);
+        let mut cm = s.take(batch, hd);
+        let mut zm = s.take(1, 4 * hd);
+        let mut qx = s.take_i8(self.in_dim);
+        let mut qh = s.take_i8(hd);
+        let mut xw = s.take_i16(self.in_dim);
+        let mut hw = s.take_i16(hd);
+        for t in 0..seq {
+            for b in 0..batch {
+                let sx = quantize_row(x.row(b * seq + t), &mut qx);
+                let sh = quantize_row(hm.row(b), &mut qh);
+                widen_i8_into(&qx, &mut xw);
+                widen_i8_into(&qh, &mut hw);
+                self.gates_quant(&xw, sx, &hw, sh, &mut zm.data);
+                let z = &zm.data;
+                for j in 0..hd {
+                    let i = sigmoid(z[j]);
+                    let f = sigmoid(z[hd + j]);
+                    let g = z[2 * hd + j].tanh();
+                    let o = sigmoid(z[3 * hd + j]);
+                    let c = f * cm.at(b, j) + i * g;
+                    *cm.at_mut(b, j) = c;
+                    *hm.at_mut(b, j) = o * c.tanh();
+                }
+                out.row_mut(b * seq + t).copy_from_slice(hm.row(b));
+            }
+        }
+        s.give(hm);
+        s.give(cm);
+        s.give(zm);
+        s.give_i8(qx);
+        s.give_i8(qh);
+        s.give_i16(xw);
+        s.give_i16(hw);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::rng;
+
+    fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
+        a.iter()
+            .zip(b.iter())
+            .fold(0.0f32, |m, (x, y)| m.max((x - y).abs()))
+    }
+
+    #[test]
+    fn quant_attention_tracks_f32() {
+        let mut r = rng(31);
+        let a = SelfAttention::new(16, 8, &mut r);
+        let qa = QuantSelfAttention::from_attention(&a);
+        let x = Matrix::xavier(9, 16, &mut r);
+        let mut s = ScratchArena::new();
+        let exact = a.infer(&x);
+        let quant = qa.infer_in(&x, &mut s);
+        // Attention outputs are convex mixes of projected rows; int8 error
+        // stays well under the activation magnitude.
+        assert!(
+            max_abs_diff(&exact.data, &quant.data) < 0.05,
+            "diff {}",
+            max_abs_diff(&exact.data, &quant.data)
+        );
+    }
+
+    #[test]
+    fn quant_transformer_tracks_f32() {
+        let mut r = rng(32);
+        let t = TransformerLayer::new(16, 4, &mut r);
+        let qt = QuantTransformerLayer::from_layer(&t);
+        let x = Matrix::xavier(9, 16, &mut r);
+        let mut s = ScratchArena::new();
+        let exact = t.infer(&x);
+        let quant = qt.infer_in(&x, &mut s);
+        // Post-LN activations are O(1); the residual+LN structure keeps
+        // quantization error from compounding.
+        assert!(
+            max_abs_diff(&exact.data, &quant.data) < 0.35,
+            "diff {}",
+            max_abs_diff(&exact.data, &quant.data)
+        );
+    }
+
+    #[test]
+    fn quant_lstm_tracks_f32() {
+        let mut r = rng(33);
+        let l = Lstm::new(12, 16, &mut r);
+        let ql = QuantLstm::from_lstm(&l);
+        let x = Matrix::xavier(9, 12, &mut r);
+        let mut s = ScratchArena::new();
+        let exact = l.infer(&x);
+        let quant = ql.infer_in(&x, &mut s);
+        assert!(
+            max_abs_diff(&exact.data, &quant.data) < 0.05,
+            "diff {}",
+            max_abs_diff(&exact.data, &quant.data)
+        );
+    }
+
+    #[test]
+    fn quant_batch_is_bit_identical_to_per_sequence() {
+        let mut r = rng(34);
+        let t = TransformerLayer::new(8, 2, &mut r);
+        let qt = QuantTransformerLayer::from_layer(&t);
+        let l = Lstm::new(6, 8, &mut r);
+        let ql = QuantLstm::from_lstm(&l);
+        let batch = 4;
+        let seq = 5;
+        let xs: Vec<Matrix> = (0..batch).map(|_| Matrix::xavier(seq, 8, &mut r)).collect();
+        let xl: Vec<Matrix> = (0..batch).map(|_| Matrix::xavier(seq, 6, &mut r)).collect();
+        let mut stack = Matrix::zeros(batch * seq, 8);
+        let mut stack_l = Matrix::zeros(batch * seq, 6);
+        for b in 0..batch {
+            for tt in 0..seq {
+                stack.row_mut(b * seq + tt).copy_from_slice(xs[b].row(tt));
+                stack_l.row_mut(b * seq + tt).copy_from_slice(xl[b].row(tt));
+            }
+        }
+        let mut s = ScratchArena::new();
+        let fused = qt.infer_batch_in(&stack, batch, &mut s);
+        let fused_l = ql.infer_batch_in(&stack_l, batch, &mut s);
+        for b in 0..batch {
+            let single = qt.infer_in(&xs[b], &mut s);
+            let single_l = ql.infer_in(&xl[b], &mut s);
+            for tt in 0..seq {
+                assert_eq!(
+                    fused.row(b * seq + tt),
+                    single.row(tt),
+                    "transformer batch {b} row {tt}"
+                );
+                assert_eq!(
+                    fused_l.row(b * seq + tt),
+                    single_l.row(tt),
+                    "lstm batch {b} row {tt}"
+                );
+            }
+            s.give(single);
+            s.give(single_l);
+        }
+    }
+
+    #[test]
+    fn quant_transformer_steady_state_is_allocation_free() {
+        let mut r = rng(35);
+        let t = TransformerLayer::new(8, 2, &mut r);
+        let qt = QuantTransformerLayer::from_layer(&t);
+        let x = Matrix::xavier(5, 8, &mut r);
+        let mut s = ScratchArena::new();
+        let w = qt.infer_in(&x, &mut s);
+        let baseline = w.data.clone();
+        s.give(w);
+        let (_, misses_warm) = s.stats();
+        for _ in 0..5 {
+            let y = qt.infer_in(&x, &mut s);
+            assert_eq!(y.data, baseline);
+            s.give(y);
+        }
+        let (_, misses) = s.stats();
+        assert_eq!(misses, misses_warm, "steady state must not allocate");
+    }
+
+    #[test]
+    fn quant_storage_is_under_a_third_of_f32() {
+        let mut r = rng(36);
+        use crate::layers::Module;
+        let t = TransformerLayer::new(16, 4, &mut r);
+        let qt = QuantTransformerLayer::from_layer(&t);
+        let f32_bytes = t.num_params() * 4;
+        assert!(
+            qt.storage_bytes() * 3 < f32_bytes * 2,
+            "{} vs {f32_bytes}",
+            qt.storage_bytes()
+        );
+    }
+}

@@ -57,6 +57,11 @@ impl Module for FeedForward {
         self.fc1.for_each_param(f);
         self.fc2.for_each_param(f);
     }
+
+    fn for_each_param_ref(&self, f: &mut dyn FnMut(&Param)) {
+        self.fc1.for_each_param_ref(f);
+        self.fc2.for_each_param_ref(f);
+    }
 }
 
 /// One Transformer encoder layer:
@@ -145,6 +150,13 @@ impl Module for TransformerLayer {
         self.ffn.for_each_param(f);
         self.ln1.for_each_param(f);
         self.ln2.for_each_param(f);
+    }
+
+    fn for_each_param_ref(&self, f: &mut dyn FnMut(&Param)) {
+        self.msa.for_each_param_ref(f);
+        self.ffn.for_each_param_ref(f);
+        self.ln1.for_each_param_ref(f);
+        self.ln2.for_each_param_ref(f);
     }
 }
 
@@ -277,7 +289,7 @@ mod tests {
     #[test]
     fn param_count_is_consistent() {
         let mut r = rng(6);
-        let mut t = TransformerLayer::new(8, 2, &mut r);
+        let t = TransformerLayer::new(8, 2, &mut r);
         // MSA: 2 heads × 3 × (8×4) + Wo 64 = 192 + 64 = 256.
         // FFN: 8×16 + 16 + 16×8 + 8 = 280. LN ×2: 32.
         assert_eq!(t.num_params(), 256 + 280 + 32);

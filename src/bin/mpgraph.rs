@@ -45,11 +45,14 @@ fn usage() -> ! {
          [--fault-rate R] [--fault-seed S] [--stall-cycles N] [--metrics-out FILE]\n           \
          [--trace-out FILE]\n  \
          run      --framework F --app A [--dataset D (default: rmat)] [--div N]\n           \
-         [--iterations N] [--quick] [--metrics-out FILE] [--trace-out FILE]\n  \
+         [--iterations N] [--quick] [--quant] [--metrics-out FILE] [--trace-out FILE]\n           \
+         (--quant evaluates the int8 snapshot of the trained predictors)\n  \
          run --all [--shards N (default: cores)] [--quick] [--metrics-out FILE]\n           \
          [--trace-out FILE]\n  \
-         serve    FILE [--streams N] [--load F] [--no-fuse] [--metrics-out FILE]\n           \
-         [--trace-out FILE]"
+         serve    FILE [--streams N] [--load F] [--no-fuse] [--quant] [--stdin]\n           \
+         [--metrics-out FILE] [--trace-out FILE]\n           \
+         (--quant serves the distilled int8 student; --stdin reads\n           \
+         `stream pc vaddr [w]` lines, FILE only trains)"
     );
     std::process::exit(2);
 }
@@ -404,6 +407,10 @@ fn cmd_run(args: &Args) {
         MpGraphConfig::default(),
         &TrainCfg::default(),
     );
+    if args.get("quant").is_some() {
+        mp.quantize();
+        eprintln!("serving the int8 snapshot of the trained predictors");
+    }
     let mut sb = scoreboard_for(args, trace.num_phases as usize);
     let r = simulate_observed(
         test,
@@ -425,7 +432,7 @@ fn cmd_run(args: &Args) {
 /// `ExpScale::quick()` — the exact per-combo path `run --all` shards, so
 /// a CI matrix leg and the merged run measure the same thing.
 fn cmd_run_quick(args: &Args) {
-    use mpgraph::bench::shard::{run_combo, Combo, SEGMENT_LEN};
+    use mpgraph::bench::shard::{run_combo_opts, Combo, SEGMENT_LEN};
     use mpgraph::bench::ExpScale;
 
     let framework = parse_framework(args.get("framework").unwrap_or_else(|| usage()));
@@ -449,8 +456,13 @@ fn cmd_run_quick(args: &Args) {
         app,
         dataset,
     };
-    eprintln!("quick run: {} at ExpScale::quick()", combo.label());
-    let r = run_combo(combo, &ExpScale::quick(), SEGMENT_LEN);
+    let quant = args.get("quant").is_some();
+    eprintln!(
+        "quick run: {} at ExpScale::quick(){}",
+        combo.label(),
+        if quant { " (int8 serve path)" } else { "" }
+    );
+    let r = run_combo_opts(combo, &ExpScale::quick(), SEGMENT_LEN, quant);
     report("none", &r.base, None);
     report("BO", &r.bo, Some(&r.base));
     report("MPGraph", &r.mpgraph, Some(&r.base));
@@ -495,13 +507,66 @@ fn cmd_run_all(args: &Args) {
     write_trace_value(args, &m.chrome_trace());
 }
 
+/// Parses a decimal or `0x`-prefixed hex integer from a stdin field.
+fn parse_num(s: &str, what: &str) -> u64 {
+    let r = match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => s.parse(),
+    };
+    r.unwrap_or_else(|_| die(&format!("bad {what} field {s:?} on stdin")))
+}
+
+/// Feeds stdin-driven accesses through the service: one access per line,
+/// `stream pc vaddr [w]` (decimal or 0x-hex; trailing `w` marks a write;
+/// blank lines and `#` comments skipped). Returns the access count.
+fn serve_from_stdin(
+    svc: &mut PrefetchService,
+    streams: usize,
+    rate: usize,
+    out: &mut Vec<mpgraph::core::Prediction>,
+) -> usize {
+    use std::io::BufRead;
+    let stdin = std::io::stdin();
+    let mut n = 0usize;
+    for line in stdin.lock().lines() {
+        let line = line.unwrap_or_else(|e| die(&format!("reading stdin: {e}")));
+        let s = line.trim();
+        if s.is_empty() || s.starts_with('#') {
+            continue;
+        }
+        let mut f = s.split_whitespace();
+        let (Some(stream), Some(pc), Some(vaddr)) = (f.next(), f.next(), f.next()) else {
+            die(&format!("stdin line {s:?}: want `stream pc vaddr [w]`"));
+        };
+        let stream = parse_num(stream, "stream") as u32 % streams.max(1) as u32;
+        let access = LlcAccess {
+            pc: parse_num(pc, "pc"),
+            block: parse_num(vaddr, "vaddr") >> 6,
+            core: (stream % 8) as u8,
+            is_write: f.next() == Some("w"),
+            hit: false,
+            cycle: 0,
+        };
+        svc.ingest(stream, &access, 0);
+        n += 1;
+        if n.is_multiple_of(rate) {
+            svc.pump(out);
+        }
+    }
+    n
+}
+
 /// Multiplexes a saved trace through the multi-stream prefetch service:
 /// trains MPGraph on iteration 0 (like `run`), registers `--streams`
 /// independent streams sharing the trained weights, and replays the
 /// remaining LLC accesses open-loop at `--load` times the service's
 /// saturation rate. Reports throughput, shed fraction, and the
 /// prediction-latency percentiles; `--metrics-out` includes the `serve`
-/// section of the snapshot.
+/// section of the snapshot. With `--quant` the serve-path model is the
+/// §6.1 stack — a distilled student with int8 serving snapshots, so the
+/// fused pump runs the i8×i8→i32 kernels. With `--stdin` the trace file
+/// only trains the model and accesses arrive on stdin (`stream pc vaddr
+/// [w]` per line), so external generators can drive the service.
 fn cmd_serve(args: &Args) {
     let path = args.positional.first().unwrap_or_else(|| usage());
     let t = io::load(path).unwrap_or_else(|e| die(&e.to_string()));
@@ -518,12 +583,37 @@ fn cmd_serve(args: &Args) {
     let num_phases = t.num_phases as usize;
     let tc = TrainCfg::default();
     let mp_cfg = MpGraphConfig::default();
-    eprintln!(
-        "training MPGraph on {} LLC records; serving {} LLC accesses",
-        train_llc.len(),
-        test_llc.len()
-    );
-    let mp = train_mpgraph(&train_llc, num_phases, mp_cfg, &tc);
+    if args.get("stdin").is_some() {
+        eprintln!(
+            "training MPGraph on {} LLC records; serving accesses from stdin",
+            train_llc.len()
+        );
+    } else {
+        eprintln!(
+            "training MPGraph on {} LLC records; serving {} LLC accesses",
+            train_llc.len(),
+            test_llc.len()
+        );
+    }
+    let mut mp = train_mpgraph(&train_llc, num_phases, mp_cfg, &tc);
+    if args.get("quant").is_some() {
+        use mpgraph::core::compress::{quantize_delta, quantize_page};
+        use mpgraph::core::{distill_delta, distill_page, DistillCfg};
+        let teacher_params = mp.delta.num_params() + mp.page.num_params();
+        let dc = DistillCfg::default();
+        let mut sd = distill_delta(&mp.delta, &train_llc, &dc, &tc);
+        let mut sp = distill_page(&mp.page, &train_llc, &dc, &tc);
+        let (_, delta_bytes) = quantize_delta(&mut sd);
+        let (_, page_bytes) = quantize_page(&mut sp);
+        eprintln!(
+            "quantized serve path: {} -> {} params, int8 weights {} bytes",
+            teacher_params,
+            sd.num_params() + sp.num_params(),
+            delta_bytes + page_bytes
+        );
+        mp.delta = sd;
+        mp.page = sp;
+    }
 
     let streams = args.get_usize("streams", 4).max(1);
     let load = args.get_f64("load", 2.0);
@@ -558,18 +648,23 @@ fn cmd_serve(args: &Args) {
 
     let started = std::time::Instant::now();
     let mut out = Vec::new();
-    for (i, r) in test_llc.iter().enumerate() {
-        let access = LlcAccess {
-            pc: r.pc,
-            block: r.block(),
-            core: r.core,
-            is_write: r.is_write,
-            hit: false,
-            cycle: 0,
-        };
-        svc.ingest((i % streams) as u32, &access, 0);
-        if (i + 1) % rate == 0 {
-            svc.pump(&mut out);
+    if args.get("stdin").is_some() {
+        let n = serve_from_stdin(&mut svc, streams, rate, &mut out);
+        eprintln!("stdin drained after {n} accesses");
+    } else {
+        for (i, r) in test_llc.iter().enumerate() {
+            let access = LlcAccess {
+                pc: r.pc,
+                block: r.block(),
+                core: r.core,
+                is_write: r.is_write,
+                hit: false,
+                cycle: 0,
+            };
+            svc.ingest((i % streams) as u32, &access, 0);
+            if (i + 1) % rate == 0 {
+                svc.pump(&mut out);
+            }
         }
     }
     svc.flush(&mut out);
