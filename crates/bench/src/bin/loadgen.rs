@@ -9,7 +9,8 @@
 //! speedup plus a bit-identity verdict.
 //!
 //! Usage: `loadgen [--quick] [--streams N] [--ticks N] [--chaos]
-//! [--zipf] [--quant] [--metrics-out FILE] [--trace-out FILE]`
+//! [--zipf] [--quant] [--metrics-out FILE] [--trace-out FILE]
+//! [--live-metrics FILE|-] [--expose FILE] [--live-interval N]`
 //!
 //! `--zipf` replaces the uniform round-robin arrivals with Zipf(1)
 //! weights across streams (hot stream 0 down to the coldest); the
@@ -23,6 +24,12 @@
 //! `--metrics-out` writes the full `MetricsSnapshot` (with the `serve`
 //! section populated) of the highest-load sweep point; `--trace-out`
 //! writes that point's Chrome trace.
+//!
+//! `--live-metrics` attaches the live-telemetry pump to the traced
+//! (highest-load) sweep point and streams one NDJSON interval record per
+//! `--live-interval` pumps to the given file (or stdout with `-`);
+//! `--expose` additionally rewrites a Prometheus-style text exposition
+//! atomically every interval. See DESIGN.md §18.
 
 use mpgraph_bench::report::{
     dump_json, f, metrics_out_arg, pct, print_table, trace_out_arg, write_json_compact_to,
@@ -32,7 +39,7 @@ use mpgraph_bench::serve_load::{
     run_chaos, run_fused_comparison, run_load_sweep, zipf_weights, LoadgenSetup,
 };
 use mpgraph_bench::ExpScale;
-use mpgraph_core::{ServeConfig, TraceConfig};
+use mpgraph_core::{LiveTelemetry, LiveTelemetryConfig, ServeConfig, TraceConfig};
 use serde::Serialize;
 
 fn usize_arg(flag: &str, default: usize) -> usize {
@@ -42,6 +49,50 @@ fn usize_arg(flag: &str, default: usize) -> usize {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+fn str_arg(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Builds the optional live-telemetry attachment from the CLI flags;
+/// exits with an error when a requested sink cannot be created.
+fn live_from_args(quant: bool) -> Option<LiveTelemetry> {
+    let sink = str_arg("--live-metrics");
+    let expose = str_arg("--expose");
+    if sink.is_none() && expose.is_none() {
+        return None;
+    }
+    let cfg = LiveTelemetryConfig {
+        interval_pumps: usize_arg("--live-interval", 16) as u64,
+        int8: quant,
+        ..LiveTelemetryConfig::default()
+    };
+    let cfg = match cfg.try_new() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("invalid live-telemetry config: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut tel = LiveTelemetry::new(cfg);
+    if let Some(spec) = sink {
+        tel = match tel.with_sink(&spec) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot open --live-metrics sink {spec}: {e}");
+                std::process::exit(2);
+            }
+        };
+    }
+    if let Some(path) = expose {
+        tel = tel.with_expose(path);
+    }
+    Some(tel)
 }
 
 #[derive(Serialize)]
@@ -72,6 +123,8 @@ fn main() {
     }
     let setup = setup;
     let weights = zipf.then(|| zipf_weights(streams));
+    let live = live_from_args(quant);
+    let live_attached = live.is_some();
     let outcome = run_load_sweep(
         &setup,
         cfg,
@@ -80,6 +133,7 @@ fn main() {
         &[0.5, 1.0, 2.0],
         weights.as_deref(),
         Some(TraceConfig::with_adaptive()),
+        live,
     );
 
     let mut rows: Vec<Vec<String>> = Vec::new();
@@ -143,6 +197,19 @@ fn main() {
         );
     }
 
+    if live_attached {
+        let serve = &outcome.snapshot.serve;
+        println!(
+            "live telemetry: {} intervals closed, slo verdict {} (worst burn {:.2}, \
+             {} escalations), telemetry overhead {:.4} of pump wall",
+            serve.live.len(),
+            serve.slo.verdict_level,
+            serve.slo.worst_burn_rate,
+            serve.slo.escalations,
+            serve.pump_stages.self_overhead_fraction,
+        );
+    }
+
     let fused = run_fused_comparison(&setup, cfg, streams, ticks);
     print_table(
         "Fused (BxTxd) pump vs per-item forwards at 1x saturation",
@@ -168,6 +235,7 @@ fn main() {
 
     let chaos_outcome = if chaos {
         let out = run_chaos(&setup, cfg, streams, ticks, 7);
+        let at = |t: Option<u64>| t.map_or("-".to_string(), |v| v.to_string());
         print_table(
             "Chaos: StallInference on victim streams",
             &[
@@ -176,6 +244,9 @@ fn main() {
                 "stalls",
                 "isolation",
                 "healthy fallback",
+                "slo@",
+                "quar@",
+                "slo first",
             ],
             &[vec![
                 format!("{:?}", out.victims),
@@ -183,6 +254,9 @@ fn main() {
                 out.stalls_injected.to_string(),
                 if out.isolation_held { "HELD" } else { "BROKEN" }.to_string(),
                 pct(out.healthy_fallback_fraction),
+                at(out.slo_escalated_at),
+                at(out.first_quarantine_at),
+                if out.slo_fired_first { "YES" } else { "NO" }.to_string(),
             ]],
         );
         Some(out)

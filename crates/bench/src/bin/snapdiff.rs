@@ -2,13 +2,16 @@
 //!
 //! Usage: `snapdiff <baseline.json> <current.json> [--tol X]
 //! [--tol-accuracy X] [--tol-coverage X] [--tol-timeliness X]
-//! [--tol-pbot X] [--tol-p50 X] [--tol-p99 X]`
+//! [--tol-pbot X] [--tol-p50 X] [--tol-p99 X] [--tol-burn X]`
 //!
 //! Exit codes: 0 — no regression; 1 — at least one gated metric degraded
 //! beyond tolerance; 2 — usage or parse error. `--tol` sets every
 //! tolerance at once; the per-metric flags override it. Rate tolerances
 //! are absolute (lower regresses); `--tol-p50`/`--tol-p99` are relative
-//! headroom on the latency-histogram percentiles (higher regresses).
+//! headroom on the latency-histogram percentiles (higher regresses);
+//! `--tol-burn` is relative headroom on the serve-path SLO burn metrics
+//! (`serve.slo.worst_burn_rate` / `serve.slo.breach_intervals`, higher
+//! regresses, zero baseline never gates).
 
 use mpgraph_bench::snapdiff::{diff_snapshots, Tolerances};
 use mpgraph_core::MetricsSnapshot;
@@ -18,7 +21,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: snapdiff <baseline.json> <current.json> [--tol X] \
          [--tol-accuracy X] [--tol-coverage X] [--tol-timeliness X] [--tol-pbot X] \
-         [--tol-p50 X] [--tol-p99 X]"
+         [--tol-p50 X] [--tol-p99 X] [--tol-burn X]"
     );
     ExitCode::from(2)
 }
@@ -66,6 +69,10 @@ fn main() -> ExitCode {
             },
             "--tol-p99" => match flag_value(&mut i) {
                 Some(v) => tol.latency_p99 = v,
+                None => return usage(),
+            },
+            "--tol-burn" => match flag_value(&mut i) {
+                Some(v) => tol.burn = v,
                 None => return usage(),
             },
             _ if a.starts_with("--") => return usage(),

@@ -14,11 +14,12 @@ use crate::runners::perf::percentile;
 use crate::scale::ExpScale;
 use crate::workload::SynthConfig;
 use mpgraph_core::{
-    build_detector, train_mpgraph, MetricsSnapshot, MpGraphConfig, MpGraphPrefetcher, Prediction,
-    PrefetchScoreboard, PrefetchService, ServeConfig, TraceConfig,
+    build_detector, train_mpgraph, LiveTelemetry, LiveTelemetryConfig, MetricsSnapshot,
+    MpGraphConfig, MpGraphPrefetcher, Prediction, PrefetchScoreboard, PrefetchService, ServeConfig,
+    SloConfig, TraceConfig,
 };
 use mpgraph_frameworks::MemRecord;
-use mpgraph_sim::{FaultConfig, FaultInjector, FaultKind, LlcAccess, Prefetcher};
+use mpgraph_sim::{FaultConfig, FaultInjector, FaultKind, LlcAccess, Prefetcher, TraceEvent};
 use serde::Serialize;
 
 /// Trained predictor stack shared by every generated stream. Each stream
@@ -288,7 +289,12 @@ fn drive(
 /// Runs the sweep: one fresh service per load factor (points are
 /// independent measurements, not a continuation). `weights` selects
 /// heterogeneous per-stream arrivals (see [`zipf_weights`]); `None` keeps
-/// the uniform round-robin drive.
+/// the uniform round-robin drive. `live` attaches a
+/// [`LiveTelemetry`] pump to the *traced* (highest-load) point only —
+/// the same point whose snapshot and Chrome trace the sweep keeps — so
+/// its NDJSON/exposition sinks, pump-stage histograms, and SLO verdict
+/// describe the run that actually sheds.
+#[allow(clippy::too_many_arguments)]
 pub fn run_load_sweep(
     setup: &LoadgenSetup,
     cfg: ServeConfig,
@@ -297,11 +303,13 @@ pub fn run_load_sweep(
     factors: &[f64],
     weights: Option<&[f64]>,
     trace: Option<TraceConfig>,
+    live: Option<LiveTelemetry>,
 ) -> SweepOutcome {
     let saturation = saturation_rate(&cfg);
     let mut points = Vec::new();
     let mut snapshot = MetricsSnapshot::default();
     let mut chrome = None;
+    let mut live = live;
     let max_factor = factors.iter().cloned().fold(f64::MIN, f64::max);
     for &factor in factors {
         let rate = ((factor * saturation as f64).round() as usize).max(1);
@@ -309,6 +317,11 @@ pub fn run_load_sweep(
         // that run is the one with shed and ladder events worth keeping.
         let traced = (factor - max_factor).abs() < f64::EPSILON;
         let mut svc = build_service(setup, cfg, streams, if traced { trace } else { None });
+        if traced {
+            if let Some(tel) = live.take() {
+                svc.enable_live_telemetry(tel);
+            }
+        }
         let mut out = Vec::new();
         let (offered, predictions, per_sec) = drive(
             &mut svc,
@@ -320,6 +333,12 @@ pub fn run_load_sweep(
             |_| 0,
             &mut out,
         );
+        if traced {
+            // Close the trailing partial interval and flush the NDJSON
+            // sink before the snapshot is taken, so the live rollups in
+            // `snapshot.serve` cover the whole run.
+            svc.finish_live_telemetry();
+        }
         let m = svc.metrics();
         points.push(LoadPoint {
             load_factor: factor,
@@ -343,7 +362,9 @@ pub fn run_load_sweep(
             per_stream: per_stream_latencies(&out),
         });
         if traced {
-            chrome = svc.scoreboard().and_then(PrefetchScoreboard::chrome_trace);
+            // The service-level export (not the scoreboard's) so the
+            // live-telemetry counter tracks ride along when attached.
+            chrome = svc.chrome_trace();
             snapshot = svc.snapshot();
         }
     }
@@ -475,6 +496,15 @@ pub struct ChaosOutcome {
     /// Of the healthy streams' predictions, the fraction served by the
     /// fallback (transient batch-timeout deferrals only; should be small).
     pub healthy_fallback_fraction: f64,
+    /// Record index at which the live SLO monitor first escalated its
+    /// verdict (`SloEscalate` in the trace), if it ever did.
+    pub slo_escalated_at: Option<u64>,
+    /// Record index of the first per-stream quarantine trip, if any.
+    pub first_quarantine_at: Option<u64>,
+    /// The burn-rate monitor saw the fault before the first deadline-miss
+    /// window filled and tripped quarantine — the early-warning property
+    /// the live telemetry exists to provide.
+    pub slo_fired_first: bool,
 }
 
 /// Runs the chaos experiment: the first quarter of the streams (at least
@@ -482,6 +512,15 @@ pub struct ChaosOutcome {
 /// the rest run clean, all at half the saturation rate so the overload
 /// ladder stays out of the picture and any degradation is attributable
 /// to per-stream isolation alone.
+///
+/// The service runs with a tracing scoreboard plus a passive
+/// [`LiveTelemetry`] attachment (`wire_ladder: false` — wiring the SLO
+/// verdict into the ladder here would shed ML work and starve the
+/// deadline-observation stream the quarantine path needs, turning the
+/// detection-latency comparison into a measurement artifact). The trace
+/// then yields the timestamps of the first `SloEscalate` vs the first
+/// `StreamQuarantine`, i.e. how much earlier the interval burn-rate
+/// monitor fires than the per-stream miss window.
 pub fn run_chaos(
     setup: &LoadgenSetup,
     cfg: ServeConfig,
@@ -491,7 +530,20 @@ pub fn run_chaos(
 ) -> ChaosOutcome {
     let streams = streams.max(2);
     let victims: Vec<u32> = (0..(streams as u32 / 4).max(1)).collect();
-    let mut svc = build_service(setup, cfg, streams, None);
+    let mut svc = build_service(setup, cfg, streams, Some(TraceConfig::with_adaptive()));
+    let lcfg = LiveTelemetryConfig {
+        interval_pumps: 4,
+        slo: SloConfig {
+            fast_burn: 2.0,
+            window_intervals: 2,
+            wire_ladder: false,
+            ..SloConfig::default()
+        },
+        ..LiveTelemetryConfig::default()
+    };
+    if let Ok(c) = lcfg.try_new() {
+        svc.enable_live_telemetry(LiveTelemetry::new(c));
+    }
     let mut inj = FaultInjector::new(FaultConfig::only(FaultKind::StallInference, 0.8, seed));
     let rate = (saturation_rate(&cfg) / 2).max(1);
 
@@ -518,6 +570,7 @@ pub fn run_chaos(
         svc.pump(&mut out);
     }
     svc.flush(&mut out);
+    svc.finish_live_telemetry();
 
     let quarantined: Vec<u32> = (0..streams as u32)
         .filter(|&s| svc.is_quarantined(s))
@@ -529,6 +582,24 @@ pub fn run_chaos(
         .filter(|p| !victims.contains(&p.stream))
         .collect();
     let healthy_fallback = healthy_preds.iter().filter(|p| p.via_fallback).count();
+    // Both detection events are alarms, so the adaptive flight recorder
+    // keeps their windows even when the ring wraps.
+    let events = svc
+        .scoreboard()
+        .map(PrefetchScoreboard::trace_events)
+        .unwrap_or_default();
+    let slo_escalated_at = events
+        .iter()
+        .find(|(_, e)| matches!(e, TraceEvent::SloEscalate { .. }))
+        .map(|(ts, _)| *ts);
+    let first_quarantine_at = events
+        .iter()
+        .find(|(_, e)| matches!(e, TraceEvent::StreamQuarantine { .. }))
+        .map(|(ts, _)| *ts);
+    let slo_fired_first = match (slo_escalated_at, first_quarantine_at) {
+        (Some(slo), Some(quar)) => slo <= quar,
+        _ => false,
+    };
     ChaosOutcome {
         victims,
         quarantined,
@@ -539,6 +610,9 @@ pub fn run_chaos(
         } else {
             healthy_fallback as f64 / healthy_preds.len() as f64
         },
+        slo_escalated_at,
+        first_quarantine_at,
+        slo_fired_first,
     }
 }
 
@@ -562,6 +636,7 @@ mod tests {
             &[0.5, 1.0, 2.0],
             None,
             Some(TraceConfig::with_adaptive()),
+            None,
         );
         assert_eq!(outcome.points.len(), 3);
         for p in &outcome.points {
@@ -609,7 +684,7 @@ mod tests {
 
         let scale = ExpScale::quick();
         let setup = LoadgenSetup::prepare(&scale);
-        let outcome = run_load_sweep(&setup, quick_cfg(), 4, 120, &[1.0], Some(&w), None);
+        let outcome = run_load_sweep(&setup, quick_cfg(), 4, 120, &[1.0], Some(&w), None, None);
         let p = &outcome.points[0];
         assert_eq!(p.accesses, p.predictions);
         // The hot stream sees Zipf-many more completions than the cold
@@ -725,6 +800,98 @@ mod tests {
             "healthy streams mostly degraded: {}",
             outcome.healthy_fallback_fraction
         );
+        // Acceptance criterion: the interval burn-rate monitor fires
+        // before the per-stream deadline-miss window can possibly fill —
+        // the SLO escalation is the early warning, quarantine the cure.
+        assert!(
+            outcome.slo_escalated_at.is_some(),
+            "SLO monitor never escalated under injected stalls"
+        );
+        assert!(
+            outcome.first_quarantine_at.is_some(),
+            "no quarantine event in the trace"
+        );
+        assert!(
+            outcome.slo_fired_first,
+            "SLO escalation at {:?} did not precede first quarantine at {:?}",
+            outcome.slo_escalated_at, outcome.first_quarantine_at
+        );
+    }
+
+    #[test]
+    fn sweep_live_telemetry_covers_the_traced_point() {
+        let scale = ExpScale::quick();
+        let setup = LoadgenSetup::prepare(&scale);
+        let dir = std::env::temp_dir();
+        let ndjson = dir.join("mpgraph_loadgen_live_test.ndjson");
+        let expose = dir.join("mpgraph_loadgen_live_test.prom");
+        let lcfg = LiveTelemetryConfig {
+            interval_pumps: 8,
+            ..LiveTelemetryConfig::default()
+        }
+        .try_new()
+        .expect("valid live config");
+        let tel = LiveTelemetry::new(lcfg)
+            .with_sink(&ndjson.display().to_string())
+            .expect("ndjson sink")
+            .with_expose(&expose);
+        let outcome = run_load_sweep(
+            &setup,
+            quick_cfg(),
+            4,
+            120,
+            &[0.5, 2.0],
+            None,
+            Some(TraceConfig::with_adaptive()),
+            Some(tel),
+        );
+        // Telemetry rode the traced (highest-load) point: the snapshot's
+        // serve section carries closed intervals with monotonic sequence
+        // numbers and populated pump-stage spans.
+        let serve = &outcome.snapshot.serve;
+        assert!(
+            serve.live.len() >= 2,
+            "expected several intervals, got {}",
+            serve.live.len()
+        );
+        for (i, iv) in serve.live.iter().enumerate() {
+            assert_eq!(iv.seq, i as u64, "interval seq not monotonic");
+        }
+        let sum_ingested: u64 = serve.live.iter().map(|iv| iv.delta_ingested).sum();
+        assert_eq!(
+            sum_ingested, serve.ingested,
+            "interval deltas do not telescope to the cumulative counter"
+        );
+        assert!(
+            serve.pump_stages.forward_f32_ns.count > 0,
+            "no forward spans recorded"
+        );
+        assert!(
+            serve.pump_stages.self_overhead_fraction < 0.25,
+            "telemetry overhead implausibly high: {}",
+            serve.pump_stages.self_overhead_fraction
+        );
+        // The sinks were written: at least one NDJSON line, and an
+        // exposition dump in Prometheus text format.
+        let lines = std::fs::read_to_string(&ndjson).expect("ndjson written");
+        assert!(
+            lines
+                .lines()
+                .filter(|l| l.contains("\"delta_ingested\""))
+                .count()
+                >= 2,
+            "NDJSON sink missing interval records"
+        );
+        let prom = std::fs::read_to_string(&expose).expect("exposition written");
+        assert!(prom.contains("# TYPE"), "not Prometheus text format");
+        assert!(prom.contains("mpgraph_serve_ingested_total"));
+        // The Chrome export is the service-level one: livetel counter
+        // tracks are present alongside the scoreboard's.
+        let trace = outcome.chrome_trace.expect("trace missing");
+        let text = serde_json::to_string(&trace).expect("trace serializes");
+        assert!(text.contains("slo_burn_rate"), "livetel counters absent");
+        let _ = std::fs::remove_file(&ndjson);
+        let _ = std::fs::remove_file(&expose);
     }
 
     #[test]

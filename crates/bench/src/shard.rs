@@ -146,6 +146,7 @@ pub fn run_combo_opts(
         recorder,
         windows: sb.windows(),
         end: records,
+        live: Vec::new(),
     };
     ComboResult {
         combo,

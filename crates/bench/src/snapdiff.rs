@@ -26,6 +26,12 @@ pub struct Tolerances {
     /// probe window shifts the nearest-rank p99), so the default is
     /// looser than p50's.
     pub latency_p99: f64,
+    /// Relative headroom on the serve-path SLO burn metrics
+    /// (`serve.slo.worst_burn_rate`, `serve.slo.breach_intervals`): a
+    /// current value above `baseline * (1 + tol)` regresses, and a zero
+    /// baseline never gates (a baseline snapshotted without live
+    /// telemetry attached carries all-zero SLO fields).
+    pub burn: f64,
 }
 
 impl Default for Tolerances {
@@ -37,6 +43,7 @@ impl Default for Tolerances {
             pbot_hit_rate: 0.05,
             latency_p50: 0.25,
             latency_p99: 0.50,
+            burn: 0.50,
         }
     }
 }
@@ -52,6 +59,7 @@ impl Tolerances {
             pbot_hit_rate: tol,
             latency_p50: tol,
             latency_p99: tol,
+            burn: tol,
         }
     }
 }
@@ -97,12 +105,19 @@ fn compare(report: &mut DiffReport, metric: &str, baseline: f64, current: f64, t
 /// `0 * (1 + tol)` would flag any nonzero current — a false positive when
 /// the baseline predates latency collection).
 fn compare_latency(report: &mut DiffReport, metric: &str, baseline: u64, current: u64, tol: f64) {
+    compare_upward(report, metric, baseline as f64, current as f64, tol);
+}
+
+/// Upward-only relative gate for higher-is-worse f64 metrics (SLO burn
+/// rates, breach-interval counts). Same zero-baseline exemption as the
+/// latency gate.
+fn compare_upward(report: &mut DiffReport, metric: &str, baseline: f64, current: f64, tol: f64) {
     report.deltas.push(MetricDelta {
         metric: metric.to_string(),
-        baseline: baseline as f64,
-        current: current as f64,
+        baseline,
+        current,
         tolerance: tol,
-        regressed: baseline > 0 && current as f64 > baseline as f64 * (1.0 + tol),
+        regressed: baseline > 0.0 && current > baseline * (1.0 + tol),
     });
 }
 
@@ -171,6 +186,20 @@ pub fn diff_snapshots(
         current.memory_latency.p99,
         tol.latency_p99,
     );
+    compare_upward(
+        &mut rep,
+        "serve.slo.worst_burn_rate",
+        baseline.serve.slo.worst_burn_rate,
+        current.serve.slo.worst_burn_rate,
+        tol.burn,
+    );
+    compare_upward(
+        &mut rep,
+        "serve.slo.breach_intervals",
+        baseline.serve.slo.breach_intervals as f64,
+        current.serve.slo.breach_intervals as f64,
+        tol.burn,
+    );
     for bp in &baseline.phases {
         if let Some(cp) = current.phases.iter().find(|p| p.phase == bp.phase) {
             compare(
@@ -216,8 +245,33 @@ mod tests {
         let rep = diff_snapshots(&b, &b.clone(), &Tolerances::default());
         assert!(!rep.has_regressions());
         // accuracy, coverage, timeliness, pbot + 4 latency percentiles
-        // + 2 phases
-        assert_eq!(rep.deltas.len(), 10);
+        // + 2 SLO burn gates + 2 phases
+        assert_eq!(rep.deltas.len(), 12);
+    }
+
+    #[test]
+    fn slo_burn_growth_beyond_tolerance_is_flagged() {
+        let mut b = snap(0.8, 0.6, &[0.7]);
+        b.serve.slo.worst_burn_rate = 2.0;
+        b.serve.slo.breach_intervals = 4;
+        let mut c = b.clone();
+        // +25% burn sits inside the default 50% headroom; 3x breach
+        // intervals blow through it.
+        c.serve.slo.worst_burn_rate = 2.5;
+        c.serve.slo.breach_intervals = 12;
+        let rep = diff_snapshots(&b, &c, &Tolerances::default());
+        let bad: Vec<_> = rep.regressions().map(|d| d.metric.clone()).collect();
+        assert_eq!(bad, vec!["serve.slo.breach_intervals".to_string()]);
+        // Burn improvements never fail, and a zero baseline never gates.
+        let calm = snap(0.8, 0.6, &[0.7]);
+        let mut hot = calm.clone();
+        hot.serve.slo.worst_burn_rate = 9.0;
+        hot.serve.slo.breach_intervals = 50;
+        assert!(
+            !diff_snapshots(&calm, &hot, &Tolerances::default()).has_regressions(),
+            "zero-burn baseline must not gate"
+        );
+        assert!(!diff_snapshots(&c, &b, &Tolerances::default()).has_regressions());
     }
 
     #[test]

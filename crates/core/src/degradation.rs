@@ -159,6 +159,7 @@ pub struct DegradationGuard<P: Prefetcher> {
     pub trips: u64,
     pub recoveries: u64,
     pub accesses_degraded: u64,
+    pub slo_trips: u64,
     // Structured tracing (engine-controlled, off by default). The guard
     // buffers its own trip/recover events and passes the wrapped
     // prefetcher's through, so the engine sees one merged stream.
@@ -185,6 +186,7 @@ impl<P: Prefetcher> DegradationGuard<P> {
             trips: 0,
             recoveries: 0,
             accesses_degraded: 0,
+            slo_trips: 0,
             trace_on: false,
             trace_events: Vec::new(),
         }
@@ -227,6 +229,21 @@ impl<P: Prefetcher> DegradationGuard<P> {
             recoveries: self.recoveries,
             deadline_misses: self.deadline_misses,
             accesses_degraded: self.accesses_degraded,
+            slo_trips: self.slo_trips,
+        }
+    }
+
+    /// External escalation input from the live SLO monitor
+    /// (`core::livetel`): a Breach verdict trips the guard off the ML
+    /// path immediately — the error budget is burning faster than the
+    /// guard's own rolling windows would catch. Warn and Ok do not force
+    /// anything; recovery still goes through the hysteretic
+    /// cooldown-plus-probes path, so a flapping monitor cannot thrash
+    /// the policy.
+    pub fn apply_slo_verdict(&mut self, verdict: crate::livetel::SloVerdict) {
+        if verdict == crate::livetel::SloVerdict::Breach && self.state == GuardState::Healthy {
+            self.slo_trips += 1;
+            self.trip();
         }
     }
 
@@ -702,6 +719,32 @@ mod tests {
         assert!(GuardConfig::from_latency_model(&AmmaConfig::default(), 0.5).is_err());
         let g = GuardConfig::from_latency_model(&AmmaConfig::default(), 2.0).expect("valid");
         assert!(g.deadline_cycles > 0);
+    }
+
+    #[test]
+    fn slo_breach_trips_the_guard_but_warn_and_ok_do_not() {
+        use crate::livetel::SloVerdict;
+        let ml = FakeMl {
+            latency: 10,
+            predict_next: true,
+        };
+        let mut g = DegradationGuard::new(ml, cfg());
+        g.apply_slo_verdict(SloVerdict::Ok);
+        g.apply_slo_verdict(SloVerdict::Warn);
+        assert!(g.is_healthy());
+        assert_eq!(g.slo_trips, 0);
+        g.apply_slo_verdict(SloVerdict::Breach);
+        assert!(!g.is_healthy());
+        assert_eq!(g.trips, 1);
+        assert_eq!(g.slo_trips, 1);
+        assert_eq!(g.metrics().slo_trips, 1);
+        // Breach while already degraded is not a second trip.
+        g.apply_slo_verdict(SloVerdict::Breach);
+        assert_eq!(g.trips, 1);
+        assert_eq!(g.slo_trips, 1);
+        // Ok does not short-circuit hysteretic recovery.
+        g.apply_slo_verdict(SloVerdict::Ok);
+        assert!(!g.is_healthy());
     }
 
     #[test]

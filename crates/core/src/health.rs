@@ -79,6 +79,40 @@ impl ComponentHealth {
             )
         }
     }
+
+    /// Derives the serving layer's health from its counters plus the live
+    /// SLO monitor state (`core::livetel`). The verdict is the leading
+    /// signal: a Breach means the error budget is burning at the
+    /// fast-burn multiple right now; overload or degraded streams without
+    /// a breach are a Degraded-but-coping condition. Without live
+    /// telemetry attached, `slo` is all-default (verdict Ok) and only the
+    /// ladder/quarantine gauges speak.
+    pub fn serve_from_metrics(serve: &crate::obs::ServeMetrics) -> Self {
+        let status = if serve.slo.verdict_level >= 2 {
+            ComponentStatus::Failed
+        } else if serve.slo.verdict_level >= 1
+            || serve.overload_level > 0
+            || serve.degraded_streams > 0
+        {
+            ComponentStatus::Degraded
+        } else {
+            ComponentStatus::Healthy
+        };
+        ComponentHealth::new(
+            "serve",
+            status,
+            format!(
+                "overload level {}, {} degraded streams, shed fraction {:.3}, \
+                 slo verdict {} (burn {:.2}, {} escalations)",
+                serve.overload_level,
+                serve.degraded_streams,
+                serve.shed_fraction,
+                serve.slo.verdict_level,
+                serve.slo.current_burn_rate,
+                serve.slo.escalations,
+            ),
+        )
+    }
 }
 
 /// Aggregate of component healths and injected-fault counts for one run.
@@ -236,6 +270,43 @@ mod tests {
         let mut r = HealthReport::new();
         r.push(ComponentHealth::simulator_from_metrics(&lossy));
         assert!(!r.is_healthy());
+    }
+
+    #[test]
+    fn serve_health_tracks_ladder_quarantine_and_slo_verdict() {
+        use crate::obs::ServeMetrics;
+        let calm = ServeMetrics::default();
+        assert_eq!(
+            ComponentHealth::serve_from_metrics(&calm).status,
+            ComponentStatus::Healthy
+        );
+
+        let mut loaded = ServeMetrics::default();
+        loaded.overload_level = 1;
+        let h = ComponentHealth::serve_from_metrics(&loaded);
+        assert_eq!(h.status, ComponentStatus::Degraded);
+        assert!(h.detail.contains("overload level 1"));
+
+        let mut quarantined = ServeMetrics::default();
+        quarantined.degraded_streams = 2;
+        assert_eq!(
+            ComponentHealth::serve_from_metrics(&quarantined).status,
+            ComponentStatus::Degraded
+        );
+
+        let mut warn = ServeMetrics::default();
+        warn.slo.verdict_level = 1;
+        assert_eq!(
+            ComponentHealth::serve_from_metrics(&warn).status,
+            ComponentStatus::Degraded
+        );
+
+        let mut breach = ServeMetrics::default();
+        breach.slo.verdict_level = 2;
+        breach.slo.current_burn_rate = 6.5;
+        let h = ComponentHealth::serve_from_metrics(&breach);
+        assert_eq!(h.status, ComponentStatus::Failed);
+        assert!(h.detail.contains("slo verdict 2"));
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod delta_predictor;
 pub mod error;
 pub mod health;
 pub mod latency;
+pub mod livetel;
 pub mod obs;
 pub mod page_predictor;
 pub mod prefetcher;
@@ -46,10 +47,15 @@ pub use delta_predictor::{DeltaPredictor, DeltaPredictorConfig, DeltaRange};
 pub use error::MpGraphError;
 pub use health::{ComponentHealth, ComponentStatus, HealthReport};
 pub use latency::{amma_latency, cycles_to_ns, LatencyBreakdown};
+pub use livetel::{
+    derive_interval, render_exposition, write_atomic, LiveInterval, LiveStreamDelta, LiveTelemetry,
+    LiveTelemetryConfig, SloConfig, SloMonitor, SloVerdict,
+};
 pub use obs::{
     ControllerMetrics, CstpMetrics, DetectorMetrics, GuardMetrics, HistogramSnapshot, LaneMetrics,
-    LatencyHistogram, MetricsSnapshot, PhaseMetrics, PrefetchScoreboard, ServeMetrics,
-    TrainMetrics, TrainRollbackMetrics,
+    LatencyHistogram, LiveIntervalSummary, MetricsSnapshot, PhaseMetrics, PrefetchScoreboard,
+    PumpStageMetrics, ServeMetrics, SloServeMetrics, StreamServeMetrics, TrainMetrics,
+    TrainRollbackMetrics,
 };
 pub use page_predictor::{PageHead, PagePredictor, PagePredictorConfig};
 pub use prefetcher::{

@@ -576,6 +576,20 @@ impl PrefetchScoreboard {
         Some(chrome_trace_json(&ts.recorder, &self.windows(), ts.records))
     }
 
+    /// The recorded run packaged as a [`crate::trace::ShardTrace`] (no
+    /// live-interval series — callers that have one, like
+    /// `PrefetchService`, fill it in). `None` without tracing attached.
+    pub fn shard_trace(&self, label: &str) -> Option<crate::trace::ShardTrace> {
+        let ts = self.trace.as_ref()?;
+        Some(crate::trace::ShardTrace {
+            label: label.to_string(),
+            recorder: ts.recorder.clone(),
+            windows: self.windows(),
+            end: ts.records,
+            live: Vec::new(),
+        })
+    }
+
     #[inline]
     fn cell(&mut self, tag: PrefetchTag) -> &mut Cell {
         let p = (tag.phase as usize).min(self.num_phases - 1);
@@ -969,6 +983,11 @@ pub struct GuardMetrics {
     pub recoveries: u64,
     pub deadline_misses: u64,
     pub accesses_degraded: u64,
+    /// Trips forced by the live SLO monitor's Breach verdict
+    /// ([`crate::DegradationGuard::apply_slo_verdict`]) — a subset of
+    /// `trips`, kept separate so burn-rate-driven degradation is
+    /// distinguishable from the guard's own deadline/accuracy trips.
+    pub slo_trips: u64,
 }
 
 /// Predictor training counters.
@@ -1064,6 +1083,92 @@ pub struct ServeMetrics {
     /// Per-stream admission / service / guard counters, in registration
     /// order (auto-created fallback-only streams included).
     pub per_stream: Vec<StreamServeMetrics>,
+    /// Per-stage pump span timing (`core::livetel`); all-default unless
+    /// live telemetry was attached to the service.
+    pub pump_stages: PumpStageMetrics,
+    /// SLO monitor state (`core::livetel`); all-default unless live
+    /// telemetry was attached.
+    pub slo: SloServeMetrics,
+    /// Closed live-telemetry intervals, for the Perfetto counter export;
+    /// empty unless live telemetry was attached.
+    pub live: Vec<LiveIntervalSummary>,
+}
+
+/// Span timing of the pump's internal stages, recorded only while live
+/// telemetry is attached (the bit-identical-when-off discipline extends to
+/// the live path: without a `LiveTelemetry` none of these are touched).
+/// Queue wait is measured on the deterministic cycle clock; the other
+/// stages are host wall time, so [`MetricsSnapshot::canonicalize_wall_clock`]
+/// zeroes them in merged artifacts.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PumpStageMetrics {
+    /// Admission -> drain wait per queued item, in service cycles.
+    pub queue_wait_cycles: HistogramSnapshot,
+    /// Batch assembly per pump (drain + wave/deadline split), wall ns.
+    pub assembly_ns: HistogramSnapshot,
+    /// Fused/solo forward stage per pump on the f32 path, wall ns.
+    pub forward_f32_ns: HistogramSnapshot,
+    /// Fused/solo forward stage per pump on the int8 path, wall ns.
+    pub forward_int8_ns: HistogramSnapshot,
+    /// Deferred-fallback stage per pump (deadline remainder), wall ns.
+    pub deferred_fallback_ns: HistogramSnapshot,
+    /// Total wall time spent inside `pump` while telemetry was attached.
+    pub pump_wall_ns: u64,
+    /// Wall time spent on telemetry itself (interval derivation, sinks).
+    pub telemetry_wall_ns: u64,
+    /// telemetry_wall_ns / pump_wall_ns — the live path's self-overhead.
+    pub self_overhead_fraction: f64,
+}
+
+/// SLO monitor rollup (`core::livetel::SloMonitor`): target, error-budget
+/// burn state, and verdict transitions.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SloServeMetrics {
+    /// Prediction-latency p99 target in service cycles.
+    pub target_p99_cycles: u64,
+    /// Allowed deadline-miss fraction (the error budget).
+    pub budget_miss_fraction: f64,
+    /// Telemetry intervals observed.
+    pub intervals: u64,
+    /// Verdict raises (Ok -> Warn, Warn -> Breach, Ok -> Breach).
+    pub escalations: u64,
+    /// Verdict drops back toward Ok.
+    pub recoveries: u64,
+    /// Intervals spent at Breach.
+    pub breach_intervals: u64,
+    /// Worst windowed burn rate seen.
+    pub worst_burn_rate: f64,
+    /// Windowed burn rate at snapshot time.
+    pub current_burn_rate: f64,
+    /// Verdict at snapshot time: 0 Ok, 1 Warn, 2 Breach.
+    pub verdict_level: u64,
+}
+
+/// One closed live-telemetry interval, kept for the Perfetto counter
+/// export and the snapshot artifact (the full NDJSON record goes to the
+/// `--live-metrics` sink; this is the compact monotonic summary).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LiveIntervalSummary {
+    /// 0-based interval ordinal.
+    pub seq: u64,
+    /// Record-clock timestamp the interval closed at (trace timeline).
+    pub at_record: u64,
+    /// Service clock at the close, in cycles.
+    pub end_cycle: u64,
+    pub delta_ingested: u64,
+    pub delta_shed: u64,
+    pub delta_deadline_observations: u64,
+    pub delta_deadline_misses: u64,
+    pub shed_fraction: f64,
+    pub deadline_miss_fraction: f64,
+    /// Windowed error-budget burn rate after this interval.
+    pub burn_rate: f64,
+    /// SLO verdict after this interval: 0 Ok, 1 Warn, 2 Breach.
+    pub verdict_level: u64,
+    /// Queue-wait p99 over the whole run so far, in cycles.
+    pub queue_wait_p99_cycles: u64,
+    /// Forward-stage p99 over the whole run so far, wall ns (f32 + int8).
+    pub forward_p99_ns: u64,
 }
 
 /// One stream's share of the serving-layer counters (admission decisions,
@@ -1087,6 +1192,10 @@ pub struct StreamServeMetrics {
     pub deadline_observations: u64,
     /// Observations that missed the per-item deadline.
     pub deadline_misses: u64,
+    /// Cooldown accesses still owed before an off-ML-path stream can be
+    /// considered for recovery (0 for healthy or fallback-only streams) —
+    /// live output shows quarantine *recovery progress*, not just entry.
+    pub cooldown_remaining: u64,
 }
 
 impl StreamServeMetrics {
@@ -1288,6 +1397,7 @@ impl MetricsSnapshot {
         self.guard.recoveries += other.guard.recoveries;
         self.guard.deadline_misses += other.guard.deadline_misses;
         self.guard.accesses_degraded += other.guard.accesses_degraded;
+        self.guard.slo_trips += other.guard.slo_trips;
 
         self.training.steps += other.training.steps;
         self.training.rollbacks += other.training.rollbacks;
@@ -1347,11 +1457,60 @@ impl MetricsSnapshot {
                     mine.quarantines += theirs.quarantines;
                     mine.deadline_observations += theirs.deadline_observations;
                     mine.deadline_misses += theirs.deadline_misses;
+                    // Gauge: the merged stream is as far from recovery as
+                    // its worst shard.
+                    mine.cooldown_remaining =
+                        mine.cooldown_remaining.max(theirs.cooldown_remaining);
                 }
                 None => self.serve.per_stream.push(theirs.clone()),
             }
         }
         self.serve.per_stream.sort_by_key(|s| s.id);
+
+        // Pump-stage spans: histograms merge, wall totals add, the
+        // overhead fraction recomputes from the merged totals.
+        let ps = &mut self.serve.pump_stages;
+        ps.queue_wait_cycles
+            .merge(&other.serve.pump_stages.queue_wait_cycles);
+        ps.assembly_ns.merge(&other.serve.pump_stages.assembly_ns);
+        ps.forward_f32_ns
+            .merge(&other.serve.pump_stages.forward_f32_ns);
+        ps.forward_int8_ns
+            .merge(&other.serve.pump_stages.forward_int8_ns);
+        ps.deferred_fallback_ns
+            .merge(&other.serve.pump_stages.deferred_fallback_ns);
+        ps.pump_wall_ns += other.serve.pump_stages.pump_wall_ns;
+        ps.telemetry_wall_ns += other.serve.pump_stages.telemetry_wall_ns;
+        ps.self_overhead_fraction = if ps.pump_wall_ns == 0 {
+            0.0
+        } else {
+            ps.telemetry_wall_ns as f64 / ps.pump_wall_ns as f64
+        };
+
+        // SLO rollup: counters add, targets and burn gauges take the
+        // worst shard.
+        let slo = &mut self.serve.slo;
+        slo.target_p99_cycles = slo.target_p99_cycles.max(other.serve.slo.target_p99_cycles);
+        slo.budget_miss_fraction = slo
+            .budget_miss_fraction
+            .max(other.serve.slo.budget_miss_fraction);
+        slo.intervals += other.serve.slo.intervals;
+        slo.escalations += other.serve.slo.escalations;
+        slo.recoveries += other.serve.slo.recoveries;
+        slo.breach_intervals += other.serve.slo.breach_intervals;
+        slo.worst_burn_rate = slo.worst_burn_rate.max(other.serve.slo.worst_burn_rate);
+        slo.current_burn_rate = slo.current_burn_rate.max(other.serve.slo.current_burn_rate);
+        slo.verdict_level = slo.verdict_level.max(other.serve.slo.verdict_level);
+
+        // Live interval series: concatenate like `windows`, renumbering
+        // and rebasing the record clock onto the merged timeline.
+        let live_base = self.serve.live.len() as u64;
+        for (i, iv) in other.serve.live.iter().enumerate() {
+            let mut iv = iv.clone();
+            iv.seq = live_base + i as u64;
+            iv.at_record += record_offset;
+            self.serve.live.push(iv);
+        }
 
         self.inference_latency.merge(&other.inference_latency);
         self.inference_wall_ns.merge(&other.inference_wall_ns);
@@ -1371,12 +1530,22 @@ impl MetricsSnapshot {
         self.windows_dropped += other.windows_dropped;
     }
 
-    /// Strips the host wall-clock histogram. Wall time is the one field a
+    /// Strips the host wall-clock fields. Wall time is the one thing a
     /// deterministic replay cannot reproduce, so merged matrix artifacts
     /// canonicalize it to zero before being compared byte-for-byte across
-    /// shard counts (per-combo `--metrics-out` files keep theirs).
+    /// shard counts (per-combo `--metrics-out` files keep theirs). The
+    /// pump-stage wall histograms go with it; queue wait stays — it is
+    /// measured on the deterministic cycle clock.
     pub fn canonicalize_wall_clock(&mut self) {
         self.inference_wall_ns = HistogramSnapshot::default();
+        let ps = &mut self.serve.pump_stages;
+        ps.assembly_ns = HistogramSnapshot::default();
+        ps.forward_f32_ns = HistogramSnapshot::default();
+        ps.forward_int8_ns = HistogramSnapshot::default();
+        ps.deferred_fallback_ns = HistogramSnapshot::default();
+        ps.pump_wall_ns = 0;
+        ps.telemetry_wall_ns = 0;
+        ps.self_overhead_fraction = 0.0;
     }
 }
 

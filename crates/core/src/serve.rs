@@ -37,6 +37,7 @@
 
 use crate::cstp::{chain_prefetch_fused, FusedChainItem, FusedChainResult};
 use crate::error::MpGraphError;
+use crate::livetel::LiveTelemetry;
 use crate::obs::{MetricsSnapshot, PrefetchScoreboard, ServeMetrics, StreamServeMetrics};
 use crate::prefetcher::MpGraphPrefetcher;
 use crate::LatencyHistogram;
@@ -392,6 +393,10 @@ pub struct PrefetchService {
     scratch: Vec<u64>,
     /// Matrix scratch for the fused serve path.
     fused_arena: ScratchArena,
+    /// Live telemetry attachment (`core::livetel`). `None` keeps the pump
+    /// on the exact pre-telemetry instruction path — no timers, no
+    /// interval math — preserving the bit-identical-when-off guarantee.
+    livetel: Option<Box<LiveTelemetry>>,
 }
 
 impl PrefetchService {
@@ -414,6 +419,7 @@ impl PrefetchService {
             scoreboard: None,
             scratch: Vec::new(),
             fused_arena: ScratchArena::new(),
+            livetel: None,
             cfg,
         }
     }
@@ -426,6 +432,32 @@ impl PrefetchService {
         let mut s = Self::new(cfg);
         s.scoreboard = Some(scoreboard);
         s
+    }
+
+    /// Attaches live telemetry (`core::livetel`): periodic interval
+    /// deltas to its sinks, pump-stage span timing, and the SLO monitor
+    /// (which, when wired, feeds the overload ladder).
+    pub fn enable_live_telemetry(&mut self, tel: LiveTelemetry) {
+        self.livetel = Some(Box::new(tel));
+    }
+
+    /// The live telemetry attachment, if any.
+    pub fn live_telemetry(&self) -> Option<&LiveTelemetry> {
+        self.livetel.as_deref()
+    }
+
+    /// Closes the trailing partial telemetry interval and flushes the
+    /// NDJSON sink. Call after the final `flush` so the last accesses of
+    /// a live session land in the interval stream.
+    pub fn finish_live_telemetry(&mut self) {
+        if let Some(mut tel) = self.livetel.take() {
+            let m = self.base_metrics();
+            let events = tel.finish(self.trace_now(), self.clock, &m);
+            for e in events {
+                self.emit(e);
+            }
+            self.livetel = Some(tel);
+        }
     }
 
     /// Registers stream `id` with its own full prefetcher. Re-registering
@@ -965,6 +997,13 @@ impl PrefetchService {
     /// appends every completed prediction (inline fallbacks included) to
     /// `out`. Returns the number of predictions appended.
     pub fn pump(&mut self, out: &mut Vec<Prediction>) -> usize {
+        // Live telemetry is taken out for the duration of the pump so the
+        // borrow checker lets it observe `self`; all timers are gated on
+        // it being attached — without it this function runs the exact
+        // pre-telemetry instruction sequence.
+        let mut tel = self.livetel.take();
+        let pump_started = tel.as_ref().map(|_| std::time::Instant::now());
+
         // Collect the batch round-robin across shards so one hot stream
         // cannot starve its siblings of batch slots.
         let mut batch: Vec<QueueItem> = Vec::with_capacity(self.cfg.batch_size);
@@ -981,6 +1020,13 @@ impl PrefetchService {
             }
             if !drained_any {
                 break;
+            }
+        }
+        if let Some(t) = tel.as_mut() {
+            // Queue wait on the deterministic cycle clock: admission ->
+            // drain, per item.
+            for item in &batch {
+                t.note_queue_wait(self.clock.saturating_sub(item.enqueued_at));
             }
         }
 
@@ -1004,13 +1050,23 @@ impl PrefetchService {
                     admitted.push(item);
                 }
             }
+            if let (Some(t), Some(started)) = (tel.as_mut(), pump_started) {
+                // Assembly = shard drain + deadline split, i.e. everything
+                // in this pump before the forward stage.
+                t.note_assembly_ns(started.elapsed().as_nanos() as u64);
+            }
+            let forward_started = tel.as_ref().map(|_| std::time::Instant::now());
             self.serve_admitted(admitted);
+            if let (Some(t), Some(started)) = (tel.as_mut(), forward_started) {
+                t.note_forward_ns(started.elapsed().as_nanos() as u64);
+            }
             if !deferred.is_empty() {
                 self.counters.batch_timeouts += 1;
                 self.counters.timeout_deferred += deferred.len() as u64;
                 self.emit(TraceEvent::BatchTimeout {
                     deferred: u32::try_from(deferred.len()).unwrap_or(u32::MAX),
                 });
+                let deferred_started = tel.as_ref().map(|_| std::time::Instant::now());
                 for item in deferred {
                     // A deferral caused by the item's own stall is this
                     // stream's deadline miss; a clean item squeezed out by
@@ -1025,21 +1081,45 @@ impl PrefetchService {
                         item.enqueued_at,
                     );
                 }
+                if let (Some(t), Some(started)) = (tel.as_mut(), deferred_started) {
+                    t.note_deferred_ns(started.elapsed().as_nanos() as u64);
+                }
             }
         }
 
-        self.run_ladder();
+        // Close the telemetry interval *before* the ladder runs so a
+        // fresh SLO verdict escalates on this same pump, not the next one.
+        let mut slo_hot = false;
+        if let Some(t) = tel.as_mut() {
+            if t.interval_due() {
+                let m = self.base_metrics();
+                let events = t.close_interval(self.trace_now(), self.clock, &m);
+                for e in events {
+                    self.emit(e);
+                }
+            }
+            slo_hot = t.ladder_hot();
+        }
+        self.run_ladder(slo_hot);
+        if let (Some(t), Some(started)) = (tel.as_mut(), pump_started) {
+            t.note_pump_wall_ns(started.elapsed().as_nanos() as u64);
+        }
+        self.livetel = tel;
         let produced = self.ready.len();
         out.append(&mut self.ready);
         produced
     }
 
-    /// Overload-ladder controller, evaluated once per pump.
-    fn run_ladder(&mut self) {
+    /// Overload-ladder controller, evaluated once per pump. `slo_hot`
+    /// is the SLO monitor's contribution: a Breach verdict (with
+    /// `wire_ladder` on) counts as a hot pump even when the queues look
+    /// calm, so a burning error budget escalates through the same
+    /// hysteretic streaks as queue pressure does.
+    fn run_ladder(&mut self, slo_hot: bool) {
         let queued: usize = self.shards.iter().map(BoundedQueue::len).sum();
         let capacity: usize = self.shards.iter().map(BoundedQueue::capacity).sum();
         let fill = queued as f64 / capacity.max(1) as f64;
-        let hot = fill >= self.cfg.high_watermark || self.queue_full_since_pump;
+        let hot = fill >= self.cfg.high_watermark || self.queue_full_since_pump || slo_hot;
         self.queue_full_since_pump = false;
         if hot {
             self.cool_streak = 0;
@@ -1102,8 +1182,21 @@ impl PrefetchService {
         self.scoreboard.as_ref()
     }
 
-    /// Serving-layer counters.
+    /// Serving-layer counters with the live-telemetry rollups (stage
+    /// spans, SLO state, interval series) folded in when attached.
     pub fn metrics(&self) -> ServeMetrics {
+        let mut m = self.base_metrics();
+        if let Some(tel) = self.livetel.as_deref() {
+            tel.overlay(&mut m);
+        }
+        m
+    }
+
+    /// The raw serving-layer counters, without the live-telemetry
+    /// overlay. This is what interval derivation diffs against — it must
+    /// not depend on telemetry state, or the delta math would feed back
+    /// into itself.
+    fn base_metrics(&self) -> ServeMetrics {
         let c = &self.counters;
         let shed = c.shed_speculative + c.shed_queue_full + c.timeout_deferred;
         ServeMetrics {
@@ -1151,8 +1244,20 @@ impl PrefetchService {
                     quarantines: s.stats.quarantines,
                     deadline_observations: s.stats.deadline_observations,
                     deadline_misses: s.stats.deadline_misses,
+                    // Recovery progress for a stream off the ML path: the
+                    // cooldown accesses still owed (clean-streak and
+                    // ladder conditions come on top, so 0 here does not
+                    // by itself mean "recovering next access").
+                    cooldown_remaining: if s.ml.is_some() && s.state != StreamState::Healthy {
+                        self.cfg.stream_cooldown.saturating_sub(s.cooled)
+                    } else {
+                        0
+                    },
                 })
                 .collect(),
+            pump_stages: Default::default(),
+            slo: Default::default(),
+            live: Vec::new(),
         }
     }
 
@@ -1166,6 +1271,20 @@ impl PrefetchService {
             .unwrap_or_default();
         snap.serve = self.metrics();
         snap
+    }
+
+    /// The Perfetto export for this service, including the live-telemetry
+    /// counter tracks (interval rates, burn rate, verdict) when telemetry
+    /// is attached. `None` without a tracing scoreboard.
+    pub fn chrome_trace(&self) -> Option<serde::Value> {
+        let sb = self.scoreboard.as_ref()?;
+        let mut shard = sb.shard_trace("mpgraph")?;
+        if let Some(tel) = self.livetel.as_deref() {
+            shard.live = tel.summaries().to_vec();
+        }
+        Some(crate::trace::chrome_trace_json_sharded(
+            std::slice::from_ref(&shard),
+        ))
     }
 }
 
@@ -1625,5 +1744,209 @@ mod tests {
         ] {
             assert!(bad.try_new().is_err());
         }
+    }
+
+    #[test]
+    fn live_telemetry_attached_is_equivalent_to_plain_run() {
+        use crate::livetel::{LiveTelemetry, LiveTelemetryConfig};
+        // Same healthy workload through a plain service and one with live
+        // telemetry attached (no sinks): the observer discipline requires
+        // identical predictions, counters, and clock — telemetry may only
+        // watch, never steer, while the verdict stays Ok.
+        let run = |live: bool| {
+            let mut svc = PrefetchService::new(small_cfg());
+            if live {
+                svc.enable_live_telemetry(LiveTelemetry::new(LiveTelemetryConfig {
+                    interval_pumps: 2,
+                    ..LiveTelemetryConfig::default()
+                }));
+            }
+            svc.register_stream(0, Box::new(FakeMl::new(10)));
+            svc.register_stream(1, Box::new(FakeMl::new(10)));
+            let mut out = Vec::new();
+            for i in 0..200u64 {
+                svc.ingest((i % 2) as u32, &acc(i), 0);
+                if i % 3 == 0 {
+                    svc.pump(&mut out);
+                }
+            }
+            svc.flush(&mut out);
+            svc.finish_live_telemetry();
+            let preds: Vec<(u32, Vec<u64>, u64, bool)> = out
+                .into_iter()
+                .map(|p| (p.stream, p.candidates, p.latency, p.via_fallback))
+                .collect();
+            (preds, svc.clock(), svc.base_metrics())
+        };
+        let (plain_preds, plain_clock, plain_m) = run(false);
+        let (live_preds, live_clock, live_m) = run(true);
+        assert_eq!(plain_preds, live_preds);
+        assert_eq!(plain_clock, live_clock);
+        assert_eq!(plain_m.ingested, live_m.ingested);
+        assert_eq!(plain_m.ml_processed, live_m.ml_processed);
+        assert_eq!(plain_m.fallback_processed, live_m.fallback_processed);
+        assert_eq!(plain_m.escalations, live_m.escalations);
+        assert_eq!(plain_m.per_stream, live_m.per_stream);
+    }
+
+    #[test]
+    fn live_run_closes_intervals_and_reports_stage_spans() {
+        use crate::livetel::{LiveTelemetry, LiveTelemetryConfig};
+        let mut svc = PrefetchService::new(small_cfg());
+        svc.enable_live_telemetry(LiveTelemetry::new(LiveTelemetryConfig {
+            interval_pumps: 2,
+            ..LiveTelemetryConfig::default()
+        }));
+        svc.register_stream(0, Box::new(FakeMl::new(10)));
+        let mut out = Vec::new();
+        for i in 0..100u64 {
+            svc.ingest(0, &acc(i), 0);
+            svc.pump(&mut out);
+        }
+        svc.flush(&mut out);
+        svc.finish_live_telemetry();
+        let m = svc.metrics();
+        assert!(!m.live.is_empty(), "no telemetry intervals closed");
+        // Cumulative deltas reconcile with the final counters.
+        let total: u64 = m.live.iter().map(|iv| iv.delta_ingested).sum();
+        assert_eq!(total, m.ingested);
+        for w in m.live.windows(2) {
+            assert_eq!(w[1].seq, w[0].seq + 1);
+            assert!(w[1].end_cycle >= w[0].end_cycle);
+        }
+        // Stage spans were recorded: every pump with queued work timed a
+        // forward pass, and pump wall time dominates telemetry time.
+        assert!(m.pump_stages.forward_f32_ns.count > 0);
+        assert!(m.pump_stages.queue_wait_cycles.count > 0);
+        assert!(m.pump_stages.pump_wall_ns > 0);
+        assert!(m.pump_stages.self_overhead_fraction >= 0.0);
+    }
+
+    #[test]
+    fn slo_breach_escalates_the_overload_ladder_without_queue_pressure() {
+        use crate::livetel::{LiveTelemetry, LiveTelemetryConfig, SloConfig};
+        // Every inference stalls past the deadline, but the queues are
+        // pumped after every access so the fill fraction never crosses the
+        // high watermark: only the SLO monitor's Breach verdict can make
+        // pumps hot. stream_miss_window is left large so the per-stream
+        // quarantine path stays out of the picture.
+        let cfg = ServeConfig {
+            stream_miss_window: 10_000,
+            ..small_cfg()
+        };
+        let mut svc = PrefetchService::new(cfg);
+        svc.enable_live_telemetry(LiveTelemetry::new(LiveTelemetryConfig {
+            interval_pumps: 2,
+            slo: SloConfig {
+                budget_miss_fraction: 0.05,
+                fast_burn: 2.0,
+                window_intervals: 1,
+                wire_ladder: true,
+                ..SloConfig::default()
+            },
+            ..LiveTelemetryConfig::default()
+        }));
+        svc.register_stream(0, Box::new(FakeMl::new(10)));
+        let mut out = Vec::new();
+        for i in 0..120u64 {
+            svc.ingest(0, &acc(i), 10_000);
+            svc.pump(&mut out);
+        }
+        // The ladder may have de-escalated again by now (shedding stops
+        // the burn, which cools the verdict), so check the cumulative
+        // escalation counter, not the instantaneous level.
+        let m = svc.metrics();
+        assert!(m.escalations > 0, "SLO breach never escalated the ladder");
+        assert!(m.slo.escalations > 0);
+        assert!(m.slo.worst_burn_rate >= 2.0);
+
+        // Identical run with the SLO unwired: same misses, but calm
+        // queues keep the ladder at zero — the escalation above was the
+        // monitor's doing, not hidden queue pressure.
+        let cfg = ServeConfig {
+            stream_miss_window: 10_000,
+            ..small_cfg()
+        };
+        let mut unwired = PrefetchService::new(cfg);
+        unwired.enable_live_telemetry(LiveTelemetry::new(LiveTelemetryConfig {
+            interval_pumps: 2,
+            slo: SloConfig {
+                budget_miss_fraction: 0.05,
+                fast_burn: 2.0,
+                window_intervals: 1,
+                wire_ladder: false,
+                ..SloConfig::default()
+            },
+            ..LiveTelemetryConfig::default()
+        }));
+        unwired.register_stream(0, Box::new(FakeMl::new(10)));
+        for i in 0..120u64 {
+            unwired.ingest(0, &acc(i), 10_000);
+            unwired.pump(&mut out);
+        }
+        let um = unwired.metrics();
+        assert_eq!(um.escalations, 0);
+        assert_eq!(unwired.overload_level(), 0);
+        assert!(um.slo.escalations > 0);
+    }
+
+    #[test]
+    fn cooldown_remaining_surfaces_quarantine_recovery_progress() {
+        let cfg = small_cfg();
+        let cooldown = cfg.stream_cooldown;
+        let mut svc = PrefetchService::new(cfg);
+        svc.register_stream(0, Box::new(FakeMl::new(10)));
+        let mut out = Vec::new();
+        // Healthy stream: no cooldown owed.
+        svc.ingest(0, &acc(0), 0);
+        svc.pump(&mut out);
+        assert_eq!(svc.metrics().per_stream[0].cooldown_remaining, 0);
+        // Stall every inference until the stream quarantines.
+        let mut i = 1u64;
+        while !svc.is_quarantined(0) && i < 200 {
+            svc.ingest(0, &acc(i), 10_000);
+            svc.pump(&mut out);
+            i += 1;
+        }
+        assert!(svc.is_quarantined(0));
+        let owed = svc.metrics().per_stream[0].cooldown_remaining;
+        assert_eq!(owed, cooldown, "full cooldown owed at quarantine entry");
+        // Clean fallback service pays the cooldown down monotonically.
+        svc.ingest(0, &acc(500), 0);
+        svc.pump(&mut out);
+        let after = svc.metrics().per_stream[0].cooldown_remaining;
+        assert_eq!(after, cooldown - 1);
+        // Run to recovery: the counter returns to zero.
+        for j in 0..50u64 {
+            svc.ingest(0, &acc(600 + j), 0);
+            svc.pump(&mut out);
+        }
+        assert!(!svc.is_quarantined(0));
+        assert_eq!(svc.metrics().per_stream[0].cooldown_remaining, 0);
+    }
+
+    #[test]
+    fn service_chrome_trace_includes_livetel_counter_track() {
+        use crate::livetel::{LiveTelemetry, LiveTelemetryConfig};
+        use crate::trace::TraceConfig;
+        let sb = crate::obs::PrefetchScoreboard::with_trace(2, 1024, TraceConfig::default());
+        let mut svc = PrefetchService::with_scoreboard(small_cfg(), sb);
+        svc.enable_live_telemetry(LiveTelemetry::new(LiveTelemetryConfig {
+            interval_pumps: 2,
+            ..LiveTelemetryConfig::default()
+        }));
+        svc.register_stream(0, Box::new(FakeMl::new(10)));
+        let mut out = Vec::new();
+        for i in 0..40u64 {
+            svc.ingest(0, &acc(i), 0);
+            svc.pump(&mut out);
+        }
+        svc.flush(&mut out);
+        svc.finish_live_telemetry();
+        let trace = svc.chrome_trace().expect("tracing scoreboard attached");
+        let text = serde_json::to_string(&trace).expect("serializable");
+        assert!(text.contains("telemetry-interval"));
+        assert!(text.contains("shed_fraction"));
+        assert!(text.contains("slo_burn_rate"));
     }
 }

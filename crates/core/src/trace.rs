@@ -181,6 +181,7 @@ const TID_GUARD: u64 = 3;
 const TID_CSTP: u64 = 4;
 const TID_TELEMETRY: u64 = 5;
 const TID_SERVE: u64 = 6;
+const TID_LIVETEL: u64 = 7;
 
 fn obj(fields: Vec<(&str, Value)>) -> Value {
     Value::Object(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
@@ -227,19 +228,23 @@ fn slice(pid: u64, tid: u64, ts: u64, dur: u64, name: &str) -> (u64, u64, Value)
     )
 }
 
-fn counter(pid: u64, ts: u64, name: &str, value: f64) -> (u64, u64, Value) {
+fn counter_at(pid: u64, tid: u64, ts: u64, name: &str, value: f64) -> (u64, u64, Value) {
     (
-        TID_TELEMETRY,
+        tid,
         ts,
         obj(vec![
             ("name", Value::Str(name.into())),
             ("ph", Value::Str("C".into())),
             ("ts", Value::U64(ts)),
             ("pid", Value::U64(pid)),
-            ("tid", Value::U64(TID_TELEMETRY)),
+            ("tid", Value::U64(tid)),
             ("args", obj(vec![(name, Value::F64(value))])),
         ]),
     )
+}
+
+fn counter(pid: u64, ts: u64, name: &str, value: f64) -> (u64, u64, Value) {
+    counter_at(pid, TID_TELEMETRY, ts, name, value)
 }
 
 /// Renders the recorded run as a Chrome-trace JSON value
@@ -260,6 +265,7 @@ pub fn chrome_trace_json(rec: &FlightRecorder, windows: &[WindowMetrics], end: u
         recorder: rec.clone(),
         windows: windows.to_vec(),
         end,
+        live: Vec::new(),
     };
     chrome_trace_json_sharded(std::slice::from_ref(&shard))
 }
@@ -275,6 +281,10 @@ pub struct ShardTrace {
     pub windows: Vec<WindowMetrics>,
     /// Total record count, closing the final phase slice.
     pub end: u64,
+    /// Live-telemetry interval series (`core::livetel`), rendered as
+    /// counter tracks on the `livetel` thread. Empty when the run had no
+    /// live telemetry attached.
+    pub live: Vec<crate::obs::LiveIntervalSummary>,
 }
 
 /// Appends one shard's events (process meta, thread metas, timed events)
@@ -415,6 +425,36 @@ fn append_shard(events: &mut Vec<Value>, pid: u64, shard: &ShardTrace) {
                     obj(vec![("deferred", Value::U64(deferred as u64))]),
                 ));
             }
+            TraceEvent::SloEscalate { level, burn_x100 } => {
+                timed.push(instant(
+                    pid,
+                    TID_LIVETEL,
+                    at,
+                    ev.name(),
+                    obj(vec![
+                        ("level", Value::U64(level as u64)),
+                        ("burn_rate", Value::F64(burn_x100 as f64 / 100.0)),
+                    ]),
+                ));
+            }
+            TraceEvent::SloRecover { level } => {
+                timed.push(instant(
+                    pid,
+                    TID_LIVETEL,
+                    at,
+                    ev.name(),
+                    obj(vec![("level", Value::U64(level as u64))]),
+                ));
+            }
+            TraceEvent::TelemetryInterval { seq } => {
+                timed.push(instant(
+                    pid,
+                    TID_LIVETEL,
+                    at,
+                    ev.name(),
+                    obj(vec![("seq", Value::U64(seq as u64))]),
+                ));
+            }
         }
     }
     // Final residency slice: the selected phase runs to the end of trace.
@@ -443,6 +483,55 @@ fn append_shard(events: &mut Vec<Value>, pid: u64, shard: &ShardTrace) {
         timed.push(counter(pid, w.end, "pbot_hit_rate", w.pbot_hit_rate));
     }
 
+    // Live-telemetry counter tracks: per-interval serve rates, the SLO
+    // burn/verdict series, and the pump-stage p99s, all stamped where the
+    // interval closed on the record clock.
+    for iv in &shard.live {
+        let ts = iv.at_record;
+        timed.push(counter_at(
+            pid,
+            TID_LIVETEL,
+            ts,
+            "shed_fraction",
+            iv.shed_fraction,
+        ));
+        timed.push(counter_at(
+            pid,
+            TID_LIVETEL,
+            ts,
+            "deadline_miss_fraction",
+            iv.deadline_miss_fraction,
+        ));
+        timed.push(counter_at(
+            pid,
+            TID_LIVETEL,
+            ts,
+            "slo_burn_rate",
+            iv.burn_rate,
+        ));
+        timed.push(counter_at(
+            pid,
+            TID_LIVETEL,
+            ts,
+            "slo_verdict",
+            iv.verdict_level as f64,
+        ));
+        timed.push(counter_at(
+            pid,
+            TID_LIVETEL,
+            ts,
+            "queue_wait_p99_cycles",
+            iv.queue_wait_p99_cycles as f64,
+        ));
+        timed.push(counter_at(
+            pid,
+            TID_LIVETEL,
+            ts,
+            "forward_p99_ns",
+            iv.forward_p99_ns as f64,
+        ));
+    }
+
     timed.sort_by_key(|&(tid, ts, _)| (tid, ts));
 
     events.push(obj(vec![
@@ -464,6 +553,7 @@ fn append_shard(events: &mut Vec<Value>, pid: u64, shard: &ShardTrace) {
         (TID_CSTP, "cstp"),
         (TID_TELEMETRY, "telemetry"),
         (TID_SERVE, "serve"),
+        (TID_LIVETEL, "livetel"),
     ] {
         events.push(meta_thread(pid, tid, name));
     }
@@ -676,6 +766,72 @@ mod tests {
     }
 
     #[test]
+    fn livetel_counters_and_slo_events_land_on_their_own_track() {
+        use crate::obs::LiveIntervalSummary;
+        let mut r = FlightRecorder::new(16);
+        r.record(
+            7,
+            TraceEvent::SloEscalate {
+                level: 2,
+                burn_x100: 450,
+            },
+        );
+        r.record(9, TraceEvent::TelemetryInterval { seq: 0 });
+        r.record(15, TraceEvent::SloRecover { level: 0 });
+        let shard = ShardTrace {
+            label: "mpgraph".into(),
+            recorder: r,
+            windows: Vec::new(),
+            end: 16,
+            live: vec![LiveIntervalSummary {
+                seq: 0,
+                at_record: 9,
+                shed_fraction: 0.25,
+                burn_rate: 4.5,
+                verdict_level: 2,
+                queue_wait_p99_cycles: 12,
+                forward_p99_ns: 800,
+                ..LiveIntervalSummary::default()
+            }],
+        };
+        let v = chrome_trace_json_sharded(std::slice::from_ref(&shard));
+        let Some(Value::Array(events)) = v.get("traceEvents") else {
+            panic!("no traceEvents array");
+        };
+        let on_track: Vec<&Value> = events
+            .iter()
+            .filter(|e| {
+                matches!(e.get("tid"), Some(Value::U64(t)) if *t == TID_LIVETEL)
+                    && !matches!(e.get("ph"), Some(Value::Str(s)) if s == "M")
+            })
+            .collect();
+        // 3 instants + 6 counters, all on the livetel tid.
+        assert_eq!(on_track.len(), 9);
+        let escalate = on_track
+            .iter()
+            .find(|e| matches!(e.get("name"), Some(Value::Str(n)) if n == "slo-escalate"))
+            .expect("slo-escalate instant");
+        let Some(args) = escalate.get("args") else {
+            panic!("escalate lost its args");
+        };
+        assert_eq!(args.get("burn_rate"), Some(&Value::F64(4.5)));
+        let burn_counters = on_track
+            .iter()
+            .filter(|e| matches!(e.get("name"), Some(Value::Str(n)) if n == "slo_burn_rate"))
+            .count();
+        assert_eq!(burn_counters, 1);
+        // The livetel thread meta names the track.
+        assert!(events.iter().any(|e| {
+            matches!(e.get("ph"), Some(Value::Str(s)) if s == "M")
+                && matches!(e.get("tid"), Some(Value::U64(t)) if *t == TID_LIVETEL)
+                && matches!(
+                    e.get("args").and_then(|a| a.get("name")),
+                    Some(Value::Str(n)) if n == "livetel"
+                )
+        }));
+    }
+
+    #[test]
     fn sharded_export_gives_each_shard_its_own_pid() {
         let shard = |label: &str, n: u64| {
             let mut r = FlightRecorder::new(16);
@@ -690,6 +846,7 @@ mod tests {
                     ..WindowMetrics::default()
                 }],
                 end: n,
+                live: Vec::new(),
             }
         };
         let shards = vec![shard("gpop/pr/rmat", 64), shard("xstream/bfs/rmat", 32)];

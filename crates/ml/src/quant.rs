@@ -90,7 +90,7 @@ pub struct QuantizedTensor {
 
 impl QuantizedTensor {
     /// Quantizes symmetric per-tensor: scale = max|w| / 127 (see
-    /// [`stable_scale`] for the zero/subnormal/idempotency guards).
+    /// `stable_scale` for the zero/subnormal/idempotency guards).
     pub fn quantize(w: &Matrix) -> Self {
         let max = w.data.iter().fold(0.0f32, |a, &v| a.max(v.abs()));
         let scale = stable_scale(max);
@@ -129,7 +129,7 @@ impl QuantizedTensor {
 /// Quantizes every parameter of a module in place (simulated quantization:
 /// the weights are replaced by their dequantized int8 values, so inference
 /// behaves exactly as int8 storage would). Returns total int8 storage bytes.
-/// Applying this twice is a bit-exact no-op (see [`stable_scale`]).
+/// Applying this twice is a bit-exact no-op (see `stable_scale`).
 pub fn quantize_module(module: &mut dyn Module) -> usize {
     let mut bytes = 0usize;
     module.for_each_param(&mut |p: &mut Param| {

@@ -61,6 +61,17 @@ pub enum TraceEvent {
     /// the queue. Wide enough to carry any realistic deferral count
     /// exactly, so the event and `timeout_deferred` counter always agree.
     BatchTimeout { deferred: u32 },
+    /// The live SLO monitor raised its verdict (Ok -> Warn -> Breach).
+    /// `burn_x100` is the windowed error-budget burn rate times 100,
+    /// saturating — enough precision to read the severity off the trace
+    /// without a float payload.
+    SloEscalate { level: u8, burn_x100: u16 },
+    /// The live SLO monitor lowered its verdict back toward Ok.
+    SloRecover { level: u8 },
+    /// The live telemetry pump closed interval `seq` (one NDJSON delta
+    /// record / exposition rewrite). Ordinary telemetry traffic, not an
+    /// alarm.
+    TelemetryInterval { seq: u32 },
 }
 
 impl TraceEvent {
@@ -81,6 +92,9 @@ impl TraceEvent {
             TraceEvent::OverloadShed { .. } => "overload-shed",
             TraceEvent::OverloadRecover { .. } => "overload-recover",
             TraceEvent::BatchTimeout { .. } => "batch-timeout",
+            TraceEvent::SloEscalate { .. } => "slo-escalate",
+            TraceEvent::SloRecover { .. } => "slo-recover",
+            TraceEvent::TelemetryInterval { .. } => "telemetry-interval",
         }
     }
 
@@ -97,6 +111,7 @@ impl TraceEvent {
                 | TraceEvent::StreamQuarantine { .. }
                 | TraceEvent::OverloadShed { .. }
                 | TraceEvent::BatchTimeout { .. }
+                | TraceEvent::SloEscalate { .. }
         )
     }
 }
@@ -142,6 +157,13 @@ mod tests {
             TraceEvent::OverloadShed { level: 0 }.name(),
             TraceEvent::OverloadRecover { level: 0 }.name(),
             TraceEvent::BatchTimeout { deferred: 0 }.name(),
+            TraceEvent::SloEscalate {
+                level: 0,
+                burn_x100: 0,
+            }
+            .name(),
+            TraceEvent::SloRecover { level: 0 }.name(),
+            TraceEvent::TelemetryInterval { seq: 0 }.name(),
         ];
         for (i, a) in names.iter().enumerate() {
             assert!(!names[..i].contains(a), "duplicate event name {a}");
@@ -155,6 +177,13 @@ mod tests {
         assert!(TraceEvent::OverloadShed { level: 1 }.is_alarm());
         assert!(TraceEvent::BatchTimeout { deferred: 4 }.is_alarm());
         assert!(TraceEvent::InflightOverflow.is_alarm());
+        assert!(TraceEvent::SloEscalate {
+            level: 2,
+            burn_x100: 400
+        }
+        .is_alarm());
+        assert!(!TraceEvent::SloRecover { level: 0 }.is_alarm());
+        assert!(!TraceEvent::TelemetryInterval { seq: 9 }.is_alarm());
         assert!(!TraceEvent::PhaseArmed.is_alarm());
         assert!(!TraceEvent::PhaseConfirmed { prev_phase: 0 }.is_alarm());
         assert!(!TraceEvent::GuardRecover.is_alarm());

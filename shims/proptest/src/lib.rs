@@ -105,19 +105,21 @@ macro_rules! impl_float_strategy {
 }
 impl_float_strategy!(f32, f64);
 
-impl<A: Strategy, B: Strategy> Strategy for (A, B) {
-    type Value = (A::Value, B::Value);
-    fn sample(&self, rng: &mut TestRng) -> Self::Value {
-        (self.0.sample(rng), self.1.sample(rng))
-    }
+macro_rules! impl_tuple_strategy {
+    ($($name:ident: $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
 }
-
-impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
-    type Value = (A::Value, B::Value, C::Value);
-    fn sample(&self, rng: &mut TestRng) -> Self::Value {
-        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
-    }
-}
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
 
 /// `prop::collection::vec(element_strategy, len_range)`.
 pub struct VecStrategy<S> {
@@ -143,6 +145,19 @@ impl<T: Clone> Strategy for Just<T> {
     }
 }
 
+/// Strategy drawing uniformly from a fixed list (`prop::sample::select`).
+pub struct SelectStrategy<T: Clone> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for SelectStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = (rng.next_u64() as usize) % self.options.len().max(1);
+        self.options[i].clone()
+    }
+}
+
 pub mod prop {
     pub mod collection {
         use super::super::{Strategy, VecStrategy};
@@ -150,6 +165,16 @@ pub mod prop {
 
         pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
             VecStrategy { elem, len }
+        }
+    }
+
+    pub mod sample {
+        use super::super::SelectStrategy;
+
+        /// Uniform draw from a non-empty list of options.
+        pub fn select<T: Clone>(options: Vec<T>) -> SelectStrategy<T> {
+            assert!(!options.is_empty(), "select() needs at least one option");
+            SelectStrategy { options }
         }
     }
 }

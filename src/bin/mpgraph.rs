@@ -22,8 +22,8 @@
 
 use mpgraph::core::trace::TraceConfig as TelemetryConfig;
 use mpgraph::core::{
-    build_detector, train_mpgraph, MetricsSnapshot, MpGraphConfig, MpGraphPrefetcher,
-    PrefetchScoreboard, PrefetchService, ServeConfig,
+    build_detector, train_mpgraph, LiveTelemetry, LiveTelemetryConfig, MetricsSnapshot,
+    MpGraphConfig, MpGraphPrefetcher, PrefetchScoreboard, PrefetchService, ServeConfig,
 };
 use mpgraph::frameworks::{generate_trace, io, App, Framework, Trace, TraceConfig};
 use mpgraph::graph::{standin, Dataset};
@@ -50,9 +50,12 @@ fn usage() -> ! {
          run --all [--shards N (default: cores)] [--quick] [--metrics-out FILE]\n           \
          [--trace-out FILE]\n  \
          serve    FILE [--streams N] [--load F] [--no-fuse] [--quant] [--stdin]\n           \
-         [--metrics-out FILE] [--trace-out FILE]\n           \
+         [--metrics-out FILE] [--trace-out FILE] [--live-metrics FILE|-]\n           \
+         [--expose FILE] [--live-interval N]\n           \
          (--quant serves the distilled int8 student; --stdin reads\n           \
-         `stream pc vaddr [w]` lines, FILE only trains)"
+         `stream pc vaddr [w]` lines, FILE only trains; --live-metrics\n           \
+         streams NDJSON interval deltas, --expose rewrites a Prometheus\n           \
+         text dump every --live-interval pumps)"
     );
     std::process::exit(2);
 }
@@ -246,6 +249,36 @@ fn scoreboard_for(args: &Args, num_phases: usize) -> Option<PrefetchScoreboard> 
         args.get("metrics-out")
             .map(|_| PrefetchScoreboard::new(phases, 4096))
     }
+}
+
+/// Builds the serve command's live-telemetry attachment from
+/// `--live-metrics` / `--expose` / `--live-interval`, or `None` when no
+/// live output was requested. `--quant` tags the forward-stage spans as
+/// int8.
+fn live_telemetry_for(args: &Args) -> Option<LiveTelemetry> {
+    let sink = args.get("live-metrics");
+    let expose = args.get("expose");
+    if sink.is_none() && expose.is_none() {
+        return None;
+    }
+    let cfg = LiveTelemetryConfig {
+        interval_pumps: args.get_u64("live-interval", 16),
+        int8: args.get("quant").is_some(),
+        ..LiveTelemetryConfig::default()
+    };
+    let cfg = cfg
+        .try_new()
+        .unwrap_or_else(|e| die(&format!("invalid live-telemetry config: {e}")));
+    let mut tel = LiveTelemetry::new(cfg);
+    if let Some(spec) = sink {
+        tel = tel
+            .with_sink(spec)
+            .unwrap_or_else(|e| die(&format!("cannot open --live-metrics sink {spec}: {e}")));
+    }
+    if let Some(path) = expose {
+        tel = tel.with_expose(path);
+    }
+    Some(tel)
 }
 
 fn write_metrics(args: &Args, snap: &MetricsSnapshot) {
@@ -508,17 +541,22 @@ fn cmd_run_all(args: &Args) {
 }
 
 /// Parses a decimal or `0x`-prefixed hex integer from a stdin field.
-fn parse_num(s: &str, what: &str) -> u64 {
-    let r = match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
-        Some(hex) => u64::from_str_radix(hex, 16),
-        None => s.parse(),
-    };
-    r.unwrap_or_else(|_| die(&format!("bad {what} field {s:?} on stdin")))
+fn parse_num(s: &str) -> Option<u64> {
+    match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => s.parse().ok(),
+    }
 }
 
 /// Feeds stdin-driven accesses through the service: one access per line,
 /// `stream pc vaddr [w]` (decimal or 0x-hex; trailing `w` marks a write;
 /// blank lines and `#` comments skipped). Returns the access count.
+///
+/// Never exits the process: malformed lines are skipped with a warning
+/// and a read error ends the loop early — either way the caller still
+/// flushes the service and writes the `--metrics-out`/`--trace-out`
+/// artifacts, so a generator hiccup (or plain EOF) cannot lose a run's
+/// telemetry.
 fn serve_from_stdin(
     svc: &mut PrefetchService,
     streams: usize,
@@ -529,19 +567,35 @@ fn serve_from_stdin(
     let stdin = std::io::stdin();
     let mut n = 0usize;
     for line in stdin.lock().lines() {
-        let line = line.unwrap_or_else(|e| die(&format!("reading stdin: {e}")));
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("warning: reading stdin: {e}; finishing with {n} accesses served");
+                break;
+            }
+        };
         let s = line.trim();
         if s.is_empty() || s.starts_with('#') {
             continue;
         }
         let mut f = s.split_whitespace();
-        let (Some(stream), Some(pc), Some(vaddr)) = (f.next(), f.next(), f.next()) else {
-            die(&format!("stdin line {s:?}: want `stream pc vaddr [w]`"));
+        let parsed = match (f.next(), f.next(), f.next()) {
+            (Some(stream), Some(pc), Some(vaddr)) => {
+                match (parse_num(stream), parse_num(pc), parse_num(vaddr)) {
+                    (Some(stream), Some(pc), Some(vaddr)) => Some((stream, pc, vaddr)),
+                    _ => None,
+                }
+            }
+            _ => None,
         };
-        let stream = parse_num(stream, "stream") as u32 % streams.max(1) as u32;
+        let Some((stream, pc, vaddr)) = parsed else {
+            eprintln!("warning: skipping stdin line {s:?}: want `stream pc vaddr [w]`");
+            continue;
+        };
+        let stream = stream as u32 % streams.max(1) as u32;
         let access = LlcAccess {
-            pc: parse_num(pc, "pc"),
-            block: parse_num(vaddr, "vaddr") >> 6,
+            pc,
+            block: vaddr >> 6,
             core: (stream % 8) as u8,
             is_write: f.next() == Some("w"),
             hit: false,
@@ -632,6 +686,13 @@ fn cmd_serve(args: &Args) {
         Some(sb) => PrefetchService::with_scoreboard(serve_cfg, sb),
         None => PrefetchService::new(serve_cfg),
     };
+    let live_attached = match live_telemetry_for(args) {
+        Some(tel) => {
+            svc.enable_live_telemetry(tel);
+            true
+        }
+        None => false,
+    };
     for s in 0..streams {
         svc.register_stream(
             s as u32,
@@ -668,6 +729,10 @@ fn cmd_serve(args: &Args) {
         }
     }
     svc.flush(&mut out);
+    // Closes the trailing partial telemetry interval and flushes the
+    // NDJSON sink — runs on every exit path, including a stdin generator
+    // hanging up mid-stream.
+    svc.finish_live_telemetry();
     let elapsed = started.elapsed().as_secs_f64().max(1e-9);
 
     let m = svc.metrics();
@@ -699,11 +764,27 @@ fn cmd_serve(args: &Args) {
         m.deferred_fallback_processed,
         m.deferred_latency.p99
     );
+    if live_attached {
+        println!(
+            "live telemetry: {} intervals, slo verdict {} (worst burn {:.2}, {} escalations), \
+             overhead {:.4} of pump wall",
+            m.live.len(),
+            m.slo.verdict_level,
+            m.slo.worst_burn_rate,
+            m.slo.escalations,
+            m.pump_stages.self_overhead_fraction,
+        );
+    }
     let mut snap = svc.snapshot();
     mp.enrich_snapshot(&mut snap);
     write_metrics(args, &snap);
-    if let Some(sb) = svc.scoreboard() {
-        write_trace(args, sb);
+    if args.get("trace-out").is_some() {
+        // The service-level export, so the live-telemetry counter tracks
+        // ride along with the scoreboard's when telemetry is attached.
+        match svc.chrome_trace() {
+            Some(chrome) => write_trace_value(args, &chrome),
+            None => die("trace requested but the scoreboard recorded none"),
+        }
     }
 }
 
